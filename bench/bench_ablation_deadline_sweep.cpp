@@ -1,0 +1,62 @@
+/// Ablation A1 — acceptance vs relative deadline d_i.
+///
+/// Fig 18.5 fixes d = 40; here d sweeps 12…100 at 200 requested channels
+/// (paper topology, {P=100, C=3}). Expectation: at small d both schemes
+/// choke (d/2 < C bites SDPS hardest); ADPS's advantage peaks where the
+/// deadline is scarce relative to the bottleneck load and fades as d grows
+/// (everything becomes feasible).
+
+#include <cstdio>
+
+#include "analysis/acceptance.hpp"
+#include "common/ascii_plot.hpp"
+#include "common/table.hpp"
+
+using namespace rtether;
+
+int main() {
+  std::puts("================================================================");
+  std::puts("Ablation A1 — acceptance vs relative deadline (200 requested,");
+  std::puts("10 masters / 50 slaves, {P=100, C=3}, d swept)");
+  std::puts("================================================================");
+
+  const std::vector<Slot> deadlines{12, 16, 20, 28, 40, 56, 72, 100};
+  constexpr std::size_t kRequests = 200;
+  constexpr std::uint32_t kSeeds = 5;
+
+  ConsoleTable table("A1: mean accepted channels at 200 requested");
+  table.set_header({"deadline d", "SDPS", "ADPS", "ADPS/SDPS"});
+  AsciiPlot plot("A1: acceptance vs deadline", "relative deadline d (slots)",
+                 "accepted channels");
+  PlotSeries sdps_series{"SDPS", {}, {}};
+  PlotSeries adps_series{"ADPS", {}, {}};
+
+  for (const Slot d : deadlines) {
+    traffic::MasterSlaveConfig workload;
+    workload.deadline = traffic::SlotDistribution::fixed(d);
+    analysis::AcceptanceSweepConfig sweep;
+    sweep.request_counts = {kRequests};
+    sweep.seeds = kSeeds;
+
+    const auto sdps = analysis::run_master_slave_sweep("SDPS", workload,
+                                                       sweep);
+    const auto adps = analysis::run_master_slave_sweep("ADPS", workload,
+                                                       sweep);
+    const double s = sdps.points[0].accepted_mean;
+    const double a = adps.points[0].accepted_mean;
+    char ratio[32];
+    std::snprintf(ratio, sizeof ratio, "%.2fx", s > 0 ? a / s : 0.0);
+    table.add(d, s, a, std::string(ratio));
+    sdps_series.x.push_back(static_cast<double>(d));
+    sdps_series.y.push_back(s);
+    adps_series.x.push_back(static_cast<double>(d));
+    adps_series.y.push_back(a);
+  }
+  table.print();
+  plot.add_series(adps_series);
+  plot.add_series(sdps_series);
+  plot.print();
+  std::puts("reading: ADPS's edge is largest for scarce deadlines; both");
+  std::puts("schemes converge once d is generous relative to the load.\n");
+  return 0;
+}

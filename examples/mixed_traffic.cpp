@@ -1,0 +1,74 @@
+/// RT and TCP-like best-effort coexistence (Fig 18.2's two queues).
+///
+/// A small work cell where two controllers exchange hard-real-time data
+/// while every node also runs bulk best-effort transfers (file transfers,
+/// diagnostics — the "ordinary TCP/IP" of the paper). Shows that the RT
+/// channel's delays stay bounded while best-effort soaks up the remaining
+/// bandwidth.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/partitioner.hpp"
+#include "proto/periodic_sender.hpp"
+#include "proto/stack.hpp"
+#include "sim/best_effort.hpp"
+
+using namespace rtether;
+
+int main() {
+  proto::Stack stack(sim::SimConfig{}, /*node_count=*/6,
+                     std::make_unique<core::AsymmetricPartitioner>());
+  auto& network = stack.network();
+
+  // Two RT channels between the controllers (nodes 0 and 1).
+  const auto control = stack.establish(NodeId{0}, NodeId{1}, 50, 1, 10);
+  const auto feedback = stack.establish(NodeId{1}, NodeId{0}, 50, 1, 10);
+  if (!control || !feedback) {
+    std::puts("RT channel establishment failed");
+    return 1;
+  }
+
+  proto::PeriodicRtSender control_sender(stack.layer(NodeId{0}),
+                                         control->id);
+  proto::PeriodicRtSender feedback_sender(stack.layer(NodeId{1}),
+                                          feedback->id, /*phase_slots=*/25);
+  control_sender.start();
+  feedback_sender.start();
+
+  // Heavy best-effort everywhere: 80% offered load per node, bursty.
+  sim::BestEffortProfile profile;
+  profile.offered_load = 0.8;
+  profile.arrivals = sim::BestEffortArrivals::kOnOff;
+  auto background =
+      sim::attach_best_effort_everywhere(network, profile, /*seed=*/5);
+
+  network.simulator().run_until(network.now() +
+                                network.config().slots_to_ticks(5'000));
+  control_sender.stop();
+  feedback_sender.stop();
+  for (auto& source : background) source->stop();
+  network.simulator().run_all();
+
+  const double tps = static_cast<double>(network.config().ticks_per_slot);
+  for (const auto& [name, channel] :
+       {std::pair{"control ", *control}, std::pair{"feedback", *feedback}}) {
+    const auto stats = network.stats().channel(channel.id);
+    std::printf(
+        "%s channel: %4llu frames | mean delay %5.2f slots | worst %5.2f "
+        "slots | bound %llu+T_lat | misses %llu\n",
+        name, static_cast<unsigned long long>(stats->frames_delivered),
+        stats->delay_ticks.mean() / tps, stats->delay_ticks.max() / tps,
+        static_cast<unsigned long long>(channel.deadline),
+        static_cast<unsigned long long>(stats->deadline_misses));
+  }
+  std::printf(
+      "best-effort: %llu frames delivered, mean delay %.1f slots "
+      "(unbounded by design)\n",
+      static_cast<unsigned long long>(
+          network.stats().best_effort_delivered()),
+      network.stats().best_effort_delay_ticks().mean() / tps);
+  std::puts("\nRT delays stay within d_i + T_latency even at 80% background");
+  std::puts("load; best-effort rides the leftover capacity (FCFS).");
+  return 0;
+}

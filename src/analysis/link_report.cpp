@@ -1,0 +1,107 @@
+#include "analysis/link_report.hpp"
+
+#include <algorithm>
+
+#include "common/math.hpp"
+#include "common/table.hpp"
+#include "edf/busy_period.hpp"
+#include "edf/checkpoints.hpp"
+#include "edf/demand.hpp"
+#include "edf/feasibility.hpp"
+
+namespace rtether::analysis {
+
+namespace {
+
+LinkReport report_for(NodeId node, core::LinkDirection direction,
+                      const edf::TaskSet& link) {
+  LinkReport report;
+  report.node = node;
+  report.direction = direction;
+  report.channels = link.size();
+  report.utilization = link.utilization();
+  report.min_deadline = link.min_deadline();
+  const auto bp = edf::busy_period(link);
+  report.busy_period = bp.value_or(0);
+  // Slack t − h(t) at every checkpoint in the busy period *and* at every
+  // task's first deadline (the busy period can end before the earliest
+  // deadline, in which case the first-job slacks are the informative ones).
+  report.min_slack = report.min_deadline;
+  if (bp) {
+    for (const Slot t : edf::checkpoints(link, *bp)) {
+      report.min_slack =
+          std::min(report.min_slack, sat_sub(t, edf::demand(link, t)));
+    }
+  }
+  for (const auto& task : link.tasks()) {
+    report.min_slack = std::min(
+        report.min_slack,
+        sat_sub(task.deadline, edf::demand(link, task.deadline)));
+  }
+  return report;
+}
+
+}  // namespace
+
+std::vector<LinkReport> network_report(const core::NetworkState& state) {
+  std::vector<LinkReport> reports;
+  for (std::uint32_t n = 0; n < state.node_count(); ++n) {
+    for (const auto direction : {core::LinkDirection::kUplink,
+                                 core::LinkDirection::kDownlink}) {
+      const auto& link = state.link(NodeId{n}, direction);
+      if (!link.empty()) {
+        reports.push_back(report_for(NodeId{n}, direction, link));
+      }
+    }
+  }
+  std::sort(reports.begin(), reports.end(),
+            [](const LinkReport& a, const LinkReport& b) {
+              if (a.min_slack != b.min_slack) {
+                return a.min_slack < b.min_slack;
+              }
+              if (a.node != b.node) return a.node < b.node;
+              return a.direction < b.direction;
+            });
+  return reports;
+}
+
+std::string render_network_report(const core::NetworkState& state,
+                                  std::size_t max_rows) {
+  ConsoleTable table("link schedulability report (bottlenecks first)");
+  table.set_header({"link", "channels", "utilization", "busy period",
+                    "min deadline", "min slack"});
+  const auto reports = network_report(state);
+  for (std::size_t i = 0; i < std::min(max_rows, reports.size()); ++i) {
+    const auto& r = reports[i];
+    table.add(std::string(core::to_string(r.direction)) + "(n" +
+                  std::to_string(r.node.value()) + ")",
+              r.channels, r.utilization, r.busy_period, r.min_deadline,
+              r.min_slack);
+  }
+  return table.render();
+}
+
+std::size_t link_headroom(const edf::TaskSet& link, Slot period,
+                          Slot capacity, Slot deadline, std::size_t limit) {
+  edf::TaskSet probe = link;
+  std::size_t added = 0;
+  // Probe IDs start past any real 16-bit channel ID in use on this link;
+  // TaskSet only requires uniqueness within itself, and the copy is ours.
+  std::uint16_t next_id = 0;
+  auto unused_id = [&]() {
+    while (probe.contains(ChannelId(next_id))) {
+      ++next_id;
+    }
+    return ChannelId(next_id);
+  };
+  while (added < limit) {
+    probe.add({unused_id(), period, capacity, deadline});
+    if (!edf::is_feasible(probe)) {
+      return added;
+    }
+    ++added;
+  }
+  return added;
+}
+
+}  // namespace rtether::analysis

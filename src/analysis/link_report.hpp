@@ -1,0 +1,50 @@
+#pragma once
+
+/// @file link_report.hpp
+/// Operator-facing diagnostics over a live admission-control state: per-link
+/// schedulability detail (load, utilization, busy period, slack) and
+/// what-if headroom probes ("how many more channels like this would fit?").
+/// This is the paper's system-state SS made inspectable — the switch-side
+/// view an industrial commissioning tool would display.
+
+#include <string>
+#include <vector>
+
+#include "core/network_state.hpp"
+#include "edf/task_set.hpp"
+
+namespace rtether::analysis {
+
+/// Snapshot of one link direction.
+struct LinkReport {
+  NodeId node;
+  core::LinkDirection direction{core::LinkDirection::kUplink};
+  std::size_t channels{0};
+  double utilization{0.0};
+  /// Length of the first busy period (0 for an idle link).
+  Slot busy_period{0};
+  /// Smallest relative deadline scheduled on the link (0 if none).
+  Slot min_deadline{0};
+  /// min over checkpoints t of (t − h(t)) within the busy period — the
+  /// link's worst-case slack in slots; min_deadline for an idle link’s
+  /// vacuous case is reported as slack = min_deadline.
+  Slot min_slack{0};
+};
+
+/// Reports for every non-empty link direction, bottlenecks (smallest
+/// slack) first.
+[[nodiscard]] std::vector<LinkReport> network_report(
+    const core::NetworkState& state);
+
+/// Renders the report as a console table (top `max_rows` rows).
+[[nodiscard]] std::string render_network_report(
+    const core::NetworkState& state, std::size_t max_rows = 16);
+
+/// What-if probe: the number of additional pseudo-tasks {P, C, d} the link
+/// can accept before its EDF feasibility test fails (capped at `limit`).
+/// Pure analysis — the task set is copied, nothing is admitted.
+[[nodiscard]] std::size_t link_headroom(const edf::TaskSet& link, Slot period,
+                                        Slot capacity, Slot deadline,
+                                        std::size_t limit = 1024);
+
+}  // namespace rtether::analysis

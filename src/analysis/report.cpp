@@ -1,0 +1,119 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/ascii_plot.hpp"
+#include "common/assert.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace rtether::analysis {
+
+void print_acceptance_report(const std::string& title,
+                             const std::vector<AcceptanceCurve>& curves) {
+  RTETHER_ASSERT(!curves.empty());
+
+  ConsoleTable table(title);
+  std::vector<std::string> header{"requested"};
+  for (const auto& curve : curves) {
+    header.push_back(curve.scheme + " (mean)");
+    header.push_back(curve.scheme + " (min..max)");
+  }
+  table.set_header(std::move(header));
+
+  const std::size_t rows = curves.front().points.size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(curves.front().points[r].requested));
+    for (const auto& curve : curves) {
+      RTETHER_ASSERT(curve.points.size() == rows);
+      const auto& p = curve.points[r];
+      char mean[32];
+      std::snprintf(mean, sizeof mean, "%.1f", p.accepted_mean);
+      row.emplace_back(mean);
+      row.push_back(std::to_string(static_cast<long>(p.accepted_min)) +
+                    ".." +
+                    std::to_string(static_cast<long>(p.accepted_max)));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+
+  AsciiPlot plot(title, "requested channels", "accepted channels");
+  for (const auto& curve : curves) {
+    PlotSeries series;
+    series.name = curve.scheme;
+    for (const auto& p : curve.points) {
+      series.x.push_back(static_cast<double>(p.requested));
+      series.y.push_back(p.accepted_mean);
+    }
+    plot.add_series(std::move(series));
+  }
+  plot.print();
+}
+
+void write_acceptance_csv(std::ostream& out,
+                          const std::vector<AcceptanceCurve>& curves) {
+  RTETHER_ASSERT(!curves.empty());
+  CsvWriter csv(out);
+  std::vector<std::string> header{"requested"};
+  for (const auto& curve : curves) {
+    header.push_back(curve.scheme);
+  }
+  csv.write_row(header);
+  for (std::size_t r = 0; r < curves.front().points.size(); ++r) {
+    std::vector<std::string> row{
+        std::to_string(curves.front().points[r].requested)};
+    for (const auto& curve : curves) {
+      row.push_back(std::to_string(curve.points[r].accepted_mean));
+    }
+    csv.write_row(row);
+  }
+}
+
+void print_validation_report(const std::string& title,
+                             const ValidationResult& result,
+                             std::size_t max_channel_rows) {
+  ConsoleTable table(title);
+  table.set_header({"channel", "route", "d_i", "sent", "delivered", "misses",
+                    "worst delay", "bound", "headroom"});
+  // Show the channels closest to their bound first — the interesting ones.
+  std::vector<ChannelValidation> sorted = result.channels;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ChannelValidation& a, const ChannelValidation& b) {
+              return a.worst_delay_slots / a.bound_slots >
+                     b.worst_delay_slots / b.bound_slots;
+            });
+  const std::size_t rows = std::min(max_channel_rows, sorted.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto& c = sorted[i];
+    char worst[32];
+    char bound[32];
+    char headroom[32];
+    std::snprintf(worst, sizeof worst, "%.2f", c.worst_delay_slots);
+    std::snprintf(bound, sizeof bound, "%.2f", c.bound_slots);
+    std::snprintf(headroom, sizeof headroom, "%.1f%%",
+                  100.0 * (1.0 - c.worst_delay_slots / c.bound_slots));
+    table.add_row({"ch" + std::to_string(c.id.value()),
+                   "n" + std::to_string(c.source.value()) + "->n" +
+                       std::to_string(c.destination.value()),
+                   std::to_string(c.deadline_slots),
+                   std::to_string(c.frames_sent),
+                   std::to_string(c.frames_delivered),
+                   std::to_string(c.deadline_misses), worst, bound,
+                   headroom});
+  }
+  table.print();
+  std::printf(
+      "channels: %zu/%zu established | frames: %llu sent, %llu delivered | "
+      "misses: %llu | worst delay / bound = %.3f → guarantee %s\n\n",
+      result.channels_established, result.channels_requested,
+      static_cast<unsigned long long>(result.frames_sent),
+      static_cast<unsigned long long>(result.frames_delivered),
+      static_cast<unsigned long long>(result.deadline_misses),
+      result.worst_delay_ratio,
+      result.deadline_misses == 0 ? "HELD" : "VIOLATED");
+}
+
+}  // namespace rtether::analysis

@@ -1,0 +1,31 @@
+#pragma once
+
+/// @file report.hpp
+/// Shared rendering for experiment results: every bench prints the same
+/// table + ASCII figure + optional CSV, so bench_output.txt reads like the
+/// paper's evaluation section.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "analysis/acceptance.hpp"
+#include "analysis/validation.hpp"
+
+namespace rtether::analysis {
+
+/// Prints a side-by-side table of acceptance curves (one column per scheme)
+/// followed by an ASCII rendition of the figure.
+void print_acceptance_report(const std::string& title,
+                             const std::vector<AcceptanceCurve>& curves);
+
+/// Writes the curves as CSV: requested,<scheme1>,<scheme2>,...
+void write_acceptance_csv(std::ostream& out,
+                          const std::vector<AcceptanceCurve>& curves);
+
+/// Prints the per-channel guarantee-validation table and a verdict line.
+void print_validation_report(const std::string& title,
+                             const ValidationResult& result,
+                             std::size_t max_channel_rows = 12);
+
+}  // namespace rtether::analysis

@@ -1,0 +1,103 @@
+#include "analysis/validation.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/assert.hpp"
+#include "core/partitioner.hpp"
+#include "proto/periodic_sender.hpp"
+#include "proto/stack.hpp"
+#include "sim/best_effort.hpp"
+
+namespace rtether::analysis {
+
+ValidationResult run_guarantee_validation(const ValidationConfig& config) {
+  traffic::MasterSlaveWorkload workload(config.workload, config.seed);
+  const auto specs = workload.generate(config.request_count);
+
+  proto::Stack stack(config.sim, workload.node_count(),
+                     core::make_partitioner(config.scheme));
+  auto& network = stack.network();
+  network.set_miss_allowance(
+      config.sim.t_latency_ticks(config.with_best_effort));
+
+  // Phase 1: establish every accepted channel over the real protocol.
+  std::vector<proto::EstablishedChannel> established;
+  for (const auto& spec : specs) {
+    auto result =
+        stack.establish(spec.source, spec.destination, spec.period,
+                        spec.capacity, spec.deadline);
+    if (result) {
+      established.push_back(*result);
+    }
+  }
+
+  // Phase 2: periodic senders on every node that owns channels; optional
+  // best-effort cross-traffic everywhere.
+  std::vector<std::unique_ptr<proto::PeriodicRtSender>> senders;
+  Slot phase = 0;
+  for (const auto& channel : established) {
+    senders.push_back(std::make_unique<proto::PeriodicRtSender>(
+        stack.layer(channel.source), channel.id, phase));
+    senders.back()->start();
+    phase += config.stagger_slots;
+  }
+
+  std::vector<std::unique_ptr<sim::BestEffortSource>> background;
+  if (config.with_best_effort) {
+    sim::BestEffortProfile profile;
+    profile.offered_load = config.best_effort_load;
+    background = sim::attach_best_effort_everywhere(network, profile,
+                                                    config.seed ^ 0xbeefULL);
+  }
+
+  const Tick stop_at =
+      network.now() + config.sim.slots_to_ticks(config.run_slots);
+  network.simulator().run_until(stop_at);
+  for (auto& sender : senders) sender->stop();
+  for (auto& source : background) source->stop();
+  // Drain in-flight frames so the last releases are measured too.
+  network.simulator().run_until(stop_at +
+                                config.sim.slots_to_ticks(1'000));
+
+  // Phase 3: collect verdicts.
+  ValidationResult result;
+  result.channels_requested = specs.size();
+  result.channels_established = established.size();
+  const double ticks_per_slot =
+      static_cast<double>(config.sim.ticks_per_slot);
+  const double allowance_slots =
+      static_cast<double>(network.miss_allowance()) / ticks_per_slot;
+
+  for (const auto& channel : established) {
+    ChannelValidation verdict;
+    verdict.id = channel.id;
+    verdict.source = channel.source;
+    verdict.destination = channel.destination;
+    verdict.deadline_slots = channel.deadline;
+    verdict.bound_slots =
+        static_cast<double>(channel.deadline) + allowance_slots;
+    if (const auto stats = network.stats().channel(channel.id)) {
+      verdict.frames_sent = stats->frames_sent;
+      verdict.frames_delivered = stats->frames_delivered;
+      verdict.deadline_misses = stats->deadline_misses;
+      verdict.worst_delay_slots = stats->delay_ticks.max() / ticks_per_slot;
+    }
+    result.frames_sent += verdict.frames_sent;
+    result.frames_delivered += verdict.frames_delivered;
+    result.deadline_misses += verdict.deadline_misses;
+    if (verdict.bound_slots > 0.0) {
+      result.worst_delay_ratio =
+          std::max(result.worst_delay_ratio,
+                   verdict.worst_delay_slots / verdict.bound_slots);
+    }
+    result.channels.push_back(verdict);
+  }
+  result.best_effort_sent = network.stats().best_effort_sent();
+  result.best_effort_delivered = network.stats().best_effort_delivered();
+  result.best_effort_mean_delay_slots =
+      network.stats().best_effort_delay_ticks().mean() / ticks_per_slot;
+  return result;
+}
+
+}  // namespace rtether::analysis

@@ -1,0 +1,136 @@
+#include "common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace rtether {
+
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@'};
+
+std::string format_tick(double v) {
+  char buf[32];
+  if (std::abs(v) >= 1000.0 || v == std::floor(v)) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+AsciiPlot::AsciiPlot(std::string title, std::string x_label,
+                     std::string y_label)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)) {}
+
+void AsciiPlot::add_series(PlotSeries series) {
+  RTETHER_ASSERT(series.x.size() == series.y.size());
+  series_.push_back(std::move(series));
+}
+
+std::string AsciiPlot::render(std::size_t width, std::size_t height) const {
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min;
+  double y_min = 0.0;  // anchor y at zero: these are count/rate plots
+  double y_max = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      any = true;
+      x_min = std::min(x_min, s.x[i]);
+      x_max = std::max(x_max, s.x[i]);
+      y_min = std::min(y_min, s.y[i]);
+      y_max = std::max(y_max, s.y[i]);
+    }
+  }
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  if (!any) {
+    out << "(no data)\n";
+    return out.str();
+  }
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  auto to_col = [&](double x) {
+    const double f = (x - x_min) / (x_max - x_min);
+    return std::min(width - 1,
+                    static_cast<std::size_t>(std::lround(
+                        f * static_cast<double>(width - 1))));
+  };
+  auto to_row = [&](double y) {
+    const double f = (y - y_min) / (y_max - y_min);
+    const auto from_bottom = static_cast<std::size_t>(
+        std::lround(f * static_cast<double>(height - 1)));
+    return height - 1 - std::min(height - 1, from_bottom);
+  };
+
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const char glyph = kGlyphs[si % (sizeof kGlyphs)];
+    const auto& s = series_[si];
+    // Connect consecutive points with linear interpolation for readability.
+    for (std::size_t i = 0; i + 1 < s.x.size(); ++i) {
+      const std::size_t c0 = to_col(s.x[i]);
+      const std::size_t c1 = to_col(s.x[i + 1]);
+      for (std::size_t c = std::min(c0, c1); c <= std::max(c0, c1); ++c) {
+        const double t =
+            c1 == c0 ? 0.0
+                     : (static_cast<double>(c) - static_cast<double>(c0)) /
+                           (static_cast<double>(c1) - static_cast<double>(c0));
+        const double y = s.y[i] + t * (s.y[i + 1] - s.y[i]);
+        grid[to_row(y)][c] = glyph;
+      }
+    }
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      grid[to_row(s.y[i])][to_col(s.x[i])] = glyph;
+    }
+  }
+
+  const std::string y_top = format_tick(y_max);
+  const std::string y_bottom = format_tick(y_min);
+  const std::size_t margin = std::max(y_top.size(), y_bottom.size());
+  for (std::size_t r = 0; r < height; ++r) {
+    std::string label(margin, ' ');
+    if (r == 0) label = std::string(margin - y_top.size(), ' ') + y_top;
+    if (r == height - 1) {
+      label = std::string(margin - y_bottom.size(), ' ') + y_bottom;
+    }
+    out << label << " |" << grid[r] << "\n";
+  }
+  out << std::string(margin + 1, ' ') << '+' << std::string(width, '-')
+      << "\n";
+  const std::string x_lo = format_tick(x_min);
+  const std::string x_hi = format_tick(x_max);
+  out << std::string(margin + 2, ' ') << x_lo
+      << std::string(
+             width > x_lo.size() + x_hi.size()
+                 ? width - x_lo.size() - x_hi.size()
+                 : 1,
+             ' ')
+      << x_hi << "\n";
+  out << std::string(margin + 2, ' ') << "x: " << x_label_
+      << "   y: " << y_label_ << "\n";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    out << std::string(margin + 2, ' ') << kGlyphs[si % (sizeof kGlyphs)]
+        << " = " << series_[si].name << "\n";
+  }
+  return out.str();
+}
+
+void AsciiPlot::print(std::size_t width, std::size_t height) const {
+  const std::string text = render(width, height);
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace rtether

@@ -1,0 +1,42 @@
+#pragma once
+
+/// @file ascii_plot.hpp
+/// Terminal line plots. Benches render the reproduced paper figures as
+/// ASCII charts so the curve shapes (plateaus, crossovers) are visible
+/// directly in `bench_output.txt`.
+
+#include <string>
+#include <vector>
+
+namespace rtether {
+
+/// One named series of (x, y) points; rendered with its own glyph.
+struct PlotSeries {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Multi-series scatter/line plot on a character grid with axes and legend.
+class AsciiPlot {
+ public:
+  AsciiPlot(std::string title, std::string x_label, std::string y_label);
+
+  /// Adds a series; x and y must have equal length.
+  void add_series(PlotSeries series);
+
+  /// Renders the chart (trailing newline included).
+  [[nodiscard]] std::string render(std::size_t width = 70,
+                                   std::size_t height = 22) const;
+
+  /// Renders and writes to stdout.
+  void print(std::size_t width = 70, std::size_t height = 22) const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<PlotSeries> series_;
+};
+
+}  // namespace rtether

@@ -1,0 +1,16 @@
+#include "common/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rtether::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const char* msg) {
+  std::fprintf(stderr, "rtether: assertion failed: %s (%s:%d)%s%s\n", expr,
+               file, line, msg != nullptr ? " — " : "",
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace rtether::detail

@@ -1,0 +1,30 @@
+#pragma once
+
+/// @file assert.hpp
+/// Contract-checking macros used across the library. Unlike <cassert> these
+/// stay active in release builds: admission control is a safety property and
+/// a silently violated invariant would invalidate every guarantee downstream.
+
+namespace rtether::detail {
+
+/// Prints a diagnostic to stderr and aborts. Never returns.
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const char* msg);
+
+}  // namespace rtether::detail
+
+/// Checks an invariant; aborts with file/line context on violation.
+#define RTETHER_ASSERT(expr)                                              \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::rtether::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                     \
+  } while (false)
+
+/// Checks an invariant with an explanatory message.
+#define RTETHER_ASSERT_MSG(expr, msg)                                  \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::rtether::detail::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                  \
+  } while (false)

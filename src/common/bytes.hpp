@@ -1,0 +1,132 @@
+#pragma once
+
+/// @file bytes.hpp
+/// Bounds-checked big-endian (network byte order) serialization primitives
+/// used by every wire format in `net/`.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace rtether {
+
+/// Appends network-byte-order fields to a growable buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  /// Pre-reserves capacity to avoid reallocation for known frame sizes.
+  explicit ByteWriter(std::size_t reserve_bytes) {
+    buffer_.reserve(reserve_bytes);
+  }
+
+  void write_u8(std::uint8_t v) { buffer_.push_back(v); }
+
+  void write_u16(std::uint16_t v) {
+    write_u8(static_cast<std::uint8_t>(v >> 8));
+    write_u8(static_cast<std::uint8_t>(v));
+  }
+
+  void write_u32(std::uint32_t v) {
+    write_u16(static_cast<std::uint16_t>(v >> 16));
+    write_u16(static_cast<std::uint16_t>(v));
+  }
+
+  /// 48-bit field (MAC addresses, the paper's 48-bit absolute deadline).
+  void write_u48(std::uint64_t v) {
+    write_u16(static_cast<std::uint16_t>(v >> 32));
+    write_u32(static_cast<std::uint32_t>(v));
+  }
+
+  void write_u64(std::uint64_t v) {
+    write_u32(static_cast<std::uint32_t>(v >> 32));
+    write_u32(static_cast<std::uint32_t>(v));
+  }
+
+  void write_bytes(std::span<const std::uint8_t> bytes) {
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Appends `count` zero bytes (padding).
+  void write_zeros(std::size_t count) {
+    buffer_.insert(buffer_.end(), count, std::uint8_t{0});
+  }
+
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const& {
+    return buffer_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() && {
+    return std::move(buffer_);
+  }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Reads network-byte-order fields from a fixed buffer. Every read is
+/// bounds-checked; a short buffer yields nullopt instead of UB, so malformed
+/// frames surface as parse errors.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+  [[nodiscard]] std::optional<std::uint8_t> read_u8() {
+    if (remaining() < 1) return std::nullopt;
+    return data_[pos_++];
+  }
+
+  [[nodiscard]] std::optional<std::uint16_t> read_u16() {
+    return read_be<std::uint16_t>(2);
+  }
+
+  [[nodiscard]] std::optional<std::uint32_t> read_u32() {
+    return read_be<std::uint32_t>(4);
+  }
+
+  [[nodiscard]] std::optional<std::uint64_t> read_u48() {
+    return read_be<std::uint64_t>(6);
+  }
+
+  [[nodiscard]] std::optional<std::uint64_t> read_u64() {
+    return read_be<std::uint64_t>(8);
+  }
+
+  /// Returns a view of the next `count` bytes and advances, or nullopt.
+  [[nodiscard]] std::optional<std::span<const std::uint8_t>> read_bytes(
+      std::size_t count) {
+    if (remaining() < count) return std::nullopt;
+    auto view = data_.subspan(pos_, count);
+    pos_ += count;
+    return view;
+  }
+
+  /// Skips `count` bytes; false if the buffer is too short.
+  [[nodiscard]] bool skip(std::size_t count) {
+    if (remaining() < count) return false;
+    pos_ += count;
+    return true;
+  }
+
+ private:
+  template <typename T>
+  [[nodiscard]] std::optional<T> read_be(std::size_t width) {
+    if (remaining() < width) return std::nullopt;
+    T value = 0;
+    for (std::size_t i = 0; i < width; ++i) {
+      value = static_cast<T>(value << 8 | data_[pos_ + i]);
+    }
+    pos_ += width;
+    return value;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_{0};
+};
+
+}  // namespace rtether

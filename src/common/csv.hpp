@@ -1,0 +1,40 @@
+#pragma once
+
+/// @file csv.hpp
+/// Minimal RFC-4180-style CSV emission for experiment results, so figures
+/// can be re-plotted outside the harness.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rtether {
+
+/// Streams rows to an `std::ostream`; fields containing separators, quotes
+/// or newlines are quoted and escaped.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats arithmetic cells with to_string.
+  template <typename... Fields>
+  void write(const Fields&... fields) {
+    write_row({format(fields)...});
+  }
+
+ private:
+  static std::string format(const std::string& s) { return s; }
+  static std::string format(const char* s) { return s; }
+  template <typename T>
+  static std::string format(const T& v) {
+    return std::to_string(v);
+  }
+
+  static std::string escape(const std::string& field);
+
+  std::ostream& out_;
+};
+
+}  // namespace rtether

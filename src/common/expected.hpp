@@ -1,0 +1,87 @@
+#pragma once
+
+/// @file expected.hpp
+/// A minimal `Expected<T, E>` result type (std::expected is C++23; this
+/// project targets C++20). Public library APIs return `Expected` instead of
+/// throwing: admission rejection, malformed frames and protocol errors are
+/// ordinary outcomes, not exceptional ones.
+
+#include <utility>
+#include <variant>
+
+#include "common/assert.hpp"
+
+namespace rtether {
+
+/// Wraps an error value so `Expected`'s constructors are unambiguous even
+/// when T and E are the same type.
+template <typename E>
+class Unexpected {
+ public:
+  constexpr explicit Unexpected(E error) : error_(std::move(error)) {}
+
+  [[nodiscard]] constexpr const E& error() const& { return error_; }
+  [[nodiscard]] constexpr E&& error() && { return std::move(error_); }
+
+ private:
+  E error_;
+};
+
+template <typename E>
+Unexpected(E) -> Unexpected<E>;
+
+/// Either a value of type T or an error of type E.
+template <typename T, typename E>
+class [[nodiscard]] Expected {
+ public:
+  /// Success.
+  constexpr Expected(T value)  // NOLINT(google-explicit-constructor)
+      : storage_(std::in_place_index<0>, std::move(value)) {}
+
+  /// Failure.
+  constexpr Expected(Unexpected<E> e)  // NOLINT(google-explicit-constructor)
+      : storage_(std::in_place_index<1>, std::move(e).error()) {}
+
+  [[nodiscard]] constexpr bool has_value() const {
+    return storage_.index() == 0;
+  }
+  constexpr explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] constexpr const T& value() const& {
+    RTETHER_ASSERT_MSG(has_value(), "Expected::value() on error state");
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] constexpr T& value() & {
+    RTETHER_ASSERT_MSG(has_value(), "Expected::value() on error state");
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] constexpr T&& value() && {
+    RTETHER_ASSERT_MSG(has_value(), "Expected::value() on error state");
+    return std::get<0>(std::move(storage_));
+  }
+
+  [[nodiscard]] constexpr const E& error() const& {
+    RTETHER_ASSERT_MSG(!has_value(), "Expected::error() on value state");
+    return std::get<1>(storage_);
+  }
+
+  [[nodiscard]] constexpr const T& operator*() const& { return value(); }
+  [[nodiscard]] constexpr const T* operator->() const { return &value(); }
+
+  template <typename U>
+  [[nodiscard]] constexpr T value_or(U&& fallback) const& {
+    return has_value() ? value() : static_cast<T>(std::forward<U>(fallback));
+  }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+/// Specialization-free void result: `Status<E>` is Expected<monostate, E>.
+template <typename E>
+using Status = Expected<std::monostate, E>;
+
+/// Success value for `Status`.
+inline constexpr std::monostate kOk{};
+
+}  // namespace rtether

@@ -1,0 +1,48 @@
+#pragma once
+
+/// @file log.hpp
+/// Leveled diagnostic logging. Off by default (benchmarks and tests must not
+/// drown in trace output); protocol and simulator modules emit at Debug/Trace
+/// for interactive debugging via `set_log_level`.
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace rtether {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Sets the global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+
+/// Current global threshold.
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one line to stderr: "[level] component: message".
+void log_message(LogLevel level, std::string_view component,
+                 std::string_view message);
+
+/// True if a message at `level` would be emitted (guards expensive
+/// formatting at call sites).
+[[nodiscard]] bool log_enabled(LogLevel level);
+
+}  // namespace rtether
+
+/// Stream-style logging macro: RTETHER_LOG(kDebug, "sim", "t=" << now).
+#define RTETHER_LOG(level, component, expr)                            \
+  do {                                                                 \
+    if (::rtether::log_enabled(::rtether::LogLevel::level)) {          \
+      std::ostringstream rtether_log_stream_;                          \
+      rtether_log_stream_ << expr;                                     \
+      ::rtether::log_message(::rtether::LogLevel::level, (component),  \
+                             rtether_log_stream_.str());               \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,67 @@
+#pragma once
+
+/// @file math.hpp
+/// Overflow-aware integer helpers for schedulability arithmetic.
+///
+/// Hyperperiods are least common multiples of user-supplied periods and can
+/// overflow 64 bits for pathological inputs; every operation that can
+/// overflow is available in a checked form so callers can degrade gracefully
+/// (e.g. fall back to the busy-period bound, which never needs the lcm).
+
+#include <cstdint>
+#include <numeric>
+#include <optional>
+
+#include "common/assert.hpp"
+
+namespace rtether {
+
+/// `a * b`, or nullopt on unsigned 64-bit overflow.
+[[nodiscard]] constexpr std::optional<std::uint64_t> checked_mul(
+    std::uint64_t a, std::uint64_t b) {
+  if (a != 0 && b > std::numeric_limits<std::uint64_t>::max() / a) {
+    return std::nullopt;
+  }
+  return a * b;
+}
+
+/// `a + b`, or nullopt on unsigned 64-bit overflow.
+[[nodiscard]] constexpr std::optional<std::uint64_t> checked_add(
+    std::uint64_t a, std::uint64_t b) {
+  if (b > std::numeric_limits<std::uint64_t>::max() - a) {
+    return std::nullopt;
+  }
+  return a + b;
+}
+
+/// Least common multiple, or nullopt on overflow. lcm(0, x) == 0.
+[[nodiscard]] constexpr std::optional<std::uint64_t> checked_lcm(
+    std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  const std::uint64_t g = std::gcd(a, b);
+  return checked_mul(a / g, b);
+}
+
+/// ⌈a / b⌉ for b > 0.
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a,
+                                               std::uint64_t b) {
+  RTETHER_ASSERT(b != 0);
+  return a / b + (a % b != 0 ? 1 : 0);
+}
+
+/// ⌊a / b⌋ for b > 0 (named for symmetry with ceil_div).
+[[nodiscard]] constexpr std::uint64_t floor_div(std::uint64_t a,
+                                                std::uint64_t b) {
+  RTETHER_ASSERT(b != 0);
+  return a / b;
+}
+
+/// Saturating subtraction: max(a - b, 0) without wrap-around.
+[[nodiscard]] constexpr std::uint64_t sat_sub(std::uint64_t a,
+                                              std::uint64_t b) {
+  return a > b ? a - b : 0;
+}
+
+}  // namespace rtether

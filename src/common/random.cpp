@@ -1,0 +1,72 @@
+#include "common/random.hpp"
+
+#include <cmath>
+
+namespace rtether {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) {
+    word = sm.next();
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  RTETHER_ASSERT(lo <= hi);
+  const std::uint64_t span = hi - lo;
+  if (span == std::numeric_limits<std::uint64_t>::max()) {
+    return next_u64();
+  }
+  const std::uint64_t range = span + 1;
+  // Rejection sampling: discard draws from the biased tail.
+  const std::uint64_t limit =
+      std::numeric_limits<std::uint64_t>::max() -
+      (std::numeric_limits<std::uint64_t>::max() % range + 1) % range;
+  std::uint64_t draw = next_u64();
+  while (draw > limit) {
+    draw = next_u64();
+  }
+  return lo + draw % range;
+}
+
+double Rng::uniform_real() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform_real() < p;
+}
+
+double Rng::exponential(double mean) {
+  RTETHER_ASSERT(mean > 0.0);
+  double u = uniform_real();
+  // uniform_real() is in [0,1); guard the log(0) edge.
+  while (u == 0.0) {
+    u = uniform_real();
+  }
+  return -mean * std::log(u);
+}
+
+}  // namespace rtether

@@ -1,0 +1,79 @@
+#pragma once
+
+/// @file random.hpp
+/// Deterministic, seedable pseudo-randomness.
+///
+/// Experiments must be bit-reproducible across platforms and standard-library
+/// versions, so the library carries its own generator (xoshiro256**) and its
+/// own distributions instead of relying on `<random>`'s unspecified
+/// distribution algorithms.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace rtether {
+
+/// SplitMix64 — used to expand a single seed into generator state.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — fast, high-quality, tiny state.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from one 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi], inclusive; unbiased (rejection sampling).
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform in [0, n); n > 0.
+  std::uint64_t index(std::uint64_t n) { return uniform(0, n - 1); }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform_real();
+
+  /// True with probability p (p clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponential variate with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    if (v.empty()) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      using std::swap;
+      swap(v[i], v[static_cast<std::size_t>(uniform(0, i))]);
+    }
+  }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    RTETHER_ASSERT(!v.empty());
+    return v[static_cast<std::size_t>(index(v.size()))];
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace rtether

@@ -1,0 +1,113 @@
+#include "common/rational.hpp"
+
+#include <limits>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace rtether {
+
+namespace {
+
+using detail::Int128;
+
+Int128 gcd128(Int128 a, Int128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    const Int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+bool fits_i64(Int128 v) {
+  return v >= std::numeric_limits<std::int64_t>::min() &&
+         v <= std::numeric_limits<std::int64_t>::max();
+}
+
+}  // namespace
+
+Rational Rational::normalized(detail::Int128 num, detail::Int128 den) {
+  RTETHER_ASSERT_MSG(den != 0, "rational with zero denominator");
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  if (num == 0) {
+    den = 1;
+  } else {
+    const Int128 g = gcd128(num, den);
+    num /= g;
+    den /= g;
+  }
+  RTETHER_ASSERT_MSG(fits_i64(num) && fits_i64(den),
+                     "rational overflow after normalization");
+  Rational r;
+  r.num_ = static_cast<std::int64_t>(num);
+  r.den_ = static_cast<std::int64_t>(den);
+  return r;
+}
+
+Rational::Rational(std::int64_t num, std::int64_t den) {
+  *this = normalized(num, den);
+}
+
+Rational Rational::operator+(const Rational& rhs) const {
+  return normalized(static_cast<Int128>(num_) * rhs.den_ +
+                        static_cast<Int128>(rhs.num_) * den_,
+                    static_cast<Int128>(den_) * rhs.den_);
+}
+
+Rational Rational::operator-(const Rational& rhs) const {
+  return normalized(static_cast<Int128>(num_) * rhs.den_ -
+                        static_cast<Int128>(rhs.num_) * den_,
+                    static_cast<Int128>(den_) * rhs.den_);
+}
+
+Rational Rational::operator*(const Rational& rhs) const {
+  return normalized(static_cast<Int128>(num_) * rhs.num_,
+                    static_cast<Int128>(den_) * rhs.den_);
+}
+
+Rational Rational::operator/(const Rational& rhs) const {
+  RTETHER_ASSERT_MSG(rhs.num_ != 0, "rational division by zero");
+  return normalized(static_cast<Int128>(num_) * rhs.den_,
+                    static_cast<Int128>(den_) * rhs.num_);
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  *this = *this + rhs;
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) {
+  *this = *this - rhs;
+  return *this;
+}
+
+std::strong_ordering Rational::operator<=>(const Rational& rhs) const {
+  const Int128 lhs_scaled = static_cast<Int128>(num_) * rhs.den_;
+  const Int128 rhs_scaled = static_cast<Int128>(rhs.num_) * den_;
+  if (lhs_scaled < rhs_scaled) return std::strong_ordering::less;
+  if (lhs_scaled > rhs_scaled) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+bool Rational::operator==(const Rational& rhs) const {
+  return num_ == rhs.num_ && den_ == rhs.den_;
+}
+
+double Rational::to_double() const {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) {
+    return std::to_string(num_);
+  }
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+}  // namespace rtether

@@ -1,0 +1,64 @@
+#pragma once
+
+/// @file rational.hpp
+/// Exact rational arithmetic for utilization tests.
+///
+/// The Liu & Layland constraint ΣC_i/P_i ≤ 1 (paper Eq 18.2) is a hard
+/// admission boundary; evaluating it in floating point would admit or reject
+/// channels that sit exactly on the boundary depending on summation order.
+/// `Rational` keeps the sum exact: 64-bit numerator/denominator, normalized
+/// after every operation, with 128-bit intermediates and overflow assertions.
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace rtether {
+
+namespace detail {
+/// 128-bit intermediate for overflow-free cross-multiplication.
+/// `__extension__` silences -Wpedantic: __int128 is a GCC/Clang extension,
+/// which this library requires (documented in README prerequisites).
+__extension__ typedef __int128 Int128;
+}  // namespace detail
+
+class Rational {
+ public:
+  /// Zero.
+  constexpr Rational() = default;
+
+  /// `value / 1`.
+  constexpr explicit Rational(std::int64_t value) : num_(value), den_(1) {}
+
+  /// `num / den`; den must be non-zero. The sign lives in the numerator.
+  Rational(std::int64_t num, std::int64_t den);
+
+  [[nodiscard]] constexpr std::int64_t num() const { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const { return den_; }
+
+  [[nodiscard]] Rational operator+(const Rational& rhs) const;
+  [[nodiscard]] Rational operator-(const Rational& rhs) const;
+  [[nodiscard]] Rational operator*(const Rational& rhs) const;
+  [[nodiscard]] Rational operator/(const Rational& rhs) const;
+  Rational& operator+=(const Rational& rhs);
+  Rational& operator-=(const Rational& rhs);
+
+  [[nodiscard]] std::strong_ordering operator<=>(const Rational& rhs) const;
+  [[nodiscard]] bool operator==(const Rational& rhs) const;
+
+  /// Best double approximation (for reporting only, never for decisions).
+  [[nodiscard]] double to_double() const;
+
+  /// "num/den" (or just "num" when den == 1).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  /// Reduces to lowest terms with a positive denominator; asserts that the
+  /// 128-bit intermediate fits back into 64 bits.
+  static Rational normalized(detail::Int128 num, detail::Int128 den);
+
+  std::int64_t num_{0};
+  std::int64_t den_{1};
+};
+
+}  // namespace rtether

@@ -1,0 +1,101 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace rtether {
+
+void RunningStats::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bin_count)
+    : lo_(lo), hi_(hi), bins_(bin_count, 0) {
+  RTETHER_ASSERT(hi > lo);
+  RTETHER_ASSERT(bin_count > 0);
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(bins_.size());
+  auto idx = static_cast<std::int64_t>(std::floor((x - lo_) / width));
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(bins_.size()) - 1);
+  ++bins_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_lower(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(bins_.size());
+  return lo_ + static_cast<double>(i) * width;
+}
+
+double Histogram::quantile(double q) const {
+  RTETHER_ASSERT(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  const double width = (hi_ - lo_) / static_cast<double>(bins_.size());
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(bins_[i]);
+    if (next >= target) {
+      const double inside =
+          bins_[i] == 0 ? 0.0
+                        : (target - cumulative) / static_cast<double>(bins_[i]);
+      return bin_lower(i) + inside * width;
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::ostringstream out;
+  std::uint64_t peak = 0;
+  for (const auto count : bins_) {
+    peak = std::max(peak, count);
+  }
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const auto bar = peak == 0 ? std::size_t{0}
+                               : static_cast<std::size_t>(
+                                     static_cast<double>(bins_[i]) /
+                                     static_cast<double>(peak) *
+                                     static_cast<double>(width));
+    out << "[" << bin_lower(i) << ", " << bin_lower(i + 1) << ") "
+        << std::string(bar, '#') << " " << bins_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace rtether

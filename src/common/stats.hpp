@@ -1,0 +1,64 @@
+#pragma once
+
+/// @file stats.hpp
+/// Streaming statistics used by the simulator's measurement layer.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace rtether {
+
+/// Single-pass mean/variance/min/max (Welford's algorithm). Numerically
+/// stable for long simulation runs.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  /// Merges another accumulator (parallel sweeps reduce partials).
+  void merge(const RunningStats& other);
+
+ private:
+  std::uint64_t count_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{std::numeric_limits<double>::infinity()};
+  double max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range samples land in
+/// saturated edge bins so no observation is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bin_count);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::size_t bin_count() const { return bins_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return bins_.at(i); }
+  [[nodiscard]] double bin_lower(std::size_t i) const;
+
+  /// Smallest x with cumulative probability ≥ q (q in [0,1]); linear
+  /// interpolation inside the bin.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Compact multi-line rendering for console reports.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_{0};
+};
+
+}  // namespace rtether

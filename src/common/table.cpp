@@ -1,0 +1,77 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace rtether {
+
+void ConsoleTable::set_header(std::vector<std::string> header) {
+  RTETHER_ASSERT_MSG(rows_.empty(), "header must precede rows");
+  header_ = std::move(header);
+}
+
+void ConsoleTable::add_row(std::vector<std::string> row) {
+  RTETHER_ASSERT_MSG(header_.empty() || row.size() == header_.size(),
+                     "row arity differs from header");
+  rows_.push_back(std::move(row));
+}
+
+std::string ConsoleTable::format_cell(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+std::string ConsoleTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    widths.resize(std::max(widths.size(), row.size()), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) {
+    widen(row);
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      out << " " << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  auto emit_rule = [&] {
+    out << "+";
+    for (const auto w : widths) {
+      out << std::string(w + 2, '-') << "+";
+    }
+    out << "\n";
+  };
+
+  out << "== " << title_ << " ==\n";
+  emit_rule();
+  if (!header_.empty()) {
+    emit_row(header_);
+    emit_rule();
+  }
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  emit_rule();
+  return out.str();
+}
+
+void ConsoleTable::print() const {
+  const std::string text = render();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace rtether

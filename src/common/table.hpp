@@ -1,0 +1,50 @@
+#pragma once
+
+/// @file table.hpp
+/// Aligned console tables — the bench harness prints every reproduced
+/// paper table/figure as one of these.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rtether {
+
+/// Column-aligned text table with a title row, header row and rule lines.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header; must be called before any row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats each cell with to_string / passes strings through.
+  template <typename... Cells>
+  void add(const Cells&... cells) {
+    add_row({format_cell(cells)...});
+  }
+
+  /// Renders the table to a string (trailing newline included).
+  [[nodiscard]] std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  static std::string format_cell(const std::string& s) { return s; }
+  static std::string format_cell(const char* s) { return s; }
+  static std::string format_cell(double v);
+  template <typename T>
+  static std::string format_cell(const T& v) {
+    return std::to_string(v);
+  }
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rtether

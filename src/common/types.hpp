@@ -1,0 +1,70 @@
+#pragma once
+
+/// @file types.hpp
+/// Strongly typed identifiers and time units shared across the library.
+///
+/// The paper expresses every analysis quantity — period P, capacity C,
+/// deadline d — as a number of maximum-sized-frame transmission times
+/// ("slots"). The simulator runs on a finer integer grid ("ticks") so that
+/// sub-slot latencies (propagation, switch processing) are representable.
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace rtether {
+
+/// Analysis time unit: one slot = transmission time of one maximal frame.
+using Slot = std::uint64_t;
+
+/// Simulation time unit; `SimConfig::ticks_per_slot` sets the granularity.
+using Tick = std::uint64_t;
+
+/// Sentinel for "no deadline / unbounded".
+inline constexpr Tick kTickInfinity = std::numeric_limits<Tick>::max();
+
+/// A type-safe integer identifier. `Tag` makes NodeId, ChannelId, ... into
+/// distinct, non-convertible types while keeping them trivially copyable.
+template <typename Tag, typename Rep>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+ private:
+  Rep value_{};
+};
+
+struct NodeIdTag {};
+struct ChannelIdTag {};
+struct RequestIdTag {};
+
+/// End-node identifier (dense, assigned by the network builder).
+using NodeId = StrongId<NodeIdTag, std::uint32_t>;
+
+/// Network-unique RT channel identifier. 16 bits on the wire (Fig 18.3).
+using ChannelId = StrongId<ChannelIdTag, std::uint16_t>;
+
+/// Source-node-unique connection request identifier. 8 bits on the wire.
+using ConnectionRequestId = StrongId<RequestIdTag, std::uint8_t>;
+
+}  // namespace rtether
+
+namespace std {
+
+template <typename Tag, typename Rep>
+struct hash<rtether::StrongId<Tag, Rep>> {
+  size_t operator()(rtether::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+
+}  // namespace std

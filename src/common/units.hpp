@@ -1,0 +1,43 @@
+#pragma once
+
+/// @file units.hpp
+/// Physical-unit helpers tying the abstract "slot" (one maximum-sized frame
+/// transmission) to wall-clock time for a given Ethernet flavour.
+///
+/// The paper's analysis never needs these — everything is slot-denominated —
+/// but examples and docs report real latencies for a 100 Mbit/s network,
+/// matching the paper's industrial setting.
+
+#include <cstdint>
+
+namespace rtether {
+
+/// Maximum Ethernet frame as it occupies the wire: 1500 payload + 18
+/// header/FCS + 8 preamble/SFD + 12 interframe gap.
+inline constexpr std::uint64_t kMaxFrameWireBytes = 1538;
+
+/// Minimum wire occupancy of an Ethernet frame (64 + preamble + IFG).
+inline constexpr std::uint64_t kMinFrameWireBytes = 84;
+
+/// Common link rates, bits per second.
+enum class LinkRate : std::uint64_t {
+  kFast100M = 100'000'000,
+  kGigabit = 1'000'000'000,
+};
+
+/// Duration of one slot (one maximal frame) in nanoseconds at `rate`.
+[[nodiscard]] constexpr std::uint64_t slot_duration_ns(LinkRate rate) {
+  return kMaxFrameWireBytes * 8 * 1'000'000'000ULL /
+         static_cast<std::uint64_t>(rate);
+}
+
+/// Converts a slot count to microseconds at `rate` (rounded down).
+[[nodiscard]] constexpr std::uint64_t slots_to_us(std::uint64_t slots,
+                                                  LinkRate rate) {
+  return slots * slot_duration_ns(rate) / 1000;
+}
+
+static_assert(slot_duration_ns(LinkRate::kFast100M) == 123'040,
+              "one max frame at 100 Mbit/s is 123.04 us");
+
+}  // namespace rtether

@@ -1,0 +1,124 @@
+#include "core/admission.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace rtether::core {
+
+const char* to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kInvalidSpec:
+      return "invalid spec";
+    case RejectReason::kUnknownNode:
+      return "unknown node";
+    case RejectReason::kUplinkInfeasible:
+      return "uplink infeasible";
+    case RejectReason::kDownlinkInfeasible:
+      return "downlink infeasible";
+    case RejectReason::kChannelIdsExhausted:
+      return "channel IDs exhausted";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(
+    std::uint32_t node_count, std::unique_ptr<DeadlinePartitioner> partitioner,
+    AdmissionConfig config)
+    : state_(node_count),
+      partitioner_(std::move(partitioner)),
+      config_(config) {
+  RTETHER_ASSERT_MSG(partitioner_ != nullptr,
+                     "admission control requires a DPS (paper §18.4: the "
+                     "system cannot operate without one)");
+}
+
+edf::FeasibilityReport AdmissionController::test_link(NodeId node,
+                                                      LinkDirection dir) {
+  ++stats_.feasibility_tests;
+  auto report = edf::check_feasibility(state_.link(node, dir), config_.scan);
+  stats_.demand_evaluations += report.demand_evaluations;
+  return report;
+}
+
+Expected<RtChannel, Rejection> AdmissionController::request(
+    const ChannelSpec& spec) {
+  ++stats_.requested;
+  auto reject = [&](RejectReason reason,
+                    std::string detail) -> Expected<RtChannel, Rejection> {
+    ++stats_.rejected;
+    return Unexpected(Rejection{reason, std::move(detail)});
+  };
+
+  if (!spec.valid()) {
+    std::ostringstream detail;
+    detail << spec.to_string() << " is invalid";
+    if (spec.period > 0 && spec.capacity > 0 && spec.deadline < 2 * spec.capacity) {
+      detail << " (d < 2C cannot be EDF-feasible through a store-and-forward"
+                " switch)";
+    }
+    return reject(RejectReason::kInvalidSpec, detail.str());
+  }
+  if (!state_.node_exists(spec.source) ||
+      !state_.node_exists(spec.destination)) {
+    return reject(RejectReason::kUnknownNode, spec.to_string());
+  }
+
+  const auto id = ids_.allocate();
+  if (!id) {
+    return reject(RejectReason::kChannelIdsExhausted, spec.to_string());
+  }
+
+  const auto candidates = partitioner_->candidates(spec, state_);
+  RTETHER_ASSERT_MSG(!candidates.empty(), "DPS returned no candidates");
+
+  RejectReason last_reason = RejectReason::kUplinkInfeasible;
+  std::string last_detail;
+  for (const auto& partition : candidates) {
+    RTETHER_ASSERT_MSG(partition.satisfies(spec),
+                       "DPS candidate violates Eq 18.8/18.9");
+    const RtChannel channel{*id, spec, partition};
+
+    // Tentatively install both pseudo-tasks, test, and roll back on failure
+    // — rejection must leave the system state untouched.
+    state_.add_channel(channel);
+    const auto uplink_report =
+        test_link(spec.source, LinkDirection::kUplink);
+    if (!uplink_report.feasible) {
+      state_.remove_channel(*id);
+      last_reason = RejectReason::kUplinkInfeasible;
+      last_detail = "uplink of node" +
+                    std::to_string(spec.source.value()) + ": " +
+                    uplink_report.summary();
+      continue;
+    }
+    const auto downlink_report =
+        test_link(spec.destination, LinkDirection::kDownlink);
+    if (!downlink_report.feasible) {
+      state_.remove_channel(*id);
+      last_reason = RejectReason::kDownlinkInfeasible;
+      last_detail = "downlink of node" +
+                    std::to_string(spec.destination.value()) + ": " +
+                    downlink_report.summary();
+      continue;
+    }
+
+    ++stats_.accepted;
+    return channel;
+  }
+
+  ids_.release(*id);
+  return reject(last_reason, last_detail);
+}
+
+bool AdmissionController::release(ChannelId id) {
+  if (!state_.remove_channel(id)) {
+    return false;
+  }
+  const bool was_live = ids_.release(id);
+  RTETHER_ASSERT_MSG(was_live, "channel present in state but ID not live");
+  ++stats_.released;
+  return true;
+}
+
+}  // namespace rtether::core

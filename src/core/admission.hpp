@@ -1,0 +1,94 @@
+#pragma once
+
+/// @file admission.hpp
+/// The switch's admission control (paper §18.2.2/§18.3.2): on each channel
+/// request, test whether the system state stays feasible with the new
+/// channel's two pseudo-tasks added — utilization (Eq 18.2) and processor
+/// demand (Eq 18.3, scanned per Eqs 18.4/18.5) on the source uplink and the
+/// destination downlink. Rejected requests leave no residue.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/expected.hpp"
+#include "core/channel.hpp"
+#include "core/id_allocator.hpp"
+#include "core/network_state.hpp"
+#include "core/partitioner.hpp"
+#include "edf/feasibility.hpp"
+
+namespace rtether::core {
+
+/// Why a request was refused.
+enum class RejectReason : std::uint8_t {
+  kInvalidSpec,         ///< malformed {P, C, d} (includes d_i < 2·C_i)
+  kUnknownNode,         ///< source or destination not in the network
+  kUplinkInfeasible,    ///< no candidate kept the source uplink feasible
+  kDownlinkInfeasible,  ///< no candidate kept the destination downlink feasible
+  kChannelIdsExhausted, ///< all 65535 16-bit IDs live
+};
+
+[[nodiscard]] const char* to_string(RejectReason reason);
+
+/// Rejection verdict with the failing link's feasibility report.
+struct Rejection {
+  RejectReason reason;
+  std::string detail;
+};
+
+/// Tuning knobs for the admission controller.
+struct AdmissionConfig {
+  /// Demand-scan strategy for constraint 2 (paper default: checkpoints).
+  edf::DemandScan scan{edf::DemandScan::kCheckpoints};
+};
+
+/// Running acceptance statistics.
+struct AdmissionStats {
+  std::uint64_t requested{0};
+  std::uint64_t accepted{0};
+  std::uint64_t rejected{0};
+  std::uint64_t released{0};
+  /// Total feasibility tests run (≥ 2 per candidate partition tried).
+  std::uint64_t feasibility_tests{0};
+  /// Total demand-function evaluations across all tests (ablation metric).
+  std::uint64_t demand_evaluations{0};
+};
+
+class AdmissionController {
+ public:
+  /// A star network with `node_count` end-nodes; `partitioner` implements
+  /// the DPS in force (the paper's switch is configured with one scheme).
+  AdmissionController(std::uint32_t node_count,
+                      std::unique_ptr<DeadlinePartitioner> partitioner,
+                      AdmissionConfig config = {});
+
+  /// Handles a channel request end-to-end: validate, partition, test both
+  /// affected link directions, and either commit the channel (assigning a
+  /// network-unique ID) or reject with a reason. Never leaves tentative
+  /// state behind.
+  [[nodiscard]] Expected<RtChannel, Rejection> request(
+      const ChannelSpec& spec);
+
+  /// Releases an established channel (teardown); false if unknown.
+  bool release(ChannelId id);
+
+  [[nodiscard]] const NetworkState& state() const { return state_; }
+  [[nodiscard]] const AdmissionStats& stats() const { return stats_; }
+  [[nodiscard]] const DeadlinePartitioner& partitioner() const {
+    return *partitioner_;
+  }
+
+ private:
+  /// Tests one link direction with the candidate task tentatively added.
+  [[nodiscard]] edf::FeasibilityReport test_link(NodeId node,
+                                                 LinkDirection dir);
+
+  NetworkState state_;
+  std::unique_ptr<DeadlinePartitioner> partitioner_;
+  AdmissionConfig config_;
+  ChannelIdAllocator ids_;
+  AdmissionStats stats_;
+};
+
+}  // namespace rtether::core

@@ -1,0 +1,21 @@
+#include "core/channel.hpp"
+
+#include <sstream>
+
+namespace rtether::core {
+
+std::string ChannelSpec::to_string() const {
+  std::ostringstream out;
+  out << "node" << source.value() << "->node" << destination.value() << " {P="
+      << period << ", C=" << capacity << ", d=" << deadline << "}";
+  return out.str();
+}
+
+std::string RtChannel::to_string() const {
+  std::ostringstream out;
+  out << "ch" << id.value() << " " << spec.to_string() << " split {d_iu="
+      << partition.uplink << ", d_id=" << partition.downlink << "}";
+  return out.str();
+}
+
+}  // namespace rtether::core

@@ -1,0 +1,86 @@
+#pragma once
+
+/// @file channel.hpp
+/// RT channels (paper §18.2.2): virtual connections between two end-nodes
+/// with a periodic traffic contract {P_i, C_i, d_i}, all in units of
+/// maximal-sized frames (slots).
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace rtether::core {
+
+/// The traffic contract requested for an RT channel.
+struct ChannelSpec {
+  /// Sending end-node (its uplink carries the channel).
+  NodeId source;
+  /// Receiving end-node (its downlink carries the channel).
+  NodeId destination;
+  /// P_i — slots between message releases.
+  Slot period{0};
+  /// C_i — frames (slots of link time) per message.
+  Slot capacity{0};
+  /// d_i — relative end-to-end deadline, slots.
+  Slot deadline{0};
+
+  /// Structural validity: positive period/capacity, capacity within the
+  /// period, and d_i ≥ 2·C_i — the paper's hard lower bound for a
+  /// store-and-forward switch (§18.4: each of the two per-link deadlines
+  /// must be at least the capacity).
+  [[nodiscard]] bool valid() const {
+    return period > 0 && capacity > 0 && capacity <= period &&
+           deadline >= 2 * capacity;
+  }
+
+  /// Utilization contributed to each traversed link direction, as a double
+  /// (reporting only).
+  [[nodiscard]] double utilization() const {
+    return static_cast<double>(capacity) / static_cast<double>(period);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const ChannelSpec&, const ChannelSpec&) = default;
+};
+
+/// How a channel's end-to-end deadline is split across its two hops
+/// (paper Eq 18.8: d_i = d_iu + d_id; Eq 18.9: both ≥ C_i).
+struct DeadlinePartition {
+  /// d_iu — uplink (source → switch) deadline budget, slots.
+  Slot uplink{0};
+  /// d_id — downlink (switch → destination) deadline budget, slots.
+  Slot downlink{0};
+
+  /// Eq 18.11's Upart = d_iu / d_i for reporting.
+  [[nodiscard]] double uplink_fraction() const {
+    const Slot total = uplink + downlink;
+    return total == 0 ? 0.0
+                      : static_cast<double>(uplink) /
+                            static_cast<double>(total);
+  }
+
+  /// Checks Eqs 18.8/18.9 against a spec.
+  [[nodiscard]] bool satisfies(const ChannelSpec& spec) const {
+    return uplink + downlink == spec.deadline && uplink >= spec.capacity &&
+           downlink >= spec.capacity;
+  }
+
+  friend bool operator==(const DeadlinePartition&,
+                         const DeadlinePartition&) = default;
+};
+
+/// An established RT channel: the admitted spec, its network-unique ID and
+/// the deadline partition it was admitted under.
+struct RtChannel {
+  ChannelId id;
+  ChannelSpec spec;
+  DeadlinePartition partition;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const RtChannel&, const RtChannel&) = default;
+};
+
+}  // namespace rtether::core

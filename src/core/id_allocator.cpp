@@ -1,0 +1,42 @@
+#include "core/id_allocator.hpp"
+
+namespace rtether::core {
+
+std::optional<ChannelId> ChannelIdAllocator::allocate() {
+  if (live_count_ >= 65535) {
+    return std::nullopt;
+  }
+  std::uint32_t candidate = next_hint_;
+  // At least one free slot exists; wrap at most once.
+  for (std::uint32_t scanned = 0; scanned < 65535; ++scanned) {
+    if (candidate > 0xffff) {
+      candidate = 1;
+    }
+    if (!live_[candidate]) {
+      live_[candidate] = true;
+      ++live_count_;
+      next_hint_ = candidate + 1;
+      return ChannelId(static_cast<std::uint16_t>(candidate));
+    }
+    ++candidate;
+  }
+  return std::nullopt;  // unreachable: live_count_ < 65535
+}
+
+bool ChannelIdAllocator::release(ChannelId id) {
+  if (id == kInvalid || !live_[id.value()]) {
+    return false;
+  }
+  live_[id.value()] = false;
+  --live_count_;
+  if (id.value() < next_hint_) {
+    next_hint_ = id.value();
+  }
+  return true;
+}
+
+bool ChannelIdAllocator::is_live(ChannelId id) const {
+  return id != kInvalid && live_[id.value()];
+}
+
+}  // namespace rtether::core

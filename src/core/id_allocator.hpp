@@ -1,0 +1,43 @@
+#pragma once
+
+/// @file id_allocator.hpp
+/// Network-unique RT channel ID allocation. The wire format gives the ID
+/// 16 bits (Fig 18.3); ID 0 is reserved as "not set with a valid value yet"
+/// (§18.2.2), so at most 65535 channels can be live at once.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rtether::core {
+
+class ChannelIdAllocator {
+ public:
+  ChannelIdAllocator() = default;
+
+  /// The reserved invalid ID (0).
+  static constexpr ChannelId kInvalid{0};
+
+  /// Allocates the smallest free non-zero ID; nullopt when all 65535 IDs
+  /// are live. Freed IDs are reused smallest-first, which keeps IDs dense —
+  /// useful for table-indexed lookups at the switch.
+  [[nodiscard]] std::optional<ChannelId> allocate();
+
+  /// Returns an ID to the pool; false if it was not live (double free).
+  bool release(ChannelId id);
+
+  [[nodiscard]] bool is_live(ChannelId id) const;
+
+  [[nodiscard]] std::size_t live_count() const { return live_count_; }
+
+ private:
+  /// live_[v] == true when ID v is allocated. Index 0 never allocated.
+  std::vector<bool> live_ = std::vector<bool>(65536, false);
+  std::size_t live_count_{0};
+  /// Smallest ID that might be free; scan resumes here.
+  std::uint32_t next_hint_{1};
+};
+
+}  // namespace rtether::core

@@ -1,0 +1,227 @@
+#include "core/multihop.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace rtether::core {
+
+bool MultihopChannel::partition_valid() const {
+  if (path.empty() || path.size() != deadlines.size()) {
+    return false;
+  }
+  Slot sum = 0;
+  for (const Slot d : deadlines) {
+    if (d < spec.capacity) return false;  // Eq 18.9 per hop
+    sum += d;
+  }
+  return sum == spec.deadline;  // Eq 18.8
+}
+
+PathNetworkState::PathNetworkState(Topology topology)
+    : topology_(std::move(topology)) {}
+
+const edf::TaskSet& PathNetworkState::link(const LinkId& id) const {
+  static const edf::TaskSet kEmpty;
+  const auto it = links_.find(id);
+  return it == links_.end() ? kEmpty : it->second;
+}
+
+void PathNetworkState::add_channel(const MultihopChannel& channel) {
+  RTETHER_ASSERT_MSG(channel.partition_valid(),
+                     "multi-hop partition violates generalized Eq 18.8/18.9");
+  RTETHER_ASSERT_MSG(!channels_.contains(channel.id),
+                     "duplicate RT channel ID");
+  for (std::size_t hop = 0; hop < channel.path.size(); ++hop) {
+    links_[channel.path[hop]].add({channel.id, channel.spec.period,
+                                   channel.spec.capacity,
+                                   channel.deadlines[hop]});
+  }
+  channels_.emplace(channel.id, channel);
+}
+
+bool PathNetworkState::remove_channel(ChannelId id) {
+  const auto it = channels_.find(id);
+  if (it == channels_.end()) {
+    return false;
+  }
+  for (const auto& link : it->second.path) {
+    const bool removed = links_[link].remove(id);
+    RTETHER_ASSERT_MSG(removed, "channel registry out of sync");
+  }
+  channels_.erase(it);
+  return true;
+}
+
+std::optional<MultihopChannel> PathNetworkState::find_channel(
+    ChannelId id) const {
+  const auto it = channels_.find(id);
+  if (it == channels_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Slot> PathPartitioner::apportion(
+    Slot deadline, Slot capacity, const std::vector<double>& weights) {
+  const auto hops = weights.size();
+  RTETHER_ASSERT(hops >= 1);
+  RTETHER_ASSERT_MSG(deadline >= capacity * hops,
+                     "deadline below k*C cannot be apportioned");
+  const Slot surplus = deadline - capacity * hops;
+
+  double weight_sum = 0.0;
+  for (const double w : weights) {
+    RTETHER_ASSERT(w >= 0.0);
+    weight_sum += w;
+  }
+
+  // Base share C per hop; surplus by largest remainder over weights.
+  std::vector<Slot> budgets(hops, capacity);
+  if (surplus == 0) {
+    return budgets;
+  }
+  if (weight_sum <= 0.0) {
+    // Degenerate: spread evenly, leftovers to the front hops.
+    const Slot each = surplus / hops;
+    Slot leftover = surplus % hops;
+    for (auto& b : budgets) {
+      b += each + (leftover > 0 ? 1 : 0);
+      if (leftover > 0) --leftover;
+    }
+    return budgets;
+  }
+
+  std::vector<double> remainders(hops);
+  Slot assigned = 0;
+  for (std::size_t i = 0; i < hops; ++i) {
+    const double exact =
+        static_cast<double>(surplus) * weights[i] / weight_sum;
+    const Slot whole = static_cast<Slot>(exact);
+    budgets[i] += whole;
+    assigned += whole;
+    remainders[i] = exact - static_cast<double>(whole);
+  }
+  // Distribute the remaining slots to the largest remainders (stable by
+  // index on ties, so the result is deterministic).
+  std::vector<std::size_t> order(hops);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t lhs, std::size_t rhs) {
+                     return remainders[lhs] > remainders[rhs];
+                   });
+  Slot leftover = surplus - assigned;
+  for (std::size_t i = 0; leftover > 0; i = (i + 1) % hops, --leftover) {
+    budgets[order[i]] += 1;
+  }
+  return budgets;
+}
+
+std::vector<Slot> SymmetricPathPartitioner::split(
+    const ChannelSpec& spec, const std::vector<LinkId>& path,
+    const PathNetworkState& /*state*/) const {
+  return apportion(spec.deadline, spec.capacity,
+                   std::vector<double>(path.size(), 1.0));
+}
+
+std::vector<Slot> AsymmetricPathPartitioner::split(
+    const ChannelSpec& spec, const std::vector<LinkId>& path,
+    const PathNetworkState& state) const {
+  std::vector<double> weights;
+  weights.reserve(path.size());
+  for (const auto& link : path) {
+    weights.push_back(static_cast<double>(state.link_load(link) + 1));
+  }
+  return apportion(spec.deadline, spec.capacity, weights);
+}
+
+std::unique_ptr<PathPartitioner> make_path_partitioner(
+    const std::string& name) {
+  if (name == "SDPS") return std::make_unique<SymmetricPathPartitioner>();
+  if (name == "ADPS") return std::make_unique<AsymmetricPathPartitioner>();
+  RTETHER_ASSERT_MSG(false, "unknown path partitioner name");
+  return nullptr;
+}
+
+PathAdmissionController::PathAdmissionController(
+    Topology topology, std::unique_ptr<PathPartitioner> partitioner,
+    AdmissionConfig config)
+    : state_(std::move(topology)),
+      partitioner_(std::move(partitioner)),
+      config_(config) {
+  RTETHER_ASSERT_MSG(partitioner_ != nullptr, "admission requires a DPS");
+}
+
+Expected<MultihopChannel, Rejection> PathAdmissionController::request(
+    const ChannelSpec& spec) {
+  ++stats_.requested;
+  auto reject = [&](RejectReason reason,
+                    std::string detail) -> Expected<MultihopChannel,
+                                                    Rejection> {
+    ++stats_.rejected;
+    return Unexpected(Rejection{reason, std::move(detail)});
+  };
+
+  // Structural validity minus the 2C rule, which generalizes per path.
+  if (spec.period == 0 || spec.capacity == 0 ||
+      spec.capacity > spec.period || spec.deadline == 0) {
+    return reject(RejectReason::kInvalidSpec, spec.to_string());
+  }
+  if (!state_.topology().attachment(spec.source) ||
+      !state_.topology().attachment(spec.destination)) {
+    return reject(RejectReason::kUnknownNode, spec.to_string());
+  }
+  const auto path = state_.topology().route(spec.source, spec.destination);
+  if (!path) {
+    return reject(RejectReason::kUnknownNode,
+                  spec.to_string() + " (no route)");
+  }
+  if (spec.deadline < spec.capacity * path->size()) {
+    return reject(RejectReason::kInvalidSpec,
+                  spec.to_string() + " (d < k*C over a " +
+                      std::to_string(path->size()) + "-hop path)");
+  }
+
+  const auto id = ids_.allocate();
+  if (!id) {
+    return reject(RejectReason::kChannelIdsExhausted, spec.to_string());
+  }
+
+  MultihopChannel channel;
+  channel.id = *id;
+  channel.spec = spec;
+  channel.path = *path;
+  channel.deadlines = partitioner_->split(spec, *path, state_);
+  RTETHER_ASSERT_MSG(channel.partition_valid(),
+                     "path partitioner produced an invalid split");
+
+  state_.add_channel(channel);
+  for (std::size_t hop = 0; hop < channel.path.size(); ++hop) {
+    ++stats_.feasibility_tests;
+    const auto report =
+        edf::check_feasibility(state_.link(channel.path[hop]), config_.scan);
+    stats_.demand_evaluations += report.demand_evaluations;
+    if (!report.feasible) {
+      state_.remove_channel(*id);
+      ids_.release(*id);
+      const bool is_uplink =
+          channel.path[hop].kind == LinkId::Kind::kUplink;
+      return reject(is_uplink ? RejectReason::kUplinkInfeasible
+                              : RejectReason::kDownlinkInfeasible,
+                    channel.path[hop].to_string() + ": " + report.summary());
+    }
+  }
+  ++stats_.accepted;
+  return channel;
+}
+
+bool PathAdmissionController::release(ChannelId id) {
+  if (!state_.remove_channel(id)) {
+    return false;
+  }
+  const bool was_live = ids_.release(id);
+  RTETHER_ASSERT_MSG(was_live, "channel present but ID not live");
+  ++stats_.released;
+  return true;
+}
+
+}  // namespace rtether::core

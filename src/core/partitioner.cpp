@@ -1,0 +1,112 @@
+#include "core/partitioner.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/assert.hpp"
+
+namespace rtether::core {
+
+DeadlinePartition DeadlinePartitioner::partition(
+    const ChannelSpec& spec, const NetworkState& state) const {
+  const auto list = candidates(spec, state);
+  RTETHER_ASSERT_MSG(!list.empty(), "partitioner produced no candidates");
+  return list.front();
+}
+
+DeadlinePartition DeadlinePartitioner::clamped(Slot uplink_budget,
+                                               const ChannelSpec& spec) {
+  RTETHER_ASSERT_MSG(spec.valid(), "cannot partition an invalid spec");
+  const Slot lo = spec.capacity;
+  const Slot hi = spec.deadline - spec.capacity;  // keep d_id ≥ C_i
+  const Slot uplink = std::clamp(uplink_budget, lo, hi);
+  return DeadlinePartition{uplink, spec.deadline - uplink};
+}
+
+std::vector<DeadlinePartition> SymmetricPartitioner::candidates(
+    const ChannelSpec& spec, const NetworkState& /*state*/) const {
+  // Eq 18.14: d_iu = d_id = d_i/2 — SDPS ignores the system state.
+  return {clamped(spec.deadline / 2, spec)};
+}
+
+std::vector<DeadlinePartition> AsymmetricPartitioner::candidates(
+    const ChannelSpec& spec, const NetworkState& state) const {
+  const std::size_t bump = options_.include_requested_channel ? 1 : 0;
+  const std::uint64_t load_up =
+      state.link_load(spec.source, LinkDirection::kUplink) + bump;
+  const std::uint64_t load_down =
+      state.link_load(spec.destination, LinkDirection::kDownlink) + bump;
+  const std::uint64_t total = load_up + load_down;
+  if (total == 0) {
+    // Only possible with include_requested_channel = false on idle links;
+    // degenerate to the symmetric split.
+    return {clamped(spec.deadline / 2, spec)};
+  }
+  // Eq 18.16: Upart = LL(src) / (LL(src) + LL(dst)); d_iu = Upart · d_i.
+  const std::uint64_t numerator = load_up * spec.deadline;
+  const Slot uplink = options_.round_to_nearest
+                          ? (numerator + total / 2) / total
+                          : numerator / total;
+  return {clamped(uplink, spec)};
+}
+
+std::vector<DeadlinePartition> UtilizationWeightedPartitioner::candidates(
+    const ChannelSpec& spec, const NetworkState& state) const {
+  // Load weights, not admission decisions — doubles are fine here.
+  const double own = spec.utilization();
+  const double up =
+      state.link(spec.source, LinkDirection::kUplink).utilization() + own;
+  const double down =
+      state.link(spec.destination, LinkDirection::kDownlink).utilization() +
+      own;
+  const double total = up + down;
+  if (total <= 0.0) {
+    return {clamped(spec.deadline / 2, spec)};
+  }
+  const auto uplink = static_cast<Slot>(
+      up / total * static_cast<double>(spec.deadline) + 0.5);
+  return {clamped(uplink, spec)};
+}
+
+std::vector<DeadlinePartition> SearchPartitioner::candidates(
+    const ChannelSpec& spec, const NetworkState& state) const {
+  // Anchor at the ADPS proposal, then fan out over every admissible split,
+  // nearest first — the admission controller stops at the first feasible.
+  const DeadlinePartition anchor =
+      AsymmetricPartitioner().partition(spec, state);
+  const Slot lo = spec.capacity;
+  const Slot hi = spec.deadline - spec.capacity;
+
+  std::vector<DeadlinePartition> result;
+  result.reserve(static_cast<std::size_t>(hi - lo + 1));
+  result.push_back(anchor);
+  for (Slot offset = 1;; ++offset) {
+    bool any = false;
+    if (anchor.uplink + offset <= hi) {
+      result.push_back({anchor.uplink + offset,
+                        spec.deadline - (anchor.uplink + offset)});
+      any = true;
+    }
+    if (anchor.uplink >= lo + offset) {
+      result.push_back({anchor.uplink - offset,
+                        spec.deadline - (anchor.uplink - offset)});
+      any = true;
+    }
+    if (!any) break;
+  }
+  return result;
+}
+
+std::unique_ptr<DeadlinePartitioner> make_partitioner(
+    const std::string& name) {
+  if (name == "SDPS") return std::make_unique<SymmetricPartitioner>();
+  if (name == "ADPS") return std::make_unique<AsymmetricPartitioner>();
+  if (name == "UDPS") {
+    return std::make_unique<UtilizationWeightedPartitioner>();
+  }
+  if (name == "Search") return std::make_unique<SearchPartitioner>();
+  RTETHER_ASSERT_MSG(false, "unknown partitioner name");
+  return nullptr;
+}
+
+}  // namespace rtether::core

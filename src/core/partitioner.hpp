@@ -1,0 +1,111 @@
+#pragma once
+
+/// @file partitioner.hpp
+/// Deadline-partitioning schemes (paper §18.4). A DPS maps each channel's
+/// end-to-end deadline d_i to the pair {d_iu, d_id} with d_i = d_iu + d_id
+/// (Eq 18.8) and d_iu, d_id ≥ C_i (Eq 18.9). The paper frames a DPS as a
+/// function of the whole system state (Eq 18.13) — hence partitioners see
+/// the `NetworkState`, not just the spec.
+///
+/// A partitioner proposes an ordered list of candidate partitions; the
+/// admission controller admits the channel under the first candidate whose
+/// two pseudo-tasks keep both affected link directions feasible. SDPS and
+/// ADPS propose exactly one candidate (the paper's behaviour); the search
+/// partitioner (an extension exercising the paper's "more flexible
+/// feasibility test" motivation) proposes several.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/network_state.hpp"
+
+namespace rtether::core {
+
+class DeadlinePartitioner {
+ public:
+  virtual ~DeadlinePartitioner() = default;
+
+  /// Candidate partitions in preference order. Every returned candidate
+  /// satisfies Eqs 18.8/18.9 for `spec`; specs must be `valid()`.
+  [[nodiscard]] virtual std::vector<DeadlinePartition> candidates(
+      const ChannelSpec& spec, const NetworkState& state) const = 0;
+
+  /// Scheme name for reports ("SDPS", "ADPS", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Single best candidate (the first); convenience for tests and docs.
+  [[nodiscard]] DeadlinePartition partition(const ChannelSpec& spec,
+                                            const NetworkState& state) const;
+
+ protected:
+  /// Clamps an uplink budget into [C_i, d_i − C_i] and derives the downlink
+  /// share so Eq 18.8 holds exactly.
+  [[nodiscard]] static DeadlinePartition clamped(Slot uplink_budget,
+                                                 const ChannelSpec& spec);
+};
+
+/// SDPS — Symmetric Deadline Partitioning Scheme (paper §18.4.1, Eq 18.14):
+/// d_iu = d_id = d_i / 2, independent of the system state. Odd deadlines
+/// give the spare slot to the downlink (⌊d/2⌋ up, ⌈d/2⌉ down).
+class SymmetricPartitioner final : public DeadlinePartitioner {
+ public:
+  [[nodiscard]] std::vector<DeadlinePartition> candidates(
+      const ChannelSpec& spec, const NetworkState& state) const override;
+  [[nodiscard]] std::string name() const override { return "SDPS"; }
+};
+
+/// Options for ADPS variants; the defaults reproduce the paper.
+struct AdpsOptions {
+  /// Count the requested channel itself in both link loads (so the very
+  /// first channel on an idle pair splits 1:1 instead of 0/0).
+  bool include_requested_channel{true};
+  /// Round Upart·d_i to nearest (true) or truncate (false).
+  bool round_to_nearest{true};
+};
+
+/// ADPS — Asymmetric Deadline Partitioning Scheme (paper §18.4.2,
+/// Eqs 18.16/18.17): split proportionally to LinkLoad so bottleneck links
+/// (e.g. master uplinks) receive the larger share of the deadline.
+class AsymmetricPartitioner final : public DeadlinePartitioner {
+ public:
+  AsymmetricPartitioner() = default;
+  explicit AsymmetricPartitioner(AdpsOptions options) : options_(options) {}
+
+  [[nodiscard]] std::vector<DeadlinePartition> candidates(
+      const ChannelSpec& spec, const NetworkState& state) const override;
+  [[nodiscard]] std::string name() const override { return "ADPS"; }
+
+  [[nodiscard]] const AdpsOptions& options() const { return options_; }
+
+ private:
+  AdpsOptions options_{};
+};
+
+/// Extension: like ADPS but weighted by exact link *utilization* (ΣC/P)
+/// instead of channel count — heavier channels pull more deadline budget.
+class UtilizationWeightedPartitioner final : public DeadlinePartitioner {
+ public:
+  [[nodiscard]] std::vector<DeadlinePartition> candidates(
+      const ChannelSpec& spec, const NetworkState& state) const override;
+  [[nodiscard]] std::string name() const override { return "UDPS"; }
+};
+
+/// Extension: exhaustive fallback. Proposes the ADPS split first, then every
+/// other admissible split ordered by distance from it. Realizes the paper's
+/// "more flexible feasibility test" ambition: a channel is rejected only if
+/// *no* partition keeps the system feasible (at greater admission cost).
+class SearchPartitioner final : public DeadlinePartitioner {
+ public:
+  [[nodiscard]] std::vector<DeadlinePartition> candidates(
+      const ChannelSpec& spec, const NetworkState& state) const override;
+  [[nodiscard]] std::string name() const override { return "Search"; }
+};
+
+/// Factory by scheme name ("SDPS", "ADPS", "UDPS", "Search") for harnesses;
+/// asserts on unknown names.
+[[nodiscard]] std::unique_ptr<DeadlinePartitioner> make_partitioner(
+    const std::string& name);
+
+}  // namespace rtether::core

@@ -1,0 +1,134 @@
+#include "core/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace rtether::core {
+
+std::string LinkId::to_string() const {
+  std::ostringstream out;
+  switch (kind) {
+    case Kind::kUplink:
+      out << "up(n" << a << ")";
+      break;
+    case Kind::kDownlink:
+      out << "down(n" << a << ")";
+      break;
+    case Kind::kTrunk:
+      out << "trunk(s" << a << "->s" << b << ")";
+      break;
+  }
+  return out.str();
+}
+
+Topology::Topology(std::uint32_t node_count, std::uint32_t switch_count)
+    : attachment_(node_count), adjacency_(switch_count) {
+  RTETHER_ASSERT_MSG(switch_count >= 1, "fabric needs at least one switch");
+}
+
+Topology Topology::single_switch(std::uint32_t node_count) {
+  Topology topology(node_count, 1);
+  for (std::uint32_t n = 0; n < node_count; ++n) {
+    topology.attach_node(NodeId{n}, SwitchId{0});
+  }
+  return topology;
+}
+
+Topology Topology::switch_line(std::uint32_t switch_count,
+                               std::uint32_t nodes_per_switch) {
+  Topology topology(switch_count * nodes_per_switch, switch_count);
+  for (std::uint32_t s = 0; s < switch_count; ++s) {
+    for (std::uint32_t k = 0; k < nodes_per_switch; ++k) {
+      topology.attach_node(NodeId{s * nodes_per_switch + k}, SwitchId{s});
+    }
+    if (s + 1 < switch_count) {
+      topology.connect_switches(SwitchId{s}, SwitchId{s + 1});
+    }
+  }
+  return topology;
+}
+
+void Topology::attach_node(NodeId node, SwitchId sw) {
+  RTETHER_ASSERT(node.value() < attachment_.size());
+  RTETHER_ASSERT(sw.value() < adjacency_.size());
+  attachment_[node.value()] = sw.value();
+}
+
+void Topology::connect_switches(SwitchId a, SwitchId b) {
+  RTETHER_ASSERT(a.value() < adjacency_.size());
+  RTETHER_ASSERT(b.value() < adjacency_.size());
+  RTETHER_ASSERT_MSG(a != b, "trunk endpoints must differ");
+  auto insert_sorted = [](std::vector<std::uint32_t>& list,
+                          std::uint32_t value) {
+    const auto it = std::lower_bound(list.begin(), list.end(), value);
+    if (it == list.end() || *it != value) {
+      list.insert(it, value);
+    }
+  };
+  insert_sorted(adjacency_[a.value()], b.value());
+  insert_sorted(adjacency_[b.value()], a.value());
+}
+
+std::optional<SwitchId> Topology::attachment(NodeId node) const {
+  if (node.value() >= attachment_.size() ||
+      !attachment_[node.value()].has_value()) {
+    return std::nullopt;
+  }
+  return SwitchId{*attachment_[node.value()]};
+}
+
+const std::vector<std::uint32_t>& Topology::neighbours(SwitchId sw) const {
+  RTETHER_ASSERT(sw.value() < adjacency_.size());
+  return adjacency_[sw.value()];
+}
+
+std::optional<std::vector<LinkId>> Topology::route(NodeId src,
+                                                   NodeId dst) const {
+  const auto src_switch = attachment(src);
+  const auto dst_switch = attachment(dst);
+  if (!src_switch || !dst_switch) {
+    return std::nullopt;
+  }
+
+  // BFS over the switch graph; neighbours are sorted, so the discovered
+  // shortest path is deterministic (lowest-ID tie-break).
+  std::vector<std::int64_t> parent(adjacency_.size(), -1);
+  std::deque<std::uint32_t> frontier;
+  parent[src_switch->value()] = static_cast<std::int64_t>(src_switch->value());
+  frontier.push_back(src_switch->value());
+  while (!frontier.empty() && parent[dst_switch->value()] < 0) {
+    const std::uint32_t current = frontier.front();
+    frontier.pop_front();
+    for (const std::uint32_t next : adjacency_[current]) {
+      if (parent[next] < 0) {
+        parent[next] = current;
+        frontier.push_back(next);
+      }
+    }
+  }
+  if (parent[dst_switch->value()] < 0) {
+    return std::nullopt;  // disconnected fabric
+  }
+
+  std::vector<std::uint32_t> switch_path{dst_switch->value()};
+  while (switch_path.back() != src_switch->value()) {
+    switch_path.push_back(
+        static_cast<std::uint32_t>(parent[switch_path.back()]));
+  }
+  std::reverse(switch_path.begin(), switch_path.end());
+
+  std::vector<LinkId> links;
+  links.reserve(switch_path.size() + 1);
+  links.push_back(LinkId::uplink(src));
+  for (std::size_t i = 0; i + 1 < switch_path.size(); ++i) {
+    links.push_back(
+        LinkId::trunk(SwitchId{switch_path[i]}, SwitchId{switch_path[i + 1]}));
+  }
+  links.push_back(LinkId::downlink(dst));
+  return links;
+}
+
+}  // namespace rtether::core

@@ -1,0 +1,118 @@
+#pragma once
+
+/// @file topology.hpp
+/// Multi-switch topologies — the paper's stated future work ("networks
+/// consisting of many interconnected switches", §18.5), realized at the
+/// admission-analysis level.
+///
+/// End-nodes attach to switches; switches interconnect by full-duplex
+/// trunks. A channel's path is uplink → zero or more trunk hops → downlink;
+/// each *directed* link on the path is an independent EDF "processor"
+/// exactly as in the single-switch model (which is the special case of one
+/// switch and a two-link path).
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rtether::core {
+
+struct SwitchIdTag {};
+/// Identifier of a switch in a multi-switch fabric.
+using SwitchId = StrongId<SwitchIdTag, std::uint32_t>;
+
+/// A directed link in the fabric.
+struct LinkId {
+  enum class Kind : std::uint8_t {
+    kUplink,    ///< end-node → its switch (a = node id)
+    kDownlink,  ///< switch → end-node (a = node id)
+    kTrunk,     ///< switch a → switch b (directed)
+  };
+
+  Kind kind{Kind::kUplink};
+  std::uint32_t a{0};
+  std::uint32_t b{0};
+
+  static LinkId uplink(NodeId node) {
+    return {Kind::kUplink, node.value(), 0};
+  }
+  static LinkId downlink(NodeId node) {
+    return {Kind::kDownlink, node.value(), 0};
+  }
+  static LinkId trunk(SwitchId from, SwitchId to) {
+    return {Kind::kTrunk, from.value(), to.value()};
+  }
+
+  friend constexpr auto operator<=>(const LinkId&, const LinkId&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A star-of-stars fabric: switches in an arbitrary connected graph,
+/// end-nodes attached one switch each.
+class Topology {
+ public:
+  /// `node_count` end-nodes (initially unattached), `switch_count` switches.
+  Topology(std::uint32_t node_count, std::uint32_t switch_count);
+
+  /// Builds the paper's single-switch star over `node_count` nodes.
+  static Topology single_switch(std::uint32_t node_count);
+
+  /// A line of `switch_count` switches with `nodes_per_switch` nodes each
+  /// (node IDs assigned switch-major).
+  static Topology switch_line(std::uint32_t switch_count,
+                              std::uint32_t nodes_per_switch);
+
+  [[nodiscard]] std::uint32_t node_count() const {
+    return static_cast<std::uint32_t>(attachment_.size());
+  }
+  [[nodiscard]] std::uint32_t switch_count() const {
+    return static_cast<std::uint32_t>(adjacency_.size());
+  }
+
+  /// Attaches a node to a switch (must be done for every node before
+  /// routing).
+  void attach_node(NodeId node, SwitchId sw);
+
+  /// Adds a full-duplex trunk (both directed links) between two switches.
+  void connect_switches(SwitchId a, SwitchId b);
+
+  /// The switch a node is attached to.
+  [[nodiscard]] std::optional<SwitchId> attachment(NodeId node) const;
+
+  /// The directed links a channel src→dst traverses: uplink, trunk hops
+  /// along a shortest switch path (BFS, deterministic tie-break by lowest
+  /// switch ID), downlink. nullopt when unattached or disconnected.
+  [[nodiscard]] std::optional<std::vector<LinkId>> route(NodeId src,
+                                                         NodeId dst) const;
+
+  /// Trunk neighbourhood of a switch (for diagnostics/tests).
+  [[nodiscard]] const std::vector<std::uint32_t>& neighbours(
+      SwitchId sw) const;
+
+ private:
+  /// attachment_[node] = switch id (or none).
+  std::vector<std::optional<std::uint32_t>> attachment_;
+  /// adjacency_[switch] = sorted neighbour switch ids.
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+};
+
+}  // namespace rtether::core
+
+namespace std {
+
+template <>
+struct hash<rtether::core::LinkId> {
+  size_t operator()(const rtether::core::LinkId& link) const noexcept {
+    const auto kind = static_cast<size_t>(link.kind);
+    return kind ^ (static_cast<size_t>(link.a) << 2) ^
+           (static_cast<size_t>(link.b) << 34);
+  }
+};
+
+}  // namespace std

@@ -1,0 +1,43 @@
+#include "edf/busy_period.hpp"
+
+#include "common/math.hpp"
+#include "edf/utilization.hpp"
+
+namespace rtether::edf {
+
+namespace {
+
+/// W(L) = Σ ⌈L / P_i⌉ · C_i, or nullopt on overflow.
+std::optional<Slot> workload(const TaskSet& set, Slot length) {
+  Slot total = 0;
+  for (const auto& task : set.tasks()) {
+    const auto jobs = ceil_div(length, task.period);
+    const auto contribution = checked_mul(jobs, task.capacity);
+    if (!contribution) return std::nullopt;
+    const auto sum = checked_add(total, *contribution);
+    if (!sum) return std::nullopt;
+    total = *sum;
+  }
+  return total;
+}
+
+}  // namespace
+
+std::optional<Slot> busy_period(const TaskSet& set) {
+  if (set.empty()) {
+    return Slot{0};
+  }
+  // With U > 1 the iteration diverges; refuse up front.
+  if (utilization_exceeds_one(set)) {
+    return std::nullopt;
+  }
+  Slot length = set.total_capacity();
+  for (;;) {
+    const auto next = workload(set, length);
+    if (!next) return std::nullopt;
+    if (*next == length) return length;
+    length = *next;  // strictly increasing while not at the fixed point
+  }
+}
+
+}  // namespace rtether::edf

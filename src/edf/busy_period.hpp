@@ -1,0 +1,25 @@
+#pragma once
+
+/// @file busy_period.hpp
+/// The first (synchronous) busy period of paper Eq 18.4: the interval from
+/// the synchronous release at the hyperperiod start until the link first
+/// goes idle. Demand violations, if any, occur inside this interval, so the
+/// feasibility test only needs to scan t ∈ [1, BusyPeriod(n)].
+
+#include <optional>
+
+#include "common/types.hpp"
+#include "edf/task_set.hpp"
+
+namespace rtether::edf {
+
+/// Length of the first busy period: the least fixed point L > 0 of
+///   W(L) = Σ ⌈L / P_i⌉ · C_i
+/// computed by the standard increasing iteration from L₀ = ΣC_i.
+///
+/// Returns nullopt when the iteration cannot converge (utilization > 1) or
+/// the intermediate workload overflows; callers run the utilization test
+/// first, so nullopt means "infeasible already".
+[[nodiscard]] std::optional<Slot> busy_period(const TaskSet& set);
+
+}  // namespace rtether::edf

@@ -1,0 +1,38 @@
+#include "edf/checkpoints.hpp"
+
+#include <algorithm>
+
+#include "common/math.hpp"
+
+namespace rtether::edf {
+
+std::vector<Slot> checkpoints(const TaskSet& set, Slot bound) {
+  std::vector<Slot> points;
+  for (const auto& task : set.tasks()) {
+    for (Slot t = task.deadline; t <= bound; t += task.period) {
+      if (t >= 1) {
+        points.push_back(t);
+      }
+      // Guard wrap-around for enormous periods near the Slot range end.
+      if (bound - t < task.period) {
+        break;
+      }
+    }
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  return points;
+}
+
+std::uint64_t checkpoint_count_upper_bound(const TaskSet& set, Slot bound) {
+  std::uint64_t count = 0;
+  for (const auto& task : set.tasks()) {
+    if (task.deadline > bound) {
+      continue;
+    }
+    count += 1 + (bound - task.deadline) / task.period;
+  }
+  return count;
+}
+
+}  // namespace rtether::edf

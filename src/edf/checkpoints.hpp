@@ -1,0 +1,26 @@
+#pragma once
+
+/// @file checkpoints.hpp
+/// The deadline checkpoint set of paper Eq 18.5:
+///
+///   t ∈ ∪_{i=1..Q} { m·P_i + d_i : m = 0, 1, … }
+///
+/// restricted to [1, bound]. The demand function h(n, t) only steps at these
+/// instants, so testing h(n, t) ≤ t there is equivalent to testing every t.
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "edf/task_set.hpp"
+
+namespace rtether::edf {
+
+/// All checkpoints in [1, bound], sorted ascending, deduplicated.
+[[nodiscard]] std::vector<Slot> checkpoints(const TaskSet& set, Slot bound);
+
+/// Number of checkpoints in [1, bound] without materializing them
+/// (upper bound — duplicates across tasks are counted once per task).
+[[nodiscard]] std::uint64_t checkpoint_count_upper_bound(const TaskSet& set,
+                                                         Slot bound);
+
+}  // namespace rtether::edf

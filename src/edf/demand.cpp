@@ -1,0 +1,28 @@
+#include "edf/demand.hpp"
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+
+namespace rtether::edf {
+
+Slot task_demand(const PseudoTask& task, Slot t) {
+  if (t < task.deadline) {
+    return 0;
+  }
+  const Slot jobs = 1 + (t - task.deadline) / task.period;
+  const auto contribution = checked_mul(jobs, task.capacity);
+  RTETHER_ASSERT_MSG(contribution.has_value(), "demand overflow");
+  return *contribution;
+}
+
+Slot demand(const TaskSet& set, Slot t) {
+  Slot total = 0;
+  for (const auto& task : set.tasks()) {
+    const auto sum = checked_add(total, task_demand(task, t));
+    RTETHER_ASSERT_MSG(sum.has_value(), "demand overflow");
+    total = *sum;
+  }
+  return total;
+}
+
+}  // namespace rtether::edf

@@ -1,0 +1,23 @@
+#pragma once
+
+/// @file demand.hpp
+/// The processor-demand (workload) function h(n, t) of paper Eq 18.3:
+///
+///   h(n, t) = Σ_{i : d_i ≤ t} (1 + ⌊(t − d_i) / P_i⌋) · C_i
+///
+/// i.e. the total capacity of all jobs released from the synchronous start
+/// whose absolute deadlines fall at or before t. EDF feasibility on the link
+/// is equivalent to h(n, t) ≤ t for all t (second constraint, §18.3.2).
+
+#include "common/types.hpp"
+#include "edf/task_set.hpp"
+
+namespace rtether::edf {
+
+/// Demand of a single task at time t (0 when t < deadline).
+[[nodiscard]] Slot task_demand(const PseudoTask& task, Slot t);
+
+/// h(n, t) over the whole task set.
+[[nodiscard]] Slot demand(const TaskSet& set, Slot t);
+
+}  // namespace rtether::edf

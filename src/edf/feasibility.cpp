@@ -1,0 +1,123 @@
+#include "edf/feasibility.hpp"
+
+#include <sstream>
+
+#include "common/math.hpp"
+#include "edf/busy_period.hpp"
+#include "edf/checkpoints.hpp"
+#include "edf/demand.hpp"
+#include "edf/hyperperiod.hpp"
+#include "edf/utilization.hpp"
+
+namespace rtether::edf {
+
+namespace {
+
+/// Scans h(n,t) ≤ t at the given instants; records the first violation.
+bool scan_demand(const TaskSet& set, const std::vector<Slot>& instants,
+                 FeasibilityReport& report) {
+  for (const Slot t : instants) {
+    ++report.demand_evaluations;
+    const Slot h = demand(set, t);
+    if (h > t) {
+      report.feasible = false;
+      report.reason = InfeasibleReason::kDemandExceeded;
+      report.violation_time = t;
+      report.violation_demand = h;
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Slot> every_slot(Slot bound) {
+  std::vector<Slot> instants;
+  instants.reserve(static_cast<std::size_t>(bound));
+  for (Slot t = 1; t <= bound; ++t) {
+    instants.push_back(t);
+  }
+  return instants;
+}
+
+}  // namespace
+
+FeasibilityReport check_feasibility(const TaskSet& set, DemandScan scan) {
+  FeasibilityReport report;
+  report.utilization = set.utilization();
+
+  // Constraint 1 (Eq 18.2): utilization must not exceed 100 % — decided
+  // exactly (see utilization.hpp).
+  if (utilization_exceeds_one(set)) {
+    report.feasible = false;
+    report.reason = InfeasibleReason::kUtilizationExceeded;
+    return report;
+  }
+
+  // Liu & Layland fast path: with d_i == P_i for every task, U ≤ 1 is
+  // necessary and sufficient — no demand scan required.
+  if (set.all_implicit_deadline()) {
+    report.feasible = true;
+    report.used_utilization_fast_path = true;
+    return report;
+  }
+
+  const auto bp = busy_period(set);
+  // U ≤ 1 guarantees convergence; overflow would need astronomically large
+  // capacities, which `PseudoTask::valid()` rules out in practice.
+  RTETHER_ASSERT_MSG(bp.has_value(), "busy period diverged despite U <= 1");
+
+  Slot bound = *bp;
+  if (scan == DemandScan::kExhaustive) {
+    // Oracle bound: one full hyperperiod past the largest deadline covers
+    // every distinct demand pattern.
+    if (const auto h = hyperperiod(set)) {
+      if (const auto sum = checked_add(*h, set.max_deadline())) {
+        bound = std::max(bound, *sum);
+      }
+    }
+  }
+  report.scanned_bound = bound;
+
+  const std::vector<Slot> instants = scan == DemandScan::kCheckpoints
+                                         ? checkpoints(set, bound)
+                                         : every_slot(bound);
+  report.feasible = scan_demand(set, instants, report);
+  if (report.feasible) {
+    report.reason = InfeasibleReason::kNone;
+  }
+  return report;
+}
+
+bool is_feasible(const TaskSet& set, DemandScan scan) {
+  return check_feasibility(set, scan).feasible;
+}
+
+std::string FeasibilityReport::summary() const {
+  std::ostringstream out;
+  if (feasible) {
+    out << "feasible (U=" << utilization;
+    if (used_utilization_fast_path) {
+      out << ", Liu&Layland fast path";
+    } else {
+      out << ", scanned " << demand_evaluations << " instants up to t="
+          << scanned_bound;
+    }
+    out << ")";
+    return out.str();
+  }
+  switch (reason) {
+    case InfeasibleReason::kUtilizationExceeded:
+      out << "infeasible: utilization " << utilization << " > 1";
+      break;
+    case InfeasibleReason::kDemandExceeded:
+      out << "infeasible: demand " << violation_demand.value_or(0) << " > t="
+          << violation_time.value_or(0);
+      break;
+    case InfeasibleReason::kNone:
+      out << "infeasible: (unspecified)";
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace rtether::edf

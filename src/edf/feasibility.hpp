@@ -1,0 +1,79 @@
+#pragma once
+
+/// @file feasibility.hpp
+/// The two-constraint EDF feasibility test of paper §18.3.2:
+///
+///   1. utilization ΣC_i/P_i ≤ 1                       (Eq 18.2)
+///   2. h(n, t) ≤ t for all t                          (Eq 18.3)
+///
+/// with the paper's two refinements of constraint 2: scan only the first
+/// busy period (Eq 18.4) and only the deadline checkpoints (Eq 18.5), plus
+/// the Liu & Layland shortcut — when every deadline equals its period,
+/// constraint 1 alone is necessary and sufficient.
+///
+/// Three interchangeable scan strategies are provided so the ablation bench
+/// can quantify the refinements and property tests can cross-validate them.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+#include "edf/task_set.hpp"
+
+namespace rtether::edf {
+
+/// How constraint 2 (demand criterion) is scanned.
+enum class DemandScan {
+  /// Every integer slot t in [1, busy period]. Correct but slow; the
+  /// reference for cross-validation.
+  kEverySlot,
+  /// Only the checkpoints of Eq 18.5 within [1, busy period] — the paper's
+  /// algorithm and the library default.
+  kCheckpoints,
+  /// Every integer slot t in [1, hyperperiod + max deadline]. Exhaustive
+  /// oracle for tests; falls back to the busy-period bound when the
+  /// hyperperiod overflows 64 bits.
+  kExhaustive,
+};
+
+/// Why a task set was declared infeasible.
+enum class InfeasibleReason {
+  kNone,                 ///< feasible
+  kUtilizationExceeded,  ///< constraint 1 violated (U > 1)
+  kDemandExceeded,       ///< constraint 2 violated at `violation_time`
+};
+
+/// Outcome of a feasibility check, with enough detail for diagnostics and
+/// for the admission controller's reject messages.
+struct FeasibilityReport {
+  bool feasible{false};
+  InfeasibleReason reason{InfeasibleReason::kNone};
+  /// Utilization of the task set (double — reporting only; the constraint
+  /// itself is decided by `utilization_exceeds_one`).
+  double utilization{0.0};
+  /// First instant where h(n,t) > t (only for kDemandExceeded).
+  std::optional<Slot> violation_time;
+  /// Demand at the violating instant (only for kDemandExceeded).
+  std::optional<Slot> violation_demand;
+  /// Busy-period length actually scanned (0 when the Liu & Layland fast
+  /// path or the utilization test decided).
+  Slot scanned_bound{0};
+  /// Number of demand evaluations performed (ablation metric).
+  std::uint64_t demand_evaluations{0};
+  /// True when the Liu & Layland implicit-deadline shortcut decided.
+  bool used_utilization_fast_path{false};
+
+  /// Human-readable one-line summary.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Runs the full two-constraint test with the chosen demand scan.
+[[nodiscard]] FeasibilityReport check_feasibility(
+    const TaskSet& set, DemandScan scan = DemandScan::kCheckpoints);
+
+/// Convenience: true iff `check_feasibility(set, scan).feasible`.
+[[nodiscard]] bool is_feasible(const TaskSet& set,
+                               DemandScan scan = DemandScan::kCheckpoints);
+
+}  // namespace rtether::edf

@@ -1,0 +1,17 @@
+#include "edf/hyperperiod.hpp"
+
+#include "common/math.hpp"
+
+namespace rtether::edf {
+
+std::optional<Slot> hyperperiod(const TaskSet& set) {
+  Slot acc = 1;
+  for (const auto& task : set.tasks()) {
+    const auto next = checked_lcm(acc, task.period);
+    if (!next) return std::nullopt;
+    acc = *next;
+  }
+  return acc;
+}
+
+}  // namespace rtether::edf

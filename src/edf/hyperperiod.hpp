@@ -1,0 +1,19 @@
+#pragma once
+
+/// @file hyperperiod.hpp
+/// Hyperperiod of a task set (paper §18.3.2): the lcm of all periods — the
+/// time from a synchronous release until the release pattern repeats.
+
+#include <optional>
+
+#include "common/types.hpp"
+#include "edf/task_set.hpp"
+
+namespace rtether::edf {
+
+/// lcm of all periods, or nullopt on 64-bit overflow (the feasibility test
+/// never requires the hyperperiod — the busy-period bound is tighter — so
+/// overflow only degrades diagnostics, not decisions). Empty set → 1.
+[[nodiscard]] std::optional<Slot> hyperperiod(const TaskSet& set);
+
+}  // namespace rtether::edf

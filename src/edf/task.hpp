@@ -1,0 +1,38 @@
+#pragma once
+
+/// @file task.hpp
+/// The pseudo-task abstraction of paper §18.3.2/§18.4: each RT channel is
+/// split into an uplink task and a downlink task; each full-duplex link
+/// direction acts as an independent single "processor" scheduling its tasks
+/// with EDF. Capacity C plays the role of worst-case execution time.
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace rtether::edf {
+
+/// One periodic pseudo-task on one link direction. All quantities are in
+/// slots (maximum-sized-frame transmission times), exactly as in the paper.
+struct PseudoTask {
+  /// RT channel this task was derived from (Fig 18.3's 16-bit channel ID).
+  ChannelId channel;
+  /// Period P_i: one message of C_i frames is released every `period` slots.
+  Slot period{0};
+  /// Capacity C_i: frames per period; the task's WCET on the link.
+  Slot capacity{0};
+  /// Relative deadline on this link: d_iu or d_id depending on direction.
+  Slot deadline{0};
+
+  /// Structural sanity: period and capacity positive, capacity within the
+  /// period (a link cannot carry more than one frame per slot).
+  [[nodiscard]] bool valid() const {
+    return period > 0 && capacity > 0 && capacity <= period && deadline > 0;
+  }
+
+  /// True when EDF's constrained-deadline assumption d ≤ P holds.
+  [[nodiscard]] bool constrained() const { return deadline <= period; }
+
+  friend bool operator==(const PseudoTask&, const PseudoTask&) = default;
+};
+
+}  // namespace rtether::edf

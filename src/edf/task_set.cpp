@@ -1,0 +1,71 @@
+#include "edf/task_set.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace rtether::edf {
+
+TaskSet::TaskSet(std::vector<PseudoTask> tasks) {
+  for (const auto& task : tasks) {
+    add(task);
+  }
+}
+
+void TaskSet::add(const PseudoTask& task) {
+  RTETHER_ASSERT_MSG(task.valid(), "invalid pseudo-task");
+  RTETHER_ASSERT_MSG(!contains(task.channel),
+                     "channel already has a task on this link direction");
+  tasks_.push_back(task);
+  utilization_ += static_cast<double>(task.capacity) /
+                  static_cast<double>(task.period);
+  total_capacity_ += task.capacity;
+}
+
+bool TaskSet::remove(ChannelId channel) {
+  const auto it =
+      std::find_if(tasks_.begin(), tasks_.end(),
+                   [&](const PseudoTask& t) { return t.channel == channel; });
+  if (it == tasks_.end()) {
+    return false;
+  }
+  utilization_ -= static_cast<double>(it->capacity) /
+                  static_cast<double>(it->period);
+  total_capacity_ -= it->capacity;
+  tasks_.erase(it);
+  if (tasks_.empty()) {
+    utilization_ = 0.0;  // cancel accumulated floating-point drift
+  }
+  return true;
+}
+
+bool TaskSet::contains(ChannelId channel) const {
+  return std::any_of(tasks_.begin(), tasks_.end(), [&](const PseudoTask& t) {
+    return t.channel == channel;
+  });
+}
+
+bool TaskSet::all_implicit_deadline() const {
+  return std::all_of(tasks_.begin(), tasks_.end(), [](const PseudoTask& t) {
+    return t.deadline == t.period;
+  });
+}
+
+Slot TaskSet::max_deadline() const {
+  Slot best = 0;
+  for (const auto& t : tasks_) {
+    best = std::max(best, t.deadline);
+  }
+  return best;
+}
+
+Slot TaskSet::min_deadline() const {
+  if (tasks_.empty()) return 0;
+  Slot best = tasks_.front().deadline;
+  for (const auto& t : tasks_) {
+    best = std::min(best, t.deadline);
+  }
+  return best;
+}
+
+}  // namespace rtether::edf

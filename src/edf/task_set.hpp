@@ -1,0 +1,64 @@
+#pragma once
+
+/// @file task_set.hpp
+/// The set of pseudo-tasks scheduled on one link direction, with the exact
+/// utilization sum maintained incrementally so admission control can add and
+/// remove channels in O(1) utilization updates.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "edf/task.hpp"
+
+namespace rtether::edf {
+
+class TaskSet {
+ public:
+  TaskSet() = default;
+
+  /// Builds from a task list (tests, benches).
+  explicit TaskSet(std::vector<PseudoTask> tasks);
+
+  /// Adds a task. Asserts the task is `valid()` and its channel is not
+  /// already present (one channel contributes at most one task per link
+  /// direction).
+  void add(const PseudoTask& task);
+
+  /// Removes the task belonging to `channel`; false if absent.
+  bool remove(ChannelId channel);
+
+  /// True if a task for `channel` is present.
+  [[nodiscard]] bool contains(ChannelId channel) const;
+
+  [[nodiscard]] std::span<const PseudoTask> tasks() const { return tasks_; }
+  [[nodiscard]] std::size_t size() const { return tasks_.size(); }
+  [[nodiscard]] bool empty() const { return tasks_.empty(); }
+
+  /// ΣC_i/P_i as a double — for reporting and load-weighting only. The
+  /// admission *constraint* (Eq 18.2) is evaluated exactly by
+  /// `edf::utilization_exceeds_one` (see utilization.hpp for why).
+  [[nodiscard]] double utilization() const { return utilization_; }
+
+  /// ΣC_i — the length of the initial backlog when all tasks release
+  /// together; the busy-period iteration starts here.
+  [[nodiscard]] Slot total_capacity() const { return total_capacity_; }
+
+  /// True when every task has deadline == period, in which case Liu &
+  /// Layland's utilization bound alone decides feasibility (paper §18.3.2).
+  [[nodiscard]] bool all_implicit_deadline() const;
+
+  /// Largest relative deadline in the set (0 if empty).
+  [[nodiscard]] Slot max_deadline() const;
+
+  /// Smallest relative deadline in the set (0 if empty).
+  [[nodiscard]] Slot min_deadline() const;
+
+ private:
+  std::vector<PseudoTask> tasks_;
+  double utilization_{0.0};
+  Slot total_capacity_{0};
+};
+
+}  // namespace rtether::edf

@@ -1,0 +1,85 @@
+#include "edf/utilization.hpp"
+
+#include <numeric>
+
+#include "common/math.hpp"
+
+namespace rtether::edf {
+
+namespace {
+
+__extension__ typedef unsigned __int128 UInt128;
+
+constexpr UInt128 kU128Max = ~UInt128{0};
+
+/// Exact accumulation of the fractional parts in 128 bits; false when the
+/// running denominator (lcm of periods) no longer fits.
+bool exact_exceeds_one(const TaskSet& set, bool& exceeded) {
+  std::uint64_t whole = 0;  // tasks with C == P contribute exactly 1
+  UInt128 num = 0;
+  UInt128 den = 1;
+  for (const auto& task : set.tasks()) {
+    whole += task.capacity / task.period;
+    const std::uint64_t cf = task.capacity % task.period;
+    if (cf == 0) continue;
+    const std::uint64_t period = task.period;
+
+    // den' = lcm(den, period); reject on 128-bit overflow.
+    const std::uint64_t g = std::gcd(static_cast<std::uint64_t>(den % period),
+                                     period);
+    const std::uint64_t scale = period / g;
+    if (scale != 0 && den > kU128Max / scale) return false;
+    const UInt128 new_den = den * scale;
+    const UInt128 num_scale = new_den / den;
+    const UInt128 term_scale = new_den / period;
+    if (num != 0 && num_scale != 0 && num > kU128Max / num_scale) {
+      return false;
+    }
+    UInt128 scaled_num = num * num_scale;
+    if (term_scale != 0 && UInt128{cf} > (kU128Max - scaled_num) / term_scale) {
+      return false;
+    }
+    num = scaled_num + UInt128{cf} * term_scale;
+    den = new_den;
+
+    // Peel off whole units to keep num small.
+    if (num >= den) {
+      const UInt128 units = num / den;
+      if (units > 0xffffffffULL) {
+        exceeded = true;  // utilization is absurdly large; decide now
+        return true;
+      }
+      whole += static_cast<std::uint64_t>(units);
+      num %= den;
+    }
+    if (whole > 1 || (whole == 1 && num > 0)) {
+      exceeded = true;
+      return true;
+    }
+  }
+  exceeded = whole > 1 || (whole == 1 && num > 0);
+  return true;
+}
+
+/// Fixed-point upper bound: Σ ⌈C·2³²/P⌉ / 2³² ≥ U, so comparing the sum
+/// against 2³² can only over-report "exceeds".
+bool upper_bound_exceeds_one(const TaskSet& set) {
+  UInt128 upper = 0;
+  for (const auto& task : set.tasks()) {
+    const UInt128 scaled = (UInt128{task.capacity} << 32) + task.period - 1;
+    upper += scaled / task.period;
+  }
+  return upper > (UInt128{1} << 32);
+}
+
+}  // namespace
+
+bool utilization_exceeds_one(const TaskSet& set) {
+  bool exceeded = false;
+  if (exact_exceeds_one(set, exceeded)) {
+    return exceeded;
+  }
+  return upper_bound_exceeds_one(set);
+}
+
+}  // namespace rtether::edf

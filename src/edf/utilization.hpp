@@ -1,0 +1,25 @@
+#pragma once
+
+/// @file utilization.hpp
+/// Constraint 1 of the feasibility test (paper Eq 18.2): ΣC_i/P_i ≤ 1.
+///
+/// Evaluating the sum in floating point would make boundary admissions
+/// (U exactly 1) depend on summation order; evaluating it as one exact
+/// fraction can overflow any fixed width (the common denominator is the lcm
+/// of the periods, which explodes for coprime period sets). The test here
+/// is exact whenever the running denominator fits in 128 bits — which
+/// covers every realistic industrial period set — and otherwise falls back
+/// to a fixed-point *upper bound* on U, i.e. it degrades by rejecting a
+/// borderline-feasible set (by < n·2⁻³², never the other way). Admission
+/// control must never accept an infeasible set; conservatively rejecting a
+/// pathological one is the safe failure mode.
+
+#include "edf/task_set.hpp"
+
+namespace rtether::edf {
+
+/// True iff ΣC_i/P_i > 1 (with the conservative fallback described above,
+/// which can only turn "≤ 1 by a hair" into "exceeds").
+[[nodiscard]] bool utilization_exceeds_one(const TaskSet& set);
+
+}  // namespace rtether::edf

@@ -1,0 +1,106 @@
+#include "net/address.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace rtether::net {
+
+namespace {
+
+std::optional<unsigned> parse_hex_octet(std::string_view text) {
+  if (text.size() != 2) return std::nullopt;
+  unsigned value = 0;
+  for (const char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<unsigned>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<unsigned>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<unsigned>(c - 'A' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+MacAddress MacAddress::from_u48(std::uint64_t value) {
+  RTETHER_ASSERT_MSG((value >> 48) == 0, "MAC value exceeds 48 bits");
+  std::array<std::uint8_t, 6> octets{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    octets[i] = static_cast<std::uint8_t>(value >> (40 - 8 * i));
+  }
+  return MacAddress(octets);
+}
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  if (text.size() != 17) return std::nullopt;
+  std::array<std::uint8_t, 6> octets{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    const std::size_t offset = i * 3;
+    if (i > 0 && text[offset - 1] != ':') return std::nullopt;
+    const auto octet = parse_hex_octet(text.substr(offset, 2));
+    if (!octet) return std::nullopt;
+    octets[i] = static_cast<std::uint8_t>(*octet);
+  }
+  return MacAddress(octets);
+}
+
+std::uint64_t MacAddress::to_u48() const {
+  std::uint64_t value = 0;
+  for (const auto octet : octets_) {
+    value = value << 8 | octet;
+  }
+  return value;
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0],
+                octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+bool MacAddress::is_broadcast() const {
+  return to_u48() == 0xffff'ffff'ffffULL;
+}
+
+MacAddress broadcast_mac() { return MacAddress::from_u48(0xffff'ffff'ffffULL); }
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::array<std::uint32_t, 4> parts{};
+  std::size_t part = 0;
+  std::size_t digits = 0;
+  for (const char c : text) {
+    if (c == '.') {
+      if (digits == 0 || part == 3) return std::nullopt;
+      ++part;
+      digits = 0;
+    } else if (c >= '0' && c <= '9') {
+      parts[part] = parts[part] * 10 + static_cast<std::uint32_t>(c - '0');
+      if (parts[part] > 255) return std::nullopt;
+      ++digits;
+      if (digits > 3) return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (part != 3 || digits == 0) return std::nullopt;
+  return Ipv4Address(static_cast<std::uint8_t>(parts[0]),
+                     static_cast<std::uint8_t>(parts[1]),
+                     static_cast<std::uint8_t>(parts[2]),
+                     static_cast<std::uint8_t>(parts[3]));
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", value_ >> 24 & 0xff,
+                value_ >> 16 & 0xff, value_ >> 8 & 0xff, value_ & 0xff);
+  return buf;
+}
+
+}  // namespace rtether::net

@@ -1,0 +1,100 @@
+#pragma once
+
+/// @file address.hpp
+/// MAC and IPv4 address value types with parsing/formatting, as used by the
+/// establishment frames (Fig 18.3) and the RT deadline encoding (§18.2.2).
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rtether::net {
+
+/// 48-bit IEEE MAC address.
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+
+  constexpr explicit MacAddress(std::array<std::uint8_t, 6> octets)
+      : octets_(octets) {}
+
+  /// From the low 48 bits of an integer (high 16 bits must be zero).
+  static MacAddress from_u48(std::uint64_t value);
+
+  /// Parses "aa:bb:cc:dd:ee:ff" (case-insensitive); nullopt on syntax error.
+  static std::optional<MacAddress> parse(std::string_view text);
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 6>& octets() const {
+    return octets_;
+  }
+
+  /// The address as the low 48 bits of a u64.
+  [[nodiscard]] std::uint64_t to_u48() const;
+
+  /// "aa:bb:cc:dd:ee:ff" (lowercase).
+  [[nodiscard]] std::string to_string() const;
+
+  /// True for ff:ff:ff:ff:ff:ff.
+  [[nodiscard]] bool is_broadcast() const;
+
+  friend constexpr auto operator<=>(const MacAddress&,
+                                    const MacAddress&) = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+/// Broadcast MAC constant.
+[[nodiscard]] MacAddress broadcast_mac();
+
+/// 32-bit IPv4 address.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_(static_cast<std::uint32_t>(a) << 24 |
+               static_cast<std::uint32_t>(b) << 16 |
+               static_cast<std::uint32_t>(c) << 8 |
+               static_cast<std::uint32_t>(d)) {}
+
+  /// Parses dotted-quad "a.b.c.d"; nullopt on syntax error.
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+  /// "a.b.c.d".
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv4Address&,
+                                    const Ipv4Address&) = default;
+
+ private:
+  std::uint32_t value_{0};
+};
+
+}  // namespace rtether::net
+
+namespace std {
+
+template <>
+struct hash<rtether::net::MacAddress> {
+  size_t operator()(const rtether::net::MacAddress& mac) const noexcept {
+    return std::hash<std::uint64_t>{}(mac.to_u48());
+  }
+};
+
+template <>
+struct hash<rtether::net::Ipv4Address> {
+  size_t operator()(const rtether::net::Ipv4Address& ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.value());
+  }
+};
+
+}  // namespace std

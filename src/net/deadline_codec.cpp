@@ -1,0 +1,35 @@
+#include "net/deadline_codec.hpp"
+
+#include "common/assert.hpp"
+
+namespace rtether::net {
+
+void encode_rt_tag(const RtFrameTag& tag, Ipv4Header& header) {
+  RTETHER_ASSERT_MSG(tag.absolute_deadline <= kMaxEncodableDeadline,
+                     "absolute deadline exceeds 48 bits");
+  // Deadline bits 47..16 → IP source; bits 15..0 → destination's high half.
+  header.source =
+      Ipv4Address(static_cast<std::uint32_t>(tag.absolute_deadline >> 16));
+  const auto deadline_low =
+      static_cast<std::uint32_t>(tag.absolute_deadline & 0xffff);
+  header.destination =
+      Ipv4Address(deadline_low << 16 | tag.channel.value());
+  header.tos = kRtTos;
+}
+
+std::optional<RtFrameTag> decode_rt_tag(const Ipv4Header& header) {
+  if (!is_rt_frame(header)) {
+    return std::nullopt;
+  }
+  RtFrameTag tag;
+  tag.absolute_deadline =
+      static_cast<std::uint64_t>(header.source.value()) << 16 |
+      header.destination.value() >> 16;
+  tag.channel =
+      ChannelId(static_cast<std::uint16_t>(header.destination.value()));
+  return tag;
+}
+
+bool is_rt_frame(const Ipv4Header& header) { return header.tos == kRtTos; }
+
+}  // namespace rtether::net

@@ -1,0 +1,54 @@
+#pragma once
+
+/// @file deadline_codec.hpp
+/// The paper's header-field trick (§18.2.2): the RT layer rewrites the IP
+/// header of outgoing real-time datagrams so that downstream EDF queues can
+/// read scheduling metadata without any new protocol field:
+///
+///  - IP source address (32 bits) + 16 most-significant bits of the IP
+///    destination address = the frame's 48-bit absolute deadline,
+///  - 16 least-significant bits of the IP destination = RT channel ID,
+///  - ToS = 255 marks the datagram as real-time (other values reserved
+///    for future services).
+///
+/// The true addressing is recovered from the RT channel table at the
+/// receiver; the wire stays standard Ethernet/IPv4.
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hpp"
+#include "net/ipv4.hpp"
+
+namespace rtether::net {
+
+/// ToS value that marks a real-time frame.
+inline constexpr std::uint8_t kRtTos = 255;
+
+/// Largest encodable absolute deadline (48 bits of slots/ticks).
+inline constexpr std::uint64_t kMaxEncodableDeadline =
+    (std::uint64_t{1} << 48) - 1;
+
+/// Scheduling metadata carried inside the IP header of an RT frame.
+struct RtFrameTag {
+  /// Absolute deadline (slot/tick count since epoch), 48 bits.
+  std::uint64_t absolute_deadline{0};
+  /// RT channel the frame belongs to.
+  ChannelId channel;
+
+  friend bool operator==(const RtFrameTag&, const RtFrameTag&) = default;
+};
+
+/// Writes the tag into `header` (source/destination/ToS are overwritten).
+/// Asserts the deadline fits in 48 bits.
+void encode_rt_tag(const RtFrameTag& tag, Ipv4Header& header);
+
+/// Reads a tag back from a header; nullopt when ToS != 255 (not an RT
+/// frame).
+[[nodiscard]] std::optional<RtFrameTag> decode_rt_tag(
+    const Ipv4Header& header);
+
+/// True when the header is marked real-time (ToS == 255).
+[[nodiscard]] bool is_rt_frame(const Ipv4Header& header);
+
+}  // namespace rtether::net

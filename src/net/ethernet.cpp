@@ -1,0 +1,54 @@
+#include "net/ethernet.hpp"
+
+#include <algorithm>
+
+#include "common/units.hpp"
+
+namespace rtether::net {
+
+void EthernetHeader::serialize(ByteWriter& out) const {
+  out.write_u48(destination.to_u48());
+  out.write_u48(source.to_u48());
+  out.write_u16(static_cast<std::uint16_t>(ether_type));
+}
+
+std::optional<EthernetHeader> EthernetHeader::parse(ByteReader& in) {
+  const auto dst = in.read_u48();
+  const auto src = in.read_u48();
+  const auto type = in.read_u16();
+  if (!dst || !src || !type) return std::nullopt;
+  EthernetHeader header;
+  header.destination = MacAddress::from_u48(*dst);
+  header.source = MacAddress::from_u48(*src);
+  header.ether_type = static_cast<EtherType>(*type);
+  return header;
+}
+
+std::vector<std::uint8_t> EthernetFrame::serialize() const {
+  ByteWriter out(EthernetHeader::kWireSize + payload.size());
+  header.serialize(out);
+  out.write_bytes(payload);
+  return std::move(out).take();
+}
+
+std::optional<EthernetFrame> EthernetFrame::parse(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader in(bytes);
+  const auto header = EthernetHeader::parse(in);
+  if (!header) return std::nullopt;
+  EthernetFrame frame;
+  frame.header = *header;
+  const auto rest = in.read_bytes(in.remaining());
+  frame.payload.assign(rest->begin(), rest->end());
+  return frame;
+}
+
+std::uint64_t EthernetFrame::wire_bytes() const {
+  // header + payload + 4 FCS + 8 preamble/SFD + 12 IFG, floored at the
+  // 64-byte minimum frame (+ preamble + IFG).
+  const std::uint64_t on_wire =
+      EthernetHeader::kWireSize + payload.size() + 4 + 8 + 12;
+  return std::max<std::uint64_t>(on_wire, kMinFrameWireBytes);
+}
+
+}  // namespace rtether::net

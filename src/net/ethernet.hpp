@@ -1,0 +1,60 @@
+#pragma once
+
+/// @file ethernet.hpp
+/// Ethernet II framing. The RT layer sits *above* an unmodified MAC
+/// (paper §18.2.1), so frames here are standard: dst/src MAC + EtherType +
+/// payload. The simulator transports these byte-exact.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "net/address.hpp"
+
+namespace rtether::net {
+
+/// EtherType values used by the stack.
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  /// RT-channel management frames (request/response). The paper embeds
+  /// these in ordinary Ethernet frames; we give them a local EtherType so
+  /// the switch can hand them to the management software (Fig 18.2, step 2).
+  kRtManagement = 0x88B5,  // IEEE 802 local experimental EtherType 1
+};
+
+/// Ethernet II header (no VLAN tag; the paper's network is untagged).
+struct EthernetHeader {
+  MacAddress destination;
+  MacAddress source;
+  EtherType ether_type{EtherType::kIpv4};
+
+  static constexpr std::size_t kWireSize = 14;
+
+  /// Appends the 14 header bytes.
+  void serialize(ByteWriter& out) const;
+
+  /// Parses and consumes 14 bytes; nullopt if the buffer is short.
+  static std::optional<EthernetHeader> parse(ByteReader& in);
+};
+
+/// A complete Ethernet frame: header + payload bytes.
+struct EthernetFrame {
+  EthernetHeader header;
+  std::vector<std::uint8_t> payload;
+
+  /// Serializes header + payload (no FCS: the simulator does not corrupt
+  /// bits, and the analysis counts wire occupancy separately).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Parses a full frame; nullopt if shorter than a header.
+  static std::optional<EthernetFrame> parse(
+      std::span<const std::uint8_t> bytes);
+
+  /// Bytes this frame occupies on the wire including preamble, FCS and
+  /// inter-frame gap — what the slot-time accounting is based on.
+  [[nodiscard]] std::uint64_t wire_bytes() const;
+};
+
+}  // namespace rtether::net

@@ -1,0 +1,125 @@
+#include "net/ipv4.hpp"
+
+#include "common/assert.hpp"
+
+namespace rtether::net {
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < bytes.size(); i += 2) {
+    sum += static_cast<std::uint32_t>(bytes[i]) << 8 | bytes[i + 1];
+  }
+  if (i < bytes.size()) {
+    sum += static_cast<std::uint32_t>(bytes[i]) << 8;
+  }
+  while ((sum >> 16) != 0) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+void Ipv4Header::serialize(ByteWriter& out) const {
+  ByteWriter header(kWireSize);
+  header.write_u8(0x45);  // version 4, IHL 5
+  header.write_u8(tos);
+  header.write_u16(total_length);
+  header.write_u16(identification);
+  header.write_u16(0);  // flags/fragment offset: never fragmented here
+  header.write_u8(ttl);
+  header.write_u8(static_cast<std::uint8_t>(protocol));
+  header.write_u16(0);  // checksum placeholder
+  header.write_u32(source.value());
+  header.write_u32(destination.value());
+
+  std::vector<std::uint8_t> bytes = std::move(header).take();
+  const std::uint16_t checksum = internet_checksum(bytes);
+  bytes[10] = static_cast<std::uint8_t>(checksum >> 8);
+  bytes[11] = static_cast<std::uint8_t>(checksum);
+  out.write_bytes(bytes);
+}
+
+std::optional<Ipv4Header> Ipv4Header::parse(ByteReader& in) {
+  const auto raw = in.read_bytes(kWireSize);
+  if (!raw) return std::nullopt;
+  const std::span<const std::uint8_t> bytes = *raw;
+  if (bytes[0] != 0x45) return std::nullopt;  // version 4, no options
+  if (internet_checksum(bytes) != 0) return std::nullopt;
+
+  Ipv4Header header;
+  header.tos = bytes[1];
+  header.total_length =
+      static_cast<std::uint16_t>(bytes[2] << 8 | bytes[3]);
+  header.identification =
+      static_cast<std::uint16_t>(bytes[4] << 8 | bytes[5]);
+  header.ttl = bytes[8];
+  header.protocol = static_cast<IpProtocol>(bytes[9]);
+  header.source = Ipv4Address(static_cast<std::uint32_t>(bytes[12]) << 24 |
+                              static_cast<std::uint32_t>(bytes[13]) << 16 |
+                              static_cast<std::uint32_t>(bytes[14]) << 8 |
+                              bytes[15]);
+  header.destination =
+      Ipv4Address(static_cast<std::uint32_t>(bytes[16]) << 24 |
+                  static_cast<std::uint32_t>(bytes[17]) << 16 |
+                  static_cast<std::uint32_t>(bytes[18]) << 8 | bytes[19]);
+  return header;
+}
+
+void UdpHeader::serialize(ByteWriter& out) const {
+  out.write_u16(source_port);
+  out.write_u16(destination_port);
+  out.write_u16(length);
+  out.write_u16(checksum);
+}
+
+std::optional<UdpHeader> UdpHeader::parse(ByteReader& in) {
+  const auto src = in.read_u16();
+  const auto dst = in.read_u16();
+  const auto len = in.read_u16();
+  const auto sum = in.read_u16();
+  if (!src || !dst || !len || !sum) return std::nullopt;
+  UdpHeader header;
+  header.source_port = *src;
+  header.destination_port = *dst;
+  header.length = *len;
+  header.checksum = *sum;
+  return header;
+}
+
+std::vector<std::uint8_t> UdpDatagram::serialize() const {
+  const std::size_t udp_length = UdpHeader::kWireSize + payload.size();
+  const std::size_t ip_length = Ipv4Header::kWireSize + udp_length;
+  RTETHER_ASSERT_MSG(ip_length <= 0xffff, "datagram exceeds IPv4 max length");
+
+  Ipv4Header ip_fixed = ip;
+  ip_fixed.total_length = static_cast<std::uint16_t>(ip_length);
+  UdpHeader udp_fixed = udp;
+  udp_fixed.length = static_cast<std::uint16_t>(udp_length);
+
+  ByteWriter out(ip_length);
+  ip_fixed.serialize(out);
+  udp_fixed.serialize(out);
+  out.write_bytes(payload);
+  return std::move(out).take();
+}
+
+std::optional<UdpDatagram> UdpDatagram::parse(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader in(bytes);
+  const auto ip = Ipv4Header::parse(in);
+  if (!ip || ip->protocol != IpProtocol::kUdp) return std::nullopt;
+  const auto udp = UdpHeader::parse(in);
+  if (!udp) return std::nullopt;
+  if (udp->length < UdpHeader::kWireSize) return std::nullopt;
+  const std::size_t payload_length = udp->length - UdpHeader::kWireSize;
+  const auto payload = in.read_bytes(payload_length);
+  if (!payload) return std::nullopt;
+
+  UdpDatagram datagram;
+  datagram.ip = *ip;
+  datagram.udp = *udp;
+  datagram.payload.assign(payload->begin(), payload->end());
+  return datagram;
+}
+
+}  // namespace rtether::net

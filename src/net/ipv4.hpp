@@ -1,0 +1,83 @@
+#pragma once
+
+/// @file ipv4.hpp
+/// IPv4 and UDP headers. The RT layer transmits real-time data as ordinary
+/// UDP/IP datagrams (paper §18.2.1) whose IP header fields it repurposes to
+/// carry the absolute deadline and RT channel ID (§18.2.2, see
+/// deadline_codec.hpp). Serialization is byte-exact, checksums included, so
+/// the simulated frames are valid IPv4 on the wire.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "net/address.hpp"
+
+namespace rtether::net {
+
+/// IP protocol numbers used by the stack.
+enum class IpProtocol : std::uint8_t {
+  kTcp = 6,
+  kUdp = 17,
+};
+
+/// IPv4 header without options (IHL = 5).
+struct Ipv4Header {
+  /// Type-of-service octet; 255 marks an RT frame (paper §18.2.2).
+  std::uint8_t tos{0};
+  /// Total length: header + payload, bytes.
+  std::uint16_t total_length{0};
+  std::uint16_t identification{0};
+  std::uint8_t ttl{64};
+  IpProtocol protocol{IpProtocol::kUdp};
+  Ipv4Address source;
+  Ipv4Address destination;
+
+  static constexpr std::size_t kWireSize = 20;
+
+  /// Appends the 20 header bytes with a correct header checksum.
+  void serialize(ByteWriter& out) const;
+
+  /// Parses and consumes 20 bytes; verifies version/IHL and the header
+  /// checksum; nullopt on any mismatch.
+  static std::optional<Ipv4Header> parse(ByteReader& in);
+};
+
+/// UDP header.
+struct UdpHeader {
+  std::uint16_t source_port{0};
+  std::uint16_t destination_port{0};
+  /// Header + payload, bytes.
+  std::uint16_t length{8};
+  /// Checksum is optional in IPv4 UDP; the RT layer leaves it zero
+  /// (disabled) exactly because the IP pseudo-header it would cover is
+  /// repurposed for deadline bits that change hop by hop.
+  std::uint16_t checksum{0};
+
+  static constexpr std::size_t kWireSize = 8;
+
+  void serialize(ByteWriter& out) const;
+  static std::optional<UdpHeader> parse(ByteReader& in);
+};
+
+/// RFC 1071 ones'-complement checksum over a byte span (odd length padded
+/// with a zero byte).
+[[nodiscard]] std::uint16_t internet_checksum(
+    std::span<const std::uint8_t> bytes);
+
+/// A UDP/IPv4 datagram as carried in an Ethernet payload.
+struct UdpDatagram {
+  Ipv4Header ip;
+  UdpHeader udp;
+  std::vector<std::uint8_t> payload;
+
+  /// Serializes with consistent length fields and IP checksum.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Parses an IPv4+UDP datagram; nullopt on malformed input.
+  static std::optional<UdpDatagram> parse(std::span<const std::uint8_t> bytes);
+};
+
+}  // namespace rtether::net

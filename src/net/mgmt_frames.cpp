@@ -1,0 +1,126 @@
+#include "net/mgmt_frames.hpp"
+
+namespace rtether::net {
+
+std::optional<MgmtFrameType> peek_mgmt_type(
+    std::span<const std::uint8_t> payload) {
+  if (payload.empty()) return std::nullopt;
+  const auto type = payload[0];
+  if (type < static_cast<std::uint8_t>(MgmtFrameType::kConnectRequest) ||
+      type > static_cast<std::uint8_t>(MgmtFrameType::kTeardownResponse)) {
+    return std::nullopt;
+  }
+  return static_cast<MgmtFrameType>(type);
+}
+
+std::vector<std::uint8_t> RequestFrame::serialize() const {
+  ByteWriter out(kWireSize);
+  out.write_u8(static_cast<std::uint8_t>(MgmtFrameType::kConnectRequest));
+  out.write_u8(connection_request.value());
+  out.write_u16(rt_channel.value());
+  out.write_u48(source_mac.to_u48());
+  out.write_u48(destination_mac.to_u48());
+  out.write_u32(source_ip.value());
+  out.write_u32(destination_ip.value());
+  out.write_u32(period);
+  out.write_u32(capacity);
+  out.write_u32(deadline);
+  return std::move(out).take();
+}
+
+std::optional<RequestFrame> RequestFrame::parse(
+    std::span<const std::uint8_t> payload) {
+  ByteReader in(payload);
+  const auto type = in.read_u8();
+  if (!type ||
+      *type != static_cast<std::uint8_t>(MgmtFrameType::kConnectRequest)) {
+    return std::nullopt;
+  }
+  RequestFrame frame;
+  const auto request = in.read_u8();
+  const auto channel = in.read_u16();
+  const auto src_mac = in.read_u48();
+  const auto dst_mac = in.read_u48();
+  const auto src_ip = in.read_u32();
+  const auto dst_ip = in.read_u32();
+  const auto period = in.read_u32();
+  const auto capacity = in.read_u32();
+  const auto deadline = in.read_u32();
+  if (!request || !channel || !src_mac || !dst_mac || !src_ip || !dst_ip ||
+      !period || !capacity || !deadline) {
+    return std::nullopt;
+  }
+  frame.connection_request = ConnectionRequestId(*request);
+  frame.rt_channel = ChannelId(*channel);
+  frame.source_mac = MacAddress::from_u48(*src_mac);
+  frame.destination_mac = MacAddress::from_u48(*dst_mac);
+  frame.source_ip = Ipv4Address(*src_ip);
+  frame.destination_ip = Ipv4Address(*dst_ip);
+  frame.period = *period;
+  frame.capacity = *capacity;
+  frame.deadline = *deadline;
+  return frame;
+}
+
+std::vector<std::uint8_t> ResponseFrame::serialize() const {
+  ByteWriter out(kWireSize);
+  out.write_u8(static_cast<std::uint8_t>(MgmtFrameType::kConnectResponse));
+  out.write_u8(connection_request.value());
+  out.write_u16(rt_channel.value());
+  out.write_u8(accepted ? 1 : 0);  // 1-bit verdict in the low bit
+  out.write_u32(uplink_deadline);
+  return std::move(out).take();
+}
+
+std::optional<ResponseFrame> ResponseFrame::parse(
+    std::span<const std::uint8_t> payload) {
+  ByteReader in(payload);
+  const auto type = in.read_u8();
+  if (!type ||
+      *type != static_cast<std::uint8_t>(MgmtFrameType::kConnectResponse)) {
+    return std::nullopt;
+  }
+  const auto request = in.read_u8();
+  const auto channel = in.read_u16();
+  const auto verdict = in.read_u8();
+  const auto uplink_deadline = in.read_u32();
+  if (!request || !channel || !verdict || !uplink_deadline) {
+    return std::nullopt;
+  }
+  ResponseFrame frame;
+  frame.connection_request = ConnectionRequestId(*request);
+  frame.rt_channel = ChannelId(*channel);
+  frame.accepted = (*verdict & 1) != 0;
+  frame.uplink_deadline = *uplink_deadline;
+  return frame;
+}
+
+std::vector<std::uint8_t> TeardownFrame::serialize() const {
+  ByteWriter out(kWireSize);
+  out.write_u8(static_cast<std::uint8_t>(
+      is_ack ? MgmtFrameType::kTeardownResponse
+             : MgmtFrameType::kTeardownRequest));
+  out.write_u16(rt_channel.value());
+  out.write_u8(0);  // reserved
+  return std::move(out).take();
+}
+
+std::optional<TeardownFrame> TeardownFrame::parse(
+    std::span<const std::uint8_t> payload) {
+  ByteReader in(payload);
+  const auto type = in.read_u8();
+  if (!type) return std::nullopt;
+  const bool is_request =
+      *type == static_cast<std::uint8_t>(MgmtFrameType::kTeardownRequest);
+  const bool is_response =
+      *type == static_cast<std::uint8_t>(MgmtFrameType::kTeardownResponse);
+  if (!is_request && !is_response) return std::nullopt;
+  const auto channel = in.read_u16();
+  if (!channel) return std::nullopt;
+  TeardownFrame frame;
+  frame.rt_channel = ChannelId(*channel);
+  frame.is_ack = is_response;
+  return frame;
+}
+
+}  // namespace rtether::net

@@ -1,0 +1,48 @@
+#include "proto/periodic_sender.hpp"
+
+#include "common/assert.hpp"
+
+namespace rtether::proto {
+
+PeriodicRtSender::PeriodicRtSender(NodeRtLayer& layer, ChannelId channel,
+                                   Slot phase_slots)
+    : layer_(layer), channel_(channel), phase_slots_(phase_slots) {}
+
+void PeriodicRtSender::start() {
+  RTETHER_ASSERT_MSG(layer_.find_tx(channel_) != nullptr,
+                     "sender attached to a channel not established for TX");
+  running_ = true;
+  schedule_release(phase_slots_);
+}
+
+void PeriodicRtSender::schedule_release(Slot delay_slots) {
+  const TxChannel* tx = layer_.find_tx(channel_);
+  if (tx == nullptr || !running_) return;
+  layer_.network().simulator().schedule_in(
+      layer_.network().config().slots_to_ticks(delay_slots), [this] {
+        if (!running_) return;
+        const TxChannel* channel = layer_.find_tx(channel_);
+        if (channel == nullptr) {
+          running_ = false;  // torn down while scheduled
+          return;
+        }
+        layer_.send_message(channel_);
+        ++messages_sent_;
+        schedule_release(channel->period);
+      });
+}
+
+std::vector<std::unique_ptr<PeriodicRtSender>>
+start_senders_for_all_channels(NodeRtLayer& layer, Slot stagger_slots) {
+  std::vector<std::unique_ptr<PeriodicRtSender>> senders;
+  Slot phase = 0;
+  for (const auto& [id, tx] : layer.tx_channels()) {
+    senders.push_back(
+        std::make_unique<PeriodicRtSender>(layer, id, phase));
+    senders.back()->start();
+    phase += stagger_slots;
+  }
+  return senders;
+}
+
+}  // namespace rtether::proto

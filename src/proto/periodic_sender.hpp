@@ -1,0 +1,49 @@
+#pragma once
+
+/// @file periodic_sender.hpp
+/// Periodic message generation on an established RT channel: one message of
+/// C_i frames every P_i slots, optionally phase-shifted. This is the traffic
+/// the admission analysis assumes; the validation experiments drive it.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "proto/rt_layer.hpp"
+
+namespace rtether::proto {
+
+class PeriodicRtSender {
+ public:
+  /// Sends on `channel` (must be established for TX on `layer`) every
+  /// period, starting `phase_slots` after `start()` is called.
+  PeriodicRtSender(NodeRtLayer& layer, ChannelId channel, Slot phase_slots = 0);
+
+  /// Begins the release pattern.
+  void start();
+
+  /// No further releases after the current one.
+  void stop() { running_ = false; }
+
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+  [[nodiscard]] ChannelId channel() const { return channel_; }
+
+ private:
+  void schedule_release(Slot delay_slots);
+
+  NodeRtLayer& layer_;
+  ChannelId channel_;
+  Slot phase_slots_;
+  bool running_{false};
+  std::uint64_t messages_sent_{0};
+};
+
+/// Creates and starts one sender per TX channel of `layer`. `stagger` adds
+/// `k * stagger_slots` of phase to the k-th channel (a synchronous release
+/// of everything is the analysis' worst case; staggering models drifting
+/// devices).
+[[nodiscard]] std::vector<std::unique_ptr<PeriodicRtSender>>
+start_senders_for_all_channels(NodeRtLayer& layer, Slot stagger_slots = 0);
+
+}  // namespace rtether::proto

@@ -1,0 +1,283 @@
+#include "proto/rt_layer.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+#include "common/units.hpp"
+#include "net/deadline_codec.hpp"
+#include "net/ethernet.hpp"
+#include "net/ipv4.hpp"
+#include "sim/addressing.hpp"
+
+namespace rtether::proto {
+
+namespace {
+
+/// UDP port the RT layer uses for its data datagrams (arbitrary but fixed).
+constexpr std::uint16_t kRtDataPort = 5004;
+
+}  // namespace
+
+NodeRtLayer::NodeRtLayer(sim::SimNetwork& network, NodeId node,
+                         RtLayerConfig config)
+    : network_(network), node_(node), config_(config) {
+  RTETHER_ASSERT(config_.request_attempts >= 1);
+  network_.node(node_).set_receiver(
+      [this](const sim::SimFrame& frame, Tick now) { on_receive(frame, now); });
+}
+
+const TxChannel* NodeRtLayer::find_tx(ChannelId id) const {
+  const auto it = tx_channels_.find(id);
+  return it == tx_channels_.end() ? nullptr : &it->second;
+}
+
+void NodeRtLayer::request_channel(NodeId destination, Slot period,
+                                  Slot capacity, Slot deadline,
+                                  SetupCallback callback) {
+  const std::uint8_t request_id = next_request_id_;
+  // 8-bit wrap; skip IDs that still have an outstanding request.
+  next_request_id_ = static_cast<std::uint8_t>(next_request_id_ + 1);
+  if (next_request_id_ == 0) next_request_id_ = 1;
+  RTETHER_ASSERT_MSG(!pending_.contains(request_id),
+                     "connection request IDs exhausted (256 outstanding)");
+
+  net::RequestFrame request;
+  request.connection_request = ConnectionRequestId(request_id);
+  request.rt_channel = ChannelId(0);  // "not set with a valid value yet"
+  request.source_mac = sim::node_mac(node_);
+  request.destination_mac = sim::node_mac(destination);
+  request.source_ip = sim::node_ip(node_);
+  request.destination_ip = sim::node_ip(destination);
+  request.period = static_cast<std::uint32_t>(period);
+  request.capacity = static_cast<std::uint32_t>(capacity);
+  request.deadline = static_cast<std::uint32_t>(deadline);
+
+  pending_.emplace(request_id,
+                   PendingRequest{request, destination, std::move(callback),
+                                  config_.request_attempts, false});
+  transmit_request(request_id);
+}
+
+void NodeRtLayer::transmit_request(std::uint8_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end() || it->second.done) return;
+  PendingRequest& pending = it->second;
+  RTETHER_ASSERT(pending.attempts_left > 0);
+  --pending.attempts_left;
+  send_mgmt_to_switch(pending.frame.serialize());
+  arm_request_timer(request_id);
+}
+
+void NodeRtLayer::arm_request_timer(std::uint8_t request_id) {
+  const Tick timeout =
+      network_.config().slots_to_ticks(config_.request_timeout_slots);
+  network_.simulator().schedule_in(timeout, [this, request_id] {
+    auto it = pending_.find(request_id);
+    if (it == pending_.end() || it->second.done) return;
+    if (it->second.attempts_left > 0) {
+      RTETHER_LOG(kDebug, "rt-layer",
+                  "node" << node_.value() << " retransmitting request "
+                         << static_cast<int>(request_id));
+      transmit_request(request_id);
+      return;
+    }
+    SetupOutcome outcome;
+    outcome.accepted = false;
+    outcome.detail = "timeout waiting for response";
+    auto callback = std::move(it->second.callback);
+    pending_.erase(it);
+    if (callback) callback(outcome);
+  });
+}
+
+void NodeRtLayer::send_mgmt_to_switch(std::vector<std::uint8_t> payload) {
+  net::EthernetHeader ethernet;
+  ethernet.destination = sim::switch_mac();
+  ethernet.source = sim::node_mac(node_);
+  ethernet.ether_type = net::EtherType::kRtManagement;
+
+  ByteWriter writer(net::EthernetHeader::kWireSize + payload.size());
+  ethernet.serialize(writer);
+  writer.write_bytes(payload);
+
+  sim::SimFrame frame =
+      sim::SimFrame::make(network_.next_frame_id(), std::move(writer).take(),
+                          0, network_.now(), node_);
+  network_.node(node_).send_best_effort(std::move(frame));
+}
+
+void NodeRtLayer::send_message(ChannelId channel) {
+  const auto it = tx_channels_.find(channel);
+  RTETHER_ASSERT_MSG(it != tx_channels_.end(),
+                     "send_message on a channel not established for TX");
+  TxChannel& tx = it->second;
+
+  const Tick release = network_.now();
+  const Tick absolute_deadline =
+      release + network_.config().slots_to_ticks(tx.deadline);
+  const Tick uplink_key =
+      release + network_.config().slots_to_ticks(tx.uplink_deadline);
+
+  for (Slot i = 0; i < tx.capacity; ++i) {
+    // Real headers with the §18.2.2 deadline encoding; payload padded to a
+    // maximal frame (the analysis counts C_i maximal frames per message).
+    net::Ipv4Header ip;
+    ip.protocol = net::IpProtocol::kUdp;
+    net::encode_rt_tag({absolute_deadline, channel}, ip);
+
+    net::EthernetHeader ethernet;
+    ethernet.source = sim::node_mac(node_);
+    ethernet.destination = sim::node_mac(tx.destination);
+    ethernet.ether_type = net::EtherType::kIpv4;
+
+    net::UdpHeader udp;
+    udp.source_port = kRtDataPort;
+    udp.destination_port = kRtDataPort;
+
+    ByteWriter writer(net::EthernetHeader::kWireSize +
+                      net::Ipv4Header::kWireSize + net::UdpHeader::kWireSize);
+    ethernet.serialize(writer);
+    const std::size_t header_bytes =
+        net::EthernetHeader::kWireSize + net::Ipv4Header::kWireSize +
+        net::UdpHeader::kWireSize;
+    const std::uint64_t pad =
+        kMaxFrameWireBytes - (header_bytes + 4 + 8 + 12);
+    ip.total_length = static_cast<std::uint16_t>(
+        net::Ipv4Header::kWireSize + net::UdpHeader::kWireSize + pad);
+    ip.serialize(writer);
+    udp.length =
+        static_cast<std::uint16_t>(net::UdpHeader::kWireSize + pad);
+    udp.serialize(writer);
+
+    sim::SimFrame frame =
+        sim::SimFrame::make(network_.next_frame_id(), std::move(writer).take(),
+                            pad, release, node_);
+    network_.stats().record_rt_sent(channel);
+    network_.node(node_).send_rt(uplink_key, std::move(frame));
+  }
+  ++tx.messages_sent;
+}
+
+void NodeRtLayer::teardown_channel(ChannelId channel) {
+  const auto it = tx_channels_.find(channel);
+  RTETHER_ASSERT_MSG(it != tx_channels_.end(),
+                     "teardown on a channel not established for TX");
+  net::TeardownFrame teardown;
+  teardown.rt_channel = channel;
+  teardown.is_ack = false;
+  send_mgmt_to_switch(teardown.serialize());
+  tx_channels_.erase(it);
+}
+
+void NodeRtLayer::on_receive(const sim::SimFrame& frame, Tick now) {
+  switch (frame.info.cls) {
+    case sim::FrameClass::kManagement:
+      handle_management(frame, now);
+      return;
+    case sim::FrameClass::kRealTime: {
+      RTETHER_ASSERT(frame.info.rt_tag.has_value());
+      const auto it = rx_channels_.find(frame.info.rt_tag->channel);
+      if (it == rx_channels_.end()) {
+        RTETHER_LOG(kWarn, "rt-layer",
+                    "node" << node_.value()
+                           << " received RT frame on unknown channel "
+                           << frame.info.rt_tag->channel.value());
+        return;
+      }
+      ++it->second.frames_received;
+      if (data_callback_) {
+        data_callback_(it->second, frame, now);
+      }
+      return;
+    }
+    case sim::FrameClass::kBestEffort:
+      return;  // ordinary TCP/IP traffic; outside the RT layer's concern
+  }
+}
+
+void NodeRtLayer::handle_management(const sim::SimFrame& frame, Tick /*now*/) {
+  const std::span<const std::uint8_t> payload(
+      frame.bytes.data() + net::EthernetHeader::kWireSize,
+      frame.bytes.size() - net::EthernetHeader::kWireSize);
+  const auto type = net::peek_mgmt_type(payload);
+  if (!type) return;
+  switch (*type) {
+    case net::MgmtFrameType::kConnectRequest:
+      if (const auto request = net::RequestFrame::parse(payload)) {
+        handle_forwarded_request(*request);
+      }
+      return;
+    case net::MgmtFrameType::kConnectResponse:
+      if (const auto response = net::ResponseFrame::parse(payload)) {
+        handle_response(*response);
+      }
+      return;
+    case net::MgmtFrameType::kTeardownRequest:
+    case net::MgmtFrameType::kTeardownResponse:
+      if (const auto teardown = net::TeardownFrame::parse(payload)) {
+        handle_teardown(*teardown);
+      }
+      return;
+  }
+}
+
+void NodeRtLayer::handle_forwarded_request(const net::RequestFrame& request) {
+  // We are the destination; the switch found the channel feasible and
+  // assigned a network-unique ID. Decide, record, respond (Fig 18.4).
+  const bool accept = !accept_policy_ || accept_policy_(request);
+  if (accept) {
+    const auto source = sim::mac_to_node(request.source_mac);
+    RxChannel rx;
+    rx.id = request.rt_channel;
+    rx.source = source.value_or(NodeId{0});
+    rx.period = request.period;
+    rx.capacity = request.capacity;
+    rx.deadline = request.deadline;
+    rx_channels_.insert_or_assign(rx.id, rx);  // idempotent on retransmit
+  }
+  net::ResponseFrame response;
+  response.connection_request = request.connection_request;
+  response.rt_channel = request.rt_channel;
+  response.accepted = accept;
+  send_mgmt_to_switch(response.serialize());
+}
+
+void NodeRtLayer::handle_response(const net::ResponseFrame& response) {
+  const auto it = pending_.find(response.connection_request.value());
+  if (it == pending_.end() || it->second.done) {
+    return;  // duplicate or stale response
+  }
+  PendingRequest& pending = it->second;
+  pending.done = true;
+
+  SetupOutcome outcome;
+  outcome.accepted = response.accepted;
+  outcome.channel = response.rt_channel;
+  outcome.uplink_deadline = response.uplink_deadline;
+  if (response.accepted) {
+    TxChannel tx;
+    tx.id = response.rt_channel;
+    tx.destination = pending.destination;
+    tx.period = pending.frame.period;
+    tx.capacity = pending.frame.capacity;
+    tx.deadline = pending.frame.deadline;
+    tx.uplink_deadline = response.uplink_deadline;
+    tx_channels_.insert_or_assign(tx.id, tx);
+  } else {
+    outcome.detail = "rejected";
+  }
+  auto callback = std::move(pending.callback);
+  pending_.erase(it);
+  if (callback) callback(outcome);
+}
+
+void NodeRtLayer::handle_teardown(const net::TeardownFrame& teardown) {
+  if (teardown.is_ack) {
+    return;  // our own teardown confirmed; nothing more to do
+  }
+  // Switch relays teardown notifications to the destination.
+  rx_channels_.erase(teardown.rt_channel);
+}
+
+}  // namespace rtether::proto

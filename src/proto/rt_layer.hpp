@@ -1,0 +1,146 @@
+#pragma once
+
+/// @file rt_layer.hpp
+/// The end-node RT layer of Fig 18.2: the thin shim between the application
+/// (step 1), the switch's RT channel management (step 2), and the dual
+/// output queues (steps 3/4). It owns the node-side channel tables, runs the
+/// establishment protocol, stamps outgoing RT datagrams with the deadline
+/// encoding of §18.2.2, and assigns uplink EDF keys (release + d_iu).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/expected.hpp"
+#include "common/types.hpp"
+#include "core/channel.hpp"
+#include "net/mgmt_frames.hpp"
+#include "sim/network.hpp"
+
+namespace rtether::proto {
+
+/// What the source node knows about a channel it transmits on.
+struct TxChannel {
+  ChannelId id;
+  NodeId destination;
+  Slot period{0};
+  Slot capacity{0};
+  Slot deadline{0};
+  /// d_iu assigned by the switch's DPS, slots.
+  Slot uplink_deadline{0};
+  std::uint64_t messages_sent{0};
+};
+
+/// What the destination node knows about a channel it receives on.
+struct RxChannel {
+  ChannelId id;
+  NodeId source;
+  Slot period{0};
+  Slot capacity{0};
+  Slot deadline{0};
+  std::uint64_t frames_received{0};
+};
+
+/// Outcome of a channel setup attempt, delivered via callback.
+struct SetupOutcome {
+  bool accepted{false};
+  /// Valid when accepted.
+  ChannelId channel;
+  Slot uplink_deadline{0};
+  /// "rejected by switch/destination" or "timeout".
+  std::string detail;
+};
+
+/// Configuration of the node-side protocol engine.
+struct RtLayerConfig {
+  /// Retransmission timeout for connection requests, slots. A request
+  /// unanswered for this long is retried (management frames ride the
+  /// best-effort queues and can be dropped when buffers overflow).
+  Slot request_timeout_slots{2000};
+  /// Total attempts per request (1 = no retransmission).
+  std::uint32_t request_attempts{3};
+};
+
+class NodeRtLayer {
+ public:
+  using SetupCallback = std::function<void(const SetupOutcome&)>;
+  /// Called for every RT data frame delivered to this node.
+  using DataCallback =
+      std::function<void(const RxChannel& channel, const sim::SimFrame& frame,
+                        Tick now)>;
+  /// Destination-side admission hook (paper: the destination "responds …
+  /// telling whether the establishment is accepted or not").
+  using AcceptPolicy = std::function<bool(const net::RequestFrame&)>;
+
+  NodeRtLayer(sim::SimNetwork& network, NodeId node, RtLayerConfig config = {});
+
+  NodeRtLayer(const NodeRtLayer&) = delete;
+  NodeRtLayer& operator=(const NodeRtLayer&) = delete;
+
+  [[nodiscard]] NodeId node() const { return node_; }
+
+  /// The network this layer is attached to (used by senders/harnesses).
+  [[nodiscard]] sim::SimNetwork& network() { return network_; }
+
+  /// Starts RT-channel establishment (Fig 18.3 flow). The callback fires
+  /// when the relayed ResponseFrame arrives or every attempt times out.
+  void request_channel(NodeId destination, Slot period, Slot capacity,
+                       Slot deadline, SetupCallback callback);
+
+  /// Sends one message (C_i max-sized frames) on an established channel;
+  /// the release time is "now". Asserts the channel is established for TX.
+  void send_message(ChannelId channel);
+
+  /// Initiates teardown of a TX channel (extension; see mgmt_frames.hpp).
+  void teardown_channel(ChannelId channel);
+
+  void set_data_callback(DataCallback callback) {
+    data_callback_ = std::move(callback);
+  }
+  void set_accept_policy(AcceptPolicy policy) {
+    accept_policy_ = std::move(policy);
+  }
+
+  [[nodiscard]] const std::map<ChannelId, TxChannel>& tx_channels() const {
+    return tx_channels_;
+  }
+  [[nodiscard]] const std::map<ChannelId, RxChannel>& rx_channels() const {
+    return rx_channels_;
+  }
+  [[nodiscard]] const TxChannel* find_tx(ChannelId id) const;
+
+ private:
+  struct PendingRequest {
+    net::RequestFrame frame;
+    NodeId destination;
+    SetupCallback callback;
+    std::uint32_t attempts_left{0};
+    bool done{false};
+  };
+
+  /// Receive hook installed on the SimNode.
+  void on_receive(const sim::SimFrame& frame, Tick now);
+  void handle_management(const sim::SimFrame& frame, Tick now);
+  void handle_forwarded_request(const net::RequestFrame& request);
+  void handle_response(const net::ResponseFrame& response);
+  void handle_teardown(const net::TeardownFrame& teardown);
+
+  /// Sends a management payload to the switch (best-effort path).
+  void send_mgmt_to_switch(std::vector<std::uint8_t> payload);
+  void transmit_request(std::uint8_t request_id);
+  void arm_request_timer(std::uint8_t request_id);
+
+  sim::SimNetwork& network_;
+  NodeId node_;
+  RtLayerConfig config_;
+  std::uint8_t next_request_id_{1};
+  std::map<std::uint8_t, PendingRequest> pending_;
+  std::map<ChannelId, TxChannel> tx_channels_;
+  std::map<ChannelId, RxChannel> rx_channels_;
+  DataCallback data_callback_;
+  AcceptPolicy accept_policy_;
+};
+
+}  // namespace rtether::proto

@@ -1,0 +1,69 @@
+#include "proto/stack.hpp"
+
+#include "common/assert.hpp"
+
+namespace rtether::proto {
+
+Stack::Stack(sim::SimConfig config, std::uint32_t node_count,
+             std::unique_ptr<core::DeadlinePartitioner> partitioner,
+             core::AdmissionConfig admission, std::size_t best_effort_depth,
+             RtLayerConfig layer_config) {
+  network_ = std::make_unique<sim::SimNetwork>(config, node_count,
+                                               best_effort_depth);
+  layers_.reserve(node_count);
+  for (std::uint32_t n = 0; n < node_count; ++n) {
+    layers_.push_back(std::make_unique<NodeRtLayer>(*network_, NodeId{n},
+                                                    layer_config));
+  }
+  mgmt_ = std::make_unique<SwitchMgmt>(*network_, std::move(partitioner),
+                                       admission);
+}
+
+NodeRtLayer& Stack::layer(NodeId node) {
+  RTETHER_ASSERT(node.value() < layers_.size());
+  return *layers_[node.value()];
+}
+
+Expected<EstablishedChannel, std::string> Stack::establish(
+    NodeId source, NodeId destination, Slot period, Slot capacity,
+    Slot deadline) {
+  bool done = false;
+  SetupOutcome outcome;
+  layer(source).request_channel(destination, period, capacity, deadline,
+                                [&](const SetupOutcome& result) {
+                                  done = true;
+                                  outcome = result;
+                                });
+  // Drive the simulation until the protocol completes; the RT layer's
+  // timeout guarantees termination even if frames are dropped.
+  while (!done && network_->simulator().step()) {
+  }
+  if (!done) {
+    return Unexpected(std::string("simulation drained without a response"));
+  }
+  if (!outcome.accepted) {
+    return Unexpected(outcome.detail.empty() ? std::string("rejected")
+                                             : outcome.detail);
+  }
+  EstablishedChannel channel;
+  channel.id = outcome.channel;
+  channel.source = source;
+  channel.destination = destination;
+  channel.period = period;
+  channel.capacity = capacity;
+  channel.deadline = deadline;
+  channel.uplink_deadline = outcome.uplink_deadline;
+  return channel;
+}
+
+void Stack::teardown(const EstablishedChannel& channel) {
+  layer(channel.source).teardown_channel(channel.id);
+  // Run until the switch has processed the teardown.
+  while (network_->simulator().step()) {
+    if (!mgmt_->controller().state().find_channel(channel.id).has_value()) {
+      break;
+    }
+  }
+}
+
+}  // namespace rtether::proto

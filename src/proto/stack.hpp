@@ -1,0 +1,67 @@
+#pragma once
+
+/// @file stack.hpp
+/// The assembled system: a simulated star network with an RT layer in every
+/// end-node and the RT channel management (admission control + DPS) in the
+/// switch — everything Fig 18.1/18.2 shows, ready to drive from examples,
+/// tests and benches.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "common/types.hpp"
+#include "core/admission.hpp"
+#include "core/partitioner.hpp"
+#include "proto/rt_layer.hpp"
+#include "proto/switch_mgmt.hpp"
+#include "sim/network.hpp"
+
+namespace rtether::proto {
+
+/// A channel as seen by the application after a successful establishment.
+struct EstablishedChannel {
+  ChannelId id;
+  NodeId source;
+  NodeId destination;
+  Slot period{0};
+  Slot capacity{0};
+  Slot deadline{0};
+  /// d_iu the switch assigned (the source schedules with it).
+  Slot uplink_deadline{0};
+};
+
+class Stack {
+ public:
+  /// Builds the network, one RT layer per node, and the switch management
+  /// configured with `partitioner`.
+  Stack(sim::SimConfig config, std::uint32_t node_count,
+        std::unique_ptr<core::DeadlinePartitioner> partitioner,
+        core::AdmissionConfig admission = {},
+        std::size_t best_effort_depth = 0, RtLayerConfig layer_config = {});
+
+  [[nodiscard]] sim::SimNetwork& network() { return *network_; }
+  [[nodiscard]] NodeRtLayer& layer(NodeId node);
+  [[nodiscard]] SwitchMgmt& management() { return *mgmt_; }
+
+  /// Synchronous-style channel establishment: sends the request and runs
+  /// the simulation until the response arrives (other scheduled traffic
+  /// keeps flowing meanwhile). Returns the established channel or the
+  /// rejection/timeout detail.
+  [[nodiscard]] Expected<EstablishedChannel, std::string> establish(
+      NodeId source, NodeId destination, Slot period, Slot capacity,
+      Slot deadline);
+
+  /// Tears a channel down and runs the simulation until the switch has
+  /// released it.
+  void teardown(const EstablishedChannel& channel);
+
+ private:
+  std::unique_ptr<sim::SimNetwork> network_;
+  std::vector<std::unique_ptr<NodeRtLayer>> layers_;
+  std::unique_ptr<SwitchMgmt> mgmt_;
+};
+
+}  // namespace rtether::proto

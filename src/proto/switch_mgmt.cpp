@@ -1,0 +1,178 @@
+#include "proto/switch_mgmt.hpp"
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+#include "net/ethernet.hpp"
+#include "sim/addressing.hpp"
+
+namespace rtether::proto {
+
+SwitchMgmt::SwitchMgmt(sim::SimNetwork& network,
+                       std::unique_ptr<core::DeadlinePartitioner> partitioner,
+                       core::AdmissionConfig config)
+    : network_(network),
+      controller_(network.node_count(), std::move(partitioner), config) {
+  network_.ethernet_switch().set_mgmt_handler(
+      [this](const sim::SimFrame& frame, NodeId ingress, Tick now) {
+        on_management(frame, ingress, now);
+      });
+}
+
+void SwitchMgmt::send_to_node(NodeId to, std::vector<std::uint8_t> payload) {
+  net::EthernetHeader ethernet;
+  ethernet.destination = sim::node_mac(to);
+  ethernet.source = sim::switch_mac();
+  ethernet.ether_type = net::EtherType::kRtManagement;
+
+  ByteWriter writer(net::EthernetHeader::kWireSize + payload.size());
+  ethernet.serialize(writer);
+  writer.write_bytes(payload);
+
+  sim::SimFrame frame =
+      sim::SimFrame::make(network_.next_frame_id(), std::move(writer).take(),
+                          0, network_.now(), to);
+  network_.ethernet_switch().send_from_switch(to, std::move(frame));
+}
+
+void SwitchMgmt::on_management(const sim::SimFrame& frame, NodeId ingress,
+                               Tick /*now*/) {
+  const std::span<const std::uint8_t> payload(
+      frame.bytes.data() + net::EthernetHeader::kWireSize,
+      frame.bytes.size() - net::EthernetHeader::kWireSize);
+  const auto type = net::peek_mgmt_type(payload);
+  if (!type) return;
+  switch (*type) {
+    case net::MgmtFrameType::kConnectRequest:
+      if (const auto request = net::RequestFrame::parse(payload)) {
+        handle_request(*request, ingress);
+      }
+      return;
+    case net::MgmtFrameType::kConnectResponse:
+      if (const auto response = net::ResponseFrame::parse(payload)) {
+        handle_response(*response);
+      }
+      return;
+    case net::MgmtFrameType::kTeardownRequest:
+      if (const auto teardown = net::TeardownFrame::parse(payload)) {
+        handle_teardown(*teardown, ingress);
+      }
+      return;
+    case net::MgmtFrameType::kTeardownResponse:
+      return;  // switch never receives teardown acks
+  }
+}
+
+void SwitchMgmt::handle_request(const net::RequestFrame& request,
+                                NodeId ingress) {
+  ++stats_.requests_received;
+
+  // Retransmitted request while the original is still in flight (or already
+  // decided): do not run admission twice.
+  const auto dedup_key = std::make_pair(ingress.value(),
+                                        request.connection_request.value());
+  if (const auto seen = seen_requests_.find(dedup_key);
+      seen != seen_requests_.end()) {
+    ++stats_.duplicate_requests_ignored;
+    // If the channel is still awaiting the destination, the original flow
+    // will answer; if it was already decided the source's response was
+    // lost — re-forwarding to the destination re-triggers a response.
+    if (const auto pending = awaiting_destination_.find(seen->second);
+        pending != awaiting_destination_.end()) {
+      return;
+    }
+    return;
+  }
+
+  const auto source = sim::mac_to_node(request.source_mac);
+  const auto destination = sim::mac_to_node(request.destination_mac);
+  if (!source || !destination) {
+    net::ResponseFrame response;
+    response.connection_request = request.connection_request;
+    response.rt_channel = ChannelId(0);
+    response.accepted = false;
+    send_to_node(ingress, response.serialize());
+    return;
+  }
+
+  core::ChannelSpec spec;
+  spec.source = *source;
+  spec.destination = *destination;
+  spec.period = request.period;
+  spec.capacity = request.capacity;
+  spec.deadline = request.deadline;
+
+  const auto verdict = controller_.request(spec);
+  if (!verdict) {
+    // Infeasible: respond to the source directly; the request is NOT
+    // forwarded to the destination (paper §18.2.2).
+    ++stats_.requests_rejected_infeasible;
+    RTETHER_LOG(kDebug, "switch-mgmt",
+                "rejected " << spec.to_string() << ": "
+                            << verdict.error().detail);
+    net::ResponseFrame response;
+    response.connection_request = request.connection_request;
+    response.rt_channel = ChannelId(0);
+    response.accepted = false;
+    send_to_node(*source, response.serialize());
+    return;
+  }
+
+  // Feasible: remember the verdict, stamp the network-unique channel ID
+  // into the request, and forward it to the destination node.
+  ++stats_.requests_admitted;
+  const core::RtChannel& channel = verdict.value();
+  awaiting_destination_.insert_or_assign(
+      channel.id, PendingApproval{*source, request.connection_request});
+  seen_requests_.insert_or_assign(dedup_key, channel.id);
+
+  net::RequestFrame forwarded = request;
+  forwarded.rt_channel = channel.id;
+  send_to_node(*destination, forwarded.serialize());
+}
+
+void SwitchMgmt::handle_response(const net::ResponseFrame& response) {
+  const auto it = awaiting_destination_.find(response.rt_channel);
+  if (it == awaiting_destination_.end()) {
+    return;  // duplicate verdict; already relayed
+  }
+  const PendingApproval pending = it->second;
+  awaiting_destination_.erase(it);
+
+  net::ResponseFrame relayed = response;
+  relayed.connection_request = pending.request;
+  if (response.accepted) {
+    const auto channel = controller_.state().find_channel(response.rt_channel);
+    RTETHER_ASSERT_MSG(channel.has_value(),
+                       "approved channel missing from admission state");
+    relayed.uplink_deadline =
+        static_cast<std::uint32_t>(channel->partition.uplink);
+  } else {
+    // Destination declined: roll the admission back (no residue).
+    ++stats_.requests_rejected_by_destination;
+    const bool released = controller_.release(response.rt_channel);
+    RTETHER_ASSERT_MSG(released, "pending channel missing on rollback");
+    relayed.uplink_deadline = 0;
+  }
+  send_to_node(pending.source, relayed.serialize());
+}
+
+void SwitchMgmt::handle_teardown(const net::TeardownFrame& teardown,
+                                 NodeId ingress) {
+  const auto channel = controller_.state().find_channel(teardown.rt_channel);
+  if (!channel) {
+    return;  // already gone (duplicate teardown)
+  }
+  ++stats_.teardowns;
+  const NodeId destination = channel->spec.destination;
+  controller_.release(teardown.rt_channel);
+
+  // Notify the destination, acknowledge the initiator.
+  net::TeardownFrame notify = teardown;
+  notify.is_ack = false;
+  send_to_node(destination, notify.serialize());
+  net::TeardownFrame ack = teardown;
+  ack.is_ack = true;
+  send_to_node(ingress, ack.serialize());
+}
+
+}  // namespace rtether::proto

@@ -1,0 +1,71 @@
+#pragma once
+
+/// @file switch_mgmt.hpp
+/// The RT channel management software in the switch (Fig 18.2, step 2): it
+/// receives RequestFrames, runs admission control (feasibility on the source
+/// uplink and destination downlink under the configured DPS), forwards
+/// admitted requests to the destination, relays the destination's verdict to
+/// the source, and rolls the channel back if the destination declines.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "common/types.hpp"
+#include "core/admission.hpp"
+#include "net/mgmt_frames.hpp"
+#include "sim/network.hpp"
+
+namespace rtether::proto {
+
+/// Counters for the management plane.
+struct SwitchMgmtStats {
+  std::uint64_t requests_received{0};
+  std::uint64_t requests_admitted{0};
+  std::uint64_t requests_rejected_infeasible{0};
+  std::uint64_t requests_rejected_by_destination{0};
+  std::uint64_t duplicate_requests_ignored{0};
+  std::uint64_t teardowns{0};
+};
+
+class SwitchMgmt {
+ public:
+  /// Installs itself as the switch's management handler.
+  SwitchMgmt(sim::SimNetwork& network,
+             std::unique_ptr<core::DeadlinePartitioner> partitioner,
+             core::AdmissionConfig config = {});
+
+  SwitchMgmt(const SwitchMgmt&) = delete;
+  SwitchMgmt& operator=(const SwitchMgmt&) = delete;
+
+  [[nodiscard]] core::AdmissionController& controller() { return controller_; }
+  [[nodiscard]] const core::AdmissionController& controller() const {
+    return controller_;
+  }
+  [[nodiscard]] const SwitchMgmtStats& stats() const { return stats_; }
+
+ private:
+  void on_management(const sim::SimFrame& frame, NodeId ingress, Tick now);
+  void handle_request(const net::RequestFrame& request, NodeId ingress);
+  void handle_response(const net::ResponseFrame& response);
+  void handle_teardown(const net::TeardownFrame& teardown, NodeId ingress);
+
+  /// Sends a management payload out of the port toward `to`, sourced from
+  /// the switch's own MAC (Fig 18.4: "Source MAC addr. = switch addr.").
+  void send_to_node(NodeId to, std::vector<std::uint8_t> payload);
+
+  struct PendingApproval {
+    NodeId source;
+    ConnectionRequestId request;
+  };
+
+  sim::SimNetwork& network_;
+  core::AdmissionController controller_;
+  /// Channels admitted but awaiting the destination's verdict.
+  std::map<ChannelId, PendingApproval> awaiting_destination_;
+  /// Dedup: (source node, request id) → assigned channel, for retransmits.
+  std::map<std::pair<std::uint32_t, std::uint8_t>, ChannelId> seen_requests_;
+  SwitchMgmtStats stats_;
+};
+
+}  // namespace rtether::proto

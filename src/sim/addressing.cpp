@@ -1,0 +1,49 @@
+#include "sim/addressing.hpp"
+
+namespace rtether::sim {
+
+namespace {
+
+constexpr std::uint64_t kNodeMacBase = 0x0200'0000'0000ULL;
+constexpr std::uint64_t kSwitchMacValue = 0x0200'00ff'fffeULL;
+// Node IPs occupy 10.0.0.1 … 10.0.255.255 (up to 65535 nodes); the switch
+// lives outside that range at 10.1.255.254.
+constexpr std::uint32_t kNodeIpBase = 0x0a00'0000u;    // 10.0.0.0
+constexpr std::uint32_t kSwitchIpValue = 0x0a01'fffeu;  // 10.1.255.254
+
+}  // namespace
+
+net::MacAddress node_mac(NodeId node) {
+  return net::MacAddress::from_u48(kNodeMacBase +
+                                   static_cast<std::uint64_t>(node.value()) +
+                                   1);
+}
+
+net::Ipv4Address node_ip(NodeId node) {
+  return net::Ipv4Address(kNodeIpBase + node.value() + 1);
+}
+
+net::MacAddress switch_mac() {
+  return net::MacAddress::from_u48(kSwitchMacValue);
+}
+
+net::Ipv4Address switch_ip() { return net::Ipv4Address(kSwitchIpValue); }
+
+std::optional<NodeId> mac_to_node(const net::MacAddress& mac) {
+  const std::uint64_t value = mac.to_u48();
+  if (value <= kNodeMacBase || value >= kSwitchMacValue ||
+      value - kNodeMacBase > 0xffff) {
+    return std::nullopt;
+  }
+  return NodeId(static_cast<std::uint32_t>(value - kNodeMacBase - 1));
+}
+
+std::optional<NodeId> ip_to_node(const net::Ipv4Address& ip) {
+  const std::uint32_t value = ip.value();
+  if (value <= kNodeIpBase || value - kNodeIpBase > 0xffff) {
+    return std::nullopt;
+  }
+  return NodeId(value - kNodeIpBase - 1);
+}
+
+}  // namespace rtether::sim

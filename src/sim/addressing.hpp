@@ -1,0 +1,36 @@
+#pragma once
+
+/// @file addressing.hpp
+/// Deterministic MAC/IP assignment for the simulated star network. Node k
+/// gets a locally administered MAC and a 10.0.0.0/16 address derived from
+/// its ID; the switch has fixed well-known addresses. The inverse mapping
+/// exists so tests and traffic generators can address nodes directly.
+
+#include <optional>
+
+#include "common/types.hpp"
+#include "net/address.hpp"
+
+namespace rtether::sim {
+
+/// MAC of end-node `node`: 02:00:00:00:hh:ll with hh:ll = node ID + 1.
+[[nodiscard]] net::MacAddress node_mac(NodeId node);
+
+/// IP of end-node `node`: 10.0.hh.ll with hh:ll = node ID + 1.
+[[nodiscard]] net::Ipv4Address node_ip(NodeId node);
+
+/// The switch's MAC (02:00:00:ff:ff:fe) — destination of RequestFrames
+/// (Fig 18.3) and source of switch-originated ResponseFrames (Fig 18.4).
+[[nodiscard]] net::MacAddress switch_mac();
+
+/// The switch management software's IP (10.1.255.254 — outside the node
+/// range 10.0.0.1…10.0.255.255).
+[[nodiscard]] net::Ipv4Address switch_ip();
+
+/// Inverse of node_mac; nullopt for the switch MAC or foreign addresses.
+[[nodiscard]] std::optional<NodeId> mac_to_node(const net::MacAddress& mac);
+
+/// Inverse of node_ip; nullopt for non-node addresses.
+[[nodiscard]] std::optional<NodeId> ip_to_node(const net::Ipv4Address& ip);
+
+}  // namespace rtether::sim

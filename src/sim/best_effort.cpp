@@ -1,0 +1,126 @@
+#include "sim/best_effort.hpp"
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+#include "net/ipv4.hpp"
+#include "sim/addressing.hpp"
+
+namespace rtether::sim {
+
+BestEffortSource::BestEffortSource(SimNetwork& network, NodeId node,
+                                   BestEffortProfile profile,
+                                   std::uint64_t seed)
+    : network_(network),
+      node_(node),
+      profile_(profile),
+      rng_(seed ^ (0x9e37'79b9'7f4a'7c15ULL * (node.value() + 1))) {
+  RTETHER_ASSERT(profile_.offered_load > 0.0);
+  RTETHER_ASSERT(profile_.min_payload_bytes <= profile_.max_payload_bytes);
+}
+
+double BestEffortSource::mean_interarrival_ticks() const {
+  const double mean_payload =
+      (static_cast<double>(profile_.min_payload_bytes) +
+       static_cast<double>(profile_.max_payload_bytes)) /
+      2.0;
+  const double mean_wire =
+      mean_payload + net::EthernetHeader::kWireSize +
+      net::Ipv4Header::kWireSize + 4 + 8 + 12;
+  const double mean_tx_ticks =
+      mean_wire * static_cast<double>(network_.config().ticks_per_slot) /
+      static_cast<double>(kMaxFrameWireBytes);
+  return mean_tx_ticks / profile_.offered_load;
+}
+
+void BestEffortSource::start() {
+  running_ = true;
+  schedule_next();
+}
+
+void BestEffortSource::schedule_next() {
+  if (!running_) return;
+  double gap_ticks = rng_.exponential(mean_interarrival_ticks());
+  if (profile_.arrivals == BestEffortArrivals::kOnOff && !on_phase_) {
+    // Jump over the off phase before the next arrival.
+    const double off_ticks =
+        rng_.exponential(profile_.mean_off_slots *
+                         static_cast<double>(network_.config().ticks_per_slot));
+    gap_ticks += off_ticks;
+    on_phase_ = true;
+  }
+  network_.simulator().schedule_in(
+      static_cast<Tick>(gap_ticks) + 1, [this] {
+        if (!running_) return;
+        emit_frame();
+        if (profile_.arrivals == BestEffortArrivals::kOnOff && on_phase_) {
+          // End the on phase with probability 1/(arrivals per on phase).
+          const double arrivals_per_on =
+              profile_.mean_on_slots *
+              static_cast<double>(network_.config().ticks_per_slot) /
+              mean_interarrival_ticks();
+          if (arrivals_per_on < 1.0 ||
+              rng_.bernoulli(1.0 / arrivals_per_on)) {
+            on_phase_ = false;
+          }
+        }
+        schedule_next();
+      });
+}
+
+void BestEffortSource::emit_frame() {
+  NodeId destination = profile_.destination.value_or(node_);
+  if (!profile_.destination) {
+    // Uniform among other nodes (self excluded).
+    const std::uint32_t count = network_.node_count();
+    if (count <= 1) return;
+    auto pick = static_cast<std::uint32_t>(
+        rng_.index(count - 1));
+    if (pick >= node_.value()) ++pick;
+    destination = NodeId{pick};
+  }
+
+  const auto payload_bytes = static_cast<std::uint32_t>(rng_.uniform(
+      profile_.min_payload_bytes, profile_.max_payload_bytes));
+
+  // Ordinary IPv4 frame, ToS 0 — takes the FCFS path at every hop.
+  net::Ipv4Header ip;
+  ip.tos = 0;
+  ip.protocol = net::IpProtocol::kTcp;
+  ip.source = node_ip(node_);
+  ip.destination = node_ip(destination);
+  ip.total_length = static_cast<std::uint16_t>(
+      net::Ipv4Header::kWireSize +
+      std::min<std::uint32_t>(payload_bytes, 0xffff));
+
+  net::EthernetHeader ethernet;
+  ethernet.source = node_mac(node_);
+  ethernet.destination = node_mac(destination);
+  ethernet.ether_type = net::EtherType::kIpv4;
+
+  ByteWriter writer(net::EthernetHeader::kWireSize +
+                    net::Ipv4Header::kWireSize);
+  ethernet.serialize(writer);
+  ip.serialize(writer);
+
+  SimFrame frame =
+      SimFrame::make(network_.next_frame_id(), std::move(writer).take(),
+                     payload_bytes, network_.now(), node_);
+  ++frames_generated_;
+  network_.stats().record_best_effort_sent();
+  network_.node(node_).send_best_effort(std::move(frame));
+}
+
+std::vector<std::unique_ptr<BestEffortSource>> attach_best_effort_everywhere(
+    SimNetwork& network, const BestEffortProfile& profile,
+    std::uint64_t seed) {
+  std::vector<std::unique_ptr<BestEffortSource>> sources;
+  sources.reserve(network.node_count());
+  for (std::uint32_t n = 0; n < network.node_count(); ++n) {
+    sources.push_back(std::make_unique<BestEffortSource>(
+        network, NodeId{n}, profile, seed));
+    sources.back()->start();
+  }
+  return sources;
+}
+
+}  // namespace rtether::sim

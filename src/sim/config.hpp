@@ -1,0 +1,55 @@
+#pragma once
+
+/// @file config.hpp
+/// Simulator timing parameters tying the analysis' slot units to the
+/// simulation's tick grid.
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace rtether::sim {
+
+struct SimConfig {
+  /// Ticks per analysis slot (transmission time of one maximal frame).
+  /// Sub-slot latencies are expressed in ticks.
+  Tick ticks_per_slot{64};
+
+  /// One-way propagation + PHY delay per link, ticks. Industrial cables are
+  /// short (≤ 100 m ⇒ ~0.5 µs ≪ slot), so the default is 1 tick.
+  Tick propagation_ticks{1};
+
+  /// Switch store-and-forward processing latency per frame, ticks.
+  Tick switch_processing_ticks{1};
+
+  /// When false, the RT layer's EDF queues are bypassed and *all* traffic —
+  /// including RT-tagged frames — takes the FCFS path at every hop. This is
+  /// the motivational baseline: plain switched Ethernet without the paper's
+  /// RT layer (bench_baseline_fcfs).
+  bool edf_enabled{true};
+
+  /// Transmission time for `wire_bytes` on a link, in ticks (rounded up;
+  /// minimum 1 tick).
+  [[nodiscard]] Tick transmission_ticks(std::uint64_t wire_bytes) const {
+    const Tick ticks = (wire_bytes * ticks_per_slot + kMaxFrameWireBytes - 1) /
+                       kMaxFrameWireBytes;
+    return ticks > 0 ? ticks : 1;
+  }
+
+  /// Converts analysis slots to ticks.
+  [[nodiscard]] Tick slots_to_ticks(Slot slots) const {
+    return slots * ticks_per_slot;
+  }
+
+  /// The system constant T_latency of paper Eq 18.1: everything the
+  /// per-link EDF analysis does not account for — two propagation delays,
+  /// switch processing, and (when non-RT traffic shares the links) one
+  /// maximal frame of non-preemption blocking per hop. An RT message is
+  /// guaranteed delivered within d_i slots + this.
+  [[nodiscard]] Tick t_latency_ticks(bool with_best_effort_traffic) const {
+    const Tick blocking =
+        with_best_effort_traffic ? 2 * ticks_per_slot : 0;
+    return 2 * propagation_ticks + switch_processing_ticks + blocking;
+  }
+};
+
+}  // namespace rtether::sim

@@ -1,0 +1,16 @@
+#include "sim/forwarding.hpp"
+
+namespace rtether::sim {
+
+void ForwardingTable::learn(const net::MacAddress& mac, NodeId node) {
+  table_[mac] = node;
+}
+
+std::optional<NodeId> ForwardingTable::lookup(
+    const net::MacAddress& mac) const {
+  const auto it = table_.find(mac);
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace rtether::sim

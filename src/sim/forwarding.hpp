@@ -1,0 +1,34 @@
+#pragma once
+
+/// @file forwarding.hpp
+/// The switch's MAC forwarding table with source-address learning. In this
+/// network the table converges during channel establishment (every node's
+/// request/response traverses the switch before any RT data flows), so RT
+/// frames never need flooding.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "net/address.hpp"
+
+namespace rtether::sim {
+
+class ForwardingTable {
+ public:
+  /// Records that `mac` was seen on the port toward `node`. Re-learning an
+  /// existing entry to a new port updates it (station moved).
+  void learn(const net::MacAddress& mac, NodeId node);
+
+  /// Port (node) for a destination MAC; nullopt when unknown.
+  [[nodiscard]] std::optional<NodeId> lookup(
+      const net::MacAddress& mac) const;
+
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+
+ private:
+  std::unordered_map<net::MacAddress, NodeId> table_;
+};
+
+}  // namespace rtether::sim

@@ -1,0 +1,74 @@
+#include "sim/frame.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/bytes.hpp"
+#include "common/units.hpp"
+#include "net/ipv4.hpp"
+
+namespace rtether::sim {
+
+const char* to_string(FrameClass cls) {
+  switch (cls) {
+    case FrameClass::kManagement:
+      return "management";
+    case FrameClass::kRealTime:
+      return "real-time";
+    case FrameClass::kBestEffort:
+      return "best-effort";
+  }
+  return "?";
+}
+
+std::optional<FrameInfo> classify_frame(std::span<const std::uint8_t> bytes) {
+  ByteReader reader(bytes);
+  const auto ethernet = net::EthernetHeader::parse(reader);
+  if (!ethernet) {
+    return std::nullopt;
+  }
+  FrameInfo info;
+  info.source_mac = ethernet->source;
+  info.destination_mac = ethernet->destination;
+
+  if (ethernet->ether_type == net::EtherType::kRtManagement) {
+    info.cls = FrameClass::kManagement;
+    return info;
+  }
+  if (ethernet->ether_type == net::EtherType::kIpv4) {
+    ByteReader ip_reader(bytes.subspan(net::EthernetHeader::kWireSize));
+    const auto ip = net::Ipv4Header::parse(ip_reader);
+    if (ip && net::is_rt_frame(*ip)) {
+      info.cls = FrameClass::kRealTime;
+      info.rt_tag = net::decode_rt_tag(*ip);
+      return info;
+    }
+  }
+  info.cls = FrameClass::kBestEffort;
+  return info;
+}
+
+std::uint64_t SimFrame::wire_bytes() const {
+  const std::uint64_t on_wire =
+      bytes.size() + extra_payload_bytes + 4 /*FCS*/ + 8 /*preamble*/ +
+      12 /*IFG*/;
+  return std::clamp(on_wire, kMinFrameWireBytes, kMaxFrameWireBytes);
+}
+
+SimFrame SimFrame::make(std::uint64_t frame_id,
+                        std::vector<std::uint8_t> frame_bytes,
+                        std::uint64_t extra_payload_bytes, Tick created_at,
+                        NodeId origin) {
+  SimFrame frame;
+  frame.id = frame_id;
+  frame.bytes = std::move(frame_bytes);
+  frame.extra_payload_bytes = extra_payload_bytes;
+  const auto info = classify_frame(frame.bytes);
+  RTETHER_ASSERT_MSG(info.has_value(), "frame bytes lack an Ethernet header");
+  frame.info = *info;
+  frame.created_at = created_at;
+  frame.origin = origin;
+  return frame;
+}
+
+}  // namespace rtether::sim

@@ -1,0 +1,75 @@
+#pragma once
+
+/// @file frame.hpp
+/// The frame as it travels through the simulated network. Headers are real
+/// serialized bytes (Ethernet, and for data frames IPv4+UDP with the
+/// deadline encoding of §18.2.2) so every hop exercises the same
+/// classification logic a real RT-layer switch port would run; bulk payload
+/// is accounted by size only.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/address.hpp"
+#include "net/deadline_codec.hpp"
+#include "net/ethernet.hpp"
+
+namespace rtether::sim {
+
+/// Traffic class, decided from the wire bytes exactly as the paper's
+/// switch decides it (Fig 18.2's two output queues + management path).
+enum class FrameClass : std::uint8_t {
+  /// EtherType kRtManagement: channel establishment / teardown.
+  kManagement,
+  /// IPv4 with ToS == 255: real-time data, EDF-queued.
+  kRealTime,
+  /// Everything else: best-effort, FCFS-queued.
+  kBestEffort,
+};
+
+[[nodiscard]] const char* to_string(FrameClass cls);
+
+/// Classification result parsed from the leading header bytes.
+struct FrameInfo {
+  FrameClass cls{FrameClass::kBestEffort};
+  net::MacAddress source_mac;
+  net::MacAddress destination_mac;
+  /// Present iff cls == kRealTime.
+  std::optional<net::RtFrameTag> rt_tag;
+};
+
+/// Parses Ethernet (+IPv4) headers and classifies; nullopt when the bytes do
+/// not even contain an Ethernet header.
+[[nodiscard]] std::optional<FrameInfo> classify_frame(
+    std::span<const std::uint8_t> bytes);
+
+/// A frame instance in flight.
+struct SimFrame {
+  /// Unique per simulation run (monotonic), for stable tie-breaks & traces.
+  std::uint64_t id{0};
+  /// Serialized headers (and, for management frames, the full payload).
+  std::vector<std::uint8_t> bytes;
+  /// Bulk payload bytes accounted for wire time but not materialized.
+  std::uint64_t extra_payload_bytes{0};
+  /// Classification cache (== classify_frame(bytes); tests verify).
+  FrameInfo info;
+  /// When the sending application released the frame.
+  Tick created_at{0};
+  /// Sending end-node (provenance for stats; not trusted by the switch).
+  NodeId origin;
+
+  /// Wire occupancy: headers + bulk payload + FCS/preamble/IFG, floored at
+  /// the Ethernet minimum and capped at one maximal frame.
+  [[nodiscard]] std::uint64_t wire_bytes() const;
+
+  /// Builds a frame, classifying (and asserting on unparseable bytes).
+  static SimFrame make(std::uint64_t frame_id,
+                       std::vector<std::uint8_t> bytes,
+                       std::uint64_t extra_payload_bytes, Tick created_at,
+                       NodeId origin);
+};
+
+}  // namespace rtether::sim

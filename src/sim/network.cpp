@@ -1,0 +1,73 @@
+#include "sim/network.hpp"
+
+#include "common/assert.hpp"
+
+namespace rtether::sim {
+
+SimNetwork::SimNetwork(SimConfig config, std::uint32_t node_count,
+                       std::size_t best_effort_depth)
+    : config_(config) {
+  RTETHER_ASSERT_MSG(node_count >= 1, "network needs at least one node");
+  miss_allowance_ = config_.t_latency_ticks(/*with_best_effort=*/true);
+
+  // Switch ports deliver to nodes after one propagation delay; delivery is
+  // also the measurement point for end-to-end statistics.
+  switch_ = std::make_unique<SimSwitch>(
+      simulator_, config_, node_count,
+      [this](NodeId port, SimFrame frame, Tick /*completion*/) {
+        simulator_.schedule_in(
+            config_.propagation_ticks,
+            [this, port, frame = std::move(frame)]() {
+              const Tick now = simulator_.now();
+              if (frame.info.cls == FrameClass::kRealTime &&
+                  frame.info.rt_tag) {
+                stats_.record_rt_delivered(
+                    frame.info.rt_tag->channel, frame.created_at,
+                    frame.info.rt_tag->absolute_deadline, now,
+                    miss_allowance_);
+              } else if (frame.info.cls == FrameClass::kBestEffort) {
+                stats_.record_best_effort_delivered(frame.created_at, now);
+              }
+              node(port).receive(frame, now);
+            });
+      },
+      best_effort_depth);
+
+  // Node uplinks deliver to the switch ingress after one propagation delay.
+  nodes_.reserve(node_count);
+  for (std::uint32_t n = 0; n < node_count; ++n) {
+    const NodeId id{n};
+    nodes_.push_back(std::make_unique<SimNode>(
+        simulator_, config_, id,
+        [this, id](SimFrame frame, Tick /*completion*/) {
+          simulator_.schedule_in(
+              config_.propagation_ticks,
+              [this, id, frame = std::move(frame)]() mutable {
+                switch_->ingress(std::move(frame), id);
+              });
+        },
+        best_effort_depth));
+  }
+}
+
+SimNode& SimNetwork::node(NodeId id) {
+  RTETHER_ASSERT(id.value() < nodes_.size());
+  return *nodes_[id.value()];
+}
+
+double SimNetwork::uplink_utilization(NodeId id) const {
+  const Tick elapsed = simulator_.now();
+  if (elapsed == 0) return 0.0;
+  return static_cast<double>(
+             nodes_[id.value()]->uplink().stats().busy_ticks) /
+         static_cast<double>(elapsed);
+}
+
+double SimNetwork::downlink_utilization(NodeId id) const {
+  const Tick elapsed = simulator_.now();
+  if (elapsed == 0) return 0.0;
+  return static_cast<double>(switch_->port(id).stats().busy_ticks) /
+         static_cast<double>(elapsed);
+}
+
+}  // namespace rtether::sim

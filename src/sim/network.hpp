@@ -1,0 +1,73 @@
+#pragma once
+
+/// @file network.hpp
+/// The composed star network of Fig 18.1: N end-nodes, one full-duplex
+/// switched-Ethernet switch, and the wiring between them (uplink →
+/// propagation → switch ingress; switch port → propagation → node receive).
+/// Owns the simulation kernel and the measurement layer.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/config.hpp"
+#include "sim/node.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/switch.hpp"
+
+namespace rtether::sim {
+
+class SimNetwork {
+ public:
+  /// Builds a star network with `node_count` end-nodes. `best_effort_depth`
+  /// bounds every FCFS queue in the network (0 = unbounded).
+  SimNetwork(SimConfig config, std::uint32_t node_count,
+             std::size_t best_effort_depth = 0);
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  [[nodiscard]] Simulator& simulator() { return simulator_; }
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+  [[nodiscard]] Tick now() const { return simulator_.now(); }
+
+  [[nodiscard]] std::uint32_t node_count() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  [[nodiscard]] SimNode& node(NodeId id);
+  [[nodiscard]] SimSwitch& ethernet_switch() { return *switch_; }
+  [[nodiscard]] const SimSwitch& ethernet_switch() const { return *switch_; }
+
+  [[nodiscard]] SimStats& stats() { return stats_; }
+  [[nodiscard]] const SimStats& stats() const { return stats_; }
+
+  /// Fresh network-unique frame ID.
+  [[nodiscard]] std::uint64_t next_frame_id() { return next_frame_id_++; }
+
+  /// Sets the T_latency allowance (ticks) used for miss accounting
+  /// (default: `config.t_latency_ticks(true)`, the with-best-effort bound).
+  void set_miss_allowance(Tick allowance) { miss_allowance_ = allowance; }
+  [[nodiscard]] Tick miss_allowance() const { return miss_allowance_; }
+
+  /// Convenience for tests that bypass channel establishment.
+  void prime_forwarding() { switch_->prime_forwarding(node_count()); }
+
+  /// Fraction of elapsed time node `id`'s uplink transmitter was busy.
+  [[nodiscard]] double uplink_utilization(NodeId id) const;
+
+  /// Fraction of elapsed time the switch port toward `id` was busy.
+  [[nodiscard]] double downlink_utilization(NodeId id) const;
+
+ private:
+  SimConfig config_;
+  Simulator simulator_;
+  SimStats stats_;
+  std::unique_ptr<SimSwitch> switch_;
+  std::vector<std::unique_ptr<SimNode>> nodes_;
+  std::uint64_t next_frame_id_{1};
+  Tick miss_allowance_{0};
+};
+
+}  // namespace rtether::sim

@@ -1,0 +1,32 @@
+#include "sim/node.hpp"
+
+namespace rtether::sim {
+
+SimNode::SimNode(Simulator& simulator, const SimConfig& config, NodeId id,
+                 Transmitter::DeliverFn uplink_deliver,
+                 std::size_t best_effort_depth)
+    : id_(id),
+      config_(config),
+      uplink_(simulator, config, "node-" + std::to_string(id.value()) + "-up",
+              std::move(uplink_deliver), best_effort_depth) {}
+
+void SimNode::send_rt(Tick deadline_key, SimFrame frame) {
+  if (!config_.edf_enabled) {
+    // Baseline mode: no RT layer — everything is first-come-first-serve.
+    uplink_.enqueue_best_effort(std::move(frame));
+    return;
+  }
+  uplink_.enqueue_rt(deadline_key, std::move(frame));
+}
+
+void SimNode::send_best_effort(SimFrame frame) {
+  uplink_.enqueue_best_effort(std::move(frame));
+}
+
+void SimNode::receive(const SimFrame& frame, Tick now) {
+  if (receiver_) {
+    receiver_(frame, now);
+  }
+}
+
+}  // namespace rtether::sim

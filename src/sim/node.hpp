@@ -1,0 +1,54 @@
+#pragma once
+
+/// @file node.hpp
+/// A simulated end-node's link interface: the uplink transmitter with the
+/// RT(EDF)+FCFS queue pair of Fig 18.2 and a receive hook for downlink
+/// deliveries. The RT-layer intelligence (channel tables, deadline
+/// assignment, establishment protocol) lives in `proto::NodeRtLayer` and
+/// drives this class.
+
+#include <functional>
+
+#include "common/types.hpp"
+#include "sim/config.hpp"
+#include "sim/frame.hpp"
+#include "sim/simulator.hpp"
+#include "sim/transmitter.hpp"
+
+namespace rtether::sim {
+
+class SimNode {
+ public:
+  /// Invoked when a frame is fully delivered to this node.
+  using ReceiveFn = std::function<void(const SimFrame& frame, Tick now)>;
+
+  SimNode(Simulator& simulator, const SimConfig& config, NodeId id,
+          Transmitter::DeliverFn uplink_deliver,
+          std::size_t best_effort_depth = 0);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+
+  /// Queues an RT frame on the uplink under the node-local EDF key
+  /// (release + d_iu in ticks, computed by the RT layer).
+  void send_rt(Tick deadline_key, SimFrame frame);
+
+  /// Queues a best-effort frame on the uplink.
+  void send_best_effort(SimFrame frame);
+
+  /// Registers the receive hook (RT layer or test observer).
+  void set_receiver(ReceiveFn receiver) { receiver_ = std::move(receiver); }
+
+  /// Called by the network when a downlink frame arrives.
+  void receive(const SimFrame& frame, Tick now);
+
+  [[nodiscard]] Transmitter& uplink() { return uplink_; }
+  [[nodiscard]] const Transmitter& uplink() const { return uplink_; }
+
+ private:
+  NodeId id_;
+  const SimConfig& config_;
+  Transmitter uplink_;
+  ReceiveFn receiver_;
+};
+
+}  // namespace rtether::sim

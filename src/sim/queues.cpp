@@ -1,0 +1,44 @@
+#include "sim/queues.hpp"
+
+namespace rtether::sim {
+
+void EdfQueue::push(Tick deadline_key, SimFrame frame) {
+  heap_.push(Entry{deadline_key, next_sequence_++, std::move(frame)});
+}
+
+std::optional<SimFrame> EdfQueue::pop() {
+  if (heap_.empty()) {
+    return std::nullopt;
+  }
+  // top() is const; moving out is safe because we pop immediately.
+  SimFrame frame = std::move(const_cast<Entry&>(heap_.top()).frame);
+  heap_.pop();
+  return frame;
+}
+
+std::optional<Tick> EdfQueue::peek_deadline() const {
+  if (heap_.empty()) {
+    return std::nullopt;
+  }
+  return heap_.top().deadline;
+}
+
+bool FcfsQueue::push(SimFrame frame) {
+  if (max_depth_ != 0 && queue_.size() >= max_depth_) {
+    ++dropped_;
+    return false;
+  }
+  queue_.push_back(std::move(frame));
+  return true;
+}
+
+std::optional<SimFrame> FcfsQueue::pop() {
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  SimFrame frame = std::move(queue_.front());
+  queue_.pop_front();
+  return frame;
+}
+
+}  // namespace rtether::sim

@@ -1,0 +1,76 @@
+#pragma once
+
+/// @file queues.hpp
+/// The two output queues of Fig 18.2: a deadline-sorted queue for RT frames
+/// (EDF) and a first-come-first-serve queue for everything else. One pair
+/// exists per transmitter — in every end-node for its uplink and in the
+/// switch for every output port.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/frame.hpp"
+
+namespace rtether::sim {
+
+/// Deadline-sorted (EDF) frame queue. The key is the scheduling deadline in
+/// ticks — `release + d_iu` at the source node, the absolute end-to-end
+/// deadline decoded from the IP header at the switch. Ties break FIFO by
+/// enqueue order, making the schedule deterministic.
+class EdfQueue {
+ public:
+  void push(Tick deadline_key, SimFrame frame);
+
+  /// Removes and returns the earliest-deadline frame; nullopt when empty.
+  std::optional<SimFrame> pop();
+
+  /// Earliest deadline key without removing; nullopt when empty.
+  [[nodiscard]] std::optional<Tick> peek_deadline() const;
+
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+
+ private:
+  struct Entry {
+    Tick deadline;
+    std::uint64_t sequence;
+    SimFrame frame;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_sequence_{0};
+};
+
+/// First-come-first-serve queue for non-real-time frames, with an optional
+/// depth limit (a real switch has finite buffers; overflow drops the tail).
+class FcfsQueue {
+ public:
+  /// `max_depth` 0 means unbounded.
+  explicit FcfsQueue(std::size_t max_depth = 0) : max_depth_(max_depth) {}
+
+  /// Enqueues; false (and drop) when the queue is full.
+  bool push(SimFrame frame);
+
+  std::optional<SimFrame> pop();
+
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::deque<SimFrame> queue_;
+  std::size_t max_depth_;
+  std::uint64_t dropped_{0};
+};
+
+}  // namespace rtether::sim

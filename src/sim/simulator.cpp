@@ -1,0 +1,47 @@
+#include "sim/simulator.hpp"
+
+#include "common/assert.hpp"
+
+namespace rtether::sim {
+
+void Simulator::schedule_at(Tick when, Action action) {
+  RTETHER_ASSERT_MSG(when >= now_, "cannot schedule into the past");
+  queue_.push(Event{when, next_sequence_++, std::move(action)});
+}
+
+void Simulator::schedule_in(Tick delay, Action action) {
+  schedule_at(now_ + delay, std::move(action));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // priority_queue::top is const; the action is moved out via const_cast,
+  // which is safe because the element is popped before the action runs.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.time;
+  ++executed_;
+  event.action();
+  return true;
+}
+
+void Simulator::run_until(Tick until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    step();
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+}
+
+void Simulator::run_all(std::uint64_t max_events) {
+  std::uint64_t executed = 0;
+  while (step()) {
+    RTETHER_ASSERT_MSG(++executed <= max_events,
+                       "event budget exhausted — runaway simulation?");
+  }
+}
+
+}  // namespace rtether::sim

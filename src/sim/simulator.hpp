@@ -1,0 +1,64 @@
+#pragma once
+
+/// @file simulator.hpp
+/// Discrete-event simulation kernel: a clock and a time-ordered event queue.
+/// Events at the same tick execute in scheduling order (stable), which keeps
+/// runs bit-reproducible.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rtether::sim {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulation time.
+  [[nodiscard]] Tick now() const { return now_; }
+
+  /// Schedules `action` at absolute time `when` (≥ now).
+  void schedule_at(Tick when, Action action);
+
+  /// Schedules `action` `delay` ticks from now.
+  void schedule_in(Tick delay, Action action);
+
+  /// Executes the next event; false when the queue is empty.
+  bool step();
+
+  /// Runs events with time ≤ `until`; the clock ends at `until` even if the
+  /// queue drains early.
+  void run_until(Tick until);
+
+  /// Runs until the queue is empty (bounded by `max_events` as a runaway
+  /// guard; asserts if exceeded).
+  void run_all(std::uint64_t max_events = 100'000'000);
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    Tick time;
+    std::uint64_t sequence;  // tie-break: FIFO within a tick
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  Tick now_{0};
+  std::uint64_t next_sequence_{0};
+  std::uint64_t executed_{0};
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace rtether::sim

@@ -1,0 +1,49 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+
+namespace rtether::sim {
+
+void SimStats::record_rt_delivered(ChannelId channel, Tick created,
+                                   Tick absolute_deadline, Tick delivered,
+                                   Tick allowance) {
+  auto& stats = channels_[channel];
+  ++stats.frames_delivered;
+  stats.delay_ticks.add(static_cast<double>(delivered - created));
+  const auto lateness = static_cast<std::int64_t>(delivered) -
+                        static_cast<std::int64_t>(absolute_deadline);
+  stats.worst_lateness_ticks =
+      std::max(stats.worst_lateness_ticks, lateness);
+  if (delivered > absolute_deadline + allowance) {
+    ++stats.deadline_misses;
+  }
+}
+
+void SimStats::record_best_effort_delivered(Tick created, Tick delivered) {
+  ++best_effort_delivered_;
+  best_effort_delay_.add(static_cast<double>(delivered - created));
+}
+
+std::optional<ChannelDeliveryStats> SimStats::channel(ChannelId id) const {
+  const auto it = channels_.find(id);
+  if (it == channels_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t SimStats::total_rt_delivered() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, stats] : channels_) {
+    total += stats.frames_delivered;
+  }
+  return total;
+}
+
+std::uint64_t SimStats::total_deadline_misses() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, stats] : channels_) {
+    total += stats.deadline_misses;
+  }
+  return total;
+}
+
+}  // namespace rtether::sim

@@ -1,0 +1,75 @@
+#pragma once
+
+/// @file stats.hpp
+/// Measurement layer: per-channel delivery statistics (the quantities the
+/// paper's guarantee Eq 18.1 bounds) plus best-effort service metrics.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace rtether::sim {
+
+/// Per-RT-channel delivery record.
+struct ChannelDeliveryStats {
+  std::uint64_t frames_sent{0};
+  std::uint64_t frames_delivered{0};
+  /// Deliveries later than absolute deadline + T_latency allowance — must
+  /// stay zero for admitted channels (the paper's central claim).
+  std::uint64_t deadline_misses{0};
+  /// End-to-end delay (release → delivery), ticks.
+  RunningStats delay_ticks;
+  /// Worst observed (delivery − absolute deadline); negative = early.
+  /// Lateness beyond the allowance is a miss.
+  std::int64_t worst_lateness_ticks{std::numeric_limits<std::int64_t>::min()};
+};
+
+class SimStats {
+ public:
+  void record_rt_sent(ChannelId channel) {
+    ++channels_[channel].frames_sent;
+  }
+
+  /// Records a delivered RT frame. `allowance` is the T_latency budget of
+  /// Eq 18.1 in ticks; delivery after `absolute_deadline + allowance`
+  /// counts as a miss.
+  void record_rt_delivered(ChannelId channel, Tick created,
+                           Tick absolute_deadline, Tick delivered,
+                           Tick allowance);
+
+  void record_best_effort_sent() { ++best_effort_sent_; }
+  void record_best_effort_delivered(Tick created, Tick delivered);
+
+  [[nodiscard]] const std::map<ChannelId, ChannelDeliveryStats>& channels()
+      const {
+    return channels_;
+  }
+
+  /// Stats for one channel; nullopt if it never sent.
+  [[nodiscard]] std::optional<ChannelDeliveryStats> channel(
+      ChannelId id) const;
+
+  [[nodiscard]] std::uint64_t total_rt_delivered() const;
+  [[nodiscard]] std::uint64_t total_deadline_misses() const;
+
+  [[nodiscard]] std::uint64_t best_effort_sent() const {
+    return best_effort_sent_;
+  }
+  [[nodiscard]] std::uint64_t best_effort_delivered() const {
+    return best_effort_delivered_;
+  }
+  [[nodiscard]] const RunningStats& best_effort_delay_ticks() const {
+    return best_effort_delay_;
+  }
+
+ private:
+  std::map<ChannelId, ChannelDeliveryStats> channels_;
+  std::uint64_t best_effort_sent_{0};
+  std::uint64_t best_effort_delivered_{0};
+  RunningStats best_effort_delay_;
+};
+
+}  // namespace rtether::sim

@@ -1,0 +1,113 @@
+#include "sim/switch.hpp"
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+#include "sim/addressing.hpp"
+
+namespace rtether::sim {
+
+SimSwitch::SimSwitch(Simulator& simulator, const SimConfig& config,
+                     std::uint32_t node_count, PortDeliverFn deliver,
+                     std::size_t best_effort_depth)
+    : simulator_(simulator), config_(config) {
+  RTETHER_ASSERT(deliver != nullptr);
+  ports_.reserve(node_count);
+  for (std::uint32_t n = 0; n < node_count; ++n) {
+    const NodeId node{n};
+    ports_.push_back(std::make_unique<Transmitter>(
+        simulator_, config_, "switch-port-" + std::to_string(n),
+        [deliver, node](SimFrame frame, Tick completion) {
+          deliver(node, std::move(frame), completion);
+        },
+        best_effort_depth));
+  }
+}
+
+Transmitter& SimSwitch::port(NodeId node) {
+  RTETHER_ASSERT(node.value() < ports_.size());
+  return *ports_[node.value()];
+}
+
+const Transmitter& SimSwitch::port(NodeId node) const {
+  RTETHER_ASSERT(node.value() < ports_.size());
+  return *ports_[node.value()];
+}
+
+void SimSwitch::ingress(SimFrame frame, NodeId from) {
+  // Source-address learning happens on reception, before processing.
+  table_.learn(frame.info.source_mac, from);
+  simulator_.schedule_in(
+      config_.switch_processing_ticks,
+      [this, frame = std::move(frame), from]() mutable {
+        forward(std::move(frame), from);
+      });
+}
+
+void SimSwitch::forward(SimFrame frame, NodeId from) {
+  switch (frame.info.cls) {
+    case FrameClass::kManagement: {
+      if (frame.info.destination_mac == switch_mac()) {
+        ++stats_.management_received;
+        if (mgmt_handler_) {
+          mgmt_handler_(frame, from, simulator_.now());
+        }
+        return;
+      }
+      // Management frame relayed between nodes: treat as best-effort below.
+      [[fallthrough]];
+    }
+    case FrameClass::kBestEffort: {
+      const auto dst = table_.lookup(frame.info.destination_mac);
+      if (dst && !frame.info.destination_mac.is_broadcast()) {
+        ++stats_.best_effort_forwarded;
+        port(*dst).enqueue_best_effort(std::move(frame));
+        return;
+      }
+      // Unknown unicast or broadcast: flood to all ports except ingress.
+      ++stats_.flooded;
+      for (std::uint32_t n = 0; n < ports_.size(); ++n) {
+        if (NodeId{n} == from) continue;
+        port(NodeId{n}).enqueue_best_effort(frame);
+      }
+      return;
+    }
+    case FrameClass::kRealTime: {
+      RTETHER_ASSERT_MSG(frame.info.rt_tag.has_value(),
+                         "RT classification without a decoded tag");
+      const auto dst = table_.lookup(frame.info.destination_mac);
+      if (!dst) {
+        // Cannot flood RT traffic without violating other ports'
+        // guarantees; establishment always precedes data, so this signals
+        // a misbehaving sender.
+        ++stats_.rt_dropped_unknown_destination;
+        RTETHER_LOG(kWarn, "switch",
+                    "dropping RT frame to unlearned MAC "
+                        << frame.info.destination_mac.to_string());
+        return;
+      }
+      ++stats_.rt_forwarded;
+      if (!config_.edf_enabled) {
+        // Baseline mode: plain switched Ethernet, FCFS everywhere.
+        port(*dst).enqueue_best_effort(std::move(frame));
+        return;
+      }
+      // EDF key: the absolute end-to-end deadline carried in the IP header
+      // (release + d_i) — see DESIGN.md "Per-hop EDF keys".
+      const Tick key = frame.info.rt_tag->absolute_deadline;
+      port(*dst).enqueue_rt(key, std::move(frame));
+      return;
+    }
+  }
+}
+
+void SimSwitch::send_from_switch(NodeId to, SimFrame frame) {
+  port(to).enqueue_best_effort(std::move(frame));
+}
+
+void SimSwitch::prime_forwarding(std::uint32_t node_count) {
+  for (std::uint32_t n = 0; n < node_count; ++n) {
+    table_.learn(node_mac(NodeId{n}), NodeId{n});
+  }
+}
+
+}  // namespace rtether::sim

@@ -1,0 +1,95 @@
+#pragma once
+
+/// @file switch.hpp
+/// The store-and-forward full-duplex Ethernet switch of Fig 18.1/18.2: one
+/// output port per end-node, each with the RT(EDF)+FCFS queue pair; frames
+/// are classified from their wire bytes (EtherType / ToS), RT frames are
+/// EDF-queued under the absolute deadline decoded from the IP header, and
+/// management frames addressed to the switch are handed to the RT channel
+/// management software (the `proto` layer).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/config.hpp"
+#include "sim/forwarding.hpp"
+#include "sim/frame.hpp"
+#include "sim/simulator.hpp"
+#include "sim/transmitter.hpp"
+
+namespace rtether::sim {
+
+/// Aggregate switch counters.
+struct SwitchStats {
+  std::uint64_t rt_forwarded{0};
+  std::uint64_t best_effort_forwarded{0};
+  std::uint64_t management_received{0};
+  std::uint64_t flooded{0};
+  /// RT frames dropped because the destination MAC was never learned
+  /// (cannot flood RT traffic without violating other ports' guarantees).
+  std::uint64_t rt_dropped_unknown_destination{0};
+};
+
+class SimSwitch {
+ public:
+  /// Invoked when a management frame addressed to the switch arrives;
+  /// `ingress` is the port it arrived on.
+  using MgmtHandler =
+      std::function<void(const SimFrame& frame, NodeId ingress, Tick now)>;
+
+  /// Invoked when a port finishes transmitting a frame toward its node;
+  /// the network layer adds propagation delay and delivers.
+  using PortDeliverFn =
+      std::function<void(NodeId port, SimFrame frame, Tick completion)>;
+
+  /// `best_effort_depth` bounds each port's FCFS queue (0 = unbounded).
+  SimSwitch(Simulator& simulator, const SimConfig& config,
+            std::uint32_t node_count, PortDeliverFn deliver,
+            std::size_t best_effort_depth = 0);
+
+  void set_mgmt_handler(MgmtHandler handler) {
+    mgmt_handler_ = std::move(handler);
+  }
+
+  /// A frame fully received from `from`'s uplink at the current tick.
+  /// Learning, classification and queueing happen after the configured
+  /// store-and-forward processing delay.
+  void ingress(SimFrame frame, NodeId from);
+
+  /// Sends a switch-originated frame (management responses) out of the port
+  /// toward `to`. Management traffic rides the best-effort queue — channel
+  /// establishment happens before RT traffic flows (§18.2.2), so it must not
+  /// perturb the EDF schedule.
+  void send_from_switch(NodeId to, SimFrame frame);
+
+  /// Output port transmitter toward `node` (stats/tests).
+  [[nodiscard]] Transmitter& port(NodeId node);
+  [[nodiscard]] const Transmitter& port(NodeId node) const;
+
+  [[nodiscard]] const SwitchStats& stats() const { return stats_; }
+  [[nodiscard]] const ForwardingTable& forwarding() const { return table_; }
+
+  /// Installs every node's MAC up front (tests that bypass the protocol
+  /// layer; a live network learns instead).
+  void prime_forwarding(std::uint32_t node_count);
+
+  [[nodiscard]] std::uint32_t port_count() const {
+    return static_cast<std::uint32_t>(ports_.size());
+  }
+
+ private:
+  /// Classification + queueing, after the processing delay.
+  void forward(SimFrame frame, NodeId from);
+
+  Simulator& simulator_;
+  const SimConfig& config_;
+  std::vector<std::unique_ptr<Transmitter>> ports_;
+  ForwardingTable table_;
+  MgmtHandler mgmt_handler_;
+  SwitchStats stats_;
+};
+
+}  // namespace rtether::sim

@@ -1,0 +1,69 @@
+#include "sim/transmitter.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace rtether::sim {
+
+Transmitter::Transmitter(Simulator& simulator, const SimConfig& config,
+                         std::string name, DeliverFn deliver,
+                         std::size_t best_effort_depth)
+    : simulator_(simulator),
+      config_(config),
+      name_(std::move(name)),
+      deliver_(std::move(deliver)),
+      best_effort_queue_(best_effort_depth) {
+  RTETHER_ASSERT(deliver_ != nullptr);
+}
+
+void Transmitter::enqueue_rt(Tick deadline_key, SimFrame frame) {
+  rt_queue_.push(deadline_key, std::move(frame));
+  stats_.max_rt_queue_depth =
+      std::max(stats_.max_rt_queue_depth, rt_queue_.size());
+  try_start();
+}
+
+void Transmitter::enqueue_best_effort(SimFrame frame) {
+  if (best_effort_queue_.push(std::move(frame))) {
+    stats_.max_best_effort_queue_depth = std::max(
+        stats_.max_best_effort_queue_depth, best_effort_queue_.size());
+  }
+  try_start();
+}
+
+void Transmitter::try_start() {
+  if (busy_) {
+    return;  // non-preemptive: the in-flight frame finishes first
+  }
+  // Strict priority: RT (EDF order) before best-effort (FCFS order).
+  std::optional<SimFrame> frame = rt_queue_.pop();
+  const bool is_rt = frame.has_value();
+  if (!frame) {
+    frame = best_effort_queue_.pop();
+  }
+  if (!frame) {
+    return;
+  }
+
+  busy_ = true;
+  const Tick tx_ticks = config_.transmission_ticks(frame->wire_bytes());
+  stats_.busy_ticks += tx_ticks;
+  if (is_rt) {
+    ++stats_.rt_frames_sent;
+  } else {
+    ++stats_.best_effort_frames_sent;
+  }
+
+  // Move the frame into the completion event.
+  simulator_.schedule_in(
+      tx_ticks,
+      [this, frame = std::move(*frame)]() mutable {
+        busy_ = false;
+        const Tick completion = simulator_.now();
+        deliver_(std::move(frame), completion);
+        try_start();
+      });
+}
+
+}  // namespace rtether::sim

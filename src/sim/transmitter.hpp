@@ -1,0 +1,72 @@
+#pragma once
+
+/// @file transmitter.hpp
+/// One transmit side of a simplex link: the dual output queue of Fig 18.2
+/// plus a non-preemptive transmission state machine. RT frames have strict
+/// priority over best-effort frames (a best-effort frame only starts when
+/// the RT queue is empty), but a frame in flight is never aborted — the
+/// one-frame blocking the paper folds into T_latency.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.hpp"
+#include "sim/config.hpp"
+#include "sim/queues.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtether::sim {
+
+/// Counters exposed per transmitter.
+struct TransmitterStats {
+  std::uint64_t rt_frames_sent{0};
+  std::uint64_t best_effort_frames_sent{0};
+  Tick busy_ticks{0};
+  std::size_t max_rt_queue_depth{0};
+  std::size_t max_best_effort_queue_depth{0};
+};
+
+class Transmitter {
+ public:
+  /// Called when a frame has been fully transmitted (store-and-forward
+  /// hand-off point); `completion` is the tick transmission ended.
+  using DeliverFn = std::function<void(SimFrame frame, Tick completion)>;
+
+  /// `best_effort_depth` bounds the FCFS queue (0 = unbounded).
+  Transmitter(Simulator& simulator, const SimConfig& config, std::string name,
+              DeliverFn deliver, std::size_t best_effort_depth = 0);
+
+  /// Queues an RT frame under the given EDF key (ticks) and starts
+  /// transmitting if idle.
+  void enqueue_rt(Tick deadline_key, SimFrame frame);
+
+  /// Queues a best-effort frame (dropped if the queue is full).
+  void enqueue_best_effort(SimFrame frame);
+
+  [[nodiscard]] const TransmitterStats& stats() const { return stats_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool busy() const { return busy_; }
+  [[nodiscard]] std::size_t rt_backlog() const { return rt_queue_.size(); }
+  [[nodiscard]] std::size_t best_effort_backlog() const {
+    return best_effort_queue_.size();
+  }
+  [[nodiscard]] std::uint64_t best_effort_dropped() const {
+    return best_effort_queue_.dropped();
+  }
+
+ private:
+  /// Starts the next transmission if idle and work is queued.
+  void try_start();
+
+  Simulator& simulator_;
+  const SimConfig& config_;
+  std::string name_;
+  DeliverFn deliver_;
+  EdfQueue rt_queue_;
+  FcfsQueue best_effort_queue_;
+  bool busy_{false};
+  TransmitterStats stats_;
+};
+
+}  // namespace rtether::sim

@@ -1,0 +1,58 @@
+#include "traffic/distribution.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace rtether::traffic {
+
+SlotDistribution SlotDistribution::fixed(Slot value) {
+  return SlotDistribution(Kind::kFixed, value, value, {});
+}
+
+SlotDistribution SlotDistribution::uniform(Slot lo, Slot hi) {
+  RTETHER_ASSERT(lo <= hi);
+  return SlotDistribution(Kind::kUniform, lo, hi, {});
+}
+
+SlotDistribution SlotDistribution::choice(std::vector<Slot> values) {
+  RTETHER_ASSERT(!values.empty());
+  return SlotDistribution(Kind::kChoice, 0, 0, std::move(values));
+}
+
+Slot SlotDistribution::sample(Rng& rng) const {
+  switch (kind_) {
+    case Kind::kFixed:
+      return lo_;
+    case Kind::kUniform:
+      return rng.uniform(lo_, hi_);
+    case Kind::kChoice:
+      return rng.pick(values_);
+  }
+  return lo_;
+}
+
+Slot SlotDistribution::min_value() const {
+  switch (kind_) {
+    case Kind::kFixed:
+    case Kind::kUniform:
+      return lo_;
+    case Kind::kChoice:
+      return *std::min_element(values_.begin(), values_.end());
+  }
+  return lo_;
+}
+
+Slot SlotDistribution::max_value() const {
+  switch (kind_) {
+    case Kind::kFixed:
+      return lo_;
+    case Kind::kUniform:
+      return hi_;
+    case Kind::kChoice:
+      return *std::max_element(values_.begin(), values_.end());
+  }
+  return hi_;
+}
+
+}  // namespace rtether::traffic

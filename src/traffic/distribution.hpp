@@ -1,0 +1,49 @@
+#pragma once
+
+/// @file distribution.hpp
+/// Samplers for channel parameters (periods, capacities, deadlines) used by
+/// the workload generators. Fig 18.5 uses fixed values; the ablation benches
+/// sweep ranges and harmonic sets.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+
+namespace rtether::traffic {
+
+/// A distribution over slot counts: fixed, uniform-integer, or a uniform
+/// choice among an explicit set (e.g. harmonic periods {50, 100, 200}).
+class SlotDistribution {
+ public:
+  /// Always `value`.
+  static SlotDistribution fixed(Slot value);
+
+  /// Uniform integer in [lo, hi].
+  static SlotDistribution uniform(Slot lo, Slot hi);
+
+  /// Uniform choice among `values` (non-empty).
+  static SlotDistribution choice(std::vector<Slot> values);
+
+  [[nodiscard]] Slot sample(Rng& rng) const;
+
+  /// Smallest value the distribution can produce.
+  [[nodiscard]] Slot min_value() const;
+
+  /// Largest value the distribution can produce.
+  [[nodiscard]] Slot max_value() const;
+
+ private:
+  enum class Kind : std::uint8_t { kFixed, kUniform, kChoice };
+
+  SlotDistribution(Kind kind, Slot lo, Slot hi, std::vector<Slot> values)
+      : kind_(kind), lo_(lo), hi_(hi), values_(std::move(values)) {}
+
+  Kind kind_{Kind::kFixed};
+  Slot lo_{0};
+  Slot hi_{0};
+  std::vector<Slot> values_;
+};
+
+}  // namespace rtether::traffic

@@ -1,0 +1,64 @@
+#include "traffic/master_slave.hpp"
+
+#include "common/assert.hpp"
+
+namespace rtether::traffic {
+
+const char* to_string(FlowDirection direction) {
+  switch (direction) {
+    case FlowDirection::kMasterToSlave:
+      return "master->slave";
+    case FlowDirection::kSlaveToMaster:
+      return "slave->master";
+    case FlowDirection::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+MasterSlaveWorkload::MasterSlaveWorkload(MasterSlaveConfig config,
+                                         std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  RTETHER_ASSERT(config_.masters >= 1);
+  RTETHER_ASSERT(config_.slaves >= 1);
+}
+
+core::ChannelSpec MasterSlaveWorkload::next() {
+  const NodeId master{
+      static_cast<std::uint32_t>(rng_.index(config_.masters))};
+  const NodeId slave{static_cast<std::uint32_t>(
+      config_.masters + rng_.index(config_.slaves))};
+
+  bool master_sends = true;
+  switch (config_.direction) {
+    case FlowDirection::kMasterToSlave:
+      master_sends = true;
+      break;
+    case FlowDirection::kSlaveToMaster:
+      master_sends = false;
+      break;
+    case FlowDirection::kMixed:
+      master_sends = rng_.bernoulli(0.5);
+      break;
+  }
+
+  core::ChannelSpec spec;
+  spec.source = master_sends ? master : slave;
+  spec.destination = master_sends ? slave : master;
+  spec.period = config_.period.sample(rng_);
+  spec.capacity = config_.capacity.sample(rng_);
+  spec.deadline = config_.deadline.sample(rng_);
+  return spec;
+}
+
+std::vector<core::ChannelSpec> MasterSlaveWorkload::generate(
+    std::size_t count) {
+  std::vector<core::ChannelSpec> specs;
+  specs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    specs.push_back(next());
+  }
+  return specs;
+}
+
+}  // namespace rtether::traffic

@@ -1,0 +1,65 @@
+#pragma once
+
+/// @file master_slave.hpp
+/// The paper's industrial traffic pattern (Fig 18.1 / §18.4.2 experiment):
+/// M master nodes and S slave nodes; channel requests pick a uniform-random
+/// master and a uniform-random slave. With M ≪ S the master links become the
+/// bottlenecks ADPS is designed to relieve.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/channel.hpp"
+#include "traffic/distribution.hpp"
+
+namespace rtether::traffic {
+
+/// Which way channels flow.
+enum class FlowDirection : std::uint8_t {
+  /// Master → slave (commands/setpoints): master *uplinks* are hot.
+  kMasterToSlave,
+  /// Slave → master (sensor readings): master *downlinks* are hot.
+  kSlaveToMaster,
+  /// Each request flips a fair coin between the two.
+  kMixed,
+};
+
+[[nodiscard]] const char* to_string(FlowDirection direction);
+
+struct MasterSlaveConfig {
+  std::uint32_t masters{10};
+  std::uint32_t slaves{50};
+  FlowDirection direction{FlowDirection::kMasterToSlave};
+  /// Paper's Fig 18.5 parameters: C=3, P=100, d=40.
+  SlotDistribution period = SlotDistribution::fixed(100);
+  SlotDistribution capacity = SlotDistribution::fixed(3);
+  SlotDistribution deadline = SlotDistribution::fixed(40);
+};
+
+/// Seeded stream of channel requests over the master/slave node split.
+/// Node IDs: masters are [0, M), slaves are [M, M+S).
+class MasterSlaveWorkload {
+ public:
+  MasterSlaveWorkload(MasterSlaveConfig config, std::uint64_t seed);
+
+  [[nodiscard]] std::uint32_t node_count() const {
+    return config_.masters + config_.slaves;
+  }
+  [[nodiscard]] bool is_master(NodeId node) const {
+    return node.value() < config_.masters;
+  }
+  [[nodiscard]] const MasterSlaveConfig& config() const { return config_; }
+
+  /// Next channel request in the stream.
+  [[nodiscard]] core::ChannelSpec next();
+
+  /// The next `count` requests.
+  [[nodiscard]] std::vector<core::ChannelSpec> generate(std::size_t count);
+
+ private:
+  MasterSlaveConfig config_;
+  Rng rng_;
+};
+
+}  // namespace rtether::traffic

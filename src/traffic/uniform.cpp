@@ -1,0 +1,37 @@
+#include "traffic/uniform.hpp"
+
+#include "common/assert.hpp"
+
+namespace rtether::traffic {
+
+UniformWorkload::UniformWorkload(UniformConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  RTETHER_ASSERT(config_.nodes >= 2);
+}
+
+core::ChannelSpec UniformWorkload::next() {
+  const auto source =
+      static_cast<std::uint32_t>(rng_.index(config_.nodes));
+  auto destination =
+      static_cast<std::uint32_t>(rng_.index(config_.nodes - 1));
+  if (destination >= source) ++destination;
+
+  core::ChannelSpec spec;
+  spec.source = NodeId{source};
+  spec.destination = NodeId{destination};
+  spec.period = config_.period.sample(rng_);
+  spec.capacity = config_.capacity.sample(rng_);
+  spec.deadline = config_.deadline.sample(rng_);
+  return spec;
+}
+
+std::vector<core::ChannelSpec> UniformWorkload::generate(std::size_t count) {
+  std::vector<core::ChannelSpec> specs;
+  specs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    specs.push_back(next());
+  }
+  return specs;
+}
+
+}  // namespace rtether::traffic

@@ -1,0 +1,39 @@
+#pragma once
+
+/// @file uniform.hpp
+/// Uniform-random peer-to-peer channel requests over a flat set of nodes —
+/// the symmetric workload where SDPS and ADPS should behave alike (no
+/// bottleneck for ADPS to exploit), used as a control in the ablations.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/channel.hpp"
+#include "traffic/distribution.hpp"
+
+namespace rtether::traffic {
+
+struct UniformConfig {
+  std::uint32_t nodes{60};
+  SlotDistribution period = SlotDistribution::fixed(100);
+  SlotDistribution capacity = SlotDistribution::fixed(3);
+  SlotDistribution deadline = SlotDistribution::fixed(40);
+};
+
+/// Seeded stream of requests with uniform-random distinct endpoints.
+class UniformWorkload {
+ public:
+  UniformWorkload(UniformConfig config, std::uint64_t seed);
+
+  [[nodiscard]] std::uint32_t node_count() const { return config_.nodes; }
+
+  [[nodiscard]] core::ChannelSpec next();
+  [[nodiscard]] std::vector<core::ChannelSpec> generate(std::size_t count);
+
+ private:
+  UniformConfig config_;
+  Rng rng_;
+};
+
+}  // namespace rtether::traffic

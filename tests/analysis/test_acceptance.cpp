@@ -1,0 +1,105 @@
+#include "analysis/acceptance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtether::analysis {
+namespace {
+
+traffic::MasterSlaveConfig paper_workload() {
+  return traffic::MasterSlaveConfig{};  // 10 masters, 50 slaves, {100,3,40}
+}
+
+AcceptanceSweepConfig small_sweep() {
+  AcceptanceSweepConfig config;
+  config.request_counts = {20, 60, 120, 200};
+  config.seeds = 3;
+  return config;
+}
+
+TEST(Acceptance, CountAcceptedMatchesControllerDirectly) {
+  traffic::MasterSlaveWorkload workload(paper_workload(), 42);
+  const auto specs = workload.generate(100);
+  const auto via_helper = count_accepted("SDPS", 60, specs);
+
+  core::AdmissionController controller(60, core::make_partitioner("SDPS"));
+  std::size_t direct = 0;
+  for (const auto& spec : specs) {
+    if (controller.request(spec)) ++direct;
+  }
+  EXPECT_EQ(via_helper, direct);
+}
+
+TEST(Acceptance, LowDemandAcceptsEverything) {
+  auto config = small_sweep();
+  config.request_counts = {10};
+  const auto curve =
+      run_master_slave_sweep("SDPS", paper_workload(), config);
+  ASSERT_EQ(curve.points.size(), 1u);
+  // 10 random requests over 10 masters cannot exceed any uplink's limit of
+  // 6 except in freak collisions; min over seeds should still be high.
+  EXPECT_GE(curve.points[0].accepted_min, 8.0);
+}
+
+TEST(Acceptance, SdpsPlateausAtSixtyOnPaperWorkload) {
+  // The analytic plateau: 10 masters × ⌊20/3⌋ = 60 channels.
+  auto config = small_sweep();
+  config.request_counts = {200};
+  config.seeds = 3;
+  const auto curve =
+      run_master_slave_sweep("SDPS", paper_workload(), config);
+  EXPECT_EQ(curve.points[0].accepted_min, 60.0);
+  EXPECT_EQ(curve.points[0].accepted_max, 60.0);
+}
+
+TEST(Acceptance, AdpsExceedsSdpsAtSaturation) {
+  auto config = small_sweep();
+  config.request_counts = {200};
+  const auto sdps = run_master_slave_sweep("SDPS", paper_workload(), config);
+  const auto adps = run_master_slave_sweep("ADPS", paper_workload(), config);
+  // Paper Fig 18.5: ADPS ≈ 110 vs SDPS = 60 at 200 requested.
+  EXPECT_GT(adps.points[0].accepted_mean,
+            1.5 * sdps.points[0].accepted_mean);
+}
+
+TEST(Acceptance, CurvesAreMonotoneInRequested) {
+  const auto curve = run_master_slave_sweep("ADPS", paper_workload(),
+                                            small_sweep());
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    EXPECT_GE(curve.points[i].accepted_mean,
+              curve.points[i - 1].accepted_mean);
+  }
+}
+
+TEST(Acceptance, MinNeverExceedsMeanNorMax) {
+  const auto curve = run_master_slave_sweep("SDPS", paper_workload(),
+                                            small_sweep());
+  for (const auto& p : curve.points) {
+    EXPECT_LE(p.accepted_min, p.accepted_mean);
+    EXPECT_LE(p.accepted_mean, p.accepted_max);
+    EXPECT_LE(p.accepted_max, static_cast<double>(p.requested));
+  }
+}
+
+TEST(Acceptance, SchemeNameRecorded) {
+  const auto curve = run_master_slave_sweep("UDPS", paper_workload(),
+                                            small_sweep());
+  EXPECT_EQ(curve.scheme, "UDPS");
+}
+
+TEST(Acceptance, GenericStreamAdapter) {
+  // A degenerate stream: every request identical 0→1; SDPS accepts 6.
+  AcceptanceSweepConfig config;
+  config.request_counts = {10};
+  config.seeds = 1;
+  const auto curve = run_acceptance_sweep(
+      "SDPS", 2,
+      [](std::uint64_t, std::size_t count) {
+        return std::vector<core::ChannelSpec>(
+            count, core::ChannelSpec{NodeId{0}, NodeId{1}, 100, 3, 40});
+      },
+      config);
+  EXPECT_EQ(curve.points[0].accepted_mean, 6.0);
+}
+
+}  // namespace
+}  // namespace rtether::analysis

@@ -1,0 +1,52 @@
+// Bit-reproducibility: identical seeds must give identical simulations —
+// the property every experiment in EXPERIMENTS.md relies on.
+
+#include <gtest/gtest.h>
+
+#include "analysis/validation.hpp"
+
+namespace rtether::analysis {
+namespace {
+
+ValidationConfig config_for(std::uint64_t seed) {
+  ValidationConfig config;
+  config.sim.ticks_per_slot = 64;
+  config.workload.masters = 2;
+  config.workload.slaves = 6;
+  config.request_count = 25;
+  config.run_slots = 600;
+  config.with_best_effort = true;
+  config.best_effort_load = 0.4;
+  config.seed = seed;
+  return config;
+}
+
+/// Flattens the parts of a result that must match bit-for-bit.
+std::string fingerprint(const ValidationResult& result) {
+  std::string fp = std::to_string(result.channels_established) + "|" +
+                   std::to_string(result.frames_sent) + "|" +
+                   std::to_string(result.frames_delivered) + "|" +
+                   std::to_string(result.best_effort_sent) + "|" +
+                   std::to_string(result.best_effort_delivered);
+  for (const auto& channel : result.channels) {
+    fp += "|" + std::to_string(channel.id.value()) + ":" +
+          std::to_string(channel.frames_delivered) + ":" +
+          std::to_string(channel.worst_delay_slots);
+  }
+  return fp;
+}
+
+TEST(Determinism, IdenticalSeedsIdenticalRuns) {
+  const auto a = run_guarantee_validation(config_for(77));
+  const auto b = run_guarantee_validation(config_for(77));
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  const auto a = run_guarantee_validation(config_for(77));
+  const auto b = run_guarantee_validation(config_for(78));
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+}
+
+}  // namespace
+}  // namespace rtether::analysis

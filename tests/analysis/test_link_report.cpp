@@ -1,0 +1,117 @@
+#include "analysis/link_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/admission.hpp"
+#include "core/partitioner.hpp"
+
+namespace rtether::analysis {
+namespace {
+
+core::ChannelSpec spec(std::uint32_t src, std::uint32_t dst, Slot p, Slot c,
+                       Slot d) {
+  return core::ChannelSpec{NodeId{src}, NodeId{dst}, p, c, d};
+}
+
+TEST(LinkReport, EmptyNetworkIsEmpty) {
+  const core::NetworkState state(4);
+  EXPECT_TRUE(network_report(state).empty());
+}
+
+TEST(LinkReport, ReportsBothEndsOfAChannel) {
+  core::AdmissionController controller(
+      4, std::make_unique<core::SymmetricPartitioner>());
+  ASSERT_TRUE(controller.request(spec(0, 1, 100, 3, 40)));
+  const auto reports = network_report(controller.state());
+  ASSERT_EQ(reports.size(), 2u);
+  // One uplink (node 0), one downlink (node 1); both d_iu = d_id = 20.
+  for (const auto& r : reports) {
+    EXPECT_EQ(r.channels, 1u);
+    EXPECT_DOUBLE_EQ(r.utilization, 0.03);
+    EXPECT_EQ(r.busy_period, 3u);
+    EXPECT_EQ(r.min_deadline, 20u);
+    // Slack at the first deadline: 20 − h(20) = 20 − 3 = 17.
+    EXPECT_EQ(r.min_slack, 17u);
+  }
+}
+
+TEST(LinkReport, SlackShrinksAsLinkFills) {
+  core::AdmissionController controller(
+      4, std::make_unique<core::SymmetricPartitioner>());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(controller.request(spec(0, 1, 100, 3, 40)));
+  }
+  const auto reports = network_report(controller.state());
+  ASSERT_EQ(reports.size(), 2u);
+  // 6 tasks of d=20 on the uplink: h(20) = 18 → slack 2; sorted first.
+  EXPECT_EQ(reports[0].min_slack, 2u);
+  EXPECT_EQ(reports[0].channels, 6u);
+  EXPECT_EQ(reports[0].busy_period, 18u);
+}
+
+TEST(LinkReport, BottlenecksSortFirst) {
+  core::AdmissionController controller(
+      6, std::make_unique<core::AsymmetricPartitioner>());
+  // Hot uplink at node 0: ADPS hands later channels ever-larger uplink
+  // shares, squeezing their downlink budgets — ch4 gets d_id = 8, making
+  // downlink(n4) the tightest link (slack 8 − 3 = 5).
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(controller.request(spec(0, i, 100, 3, 40)));
+  }
+  ASSERT_TRUE(controller.request(spec(4, 5, 100, 3, 80)));
+  const auto reports = network_report(controller.state());
+  ASSERT_GE(reports.size(), 2u);
+  EXPECT_EQ(reports.front().node, NodeId{4});
+  EXPECT_EQ(reports.front().direction, core::LinkDirection::kDownlink);
+  EXPECT_EQ(reports.front().min_slack, 5u);
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_GE(reports[i].min_slack, reports[i - 1].min_slack);
+  }
+}
+
+TEST(LinkReport, RenderContainsBottleneckRow) {
+  core::AdmissionController controller(
+      4, std::make_unique<core::SymmetricPartitioner>());
+  ASSERT_TRUE(controller.request(spec(0, 1, 100, 3, 40)));
+  const auto text = render_network_report(controller.state());
+  EXPECT_NE(text.find("uplink(n0)"), std::string::npos);
+  EXPECT_NE(text.find("downlink(n1)"), std::string::npos);
+}
+
+TEST(LinkHeadroom, MatchesPaperAnalyticLimit) {
+  // Empty link, probes {P=100, C=3, d=20}: exactly ⌊20/3⌋ = 6 fit.
+  const edf::TaskSet empty;
+  EXPECT_EQ(link_headroom(empty, 100, 3, 20), 6u);
+  // With d = 33 (the ADPS share): 11 fit.
+  EXPECT_EQ(link_headroom(empty, 100, 3, 33), 11u);
+}
+
+TEST(LinkHeadroom, AccountsForExistingLoad) {
+  edf::TaskSet link;
+  link.add({ChannelId(1), 100, 3, 20});
+  link.add({ChannelId(2), 100, 3, 20});
+  EXPECT_EQ(link_headroom(link, 100, 3, 20), 4u);
+}
+
+TEST(LinkHeadroom, UtilizationBoundCapsImplicitDeadlines) {
+  const edf::TaskSet empty;
+  // {P=10, C=5, d=10}: exactly two fill the link to U = 1.
+  EXPECT_EQ(link_headroom(empty, 10, 5, 10), 2u);
+}
+
+TEST(LinkHeadroom, LimitRespected) {
+  const edf::TaskSet empty;
+  EXPECT_EQ(link_headroom(empty, 1000, 1, 1000, 7), 7u);
+}
+
+TEST(LinkHeadroom, ProbeDoesNotMutateInput) {
+  edf::TaskSet link;
+  link.add({ChannelId(1), 100, 3, 20});
+  (void)link_headroom(link, 100, 3, 20);
+  EXPECT_EQ(link.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rtether::analysis

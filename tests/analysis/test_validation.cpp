@@ -1,0 +1,100 @@
+#include "analysis/validation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtether::analysis {
+namespace {
+
+ValidationConfig small_config() {
+  ValidationConfig config;
+  config.sim.ticks_per_slot = 64;
+  config.workload.masters = 3;
+  config.workload.slaves = 9;
+  config.request_count = 30;
+  config.run_slots = 2'000;
+  config.seed = 5;
+  return config;
+}
+
+TEST(Validation, AdmittedChannelsNeverMissUnderEdf) {
+  const auto result = run_guarantee_validation(small_config());
+  EXPECT_GT(result.channels_established, 0u);
+  EXPECT_GT(result.frames_delivered, 0u);
+  EXPECT_EQ(result.deadline_misses, 0u);
+  EXPECT_LE(result.worst_delay_ratio, 1.0);
+}
+
+TEST(Validation, EveryEstablishedChannelDelivers) {
+  const auto result = run_guarantee_validation(small_config());
+  for (const auto& channel : result.channels) {
+    EXPECT_GT(channel.frames_sent, 0u)
+        << "ch" << channel.id.value() << " never sent";
+    EXPECT_EQ(channel.frames_sent, channel.frames_delivered)
+        << "ch" << channel.id.value() << " lost frames";
+  }
+}
+
+TEST(Validation, BoundsUseDeadlinePlusLatency) {
+  const auto config = small_config();
+  const auto result = run_guarantee_validation(config);
+  const double allowance_slots =
+      static_cast<double>(
+          config.sim.t_latency_ticks(config.with_best_effort)) /
+      static_cast<double>(config.sim.ticks_per_slot);
+  for (const auto& channel : result.channels) {
+    EXPECT_DOUBLE_EQ(
+        channel.bound_slots,
+        static_cast<double>(channel.deadline_slots) + allowance_slots);
+  }
+}
+
+TEST(Validation, StaggeredReleasesAlsoHold) {
+  auto config = small_config();
+  config.stagger_slots = 7;
+  const auto result = run_guarantee_validation(config);
+  EXPECT_EQ(result.deadline_misses, 0u);
+}
+
+TEST(Validation, HoldsUnderBestEffortCrossTraffic) {
+  auto config = small_config();
+  config.with_best_effort = true;
+  config.best_effort_load = 0.6;
+  config.run_slots = 1'000;
+  const auto result = run_guarantee_validation(config);
+  EXPECT_GT(result.frames_delivered, 0u);
+  // The paper's guarantee covers coexistence with non-RT traffic: the
+  // allowance includes one max frame of blocking per hop.
+  EXPECT_EQ(result.deadline_misses, 0u);
+}
+
+TEST(Validation, FcfsBaselineMissesUnderPressure) {
+  // Same admitted channels, RT layer disabled (plain switched Ethernet)
+  // plus heavy best-effort load: deadlines are missed — the motivation for
+  // the paper's RT layer.
+  auto config = small_config();
+  config.workload.masters = 2;
+  config.workload.slaves = 6;
+  config.workload.deadline = traffic::SlotDistribution::fixed(12);
+  config.request_count = 60;
+  config.sim.edf_enabled = false;
+  config.with_best_effort = true;
+  config.best_effort_load = 0.9;
+  config.run_slots = 1'500;
+  const auto result = run_guarantee_validation(config);
+  EXPECT_GT(result.frames_delivered, 0u);
+  EXPECT_GT(result.deadline_misses, 0u);
+}
+
+TEST(Validation, SdpsAndAdpsBothHoldWhenAdmitted) {
+  for (const char* scheme : {"SDPS", "ADPS", "UDPS", "Search"}) {
+    auto config = small_config();
+    config.scheme = scheme;
+    config.run_slots = 800;
+    const auto result = run_guarantee_validation(config);
+    EXPECT_EQ(result.deadline_misses, 0u) << scheme;
+    EXPECT_GT(result.channels_established, 0u) << scheme;
+  }
+}
+
+}  // namespace
+}  // namespace rtether::analysis

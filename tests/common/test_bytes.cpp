@@ -1,0 +1,105 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtether {
+namespace {
+
+TEST(ByteWriter, BigEndianLayout) {
+  ByteWriter w;
+  w.write_u16(0x1234);
+  w.write_u32(0xdeadbeef);
+  const auto& b = w.bytes();
+  ASSERT_EQ(b.size(), 6u);
+  EXPECT_EQ(b[0], 0x12);
+  EXPECT_EQ(b[1], 0x34);
+  EXPECT_EQ(b[2], 0xde);
+  EXPECT_EQ(b[3], 0xad);
+  EXPECT_EQ(b[4], 0xbe);
+  EXPECT_EQ(b[5], 0xef);
+}
+
+TEST(ByteWriter, U48Layout) {
+  ByteWriter w;
+  w.write_u48(0x0102'0304'0506ULL);
+  const auto& b = w.bytes();
+  ASSERT_EQ(b.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(b[i], i + 1);
+  }
+}
+
+TEST(ByteWriter, Zeros) {
+  ByteWriter w;
+  w.write_zeros(3);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.bytes()[0], 0);
+  EXPECT_EQ(w.bytes()[2], 0);
+}
+
+TEST(ByteRoundTrip, AllWidths) {
+  ByteWriter w;
+  w.write_u8(0xab);
+  w.write_u16(0x1234);
+  w.write_u32(0x89abcdef);
+  w.write_u48(0xffff'ffff'ffffULL);
+  w.write_u64(0x0123'4567'89ab'cdefULL);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read_u8(), 0xab);
+  EXPECT_EQ(r.read_u16(), 0x1234);
+  EXPECT_EQ(r.read_u32(), 0x89abcdefu);
+  EXPECT_EQ(r.read_u48(), 0xffff'ffff'ffffULL);
+  EXPECT_EQ(r.read_u64(), 0x0123'4567'89ab'cdefULL);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, ShortBufferYieldsNullopt) {
+  const std::vector<std::uint8_t> one{0x42};
+  ByteReader r(one);
+  EXPECT_FALSE(r.read_u16().has_value());
+  // Failed read must not consume.
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_EQ(r.read_u8(), 0x42);
+  EXPECT_FALSE(r.read_u8().has_value());
+}
+
+TEST(ByteReader, ReadBytesAndSkip) {
+  const std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+  ByteReader r(data);
+  EXPECT_TRUE(r.skip(2));
+  const auto view = r.read_bytes(2);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ((*view)[0], 3);
+  EXPECT_EQ((*view)[1], 4);
+  EXPECT_FALSE(r.skip(2));
+  EXPECT_TRUE(r.skip(1));
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, PositionTracksConsumption) {
+  const std::vector<std::uint8_t> data{1, 2, 3, 4};
+  ByteReader r(data);
+  EXPECT_EQ(r.position(), 0u);
+  (void)r.read_u16();
+  EXPECT_EQ(r.position(), 2u);
+}
+
+TEST(ByteWriter, WriteBytesAppends) {
+  ByteWriter w;
+  const std::vector<std::uint8_t> chunk{9, 8, 7};
+  w.write_u8(1);
+  w.write_bytes(chunk);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[3], 7);
+}
+
+TEST(ByteWriter, TakeMovesBuffer) {
+  ByteWriter w;
+  w.write_u32(5);
+  auto taken = std::move(w).take();
+  EXPECT_EQ(taken.size(), 4u);
+}
+
+}  // namespace
+}  // namespace rtether

@@ -1,0 +1,63 @@
+#include "common/expected.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rtether {
+namespace {
+
+Expected<int, std::string> parse_positive(int v) {
+  if (v > 0) return v;
+  return Unexpected(std::string("not positive"));
+}
+
+TEST(Expected, ValueState) {
+  const auto r = parse_positive(5);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 5);
+  EXPECT_EQ(*r, 5);
+}
+
+TEST(Expected, ErrorState) {
+  const auto r = parse_positive(-1);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), "not positive");
+}
+
+TEST(Expected, ValueOr) {
+  EXPECT_EQ(parse_positive(3).value_or(99), 3);
+  EXPECT_EQ(parse_positive(-3).value_or(99), 99);
+}
+
+TEST(Expected, SameTypeForValueAndError) {
+  // Unexpected disambiguates when T == E.
+  const Expected<int, int> ok = 1;
+  const Expected<int, int> err = Unexpected(2);
+  EXPECT_TRUE(ok.has_value());
+  EXPECT_FALSE(err.has_value());
+  EXPECT_EQ(err.error(), 2);
+}
+
+TEST(Expected, ArrowOperator) {
+  const Expected<std::string, int> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(Expected, MoveOutValue) {
+  Expected<std::string, int> r = std::string("payload");
+  const std::string taken = std::move(r).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(Status, OkAndError) {
+  const Status<std::string> ok = kOk;
+  EXPECT_TRUE(ok.has_value());
+  const Status<std::string> bad = Unexpected(std::string("boom"));
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error(), "boom");
+}
+
+}  // namespace
+}  // namespace rtether

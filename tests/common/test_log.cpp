@@ -1,0 +1,54 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtether {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kOff); }
+};
+
+TEST_F(LogTest, DefaultIsOff) {
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+  EXPECT_FALSE(log_enabled(LogLevel::kTrace));
+}
+
+TEST_F(LogTest, ThresholdFiltersLowerLevels) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_FALSE(log_enabled(LogLevel::kTrace));
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+}
+
+TEST_F(LogTest, LevelReadback) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST_F(LogTest, EmissionDoesNotCrash) {
+  set_log_level(LogLevel::kTrace);
+  log_message(LogLevel::kInfo, "test", "hello");
+  log_message(LogLevel::kError, "test", "");
+  RTETHER_LOG(kDebug, "test", "value=" << 42 << " and " << 3.5);
+}
+
+TEST_F(LogTest, MacroSkipsFormattingWhenDisabled) {
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 1;
+  };
+  RTETHER_LOG(kDebug, "test", "x=" << expensive());
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(LogLevel::kTrace);
+  RTETHER_LOG(kDebug, "test", "x=" << expensive());
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace rtether

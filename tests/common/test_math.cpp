@@ -1,0 +1,79 @@
+#include "common/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace rtether {
+namespace {
+
+constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+
+TEST(CheckedMul, SmallValues) {
+  EXPECT_EQ(checked_mul(6, 7), 42u);
+  EXPECT_EQ(checked_mul(0, kMax), 0u);
+  EXPECT_EQ(checked_mul(kMax, 0), 0u);
+  EXPECT_EQ(checked_mul(1, kMax), kMax);
+}
+
+TEST(CheckedMul, OverflowDetected) {
+  EXPECT_FALSE(checked_mul(kMax, 2).has_value());
+  EXPECT_FALSE(checked_mul(std::uint64_t{1} << 32, std::uint64_t{1} << 32)
+                   .has_value());
+  // Boundary: exactly max is fine.
+  EXPECT_EQ(checked_mul(kMax / 2, 2), kMax - 1);
+}
+
+TEST(CheckedAdd, SmallValues) {
+  EXPECT_EQ(checked_add(1, 2), 3u);
+  EXPECT_EQ(checked_add(kMax - 1, 1), kMax);
+}
+
+TEST(CheckedAdd, OverflowDetected) {
+  EXPECT_FALSE(checked_add(kMax, 1).has_value());
+  EXPECT_FALSE(checked_add(kMax / 2 + 1, kMax / 2 + 1).has_value());
+}
+
+TEST(CheckedLcm, BasicValues) {
+  EXPECT_EQ(checked_lcm(4, 6), 12u);
+  EXPECT_EQ(checked_lcm(7, 13), 91u);
+  EXPECT_EQ(checked_lcm(100, 100), 100u);
+  EXPECT_EQ(checked_lcm(1, 50), 50u);
+}
+
+TEST(CheckedLcm, ZeroOperand) {
+  EXPECT_EQ(checked_lcm(0, 5), 0u);
+  EXPECT_EQ(checked_lcm(5, 0), 0u);
+}
+
+TEST(CheckedLcm, OverflowDetected) {
+  // Two large coprime numbers.
+  EXPECT_FALSE(checked_lcm((std::uint64_t{1} << 33) - 1,
+                           (std::uint64_t{1} << 33) - 9)
+                   .has_value());
+}
+
+TEST(CeilDiv, ExactAndInexact) {
+  EXPECT_EQ(ceil_div(10, 5), 2u);
+  EXPECT_EQ(ceil_div(11, 5), 3u);
+  EXPECT_EQ(ceil_div(0, 5), 0u);
+  EXPECT_EQ(ceil_div(1, 1), 1u);
+  EXPECT_EQ(ceil_div(kMax, 1), kMax);
+  EXPECT_EQ(ceil_div(kMax, kMax), 1u);
+}
+
+TEST(FloorDiv, Basics) {
+  EXPECT_EQ(floor_div(10, 5), 2u);
+  EXPECT_EQ(floor_div(11, 5), 2u);
+  EXPECT_EQ(floor_div(4, 5), 0u);
+}
+
+TEST(SatSub, NoWrapAround) {
+  EXPECT_EQ(sat_sub(5, 3), 2u);
+  EXPECT_EQ(sat_sub(3, 5), 0u);
+  EXPECT_EQ(sat_sub(0, kMax), 0u);
+  EXPECT_EQ(sat_sub(kMax, 0), kMax);
+}
+
+}  // namespace
+}  // namespace rtether

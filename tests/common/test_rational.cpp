@@ -1,0 +1,106 @@
+#include "common/rational.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtether {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  const Rational r;
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+  EXPECT_EQ(r, Rational(0));
+}
+
+TEST(Rational, NormalizesOnConstruction) {
+  const Rational r(6, 8);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 4);
+}
+
+TEST(Rational, NegativeDenominatorMovesSign) {
+  const Rational r(3, -4);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 4);
+}
+
+TEST(Rational, ZeroNumeratorCanonical) {
+  const Rational r(0, -17);
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, Addition) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) + Rational(-1, 2), Rational(0));
+  // Utilization sum: 3/100 added 33 times = 99/100.
+  Rational sum;
+  for (int i = 0; i < 33; ++i) {
+    sum += Rational(3, 100);
+  }
+  EXPECT_EQ(sum, Rational(99, 100));
+  EXPECT_LT(sum, Rational(1));
+  sum += Rational(3, 100);
+  EXPECT_GT(sum, Rational(1));
+}
+
+TEST(Rational, SubtractionIsExactInverse) {
+  Rational sum;
+  for (int i = 0; i < 1000; ++i) {
+    sum += Rational(7, 30);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    sum -= Rational(7, 30);
+  }
+  EXPECT_EQ(sum, Rational(0));
+}
+
+TEST(Rational, Multiplication) {
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(-2, 3) * Rational(3, 2), Rational(-1));
+}
+
+TEST(Rational, Division) {
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_EQ(Rational(5, 6) / Rational(5, 6), Rational(1));
+}
+
+TEST(Rational, ComparisonIsExact) {
+  // 1/3 < 0.3333333333333333… in any floating representation ambiguity;
+  // exact comparison must order these correctly.
+  EXPECT_LT(Rational(33333333, 100000000), Rational(1, 3));
+  EXPECT_GT(Rational(33333334, 100000000), Rational(1, 3));
+  EXPECT_EQ(Rational(2, 6), Rational(1, 3));
+  EXPECT_LT(Rational(-1, 2), Rational(1, 2));
+  EXPECT_LT(Rational(-2), Rational(-1));
+}
+
+TEST(Rational, BoundaryEqualsOne) {
+  // Exactly 100% utilization: 50/100 + 25/50 = 1 — must not compare > 1.
+  const Rational u = Rational(50, 100) + Rational(25, 50);
+  EXPECT_EQ(u, Rational(1));
+  EXPECT_FALSE(u > Rational(1));
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 2).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ(Rational(-3, 4).to_double(), -0.75);
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rational(1, 2).to_string(), "1/2");
+  EXPECT_EQ(Rational(4, 2).to_string(), "2");
+  EXPECT_EQ(Rational(0).to_string(), "0");
+  EXPECT_EQ(Rational(-3, 9).to_string(), "-1/3");
+}
+
+TEST(Rational, LargeIntermediatesSurvive) {
+  // num/den individually large but the result reduces.
+  const Rational a(1'000'000'007, 2'000'000'014);  // = 1/2
+  EXPECT_EQ(a, Rational(1, 2));
+  const Rational b = a * Rational(2'000'000'014, 1'000'000'007);
+  EXPECT_EQ(b, Rational(1));
+}
+
+}  // namespace
+}  // namespace rtether

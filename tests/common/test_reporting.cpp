@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/ascii_plot.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace rtether {
+namespace {
+
+TEST(ConsoleTable, RendersAlignedCells) {
+  ConsoleTable t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add("beta-long", 12345);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+  // Every data line must have equal width.
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '=') continue;
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << line;
+  }
+}
+
+TEST(ConsoleTable, FormatsDoubles) {
+  ConsoleTable t("doubles");
+  t.set_header({"x"});
+  t.add(3.14159);
+  EXPECT_NE(t.render().find("3.142"), std::string::npos);
+}
+
+TEST(CsvWriter, PlainRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write("a", 1, 2.5);
+  EXPECT_EQ(out.str(), "a,1,2.500000\n");
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row({"has,comma", "has\"quote", "plain"});
+  EXPECT_EQ(out.str(), "\"has,comma\",\"has\"\"quote\",plain\n");
+}
+
+TEST(AsciiPlot, RendersSeriesAndLegend) {
+  AsciiPlot plot("curve", "x", "y");
+  PlotSeries s;
+  s.name = "linear";
+  for (int i = 0; i <= 10; ++i) {
+    s.x.push_back(i);
+    s.y.push_back(2.0 * i);
+  }
+  plot.add_series(std::move(s));
+  const std::string out = plot.render(40, 10);
+  EXPECT_NE(out.find("== curve =="), std::string::npos);
+  EXPECT_NE(out.find("* = linear"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("x: x"), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptyPlotSaysNoData) {
+  AsciiPlot plot("empty", "x", "y");
+  EXPECT_NE(plot.render().find("(no data)"), std::string::npos);
+}
+
+TEST(Units, SlotDurations) {
+  // One maximal frame at 100 Mbit/s: 1538 B · 8 / 100 Mb/s = 123.04 µs.
+  EXPECT_EQ(slot_duration_ns(LinkRate::kFast100M), 123'040u);
+  EXPECT_EQ(slot_duration_ns(LinkRate::kGigabit), 12'304u);
+  EXPECT_EQ(slots_to_us(100, LinkRate::kFast100M), 12'304u);
+}
+
+}  // namespace
+}  // namespace rtether

@@ -1,0 +1,120 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rtether {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(v);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic example = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 100; ++i) {
+    const double v = static_cast<double>(i * i % 37);
+    all.add(v);
+    (i < 50 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 1.0);
+}
+
+TEST(Histogram, CountsAndEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(5.0);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(9), 1u);
+  EXPECT_EQ(h.bin(5), 1u);
+}
+
+TEST(Histogram, OutOfRangeSaturates) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(9), 1u);
+}
+
+TEST(Histogram, QuantileInterpolates) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) {
+    h.add(static_cast<double>(i) + 0.5);
+  }
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.5);
+  EXPECT_NEAR(h.quantile(1.0), 100.0, 1.5);
+}
+
+TEST(Histogram, BinLower) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(1), 12.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(5), 20.0);
+}
+
+TEST(Histogram, RenderContainsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string text = h.render(10);
+  EXPECT_NE(text.find("1"), std::string::npos);
+  EXPECT_NE(text.find("2"), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtether

@@ -1,0 +1,74 @@
+#include "core/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtether::core {
+namespace {
+
+ChannelSpec spec(std::uint32_t src, std::uint32_t dst, Slot p, Slot c,
+                 Slot d) {
+  return ChannelSpec{NodeId{src}, NodeId{dst}, p, c, d};
+}
+
+TEST(ChannelSpec, PaperParametersAreValid) {
+  EXPECT_TRUE(spec(0, 1, 100, 3, 40).valid());
+}
+
+TEST(ChannelSpec, RejectsZeroFields) {
+  EXPECT_FALSE(spec(0, 1, 0, 3, 40).valid());
+  EXPECT_FALSE(spec(0, 1, 100, 0, 40).valid());
+  EXPECT_FALSE(spec(0, 1, 100, 3, 0).valid());
+}
+
+TEST(ChannelSpec, RejectsCapacityAbovePeriod) {
+  EXPECT_FALSE(spec(0, 1, 2, 3, 40).valid());
+  EXPECT_TRUE(spec(0, 1, 3, 3, 40).valid());
+}
+
+TEST(ChannelSpec, EnforcesStoreAndForwardLowerBound) {
+  // §18.4: d_i < 2·C_i cannot be EDF-feasible through a store-and-forward
+  // switch — each hop needs at least C_i slots.
+  EXPECT_FALSE(spec(0, 1, 100, 3, 5).valid());
+  EXPECT_TRUE(spec(0, 1, 100, 3, 6).valid());
+}
+
+TEST(ChannelSpec, UtilizationIsCapacityOverPeriod) {
+  EXPECT_DOUBLE_EQ(spec(0, 1, 100, 3, 40).utilization(), 0.03);
+}
+
+TEST(ChannelSpec, ToStringMentionsEndpointsAndParams) {
+  const auto text = spec(2, 9, 100, 3, 40).to_string();
+  EXPECT_NE(text.find("node2"), std::string::npos);
+  EXPECT_NE(text.find("node9"), std::string::npos);
+  EXPECT_NE(text.find("P=100"), std::string::npos);
+  EXPECT_NE(text.find("C=3"), std::string::npos);
+  EXPECT_NE(text.find("d=40"), std::string::npos);
+}
+
+TEST(DeadlinePartition, SatisfiesChecksBothEquations) {
+  const auto s = spec(0, 1, 100, 3, 40);
+  // Eq 18.8: sum must equal d; Eq 18.9: both halves ≥ C.
+  EXPECT_TRUE((DeadlinePartition{20, 20}.satisfies(s)));
+  EXPECT_TRUE((DeadlinePartition{3, 37}.satisfies(s)));
+  EXPECT_TRUE((DeadlinePartition{37, 3}.satisfies(s)));
+  EXPECT_FALSE((DeadlinePartition{19, 20}.satisfies(s)));  // sum ≠ d
+  EXPECT_FALSE((DeadlinePartition{2, 38}.satisfies(s)));   // uplink < C
+  EXPECT_FALSE((DeadlinePartition{38, 2}.satisfies(s)));   // downlink < C
+}
+
+TEST(DeadlinePartition, UplinkFraction) {
+  EXPECT_DOUBLE_EQ((DeadlinePartition{20, 20}.uplink_fraction()), 0.5);
+  EXPECT_DOUBLE_EQ((DeadlinePartition{30, 10}.uplink_fraction()), 0.75);
+  EXPECT_DOUBLE_EQ((DeadlinePartition{0, 0}.uplink_fraction()), 0.0);
+}
+
+TEST(RtChannel, ToStringIncludesPartition) {
+  const RtChannel channel{ChannelId(5), spec(0, 1, 100, 3, 40), {33, 7}};
+  const auto text = channel.to_string();
+  EXPECT_NE(text.find("ch5"), std::string::npos);
+  EXPECT_NE(text.find("d_iu=33"), std::string::npos);
+  EXPECT_NE(text.find("d_id=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtether::core

@@ -1,0 +1,86 @@
+#include "core/id_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtether::core {
+namespace {
+
+TEST(ChannelIdAllocator, NeverAllocatesZero) {
+  // ID 0 is "not set with a valid value yet" (§18.2.2).
+  ChannelIdAllocator alloc;
+  for (int i = 0; i < 100; ++i) {
+    const auto id = alloc.allocate();
+    ASSERT_TRUE(id.has_value());
+    EXPECT_NE(*id, ChannelIdAllocator::kInvalid);
+  }
+}
+
+TEST(ChannelIdAllocator, AllocatesSmallestFreeFirst) {
+  ChannelIdAllocator alloc;
+  EXPECT_EQ(alloc.allocate(), ChannelId(1));
+  EXPECT_EQ(alloc.allocate(), ChannelId(2));
+  EXPECT_EQ(alloc.allocate(), ChannelId(3));
+}
+
+TEST(ChannelIdAllocator, ReusesFreedIdsSmallestFirst) {
+  ChannelIdAllocator alloc;
+  (void)alloc.allocate();  // 1
+  (void)alloc.allocate();  // 2
+  (void)alloc.allocate();  // 3
+  EXPECT_TRUE(alloc.release(ChannelId(2)));
+  EXPECT_TRUE(alloc.release(ChannelId(1)));
+  EXPECT_EQ(alloc.allocate(), ChannelId(1));
+  EXPECT_EQ(alloc.allocate(), ChannelId(2));
+  EXPECT_EQ(alloc.allocate(), ChannelId(4));
+}
+
+TEST(ChannelIdAllocator, DoubleFreeRejected) {
+  ChannelIdAllocator alloc;
+  const auto id = alloc.allocate();
+  EXPECT_TRUE(alloc.release(*id));
+  EXPECT_FALSE(alloc.release(*id));
+}
+
+TEST(ChannelIdAllocator, FreeingInvalidRejected) {
+  ChannelIdAllocator alloc;
+  EXPECT_FALSE(alloc.release(ChannelId(0)));
+  EXPECT_FALSE(alloc.release(ChannelId(9)));
+}
+
+TEST(ChannelIdAllocator, IsLiveTracksState) {
+  ChannelIdAllocator alloc;
+  const auto id = alloc.allocate();
+  EXPECT_TRUE(alloc.is_live(*id));
+  EXPECT_FALSE(alloc.is_live(ChannelId(2)));
+  alloc.release(*id);
+  EXPECT_FALSE(alloc.is_live(*id));
+  EXPECT_FALSE(alloc.is_live(ChannelId(0)));
+}
+
+TEST(ChannelIdAllocator, LiveCount) {
+  ChannelIdAllocator alloc;
+  EXPECT_EQ(alloc.live_count(), 0u);
+  const auto a = alloc.allocate();
+  const auto b = alloc.allocate();
+  EXPECT_EQ(alloc.live_count(), 2u);
+  alloc.release(*a);
+  EXPECT_EQ(alloc.live_count(), 1u);
+  alloc.release(*b);
+  EXPECT_EQ(alloc.live_count(), 0u);
+}
+
+TEST(ChannelIdAllocator, ExhaustionReturnsNullopt) {
+  ChannelIdAllocator alloc;
+  for (std::uint32_t i = 0; i < 65535; ++i) {
+    ASSERT_TRUE(alloc.allocate().has_value()) << "failed at " << i;
+  }
+  EXPECT_EQ(alloc.live_count(), 65535u);
+  EXPECT_FALSE(alloc.allocate().has_value());
+  // Releasing one makes exactly one available again.
+  EXPECT_TRUE(alloc.release(ChannelId(12345)));
+  EXPECT_EQ(alloc.allocate(), ChannelId(12345));
+  EXPECT_FALSE(alloc.allocate().has_value());
+}
+
+}  // namespace
+}  // namespace rtether::core

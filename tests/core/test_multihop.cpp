@@ -1,0 +1,210 @@
+#include "core/multihop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace rtether::core {
+namespace {
+
+ChannelSpec spec(std::uint32_t src, std::uint32_t dst, Slot p, Slot c,
+                 Slot d) {
+  return ChannelSpec{NodeId{src}, NodeId{dst}, p, c, d};
+}
+
+TEST(Apportion, EqualWeightsSplitEvenly) {
+  SymmetricPathPartitioner sdps;
+  PathNetworkState state(Topology::switch_line(3, 2));
+  const auto path = state.topology().route(NodeId{0}, NodeId{5});
+  ASSERT_TRUE(path.has_value());  // 4 hops
+  const auto budgets = sdps.split(spec(0, 5, 100, 3, 40), *path, state);
+  ASSERT_EQ(budgets.size(), 4u);
+  Slot sum = 0;
+  for (const Slot b : budgets) {
+    EXPECT_GE(b, 10u);
+    EXPECT_LE(b, 10u);
+    sum += b;
+  }
+  EXPECT_EQ(sum, 40u);
+}
+
+TEST(Apportion, RemainderDistributedDeterministically) {
+  SymmetricPathPartitioner sdps;
+  PathNetworkState state(Topology::switch_line(3, 1));
+  const auto path = state.topology().route(NodeId{0}, NodeId{2});
+  ASSERT_TRUE(path.has_value());  // 4 hops
+  const auto a = sdps.split(spec(0, 2, 100, 3, 41), *path, state);
+  const auto b = sdps.split(spec(0, 2, 100, 3, 41), *path, state);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(std::accumulate(a.begin(), a.end(), Slot{0}), 41u);
+}
+
+TEST(Apportion, MinimumDeadlineGivesCapacityEverywhere) {
+  SymmetricPathPartitioner sdps;
+  PathNetworkState state(Topology::switch_line(2, 1));
+  const auto path = state.topology().route(NodeId{0}, NodeId{1});
+  ASSERT_TRUE(path.has_value());  // 3 hops
+  const auto budgets = sdps.split(spec(0, 1, 100, 5, 15), *path, state);
+  EXPECT_EQ(budgets, (std::vector<Slot>{5, 5, 5}));
+}
+
+TEST(AdpsPath, HotTrunkReceivesLargerShare) {
+  // Pre-load the trunk s0→s1 with channels; a new channel's trunk hop must
+  // get the largest budget.
+  PathNetworkState state(Topology::switch_line(2, 4));
+  AsymmetricPathPartitioner adps;
+  // Nodes 0..3 on s0, 4..7 on s1. Three channels 1→5, 2→6, 3→7 share the
+  // trunk but different uplinks/downlinks.
+  std::uint16_t next = 1;
+  for (std::uint32_t i = 1; i <= 3; ++i) {
+    const auto s = spec(i, 4 + i, 100, 3, 30);
+    const auto path = state.topology().route(s.source, s.destination);
+    MultihopChannel channel{ChannelId(next++), s, *path,
+                            adps.split(s, *path, state)};
+    state.add_channel(channel);
+  }
+  const auto s = spec(0, 4, 100, 3, 30);
+  const auto path = state.topology().route(NodeId{0}, NodeId{4});
+  const auto budgets = adps.split(s, *path, state);
+  ASSERT_EQ(budgets.size(), 3u);
+  // Weights: uplink 1, trunk 4, downlink 1 → trunk dominates.
+  EXPECT_GT(budgets[1], budgets[0]);
+  EXPECT_GT(budgets[1], budgets[2]);
+  EXPECT_EQ(std::accumulate(budgets.begin(), budgets.end(), Slot{0}), 30u);
+}
+
+TEST(PathState, AddAndRemoveKeepLinksInSync) {
+  PathNetworkState state(Topology::switch_line(2, 2));
+  const auto s = spec(0, 3, 100, 3, 30);
+  const auto path = state.topology().route(NodeId{0}, NodeId{3});
+  MultihopChannel channel{ChannelId(1), s, *path, {10, 10, 10}};
+  state.add_channel(channel);
+  EXPECT_EQ(state.link_load(LinkId::uplink(NodeId{0})), 1u);
+  EXPECT_EQ(state.link_load(LinkId::trunk(SwitchId{0}, SwitchId{1})), 1u);
+  EXPECT_EQ(state.link_load(LinkId::downlink(NodeId{3})), 1u);
+  EXPECT_EQ(state.link_load(LinkId::trunk(SwitchId{1}, SwitchId{0})), 0u);
+
+  EXPECT_TRUE(state.remove_channel(ChannelId(1)));
+  EXPECT_EQ(state.link_load(LinkId::uplink(NodeId{0})), 0u);
+  EXPECT_EQ(state.link_load(LinkId::trunk(SwitchId{0}, SwitchId{1})), 0u);
+  EXPECT_FALSE(state.remove_channel(ChannelId(1)));
+}
+
+TEST(PathAdmission, SingleSwitchMatchesTwoLinkController) {
+  // On a single-switch topology the path controller must reproduce the
+  // two-link controller's SDPS decisions exactly.
+  PathAdmissionController multi(Topology::single_switch(10),
+                                make_path_partitioner("SDPS"));
+  AdmissionController classic(10,
+                              std::make_unique<SymmetricPartitioner>());
+  for (int i = 0; i < 10; ++i) {
+    const auto s = spec(0, 1, 100, 3, 40);
+    EXPECT_EQ(multi.request(s).has_value(),
+              classic.request(s).has_value())
+        << "diverged at request " << i;
+  }
+  EXPECT_EQ(multi.stats().accepted, classic.stats().accepted);
+}
+
+TEST(PathAdmission, TrunkBecomesTheBottleneck) {
+  // 2-switch line, masters on s0 and slaves on s1: every channel crosses
+  // the single trunk, which saturates first.
+  PathAdmissionController controller(Topology::switch_line(2, 10),
+                                     make_path_partitioner("SDPS"));
+  std::size_t accepted = 0;
+  for (std::uint32_t i = 0; i < 60; ++i) {
+    // i-th request: node (i%10) on s0 → node 10 + (i%10) on s1.
+    const auto s = spec(i % 10, 10 + (i + 3) % 10, 100, 3, 40);
+    if (controller.request(s)) ++accepted;
+  }
+  // SDPS-3 gives the trunk ⌊40/3⌋ = 13 slots → ⌊13/3⌋ = 4 channels fit.
+  EXPECT_EQ(accepted, 4u);
+}
+
+TEST(PathAdmission, AdpsRelievesTheTrunk) {
+  PathAdmissionController sdps(Topology::switch_line(2, 10),
+                               make_path_partitioner("SDPS"));
+  PathAdmissionController adps(Topology::switch_line(2, 10),
+                               make_path_partitioner("ADPS"));
+  std::size_t sdps_accepted = 0;
+  std::size_t adps_accepted = 0;
+  for (std::uint32_t i = 0; i < 60; ++i) {
+    const auto s = spec(i % 10, 10 + (i + 3) % 10, 100, 3, 40);
+    if (sdps.request(s)) ++sdps_accepted;
+    if (adps.request(s)) ++adps_accepted;
+  }
+  EXPECT_GT(adps_accepted, sdps_accepted);
+}
+
+TEST(PathAdmission, RejectsDeadlineBelowPathMinimum) {
+  PathAdmissionController controller(Topology::switch_line(3, 2),
+                                     make_path_partitioner("ADPS"));
+  // 4-hop path (s0→s1→s2) with C=3 needs d ≥ 12.
+  const auto tight = controller.request(spec(0, 5, 100, 3, 11));
+  ASSERT_FALSE(tight.has_value());
+  EXPECT_EQ(tight.error().reason, RejectReason::kInvalidSpec);
+  EXPECT_NE(tight.error().detail.find("4-hop"), std::string::npos);
+  EXPECT_TRUE(controller.request(spec(0, 5, 100, 3, 12)).has_value());
+}
+
+TEST(PathAdmission, NoRouteRejected) {
+  Topology topology(2, 2);  // two islands
+  topology.attach_node(NodeId{0}, SwitchId{0});
+  topology.attach_node(NodeId{1}, SwitchId{1});
+  PathAdmissionController controller(std::move(topology),
+                                     make_path_partitioner("ADPS"));
+  const auto result = controller.request(spec(0, 1, 100, 3, 40));
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().detail.find("no route"), std::string::npos);
+}
+
+TEST(PathAdmission, ReleaseRestoresTrunkCapacity) {
+  PathAdmissionController controller(Topology::switch_line(2, 10),
+                                     make_path_partitioner("SDPS"));
+  std::vector<ChannelId> admitted;
+  for (std::uint32_t i = 0; i < 60; ++i) {
+    const auto s = spec(i % 10, 10 + (i + 3) % 10, 100, 3, 40);
+    if (const auto r = controller.request(s)) {
+      admitted.push_back(r->id);
+    }
+  }
+  ASSERT_FALSE(admitted.empty());
+  const auto again = spec(0, 13, 100, 3, 40);
+  ASSERT_FALSE(controller.request(again).has_value());
+  EXPECT_TRUE(controller.release(admitted.front()));
+  EXPECT_TRUE(controller.request(again).has_value());
+}
+
+TEST(PathAdmission, RejectionLeavesNoResidueOnAnyHop) {
+  PathAdmissionController controller(Topology::switch_line(2, 10),
+                                     make_path_partitioner("SDPS"));
+  for (std::uint32_t i = 0; i < 60; ++i) {
+    (void)controller.request(spec(i % 10, 10 + (i + 3) % 10, 100, 3, 40));
+  }
+  const auto trunk_load =
+      controller.state().link_load(LinkId::trunk(SwitchId{0}, SwitchId{1}));
+  ASSERT_FALSE(
+      controller.request(spec(0, 13, 100, 3, 40)).has_value());
+  EXPECT_EQ(
+      controller.state().link_load(LinkId::trunk(SwitchId{0}, SwitchId{1})),
+      trunk_load);
+}
+
+TEST(MultihopChannelStruct, PartitionValidity) {
+  MultihopChannel channel;
+  channel.spec = spec(0, 1, 100, 3, 30);
+  channel.path = {LinkId::uplink(NodeId{0}),
+                  LinkId::trunk(SwitchId{0}, SwitchId{1}),
+                  LinkId::downlink(NodeId{1})};
+  channel.deadlines = {10, 10, 10};
+  EXPECT_TRUE(channel.partition_valid());
+  channel.deadlines = {10, 10, 11};  // sum ≠ d
+  EXPECT_FALSE(channel.partition_valid());
+  channel.deadlines = {2, 14, 14};  // hop below C
+  EXPECT_FALSE(channel.partition_valid());
+  channel.deadlines = {10, 20};  // arity mismatch
+  EXPECT_FALSE(channel.partition_valid());
+}
+
+}  // namespace
+}  // namespace rtether::core

@@ -1,0 +1,226 @@
+#include "core/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtether::core {
+namespace {
+
+ChannelSpec spec(std::uint32_t src, std::uint32_t dst, Slot p, Slot c,
+                 Slot d) {
+  return ChannelSpec{NodeId{src}, NodeId{dst}, p, c, d};
+}
+
+RtChannel make_channel(std::uint16_t id, std::uint32_t src, std::uint32_t dst,
+                       Slot du, Slot dd) {
+  return RtChannel{ChannelId(id), spec(src, dst, 100, 3, du + dd),
+                   DeadlinePartition{du, dd}};
+}
+
+// ---------------------------------------------------------------- SDPS ----
+
+TEST(Sdps, SplitsEvenDeadlineInHalf) {
+  // Eq 18.14: d_iu = d_id = d/2.
+  const NetworkState state(4);
+  const auto p = SymmetricPartitioner().partition(spec(0, 1, 100, 3, 40),
+                                                  state);
+  EXPECT_EQ(p, (DeadlinePartition{20, 20}));
+}
+
+TEST(Sdps, OddDeadlineGivesSpareSlotToDownlink) {
+  const NetworkState state(4);
+  const auto p = SymmetricPartitioner().partition(spec(0, 1, 100, 3, 41),
+                                                  state);
+  EXPECT_EQ(p.uplink, 20u);
+  EXPECT_EQ(p.downlink, 21u);
+}
+
+TEST(Sdps, IgnoresSystemState) {
+  NetworkState loaded(4);
+  for (std::uint16_t i = 1; i <= 5; ++i) {
+    loaded.add_channel(make_channel(i, 0, 1, 20, 20));
+  }
+  const NetworkState idle(4);
+  const auto s = spec(0, 1, 100, 3, 40);
+  EXPECT_EQ(SymmetricPartitioner().partition(s, loaded),
+            SymmetricPartitioner().partition(s, idle));
+}
+
+TEST(Sdps, ClampsWhenHalfBelowCapacity) {
+  // d = 2C = 14, d/2 = 7 = C: fine. d = 15: 7 < C=7? No — use C=8,d=17:
+  // half = 8 = C fine. Take C=9, d=19: half 9 ≥ 9 OK. Need half < C:
+  // C=10, d=21 → half 10 = C. Only d odd near 2C: C=10, d=20, half=10.
+  // Clamping activates for d=2C+1 → half = C exactly after floor. Still
+  // satisfies Eq 18.9.
+  const NetworkState state(2);
+  const auto p = SymmetricPartitioner().partition(spec(0, 1, 100, 10, 21),
+                                                  state);
+  EXPECT_TRUE(p.satisfies(spec(0, 1, 100, 10, 21)));
+  EXPECT_EQ(p.uplink, 10u);
+  EXPECT_EQ(p.downlink, 11u);
+}
+
+// ---------------------------------------------------------------- ADPS ----
+
+TEST(Adps, IdleNetworkSplitsEvenly) {
+  // LL(src)+1 = 1, LL(dst)+1 = 1 → Upart = 1/2 (Eq 18.16).
+  const NetworkState state(4);
+  const auto p = AsymmetricPartitioner().partition(spec(0, 1, 100, 3, 40),
+                                                   state);
+  EXPECT_EQ(p, (DeadlinePartition{20, 20}));
+}
+
+TEST(Adps, LoadedUplinkReceivesLargerShare) {
+  // Source uplink already carries 4 channels, destination downlink none:
+  // Upart = 5/(5+1) → d_iu = round(40·5/6) = round(33.3) = 33.
+  NetworkState state(8);
+  for (std::uint16_t i = 1; i <= 4; ++i) {
+    state.add_channel(make_channel(i, 0, static_cast<std::uint32_t>(i), 20,
+                                   20));
+  }
+  const auto p = AsymmetricPartitioner().partition(spec(0, 5, 100, 3, 40),
+                                                   state);
+  EXPECT_EQ(p.uplink, 33u);
+  EXPECT_EQ(p.downlink, 7u);
+}
+
+TEST(Adps, LoadedDownlinkReceivesLargerShare) {
+  // Mirror image: 4 channels into the destination's downlink.
+  NetworkState state(8);
+  for (std::uint16_t i = 1; i <= 4; ++i) {
+    state.add_channel(
+        make_channel(i, static_cast<std::uint32_t>(i), 7, 20, 20));
+  }
+  const auto p = AsymmetricPartitioner().partition(spec(5, 7, 100, 3, 40),
+                                                   state);
+  EXPECT_EQ(p.uplink, 7u);
+  EXPECT_EQ(p.downlink, 33u);
+}
+
+TEST(Adps, PaperMasterSlaveRatio) {
+  // 10 channels on the master's uplink, 2 on the slave's downlink:
+  // Upart = 11/(11+3) = 11/14 → d_iu = round(40·11/14) = round(31.43) = 31.
+  NetworkState state(61);
+  for (std::uint16_t i = 1; i <= 10; ++i) {
+    state.add_channel(
+        make_channel(i, 0, static_cast<std::uint32_t>(10 + i), 20, 20));
+  }
+  state.add_channel(make_channel(100, 1, 60, 20, 20));
+  state.add_channel(make_channel(101, 2, 60, 20, 20));
+  const auto p = AsymmetricPartitioner().partition(spec(0, 60, 100, 3, 40),
+                                                   state);
+  EXPECT_EQ(p.uplink, 31u);
+  EXPECT_EQ(p.downlink, 9u);
+}
+
+TEST(Adps, ClampsToCapacityBounds) {
+  // Extremely lopsided load with a tight deadline: raw share would leave
+  // the downlink below C — Eq 18.9 forces d_id = C.
+  NetworkState state(30);
+  for (std::uint16_t i = 1; i <= 20; ++i) {
+    state.add_channel(
+        make_channel(i, 0, static_cast<std::uint32_t>(i), 20, 20));
+  }
+  const auto s = spec(0, 25, 100, 3, 8);
+  const auto p = AsymmetricPartitioner().partition(s, state);
+  EXPECT_TRUE(p.satisfies(s));
+  EXPECT_EQ(p.downlink, 3u);  // clamped to C
+  EXPECT_EQ(p.uplink, 5u);
+}
+
+TEST(Adps, ExcludeSelfOptionChangesFirstSplit) {
+  NetworkState state(4);
+  state.add_channel(make_channel(1, 0, 1, 20, 20));
+  const auto s = spec(0, 2, 100, 3, 40);
+  // Include self: Upart = 2/(2+1) → round(26.67) = 27. Exclude self: the
+  // idle downlink contributes 0, so Upart = 1/1 → raw 40, clamped to
+  // d − C = 37 — exactly the degenerate split that motivates counting the
+  // requested channel (the library default).
+  const auto with_self = AsymmetricPartitioner().partition(s, state);
+  AdpsOptions opts;
+  opts.include_requested_channel = false;
+  const auto without_self = AsymmetricPartitioner(opts).partition(s, state);
+  EXPECT_EQ(with_self.uplink, 27u);
+  EXPECT_EQ(without_self.uplink, 37u);
+  EXPECT_TRUE(without_self.satisfies(s));
+}
+
+TEST(Adps, FloorRoundingOption) {
+  NetworkState state(4);
+  state.add_channel(make_channel(1, 0, 1, 20, 20));
+  const auto s = spec(0, 2, 100, 3, 40);  // share = 26.67
+  AdpsOptions opts;
+  opts.round_to_nearest = false;
+  EXPECT_EQ(AsymmetricPartitioner(opts).partition(s, state).uplink, 26u);
+}
+
+// ------------------------------------------------------------ extensions --
+
+TEST(Udps, WeighsByUtilizationNotCount) {
+  // One heavy channel (C/P = 30/100) on the uplink vs three feather-weight
+  // channels (1/100 each) on the downlink. Count-based ADPS favours the
+  // downlink 2:4; utilization-based must favour the uplink.
+  NetworkState state(8);
+  state.add_channel(RtChannel{ChannelId(1), spec(0, 1, 100, 30, 80),
+                              DeadlinePartition{40, 40}});
+  for (std::uint16_t i = 2; i <= 4; ++i) {
+    state.add_channel(RtChannel{ChannelId(i),
+                                spec(static_cast<std::uint32_t>(i), 5,
+                                     100, 1, 40),
+                                DeadlinePartition{20, 20}});
+  }
+  const auto s = spec(0, 5, 100, 3, 40);
+  const auto udps = UtilizationWeightedPartitioner().partition(s, state);
+  EXPECT_GT(udps.uplink, udps.downlink);
+  const auto adps = AsymmetricPartitioner().partition(s, state);
+  EXPECT_LT(adps.uplink, adps.downlink);
+}
+
+TEST(Search, FirstCandidateIsAdps) {
+  NetworkState state(4);
+  state.add_channel(make_channel(1, 0, 1, 20, 20));
+  const auto s = spec(0, 2, 100, 3, 40);
+  const auto candidates = SearchPartitioner().candidates(s, state);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_EQ(candidates.front(),
+            AsymmetricPartitioner().partition(s, state));
+}
+
+TEST(Search, EnumeratesEveryAdmissibleSplit) {
+  const NetworkState state(2);
+  const auto s = spec(0, 1, 100, 3, 12);  // uplink ∈ [3, 9] → 7 candidates
+  const auto candidates = SearchPartitioner().candidates(s, state);
+  EXPECT_EQ(candidates.size(), 7u);
+  for (const auto& p : candidates) {
+    EXPECT_TRUE(p.satisfies(s));
+  }
+  // All distinct.
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+      EXPECT_NE(candidates[i], candidates[j]);
+    }
+  }
+}
+
+TEST(Search, MinimalDeadlineHasSingleCandidate) {
+  const NetworkState state(2);
+  const auto s = spec(0, 1, 100, 3, 6);  // d = 2C: only {3,3}
+  const auto candidates = SearchPartitioner().candidates(s, state);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates.front(), (DeadlinePartition{3, 3}));
+}
+
+// --------------------------------------------------------------- factory --
+
+TEST(MakePartitioner, KnownNames) {
+  EXPECT_EQ(make_partitioner("SDPS")->name(), "SDPS");
+  EXPECT_EQ(make_partitioner("ADPS")->name(), "ADPS");
+  EXPECT_EQ(make_partitioner("UDPS")->name(), "UDPS");
+  EXPECT_EQ(make_partitioner("Search")->name(), "Search");
+}
+
+TEST(MakePartitioner, UnknownNameAsserts) {
+  EXPECT_DEATH((void)make_partitioner("bogus"), "unknown partitioner");
+}
+
+}  // namespace
+}  // namespace rtether::core

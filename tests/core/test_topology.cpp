@@ -1,0 +1,129 @@
+#include "core/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtether::core {
+namespace {
+
+TEST(LinkId, FactoryAndComparison) {
+  EXPECT_EQ(LinkId::uplink(NodeId{3}), LinkId::uplink(NodeId{3}));
+  EXPECT_NE(LinkId::uplink(NodeId{3}), LinkId::downlink(NodeId{3}));
+  EXPECT_NE(LinkId::trunk(SwitchId{0}, SwitchId{1}),
+            LinkId::trunk(SwitchId{1}, SwitchId{0}));  // directed
+}
+
+TEST(LinkId, ToString) {
+  EXPECT_EQ(LinkId::uplink(NodeId{3}).to_string(), "up(n3)");
+  EXPECT_EQ(LinkId::downlink(NodeId{7}).to_string(), "down(n7)");
+  EXPECT_EQ(LinkId::trunk(SwitchId{0}, SwitchId{2}).to_string(),
+            "trunk(s0->s2)");
+}
+
+TEST(LinkId, HashDistinguishesKinds) {
+  const std::hash<LinkId> h;
+  EXPECT_NE(h(LinkId::uplink(NodeId{1})), h(LinkId::downlink(NodeId{1})));
+  EXPECT_EQ(h(LinkId::trunk(SwitchId{1}, SwitchId{2})),
+            h(LinkId::trunk(SwitchId{1}, SwitchId{2})));
+}
+
+TEST(Topology, SingleSwitchRouteIsTwoLinks) {
+  const auto topology = Topology::single_switch(4);
+  const auto path = topology.route(NodeId{0}, NodeId{3});
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->size(), 2u);
+  EXPECT_EQ((*path)[0], LinkId::uplink(NodeId{0}));
+  EXPECT_EQ((*path)[1], LinkId::downlink(NodeId{3}));
+}
+
+TEST(Topology, LineRouteCrossesTrunks) {
+  // 3 switches × 2 nodes: nodes 0,1 on s0; 2,3 on s1; 4,5 on s2.
+  const auto topology = Topology::switch_line(3, 2);
+  const auto path = topology.route(NodeId{0}, NodeId{5});
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->size(), 4u);
+  EXPECT_EQ((*path)[0], LinkId::uplink(NodeId{0}));
+  EXPECT_EQ((*path)[1], LinkId::trunk(SwitchId{0}, SwitchId{1}));
+  EXPECT_EQ((*path)[2], LinkId::trunk(SwitchId{1}, SwitchId{2}));
+  EXPECT_EQ((*path)[3], LinkId::downlink(NodeId{5}));
+}
+
+TEST(Topology, SameSwitchInLineIsLocal) {
+  const auto topology = Topology::switch_line(3, 2);
+  const auto path = topology.route(NodeId{2}, NodeId{3});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 2u);
+}
+
+TEST(Topology, ReverseRouteUsesOppositeTrunkDirection) {
+  const auto topology = Topology::switch_line(2, 1);
+  const auto forward = topology.route(NodeId{0}, NodeId{1});
+  const auto backward = topology.route(NodeId{1}, NodeId{0});
+  ASSERT_TRUE(forward && backward);
+  EXPECT_EQ((*forward)[1], LinkId::trunk(SwitchId{0}, SwitchId{1}));
+  EXPECT_EQ((*backward)[1], LinkId::trunk(SwitchId{1}, SwitchId{0}));
+}
+
+TEST(Topology, ShortestPathPreferredInRing) {
+  // Ring of 4 switches: 0-1-2-3-0; route s0→s3 must take the direct trunk.
+  Topology topology(4, 4);
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    topology.attach_node(NodeId{n}, SwitchId{n});
+  }
+  topology.connect_switches(SwitchId{0}, SwitchId{1});
+  topology.connect_switches(SwitchId{1}, SwitchId{2});
+  topology.connect_switches(SwitchId{2}, SwitchId{3});
+  topology.connect_switches(SwitchId{3}, SwitchId{0});
+  const auto path = topology.route(NodeId{0}, NodeId{3});
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->size(), 3u);
+  EXPECT_EQ((*path)[1], LinkId::trunk(SwitchId{0}, SwitchId{3}));
+}
+
+TEST(Topology, DeterministicTieBreakByLowestSwitchId) {
+  // Two equal-length routes 0→1→3 and 0→2→3: BFS with sorted neighbours
+  // must pick via switch 1.
+  Topology topology(2, 4);
+  topology.attach_node(NodeId{0}, SwitchId{0});
+  topology.attach_node(NodeId{1}, SwitchId{3});
+  topology.connect_switches(SwitchId{0}, SwitchId{2});
+  topology.connect_switches(SwitchId{0}, SwitchId{1});
+  topology.connect_switches(SwitchId{1}, SwitchId{3});
+  topology.connect_switches(SwitchId{2}, SwitchId{3});
+  const auto path = topology.route(NodeId{0}, NodeId{1});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ((*path)[1], LinkId::trunk(SwitchId{0}, SwitchId{1}));
+  EXPECT_EQ((*path)[2], LinkId::trunk(SwitchId{1}, SwitchId{3}));
+}
+
+TEST(Topology, DisconnectedFabricHasNoRoute) {
+  Topology topology(2, 2);
+  topology.attach_node(NodeId{0}, SwitchId{0});
+  topology.attach_node(NodeId{1}, SwitchId{1});
+  // No trunk between s0 and s1.
+  EXPECT_FALSE(topology.route(NodeId{0}, NodeId{1}).has_value());
+}
+
+TEST(Topology, UnattachedNodeHasNoRoute) {
+  Topology topology(2, 1);
+  topology.attach_node(NodeId{0}, SwitchId{0});
+  EXPECT_FALSE(topology.route(NodeId{0}, NodeId{1}).has_value());
+  EXPECT_FALSE(topology.attachment(NodeId{1}).has_value());
+}
+
+TEST(Topology, SelfRouteWithinOneSwitch) {
+  const auto topology = Topology::single_switch(2);
+  const auto path = topology.route(NodeId{0}, NodeId{0});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 2u);
+}
+
+TEST(Topology, DuplicateTrunkIsIdempotent) {
+  Topology topology(0, 2);
+  topology.connect_switches(SwitchId{0}, SwitchId{1});
+  topology.connect_switches(SwitchId{0}, SwitchId{1});
+  EXPECT_EQ(topology.neighbours(SwitchId{0}).size(), 1u);
+  EXPECT_EQ(topology.neighbours(SwitchId{1}).size(), 1u);
+}
+
+}  // namespace
+}  // namespace rtether::core

@@ -1,0 +1,83 @@
+#include "edf/busy_period.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtether::edf {
+namespace {
+
+PseudoTask task(std::uint16_t id, Slot period, Slot capacity, Slot deadline) {
+  return PseudoTask{ChannelId(id), period, capacity, deadline};
+}
+
+TEST(BusyPeriod, EmptySetIsZero) {
+  const TaskSet set;
+  EXPECT_EQ(busy_period(set), 0u);
+}
+
+TEST(BusyPeriod, SingleTask) {
+  TaskSet set;
+  set.add(task(1, 100, 3, 40));
+  // One job of 3 slots, then idle until t=100.
+  EXPECT_EQ(busy_period(set), 3u);
+}
+
+TEST(BusyPeriod, TwoTasksNoCarryOver) {
+  TaskSet set;
+  set.add(task(1, 100, 3, 40));
+  set.add(task(2, 100, 5, 50));
+  EXPECT_EQ(busy_period(set), 8u);
+}
+
+TEST(BusyPeriod, CarryOverExtends) {
+  // W(L): L0 = 6; tasks {P=8,C=4}, {P=12,C=2}: W(6)=6 → done? ceil(6/8)*4 +
+  // ceil(6/12)*2 = 4+2 = 6 → fixed point 6.
+  TaskSet set;
+  set.add(task(1, 8, 4, 8));
+  set.add(task(2, 12, 2, 12));
+  EXPECT_EQ(busy_period(set), 6u);
+}
+
+TEST(BusyPeriod, IterationGrowsAcrossReleases) {
+  // {P=4,C=2} + {P=6,C=3}: U = 1. L0=5, W(5)=ceil(5/4)*2+ceil(5/6)*3=4+3=7,
+  // W(7)=4+6=10, W(10)=6+6=12, W(12)=6+6=12 → BP=12 (= hyperperiod, U=1).
+  TaskSet set;
+  set.add(task(1, 4, 2, 4));
+  set.add(task(2, 6, 3, 6));
+  EXPECT_EQ(busy_period(set), 12u);
+}
+
+TEST(BusyPeriod, FullUtilizationSingleTask) {
+  TaskSet set;
+  set.add(task(1, 5, 5, 5));
+  // Never idles within a period; fixed point at 5 (link busy 5 of every 5).
+  EXPECT_EQ(busy_period(set), 5u);
+}
+
+TEST(BusyPeriod, OverUtilizationDiverges) {
+  TaskSet set;
+  set.add(task(1, 4, 3, 4));
+  set.add(task(2, 4, 3, 4));  // U = 1.5
+  EXPECT_FALSE(busy_period(set).has_value());
+}
+
+TEST(BusyPeriod, AtLeastTotalCapacity) {
+  TaskSet set;
+  set.add(task(1, 50, 7, 20));
+  set.add(task(2, 90, 11, 30));
+  set.add(task(3, 70, 5, 25));
+  const auto bp = busy_period(set);
+  ASSERT_TRUE(bp.has_value());
+  EXPECT_GE(*bp, set.total_capacity());
+}
+
+TEST(BusyPeriod, PaperOperatingPoint) {
+  // 6 channels {P=100, C=3} on one link: backlog 18 < 100 → BP = 18.
+  TaskSet set;
+  for (std::uint16_t i = 1; i <= 6; ++i) {
+    set.add(task(i, 100, 3, 20));
+  }
+  EXPECT_EQ(busy_period(set), 18u);
+}
+
+}  // namespace
+}  // namespace rtether::edf

@@ -1,0 +1,103 @@
+#include "edf/checkpoints.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "edf/demand.hpp"
+
+namespace rtether::edf {
+namespace {
+
+PseudoTask task(std::uint16_t id, Slot period, Slot capacity, Slot deadline) {
+  return PseudoTask{ChannelId(id), period, capacity, deadline};
+}
+
+// Paper Eq 18.5: t ∈ ∪_i {m·P_i + d_i : m = 0,1,…} within [1, bound].
+
+TEST(Checkpoints, SingleTaskSeries) {
+  TaskSet set;
+  set.add(task(1, 100, 3, 40));
+  const auto points = checkpoints(set, 400);
+  EXPECT_EQ(points, (std::vector<Slot>{40, 140, 240, 340}));
+}
+
+TEST(Checkpoints, MergesAndDeduplicates) {
+  TaskSet set;
+  set.add(task(1, 10, 1, 10));
+  set.add(task(2, 5, 1, 5));
+  // Task1: 10,20,30; task2: 5,10,15,20,25,30 — union without duplicates.
+  const auto points = checkpoints(set, 30);
+  EXPECT_EQ(points, (std::vector<Slot>{5, 10, 15, 20, 25, 30}));
+}
+
+TEST(Checkpoints, RespectsBound) {
+  TaskSet set;
+  set.add(task(1, 100, 3, 40));
+  EXPECT_TRUE(checkpoints(set, 39).empty());
+  EXPECT_EQ(checkpoints(set, 40).size(), 1u);
+  EXPECT_EQ(checkpoints(set, 139).size(), 1u);
+  EXPECT_EQ(checkpoints(set, 140).size(), 2u);
+}
+
+TEST(Checkpoints, SortedAscending) {
+  TaskSet set;
+  set.add(task(1, 7, 1, 3));
+  set.add(task(2, 11, 2, 9));
+  set.add(task(3, 13, 3, 5));
+  const auto points = checkpoints(set, 200);
+  EXPECT_TRUE(std::is_sorted(points.begin(), points.end()));
+  EXPECT_TRUE(std::adjacent_find(points.begin(), points.end()) ==
+              points.end());
+}
+
+TEST(Checkpoints, EmptySet) {
+  const TaskSet set;
+  EXPECT_TRUE(checkpoints(set, 1000).empty());
+}
+
+TEST(Checkpoints, DemandOnlyStepsAtCheckpoints) {
+  // The justification for Eq 18.5: h(n,·) is constant between consecutive
+  // checkpoints, so testing only checkpoints loses nothing.
+  TaskSet set;
+  set.add(task(1, 7, 2, 5));
+  set.add(task(2, 11, 3, 9));
+  const Slot bound = 154;  // two hyperperiods
+  const auto points = checkpoints(set, bound);
+  std::size_t next = 0;
+  Slot current = demand(set, 0);
+  for (Slot t = 1; t <= bound; ++t) {
+    const Slot h = demand(set, t);
+    if (h != current) {
+      // A step happened at t — t must be a checkpoint.
+      ASSERT_LT(next, points.size());
+      EXPECT_EQ(points[next], t) << "demand stepped off-checkpoint at t=" << t;
+      ++next;
+      current = h;
+    } else if (next < points.size() && points[next] == t) {
+      // Checkpoint without a step is allowed only if another task's
+      // checkpoint coincides — here it means duplicate sources; accept.
+      ++next;
+    }
+  }
+}
+
+TEST(Checkpoints, UpperBoundCountsPerTask) {
+  TaskSet set;
+  set.add(task(1, 10, 1, 10));
+  set.add(task(2, 5, 1, 5));
+  // Task1: 3 points ≤ 30; task2: 6 points ≤ 30 → upper bound 9 (dups
+  // counted per task).
+  EXPECT_EQ(checkpoint_count_upper_bound(set, 30), 9u);
+  EXPECT_EQ(checkpoints(set, 30).size(), 6u);
+}
+
+TEST(Checkpoints, DeadlineBeyondBoundContributesNothing) {
+  TaskSet set;
+  set.add(task(1, 10, 1, 50));
+  EXPECT_EQ(checkpoint_count_upper_bound(set, 30), 0u);
+  EXPECT_TRUE(checkpoints(set, 30).empty());
+}
+
+}  // namespace
+}  // namespace rtether::edf

@@ -1,0 +1,93 @@
+#include "edf/demand.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtether::edf {
+namespace {
+
+PseudoTask task(std::uint16_t id, Slot period, Slot capacity, Slot deadline) {
+  return PseudoTask{ChannelId(id), period, capacity, deadline};
+}
+
+// Paper Eq 18.3: h(n,t) = Σ_{d_i ≤ t} (1 + ⌊(t − d_i)/P_i⌋)·C_i.
+
+TEST(TaskDemand, ZeroBeforeDeadline) {
+  const auto t = task(1, 100, 3, 40);
+  EXPECT_EQ(task_demand(t, 0), 0u);
+  EXPECT_EQ(task_demand(t, 39), 0u);
+}
+
+TEST(TaskDemand, StepsAtDeadline) {
+  const auto t = task(1, 100, 3, 40);
+  EXPECT_EQ(task_demand(t, 40), 3u);
+  EXPECT_EQ(task_demand(t, 41), 3u);
+  EXPECT_EQ(task_demand(t, 139), 3u);
+  // Second job's deadline at 100 + 40.
+  EXPECT_EQ(task_demand(t, 140), 6u);
+  EXPECT_EQ(task_demand(t, 240), 9u);
+}
+
+TEST(TaskDemand, ImplicitDeadlineTask) {
+  const auto t = task(1, 10, 2, 10);
+  EXPECT_EQ(task_demand(t, 9), 0u);
+  EXPECT_EQ(task_demand(t, 10), 2u);
+  EXPECT_EQ(task_demand(t, 19), 2u);
+  EXPECT_EQ(task_demand(t, 20), 4u);
+  EXPECT_EQ(task_demand(t, 100), 20u);
+}
+
+TEST(Demand, SumsOverTasks) {
+  TaskSet set;
+  set.add(task(1, 100, 3, 40));
+  set.add(task(2, 50, 5, 20));
+  // t=20: only task 2 → 5. t=40: 5 + 3 = 8. t=70: task2 twice (20, 70) → 10+3.
+  EXPECT_EQ(demand(set, 19), 0u);
+  EXPECT_EQ(demand(set, 20), 5u);
+  EXPECT_EQ(demand(set, 40), 8u);
+  EXPECT_EQ(demand(set, 70), 13u);
+  EXPECT_EQ(demand(set, 140), 3u * 2 + 5u * 3);  // deadlines 40,140 / 20,70,120
+}
+
+TEST(Demand, EmptySetIsZero) {
+  const TaskSet set;
+  EXPECT_EQ(demand(set, 1'000'000), 0u);
+}
+
+TEST(Demand, MonotoneNonDecreasing) {
+  TaskSet set;
+  set.add(task(1, 7, 2, 5));
+  set.add(task(2, 11, 3, 9));
+  set.add(task(3, 13, 1, 4));
+  Slot previous = 0;
+  for (Slot t = 0; t <= 1001; ++t) {
+    const Slot h = demand(set, t);
+    EXPECT_GE(h, previous);
+    previous = h;
+  }
+}
+
+TEST(Demand, LongHorizonMatchesRate) {
+  // Over k full hyperperiods the demand approaches U·t.
+  TaskSet set;
+  set.add(task(1, 10, 2, 10));
+  set.add(task(2, 20, 4, 20));
+  // U = 0.4; at t = 200: task1 contributes 20 jobs·2 = 40, task2 10·4 = 40.
+  EXPECT_EQ(demand(set, 200), 80u);
+}
+
+TEST(Demand, FigureOperatingPointUplink) {
+  // Fig 18.5 SDPS uplink: k channels {P=100, C=3, d_iu=20} on one master
+  // uplink. h(20) = 3k — feasible iff 3k ≤ 20, i.e. k ≤ 6. This is why the
+  // SDPS curve plateaus at 60 accepted channels for 10 masters.
+  for (std::uint16_t k = 1; k <= 8; ++k) {
+    TaskSet set;
+    for (std::uint16_t i = 1; i <= k; ++i) {
+      set.add(task(i, 100, 3, 20));
+    }
+    EXPECT_EQ(demand(set, 20), static_cast<Slot>(3 * k));
+    EXPECT_EQ(demand(set, 20) <= 20, k <= 6);
+  }
+}
+
+}  // namespace
+}  // namespace rtether::edf

@@ -1,0 +1,178 @@
+#include "edf/feasibility.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtether::edf {
+namespace {
+
+PseudoTask task(std::uint16_t id, Slot period, Slot capacity, Slot deadline) {
+  return PseudoTask{ChannelId(id), period, capacity, deadline};
+}
+
+/// All three scan strategies must agree — run every case through each.
+class FeasibilityAllScans : public ::testing::TestWithParam<DemandScan> {};
+
+INSTANTIATE_TEST_SUITE_P(Scans, FeasibilityAllScans,
+                         ::testing::Values(DemandScan::kEverySlot,
+                                           DemandScan::kCheckpoints,
+                                           DemandScan::kExhaustive),
+                         [](const ::testing::TestParamInfo<DemandScan>& scan_info) {
+                           switch (scan_info.param) {
+                             case DemandScan::kEverySlot:
+                               return "EverySlot";
+                             case DemandScan::kCheckpoints:
+                               return "Checkpoints";
+                             case DemandScan::kExhaustive:
+                               return "Exhaustive";
+                           }
+                           return "?";
+                         });
+
+TEST_P(FeasibilityAllScans, EmptySetIsFeasible) {
+  const TaskSet set;
+  EXPECT_TRUE(is_feasible(set, GetParam()));
+}
+
+TEST_P(FeasibilityAllScans, SingleLightTask) {
+  TaskSet set;
+  set.add(task(1, 100, 3, 40));
+  EXPECT_TRUE(is_feasible(set, GetParam()));
+}
+
+TEST_P(FeasibilityAllScans, DeadlineShorterThanCapacityInfeasible) {
+  TaskSet set;
+  set.add(task(1, 100, 5, 4));  // C > d: h(4) = 5 > 4
+  const auto report = check_feasibility(set, GetParam());
+  EXPECT_FALSE(report.feasible);
+  EXPECT_EQ(report.reason, InfeasibleReason::kDemandExceeded);
+  EXPECT_EQ(report.violation_time, 4u);
+  EXPECT_EQ(report.violation_demand, 5u);
+}
+
+TEST_P(FeasibilityAllScans, UtilizationOverloadCaughtFirst) {
+  TaskSet set;
+  set.add(task(1, 10, 6, 10));
+  set.add(task(2, 10, 6, 10));  // U = 1.2
+  const auto report = check_feasibility(set, GetParam());
+  EXPECT_FALSE(report.feasible);
+  EXPECT_EQ(report.reason, InfeasibleReason::kUtilizationExceeded);
+  EXPECT_GT(report.utilization, 1.0);
+  EXPECT_EQ(report.demand_evaluations, 0u);
+}
+
+TEST_P(FeasibilityAllScans, PaperSdpsUplinkBoundary) {
+  // Fig 18.5 analytics: 6 × {P=100,C=3,d=20} feasible; 7 × infeasible.
+  TaskSet six;
+  for (std::uint16_t i = 1; i <= 6; ++i) six.add(task(i, 100, 3, 20));
+  EXPECT_TRUE(is_feasible(six, GetParam()));
+
+  TaskSet seven;
+  for (std::uint16_t i = 1; i <= 7; ++i) seven.add(task(i, 100, 3, 20));
+  const auto report = check_feasibility(seven, GetParam());
+  EXPECT_FALSE(report.feasible);
+  EXPECT_EQ(report.reason, InfeasibleReason::kDemandExceeded);
+  EXPECT_EQ(report.violation_time, 20u);  // h(20) = 21 > 20
+  EXPECT_EQ(report.violation_demand, 21u);
+}
+
+TEST_P(FeasibilityAllScans, PaperAdpsUplinkBoundary) {
+  // ADPS gives the master uplink d_iu = 33: 11 channels fit (33 = 11·3).
+  TaskSet eleven;
+  for (std::uint16_t i = 1; i <= 11; ++i) eleven.add(task(i, 100, 3, 33));
+  EXPECT_TRUE(is_feasible(eleven, GetParam()));
+  TaskSet twelve;
+  for (std::uint16_t i = 1; i <= 12; ++i) twelve.add(task(i, 100, 3, 33));
+  EXPECT_FALSE(is_feasible(twelve, GetParam()));
+}
+
+TEST_P(FeasibilityAllScans, MixedPeriodsClassicExample) {
+  // {P=4,C=1,d=2}, {P=6,C=2,d=5}, {P=12,C=3,d=10}: U = 1/4+1/3+1/4 = 5/6.
+  // Demand: h(2)=1, h(5)=1+2=3? deadlines: 2,6,10,14.. / 5,11,17.. / 10,22..
+  // h(5)=1(t=2)+2(t=5)=3 ≤ 5; h(10)=2+2+3=7≤10; h(11)=2+4+3=9≤11 — feasible.
+  TaskSet set;
+  set.add(task(1, 4, 1, 2));
+  set.add(task(2, 6, 2, 5));
+  set.add(task(3, 12, 3, 10));
+  EXPECT_TRUE(is_feasible(set, GetParam()));
+}
+
+TEST_P(FeasibilityAllScans, TightDeadlinesInfeasibleDespiteLowUtilization) {
+  // U = 0.3 but both want the same 3 slots before t=3.
+  TaskSet set;
+  set.add(task(1, 20, 3, 3));
+  set.add(task(2, 20, 3, 3));
+  const auto report = check_feasibility(set, GetParam());
+  EXPECT_FALSE(report.feasible);
+  EXPECT_EQ(report.reason, InfeasibleReason::kDemandExceeded);
+  EXPECT_EQ(report.violation_time, 3u);
+}
+
+TEST(Feasibility, LiuLaylandFastPath) {
+  // All deadlines == periods: the utilization test alone decides
+  // (paper §18.3.2 citing Liu & Layland).
+  TaskSet set;
+  set.add(task(1, 10, 5, 10));
+  set.add(task(2, 20, 10, 20));  // U = 1 exactly
+  const auto report = check_feasibility(set);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_TRUE(report.used_utilization_fast_path);
+  EXPECT_EQ(report.demand_evaluations, 0u);
+}
+
+TEST(Feasibility, FastPathNotUsedWithConstrainedDeadlines) {
+  TaskSet set;
+  set.add(task(1, 10, 5, 5));  // deadline == busy period → one checkpoint
+  const auto report = check_feasibility(set);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_FALSE(report.used_utilization_fast_path);
+  EXPECT_GT(report.demand_evaluations, 0u);
+}
+
+TEST(Feasibility, CheckpointScanDoesFewerEvaluations) {
+  TaskSet set;
+  for (std::uint16_t i = 1; i <= 6; ++i) {
+    set.add(task(i, 100, 3, 50 + i));
+  }
+  const auto naive = check_feasibility(set, DemandScan::kEverySlot);
+  const auto smart = check_feasibility(set, DemandScan::kCheckpoints);
+  EXPECT_TRUE(naive.feasible);
+  EXPECT_TRUE(smart.feasible);
+  EXPECT_LT(smart.demand_evaluations, naive.demand_evaluations);
+}
+
+TEST(Feasibility, ExactlyFullUtilizationWithImplicitDeadlines) {
+  TaskSet set;
+  set.add(task(1, 2, 1, 2));
+  set.add(task(2, 4, 2, 4));  // U = 1
+  EXPECT_TRUE(is_feasible(set));
+}
+
+TEST(Feasibility, SummaryStrings) {
+  TaskSet ok;
+  ok.add(task(1, 100, 3, 40));
+  EXPECT_NE(check_feasibility(ok).summary().find("feasible"),
+            std::string::npos);
+
+  TaskSet over;
+  over.add(task(1, 2, 2, 2));
+  over.add(task(2, 2, 1, 2));
+  EXPECT_NE(check_feasibility(over).summary().find("utilization"),
+            std::string::npos);
+
+  TaskSet tight;
+  tight.add(task(1, 100, 5, 4));
+  EXPECT_NE(check_feasibility(tight).summary().find("demand"),
+            std::string::npos);
+}
+
+TEST(Feasibility, ScannedBoundIsBusyPeriod) {
+  TaskSet set;
+  set.add(task(1, 100, 3, 40));
+  set.add(task(2, 100, 5, 60));
+  const auto report = check_feasibility(set, DemandScan::kEverySlot);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_EQ(report.scanned_bound, 8u);  // busy period = C1 + C2
+}
+
+}  // namespace
+}  // namespace rtether::edf

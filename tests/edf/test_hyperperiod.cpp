@@ -1,0 +1,61 @@
+#include "edf/hyperperiod.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtether::edf {
+namespace {
+
+PseudoTask task(std::uint16_t id, Slot period, Slot capacity, Slot deadline) {
+  return PseudoTask{ChannelId(id), period, capacity, deadline};
+}
+
+TEST(Hyperperiod, EmptySetIsOne) {
+  const TaskSet set;
+  EXPECT_EQ(hyperperiod(set), 1u);
+}
+
+TEST(Hyperperiod, SingleTask) {
+  TaskSet set;
+  set.add(task(1, 100, 3, 40));
+  EXPECT_EQ(hyperperiod(set), 100u);
+}
+
+TEST(Hyperperiod, HarmonicPeriods) {
+  TaskSet set;
+  set.add(task(1, 10, 1, 10));
+  set.add(task(2, 20, 1, 20));
+  set.add(task(3, 40, 1, 40));
+  EXPECT_EQ(hyperperiod(set), 40u);
+}
+
+TEST(Hyperperiod, CoprimePeriods) {
+  TaskSet set;
+  set.add(task(1, 7, 1, 7));
+  set.add(task(2, 11, 1, 11));
+  set.add(task(3, 13, 1, 13));
+  EXPECT_EQ(hyperperiod(set), 7u * 11 * 13);
+}
+
+TEST(Hyperperiod, OverflowReported) {
+  TaskSet set;
+  // Large pairwise-coprime periods whose lcm exceeds 2^64 (C = P keeps the
+  // per-task utilization integral).
+  const Slot p1 = (Slot{1} << 31) - 1;  // Mersenne prime
+  const Slot p2 = (Slot{1} << 31) - 99;
+  const Slot p3 = (Slot{1} << 31) - 105;
+  set.add(task(1, p1, p1, p1));
+  set.add(task(2, p2, p2, p2));
+  set.add(task(3, p3, p3, p3));
+  EXPECT_FALSE(hyperperiod(set).has_value());
+}
+
+TEST(Hyperperiod, IdenticalPeriodsDoNotGrow) {
+  TaskSet set;
+  for (std::uint16_t i = 1; i <= 60; ++i) {
+    set.add(task(i, 100, 1, 40));
+  }
+  EXPECT_EQ(hyperperiod(set), 100u);
+}
+
+}  // namespace
+}  // namespace rtether::edf

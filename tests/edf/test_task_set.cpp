@@ -1,0 +1,111 @@
+#include "edf/task_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtether::edf {
+namespace {
+
+PseudoTask task(std::uint16_t id, Slot period, Slot capacity, Slot deadline) {
+  return PseudoTask{ChannelId(id), period, capacity, deadline};
+}
+
+TEST(PseudoTask, Validity) {
+  EXPECT_TRUE(task(1, 100, 3, 40).valid());
+  EXPECT_FALSE(task(1, 0, 3, 40).valid());    // zero period
+  EXPECT_FALSE(task(1, 100, 0, 40).valid());  // zero capacity
+  EXPECT_FALSE(task(1, 100, 3, 0).valid());   // zero deadline
+  EXPECT_FALSE(task(1, 2, 3, 40).valid());    // capacity > period
+  EXPECT_TRUE(task(1, 3, 3, 3).valid());      // fully loaded is legal
+}
+
+TEST(PseudoTask, Constrained) {
+  EXPECT_TRUE(task(1, 100, 3, 40).constrained());
+  EXPECT_TRUE(task(1, 100, 3, 100).constrained());
+  EXPECT_FALSE(task(1, 100, 3, 140).constrained());
+}
+
+TEST(TaskSet, StartsEmpty) {
+  const TaskSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_EQ(set.utilization(), 0.0);
+  EXPECT_EQ(set.total_capacity(), 0u);
+  EXPECT_EQ(set.max_deadline(), 0u);
+  EXPECT_EQ(set.min_deadline(), 0u);
+}
+
+TEST(TaskSet, AddAccumulatesExactUtilization) {
+  TaskSet set;
+  set.add(task(1, 100, 3, 40));
+  set.add(task(2, 50, 10, 25));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_DOUBLE_EQ(set.utilization(), 3.0 / 100 + 10.0 / 50);
+  EXPECT_EQ(set.total_capacity(), 13u);
+}
+
+TEST(TaskSet, RemoveRestoresUtilizationExactly) {
+  TaskSet set;
+  for (std::uint16_t i = 1; i <= 30; ++i) {
+    set.add(task(i, 100, 3, 40));
+  }
+  for (std::uint16_t i = 1; i <= 30; ++i) {
+    EXPECT_TRUE(set.remove(ChannelId(i)));
+  }
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.utilization(), 0.0);  // reset exactly on empty
+  EXPECT_EQ(set.total_capacity(), 0u);
+}
+
+TEST(TaskSet, RemoveUnknownReturnsFalse) {
+  TaskSet set;
+  set.add(task(1, 100, 3, 40));
+  EXPECT_FALSE(set.remove(ChannelId(2)));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(TaskSet, ContainsTracksMembership) {
+  TaskSet set;
+  EXPECT_FALSE(set.contains(ChannelId(1)));
+  set.add(task(1, 100, 3, 40));
+  EXPECT_TRUE(set.contains(ChannelId(1)));
+  set.remove(ChannelId(1));
+  EXPECT_FALSE(set.contains(ChannelId(1)));
+}
+
+TEST(TaskSet, DuplicateChannelAsserts) {
+  TaskSet set;
+  set.add(task(1, 100, 3, 40));
+  EXPECT_DEATH(set.add(task(1, 50, 1, 10)), "already has a task");
+}
+
+TEST(TaskSet, InvalidTaskAsserts) {
+  TaskSet set;
+  EXPECT_DEATH(set.add(task(1, 0, 3, 40)), "invalid pseudo-task");
+}
+
+TEST(TaskSet, AllImplicitDeadline) {
+  TaskSet set;
+  EXPECT_TRUE(set.all_implicit_deadline());  // vacuous
+  set.add(task(1, 100, 3, 100));
+  EXPECT_TRUE(set.all_implicit_deadline());
+  set.add(task(2, 50, 5, 25));
+  EXPECT_FALSE(set.all_implicit_deadline());
+}
+
+TEST(TaskSet, DeadlineExtremes) {
+  TaskSet set;
+  set.add(task(1, 100, 3, 40));
+  set.add(task(2, 100, 3, 15));
+  set.add(task(3, 100, 3, 90));
+  EXPECT_EQ(set.max_deadline(), 90u);
+  EXPECT_EQ(set.min_deadline(), 15u);
+}
+
+TEST(TaskSet, ConstructFromVector) {
+  const TaskSet set({task(1, 100, 3, 40), task(2, 200, 6, 80)});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_DOUBLE_EQ(set.utilization(), 3.0 / 100 + 6.0 / 200);
+}
+
+}  // namespace
+}  // namespace rtether::edf

@@ -1,0 +1,86 @@
+// The paper's central soundness claim, checked end to end: any channel set
+// the admission control accepts is delivered by the simulated network
+// within d_i + T_latency — establishment over real frames, EDF queues at
+// both hops, randomized workloads.
+
+#include <gtest/gtest.h>
+
+#include "analysis/validation.hpp"
+
+namespace rtether::analysis {
+namespace {
+
+struct Scenario {
+  const char* name;
+  const char* scheme;
+  std::uint32_t masters;
+  std::uint32_t slaves;
+  std::size_t requests;
+  Slot deadline;
+  traffic::FlowDirection direction;
+  bool best_effort;
+};
+
+class AnalysisVsSimulation : public ::testing::TestWithParam<Scenario> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, AnalysisVsSimulation,
+    ::testing::Values(
+        Scenario{"sdps_paper", "SDPS", 3, 9, 40, 40,
+                 traffic::FlowDirection::kMasterToSlave, false},
+        Scenario{"adps_paper", "ADPS", 3, 9, 40, 40,
+                 traffic::FlowDirection::kMasterToSlave, false},
+        Scenario{"adps_tight_deadlines", "ADPS", 3, 9, 40, 14,
+                 traffic::FlowDirection::kMasterToSlave, false},
+        Scenario{"adps_reverse", "ADPS", 3, 9, 40, 40,
+                 traffic::FlowDirection::kSlaveToMaster, false},
+        Scenario{"adps_mixed_with_background", "ADPS", 3, 9, 30, 40,
+                 traffic::FlowDirection::kMixed, true},
+        Scenario{"search_saturated", "Search", 2, 6, 60, 30,
+                 traffic::FlowDirection::kMasterToSlave, false}),
+    [](const auto& scenario_info) { return scenario_info.param.name; });
+
+TEST_P(AnalysisVsSimulation, AdmittedImpliesDeliveredOnTime) {
+  const Scenario& s = GetParam();
+  ValidationConfig config;
+  config.sim.ticks_per_slot = 64;
+  config.scheme = s.scheme;
+  config.workload.masters = s.masters;
+  config.workload.slaves = s.slaves;
+  config.workload.direction = s.direction;
+  config.workload.deadline = traffic::SlotDistribution::fixed(s.deadline);
+  config.request_count = s.requests;
+  config.run_slots = 1'200;
+  config.with_best_effort = s.best_effort;
+  config.best_effort_load = 0.5;
+  config.seed = 1234;
+
+  const auto result = run_guarantee_validation(config);
+  EXPECT_GT(result.channels_established, 0u);
+  EXPECT_GT(result.frames_delivered, 0u);
+  EXPECT_EQ(result.deadline_misses, 0u);
+  EXPECT_LE(result.worst_delay_ratio, 1.0);
+  // No frame loss for RT traffic (queues are unbounded for RT).
+  EXPECT_EQ(result.frames_sent, result.frames_delivered);
+}
+
+TEST(AnalysisVsSimulation, MultipleSeedsSweep) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    ValidationConfig config;
+    config.sim.ticks_per_slot = 64;
+    config.scheme = "ADPS";
+    config.workload.masters = 2;
+    config.workload.slaves = 8;
+    config.workload.deadline = traffic::SlotDistribution::uniform(10, 60);
+    config.workload.period = traffic::SlotDistribution::choice({50, 100, 200});
+    config.workload.capacity = traffic::SlotDistribution::uniform(1, 4);
+    config.request_count = 30;
+    config.run_slots = 1'000;
+    config.seed = seed;
+    const auto result = run_guarantee_validation(config);
+    EXPECT_EQ(result.deadline_misses, 0u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rtether::analysis

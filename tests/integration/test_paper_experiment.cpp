@@ -1,0 +1,97 @@
+// Integration check of the paper's headline experiment (Fig 18.5) at
+// reduced seed count: the full reproduction lives in
+// bench/fig18_5_acceptance.cpp; this test pins the curve *shape* so
+// regressions fail CI rather than just bending a figure.
+
+#include <gtest/gtest.h>
+
+#include "analysis/acceptance.hpp"
+
+namespace rtether::analysis {
+namespace {
+
+class Fig185Shape : public ::testing::Test {
+ protected:
+  static AcceptanceSweepConfig sweep() {
+    AcceptanceSweepConfig config;
+    config.request_counts = {20, 40, 60, 80, 100, 120, 140, 160, 180, 200};
+    config.seeds = 3;
+    config.base_seed = 42;
+    return config;
+  }
+
+  static traffic::MasterSlaveConfig workload() {
+    return traffic::MasterSlaveConfig{};  // the paper's parameters
+  }
+};
+
+TEST_F(Fig185Shape, AdpsDominatesSdpsEverywhere) {
+  const auto sdps = run_master_slave_sweep("SDPS", workload(), sweep());
+  const auto adps = run_master_slave_sweep("ADPS", workload(), sweep());
+  for (std::size_t i = 0; i < sdps.points.size(); ++i) {
+    EXPECT_GE(adps.points[i].accepted_mean + 1e-9,
+              sdps.points[i].accepted_mean)
+        << "at requested=" << sdps.points[i].requested;
+  }
+}
+
+TEST_F(Fig185Shape, BothAcceptEverythingAtLowLoad) {
+  const auto sdps = run_master_slave_sweep("SDPS", workload(), sweep());
+  const auto adps = run_master_slave_sweep("ADPS", workload(), sweep());
+  // At 20 requested, nothing saturates: near-total acceptance.
+  EXPECT_GE(sdps.points[0].accepted_min, 18.0);
+  EXPECT_GE(adps.points[0].accepted_min, 18.0);
+}
+
+TEST_F(Fig185Shape, SdpsPlateauNearSixty) {
+  const auto sdps = run_master_slave_sweep("SDPS", workload(), sweep());
+  const auto& last = sdps.points.back();
+  // Analytic plateau: 10 masters × 6 channels/uplink.
+  EXPECT_NEAR(last.accepted_mean, 60.0, 2.0);
+  // Plateau reached well before 200 requested.
+  EXPECT_NEAR(sdps.points[6].accepted_mean, 60.0, 3.0);  // at 140
+}
+
+TEST_F(Fig185Shape, AdpsPlateauNearPaperValue) {
+  const auto adps = run_master_slave_sweep("ADPS", workload(), sweep());
+  const auto& last = adps.points.back();
+  // Paper Fig 18.5 shows ≈ 110 accepted at 200 requested.
+  EXPECT_GE(last.accepted_mean, 95.0);
+  EXPECT_LE(last.accepted_mean, 125.0);
+}
+
+TEST_F(Fig185Shape, RatioRoughlyMatchesPaper) {
+  const auto sdps = run_master_slave_sweep("SDPS", workload(), sweep());
+  const auto adps = run_master_slave_sweep("ADPS", workload(), sweep());
+  const double ratio = adps.points.back().accepted_mean /
+                       sdps.points.back().accepted_mean;
+  // Paper: ≈ 110/60 ≈ 1.8.
+  EXPECT_GE(ratio, 1.55);
+  EXPECT_LE(ratio, 2.1);
+}
+
+TEST_F(Fig185Shape, SchemesAgreeBeforeSaturation) {
+  // Below the SDPS knee (~60) the curves should track each other closely.
+  const auto sdps = run_master_slave_sweep("SDPS", workload(), sweep());
+  const auto adps = run_master_slave_sweep("ADPS", workload(), sweep());
+  EXPECT_NEAR(sdps.points[0].accepted_mean, adps.points[0].accepted_mean,
+              2.0);
+  EXPECT_NEAR(sdps.points[1].accepted_mean, adps.points[1].accepted_mean,
+              4.0);
+}
+
+TEST_F(Fig185Shape, SlaveToMasterMirrorsTheEffect) {
+  // ADPS's advantage is direction-agnostic: with slave→master traffic the
+  // bottleneck moves to master *downlinks* and ADPS still wins.
+  auto w = workload();
+  w.direction = traffic::FlowDirection::kSlaveToMaster;
+  auto config = sweep();
+  config.request_counts = {200};
+  const auto sdps = run_master_slave_sweep("SDPS", w, config);
+  const auto adps = run_master_slave_sweep("ADPS", w, config);
+  EXPECT_GT(adps.points[0].accepted_mean,
+            1.5 * sdps.points[0].accepted_mean);
+}
+
+}  // namespace
+}  // namespace rtether::analysis

@@ -1,0 +1,88 @@
+#include "net/address.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtether::net {
+namespace {
+
+TEST(MacAddress, RoundTripU48) {
+  const auto mac = MacAddress::from_u48(0x0200'1234'5678ULL);
+  EXPECT_EQ(mac.to_u48(), 0x0200'1234'5678ULL);
+}
+
+TEST(MacAddress, Formatting) {
+  const auto mac = MacAddress::from_u48(0x0200'00ab'cdefULL);
+  EXPECT_EQ(mac.to_string(), "02:00:00:ab:cd:ef");
+}
+
+TEST(MacAddress, ParseValid) {
+  const auto mac = MacAddress::parse("02:00:00:AB:cd:Ef");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_u48(), 0x0200'00ab'cdefULL);
+}
+
+TEST(MacAddress, ParseRejectsMalformed) {
+  EXPECT_FALSE(MacAddress::parse("").has_value());
+  EXPECT_FALSE(MacAddress::parse("02:00:00:ab:cd").has_value());
+  EXPECT_FALSE(MacAddress::parse("02:00:00:ab:cd:e").has_value());
+  EXPECT_FALSE(MacAddress::parse("02-00-00-ab-cd-ef").has_value());
+  EXPECT_FALSE(MacAddress::parse("02:00:00:ab:cd:gg").has_value());
+  EXPECT_FALSE(MacAddress::parse("02:00:00:ab:cd:ef:00").has_value());
+}
+
+TEST(MacAddress, ParseFormatsBackIdentically) {
+  const char* text = "aa:bb:cc:dd:ee:ff";
+  EXPECT_EQ(MacAddress::parse(text)->to_string(), text);
+}
+
+TEST(MacAddress, Broadcast) {
+  EXPECT_TRUE(broadcast_mac().is_broadcast());
+  EXPECT_FALSE(MacAddress::from_u48(1).is_broadcast());
+  EXPECT_EQ(broadcast_mac().to_string(), "ff:ff:ff:ff:ff:ff");
+}
+
+TEST(MacAddress, Ordering) {
+  EXPECT_LT(MacAddress::from_u48(1), MacAddress::from_u48(2));
+  EXPECT_EQ(MacAddress::from_u48(7), MacAddress::from_u48(7));
+}
+
+TEST(MacAddress, HashUsableInMaps) {
+  std::hash<MacAddress> h;
+  EXPECT_EQ(h(MacAddress::from_u48(42)), h(MacAddress::from_u48(42)));
+}
+
+TEST(Ipv4Address, OctetConstructorAndValue) {
+  const Ipv4Address ip(10, 0, 1, 2);
+  EXPECT_EQ(ip.value(), 0x0a000102u);
+  EXPECT_EQ(ip.to_string(), "10.0.1.2");
+}
+
+TEST(Ipv4Address, ParseValid) {
+  const auto ip = Ipv4Address::parse("192.168.0.254");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(*ip, Ipv4Address(192, 168, 0, 254));
+}
+
+TEST(Ipv4Address, ParseBoundaries) {
+  EXPECT_TRUE(Ipv4Address::parse("0.0.0.0").has_value());
+  EXPECT_TRUE(Ipv4Address::parse("255.255.255.255").has_value());
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1..2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1234.0.0.1").has_value());
+}
+
+TEST(Ipv4Address, RoundTrip) {
+  const Ipv4Address ip(172, 16, 254, 1);
+  EXPECT_EQ(Ipv4Address::parse(ip.to_string()), ip);
+}
+
+}  // namespace
+}  // namespace rtether::net

@@ -1,0 +1,87 @@
+#include "net/deadline_codec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtether::net {
+namespace {
+
+TEST(DeadlineCodec, EncodeSetsToS255) {
+  Ipv4Header header;
+  encode_rt_tag({12345, ChannelId(7)}, header);
+  EXPECT_EQ(header.tos, kRtTos);
+  EXPECT_TRUE(is_rt_frame(header));
+}
+
+TEST(DeadlineCodec, RoundTripSimple) {
+  Ipv4Header header;
+  const RtFrameTag tag{0x0000'0000'1234ULL, ChannelId(42)};
+  encode_rt_tag(tag, header);
+  const auto decoded = decode_rt_tag(header);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, tag);
+}
+
+TEST(DeadlineCodec, BitLayoutMatchesPaper) {
+  // §18.2.2: IP source = deadline bits 47..16; IP destination high half =
+  // deadline bits 15..0; low half = channel ID.
+  Ipv4Header header;
+  encode_rt_tag({0xABCD'EF12'3456ULL, ChannelId(0x7788)}, header);
+  EXPECT_EQ(header.source.value(), 0xABCDEF12u);
+  EXPECT_EQ(header.destination.value() >> 16, 0x3456u);
+  EXPECT_EQ(header.destination.value() & 0xffff, 0x7788u);
+}
+
+TEST(DeadlineCodec, MaxDeadlineRoundTrips) {
+  Ipv4Header header;
+  const RtFrameTag tag{kMaxEncodableDeadline, ChannelId(0xffff)};
+  encode_rt_tag(tag, header);
+  const auto decoded = decode_rt_tag(header);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, tag);
+}
+
+TEST(DeadlineCodec, ZeroValuesRoundTrip) {
+  Ipv4Header header;
+  const RtFrameTag tag{0, ChannelId(0)};
+  encode_rt_tag(tag, header);
+  const auto decoded = decode_rt_tag(header);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, tag);
+}
+
+TEST(DeadlineCodec, OversizedDeadlineAsserts) {
+  Ipv4Header header;
+  EXPECT_DEATH(encode_rt_tag({kMaxEncodableDeadline + 1, ChannelId(1)},
+                             header),
+               "exceeds 48 bits");
+}
+
+TEST(DeadlineCodec, NonRtFrameDecodesToNothing) {
+  Ipv4Header header;
+  header.tos = 0;
+  EXPECT_FALSE(decode_rt_tag(header).has_value());
+  header.tos = 254;  // "other values … future services"
+  EXPECT_FALSE(decode_rt_tag(header).has_value());
+  EXPECT_FALSE(is_rt_frame(header));
+}
+
+TEST(DeadlineCodec, SurvivesHeaderSerialization) {
+  // The tag must survive the full serialize/parse cycle, checksum included.
+  Ipv4Header header;
+  header.protocol = IpProtocol::kUdp;
+  header.total_length = 28;
+  const RtFrameTag tag{0x1122'3344'5566ULL, ChannelId(0x0102)};
+  encode_rt_tag(tag, header);
+
+  ByteWriter w;
+  header.serialize(w);
+  ByteReader r(w.bytes());
+  const auto parsed = Ipv4Header::parse(r);
+  ASSERT_TRUE(parsed.has_value());
+  const auto decoded = decode_rt_tag(*parsed);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, tag);
+}
+
+}  // namespace
+}  // namespace rtether::net

@@ -1,0 +1,91 @@
+#include "net/ethernet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace rtether::net {
+namespace {
+
+EthernetHeader sample_header() {
+  EthernetHeader h;
+  h.destination = MacAddress::from_u48(0x0200'0000'0001ULL);
+  h.source = MacAddress::from_u48(0x0200'0000'0002ULL);
+  h.ether_type = EtherType::kIpv4;
+  return h;
+}
+
+TEST(EthernetHeader, SerializedSizeAndLayout) {
+  ByteWriter w;
+  sample_header().serialize(w);
+  ASSERT_EQ(w.size(), EthernetHeader::kWireSize);
+  // dst(6) | src(6) | type(2), big-endian.
+  EXPECT_EQ(w.bytes()[5], 0x01);
+  EXPECT_EQ(w.bytes()[11], 0x02);
+  EXPECT_EQ(w.bytes()[12], 0x08);
+  EXPECT_EQ(w.bytes()[13], 0x00);
+}
+
+TEST(EthernetHeader, RoundTrip) {
+  ByteWriter w;
+  const auto original = sample_header();
+  original.serialize(w);
+  ByteReader r(w.bytes());
+  const auto parsed = EthernetHeader::parse(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->destination, original.destination);
+  EXPECT_EQ(parsed->source, original.source);
+  EXPECT_EQ(parsed->ether_type, original.ether_type);
+}
+
+TEST(EthernetHeader, ShortBufferRejected) {
+  const std::vector<std::uint8_t> short_buf(13, 0);
+  ByteReader r(short_buf);
+  EXPECT_FALSE(EthernetHeader::parse(r).has_value());
+}
+
+TEST(EthernetFrame, RoundTripWithPayload) {
+  EthernetFrame frame;
+  frame.header = sample_header();
+  frame.payload = {1, 2, 3, 4, 5};
+  const auto bytes = frame.serialize();
+  const auto parsed = EthernetFrame::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->payload, frame.payload);
+  EXPECT_EQ(parsed->header.source, frame.header.source);
+}
+
+TEST(EthernetFrame, EmptyPayloadAllowed) {
+  EthernetFrame frame;
+  frame.header = sample_header();
+  const auto parsed = EthernetFrame::parse(frame.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+TEST(EthernetFrame, WireBytesFlooredAtMinimum) {
+  EthernetFrame frame;
+  frame.header = sample_header();
+  frame.payload = {0};  // far below the 46-byte minimum payload
+  EXPECT_EQ(frame.wire_bytes(), kMinFrameWireBytes);
+}
+
+TEST(EthernetFrame, WireBytesForFullFrame) {
+  EthernetFrame frame;
+  frame.header = sample_header();
+  frame.payload.assign(1500, 0xaa);
+  // 14 + 1500 + 4 FCS + 8 preamble + 12 IFG = 1538.
+  EXPECT_EQ(frame.wire_bytes(), kMaxFrameWireBytes);
+}
+
+TEST(EthernetFrame, ManagementEtherTypeSurvives) {
+  EthernetFrame frame;
+  frame.header = sample_header();
+  frame.header.ether_type = EtherType::kRtManagement;
+  const auto parsed = EthernetFrame::parse(frame.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.ether_type, EtherType::kRtManagement);
+}
+
+}  // namespace
+}  // namespace rtether::net

@@ -1,0 +1,134 @@
+#include "net/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtether::net {
+namespace {
+
+Ipv4Header sample_ip() {
+  Ipv4Header ip;
+  ip.tos = 0;
+  ip.total_length = 40;
+  ip.identification = 0x1234;
+  ip.ttl = 64;
+  ip.protocol = IpProtocol::kUdp;
+  ip.source = Ipv4Address(10, 0, 0, 1);
+  ip.destination = Ipv4Address(10, 0, 0, 2);
+  return ip;
+}
+
+TEST(InternetChecksum, KnownVector) {
+  // RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 → checksum 0x220d.
+  const std::vector<std::uint8_t> data{0x00, 0x01, 0xf2, 0x03,
+                                       0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(InternetChecksum, OddLengthPadsWithZero) {
+  const std::vector<std::uint8_t> data{0x01, 0x02, 0x03};
+  // Words: 0x0102, 0x0300 → sum 0x0402 → ~ = 0xfbfd.
+  EXPECT_EQ(internet_checksum(data), 0xfbfd);
+}
+
+TEST(InternetChecksum, ValidHeaderVerifiesToZero) {
+  ByteWriter w;
+  sample_ip().serialize(w);
+  EXPECT_EQ(internet_checksum(w.bytes()), 0);
+}
+
+TEST(Ipv4Header, RoundTrip) {
+  ByteWriter w;
+  const auto original = sample_ip();
+  original.serialize(w);
+  ASSERT_EQ(w.size(), Ipv4Header::kWireSize);
+
+  ByteReader r(w.bytes());
+  const auto parsed = Ipv4Header::parse(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->tos, original.tos);
+  EXPECT_EQ(parsed->total_length, original.total_length);
+  EXPECT_EQ(parsed->identification, original.identification);
+  EXPECT_EQ(parsed->ttl, original.ttl);
+  EXPECT_EQ(parsed->protocol, original.protocol);
+  EXPECT_EQ(parsed->source, original.source);
+  EXPECT_EQ(parsed->destination, original.destination);
+}
+
+TEST(Ipv4Header, CorruptedChecksumRejected) {
+  ByteWriter w;
+  sample_ip().serialize(w);
+  auto bytes = w.bytes();
+  bytes[16] ^= 0x01;  // flip a destination-address bit
+  ByteReader r(bytes);
+  EXPECT_FALSE(Ipv4Header::parse(r).has_value());
+}
+
+TEST(Ipv4Header, WrongVersionRejected) {
+  ByteWriter w;
+  sample_ip().serialize(w);
+  auto bytes = w.bytes();
+  bytes[0] = 0x46;  // IHL 6 (options) unsupported
+  ByteReader r(bytes);
+  EXPECT_FALSE(Ipv4Header::parse(r).has_value());
+}
+
+TEST(Ipv4Header, ShortBufferRejected) {
+  const std::vector<std::uint8_t> short_buf(10, 0);
+  ByteReader r(short_buf);
+  EXPECT_FALSE(Ipv4Header::parse(r).has_value());
+}
+
+TEST(UdpHeader, RoundTrip) {
+  UdpHeader udp;
+  udp.source_port = 5004;
+  udp.destination_port = 5005;
+  udp.length = 30;
+  udp.checksum = 0;
+  ByteWriter w;
+  udp.serialize(w);
+  ASSERT_EQ(w.size(), UdpHeader::kWireSize);
+  ByteReader r(w.bytes());
+  const auto parsed = UdpHeader::parse(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->source_port, 5004);
+  EXPECT_EQ(parsed->destination_port, 5005);
+  EXPECT_EQ(parsed->length, 30);
+}
+
+TEST(UdpDatagram, RoundTripFixesLengths) {
+  UdpDatagram datagram;
+  datagram.ip = sample_ip();
+  datagram.udp.source_port = 1;
+  datagram.udp.destination_port = 2;
+  datagram.payload = {9, 9, 9, 9};
+
+  const auto bytes = datagram.serialize();
+  ASSERT_EQ(bytes.size(),
+            Ipv4Header::kWireSize + UdpHeader::kWireSize + 4);
+
+  const auto parsed = UdpDatagram::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->payload, datagram.payload);
+  EXPECT_EQ(parsed->ip.total_length, bytes.size());
+  EXPECT_EQ(parsed->udp.length, UdpHeader::kWireSize + 4);
+}
+
+TEST(UdpDatagram, NonUdpProtocolRejected) {
+  UdpDatagram datagram;
+  datagram.ip = sample_ip();
+  datagram.ip.protocol = IpProtocol::kTcp;
+  const auto bytes = datagram.serialize();
+  EXPECT_FALSE(UdpDatagram::parse(bytes).has_value());
+}
+
+TEST(UdpDatagram, TruncatedPayloadRejected) {
+  UdpDatagram datagram;
+  datagram.ip = sample_ip();
+  datagram.payload = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto bytes = datagram.serialize();
+  bytes.resize(bytes.size() - 4);  // cut payload short of udp.length
+  EXPECT_FALSE(UdpDatagram::parse(bytes).has_value());
+}
+
+}  // namespace
+}  // namespace rtether::net

@@ -1,0 +1,150 @@
+#include "net/mgmt_frames.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtether::net {
+namespace {
+
+RequestFrame sample_request() {
+  RequestFrame f;
+  f.connection_request = ConnectionRequestId(7);
+  f.rt_channel = ChannelId(0);
+  f.source_mac = MacAddress::from_u48(0x0200'0000'0001ULL);
+  f.destination_mac = MacAddress::from_u48(0x0200'0000'0002ULL);
+  f.source_ip = Ipv4Address(10, 0, 0, 1);
+  f.destination_ip = Ipv4Address(10, 0, 0, 2);
+  f.period = 100;
+  f.capacity = 3;
+  f.deadline = 40;
+  return f;
+}
+
+TEST(RequestFrame, WireSizeMatchesFigure) {
+  // Fig 18.3 payload: type(8) + req-id(8) + channel(16) + 2×MAC(48) +
+  // 2×IP(32) + P(32) + C(32) + d(32) = 288 bits = 36 bytes.
+  EXPECT_EQ(sample_request().serialize().size(), RequestFrame::kWireSize);
+}
+
+TEST(RequestFrame, RoundTrip) {
+  const auto original = sample_request();
+  const auto parsed = RequestFrame::parse(original.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST(RequestFrame, RoundTripWithAssignedChannel) {
+  auto original = sample_request();
+  original.rt_channel = ChannelId(0xbeef);
+  const auto parsed = RequestFrame::parse(original.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->rt_channel, ChannelId(0xbeef));
+}
+
+TEST(RequestFrame, MaxFieldValues) {
+  auto original = sample_request();
+  original.period = 0xffffffff;
+  original.capacity = 0xffffffff;
+  original.deadline = 0xffffffff;
+  original.connection_request = ConnectionRequestId(255);
+  const auto parsed = RequestFrame::parse(original.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST(RequestFrame, RejectsWrongType) {
+  auto bytes = sample_request().serialize();
+  bytes[0] = static_cast<std::uint8_t>(MgmtFrameType::kConnectResponse);
+  EXPECT_FALSE(RequestFrame::parse(bytes).has_value());
+}
+
+TEST(RequestFrame, RejectsTruncation) {
+  const auto bytes = sample_request().serialize();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    EXPECT_FALSE(RequestFrame::parse(prefix).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(ResponseFrame, RoundTripAccept) {
+  ResponseFrame f;
+  f.connection_request = ConnectionRequestId(7);
+  f.rt_channel = ChannelId(42);
+  f.accepted = true;
+  f.uplink_deadline = 33;
+  const auto parsed = ResponseFrame::parse(f.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, f);
+}
+
+TEST(ResponseFrame, RoundTripReject) {
+  ResponseFrame f;
+  f.connection_request = ConnectionRequestId(1);
+  f.rt_channel = ChannelId(0);
+  f.accepted = false;
+  const auto parsed = ResponseFrame::parse(f.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->accepted);
+  EXPECT_EQ(parsed->uplink_deadline, 0u);
+}
+
+TEST(ResponseFrame, VerdictIsOneBit) {
+  // Only the low bit of the verdict octet is significant (Fig 18.4).
+  ResponseFrame f;
+  f.accepted = true;
+  auto bytes = f.serialize();
+  EXPECT_EQ(bytes[4], 1);
+  bytes[4] = 0x03;  // high garbage bits must be ignored
+  const auto parsed = ResponseFrame::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->accepted);
+}
+
+TEST(ResponseFrame, RejectsWrongTypeAndTruncation) {
+  ResponseFrame f;
+  const auto bytes = f.serialize();
+  auto wrong = bytes;
+  wrong[0] = static_cast<std::uint8_t>(MgmtFrameType::kConnectRequest);
+  EXPECT_FALSE(ResponseFrame::parse(wrong).has_value());
+  const std::span<const std::uint8_t> prefix(bytes.data(), bytes.size() - 1);
+  EXPECT_FALSE(ResponseFrame::parse(prefix).has_value());
+}
+
+TEST(TeardownFrame, RoundTripRequestAndAck) {
+  TeardownFrame request;
+  request.rt_channel = ChannelId(99);
+  request.is_ack = false;
+  const auto parsed_request = TeardownFrame::parse(request.serialize());
+  ASSERT_TRUE(parsed_request.has_value());
+  EXPECT_EQ(*parsed_request, request);
+
+  TeardownFrame ack;
+  ack.rt_channel = ChannelId(99);
+  ack.is_ack = true;
+  const auto parsed_ack = TeardownFrame::parse(ack.serialize());
+  ASSERT_TRUE(parsed_ack.has_value());
+  EXPECT_TRUE(parsed_ack->is_ack);
+}
+
+TEST(PeekMgmtType, IdentifiesAllTypes) {
+  EXPECT_EQ(peek_mgmt_type(sample_request().serialize()),
+            MgmtFrameType::kConnectRequest);
+  EXPECT_EQ(peek_mgmt_type(ResponseFrame{}.serialize()),
+            MgmtFrameType::kConnectResponse);
+  TeardownFrame td;
+  EXPECT_EQ(peek_mgmt_type(td.serialize()),
+            MgmtFrameType::kTeardownRequest);
+  td.is_ack = true;
+  EXPECT_EQ(peek_mgmt_type(td.serialize()),
+            MgmtFrameType::kTeardownResponse);
+}
+
+TEST(PeekMgmtType, RejectsUnknownAndEmpty) {
+  EXPECT_FALSE(peek_mgmt_type({}).has_value());
+  const std::vector<std::uint8_t> junk{0xff, 0x00};
+  EXPECT_FALSE(peek_mgmt_type(junk).has_value());
+  const std::vector<std::uint8_t> zero{0x00};
+  EXPECT_FALSE(peek_mgmt_type(zero).has_value());
+}
+
+}  // namespace
+}  // namespace rtether::net

@@ -1,0 +1,147 @@
+// Property-based round-trip tests for every wire format: arbitrary field
+// values must survive serialize → parse bit-exactly, and random byte noise
+// must never crash a parser (it may parse to garbage or fail, but not UB —
+// the bounds-checked readers guarantee it).
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "net/deadline_codec.hpp"
+#include "net/ethernet.hpp"
+#include "net/ipv4.hpp"
+#include "net/mgmt_frames.hpp"
+#include "sim/frame.hpp"
+
+namespace rtether::net {
+namespace {
+
+class CodecProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecProperties,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST_P(CodecProperties, DeadlineTagRoundTrips) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const RtFrameTag tag{rng.uniform(0, kMaxEncodableDeadline),
+                         ChannelId(static_cast<std::uint16_t>(
+                             rng.uniform(0, 0xffff)))};
+    Ipv4Header header;
+    encode_rt_tag(tag, header);
+    const auto decoded = decode_rt_tag(header);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, tag);
+  }
+}
+
+TEST_P(CodecProperties, RequestFrameRoundTrips) {
+  Rng rng(GetParam() ^ 0xa);
+  for (int i = 0; i < 200; ++i) {
+    RequestFrame frame;
+    frame.connection_request = ConnectionRequestId(
+        static_cast<std::uint8_t>(rng.uniform(0, 255)));
+    frame.rt_channel =
+        ChannelId(static_cast<std::uint16_t>(rng.uniform(0, 0xffff)));
+    frame.source_mac = MacAddress::from_u48(rng.uniform(0, (1ULL << 48) - 1));
+    frame.destination_mac =
+        MacAddress::from_u48(rng.uniform(0, (1ULL << 48) - 1));
+    frame.source_ip =
+        Ipv4Address(static_cast<std::uint32_t>(rng.next_u64()));
+    frame.destination_ip =
+        Ipv4Address(static_cast<std::uint32_t>(rng.next_u64()));
+    frame.period = static_cast<std::uint32_t>(rng.next_u64());
+    frame.capacity = static_cast<std::uint32_t>(rng.next_u64());
+    frame.deadline = static_cast<std::uint32_t>(rng.next_u64());
+    const auto parsed = RequestFrame::parse(frame.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, frame);
+  }
+}
+
+TEST_P(CodecProperties, ResponseFrameRoundTrips) {
+  Rng rng(GetParam() ^ 0xb);
+  for (int i = 0; i < 200; ++i) {
+    ResponseFrame frame;
+    frame.connection_request = ConnectionRequestId(
+        static_cast<std::uint8_t>(rng.uniform(0, 255)));
+    frame.rt_channel =
+        ChannelId(static_cast<std::uint16_t>(rng.uniform(0, 0xffff)));
+    frame.accepted = rng.bernoulli(0.5);
+    frame.uplink_deadline = static_cast<std::uint32_t>(rng.next_u64());
+    const auto parsed = ResponseFrame::parse(frame.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, frame);
+  }
+}
+
+TEST_P(CodecProperties, UdpDatagramRoundTrips) {
+  Rng rng(GetParam() ^ 0xc);
+  for (int i = 0; i < 100; ++i) {
+    UdpDatagram datagram;
+    datagram.ip.tos = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    datagram.ip.ttl = static_cast<std::uint8_t>(rng.uniform(1, 255));
+    datagram.ip.identification =
+        static_cast<std::uint16_t>(rng.uniform(0, 0xffff));
+    datagram.ip.source =
+        Ipv4Address(static_cast<std::uint32_t>(rng.next_u64()));
+    datagram.ip.destination =
+        Ipv4Address(static_cast<std::uint32_t>(rng.next_u64()));
+    datagram.payload.resize(rng.index(512));
+    for (auto& byte : datagram.payload) {
+      byte = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    }
+    const auto parsed = UdpDatagram::parse(datagram.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->payload, datagram.payload);
+    EXPECT_EQ(parsed->ip.tos, datagram.ip.tos);
+    EXPECT_EQ(parsed->ip.source, datagram.ip.source);
+    EXPECT_EQ(parsed->ip.destination, datagram.ip.destination);
+  }
+}
+
+TEST_P(CodecProperties, ParsersNeverCrashOnNoise) {
+  Rng rng(GetParam() ^ 0xd);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::uint8_t> noise(rng.index(64));
+    for (auto& byte : noise) {
+      byte = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    }
+    // Any of these may fail; none may crash or read out of bounds.
+    (void)RequestFrame::parse(noise);
+    (void)ResponseFrame::parse(noise);
+    (void)TeardownFrame::parse(noise);
+    (void)peek_mgmt_type(noise);
+    (void)UdpDatagram::parse(noise);
+    (void)sim::classify_frame(noise);
+    ByteReader reader(noise);
+    (void)Ipv4Header::parse(reader);
+  }
+}
+
+TEST_P(CodecProperties, CorruptedRequestNeverParsesAsEqual) {
+  Rng rng(GetParam() ^ 0xe);
+  RequestFrame frame;
+  frame.connection_request = ConnectionRequestId(7);
+  frame.period = 100;
+  frame.capacity = 3;
+  frame.deadline = 40;
+  const auto bytes = frame.serialize();
+  for (int i = 0; i < 100; ++i) {
+    auto corrupted = bytes;
+    const std::size_t pos = rng.index(corrupted.size());
+    const auto flip =
+        static_cast<std::uint8_t>(1u << rng.index(8));
+    corrupted[pos] ^= flip;
+    const auto parsed = RequestFrame::parse(corrupted);
+    if (pos == 0) {
+      // Type byte corrupted: must be rejected outright.
+      EXPECT_FALSE(parsed.has_value());
+    } else if (parsed.has_value()) {
+      // Parsed, but must not equal the original (no silent corruption).
+      EXPECT_NE(*parsed, frame);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtether::net

@@ -1,0 +1,153 @@
+// Property-based tests over randomized task sets: the three demand-scan
+// strategies must agree, and the structural invariants of the EDF theory
+// (demand monotonicity, busy-period bounds, checkpoint completeness) must
+// hold for every generated instance.
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "edf/busy_period.hpp"
+#include "edf/checkpoints.hpp"
+#include "edf/demand.hpp"
+#include "edf/feasibility.hpp"
+#include "edf/hyperperiod.hpp"
+#include "edf/utilization.hpp"
+
+namespace rtether::edf {
+namespace {
+
+/// Random constrained-deadline task set with bounded hyperperiod (so the
+/// exhaustive oracle stays fast).
+TaskSet random_task_set(Rng& rng, std::size_t max_tasks) {
+  const std::size_t count = 1 + rng.index(max_tasks);
+  TaskSet set;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Periods from a divisor-rich set keeps lcm small.
+    static constexpr Slot kPeriods[] = {4, 6, 8, 12, 16, 24, 48};
+    const Slot period = kPeriods[rng.index(std::size(kPeriods))];
+    const Slot capacity = 1 + rng.index(std::min<Slot>(period, 4));
+    const Slot deadline = capacity + rng.index(period - capacity + 1);
+    set.add(PseudoTask{ChannelId(static_cast<std::uint16_t>(i + 1)), period,
+                       capacity, deadline});
+  }
+  return set;
+}
+
+class EdfProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdfProperties,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+TEST_P(EdfProperties, AllScanStrategiesAgree) {
+  Rng rng(GetParam());
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    const TaskSet set = random_task_set(rng, 6);
+    const bool every = is_feasible(set, DemandScan::kEverySlot);
+    const bool checkpoints_only = is_feasible(set, DemandScan::kCheckpoints);
+    const bool exhaustive = is_feasible(set, DemandScan::kExhaustive);
+    EXPECT_EQ(every, checkpoints_only);
+    EXPECT_EQ(every, exhaustive);
+  }
+}
+
+TEST_P(EdfProperties, DemandIsMonotone) {
+  Rng rng(GetParam() ^ 0x1111);
+  const TaskSet set = random_task_set(rng, 6);
+  Slot previous = 0;
+  for (Slot t = 0; t <= 200; ++t) {
+    const Slot h = demand(set, t);
+    EXPECT_GE(h, previous);
+    previous = h;
+  }
+}
+
+TEST_P(EdfProperties, DemandNeverExceedsUtilizationLongRun) {
+  // h(t) ≤ U·t + ΣC for all t (each task contributes at most
+  // ⌈t/P⌉·C ≤ (t/P)·C + C).
+  Rng rng(GetParam() ^ 0x2222);
+  const TaskSet set = random_task_set(rng, 6);
+  const double u = set.utilization();
+  for (Slot t = 1; t <= 500; t += 7) {
+    EXPECT_LE(static_cast<double>(demand(set, t)),
+              u * static_cast<double>(t) +
+                  static_cast<double>(set.total_capacity()) + 1e-9);
+  }
+}
+
+TEST_P(EdfProperties, BusyPeriodBoundsAndFixedPoint) {
+  Rng rng(GetParam() ^ 0x3333);
+  const TaskSet set = random_task_set(rng, 6);
+  if (utilization_exceeds_one(set)) {
+    EXPECT_FALSE(busy_period(set).has_value());
+    return;
+  }
+  const auto bp = busy_period(set);
+  ASSERT_TRUE(bp.has_value());
+  EXPECT_GE(*bp, set.total_capacity());
+  if (const auto h = hyperperiod(set)) {
+    EXPECT_LE(*bp, *h);
+  }
+}
+
+TEST_P(EdfProperties, ViolationTimeIsAlwaysACheckpoint) {
+  Rng rng(GetParam() ^ 0x4444);
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    const TaskSet set = random_task_set(rng, 6);
+    const auto report = check_feasibility(set, DemandScan::kEverySlot);
+    if (report.reason != InfeasibleReason::kDemandExceeded) continue;
+    const auto points = checkpoints(set, *report.violation_time);
+    ASSERT_FALSE(points.empty());
+    // The first violating instant must be a member of Eq 18.5's set —
+    // otherwise the checkpoint scan could miss real violations.
+    EXPECT_EQ(points.back(), *report.violation_time);
+  }
+}
+
+TEST_P(EdfProperties, FeasibilitySurvivesRemoval) {
+  // Removing a task never makes a feasible set infeasible (EDF demand is
+  // monotone in the task set).
+  Rng rng(GetParam() ^ 0x5555);
+  TaskSet set = random_task_set(rng, 6);
+  if (!is_feasible(set)) return;
+  while (set.size() > 1) {
+    const auto victim = set.tasks()[rng.index(set.size())].channel;
+    set.remove(victim);
+    EXPECT_TRUE(is_feasible(set));
+  }
+}
+
+TEST_P(EdfProperties, AddingZeroSlackTaskDetected) {
+  // A task with deadline == capacity consumes its whole deadline window;
+  // any other task with deadline ≤ that window must cause a violation.
+  Rng rng(GetParam() ^ 0x6666);
+  TaskSet set;
+  set.add(PseudoTask{ChannelId(1), 48, 4, 4});
+  EXPECT_TRUE(is_feasible(set));
+  set.add(PseudoTask{ChannelId(2), 48, 1, 4});
+  EXPECT_FALSE(is_feasible(set));
+}
+
+TEST_P(EdfProperties, ImplicitDeadlineEquivalence) {
+  // For implicit-deadline sets the fast path must agree with the full
+  // demand scan.
+  Rng rng(GetParam() ^ 0x7777);
+  TaskSet set;
+  const std::size_t count = 1 + rng.index(5);
+  for (std::size_t i = 0; i < count; ++i) {
+    static constexpr Slot kPeriods[] = {4, 6, 8, 12, 24};
+    const Slot period = kPeriods[rng.index(std::size(kPeriods))];
+    const Slot capacity = 1 + rng.index(period / 2);
+    set.add(PseudoTask{ChannelId(static_cast<std::uint16_t>(i + 1)), period,
+                       capacity, period});
+  }
+  const auto fast = check_feasibility(set, DemandScan::kCheckpoints);
+  const bool oracle = !utilization_exceeds_one(set) &&
+                      is_feasible(set, DemandScan::kEverySlot);
+  EXPECT_EQ(fast.feasible, oracle);
+  if (fast.feasible) {
+    EXPECT_TRUE(fast.used_utilization_fast_path);
+  }
+}
+
+}  // namespace
+}  // namespace rtether::edf

@@ -1,0 +1,131 @@
+// Property tests for the multi-switch generalization: the k-way partition
+// invariants (generalized Eqs 18.8/18.9) and admission-state consistency
+// over random fabrics and request/release interleavings.
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "core/multihop.hpp"
+#include "edf/feasibility.hpp"
+
+namespace rtether::core {
+namespace {
+
+/// Random connected fabric: a switch line plus random chords, nodes spread
+/// round-robin.
+Topology random_fabric(Rng& rng) {
+  const auto switches = static_cast<std::uint32_t>(2 + rng.index(4));
+  const std::uint32_t nodes = switches * 3;
+  Topology topology(nodes, switches);
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    topology.attach_node(NodeId{n}, SwitchId{n % switches});
+  }
+  for (std::uint32_t s = 0; s + 1 < switches; ++s) {
+    topology.connect_switches(SwitchId{s}, SwitchId{s + 1});
+  }
+  // Random extra trunks create alternative routes.
+  for (std::uint32_t extra = 0; extra < switches / 2; ++extra) {
+    const auto a = static_cast<std::uint32_t>(rng.index(switches));
+    const auto b = static_cast<std::uint32_t>(rng.index(switches));
+    if (a != b) {
+      topology.connect_switches(SwitchId{a}, SwitchId{b});
+    }
+  }
+  return topology;
+}
+
+class MultihopProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultihopProperties,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST_P(MultihopProperties, SplitsAlwaysSatisfyGeneralizedEquations) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    PathNetworkState state(random_fabric(rng));
+    const std::uint32_t nodes = state.topology().node_count();
+    for (const char* scheme : {"SDPS", "ADPS"}) {
+      const auto partitioner = make_path_partitioner(scheme);
+      for (int i = 0; i < 20; ++i) {
+        const auto src = static_cast<std::uint32_t>(rng.index(nodes));
+        const auto dst = static_cast<std::uint32_t>(rng.index(nodes));
+        const auto path =
+            state.topology().route(NodeId{src}, NodeId{dst});
+        ASSERT_TRUE(path.has_value());  // fabric is connected
+        const Slot capacity = 1 + rng.index(4);
+        const Slot deadline =
+            capacity * path->size() + rng.index(100);
+        const ChannelSpec spec{NodeId{src}, NodeId{dst}, 200, capacity,
+                               deadline};
+        const auto budgets = partitioner->split(spec, *path, state);
+        ASSERT_EQ(budgets.size(), path->size());
+        Slot sum = 0;
+        for (const Slot b : budgets) {
+          EXPECT_GE(b, capacity) << scheme;
+          sum += b;
+        }
+        EXPECT_EQ(sum, deadline) << scheme;
+      }
+    }
+  }
+}
+
+TEST_P(MultihopProperties, AdmissionStateConsistentUnderChurn) {
+  Rng rng(GetParam() ^ 0xfeed);
+  PathAdmissionController controller(random_fabric(rng),
+                                     make_path_partitioner("ADPS"));
+  const std::uint32_t nodes = controller.state().topology().node_count();
+  std::vector<ChannelId> live;
+  for (int i = 0; i < 120; ++i) {
+    if (!live.empty() && rng.bernoulli(0.35)) {
+      const std::size_t victim = rng.index(live.size());
+      EXPECT_TRUE(controller.release(live[victim]));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    } else {
+      const auto src = static_cast<std::uint32_t>(rng.index(nodes));
+      const auto dst = static_cast<std::uint32_t>(rng.index(nodes));
+      const Slot capacity = 1 + rng.index(3);
+      const ChannelSpec spec{NodeId{src}, NodeId{dst}, 150, capacity,
+                             6 * capacity + rng.index(60)};
+      if (const auto result = controller.request(spec)) {
+        live.push_back(result->id);
+        // Every hop of the committed path must be individually feasible.
+        for (const auto& link : result->path) {
+          EXPECT_TRUE(edf::is_feasible(controller.state().link(link)));
+        }
+      }
+    }
+    EXPECT_EQ(controller.state().channel_count(), live.size());
+  }
+  for (const auto id : live) {
+    EXPECT_TRUE(controller.release(id));
+  }
+  EXPECT_EQ(controller.state().channel_count(), 0u);
+}
+
+TEST_P(MultihopProperties, SingleSwitchFabricEquivalentToClassic) {
+  // Randomized cross-validation: on a single-switch topology, path
+  // admission with SDPS must match the two-link controller decision for
+  // decision in every step of a random request stream.
+  Rng rng(GetParam() ^ 0xc0de);
+  PathAdmissionController multi(Topology::single_switch(8),
+                                make_path_partitioner("SDPS"));
+  AdmissionController classic(8, std::make_unique<SymmetricPartitioner>());
+  for (int i = 0; i < 80; ++i) {
+    const auto src = static_cast<std::uint32_t>(rng.index(8));
+    auto dst = static_cast<std::uint32_t>(rng.index(7));
+    if (dst >= src) ++dst;
+    const Slot capacity = 1 + rng.index(3);
+    // Even deadlines: the k-way apportionment and the classic floor-split
+    // agree exactly there (odd deadlines differ by rounding convention).
+    const Slot deadline = 2 * (capacity + rng.index(30));
+    const ChannelSpec spec{NodeId{src}, NodeId{dst}, 100, capacity,
+                           deadline};
+    EXPECT_EQ(multi.request(spec).has_value(),
+              classic.request(spec).has_value())
+        << "diverged at step " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rtether::core

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/partitioner.hpp"
+#include "proto/stack.hpp"
+
+namespace rtether::proto {
+namespace {
+
+sim::SimConfig test_config() {
+  return sim::SimConfig{.ticks_per_slot = 100,
+                        .propagation_ticks = 1,
+                        .switch_processing_ticks = 1};
+}
+
+TEST(Establishment, AcceptedChannelOverTheWire) {
+  Stack stack(test_config(), 4, std::make_unique<core::SymmetricPartitioner>());
+  const auto result = stack.establish(NodeId{0}, NodeId{1}, 100, 3, 40);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NE(result->id, ChannelId(0));
+  EXPECT_EQ(result->uplink_deadline, 20u);  // SDPS half
+
+  // Both ends materialized their channel tables.
+  EXPECT_EQ(stack.layer(NodeId{0}).tx_channels().count(result->id), 1u);
+  EXPECT_EQ(stack.layer(NodeId{1}).rx_channels().count(result->id), 1u);
+  // The switch committed the channel.
+  EXPECT_TRUE(stack.management()
+                  .controller()
+                  .state()
+                  .find_channel(result->id)
+                  .has_value());
+  EXPECT_EQ(stack.management().stats().requests_admitted, 1u);
+}
+
+TEST(Establishment, AdpsUplinkDeadlineConveyedToSource) {
+  Stack stack(test_config(), 10,
+              std::make_unique<core::AsymmetricPartitioner>());
+  // Load node 0's uplink first so the ADPS split is asymmetric.
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(
+        stack.establish(NodeId{0}, NodeId{i}, 100, 3, 40).has_value());
+  }
+  const auto result = stack.establish(NodeId{0}, NodeId{5}, 100, 3, 40);
+  ASSERT_TRUE(result.has_value());
+  // LL(up) = 5, LL(down) = 1 → d_iu = round(40·5/6) = 33 (cf. unit test).
+  EXPECT_EQ(result->uplink_deadline, 33u);
+  const auto* tx = stack.layer(NodeId{0}).find_tx(result->id);
+  ASSERT_NE(tx, nullptr);
+  EXPECT_EQ(tx->uplink_deadline, 33u);
+}
+
+TEST(Establishment, SwitchRejectsInfeasibleWithoutForwarding) {
+  Stack stack(test_config(), 4, std::make_unique<core::SymmetricPartitioner>());
+  // Fill node 0's uplink to the SDPS limit of 6.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(stack.establish(NodeId{0}, NodeId{1}, 100, 3, 40));
+  }
+  const auto rejected = stack.establish(NodeId{0}, NodeId{2}, 100, 3, 40);
+  ASSERT_FALSE(rejected.has_value());
+  EXPECT_EQ(stack.management().stats().requests_rejected_infeasible, 1u);
+  // The rejected request never reached node 2's RT layer.
+  EXPECT_TRUE(stack.layer(NodeId{2}).rx_channels().empty());
+  EXPECT_EQ(stack.management().controller().state().channel_count(), 6u);
+}
+
+TEST(Establishment, DestinationCanDecline) {
+  Stack stack(test_config(), 4, std::make_unique<core::SymmetricPartitioner>());
+  stack.layer(NodeId{1}).set_accept_policy(
+      [](const net::RequestFrame&) { return false; });
+  const auto rejected = stack.establish(NodeId{0}, NodeId{1}, 100, 3, 40);
+  ASSERT_FALSE(rejected.has_value());
+  // The switch must roll the tentative admission back (no residue).
+  EXPECT_EQ(stack.management().controller().state().channel_count(), 0u);
+  EXPECT_EQ(stack.management().stats().requests_rejected_by_destination, 1u);
+  EXPECT_TRUE(stack.layer(NodeId{0}).tx_channels().empty());
+
+  // Capacity freed: a willing destination still gets the full quota.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(stack.establish(NodeId{0}, NodeId{2}, 100, 3, 40))
+        << "channel " << i;
+  }
+}
+
+TEST(Establishment, DestinationPolicyCanFilterBySpec) {
+  Stack stack(test_config(), 4, std::make_unique<core::SymmetricPartitioner>());
+  // Node 1 only accepts channels with period ≥ 100 (a slow device).
+  stack.layer(NodeId{1}).set_accept_policy(
+      [](const net::RequestFrame& request) { return request.period >= 100; });
+  EXPECT_FALSE(stack.establish(NodeId{0}, NodeId{1}, 50, 3, 40).has_value());
+  EXPECT_TRUE(stack.establish(NodeId{0}, NodeId{1}, 100, 3, 40).has_value());
+}
+
+TEST(Establishment, ManyConcurrentRequestsAllResolve) {
+  Stack stack(test_config(), 8, std::make_unique<core::AsymmetricPartitioner>());
+  int resolved = 0;
+  int accepted = 0;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    stack.layer(NodeId{i % 4}).request_channel(
+        NodeId{4 + i % 4}, 100, 3, 40, [&](const SetupOutcome& outcome) {
+          ++resolved;
+          if (outcome.accepted) ++accepted;
+        });
+  }
+  stack.network().simulator().run_until(
+      stack.network().config().slots_to_ticks(50'000));
+  EXPECT_EQ(resolved, 20);
+  EXPECT_GT(accepted, 0);
+  EXPECT_EQ(static_cast<std::size_t>(accepted),
+            stack.management().controller().state().channel_count());
+}
+
+TEST(Establishment, DistinctChannelIdsAcrossSources) {
+  Stack stack(test_config(), 6, std::make_unique<core::SymmetricPartitioner>());
+  std::set<std::uint16_t> ids;
+  for (std::uint32_t src = 0; src < 3; ++src) {
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      const auto result =
+          stack.establish(NodeId{src}, NodeId{3 + i}, 100, 3, 40);
+      ASSERT_TRUE(result.has_value());
+      EXPECT_TRUE(ids.insert(result->id.value()).second)
+          << "duplicate channel ID " << result->id.value();
+    }
+  }
+}
+
+TEST(Establishment, InvalidSpecRejectedBySwitch) {
+  Stack stack(test_config(), 4, std::make_unique<core::SymmetricPartitioner>());
+  // d < 2C: the switch's admission control refuses (kInvalidSpec path).
+  const auto result = stack.establish(NodeId{0}, NodeId{1}, 100, 3, 5);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(stack.management().controller().state().channel_count(), 0u);
+}
+
+}  // namespace
+}  // namespace rtether::proto

@@ -1,0 +1,209 @@
+// Failure injection: lost management frames, unanswered requests,
+// duplicated requests/responses. The establishment protocol must stay
+// correct (no double admission, no stuck requests, no state residue) under
+// all of them.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/partitioner.hpp"
+#include "net/ethernet.hpp"
+#include "net/mgmt_frames.hpp"
+#include "proto/rt_layer.hpp"
+#include "proto/stack.hpp"
+#include "sim/addressing.hpp"
+
+namespace rtether::proto {
+namespace {
+
+sim::SimConfig test_config() {
+  return sim::SimConfig{.ticks_per_slot = 100,
+                        .propagation_ticks = 1,
+                        .switch_processing_ticks = 1};
+}
+
+TEST(FailureInjection, UnansweredRequestTimesOutAfterRetries) {
+  // A network with NO management software in the switch: requests fall
+  // into the void. The RT layer must retransmit `request_attempts` times
+  // and then report a timeout.
+  sim::SimNetwork network(test_config(), 2);
+  RtLayerConfig layer_config;
+  layer_config.request_timeout_slots = 100;
+  layer_config.request_attempts = 3;
+  NodeRtLayer layer(network, NodeId{0}, layer_config);
+
+  bool done = false;
+  SetupOutcome outcome;
+  layer.request_channel(NodeId{1}, 100, 3, 40,
+                        [&](const SetupOutcome& result) {
+                          done = true;
+                          outcome = result;
+                        });
+  network.simulator().run_all();
+
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(outcome.accepted);
+  EXPECT_NE(outcome.detail.find("timeout"), std::string::npos);
+  // All three attempts reached the switch (and were swallowed).
+  EXPECT_EQ(network.ethernet_switch().stats().management_received, 3u);
+  EXPECT_TRUE(layer.tx_channels().empty());
+}
+
+TEST(FailureInjection, DuplicateRequestAdmittedOnlyOnce) {
+  Stack stack(test_config(), 4, std::make_unique<core::SymmetricPartitioner>());
+
+  // Craft a raw RequestFrame and inject it twice from node 0 (as a
+  // retransmission would).
+  net::RequestFrame request;
+  request.connection_request = ConnectionRequestId(9);
+  request.rt_channel = ChannelId(0);
+  request.source_mac = sim::node_mac(NodeId{0});
+  request.destination_mac = sim::node_mac(NodeId{1});
+  request.source_ip = sim::node_ip(NodeId{0});
+  request.destination_ip = sim::node_ip(NodeId{1});
+  request.period = 100;
+  request.capacity = 3;
+  request.deadline = 40;
+
+  auto inject = [&] {
+    net::EthernetHeader ethernet;
+    ethernet.destination = sim::switch_mac();
+    ethernet.source = sim::node_mac(NodeId{0});
+    ethernet.ether_type = net::EtherType::kRtManagement;
+    ByteWriter writer;
+    ethernet.serialize(writer);
+    writer.write_bytes(request.serialize());
+    auto frame = sim::SimFrame::make(stack.network().next_frame_id(),
+                                     std::move(writer).take(), 0,
+                                     stack.network().now(), NodeId{0});
+    stack.network().node(NodeId{0}).send_best_effort(std::move(frame));
+  };
+  inject();
+  inject();
+  stack.network().simulator().run_all();
+
+  EXPECT_EQ(stack.management().stats().requests_received, 2u);
+  EXPECT_EQ(stack.management().stats().requests_admitted, 1u);
+  EXPECT_EQ(stack.management().stats().duplicate_requests_ignored, 1u);
+  EXPECT_EQ(stack.management().controller().state().channel_count(), 1u);
+}
+
+TEST(FailureInjection, DuplicateDestinationResponseIgnored) {
+  Stack stack(test_config(), 4, std::make_unique<core::SymmetricPartitioner>());
+  const auto channel = stack.establish(NodeId{0}, NodeId{1}, 100, 3, 40);
+  ASSERT_TRUE(channel.has_value());
+
+  // Replay the destination's accepting ResponseFrame — the switch has
+  // already relayed the verdict and must ignore the echo.
+  net::ResponseFrame response;
+  response.connection_request = ConnectionRequestId(1);
+  response.rt_channel = channel->id;
+  response.accepted = true;
+  net::EthernetHeader ethernet;
+  ethernet.destination = sim::switch_mac();
+  ethernet.source = sim::node_mac(NodeId{1});
+  ethernet.ether_type = net::EtherType::kRtManagement;
+  ByteWriter writer;
+  ethernet.serialize(writer);
+  writer.write_bytes(response.serialize());
+  auto frame = sim::SimFrame::make(stack.network().next_frame_id(),
+                                   std::move(writer).take(), 0,
+                                   stack.network().now(), NodeId{1});
+  stack.network().node(NodeId{1}).send_best_effort(std::move(frame));
+  stack.network().simulator().run_all();
+
+  EXPECT_EQ(stack.management().controller().state().channel_count(), 1u);
+  EXPECT_EQ(stack.layer(NodeId{0}).tx_channels().size(), 1u);
+}
+
+TEST(FailureInjection, GarbageManagementFrameIgnored) {
+  Stack stack(test_config(), 4, std::make_unique<core::SymmetricPartitioner>());
+  // Management EtherType but unparseable payload.
+  net::EthernetHeader ethernet;
+  ethernet.destination = sim::switch_mac();
+  ethernet.source = sim::node_mac(NodeId{0});
+  ethernet.ether_type = net::EtherType::kRtManagement;
+  ByteWriter writer;
+  ethernet.serialize(writer);
+  writer.write_u8(0xEE);  // unknown type octet
+  writer.write_u8(0x01);
+  auto frame = sim::SimFrame::make(stack.network().next_frame_id(),
+                                   std::move(writer).take(), 0,
+                                   stack.network().now(), NodeId{0});
+  stack.network().node(NodeId{0}).send_best_effort(std::move(frame));
+  stack.network().simulator().run_all();
+
+  EXPECT_EQ(stack.management().controller().state().channel_count(), 0u);
+  // The network keeps working afterwards.
+  EXPECT_TRUE(stack.establish(NodeId{0}, NodeId{1}, 100, 3, 40).has_value());
+}
+
+TEST(FailureInjection, TruncatedRequestIgnored) {
+  Stack stack(test_config(), 4, std::make_unique<core::SymmetricPartitioner>());
+  net::RequestFrame request;
+  request.source_mac = sim::node_mac(NodeId{0});
+  request.destination_mac = sim::node_mac(NodeId{1});
+  request.period = 100;
+  request.capacity = 3;
+  request.deadline = 40;
+  auto bytes = request.serialize();
+  bytes.resize(bytes.size() / 2);  // cut the frame in half
+
+  net::EthernetHeader ethernet;
+  ethernet.destination = sim::switch_mac();
+  ethernet.source = sim::node_mac(NodeId{0});
+  ethernet.ether_type = net::EtherType::kRtManagement;
+  ByteWriter writer;
+  ethernet.serialize(writer);
+  writer.write_bytes(bytes);
+  auto frame = sim::SimFrame::make(stack.network().next_frame_id(),
+                                   std::move(writer).take(), 0,
+                                   stack.network().now(), NodeId{0});
+  stack.network().node(NodeId{0}).send_best_effort(std::move(frame));
+  stack.network().simulator().run_all();
+  EXPECT_EQ(stack.management().stats().requests_admitted, 0u);
+}
+
+TEST(FailureInjection, TimeoutThenLateCapacityStillConsistent) {
+  // Requests that time out must not leak request IDs: issue many timeouts,
+  // then verify fresh requests still work on a functioning stack.
+  sim::SimNetwork network(test_config(), 2);
+  RtLayerConfig layer_config;
+  layer_config.request_timeout_slots = 10;
+  layer_config.request_attempts = 1;
+  NodeRtLayer layer(network, NodeId{0}, layer_config);
+
+  int timeouts = 0;
+  for (int i = 0; i < 50; ++i) {
+    layer.request_channel(NodeId{1}, 100, 3, 40,
+                          [&](const SetupOutcome& outcome) {
+                            if (!outcome.accepted) ++timeouts;
+                          });
+  }
+  network.simulator().run_all();
+  EXPECT_EQ(timeouts, 50);
+  EXPECT_TRUE(layer.tx_channels().empty());
+}
+
+TEST(FailureInjection, TeardownOfUnknownChannelHarmless) {
+  Stack stack(test_config(), 4, std::make_unique<core::SymmetricPartitioner>());
+  net::TeardownFrame teardown;
+  teardown.rt_channel = ChannelId(999);
+  net::EthernetHeader ethernet;
+  ethernet.destination = sim::switch_mac();
+  ethernet.source = sim::node_mac(NodeId{0});
+  ethernet.ether_type = net::EtherType::kRtManagement;
+  ByteWriter writer;
+  ethernet.serialize(writer);
+  writer.write_bytes(teardown.serialize());
+  auto frame = sim::SimFrame::make(stack.network().next_frame_id(),
+                                   std::move(writer).take(), 0,
+                                   stack.network().now(), NodeId{0});
+  stack.network().node(NodeId{0}).send_best_effort(std::move(frame));
+  stack.network().simulator().run_all();
+  EXPECT_EQ(stack.management().stats().teardowns, 0u);
+}
+
+}  // namespace
+}  // namespace rtether::proto

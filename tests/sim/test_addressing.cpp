@@ -1,0 +1,51 @@
+#include "sim/addressing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtether::sim {
+namespace {
+
+TEST(Addressing, NodeMacsAreDistinct) {
+  EXPECT_NE(node_mac(NodeId{0}), node_mac(NodeId{1}));
+  EXPECT_NE(node_mac(NodeId{0}), switch_mac());
+  EXPECT_NE(node_mac(NodeId{65000}), switch_mac());
+}
+
+TEST(Addressing, MacRoundTrip) {
+  for (const std::uint32_t n : {0u, 1u, 59u, 1000u, 65534u}) {
+    EXPECT_EQ(mac_to_node(node_mac(NodeId{n})), NodeId{n});
+  }
+}
+
+TEST(Addressing, IpRoundTrip) {
+  for (const std::uint32_t n : {0u, 1u, 59u, 1000u, 65534u}) {
+    EXPECT_EQ(ip_to_node(node_ip(NodeId{n})), NodeId{n});
+  }
+}
+
+TEST(Addressing, SwitchAddressesDoNotMapToNodes) {
+  EXPECT_FALSE(mac_to_node(switch_mac()).has_value());
+  EXPECT_FALSE(ip_to_node(switch_ip()).has_value());
+}
+
+TEST(Addressing, ForeignAddressesDoNotMap) {
+  EXPECT_FALSE(mac_to_node(net::MacAddress::from_u48(0)).has_value());
+  EXPECT_FALSE(
+      mac_to_node(net::MacAddress::from_u48(0xffff'ffff'ffffULL)).has_value());
+  EXPECT_FALSE(ip_to_node(net::Ipv4Address(192, 168, 0, 1)).has_value());
+}
+
+TEST(Addressing, LocallyAdministeredMacs) {
+  // Bit 1 of the first octet set: locally administered, not vendor space.
+  EXPECT_EQ(node_mac(NodeId{0}).octets()[0], 0x02);
+  EXPECT_EQ(switch_mac().octets()[0], 0x02);
+}
+
+TEST(Addressing, IpsInPrivateRange) {
+  EXPECT_EQ(node_ip(NodeId{0}).to_string(), "10.0.0.1");
+  EXPECT_EQ(node_ip(NodeId{255}).to_string(), "10.0.1.0");
+  EXPECT_EQ(switch_ip().to_string(), "10.1.255.254");
+}
+
+}  // namespace
+}  // namespace rtether::sim

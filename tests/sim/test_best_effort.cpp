@@ -1,0 +1,138 @@
+#include "sim/best_effort.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtether::sim {
+namespace {
+
+SimConfig test_config() {
+  return SimConfig{.ticks_per_slot = 100,
+                   .propagation_ticks = 1,
+                   .switch_processing_ticks = 1};
+}
+
+TEST(BestEffortSource, GeneratesTraffic) {
+  SimNetwork net(test_config(), 4);
+  net.prime_forwarding();
+  BestEffortProfile profile;
+  profile.offered_load = 0.5;
+  BestEffortSource source(net, NodeId{0}, profile, 42);
+  source.start();
+  net.simulator().run_until(net.config().slots_to_ticks(500));
+  source.stop();
+  net.simulator().run_all();
+  EXPECT_GT(source.frames_generated(), 50u);
+  EXPECT_EQ(net.stats().best_effort_sent(), source.frames_generated());
+  EXPECT_GT(net.stats().best_effort_delivered(), 0u);
+}
+
+TEST(BestEffortSource, ApproximatesOfferedLoad) {
+  SimNetwork net(test_config(), 2);
+  net.prime_forwarding();
+  BestEffortProfile profile;
+  profile.offered_load = 0.4;
+  profile.destination = NodeId{1};
+  BestEffortSource source(net, NodeId{0}, profile, 7);
+  source.start();
+  const Slot run_slots = 5'000;
+  net.simulator().run_until(net.config().slots_to_ticks(run_slots));
+  source.stop();
+  // Uplink utilization should approximate the offered load (exponential
+  // arrivals → generous tolerance).
+  EXPECT_NEAR(net.uplink_utilization(NodeId{0}), 0.4, 0.08);
+}
+
+TEST(BestEffortSource, FixedDestinationHonored) {
+  SimNetwork net(test_config(), 4);
+  net.prime_forwarding();
+  int received_at_2 = 0;
+  int received_elsewhere = 0;
+  for (std::uint32_t n = 1; n < 4; ++n) {
+    net.node(NodeId{n}).set_receiver([&, n](const SimFrame&, Tick) {
+      if (n == 2) {
+        ++received_at_2;
+      } else {
+        ++received_elsewhere;
+      }
+    });
+  }
+  BestEffortProfile profile;
+  profile.offered_load = 0.5;
+  profile.destination = NodeId{2};
+  BestEffortSource source(net, NodeId{0}, profile, 9);
+  source.start();
+  net.simulator().run_until(net.config().slots_to_ticks(200));
+  source.stop();
+  net.simulator().run_all();
+  EXPECT_GT(received_at_2, 0);
+  EXPECT_EQ(received_elsewhere, 0);
+}
+
+TEST(BestEffortSource, RandomDestinationNeverSelf) {
+  SimNetwork net(test_config(), 3);
+  net.prime_forwarding();
+  int self_deliveries = 0;
+  net.node(NodeId{0}).set_receiver(
+      [&](const SimFrame&, Tick) { ++self_deliveries; });
+  BestEffortProfile profile;
+  profile.offered_load = 0.6;
+  BestEffortSource source(net, NodeId{0}, profile, 11);
+  source.start();
+  net.simulator().run_until(net.config().slots_to_ticks(300));
+  source.stop();
+  net.simulator().run_all();
+  EXPECT_EQ(self_deliveries, 0);
+  EXPECT_GT(source.frames_generated(), 0u);
+}
+
+TEST(BestEffortSource, OnOffBurstsStillDeliver) {
+  SimNetwork net(test_config(), 3);
+  net.prime_forwarding();
+  BestEffortProfile profile;
+  profile.offered_load = 0.5;
+  profile.arrivals = BestEffortArrivals::kOnOff;
+  profile.mean_on_slots = 20.0;
+  profile.mean_off_slots = 80.0;
+  BestEffortSource source(net, NodeId{0}, profile, 13);
+  source.start();
+  net.simulator().run_until(net.config().slots_to_ticks(2'000));
+  source.stop();
+  net.simulator().run_all();
+  EXPECT_GT(source.frames_generated(), 0u);
+  // Off phases must depress the average throughput well below Poisson.
+  EXPECT_LT(net.uplink_utilization(NodeId{0}), 0.4);
+}
+
+TEST(BestEffortEverywhere, AttachesPerNode) {
+  SimNetwork net(test_config(), 5);
+  net.prime_forwarding();
+  BestEffortProfile profile;
+  profile.offered_load = 0.3;
+  auto sources = attach_best_effort_everywhere(net, profile, 99);
+  EXPECT_EQ(sources.size(), 5u);
+  net.simulator().run_until(net.config().slots_to_ticks(200));
+  for (auto& s : sources) s->stop();
+  net.simulator().run_all();
+  for (const auto& s : sources) {
+    EXPECT_GT(s->frames_generated(), 0u);
+  }
+}
+
+TEST(BestEffortSource, DeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    SimNetwork net(test_config(), 3);
+    net.prime_forwarding();
+    BestEffortProfile profile;
+    profile.offered_load = 0.4;
+    BestEffortSource source(net, NodeId{0}, profile, seed);
+    source.start();
+    net.simulator().run_until(net.config().slots_to_ticks(500));
+    source.stop();
+    return source.frames_generated();
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+}  // namespace
+}  // namespace rtether::sim

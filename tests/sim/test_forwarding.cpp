@@ -1,0 +1,44 @@
+#include "sim/forwarding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/addressing.hpp"
+
+namespace rtether::sim {
+namespace {
+
+TEST(ForwardingTable, EmptyLooksUpNothing) {
+  const ForwardingTable table;
+  EXPECT_FALSE(table.lookup(node_mac(NodeId{0})).has_value());
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(ForwardingTable, LearnsAndLooksUp) {
+  ForwardingTable table;
+  table.learn(node_mac(NodeId{3}), NodeId{3});
+  EXPECT_EQ(table.lookup(node_mac(NodeId{3})), NodeId{3});
+  EXPECT_FALSE(table.lookup(node_mac(NodeId{4})).has_value());
+}
+
+TEST(ForwardingTable, RelearnMovesStation) {
+  ForwardingTable table;
+  const auto mac = node_mac(NodeId{7});
+  table.learn(mac, NodeId{7});
+  table.learn(mac, NodeId{9});  // station moved ports
+  EXPECT_EQ(table.lookup(mac), NodeId{9});
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(ForwardingTable, ManyEntries) {
+  ForwardingTable table;
+  for (std::uint32_t n = 0; n < 500; ++n) {
+    table.learn(node_mac(NodeId{n}), NodeId{n});
+  }
+  EXPECT_EQ(table.size(), 500u);
+  for (std::uint32_t n = 0; n < 500; ++n) {
+    EXPECT_EQ(table.lookup(node_mac(NodeId{n})), NodeId{n});
+  }
+}
+
+}  // namespace
+}  // namespace rtether::sim

@@ -1,0 +1,135 @@
+#include "sim/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/units.hpp"
+#include "net/ipv4.hpp"
+#include "net/mgmt_frames.hpp"
+#include "sim/addressing.hpp"
+
+namespace rtether::sim {
+namespace {
+
+std::vector<std::uint8_t> rt_frame_bytes(std::uint64_t deadline,
+                                         std::uint16_t channel) {
+  net::Ipv4Header ip;
+  ip.protocol = net::IpProtocol::kUdp;
+  ip.total_length = 28;
+  net::encode_rt_tag({deadline, ChannelId(channel)}, ip);
+
+  net::EthernetHeader ethernet;
+  ethernet.source = node_mac(NodeId{0});
+  ethernet.destination = node_mac(NodeId{1});
+  ethernet.ether_type = net::EtherType::kIpv4;
+
+  ByteWriter w;
+  ethernet.serialize(w);
+  ip.serialize(w);
+  return std::move(w).take();
+}
+
+std::vector<std::uint8_t> mgmt_frame_bytes() {
+  net::EthernetHeader ethernet;
+  ethernet.source = node_mac(NodeId{0});
+  ethernet.destination = switch_mac();
+  ethernet.ether_type = net::EtherType::kRtManagement;
+  ByteWriter w;
+  ethernet.serialize(w);
+  w.write_u8(1);
+  return std::move(w).take();
+}
+
+std::vector<std::uint8_t> best_effort_bytes() {
+  net::EthernetHeader ethernet;
+  ethernet.source = node_mac(NodeId{0});
+  ethernet.destination = node_mac(NodeId{2});
+  ethernet.ether_type = net::EtherType::kIpv4;
+  net::Ipv4Header ip;  // ToS 0
+  ip.total_length = 20;
+  ByteWriter w;
+  ethernet.serialize(w);
+  ip.serialize(w);
+  return std::move(w).take();
+}
+
+TEST(ClassifyFrame, RealTimeByToS255) {
+  const auto info = classify_frame(rt_frame_bytes(1234, 42));
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->cls, FrameClass::kRealTime);
+  ASSERT_TRUE(info->rt_tag.has_value());
+  EXPECT_EQ(info->rt_tag->absolute_deadline, 1234u);
+  EXPECT_EQ(info->rt_tag->channel, ChannelId(42));
+}
+
+TEST(ClassifyFrame, ManagementByEtherType) {
+  const auto info = classify_frame(mgmt_frame_bytes());
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->cls, FrameClass::kManagement);
+  EXPECT_EQ(info->destination_mac, switch_mac());
+  EXPECT_FALSE(info->rt_tag.has_value());
+}
+
+TEST(ClassifyFrame, BestEffortByDefault) {
+  const auto info = classify_frame(best_effort_bytes());
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->cls, FrameClass::kBestEffort);
+  EXPECT_FALSE(info->rt_tag.has_value());
+}
+
+TEST(ClassifyFrame, TruncatedEthernetRejected) {
+  const std::vector<std::uint8_t> short_bytes(13, 0);
+  EXPECT_FALSE(classify_frame(short_bytes).has_value());
+}
+
+TEST(ClassifyFrame, Ipv4WithGarbageBodyIsBestEffort) {
+  // EtherType says IPv4 but the IP header does not parse: best-effort, not
+  // a crash — robustness against malformed senders.
+  std::vector<std::uint8_t> bytes(20, 0);
+  bytes[12] = 0x08;
+  bytes[13] = 0x00;
+  const auto info = classify_frame(bytes);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->cls, FrameClass::kBestEffort);
+}
+
+TEST(SimFrame, MakeCachesClassification) {
+  const auto frame =
+      SimFrame::make(9, rt_frame_bytes(555, 7), 100, 42, NodeId{0});
+  EXPECT_EQ(frame.id, 9u);
+  EXPECT_EQ(frame.created_at, 42u);
+  EXPECT_EQ(frame.origin, NodeId{0});
+  // Cached info must equal a fresh classification.
+  const auto fresh = classify_frame(frame.bytes);
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(frame.info.cls, fresh->cls);
+  EXPECT_EQ(frame.info.rt_tag, fresh->rt_tag);
+  EXPECT_EQ(frame.info.source_mac, fresh->source_mac);
+}
+
+TEST(SimFrame, WireBytesClampedToEthernetRange) {
+  auto tiny = SimFrame::make(1, best_effort_bytes(), 0, 0, NodeId{0});
+  EXPECT_EQ(tiny.wire_bytes(), kMinFrameWireBytes);
+
+  auto padded = SimFrame::make(2, best_effort_bytes(), 1460, 0, NodeId{0});
+  // 34 header bytes + 1460 + 24 framing = 1518 < 1538.
+  EXPECT_EQ(padded.wire_bytes(), 34u + 1460 + 24);
+
+  auto oversize = SimFrame::make(3, best_effort_bytes(), 9000, 0, NodeId{0});
+  EXPECT_EQ(oversize.wire_bytes(), kMaxFrameWireBytes);
+}
+
+TEST(SimFrame, UnparseableBytesAssert) {
+  EXPECT_DEATH(
+      SimFrame::make(1, std::vector<std::uint8_t>(3, 0), 0, 0, NodeId{0}),
+      "Ethernet header");
+}
+
+TEST(FrameClassNames, AllCovered) {
+  EXPECT_STREQ(to_string(FrameClass::kManagement), "management");
+  EXPECT_STREQ(to_string(FrameClass::kRealTime), "real-time");
+  EXPECT_STREQ(to_string(FrameClass::kBestEffort), "best-effort");
+}
+
+}  // namespace
+}  // namespace rtether::sim

@@ -1,0 +1,91 @@
+#include "sim/queues.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtether::sim {
+namespace {
+
+SimFrame frame_with_id(std::uint64_t id) {
+  // Queue tests only need identity; a minimal best-effort frame suffices.
+  std::vector<std::uint8_t> bytes(14, 0);
+  bytes[12] = 0x08;  // EtherType IPv4 (unparseable IP → best-effort)
+  return SimFrame::make(id, std::move(bytes), 0, 0, NodeId{0});
+}
+
+TEST(EdfQueue, PopsEarliestDeadlineFirst) {
+  EdfQueue q;
+  q.push(300, frame_with_id(1));
+  q.push(100, frame_with_id(2));
+  q.push(200, frame_with_id(3));
+  EXPECT_EQ(q.pop()->id, 2u);
+  EXPECT_EQ(q.pop()->id, 3u);
+  EXPECT_EQ(q.pop()->id, 1u);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(EdfQueue, TiesBreakFifo) {
+  EdfQueue q;
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    q.push(42, frame_with_id(i));
+  }
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    EXPECT_EQ(q.pop()->id, i);
+  }
+}
+
+TEST(EdfQueue, PeekDoesNotRemove) {
+  EdfQueue q;
+  EXPECT_FALSE(q.peek_deadline().has_value());
+  q.push(7, frame_with_id(1));
+  EXPECT_EQ(q.peek_deadline(), 7u);
+  EXPECT_EQ(q.size(), 1u);
+  q.push(3, frame_with_id(2));
+  EXPECT_EQ(q.peek_deadline(), 3u);
+}
+
+TEST(EdfQueue, InterleavedPushPop) {
+  EdfQueue q;
+  q.push(10, frame_with_id(1));
+  q.push(5, frame_with_id(2));
+  EXPECT_EQ(q.pop()->id, 2u);
+  q.push(1, frame_with_id(3));
+  EXPECT_EQ(q.pop()->id, 3u);
+  EXPECT_EQ(q.pop()->id, 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FcfsQueue, FifoOrder) {
+  FcfsQueue q;
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    EXPECT_TRUE(q.push(frame_with_id(i)));
+  }
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    EXPECT_EQ(q.pop()->id, i);
+  }
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(FcfsQueue, UnboundedByDefault) {
+  FcfsQueue q;
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    EXPECT_TRUE(q.push(frame_with_id(i)));
+  }
+  EXPECT_EQ(q.size(), 10'000u);
+  EXPECT_EQ(q.dropped(), 0u);
+}
+
+TEST(FcfsQueue, BoundedDropsTail) {
+  FcfsQueue q(3);
+  EXPECT_TRUE(q.push(frame_with_id(1)));
+  EXPECT_TRUE(q.push(frame_with_id(2)));
+  EXPECT_TRUE(q.push(frame_with_id(3)));
+  EXPECT_FALSE(q.push(frame_with_id(4)));
+  EXPECT_EQ(q.dropped(), 1u);
+  EXPECT_EQ(q.size(), 3u);
+  // Head unaffected; popping frees a slot.
+  EXPECT_EQ(q.pop()->id, 1u);
+  EXPECT_TRUE(q.push(frame_with_id(5)));
+}
+
+}  // namespace
+}  // namespace rtether::sim

@@ -1,0 +1,113 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rtether::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  const Simulator sim;
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulator, SameTickIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  Tick seen = 0;
+  sim.schedule_at(100, [&] {
+    sim.schedule_in(5, [&] { seen = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_EQ(seen, 105u);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) {
+      sim.schedule_in(10, chain);
+    }
+  };
+  sim.schedule_at(0, chain);
+  sim.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 40u);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int executed = 0;
+  sim.schedule_at(10, [&] { ++executed; });
+  sim.schedule_at(20, [&] { ++executed; });
+  sim.schedule_at(30, [&] { ++executed; });
+  sim.run_until(20);
+  EXPECT_EQ(executed, 2);
+  EXPECT_EQ(sim.now(), 20u);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(500);
+  EXPECT_EQ(sim.now(), 500u);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(1, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, SchedulingIntoThePastAsserts) {
+  Simulator sim;
+  sim.schedule_at(10, [] {});
+  sim.run_all();
+  EXPECT_DEATH(sim.schedule_at(5, [] {}), "past");
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) {
+    sim.schedule_at(static_cast<Tick>(i), [] {});
+  }
+  sim.run_all();
+  EXPECT_EQ(sim.executed_events(), 7u);
+}
+
+TEST(Simulator, RunawayGuardAsserts) {
+  Simulator sim;
+  std::function<void()> forever = [&] { sim.schedule_in(1, forever); };
+  sim.schedule_at(0, forever);
+  EXPECT_DEATH(sim.run_all(1000), "runaway");
+}
+
+}  // namespace
+}  // namespace rtether::sim

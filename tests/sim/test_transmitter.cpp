@@ -1,0 +1,163 @@
+#include "sim/transmitter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "net/ethernet.hpp"
+#include "net/ipv4.hpp"
+#include "sim/addressing.hpp"
+
+namespace rtether::sim {
+namespace {
+
+class TransmitterTest : public ::testing::Test {
+ protected:
+  TransmitterTest()
+      : tx_(sim_, config_, "tx", [this](SimFrame frame, Tick completion) {
+          delivered_.push_back({frame.id, completion});
+        }) {}
+
+  /// Full-size frame (exactly one slot of transmission time).
+  SimFrame full_frame(std::uint64_t id) {
+    net::EthernetHeader ethernet;
+    ethernet.source = node_mac(NodeId{0});
+    ethernet.destination = node_mac(NodeId{1});
+    ethernet.ether_type = net::EtherType::kIpv4;
+    ByteWriter w;
+    ethernet.serialize(w);
+    // 14 header + 1500 payload + 24 framing = 1538 wire bytes.
+    return SimFrame::make(id, std::move(w).take(), 1500, sim_.now(),
+                          NodeId{0});
+  }
+
+  SimConfig config_{.ticks_per_slot = 100,
+                    .propagation_ticks = 0,
+                    .switch_processing_ticks = 0};
+  Simulator sim_;
+  std::vector<std::pair<std::uint64_t, Tick>> delivered_;
+  Transmitter tx_;
+};
+
+TEST_F(TransmitterTest, TransmitsOneFrameInOneSlot) {
+  tx_.enqueue_rt(1000, full_frame(1));
+  sim_.run_all();
+  ASSERT_EQ(delivered_.size(), 1u);
+  EXPECT_EQ(delivered_[0].first, 1u);
+  EXPECT_EQ(delivered_[0].second, 100u);  // exactly ticks_per_slot
+}
+
+TEST_F(TransmitterTest, BackToBackFrames) {
+  tx_.enqueue_rt(1000, full_frame(1));
+  tx_.enqueue_rt(1000, full_frame(2));
+  sim_.run_all();
+  ASSERT_EQ(delivered_.size(), 2u);
+  EXPECT_EQ(delivered_[0].second, 100u);
+  EXPECT_EQ(delivered_[1].second, 200u);
+}
+
+TEST_F(TransmitterTest, EdfOrderAcrossQueuedFrames) {
+  tx_.enqueue_rt(300, full_frame(1));
+  tx_.enqueue_rt(100, full_frame(2));
+  tx_.enqueue_rt(200, full_frame(3));
+  sim_.run_all();
+  // Frame 1 is already in flight (non-preemptive); then EDF order: 2, 3.
+  ASSERT_EQ(delivered_.size(), 3u);
+  EXPECT_EQ(delivered_[0].first, 1u);
+  EXPECT_EQ(delivered_[1].first, 2u);
+  EXPECT_EQ(delivered_[2].first, 3u);
+}
+
+TEST_F(TransmitterTest, RtHasStrictPriorityOverBestEffort) {
+  // Enqueue BE first but while the link is idle nothing else competes; the
+  // in-flight BE frame finishes (non-preemption), then all RT go first.
+  tx_.enqueue_best_effort(full_frame(10));
+  tx_.enqueue_best_effort(full_frame(11));
+  tx_.enqueue_rt(500, full_frame(1));
+  sim_.run_all();
+  ASSERT_EQ(delivered_.size(), 3u);
+  EXPECT_EQ(delivered_[0].first, 10u);  // was already transmitting
+  EXPECT_EQ(delivered_[1].first, 1u);   // RT preempts the *queue*, not wire
+  EXPECT_EQ(delivered_[2].first, 11u);
+}
+
+TEST_F(TransmitterTest, NonPreemptionBoundsRtBlockingToOneFrame) {
+  // Worst case the paper folds into T_latency: one max-size BE frame.
+  tx_.enqueue_best_effort(full_frame(10));
+  sim_.run_until(1);  // BE transmission starts at t=0
+  tx_.enqueue_rt(99999, full_frame(1));
+  sim_.run_all();
+  ASSERT_EQ(delivered_.size(), 2u);
+  EXPECT_EQ(delivered_[1].first, 1u);
+  // RT waited at most one slot: delivered by 2 slots total.
+  EXPECT_EQ(delivered_[1].second, 200u);
+}
+
+TEST_F(TransmitterTest, ShortFramesTakeProportionalTime) {
+  net::EthernetHeader ethernet;
+  ethernet.source = node_mac(NodeId{0});
+  ethernet.destination = node_mac(NodeId{1});
+  ethernet.ether_type = net::EtherType::kIpv4;
+  ByteWriter w;
+  ethernet.serialize(w);
+  auto tiny = SimFrame::make(1, std::move(w).take(), 0, 0, NodeId{0});
+  const Tick expected = config_.transmission_ticks(tiny.wire_bytes());
+  EXPECT_LT(expected, config_.ticks_per_slot);
+  EXPECT_GT(expected, 0u);
+
+  tx_.enqueue_best_effort(std::move(tiny));
+  sim_.run_all();
+  ASSERT_EQ(delivered_.size(), 1u);
+  EXPECT_EQ(delivered_[0].second, expected);
+}
+
+TEST_F(TransmitterTest, StatsCountClassesAndBusyTime) {
+  tx_.enqueue_rt(100, full_frame(1));
+  tx_.enqueue_best_effort(full_frame(2));
+  sim_.run_all();
+  const auto& stats = tx_.stats();
+  EXPECT_EQ(stats.rt_frames_sent, 1u);
+  EXPECT_EQ(stats.best_effort_frames_sent, 1u);
+  EXPECT_EQ(stats.busy_ticks, 200u);
+  EXPECT_GE(stats.max_rt_queue_depth, 1u);
+}
+
+TEST_F(TransmitterTest, BacklogAccessors) {
+  tx_.enqueue_rt(100, full_frame(1));  // starts immediately
+  tx_.enqueue_rt(200, full_frame(2));
+  tx_.enqueue_best_effort(full_frame(3));
+  EXPECT_TRUE(tx_.busy());
+  EXPECT_EQ(tx_.rt_backlog(), 1u);
+  EXPECT_EQ(tx_.best_effort_backlog(), 1u);
+  sim_.run_all();
+  EXPECT_FALSE(tx_.busy());
+  EXPECT_EQ(tx_.rt_backlog(), 0u);
+}
+
+TEST(TransmitterBounded, DropsCountVisible) {
+  SimConfig config{.ticks_per_slot = 10};
+  Simulator sim;
+  std::vector<std::uint64_t> delivered;
+  Transmitter tx(sim, config, "tx",
+                 [&](SimFrame frame, Tick) { delivered.push_back(frame.id); },
+                 /*best_effort_depth=*/1);
+  net::EthernetHeader ethernet;
+  ethernet.source = node_mac(NodeId{0});
+  ethernet.destination = node_mac(NodeId{1});
+  ethernet.ether_type = net::EtherType::kIpv4;
+  auto make = [&](std::uint64_t id) {
+    ByteWriter w;
+    ethernet.serialize(w);
+    return SimFrame::make(id, std::move(w).take(), 1500, sim.now(), NodeId{0});
+  };
+  tx.enqueue_best_effort(make(1));  // in flight
+  tx.enqueue_best_effort(make(2));  // queued
+  tx.enqueue_best_effort(make(3));  // dropped
+  sim.run_all();
+  EXPECT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(tx.best_effort_dropped(), 1u);
+}
+
+}  // namespace
+}  // namespace rtether::sim

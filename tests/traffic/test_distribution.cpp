@@ -1,0 +1,54 @@
+#include "traffic/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rtether::traffic {
+namespace {
+
+TEST(SlotDistribution, FixedAlwaysSame) {
+  Rng rng(1);
+  const auto d = SlotDistribution::fixed(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(d.sample(rng), 42u);
+  }
+  EXPECT_EQ(d.min_value(), 42u);
+  EXPECT_EQ(d.max_value(), 42u);
+}
+
+TEST(SlotDistribution, UniformInRange) {
+  Rng rng(2);
+  const auto d = SlotDistribution::uniform(10, 20);
+  std::set<Slot> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const Slot v = d.sample(rng);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 11u);  // all values hit
+  EXPECT_EQ(d.min_value(), 10u);
+  EXPECT_EQ(d.max_value(), 20u);
+}
+
+TEST(SlotDistribution, ChoicePicksOnlyListedValues) {
+  Rng rng(3);
+  const auto d = SlotDistribution::choice({50, 100, 200});
+  std::set<Slot> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(d.sample(rng));
+  }
+  EXPECT_EQ(seen, (std::set<Slot>{50, 100, 200}));
+  EXPECT_EQ(d.min_value(), 50u);
+  EXPECT_EQ(d.max_value(), 200u);
+}
+
+TEST(SlotDistribution, SingletonChoice) {
+  Rng rng(4);
+  const auto d = SlotDistribution::choice({7});
+  EXPECT_EQ(d.sample(rng), 7u);
+}
+
+}  // namespace
+}  // namespace rtether::traffic

@@ -1,0 +1,106 @@
+#include "traffic/master_slave.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rtether::traffic {
+namespace {
+
+MasterSlaveConfig paper_config() {
+  // Fig 18.5: 10 masters, 50 slaves, C=3, P=100, d=40, master→slave.
+  return MasterSlaveConfig{};
+}
+
+TEST(MasterSlave, NodeSplit) {
+  MasterSlaveWorkload w(paper_config(), 1);
+  EXPECT_EQ(w.node_count(), 60u);
+  EXPECT_TRUE(w.is_master(NodeId{0}));
+  EXPECT_TRUE(w.is_master(NodeId{9}));
+  EXPECT_FALSE(w.is_master(NodeId{10}));
+  EXPECT_FALSE(w.is_master(NodeId{59}));
+}
+
+TEST(MasterSlave, MasterToSlaveEndpoints) {
+  MasterSlaveWorkload w(paper_config(), 7);
+  for (int i = 0; i < 500; ++i) {
+    const auto spec = w.next();
+    EXPECT_LT(spec.source.value(), 10u);
+    EXPECT_GE(spec.destination.value(), 10u);
+    EXPECT_LT(spec.destination.value(), 60u);
+    EXPECT_EQ(spec.period, 100u);
+    EXPECT_EQ(spec.capacity, 3u);
+    EXPECT_EQ(spec.deadline, 40u);
+    EXPECT_TRUE(spec.valid());
+  }
+}
+
+TEST(MasterSlave, SlaveToMasterEndpoints) {
+  auto config = paper_config();
+  config.direction = FlowDirection::kSlaveToMaster;
+  MasterSlaveWorkload w(config, 7);
+  for (int i = 0; i < 500; ++i) {
+    const auto spec = w.next();
+    EXPECT_GE(spec.source.value(), 10u);
+    EXPECT_LT(spec.destination.value(), 10u);
+  }
+}
+
+TEST(MasterSlave, MixedHasBothDirections) {
+  auto config = paper_config();
+  config.direction = FlowDirection::kMixed;
+  MasterSlaveWorkload w(config, 7);
+  int master_sends = 0;
+  const int total = 1000;
+  for (int i = 0; i < total; ++i) {
+    if (w.next().source.value() < 10) ++master_sends;
+  }
+  EXPECT_GT(master_sends, total / 3);
+  EXPECT_LT(master_sends, 2 * total / 3);
+}
+
+TEST(MasterSlave, CoversAllMastersAndSlaves) {
+  MasterSlaveWorkload w(paper_config(), 11);
+  std::set<std::uint32_t> masters;
+  std::set<std::uint32_t> slaves;
+  for (int i = 0; i < 3000; ++i) {
+    const auto spec = w.next();
+    masters.insert(spec.source.value());
+    slaves.insert(spec.destination.value());
+  }
+  EXPECT_EQ(masters.size(), 10u);
+  EXPECT_EQ(slaves.size(), 50u);
+}
+
+TEST(MasterSlave, DeterministicPerSeed) {
+  MasterSlaveWorkload a(paper_config(), 42);
+  MasterSlaveWorkload b(paper_config(), 42);
+  const auto specs_a = a.generate(50);
+  const auto specs_b = b.generate(50);
+  EXPECT_EQ(specs_a, specs_b);
+  MasterSlaveWorkload c(paper_config(), 43);
+  EXPECT_NE(c.generate(50), specs_a);
+}
+
+TEST(MasterSlave, SampledParameters) {
+  auto config = paper_config();
+  config.period = SlotDistribution::choice({50, 100, 200});
+  config.deadline = SlotDistribution::uniform(20, 60);
+  MasterSlaveWorkload w(config, 5);
+  for (int i = 0; i < 200; ++i) {
+    const auto spec = w.next();
+    EXPECT_TRUE(spec.period == 50 || spec.period == 100 ||
+                spec.period == 200);
+    EXPECT_GE(spec.deadline, 20u);
+    EXPECT_LE(spec.deadline, 60u);
+  }
+}
+
+TEST(MasterSlave, DirectionNames) {
+  EXPECT_STREQ(to_string(FlowDirection::kMasterToSlave), "master->slave");
+  EXPECT_STREQ(to_string(FlowDirection::kSlaveToMaster), "slave->master");
+  EXPECT_STREQ(to_string(FlowDirection::kMixed), "mixed");
+}
+
+}  // namespace
+}  // namespace rtether::traffic

@@ -1,0 +1,54 @@
+#include "traffic/uniform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rtether::traffic {
+namespace {
+
+TEST(Uniform, EndpointsDistinctAndInRange) {
+  UniformWorkload w(UniformConfig{}, 3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto spec = w.next();
+    EXPECT_NE(spec.source, spec.destination);
+    EXPECT_LT(spec.source.value(), 60u);
+    EXPECT_LT(spec.destination.value(), 60u);
+    EXPECT_TRUE(spec.valid());
+  }
+}
+
+TEST(Uniform, CoversAllNodesAsSources) {
+  UniformConfig config;
+  config.nodes = 10;
+  UniformWorkload w(config, 5);
+  std::set<std::uint32_t> sources;
+  for (int i = 0; i < 1000; ++i) {
+    sources.insert(w.next().source.value());
+  }
+  EXPECT_EQ(sources.size(), 10u);
+}
+
+TEST(Uniform, TwoNodeNetworkAlternatesEndpoints) {
+  UniformConfig config;
+  config.nodes = 2;
+  UniformWorkload w(config, 9);
+  for (int i = 0; i < 100; ++i) {
+    const auto spec = w.next();
+    EXPECT_NE(spec.source, spec.destination);
+  }
+}
+
+TEST(Uniform, GenerateProducesRequestedCount) {
+  UniformWorkload w(UniformConfig{}, 1);
+  EXPECT_EQ(w.generate(123).size(), 123u);
+}
+
+TEST(Uniform, DeterministicPerSeed) {
+  UniformWorkload a(UniformConfig{}, 77);
+  UniformWorkload b(UniformConfig{}, 77);
+  EXPECT_EQ(a.generate(40), b.generate(40));
+}
+
+}  // namespace
+}  // namespace rtether::traffic
