@@ -1,0 +1,186 @@
+/// Scaling S1 — admission-control throughput: batched vs one-at-a-time.
+///
+/// A production switch admitting RT channels at plant bring-up (or
+/// re-admitting everything after a fail-over) faces a long stream of
+/// requests against an ever-growing system state. The reference
+/// `AdmissionController` re-derives the busy period, checkpoint grid and
+/// per-instant demand from scratch for every candidate of every request;
+/// `AdmissionEngine::admit_batch` amortizes all three per link. This bench
+/// measures admits/sec on identical 10k-request streams, verifies the two
+/// paths reach identical accept/reject decisions, and reports the speedup.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "core/admission.hpp"
+#include "core/partitioner.hpp"
+
+using namespace rtether;
+using namespace rtether::core;
+
+namespace {
+
+/// Random constrained-deadline request stream: the worst case for the
+/// feasibility test (no Liu & Layland shortcut) and the realistic one for
+/// industrial RT channels (d < P).
+std::vector<ChannelRequest> make_stream(std::uint64_t seed, std::size_t count,
+                                        std::uint32_t nodes) {
+  Rng rng(seed);
+  static constexpr Slot kPeriods[] = {40, 60, 80, 100, 150, 200, 300};
+  std::vector<ChannelRequest> requests;
+  requests.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto src = static_cast<std::uint32_t>(rng.index(nodes));
+    auto dst = static_cast<std::uint32_t>(rng.index(nodes));
+    if (dst == src) {
+      dst = (dst + 1) % nodes;
+    }
+    const Slot period = kPeriods[rng.index(std::size(kPeriods))];
+    const Slot capacity = 1 + rng.index(4);
+    const Slot deadline =
+        2 * capacity + rng.index(period / 2 - 2 * capacity + 1);
+    requests.push_back(ChannelRequest{
+        ChannelSpec{NodeId{src}, NodeId{dst}, period, capacity, deadline}});
+  }
+  return requests;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct RunResult {
+  double seconds{0.0};
+  std::size_t accepted{0};
+  std::vector<bool> decisions;
+};
+
+/// Repetitions per path; the best (minimum) wall time is reported, the
+/// benchmarking standard for shaking off scheduler noise.
+constexpr int kRepetitions = 3;
+
+RunResult run_sequential(const std::vector<ChannelRequest>& requests,
+                         std::uint32_t nodes, const std::string& scheme) {
+  RunResult result;
+  result.seconds = 1e300;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    AdmissionController controller(nodes, make_partitioner(scheme));
+    std::vector<bool> decisions;
+    decisions.reserve(requests.size());
+    std::size_t accepted = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& request : requests) {
+      const auto outcome = controller.request(request.spec);
+      decisions.push_back(outcome.has_value());
+      if (outcome.has_value()) {
+        ++accepted;
+      }
+    }
+    result.seconds = std::min(result.seconds, seconds_since(start));
+    result.decisions = std::move(decisions);
+    result.accepted = accepted;
+  }
+  return result;
+}
+
+RunResult run_batched(const std::vector<ChannelRequest>& requests,
+                      std::uint32_t nodes, const std::string& scheme) {
+  RunResult result;
+  result.seconds = 1e300;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    AdmissionEngine engine(nodes, make_partitioner(scheme));
+    const auto start = std::chrono::steady_clock::now();
+    const auto batch = engine.admit_batch(requests);
+    result.seconds = std::min(result.seconds, seconds_since(start));
+    result.decisions.clear();
+    result.decisions.reserve(batch.outcomes.size());
+    for (const auto& outcome : batch.outcomes) {
+      result.decisions.push_back(outcome.has_value());
+    }
+    result.accepted = batch.accepted();
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t request_count = 10'000;
+  if (argc > 1) {
+    request_count = static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10));
+  }
+
+  std::puts("================================================================");
+  std::puts("Scaling S1 — admission throughput: batched pipeline vs");
+  std::puts("one-at-a-time controller, identical request streams");
+  std::puts("================================================================");
+
+  ConsoleTable table("S1: admits/sec on a " +
+                     std::to_string(request_count) + "-request stream");
+  table.set_header({"nodes", "scheme", "accepted", "sequential adm/s",
+                    "batched adm/s", "speedup", "gated"});
+
+  bool all_identical = true;
+  double min_gated_speedup = 1e300;
+  struct Scenario {
+    std::uint32_t nodes;
+    const char* scheme;
+    /// The >= 5x target applies to the saturated-switch regime (the
+    /// paper's: a small industrial cell whose links fill up). The larger
+    /// topologies are informational scaling rows: with only a handful of
+    /// channels per link, both paths are dominated by the same per-request
+    /// fixed costs and the baseline has little work to amortize away.
+    bool gated;
+  };
+  for (const Scenario scenario :
+       {Scenario{16, "SDPS", true}, Scenario{16, "ADPS", true},
+        Scenario{64, "ADPS", false}, Scenario{256, "ADPS", false}}) {
+    const auto requests = make_stream(7, request_count, scenario.nodes);
+    const auto sequential =
+        run_sequential(requests, scenario.nodes, scenario.scheme);
+    const auto batched = run_batched(requests, scenario.nodes, scenario.scheme);
+
+    const bool identical = sequential.decisions == batched.decisions &&
+                           sequential.accepted == batched.accepted;
+    all_identical = all_identical && identical;
+
+    const double n = static_cast<double>(requests.size());
+    const double seq_rate = n / sequential.seconds;
+    const double batch_rate = n / batched.seconds;
+    const double speedup = sequential.seconds / batched.seconds;
+    if (scenario.gated) {
+      min_gated_speedup = std::min(min_gated_speedup, speedup);
+    }
+
+    table.add(scenario.nodes, scenario.scheme, batched.accepted, seq_rate,
+              batch_rate, speedup, scenario.gated ? "yes" : "no");
+    if (!identical) {
+      std::printf("DECISION MISMATCH at nodes=%u scheme=%s\n", scenario.nodes,
+                  scenario.scheme);
+    }
+  }
+  table.print();
+
+  std::printf("decisions identical across all scenarios: %s\n",
+              all_identical ? "yes" : "NO");
+  std::printf("saturated-switch speedup: %.1fx (target: >= 5x)\n",
+              min_gated_speedup);
+  std::puts("reading: the batched pipeline computes each link's checkpoint");
+  std::puts("grid once and trial-tests candidates by an O(checkpoints)");
+  std::puts("merge-walk, instead of re-deriving O(tasks x checkpoints)");
+  std::puts("state per request - the win grows with per-link contention.\n");
+
+  // Non-zero exit on decision divergence or a missed throughput target so
+  // CI can gate on this bench directly.
+  if (!all_identical) return 1;
+  if (request_count >= 10'000 && min_gated_speedup < 5.0) return 2;
+  return 0;
+}

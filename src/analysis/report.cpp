@@ -95,9 +95,13 @@ void print_validation_report(const std::string& title,
     std::snprintf(bound, sizeof bound, "%.2f", c.bound_slots);
     std::snprintf(headroom, sizeof headroom, "%.1f%%",
                   100.0 * (1.0 - c.worst_delay_slots / c.bound_slots));
-    table.add_row({"ch" + std::to_string(c.id.value()),
-                   "n" + std::to_string(c.source.value()) + "->n" +
-                       std::to_string(c.destination.value()),
+    // Built up with += rather than operator+ chains: GCC 12's -O3 -Wrestrict
+    // misfires on `"literal" + std::to_string(...)` (GCC PR105651).
+    std::string route = "n";
+    route += std::to_string(c.source.value());
+    route += "->n";
+    route += std::to_string(c.destination.value());
+    table.add_row({"ch" + std::to_string(c.id.value()), route,
                    std::to_string(c.deadline_slots),
                    std::to_string(c.frames_sent),
                    std::to_string(c.frames_delivered),

@@ -1,8 +1,10 @@
 #include "core/admission.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/assert.hpp"
+#include "common/math.hpp"
 
 namespace rtether::core {
 
@@ -33,43 +35,56 @@ AdmissionController::AdmissionController(
                      "system cannot operate without one)");
 }
 
-edf::FeasibilityReport AdmissionController::test_link(NodeId node,
-                                                      LinkDirection dir) {
-  ++stats_.feasibility_tests;
-  auto report = edf::check_feasibility(state_.link(node, dir), config_.scan);
-  stats_.demand_evaluations += report.demand_evaluations;
-  return report;
+namespace {
+
+std::string link_rejection_detail(const char* side, NodeId node,
+                                  const edf::FeasibilityReport& report) {
+  std::string detail = side;
+  detail += std::to_string(node.value());
+  detail += ": ";
+  detail += report.summary();
+  return detail;
 }
 
-Expected<RtChannel, Rejection> AdmissionController::request(
-    const ChannelSpec& spec) {
-  ++stats_.requested;
+/// Shared admission scaffolding: spec validation, node checks, ID
+/// allocation and the DPS-candidate loop. `try_candidate(id, partition,
+/// reason, detail)` either commits the channel and returns true, or records
+/// its rejection and returns false. The controller and both engine paths
+/// run through this one flow, so their decisions and diagnostics cannot
+/// drift apart.
+template <typename TryCandidate>
+Expected<RtChannel, Rejection> admission_flow(
+    const NetworkState& state, const DeadlinePartitioner& partitioner,
+    ChannelIdAllocator& ids, AdmissionStats& stats, const ChannelSpec& spec,
+    TryCandidate&& try_candidate) {
+  ++stats.requested;
   auto reject = [&](RejectReason reason,
                     std::string detail) -> Expected<RtChannel, Rejection> {
-    ++stats_.rejected;
+    ++stats.rejected;
     return Unexpected(Rejection{reason, std::move(detail)});
   };
 
   if (!spec.valid()) {
     std::ostringstream detail;
     detail << spec.to_string() << " is invalid";
-    if (spec.period > 0 && spec.capacity > 0 && spec.deadline < 2 * spec.capacity) {
+    if (spec.period > 0 && spec.capacity > 0 &&
+        spec.deadline < 2 * spec.capacity) {
       detail << " (d < 2C cannot be EDF-feasible through a store-and-forward"
                 " switch)";
     }
     return reject(RejectReason::kInvalidSpec, detail.str());
   }
-  if (!state_.node_exists(spec.source) ||
-      !state_.node_exists(spec.destination)) {
+  if (!state.node_exists(spec.source) ||
+      !state.node_exists(spec.destination)) {
     return reject(RejectReason::kUnknownNode, spec.to_string());
   }
 
-  const auto id = ids_.allocate();
+  const auto id = ids.allocate();
   if (!id) {
     return reject(RejectReason::kChannelIdsExhausted, spec.to_string());
   }
 
-  const auto candidates = partitioner_->candidates(spec, state_);
+  const auto candidates = partitioner.candidates(spec, state);
   RTETHER_ASSERT_MSG(!candidates.empty(), "DPS returned no candidates");
 
   RejectReason last_reason = RejectReason::kUplinkInfeasible;
@@ -77,38 +92,61 @@ Expected<RtChannel, Rejection> AdmissionController::request(
   for (const auto& partition : candidates) {
     RTETHER_ASSERT_MSG(partition.satisfies(spec),
                        "DPS candidate violates Eq 18.8/18.9");
-    const RtChannel channel{*id, spec, partition};
-
-    // Tentatively install both pseudo-tasks, test, and roll back on failure
-    // — rejection must leave the system state untouched.
-    state_.add_channel(channel);
-    const auto uplink_report =
-        test_link(spec.source, LinkDirection::kUplink);
-    if (!uplink_report.feasible) {
-      state_.remove_channel(*id);
-      last_reason = RejectReason::kUplinkInfeasible;
-      last_detail = "uplink of node" +
-                    std::to_string(spec.source.value()) + ": " +
-                    uplink_report.summary();
-      continue;
+    if (try_candidate(*id, partition, last_reason, last_detail)) {
+      ++stats.accepted;
+      return RtChannel{*id, spec, partition};
     }
-    const auto downlink_report =
-        test_link(spec.destination, LinkDirection::kDownlink);
-    if (!downlink_report.feasible) {
-      state_.remove_channel(*id);
-      last_reason = RejectReason::kDownlinkInfeasible;
-      last_detail = "downlink of node" +
-                    std::to_string(spec.destination.value()) + ": " +
-                    downlink_report.summary();
-      continue;
-    }
-
-    ++stats_.accepted;
-    return channel;
   }
 
-  ids_.release(*id);
+  ids.release(*id);
   return reject(last_reason, last_detail);
+}
+
+/// The reference candidate test: tentatively install both pseudo-tasks,
+/// run the from-scratch feasibility check on each affected link direction,
+/// and roll back on failure — rejection must leave the state untouched.
+bool tentative_candidate_test(NetworkState& state, AdmissionStats& stats,
+                              edf::DemandScan scan, const ChannelSpec& spec,
+                              ChannelId id, const DeadlinePartition& partition,
+                              RejectReason& reason, std::string& detail) {
+  const RtChannel channel{id, spec, partition};
+  state.add_channel(channel);
+  ++stats.feasibility_tests;
+  const auto uplink_report = edf::check_feasibility(
+      state.link(spec.source, LinkDirection::kUplink), scan);
+  stats.demand_evaluations += uplink_report.demand_evaluations;
+  if (!uplink_report.feasible) {
+    state.remove_channel(id);
+    reason = RejectReason::kUplinkInfeasible;
+    detail = link_rejection_detail("uplink of node", spec.source,
+                                   uplink_report);
+    return false;
+  }
+  ++stats.feasibility_tests;
+  const auto downlink_report = edf::check_feasibility(
+      state.link(spec.destination, LinkDirection::kDownlink), scan);
+  stats.demand_evaluations += downlink_report.demand_evaluations;
+  if (!downlink_report.feasible) {
+    state.remove_channel(id);
+    reason = RejectReason::kDownlinkInfeasible;
+    detail = link_rejection_detail("downlink of node", spec.destination,
+                                   downlink_report);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Expected<RtChannel, Rejection> AdmissionController::request(
+    const ChannelSpec& spec) {
+  return admission_flow(
+      state_, *partitioner_, ids_, stats_, spec,
+      [&](ChannelId id, const DeadlinePartition& partition,
+          RejectReason& reason, std::string& detail) {
+        return tentative_candidate_test(state_, stats_, config_.scan, spec,
+                                        id, partition, reason, detail);
+      });
 }
 
 bool AdmissionController::release(ChannelId id) {
@@ -118,6 +156,253 @@ bool AdmissionController::release(ChannelId id) {
   const bool was_live = ids_.release(id);
   RTETHER_ASSERT_MSG(was_live, "channel present in state but ID not live");
   ++stats_.released;
+  return true;
+}
+
+std::size_t BatchResult::accepted() const {
+  return static_cast<std::size_t>(
+      std::count_if(outcomes.begin(), outcomes.end(),
+                    [](const auto& outcome) { return outcome.has_value(); }));
+}
+
+std::size_t BatchResult::rejected() const {
+  return outcomes.size() - accepted();
+}
+
+AdmissionEngine::AdmissionEngine(
+    std::uint32_t node_count, std::unique_ptr<DeadlinePartitioner> partitioner,
+    AdmissionConfig config)
+    : state_(node_count),
+      partitioner_(std::move(partitioner)),
+      config_(config),
+      uplink_caches_(node_count),
+      downlink_caches_(node_count) {
+  RTETHER_ASSERT_MSG(partitioner_ != nullptr,
+                     "admission control requires a DPS (paper §18.4: the "
+                     "system cannot operate without one)");
+}
+
+edf::LinkScanCache& AdmissionEngine::cache(NodeId node, LinkDirection dir) {
+  RTETHER_ASSERT(state_.node_exists(node));
+  return dir == LinkDirection::kUplink ? uplink_caches_[node.value()]
+                                       : downlink_caches_[node.value()];
+}
+
+Expected<RtChannel, Rejection> AdmissionEngine::admit(
+    const ChannelSpec& spec) {
+  return admit_one(spec);
+}
+
+Expected<RtChannel, Rejection> AdmissionEngine::admit_one(
+    const ChannelSpec& spec) {
+  if (config_.scan != edf::DemandScan::kCheckpoints) {
+    return admit_one_reference(spec);
+  }
+  return admission_flow(
+      state_, *partitioner_, ids_, stats_, spec,
+      [&](ChannelId id, const DeadlinePartition& partition,
+          RejectReason& reason, std::string& detail) {
+        const edf::PseudoTask uplink_task{id, spec.period, spec.capacity,
+                                          partition.uplink};
+        const edf::PseudoTask downlink_task{id, spec.period, spec.capacity,
+                                            partition.downlink};
+        auto& uplink_cache = cache(spec.source, LinkDirection::kUplink);
+        auto& downlink_cache =
+            cache(spec.destination, LinkDirection::kDownlink);
+
+        ++stats_.feasibility_tests;
+        const auto uplink_report = uplink_cache.check_with(
+            state_.link(spec.source, LinkDirection::kUplink), uplink_task);
+        stats_.demand_evaluations += uplink_report.demand_evaluations;
+        if (!uplink_report.feasible) {
+          reason = RejectReason::kUplinkInfeasible;
+          detail = link_rejection_detail("uplink of node", spec.source,
+                                         uplink_report);
+          return false;
+        }
+
+        ++stats_.feasibility_tests;
+        const auto downlink_report = downlink_cache.check_with(
+            state_.link(spec.destination, LinkDirection::kDownlink),
+            downlink_task);
+        stats_.demand_evaluations += downlink_report.demand_evaluations;
+        if (!downlink_report.feasible) {
+          reason = RejectReason::kDownlinkInfeasible;
+          detail = link_rejection_detail("downlink of node", spec.destination,
+                                         downlink_report);
+          return false;
+        }
+
+        state_.add_channel(RtChannel{id, spec, partition});
+        // A scanned accept's bound *is* the link's new busy period — hand it
+        // to the cache so the next trial's fixed point starts there.
+        auto committed_bp = [](const edf::FeasibilityReport& report) {
+          return report.used_utilization_fast_path
+                     ? std::nullopt
+                     : std::optional<Slot>(report.scanned_bound);
+        };
+        uplink_cache.commit(uplink_task, committed_bp(uplink_report));
+        downlink_cache.commit(downlink_task, committed_bp(downlink_report));
+        return true;
+      });
+}
+
+Expected<RtChannel, Rejection> AdmissionEngine::admit_one_reference(
+    const ChannelSpec& spec) {
+  return admission_flow(
+      state_, *partitioner_, ids_, stats_, spec,
+      [&](ChannelId id, const DeadlinePartition& partition,
+          RejectReason& reason, std::string& detail) {
+        return tentative_candidate_test(state_, stats_, config_.scan, spec,
+                                        id, partition, reason, detail);
+      });
+}
+
+namespace {
+
+/// Conservative per-link horizon sizing for the batch pre-pass. Iterates the
+/// busy-period fixed point of `set ∪ every batch request on the link` —
+/// deadlines play no role in the workload, so specs suffice. Returns nullopt
+/// when the iteration diverges (aggregate overload), overflows, or exceeds
+/// `cap`; callers then fall back to lazy per-request extension.
+std::optional<Slot> batch_horizon(const edf::TaskSet& set,
+                                  const std::vector<ChannelSpec>& specs,
+                                  Slot cap) {
+  // Quick divergence screen: the exact test is per-request; here a double
+  // with margin is enough to skip hopeless aggregates.
+  double utilization = set.utilization();
+  Slot backlog = set.total_capacity();
+  for (const auto& spec : specs) {
+    utilization += spec.utilization();
+    const auto sum = checked_add(backlog, spec.capacity);
+    if (!sum) return std::nullopt;
+    backlog = *sum;
+  }
+  if (utilization > 0.999) {
+    return std::nullopt;
+  }
+
+  Slot length = backlog;
+  for (;;) {
+    Slot next = 0;
+    for (const auto& task : set.tasks()) {
+      const auto contribution =
+          checked_mul(ceil_div(length, task.period), task.capacity);
+      if (!contribution) return std::nullopt;
+      const auto sum = checked_add(next, *contribution);
+      if (!sum) return std::nullopt;
+      next = *sum;
+    }
+    for (const auto& spec : specs) {
+      const auto contribution =
+          checked_mul(ceil_div(length, spec.period), spec.capacity);
+      if (!contribution) return std::nullopt;
+      const auto sum = checked_add(next, *contribution);
+      if (!sum) return std::nullopt;
+      next = *sum;
+    }
+    if (next == length) return length;
+    if (next > cap) return std::nullopt;
+    length = next;
+  }
+}
+
+/// Cap on up-front grid reservation; lazy extension covers anything larger.
+constexpr Slot kMaxReserveHorizon = Slot{1} << 22;
+
+}  // namespace
+
+void AdmissionEngine::prepare_links(
+    std::span<const ChannelRequest> requests) {
+  // Sort the batch per link direction (egress downlinks and ingress
+  // uplinks): key = node × 2 + direction. A counting-sort scatter — the key
+  // space is dense and known, so O(requests + links) beats a comparator
+  // sort on every batch size that matters.
+  const std::size_t key_space = std::size_t{state_.node_count()} * 2;
+  std::vector<std::uint32_t> offsets(key_space + 1, 0);
+  auto each_key = [&](auto&& visit) {
+    for (const auto& request : requests) {
+      const auto& spec = request.spec;
+      if (!spec.valid() || !state_.node_exists(spec.source) ||
+          !state_.node_exists(spec.destination)) {
+        continue;
+      }
+      visit(std::size_t{spec.source.value()} * 2, spec);
+      visit(std::size_t{spec.destination.value()} * 2 + 1, spec);
+    }
+  };
+  each_key([&](std::size_t key, const ChannelSpec&) { ++offsets[key + 1]; });
+  for (std::size_t k = 1; k <= key_space; ++k) {
+    offsets[k] += offsets[k - 1];
+  }
+  std::vector<const ChannelSpec*> sorted(offsets[key_space]);
+  {
+    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    each_key([&](std::size_t key, const ChannelSpec& spec) {
+      sorted[cursor[key]++] = &spec;
+    });
+  }
+
+  std::vector<ChannelSpec> group;
+  for (std::size_t key = 0; key < key_space; ++key) {
+    if (offsets[key] == offsets[key + 1]) {
+      continue;
+    }
+    group.clear();
+    for (std::uint32_t i = offsets[key]; i < offsets[key + 1]; ++i) {
+      group.push_back(*sorted[i]);
+    }
+    const NodeId node{static_cast<NodeId::rep_type>(key / 2)};
+    const LinkDirection dir =
+        key % 2 == 0 ? LinkDirection::kUplink : LinkDirection::kDownlink;
+    const edf::TaskSet& set = state_.link(node, dir);
+    auto& link_cache = cache(node, dir);
+
+    // The link's hyperperiod caps any useful horizon: with U ≤ 1 the
+    // synchronous busy period never exceeds it. Computed once per link from
+    // the cache's running lcm plus the batch periods.
+    Slot cap = kMaxReserveHorizon;
+    std::optional<Slot> hp = link_cache.cached_hyperperiod();
+    for (const auto& spec : group) {
+      if (!hp) break;
+      hp = checked_lcm(*hp, spec.period);
+    }
+    if (hp && *hp < cap) {
+      cap = *hp;
+    }
+
+    if (const auto horizon = batch_horizon(set, group, cap)) {
+      link_cache.reserve_horizon(set, std::min(*horizon, cap));
+    }
+  }
+}
+
+BatchResult AdmissionEngine::admit_batch(
+    std::span<const ChannelRequest> requests) {
+  if (config_.scan == edf::DemandScan::kCheckpoints) {
+    prepare_links(requests);
+  }
+  BatchResult result;
+  result.outcomes.reserve(requests.size());
+  for (const auto& request : requests) {
+    result.outcomes.push_back(admit_one(request.spec));
+  }
+  return result;
+}
+
+bool AdmissionEngine::release(ChannelId id) {
+  const auto channel = state_.find_channel(id);
+  if (!channel) {
+    return false;
+  }
+  state_.remove_channel(id);
+  const bool was_live = ids_.release(id);
+  RTETHER_ASSERT_MSG(was_live, "channel present in state but ID not live");
+  ++stats_.released;
+  cache(channel->spec.source, LinkDirection::kUplink)
+      .reset(state_.link(channel->spec.source, LinkDirection::kUplink));
+  cache(channel->spec.destination, LinkDirection::kDownlink)
+      .reset(state_.link(channel->spec.destination, LinkDirection::kDownlink));
   return true;
 }
 

@@ -9,7 +9,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/expected.hpp"
 #include "core/channel.hpp"
@@ -80,15 +82,103 @@ class AdmissionController {
   }
 
  private:
-  /// Tests one link direction with the candidate task tentatively added.
-  [[nodiscard]] edf::FeasibilityReport test_link(NodeId node,
-                                                 LinkDirection dir);
+  NetworkState state_;
+  std::unique_ptr<DeadlinePartitioner> partitioner_;
+  AdmissionConfig config_;
+  ChannelIdAllocator ids_;
+  AdmissionStats stats_;
+};
+
+/// One request in a batch submitted to `AdmissionEngine::admit_batch`.
+struct ChannelRequest {
+  ChannelSpec spec;
+};
+
+/// Outcome of a batch: one result per request, in submission order.
+struct BatchResult {
+  std::vector<Expected<RtChannel, Rejection>> outcomes;
+
+  [[nodiscard]] std::size_t accepted() const;
+  [[nodiscard]] std::size_t rejected() const;
+};
+
+/// High-throughput admission pipeline.
+///
+/// `AdmissionController` re-derives the full feasibility state — busy
+/// period, checkpoint grid, per-instant demand sums — from scratch for every
+/// candidate of every request. That is faithful to the paper but quadratic
+/// in the number of admitted channels, and it is exactly the bottleneck when
+/// a switch must establish thousands of RT channels (bring-up of a large
+/// plant, fail-over re-admission, tenant migration).
+///
+/// The engine processes requests *in submission order* — decisions, assigned
+/// channel IDs and rejection diagnostics are identical to feeding the same
+/// stream through `AdmissionController::request` one call at a time — but
+/// amortizes the per-link analysis state across the batch:
+///
+///   * a `edf::LinkScanCache` per link direction memoizes the checkpoint
+///     grid and per-instant demand, so each trial test is a merge-walk in
+///     O(checkpoints) instead of O(tasks · checkpoints);
+///   * `admit_batch` pre-sorts the batch per egress link and sizes each
+///     touched link's grid (busy-period horizon, running-lcm hyperperiod)
+///     once per link instead of once per request;
+///   * rejected candidates never touch the system state, so there is no
+///     tentative add/remove churn on the hot path.
+///
+/// Caveat: parity holds for partitioners whose candidates depend on the
+/// *exact* system state (SDPS, ADPS, Search — link loads are integers). A
+/// partitioner reading floating-point link utilization (UDPS) can observe
+/// harmless accumulation-order differences versus a controller that has
+/// churned through tentative add/remove cycles.
+///
+/// Scan strategies other than the default `kCheckpoints` bypass the caches
+/// and run the reference `check_feasibility` path (still in order, still
+/// identical decisions).
+class AdmissionEngine {
+ public:
+  AdmissionEngine(std::uint32_t node_count,
+                  std::unique_ptr<DeadlinePartitioner> partitioner,
+                  AdmissionConfig config = {});
+
+  /// Admits one request, reusing the incremental per-link state built up by
+  /// previous admits and batches.
+  [[nodiscard]] Expected<RtChannel, Rejection> admit(const ChannelSpec& spec);
+
+  /// Admits a batch. Results are 1:1 with `requests` in submission order.
+  BatchResult admit_batch(std::span<const ChannelRequest> requests);
+
+  /// Releases an established channel (teardown); false if unknown. Rebuilds
+  /// the two affected link caches.
+  bool release(ChannelId id);
+
+  [[nodiscard]] const NetworkState& state() const { return state_; }
+  [[nodiscard]] const AdmissionStats& stats() const { return stats_; }
+  [[nodiscard]] const DeadlinePartitioner& partitioner() const {
+    return *partitioner_;
+  }
+
+ private:
+  [[nodiscard]] Expected<RtChannel, Rejection> admit_one(
+      const ChannelSpec& spec);
+
+  /// Reference-path admit for non-checkpoint scan strategies: tentative
+  /// add / test / roll back, exactly like `AdmissionController::request`.
+  [[nodiscard]] Expected<RtChannel, Rejection> admit_one_reference(
+      const ChannelSpec& spec);
+
+  [[nodiscard]] edf::LinkScanCache& cache(NodeId node, LinkDirection dir);
+
+  /// Batch pre-pass: sort the batch per egress/ingress link and pre-size
+  /// each touched link's scan cache once.
+  void prepare_links(std::span<const ChannelRequest> requests);
 
   NetworkState state_;
   std::unique_ptr<DeadlinePartitioner> partitioner_;
   AdmissionConfig config_;
   ChannelIdAllocator ids_;
   AdmissionStats stats_;
+  std::vector<edf::LinkScanCache> uplink_caches_;
+  std::vector<edf::LinkScanCache> downlink_caches_;
 };
 
 }  // namespace rtether::core

@@ -7,18 +7,43 @@ namespace rtether::edf {
 
 namespace {
 
-/// W(L) = Σ ⌈L / P_i⌉ · C_i, or nullopt on overflow.
-std::optional<Slot> workload(const TaskSet& set, Slot length) {
+/// One task's workload contribution ⌈L / P⌉ · C added to `total`, or nullopt
+/// on overflow.
+std::optional<Slot> accumulate_workload(Slot total, const PseudoTask& task,
+                                        Slot length) {
+  const auto jobs = ceil_div(length, task.period);
+  const auto contribution = checked_mul(jobs, task.capacity);
+  if (!contribution) return std::nullopt;
+  return checked_add(total, *contribution);
+}
+
+/// W(L) = Σ ⌈L / P_i⌉ · C_i over set ∪ {extra}, or nullopt on overflow.
+std::optional<Slot> workload(const TaskSet& set, const PseudoTask* extra,
+                             Slot length) {
   Slot total = 0;
   for (const auto& task : set.tasks()) {
-    const auto jobs = ceil_div(length, task.period);
-    const auto contribution = checked_mul(jobs, task.capacity);
-    if (!contribution) return std::nullopt;
-    const auto sum = checked_add(total, *contribution);
+    const auto sum = accumulate_workload(total, task, length);
+    if (!sum) return std::nullopt;
+    total = *sum;
+  }
+  if (extra != nullptr) {
+    const auto sum = accumulate_workload(total, *extra, length);
     if (!sum) return std::nullopt;
     total = *sum;
   }
   return total;
+}
+
+/// Fixed-point iteration from the synchronous backlog `initial`.
+std::optional<Slot> busy_period_from(const TaskSet& set,
+                                     const PseudoTask* extra, Slot initial) {
+  Slot length = initial;
+  for (;;) {
+    const auto next = workload(set, extra, length);
+    if (!next) return std::nullopt;
+    if (*next == length) return length;
+    length = *next;  // strictly increasing while not at the fixed point
+  }
 }
 
 }  // namespace
@@ -31,13 +56,17 @@ std::optional<Slot> busy_period(const TaskSet& set) {
   if (utilization_exceeds_one(set)) {
     return std::nullopt;
   }
-  Slot length = set.total_capacity();
-  for (;;) {
-    const auto next = workload(set, length);
-    if (!next) return std::nullopt;
-    if (*next == length) return length;
-    length = *next;  // strictly increasing while not at the fixed point
+  return busy_period_from(set, nullptr, set.total_capacity());
+}
+
+std::optional<Slot> busy_period_with(const TaskSet& set,
+                                     const PseudoTask& extra) {
+  if (utilization_exceeds_one_with(set, extra)) {
+    return std::nullopt;
   }
+  const auto initial = checked_add(set.total_capacity(), extra.capacity);
+  if (!initial) return std::nullopt;
+  return busy_period_from(set, &extra, *initial);
 }
 
 }  // namespace rtether::edf

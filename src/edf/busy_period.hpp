@@ -22,4 +22,11 @@ namespace rtether::edf {
 /// first, so nullopt means "infeasible already".
 [[nodiscard]] std::optional<Slot> busy_period(const TaskSet& set);
 
+/// Busy period of `set ∪ {extra}` without materializing the union. The
+/// workload sum visits the set's tasks in storage order with `extra` last —
+/// exactly the order a tentative `TaskSet::add` would produce — so the result
+/// (including overflow outcomes) is identical to mutating the set.
+[[nodiscard]] std::optional<Slot> busy_period_with(const TaskSet& set,
+                                                   const PseudoTask& extra);
+
 }  // namespace rtether::edf

@@ -1,6 +1,7 @@
 #include "edf/feasibility.hpp"
 
-#include <sstream>
+#include <algorithm>
+#include <cstdio>
 
 #include "common/math.hpp"
 #include "edf/busy_period.hpp"
@@ -92,32 +93,310 @@ bool is_feasible(const TaskSet& set, DemandScan scan) {
   return check_feasibility(set, scan).feasible;
 }
 
-std::string FeasibilityReport::summary() const {
-  std::ostringstream out;
-  if (feasible) {
-    out << "feasible (U=" << utilization;
-    if (used_utilization_fast_path) {
-      out << ", Liu&Layland fast path";
-    } else {
-      out << ", scanned " << demand_evaluations << " instants up to t="
-          << scanned_bound;
+namespace {
+
+/// Walks a task's checkpoint sequence d, d+P, d+2P, … restricted to
+/// [1, bound], mirroring the generation (and wrap-around guard) of
+/// `checkpoints()`.
+class TaskCheckpointWalker {
+ public:
+  TaskCheckpointWalker(const PseudoTask& task, Slot bound)
+      : period_(task.period), bound_(bound), next_(task.deadline) {
+    live_ = next_ <= bound_;
+    while (live_ && next_ < 1) {
+      advance();
     }
-    out << ")";
-    return out.str();
+  }
+
+  [[nodiscard]] bool live() const { return live_; }
+  [[nodiscard]] Slot value() const { return next_; }
+
+  void advance() {
+    if (bound_ - next_ < period_) {  // same guard as checkpoints()
+      live_ = false;
+      return;
+    }
+    next_ += period_;
+  }
+
+ private:
+  Slot period_;
+  Slot bound_;
+  Slot next_;
+  bool live_;
+};
+
+Slot checked_demand_sum(Slot base, const PseudoTask& task, Slot t) {
+  const auto sum = checked_add(base, task_demand(task, t));
+  RTETHER_ASSERT_MSG(sum.has_value(), "demand overflow");
+  return *sum;
+}
+
+}  // namespace
+
+namespace {
+
+/// Adds `capacity` to the bucket for `period`, keeping buckets sorted.
+void bucket_add(std::vector<std::pair<Slot, Slot>>& buckets, Slot period,
+                Slot capacity) {
+  const auto it = std::lower_bound(
+      buckets.begin(), buckets.end(), period,
+      [](const auto& bucket, Slot p) { return bucket.first < p; });
+  if (it != buckets.end() && it->first == period) {
+    it->second += capacity;
+  } else {
+    buckets.insert(it, {period, capacity});
+  }
+}
+
+}  // namespace
+
+void LinkScanCache::reset(const TaskSet& set) {
+  task_count_ = set.size();
+  non_implicit_ = 0;
+  hyperperiod_ = Slot{1};
+  period_buckets_.clear();
+  for (const auto& task : set.tasks()) {
+    if (task.deadline != task.period) {
+      ++non_implicit_;
+    }
+    if (hyperperiod_) {
+      hyperperiod_ = checked_lcm(*hyperperiod_, task.period);
+    }
+    bucket_add(period_buckets_, task.period, task.capacity);
+  }
+  utilization_.reset(set);
+  busy_period_ = busy_period(set);
+  // Clamp the horizon to the shrunk set's busy period: the retained grid
+  // only ever grew, and rebuilding demand at instants past the new busy
+  // period is O(tasks × points) wasted per release — future trials re-extend
+  // lazily if they need more.
+  horizon_ = std::min(horizon_, busy_period_.value_or(0));
+  points_ = checkpoints(set, horizon_);
+  demands_.clear();
+  demands_.reserve(points_.size());
+  for (const Slot t : points_) {
+    demands_.push_back(demand(set, t));
+  }
+}
+
+std::optional<Slot> LinkScanCache::trial_busy_period(
+    const TaskSet& set, const PseudoTask& extra) const {
+  const auto backlog = checked_add(set.total_capacity(), extra.capacity);
+  if (!backlog) return std::nullopt;
+  // Warm start: the least fixed point only grows when a task is added, and
+  // the workload of the grown set at the old fixed point is ≥ the old fixed
+  // point, so iterating from max(old bp, new backlog) converges to exactly
+  // the fixed point the cold iteration from the backlog finds.
+  Slot length = std::max(busy_period_.value_or(0), *backlog);
+  for (;;) {
+    Slot next = 0;
+    for (const auto& [period, capacity] : period_buckets_) {
+      const auto contribution =
+          checked_mul(ceil_div(length, period), capacity);
+      if (!contribution) return std::nullopt;
+      const auto sum = checked_add(next, *contribution);
+      if (!sum) return std::nullopt;
+      next = *sum;
+    }
+    const auto contribution =
+        checked_mul(ceil_div(length, extra.period), extra.capacity);
+    if (!contribution) return std::nullopt;
+    const auto sum = checked_add(next, *contribution);
+    if (!sum) return std::nullopt;
+    next = *sum;
+    if (next == length) return length;
+    length = next;
+  }
+}
+
+void LinkScanCache::extend(const TaskSet& set, Slot new_horizon) {
+  RTETHER_ASSERT(new_horizon > horizon_);
+  std::vector<Slot> fresh;
+  for (const auto& task : set.tasks()) {
+    // First checkpoint of this task strictly beyond the old horizon.
+    Slot t = task.deadline;
+    if (t <= horizon_) {
+      const Slot jumps = ceil_div(horizon_ + 1 - t, task.period);
+      const auto offset = checked_mul(jumps, task.period);
+      if (!offset || *offset > new_horizon - t) {
+        continue;
+      }
+      t += *offset;
+    }
+    for (; t <= new_horizon; t += task.period) {
+      if (t >= 1) {
+        fresh.push_back(t);
+      }
+      if (new_horizon - t < task.period) {
+        break;
+      }
+    }
+  }
+  std::sort(fresh.begin(), fresh.end());
+  fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+  for (const Slot t : fresh) {
+    points_.push_back(t);
+    demands_.push_back(demand(set, t));
+  }
+  horizon_ = new_horizon;
+}
+
+void LinkScanCache::reserve_horizon(const TaskSet& set, Slot horizon) {
+  RTETHER_ASSERT_MSG(set.size() == task_count_, "LinkScanCache out of sync");
+  if (horizon > horizon_) {
+    extend(set, horizon);
+  }
+}
+
+FeasibilityReport LinkScanCache::check_with(const TaskSet& set,
+                                            const PseudoTask& extra) {
+  RTETHER_ASSERT_MSG(set.size() == task_count_, "LinkScanCache out of sync");
+  RTETHER_ASSERT_MSG(extra.valid(), "invalid pseudo-task");
+
+  FeasibilityReport report;
+  // Same accumulation as a tentative TaskSet::add would have produced.
+  report.utilization = set.utilization() +
+                       static_cast<double>(extra.capacity) /
+                           static_cast<double>(extra.period);
+
+  if (utilization_.exceeds_one_with(extra)) {
+    report.feasible = false;
+    report.reason = InfeasibleReason::kUtilizationExceeded;
+    return report;
+  }
+
+  if (non_implicit_ == 0 && extra.deadline == extra.period) {
+    report.feasible = true;
+    report.used_utilization_fast_path = true;
+    return report;
+  }
+
+  const auto bp = trial_busy_period(set, extra);
+  RTETHER_ASSERT_MSG(bp.has_value(), "busy period diverged despite U <= 1");
+  const Slot bound = *bp;
+  if (bound > horizon_) {
+    extend(set, bound);
+  }
+  report.scanned_bound = bound;
+
+  // Merge-walk the cached grid with the candidate's own checkpoints. Visits
+  // exactly the deduplicated union `checkpoints(set ∪ {extra}, bound)` in
+  // ascending order; `base` tracks the cached set's demand, which between
+  // its own checkpoints is the value at the last one passed.
+  TaskCheckpointWalker walker(extra, bound);
+  std::size_t i = 0;
+  Slot base = 0;
+  report.feasible = true;
+  for (;;) {
+    const bool cached_live = i < points_.size() && points_[i] <= bound;
+    if (!cached_live && !walker.live()) {
+      break;
+    }
+    Slot t;
+    if (cached_live && (!walker.live() || points_[i] <= walker.value())) {
+      t = points_[i];
+      base = demands_[i];
+      if (walker.live() && walker.value() == t) {
+        walker.advance();
+      }
+      ++i;
+    } else {
+      t = walker.value();
+      walker.advance();
+    }
+    ++report.demand_evaluations;
+    const Slot h = checked_demand_sum(base, extra, t);
+    if (h > t) {
+      report.feasible = false;
+      report.reason = InfeasibleReason::kDemandExceeded;
+      report.violation_time = t;
+      report.violation_demand = h;
+      return report;
+    }
+  }
+  report.reason = InfeasibleReason::kNone;
+  return report;
+}
+
+void LinkScanCache::commit(const PseudoTask& task,
+                           std::optional<Slot> busy_period_after) {
+  RTETHER_ASSERT_MSG(task.valid(), "invalid pseudo-task");
+  // One merge pass: fold the task's demand into existing instants and splice
+  // in the task's own checkpoints with their full demand value.
+  std::vector<Slot> new_points;
+  std::vector<Slot> new_demands;
+  new_points.reserve(points_.size() + 8);
+  new_demands.reserve(points_.size() + 8);
+  TaskCheckpointWalker walker(task, horizon_);
+  std::size_t i = 0;
+  Slot base = 0;  // demand of the *old* set at the last old instant passed
+  while (i < points_.size() || walker.live()) {
+    Slot t;
+    if (i < points_.size() &&
+        (!walker.live() || points_[i] <= walker.value())) {
+      t = points_[i];
+      base = demands_[i];
+      if (walker.live() && walker.value() == t) {
+        walker.advance();
+      }
+      ++i;
+    } else {
+      t = walker.value();
+      walker.advance();
+    }
+    new_points.push_back(t);
+    new_demands.push_back(checked_demand_sum(base, task, t));
+  }
+  points_ = std::move(new_points);
+  demands_ = std::move(new_demands);
+
+  ++task_count_;
+  if (task.deadline != task.period) {
+    ++non_implicit_;
+  }
+  if (hyperperiod_) {
+    hyperperiod_ = checked_lcm(*hyperperiod_, task.period);
+  }
+  utilization_.add(task);
+  bucket_add(period_buckets_, task.period, task.capacity);
+  busy_period_ = busy_period_after;
+}
+
+std::string FeasibilityReport::summary() const {
+  // snprintf, not ostringstream: admission rejections build this string on
+  // the hot path, and stream construction is ~5× the cost of the formatting
+  // itself. "%.6g" matches operator<<'s default double formatting exactly.
+  char buffer[160];
+  if (feasible) {
+    if (used_utilization_fast_path) {
+      std::snprintf(buffer, sizeof buffer,
+                    "feasible (U=%.6g, Liu&Layland fast path)", utilization);
+    } else {
+      std::snprintf(
+          buffer, sizeof buffer,
+          "feasible (U=%.6g, scanned %llu instants up to t=%llu)",
+          utilization, static_cast<unsigned long long>(demand_evaluations),
+          static_cast<unsigned long long>(scanned_bound));
+    }
+    return buffer;
   }
   switch (reason) {
     case InfeasibleReason::kUtilizationExceeded:
-      out << "infeasible: utilization " << utilization << " > 1";
+      std::snprintf(buffer, sizeof buffer,
+                    "infeasible: utilization %.6g > 1", utilization);
       break;
     case InfeasibleReason::kDemandExceeded:
-      out << "infeasible: demand " << violation_demand.value_or(0) << " > t="
-          << violation_time.value_or(0);
+      std::snprintf(
+          buffer, sizeof buffer, "infeasible: demand %llu > t=%llu",
+          static_cast<unsigned long long>(violation_demand.value_or(0)),
+          static_cast<unsigned long long>(violation_time.value_or(0)));
       break;
     case InfeasibleReason::kNone:
-      out << "infeasible: (unspecified)";
+      std::snprintf(buffer, sizeof buffer, "infeasible: (unspecified)");
       break;
   }
-  return out.str();
+  return buffer;
 }
 
 }  // namespace rtether::edf

@@ -17,9 +17,11 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 #include "edf/task_set.hpp"
+#include "edf/utilization.hpp"
 
 namespace rtether::edf {
 
@@ -75,5 +77,109 @@ struct FeasibilityReport {
 /// Convenience: true iff `check_feasibility(set, scan).feasible`.
 [[nodiscard]] bool is_feasible(const TaskSet& set,
                                DemandScan scan = DemandScan::kCheckpoints);
+
+/// Incremental per-link scan state for high-throughput admission.
+///
+/// `check_feasibility` re-derives everything from scratch: the checkpoint
+/// grid is regenerated and sorted, and the demand h(n, t) is re-summed over
+/// all n tasks at every instant — O(n · checkpoints) per request, per
+/// candidate. A switch admitting a large batch of channel requests repeats
+/// that work on nearly identical task sets thousands of times.
+///
+/// This cache exploits two structural facts:
+///
+///   1. h(n, t) is a step function that jumps exactly at the checkpoints
+///      (Eq 18.5), so memoizing its value at each cached checkpoint lets a
+///      candidate task x be trial-tested against `set ∪ {x}` by a single
+///      merge-walk: h(set ∪ {x}, t) = cached h(set, t) + h({x}, t), where
+///      the cached value at any instant is a floor lookup. O(checkpoints)
+///      per trial instead of O(n · checkpoints).
+///   2. The grid only ever *grows* as channels are admitted, so it is
+///      computed once per link (and extended incrementally) instead of once
+///      per request; likewise the link's hyperperiod is maintained as a
+///      running lcm.
+///
+/// Decisions are bit-identical to `check_feasibility(set ∪ {x},
+/// kCheckpoints)`: constraint 1 uses the same exact arithmetic (tasks
+/// visited in the same order), the busy-period bound is the same least
+/// fixed point, and the merge-walk visits exactly the deduplicated
+/// checkpoint union in ascending order, reporting the same first violation.
+///
+/// The cache shadows one link direction's TaskSet. Every `TaskSet::add`
+/// must be mirrored by `commit`; any other mutation (release of a channel)
+/// requires `reset`. `check_with` asserts the shadow is in sync.
+class LinkScanCache {
+ public:
+  /// Valid for an empty task set.
+  LinkScanCache() = default;
+
+  /// Rebuilds the cache from the link's current task set (after a teardown
+  /// or when adopting a pre-populated link). Keeps the current horizon.
+  void reset(const TaskSet& set);
+
+  /// Trial-tests `set ∪ {extra}` without mutating anything. Identical
+  /// verdict and diagnostics to `check_feasibility` with kCheckpoints.
+  /// `set` must be the task set this cache shadows; `extra` must be valid.
+  [[nodiscard]] FeasibilityReport check_with(const TaskSet& set,
+                                             const PseudoTask& extra);
+
+  /// Mirrors a `TaskSet::add(task)` on the shadowed set: folds the task's
+  /// demand into every cached checkpoint and merges its own checkpoints in.
+  /// `busy_period_after` — the accepted trial's `scanned_bound`, i.e. the
+  /// busy period of the set including `task` — warm-starts the next trial's
+  /// fixed-point iteration; pass nullopt when unknown (Liu & Layland
+  /// fast-path accepts, where no scan ran).
+  void commit(const PseudoTask& task,
+              std::optional<Slot> busy_period_after = std::nullopt);
+
+  /// Pre-extends the checkpoint grid to `horizon` (batch pre-pass: pay the
+  /// grid generation once per link up front). No-op when already covered.
+  void reserve_horizon(const TaskSet& set, Slot horizon);
+
+  /// Highest instant the cached grid covers.
+  [[nodiscard]] Slot horizon() const { return horizon_; }
+
+  /// Running lcm of the shadowed set's periods; nullopt once it overflows
+  /// 64 bits. Maintained incrementally — never recomputed per request.
+  [[nodiscard]] std::optional<Slot> cached_hyperperiod() const {
+    return hyperperiod_;
+  }
+
+  /// Number of tasks the cache believes the shadowed set holds.
+  [[nodiscard]] std::size_t task_count() const { return task_count_; }
+
+ private:
+  /// Grows the grid to `new_horizon`, generating only the new instants.
+  void extend(const TaskSet& set, Slot new_horizon);
+
+  /// Busy period of `shadowed set ∪ {extra}` — the same least fixed point
+  /// `busy_period_with` computes, but iterated over the per-period workload
+  /// buckets and warm-started from the shadowed set's cached busy period
+  /// (the least fixed point only grows as tasks are added, so starting at
+  /// the old one converges to the identical new one in a step or two).
+  [[nodiscard]] std::optional<Slot> trial_busy_period(
+      const TaskSet& set, const PseudoTask& extra) const;
+
+  /// Checkpoint instants of the shadowed set in [1, horizon_], ascending,
+  /// deduplicated — exactly `checkpoints(set, horizon_)`.
+  std::vector<Slot> points_;
+  /// demand(set, points_[k]) for each cached instant.
+  std::vector<Slot> demands_;
+  Slot horizon_{0};
+  std::size_t task_count_{0};
+  /// Tasks with deadline != period; 0 enables the Liu & Layland fast path.
+  std::size_t non_implicit_{0};
+  std::optional<Slot> hyperperiod_{Slot{1}};
+  /// Exact 128-bit utilization state of the shadowed set: trial tests of
+  /// constraint 1 are O(1) instead of O(n).
+  UtilizationAccumulator utilization_;
+  /// Workload aggregated per distinct period: (P, ΣC of tasks with that P),
+  /// sorted by P. Σ⌈L/P_i⌉·C_i distributes over tasks sharing a period, so
+  /// the busy-period iteration costs O(distinct periods) per step.
+  std::vector<std::pair<Slot, Slot>> period_buckets_;
+  /// Busy period of the shadowed set; nullopt when unknown (after a
+  /// fast-path accept) — the next trial then cold-starts from the backlog.
+  std::optional<Slot> busy_period_{Slot{0}};
+};
 
 }  // namespace rtether::edf

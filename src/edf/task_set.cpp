@@ -29,12 +29,16 @@ bool TaskSet::remove(ChannelId channel) {
   if (it == tasks_.end()) {
     return false;
   }
-  utilization_ -= static_cast<double>(it->capacity) /
-                  static_cast<double>(it->period);
   total_capacity_ -= it->capacity;
   tasks_.erase(it);
-  if (tasks_.empty()) {
-    utilization_ = 0.0;  // cancel accumulated floating-point drift
+  // Re-sum rather than subtract: x + u − u is not always x in IEEE doubles,
+  // and the batch pipeline's reports must match a controller whose set has
+  // churned through tentative add/remove cycles bit for bit. A left-to-right
+  // re-sum equals the incremental accumulation over the same vector exactly.
+  utilization_ = 0.0;
+  for (const auto& t : tasks_) {
+    utilization_ += static_cast<double>(t.capacity) /
+                    static_cast<double>(t.period);
   }
   return true;
 }

@@ -2,8 +2,6 @@
 
 #include <numeric>
 
-#include "common/math.hpp"
-
 namespace rtether::edf {
 
 namespace {
@@ -12,74 +10,112 @@ __extension__ typedef unsigned __int128 UInt128;
 
 constexpr UInt128 kU128Max = ~UInt128{0};
 
-/// Exact accumulation of the fractional parts in 128 bits; false when the
-/// running denominator (lcm of periods) no longer fits.
-bool exact_exceeds_one(const TaskSet& set, bool& exceeded) {
-  std::uint64_t whole = 0;  // tasks with C == P contribute exactly 1
-  UInt128 num = 0;
-  UInt128 den = 1;
-  for (const auto& task : set.tasks()) {
-    whole += task.capacity / task.period;
-    const std::uint64_t cf = task.capacity % task.period;
-    if (cf == 0) continue;
-    const std::uint64_t period = task.period;
-
-    // den' = lcm(den, period); reject on 128-bit overflow.
-    const std::uint64_t g = std::gcd(static_cast<std::uint64_t>(den % period),
-                                     period);
-    const std::uint64_t scale = period / g;
-    if (scale != 0 && den > kU128Max / scale) return false;
-    const UInt128 new_den = den * scale;
-    const UInt128 num_scale = new_den / den;
-    const UInt128 term_scale = new_den / period;
-    if (num != 0 && num_scale != 0 && num > kU128Max / num_scale) {
-      return false;
-    }
-    UInt128 scaled_num = num * num_scale;
-    if (term_scale != 0 && UInt128{cf} > (kU128Max - scaled_num) / term_scale) {
-      return false;
-    }
-    num = scaled_num + UInt128{cf} * term_scale;
-    den = new_den;
-
-    // Peel off whole units to keep num small.
-    if (num >= den) {
-      const UInt128 units = num / den;
-      if (units > 0xffffffffULL) {
-        exceeded = true;  // utilization is absurdly large; decide now
-        return true;
-      }
-      whole += static_cast<std::uint64_t>(units);
-      num %= den;
-    }
-    if (whole > 1 || (whole == 1 && num > 0)) {
-      exceeded = true;
-      return true;
-    }
-  }
-  exceeded = whole > 1 || (whole == 1 && num > 0);
-  return true;
-}
-
-/// Fixed-point upper bound: Σ ⌈C·2³²/P⌉ / 2³² ≥ U, so comparing the sum
-/// against 2³² can only over-report "exceeds".
-bool upper_bound_exceeds_one(const TaskSet& set) {
-  UInt128 upper = 0;
-  for (const auto& task : set.tasks()) {
-    const UInt128 scaled = (UInt128{task.capacity} << 32) + task.period - 1;
-    upper += scaled / task.period;
-  }
-  return upper > (UInt128{1} << 32);
-}
-
 }  // namespace
 
-bool utilization_exceeds_one(const TaskSet& set) {
-  bool exceeded = false;
-  if (exact_exceeds_one(set, exceeded)) {
-    return exceeded;
+void UtilizationAccumulator::advance(ExactState& state,
+                                     const PseudoTask& task) {
+  state.whole += task.capacity / task.period;
+  const std::uint64_t cf = task.capacity % task.period;
+  if (cf == 0) return;
+  const std::uint64_t period = task.period;
+
+  // den' = lcm(den, period); degrade to the fixed-point bound on overflow.
+  const std::uint64_t g =
+      std::gcd(static_cast<std::uint64_t>(state.den % period), period);
+  const std::uint64_t scale = period / g;
+  if (scale != 0 && state.den > kU128Max / scale) {
+    state.valid = false;
+    return;
   }
-  return upper_bound_exceeds_one(set);
+  const UInt128 new_den = state.den * scale;
+  const UInt128 num_scale = new_den / state.den;
+  const UInt128 term_scale = new_den / period;
+  if (state.num != 0 && num_scale != 0 && state.num > kU128Max / num_scale) {
+    state.valid = false;
+    return;
+  }
+  const UInt128 scaled_num = state.num * num_scale;
+  if (term_scale != 0 && UInt128{cf} > (kU128Max - scaled_num) / term_scale) {
+    state.valid = false;
+    return;
+  }
+  state.num = scaled_num + UInt128{cf} * term_scale;
+  state.den = new_den;
+
+  // Peel off whole units to keep num small.
+  if (state.num >= state.den) {
+    const UInt128 units = state.num / state.den;
+    if (units > 0xffffffffULL) {
+      state.exceeded = true;  // utilization is absurdly large; decide now
+      return;
+    }
+    state.whole += static_cast<std::uint64_t>(units);
+    state.num %= state.den;
+  }
+  if (state.whole > 1 || (state.whole == 1 && state.num > 0)) {
+    state.exceeded = true;
+  }
+}
+
+UtilizationAccumulator::UInt128 UtilizationAccumulator::upper_bound_term(
+    const PseudoTask& task) {
+  // ⌈C·2³²/P⌉ ≥ (C/P)·2³², so the sum can only over-report "exceeds".
+  const UInt128 scaled = (UInt128{task.capacity} << 32) + task.period - 1;
+  return scaled / task.period;
+}
+
+bool UtilizationAccumulator::verdict(const ExactState& state, UInt128 upper) {
+  if (!state.valid) {
+    return upper > (UInt128{1} << 32);
+  }
+  if (state.exceeded) {
+    return true;
+  }
+  return state.whole > 1 || (state.whole == 1 && state.num > 0);
+}
+
+void UtilizationAccumulator::reset(const TaskSet& set) {
+  exact_ = ExactState{};
+  upper_sum_ = 0;
+  for (const auto& task : set.tasks()) {
+    add(task);
+  }
+}
+
+void UtilizationAccumulator::add(const PseudoTask& task) {
+  // The fallback sum covers every task; the exact state freezes once it has
+  // either overflowed or already decided "exceeds" — exactly where the
+  // reference one-shot accumulation would have stopped reading the set.
+  upper_sum_ += upper_bound_term(task);
+  if (exact_.valid && !exact_.exceeded) {
+    advance(exact_, task);
+  }
+}
+
+bool UtilizationAccumulator::exceeds_one() const {
+  return verdict(exact_, upper_sum_);
+}
+
+bool UtilizationAccumulator::exceeds_one_with(const PseudoTask& extra) const {
+  if (exact_.valid && !exact_.exceeded) {
+    ExactState trial = exact_;
+    advance(trial, extra);
+    return verdict(trial, upper_sum_ + upper_bound_term(extra));
+  }
+  return verdict(exact_, upper_sum_ + upper_bound_term(extra));
+}
+
+bool utilization_exceeds_one(const TaskSet& set) {
+  UtilizationAccumulator acc;
+  acc.reset(set);
+  return acc.exceeds_one();
+}
+
+bool utilization_exceeds_one_with(const TaskSet& set,
+                                  const PseudoTask& extra) {
+  UtilizationAccumulator acc;
+  acc.reset(set);
+  return acc.exceeds_one_with(extra);
 }
 
 }  // namespace rtether::edf

@@ -22,4 +22,56 @@ namespace rtether::edf {
 /// which can only turn "≤ 1 by a hair" into "exceeds").
 [[nodiscard]] bool utilization_exceeds_one(const TaskSet& set);
 
+/// Same test for `set ∪ {extra}` without materializing the union. The extra
+/// task is accumulated last, exactly as if it had been `add`ed to the set, so
+/// the verdict (including the overflow-fallback path, which is sensitive to
+/// accumulation order) is identical to mutating the set and testing it.
+[[nodiscard]] bool utilization_exceeds_one_with(const TaskSet& set,
+                                                const PseudoTask& extra);
+
+/// Incremental form of the exact test for admission pipelines: keeps the
+/// 128-bit accumulation state of a task set so that testing `set ∪ {extra}`
+/// is O(1) instead of O(n) per trial. Tasks must be `add`ed in the same
+/// order they are added to the mirrored TaskSet; verdicts are then identical
+/// to `utilization_exceeds_one_with` (including the conservative
+/// fixed-point fallback once the running denominator overflows).
+class UtilizationAccumulator {
+ public:
+  UtilizationAccumulator() = default;
+
+  /// Rebuilds the state from scratch (O(n)).
+  void reset(const TaskSet& set);
+
+  /// Folds one more task into the state (mirror of `TaskSet::add`).
+  void add(const PseudoTask& task);
+
+  /// Verdict for the accumulated set alone.
+  [[nodiscard]] bool exceeds_one() const;
+
+  /// Verdict for `accumulated set ∪ {extra}` without mutating the state.
+  [[nodiscard]] bool exceeds_one_with(const PseudoTask& extra) const;
+
+ private:
+  __extension__ using UInt128 = unsigned __int128;
+
+  struct ExactState {
+    bool valid{true};     ///< false once the denominator overflowed 128 bits
+    bool exceeded{false}; ///< decided "exceeds" mid-accumulation
+    std::uint64_t whole{0};
+    UInt128 num{0};
+    UInt128 den{1};
+  };
+
+  /// Advances `state` by one task; mirrors the reference accumulation.
+  static void advance(ExactState& state, const PseudoTask& task);
+
+  [[nodiscard]] static bool verdict(const ExactState& state, UInt128 upper);
+
+  /// Σ ⌈C·2³²/P⌉ — the conservative fallback sum, kept alongside.
+  [[nodiscard]] static UInt128 upper_bound_term(const PseudoTask& task);
+
+  ExactState exact_{};
+  UInt128 upper_sum_{0};
+};
+
 }  // namespace rtether::edf

@@ -28,10 +28,15 @@ std::string fingerprint(const ValidationResult& result) {
                    std::to_string(result.frames_delivered) + "|" +
                    std::to_string(result.best_effort_sent) + "|" +
                    std::to_string(result.best_effort_delivered);
+  // Built up with += rather than operator+ chains: GCC 12's -O3 -Wrestrict
+  // misfires on `"literal" + std::to_string(...)` (GCC PR105651).
   for (const auto& channel : result.channels) {
-    fp += "|" + std::to_string(channel.id.value()) + ":" +
-          std::to_string(channel.frames_delivered) + ":" +
-          std::to_string(channel.worst_delay_slots);
+    fp += "|";
+    fp += std::to_string(channel.id.value());
+    fp += ":";
+    fp += std::to_string(channel.frames_delivered);
+    fp += ":";
+    fp += std::to_string(channel.worst_delay_slots);
   }
   return fp;
 }

@@ -1,0 +1,201 @@
+#include "core/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/partitioner.hpp"
+
+namespace rtether::core {
+namespace {
+
+ChannelSpec spec(std::uint32_t src, std::uint32_t dst, Slot p, Slot c,
+                 Slot d) {
+  return ChannelSpec{NodeId{src}, NodeId{dst}, p, c, d};
+}
+
+/// Randomized request stream with a mix of feasible, borderline and invalid
+/// specs. Constrained deadlines (d < P) keep the demand scan on the slow
+/// path rather than the Liu & Layland shortcut.
+std::vector<ChannelRequest> random_stream(std::uint64_t seed,
+                                          std::size_t count,
+                                          std::uint32_t nodes) {
+  Rng rng(seed);
+  static constexpr Slot kPeriods[] = {40, 60, 80, 100, 150, 200, 300};
+  std::vector<ChannelRequest> requests;
+  requests.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto src = static_cast<std::uint32_t>(rng.index(nodes));
+    auto dst = static_cast<std::uint32_t>(rng.index(nodes));
+    if (dst == src) {
+      dst = (dst + 1) % nodes;
+    }
+    const Slot period = kPeriods[rng.index(std::size(kPeriods))];
+    const Slot capacity = 1 + rng.index(4);
+    // Mostly valid constrained deadlines; ~1/16 structurally invalid.
+    Slot deadline;
+    if (rng.index(16) == 0) {
+      deadline = rng.index(2 * capacity);  // violates d ≥ 2C
+    } else {
+      deadline = 2 * capacity + rng.index(period - 2 * capacity + 1);
+    }
+    requests.push_back(ChannelRequest{spec(src, dst, period, capacity,
+                                           deadline)});
+  }
+  return requests;
+}
+
+/// Drives the same stream through the reference controller (one request at
+/// a time) and the batch engine, and requires identical outcomes: the same
+/// accept/reject pattern, the same channel IDs and partitions, the same
+/// rejection reasons and diagnostic strings.
+void expect_equivalent(std::uint64_t seed, std::size_t count,
+                       std::uint32_t nodes, const std::string& scheme) {
+  const auto requests = random_stream(seed, count, nodes);
+
+  AdmissionController controller(nodes, make_partitioner(scheme));
+  AdmissionEngine engine(nodes, make_partitioner(scheme));
+  const auto batch = engine.admit_batch(requests);
+  ASSERT_EQ(batch.outcomes.size(), requests.size());
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto expected = controller.request(requests[i].spec);
+    const auto& actual = batch.outcomes[i];
+    ASSERT_EQ(expected.has_value(), actual.has_value())
+        << "request " << i << " (" << requests[i].spec.to_string()
+        << "): sequential and batch disagree";
+    if (expected.has_value()) {
+      EXPECT_EQ(expected->id, actual->id) << "request " << i;
+      EXPECT_EQ(expected->partition, actual->partition) << "request " << i;
+    } else {
+      EXPECT_EQ(expected.error().reason, actual.error().reason)
+          << "request " << i;
+      EXPECT_EQ(expected.error().detail, actual.error().detail)
+          << "request " << i;
+    }
+  }
+
+  EXPECT_EQ(engine.state().channel_count(),
+            controller.state().channel_count());
+  EXPECT_EQ(engine.stats().accepted, controller.stats().accepted);
+  EXPECT_EQ(engine.stats().rejected, controller.stats().rejected);
+}
+
+TEST(AdmissionBatch, MatchesSequentialSdpsSmall) {
+  expect_equivalent(1, 200, 4, "SDPS");
+}
+
+TEST(AdmissionBatch, MatchesSequentialSdpsSaturating) {
+  // Few nodes + many requests → links saturate; most of the stream
+  // exercises the rejection path.
+  expect_equivalent(2, 600, 3, "SDPS");
+}
+
+TEST(AdmissionBatch, MatchesSequentialAdps) {
+  // ADPS candidates depend on the evolving link loads, so this also checks
+  // that the engine presents the partitioner with the identical state.
+  expect_equivalent(3, 400, 6, "ADPS");
+}
+
+TEST(AdmissionBatch, MatchesSequentialSearch) {
+  // The search partitioner proposes many candidates per request — stresses
+  // repeated trial tests against the same caches.
+  expect_equivalent(4, 120, 4, "Search");
+}
+
+TEST(AdmissionBatch, MatchesSequentialAcrossSeeds) {
+  for (std::uint64_t seed = 10; seed < 16; ++seed) {
+    expect_equivalent(seed, 250, 5, "ADPS");
+  }
+}
+
+TEST(AdmissionBatch, SingleAdmitMatchesController) {
+  const auto requests = random_stream(21, 300, 4);
+  AdmissionController controller(4, make_partitioner("SDPS"));
+  AdmissionEngine engine(4, make_partitioner("SDPS"));
+  for (const auto& request : requests) {
+    const auto expected = controller.request(request.spec);
+    const auto actual = engine.admit(request.spec);
+    ASSERT_EQ(expected.has_value(), actual.has_value());
+    if (expected.has_value()) {
+      EXPECT_EQ(expected->id, actual->id);
+      EXPECT_EQ(expected->partition, actual->partition);
+    }
+  }
+}
+
+TEST(AdmissionBatch, ReleaseRebuildsCachesAndStaysEquivalent) {
+  const auto first = random_stream(31, 150, 4);
+  const auto second = random_stream(32, 150, 4);
+
+  AdmissionController controller(4, make_partitioner("ADPS"));
+  AdmissionEngine engine(4, make_partitioner("ADPS"));
+
+  std::vector<ChannelId> admitted;
+  const auto batch1 = engine.admit_batch(first);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    const auto expected = controller.request(first[i].spec);
+    ASSERT_EQ(expected.has_value(), batch1.outcomes[i].has_value());
+    if (expected.has_value()) {
+      admitted.push_back(expected->id);
+    }
+  }
+
+  // Tear down every other admitted channel on both sides.
+  for (std::size_t i = 0; i < admitted.size(); i += 2) {
+    EXPECT_TRUE(controller.release(admitted[i]));
+    EXPECT_TRUE(engine.release(admitted[i]));
+  }
+
+  // A second batch over the mutated state must still match.
+  const auto batch2 = engine.admit_batch(second);
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    const auto expected = controller.request(second[i].spec);
+    ASSERT_EQ(expected.has_value(), batch2.outcomes[i].has_value())
+        << "post-release request " << i;
+    if (expected.has_value()) {
+      EXPECT_EQ(expected->id, batch2.outcomes[i]->id);
+      EXPECT_EQ(expected->partition, batch2.outcomes[i]->partition);
+    }
+  }
+}
+
+TEST(AdmissionBatch, NonCheckpointScanFallsBackAndMatches) {
+  const auto requests = random_stream(41, 80, 3);
+  AdmissionConfig config;
+  config.scan = edf::DemandScan::kEverySlot;
+  AdmissionController controller(3, make_partitioner("SDPS"), config);
+  AdmissionEngine engine(3, make_partitioner("SDPS"), config);
+  const auto batch = engine.admit_batch(requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto expected = controller.request(requests[i].spec);
+    ASSERT_EQ(expected.has_value(), batch.outcomes[i].has_value());
+  }
+}
+
+TEST(AdmissionBatch, EmptyBatch) {
+  AdmissionEngine engine(2, make_partitioner("SDPS"));
+  const auto result = engine.admit_batch({});
+  EXPECT_TRUE(result.outcomes.empty());
+  EXPECT_EQ(result.accepted(), 0u);
+  EXPECT_EQ(result.rejected(), 0u);
+}
+
+TEST(AdmissionBatch, BatchResultCounts) {
+  AdmissionEngine engine(4, make_partitioner("SDPS"));
+  const std::vector<ChannelRequest> requests = {
+      ChannelRequest{spec(0, 1, 100, 3, 40)},
+      ChannelRequest{spec(0, 1, 100, 3, 5)},  // invalid: d < 2C
+      ChannelRequest{spec(1, 2, 100, 3, 40)},
+  };
+  const auto result = engine.admit_batch(requests);
+  EXPECT_EQ(result.accepted(), 2u);
+  EXPECT_EQ(result.rejected(), 1u);
+  EXPECT_EQ(engine.state().channel_count(), 2u);
+}
+
+}  // namespace
+}  // namespace rtether::core

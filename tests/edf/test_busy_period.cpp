@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/random.hpp"
+
 namespace rtether::edf {
 namespace {
 
@@ -77,6 +79,32 @@ TEST(BusyPeriod, PaperOperatingPoint) {
     set.add(task(i, 100, 3, 20));
   }
   EXPECT_EQ(busy_period(set), 18u);
+}
+
+
+TEST(BusyPeriodWith, MatchesMutatedSetOnRandomSets) {
+  // busy_period_with(set, x) must equal busy_period of the set with x added
+  // — the incremental admission path relies on this identity.
+  rtether::Rng rng(5);
+  static constexpr Slot kPeriods[] = {8, 12, 40, 60, 100, 150};
+  for (int trial = 0; trial < 200; ++trial) {
+    TaskSet set;
+    const auto size = rng.index(12);
+    for (std::uint16_t i = 0; i < size; ++i) {
+      const Slot p = kPeriods[rng.index(std::size(kPeriods))];
+      const Slot c = 1 + rng.index(3);
+      set.add(task(static_cast<std::uint16_t>(i + 1), p, c,
+                   c + rng.index(p - c + 1)));
+    }
+    const Slot p = kPeriods[rng.index(std::size(kPeriods))];
+    const Slot c = 1 + rng.index(3);
+    const PseudoTask extra =
+        task(999, p, c, c + rng.index(p - c + 1));
+
+    const auto incremental = busy_period_with(set, extra);
+    set.add(extra);
+    EXPECT_EQ(incremental, busy_period(set)) << "trial " << trial;
+  }
 }
 
 }  // namespace

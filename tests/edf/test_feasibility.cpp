@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
+
+#include "common/random.hpp"
+
 namespace rtether::edf {
 namespace {
 
@@ -172,6 +177,99 @@ TEST(Feasibility, ScannedBoundIsBusyPeriod) {
   const auto report = check_feasibility(set, DemandScan::kEverySlot);
   EXPECT_TRUE(report.feasible);
   EXPECT_EQ(report.scanned_bound, 8u);  // busy period = C1 + C2
+}
+
+
+/// Drives a LinkScanCache through a random add sequence, checking after
+/// every step that its trial verdicts (and diagnostics) are bit-identical
+/// to the from-scratch checkpoint scan on the would-be task set.
+TEST(LinkScanCache, TrialsMatchFreshCheckpointScan) {
+  rtether::Rng rng(29);
+  static constexpr Slot kPeriods[] = {40, 60, 80, 100, 150};
+  for (int trial = 0; trial < 30; ++trial) {
+    TaskSet set;
+    LinkScanCache cache;
+    std::uint16_t next_id = 1;
+    for (int step = 0; step < 25; ++step) {
+      const Slot p = kPeriods[rng.index(std::size(kPeriods))];
+      const Slot c = 1 + rng.index(4);
+      // Mostly constrained deadlines; occasionally implicit (d == P) so the
+      // Liu & Layland fast path is exercised too.
+      const Slot d =
+          rng.index(5) == 0 ? p : std::min(p, c + rng.index(2 * p));
+      const PseudoTask candidate{ChannelId(next_id), p, c, d};
+
+      auto incremental = cache.check_with(set, candidate);
+
+      TaskSet grown = set;
+      grown.add(candidate);
+      const auto fresh = check_feasibility(grown, DemandScan::kCheckpoints);
+
+      ASSERT_EQ(incremental.feasible, fresh.feasible)
+          << "trial " << trial << " step " << step;
+      EXPECT_EQ(incremental.reason, fresh.reason);
+      EXPECT_EQ(incremental.utilization, fresh.utilization);
+      EXPECT_EQ(incremental.violation_time, fresh.violation_time);
+      EXPECT_EQ(incremental.violation_demand, fresh.violation_demand);
+      EXPECT_EQ(incremental.scanned_bound, fresh.scanned_bound);
+      EXPECT_EQ(incremental.demand_evaluations, fresh.demand_evaluations);
+      EXPECT_EQ(incremental.used_utilization_fast_path,
+                fresh.used_utilization_fast_path);
+      EXPECT_EQ(incremental.summary(), fresh.summary());
+
+      if (incremental.feasible) {
+        set.add(candidate);
+        cache.commit(candidate,
+                     incremental.used_utilization_fast_path
+                         ? std::nullopt
+                         : std::optional<Slot>(incremental.scanned_bound));
+        ++next_id;
+      }
+    }
+  }
+}
+
+TEST(LinkScanCache, ResetAdoptsExistingSet) {
+  TaskSet set;
+  set.add(PseudoTask{ChannelId(1), 100, 3, 40});
+  set.add(PseudoTask{ChannelId(2), 60, 2, 30});
+  LinkScanCache cache;
+  cache.reset(set);
+  const PseudoTask probe{ChannelId(3), 80, 4, 20};
+  const auto incremental = cache.check_with(set, probe);
+  TaskSet grown = set;
+  grown.add(probe);
+  const auto fresh = check_feasibility(grown, DemandScan::kCheckpoints);
+  EXPECT_EQ(incremental.feasible, fresh.feasible);
+  EXPECT_EQ(incremental.summary(), fresh.summary());
+}
+
+TEST(LinkScanCache, ReserveHorizonDoesNotChangeVerdicts) {
+  TaskSet set;
+  LinkScanCache cache;
+  cache.reserve_horizon(set, 5'000);
+  EXPECT_EQ(cache.horizon(), 5'000u);
+  const PseudoTask probe{ChannelId(1), 100, 3, 40};
+  const auto report = cache.check_with(set, probe);
+  TaskSet grown;
+  grown.add(probe);
+  const auto fresh = check_feasibility(grown, DemandScan::kCheckpoints);
+  EXPECT_EQ(report.feasible, fresh.feasible);
+  EXPECT_EQ(report.violation_time, fresh.violation_time);
+}
+
+TEST(LinkScanCache, CachedHyperperiodIsRunningLcm) {
+  TaskSet set;
+  LinkScanCache cache;
+  ASSERT_TRUE(cache.cached_hyperperiod().has_value());
+  EXPECT_EQ(*cache.cached_hyperperiod(), 1u);
+  const PseudoTask a{ChannelId(1), 40, 2, 20};
+  const PseudoTask b{ChannelId(2), 60, 2, 30};
+  set.add(a);
+  cache.commit(a);
+  set.add(b);
+  cache.commit(b);
+  EXPECT_EQ(*cache.cached_hyperperiod(), 120u);
 }
 
 }  // namespace

@@ -120,5 +120,73 @@ TEST(Utilization, CrossValidatedAgainstExactRationalForSmallSets) {
   }
 }
 
+
+TEST(UtilizationWith, MatchesMutatedSetOnRandomSets) {
+  Rng rng(17);
+  static constexpr Slot kPeriods[] = {2, 3, 6, 40, 100, 1000};
+  for (int trial = 0; trial < 300; ++trial) {
+    TaskSet set;
+    const auto size = rng.index(10);
+    for (std::uint16_t i = 0; i < size; ++i) {
+      const Slot p = kPeriods[rng.index(std::size(kPeriods))];
+      const Slot c = 1 + rng.index(p);
+      set.add(task(static_cast<std::uint16_t>(i + 1), p, c, p));
+    }
+    const Slot p = kPeriods[rng.index(std::size(kPeriods))];
+    const Slot c = 1 + rng.index(p);
+    const PseudoTask extra = task(999, p, c, p);
+
+    const bool incremental = utilization_exceeds_one_with(set, extra);
+    set.add(extra);
+    EXPECT_EQ(incremental, utilization_exceeds_one(set)) << "trial " << trial;
+  }
+}
+
+TEST(UtilizationAccumulator, TracksOneShotTestAcrossAdds) {
+  // The accumulator must agree with the one-shot test after every add, and
+  // its O(1) trial must agree with the _with variant.
+  Rng rng(23);
+  static constexpr Slot kPeriods[] = {2, 3, 6, 7, 11, 100};
+  TaskSet set;
+  UtilizationAccumulator acc;
+  for (std::uint16_t i = 1; i <= 40; ++i) {
+    const Slot p = kPeriods[rng.index(std::size(kPeriods))];
+    const Slot c = 1 + rng.index(p);
+    const PseudoTask next = task(i, p, c, p);
+
+    EXPECT_EQ(acc.exceeds_one_with(next),
+              utilization_exceeds_one_with(set, next))
+        << "task " << i;
+    set.add(next);
+    acc.add(next);
+    EXPECT_EQ(acc.exceeds_one(), utilization_exceeds_one(set)) << "task " << i;
+  }
+}
+
+TEST(UtilizationAccumulator, ExactBoundary) {
+  // 1/2 + 1/3 + 1/6 = 1 exactly: not exceeding, but any further task is.
+  UtilizationAccumulator acc;
+  acc.add(task(1, 2, 1, 2));
+  acc.add(task(2, 3, 1, 3));
+  acc.add(task(3, 6, 1, 6));
+  EXPECT_FALSE(acc.exceeds_one());
+  EXPECT_TRUE(acc.exceeds_one_with(task(4, 1000, 1, 1000)));
+}
+
+TEST(UtilizationAccumulator, ResetMatchesIncrementalBuild) {
+  TaskSet set;
+  set.add(task(1, 7, 3, 7));
+  set.add(task(2, 11, 4, 11));
+  UtilizationAccumulator from_reset;
+  from_reset.reset(set);
+  UtilizationAccumulator from_adds;
+  from_adds.add(task(1, 7, 3, 7));
+  from_adds.add(task(2, 11, 4, 11));
+  const PseudoTask probe = task(3, 13, 6, 13);
+  EXPECT_EQ(from_reset.exceeds_one(), from_adds.exceeds_one());
+  EXPECT_EQ(from_reset.exceeds_one_with(probe),
+            from_adds.exceeds_one_with(probe));
+}
+
 }  // namespace
 }  // namespace rtether::edf
