@@ -115,7 +115,10 @@ int main() {
                                 network.config().slots_to_ticks(2'000));
   for (auto& sender : senders) sender->stop();
   for (auto& source : diag_sources) source->stop();
-  network.simulator().run_all();
+  if (!network.simulator().run_all()) {
+    std::fprintf(stderr, "simulation exceeded its event budget\n");
+    return 1;
+  }
 
   // --- Report -------------------------------------------------------------
   std::puts("factory cell report (4 sensors -> controller -> 2 actuators):");

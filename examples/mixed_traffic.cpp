@@ -48,7 +48,10 @@ int main() {
   control_sender.stop();
   feedback_sender.stop();
   for (auto& source : background) source->stop();
-  network.simulator().run_all();
+  if (!network.simulator().run_all()) {
+    std::fprintf(stderr, "simulation exceeded its event budget\n");
+    return 1;
+  }
 
   const double tps = static_cast<double>(network.config().ticks_per_slot);
   for (const auto& [name, channel] :

@@ -51,7 +51,10 @@ int main() {
   network.simulator().run_until(network.now() +
                                 network.config().slots_to_ticks(1'000));
   sender.stop();
-  network.simulator().run_all();
+  if (!network.simulator().run_all()) {
+    std::fprintf(stderr, "simulation exceeded its event budget\n");
+    return 1;
+  }
 
   const auto stats = network.stats().channel(channel->id);
   std::printf("messages sent: %llu, frames received: %llu\n",

@@ -1,0 +1,221 @@
+#include "common/json_writer.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace rtether {
+
+void JsonWriter::begin_value() {
+  RTETHER_ASSERT_MSG(!root_closed_, "JsonWriter: document already complete");
+  if (scopes_.empty()) {
+    return;  // document root
+  }
+  if (scopes_.back() == Scope::kObject) {
+    RTETHER_ASSERT_MSG(key_pending_,
+                       "JsonWriter: object member needs a key first");
+    key_pending_ = false;
+    return;  // `key` already wrote the separator and the colon
+  }
+  if (has_element_.back()) {
+    out_ += ',';
+  }
+  has_element_.back() = true;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  RTETHER_ASSERT_MSG(!scopes_.empty() && scopes_.back() == Scope::kObject,
+                     "JsonWriter: key outside an object");
+  RTETHER_ASSERT_MSG(!key_pending_, "JsonWriter: key after key");
+  if (has_element_.back()) {
+    out_ += ',';
+  }
+  has_element_.back() = true;
+  out_ += '"';
+  append_escaped(name);
+  out_ += "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  begin_value();
+  scopes_.push_back(Scope::kObject);
+  has_element_.push_back(false);
+  out_ += '{';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  RTETHER_ASSERT_MSG(!scopes_.empty() && scopes_.back() == Scope::kObject,
+                     "JsonWriter: end_object without begin_object");
+  RTETHER_ASSERT_MSG(!key_pending_, "JsonWriter: dangling key");
+  scopes_.pop_back();
+  has_element_.pop_back();
+  out_ += '}';
+  if (scopes_.empty()) {
+    root_closed_ = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  begin_value();
+  scopes_.push_back(Scope::kArray);
+  has_element_.push_back(false);
+  out_ += '[';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  RTETHER_ASSERT_MSG(!scopes_.empty() && scopes_.back() == Scope::kArray,
+                     "JsonWriter: end_array without begin_array");
+  scopes_.pop_back();
+  has_element_.pop_back();
+  out_ += ']';
+  if (scopes_.empty()) {
+    root_closed_ = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  begin_value();
+  out_ += '"';
+  append_escaped(text);
+  out_ += '"';
+  if (scopes_.empty()) {
+    root_closed_ = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string_view(text));
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  // JSON has no NaN/Infinity; emitting null is the conventional fallback.
+  if (!std::isfinite(number)) {
+    return null();
+  }
+  begin_value();
+  char buffer[32];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof buffer, number);
+  RTETHER_ASSERT(ec == std::errc{});
+  out_.append(buffer, end);
+  if (scopes_.empty()) {
+    root_closed_ = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  begin_value();
+  char buffer[24];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof buffer, number);
+  RTETHER_ASSERT(ec == std::errc{});
+  out_.append(buffer, end);
+  if (scopes_.empty()) {
+    root_closed_ = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  begin_value();
+  char buffer[24];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof buffer, number);
+  RTETHER_ASSERT(ec == std::errc{});
+  out_.append(buffer, end);
+  if (scopes_.empty()) {
+    root_closed_ = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int number) {
+  return value(static_cast<std::int64_t>(number));
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  begin_value();
+  out_ += flag ? "true" : "false";
+  if (scopes_.empty()) {
+    root_closed_ = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  begin_value();
+  out_ += "null";
+  if (scopes_.empty()) {
+    root_closed_ = true;
+  }
+  return *this;
+}
+
+void JsonWriter::append_escaped(std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\b':
+        out_ += "\\b";
+        break;
+      case '\f':
+        out_ += "\\f";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out_ += buffer;
+        } else {
+          out_ += c;  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+}
+
+bool JsonWriter::complete() const { return root_closed_; }
+
+const std::string& JsonWriter::str() const {
+  RTETHER_ASSERT_MSG(root_closed_, "JsonWriter: document not complete");
+  return out_;
+}
+
+bool JsonWriter::write_file(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return false;
+  }
+  const std::string& doc = str();
+  const bool body_ok = std::fwrite(doc.data(), 1, doc.size(), file) ==
+                       doc.size();
+  const bool newline_ok = std::fputc('\n', file) != EOF;
+  const bool close_ok = std::fclose(file) == 0;
+  return body_ok && newline_ok && close_ok;
+}
+
+}  // namespace rtether

@@ -1,0 +1,78 @@
+#pragma once
+
+/// @file json_writer.hpp
+/// A small streaming JSON writer for machine-readable bench and report
+/// output. Benches used to print human tables only; CI wants a stable,
+/// parseable artifact (BENCH_*.json) so the perf trajectory of the repo can
+/// be recorded per commit. The writer emits strict JSON: UTF-8 pass-through
+/// strings with the mandatory escapes, shortest-round-trip doubles
+/// (std::to_chars), and no trailing commas. Misuse (value without a key
+/// inside an object, unbalanced end_*) trips an assert rather than emitting
+/// malformed output.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtether {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  // Containers. The first begin_* call opens the document root; the writer
+  // is `complete()` once that root closes.
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be directly inside an object and must be
+  /// followed by exactly one value or container.
+  JsonWriter& key(std::string_view name);
+
+  // Scalar values (as array elements or after `key`).
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// Convenience: `key(name).value(v)`.
+  template <typename T>
+  JsonWriter& member(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// True once the root container has been closed.
+  [[nodiscard]] bool complete() const;
+
+  /// The document so far; asserts `complete()`.
+  [[nodiscard]] const std::string& str() const;
+
+  /// Writes the completed document (plus trailing newline) to `path`;
+  /// false on I/O failure.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+
+  /// Comma/colon bookkeeping shared by every emission.
+  void begin_value();
+
+  void append_escaped(std::string_view text);
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  /// Whether the current container already holds at least one element.
+  std::vector<bool> has_element_;
+  bool key_pending_{false};
+  bool root_closed_{false};
+};
+
+}  // namespace rtether

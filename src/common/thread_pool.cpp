@@ -1,0 +1,125 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <memory>
+
+#include "common/assert.hpp"
+
+namespace rtether {
+
+ThreadPool::ThreadPool(unsigned thread_count) {
+  workers_.reserve(thread_count);
+  for (unsigned i = 0; i < thread_count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) {
+        return;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+      if (running_ == 0 && queue_.empty()) {
+        idle_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  RTETHER_ASSERT_MSG(!workers_.empty(),
+                     "submit on a zero-thread pool would never run");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void ThreadPool::parallel_for_shards(
+    std::size_t shard_count, const std::function<void(std::size_t)>& shard) {
+  if (shard_count == 0) {
+    return;
+  }
+  if (workers_.empty() || shard_count == 1) {
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      shard(i);
+    }
+    return;
+  }
+
+  // Dynamic claiming: each helper job pulls the next unclaimed shard index
+  // until none remain, so a pool of W workers balances N shards of uneven
+  // size. Completion is tracked per *shard* (not per job) — the caller may
+  // only return once every `shard(i)` call has finished.
+  struct ForkJoin {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::mutex mutex;
+    std::condition_variable done;
+  };
+  auto state = std::make_shared<ForkJoin>();
+
+  const std::size_t helpers = std::min<std::size_t>(workers_.size(),
+                                                    shard_count);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    // `shard` is captured by reference: the caller blocks below until every
+    // shard completed, so the callable outlives all uses. `state` is shared
+    // so a helper that wakes up late (all shards already claimed) still has
+    // somewhere safe to look.
+    submit([state, shard_count, &shard] {
+      for (;;) {
+        const std::size_t i =
+            state->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= shard_count) {
+          return;
+        }
+        shard(i);
+        const std::size_t finished =
+            state->completed.fetch_add(1, std::memory_order_acq_rel) + 1;
+        if (finished == shard_count) {
+          // Lock before notifying so the caller cannot miss the signal
+          // between its predicate check and its wait.
+          std::lock_guard<std::mutex> lock(state->mutex);
+          state->done.notify_all();
+        }
+      }
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&] {
+    return state->completed.load(std::memory_order_acquire) == shard_count;
+  });
+}
+
+}  // namespace rtether

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/math.hpp"
+#include "core/admission_internal.hpp"
 
 namespace rtether::core {
 
@@ -35,7 +36,7 @@ AdmissionController::AdmissionController(
                      "system cannot operate without one)");
 }
 
-namespace {
+namespace admission_internal {
 
 std::string link_rejection_detail(const char* side, NodeId node,
                                   const edf::FeasibilityReport& report) {
@@ -45,6 +46,86 @@ std::string link_rejection_detail(const char* side, NodeId node,
   detail += report.summary();
   return detail;
 }
+
+std::string invalid_spec_detail(const ChannelSpec& spec) {
+  std::ostringstream detail;
+  detail << spec.to_string() << " is invalid";
+  if (spec.period > 0 && spec.capacity > 0 &&
+      spec.deadline < 2 * spec.capacity) {
+    detail << " (d < 2C cannot be EDF-feasible through a store-and-forward"
+              " switch)";
+  }
+  return detail.str();
+}
+
+bool cached_candidate_test(NetworkState& state,
+                           edf::LinkScanCache& uplink_cache,
+                           edf::LinkScanCache& downlink_cache,
+                           AdmissionStats& stats, const ChannelSpec& spec,
+                           ChannelId id, const DeadlinePartition& partition,
+                           RejectReason& reason, std::string& detail) {
+  const edf::PseudoTask uplink_task{id, spec.period, spec.capacity,
+                                    partition.uplink};
+  const edf::PseudoTask downlink_task{id, spec.period, spec.capacity,
+                                      partition.downlink};
+  const edf::TaskSet& uplink_set =
+      state.link(spec.source, LinkDirection::kUplink);
+  const edf::TaskSet& downlink_set =
+      state.link(spec.destination, LinkDirection::kDownlink);
+
+  // `check_with` is const — a trial whose busy period outruns the cached
+  // horizon answers from stack scratch. Fold that range into the grid right
+  // after, so the next trial at this bound is a pure merge-walk again. The
+  // fold regenerates the scratch instants once more; that doubles a cost
+  // paid only when the horizon actually grows (amortized rare — the grid
+  // only ever extends), a deliberate trade for a side-effect-free trial
+  // API that shard workers can share.
+  auto memoize = [](edf::LinkScanCache& cache, const edf::TaskSet& set,
+                    const edf::FeasibilityReport& report) {
+    if (report.scanned_bound > cache.horizon()) {
+      cache.reserve_horizon(set, report.scanned_bound);
+    }
+  };
+
+  ++stats.feasibility_tests;
+  const auto uplink_report = uplink_cache.check_with(uplink_set, uplink_task);
+  stats.demand_evaluations += uplink_report.demand_evaluations;
+  memoize(uplink_cache, uplink_set, uplink_report);
+  if (!uplink_report.feasible) {
+    reason = RejectReason::kUplinkInfeasible;
+    detail = link_rejection_detail("uplink of node", spec.source,
+                                   uplink_report);
+    return false;
+  }
+
+  ++stats.feasibility_tests;
+  const auto downlink_report =
+      downlink_cache.check_with(downlink_set, downlink_task);
+  stats.demand_evaluations += downlink_report.demand_evaluations;
+  memoize(downlink_cache, downlink_set, downlink_report);
+  if (!downlink_report.feasible) {
+    reason = RejectReason::kDownlinkInfeasible;
+    detail = link_rejection_detail("downlink of node", spec.destination,
+                                   downlink_report);
+    return false;
+  }
+
+  state.add_channel(RtChannel{id, spec, partition});
+  // A scanned accept's bound *is* the link's new busy period — hand it to
+  // the cache so the next trial's fixed point starts there.
+  auto committed_bp = [](const edf::FeasibilityReport& report) {
+    return report.used_utilization_fast_path
+               ? std::nullopt
+               : std::optional<Slot>(report.scanned_bound);
+  };
+  uplink_cache.commit(uplink_task, committed_bp(uplink_report));
+  downlink_cache.commit(downlink_task, committed_bp(downlink_report));
+  return true;
+}
+
+}  // namespace admission_internal
+
+namespace {
 
 /// Shared admission scaffolding: spec validation, node checks, ID
 /// allocation and the DPS-candidate loop. `try_candidate(id, partition,
@@ -65,14 +146,8 @@ Expected<RtChannel, Rejection> admission_flow(
   };
 
   if (!spec.valid()) {
-    std::ostringstream detail;
-    detail << spec.to_string() << " is invalid";
-    if (spec.period > 0 && spec.capacity > 0 &&
-        spec.deadline < 2 * spec.capacity) {
-      detail << " (d < 2C cannot be EDF-feasible through a store-and-forward"
-                " switch)";
-    }
-    return reject(RejectReason::kInvalidSpec, detail.str());
+    return reject(RejectReason::kInvalidSpec,
+                  admission_internal::invalid_spec_detail(spec));
   }
   if (!state.node_exists(spec.source) ||
       !state.node_exists(spec.destination)) {
@@ -118,8 +193,8 @@ bool tentative_candidate_test(NetworkState& state, AdmissionStats& stats,
   if (!uplink_report.feasible) {
     state.remove_channel(id);
     reason = RejectReason::kUplinkInfeasible;
-    detail = link_rejection_detail("uplink of node", spec.source,
-                                   uplink_report);
+    detail = admission_internal::link_rejection_detail(
+        "uplink of node", spec.source, uplink_report);
     return false;
   }
   ++stats.feasibility_tests;
@@ -129,8 +204,8 @@ bool tentative_candidate_test(NetworkState& state, AdmissionStats& stats,
   if (!downlink_report.feasible) {
     state.remove_channel(id);
     reason = RejectReason::kDownlinkInfeasible;
-    detail = link_rejection_detail("downlink of node", spec.destination,
-                                   downlink_report);
+    detail = admission_internal::link_rejection_detail(
+        "downlink of node", spec.destination, downlink_report);
     return false;
   }
   return true;
@@ -201,49 +276,11 @@ Expected<RtChannel, Rejection> AdmissionEngine::admit_one(
   return admission_flow(
       state_, *partitioner_, ids_, stats_, spec,
       [&](ChannelId id, const DeadlinePartition& partition,
-          RejectReason& reason, std::string& detail) {
-        const edf::PseudoTask uplink_task{id, spec.period, spec.capacity,
-                                          partition.uplink};
-        const edf::PseudoTask downlink_task{id, spec.period, spec.capacity,
-                                            partition.downlink};
-        auto& uplink_cache = cache(spec.source, LinkDirection::kUplink);
-        auto& downlink_cache =
-            cache(spec.destination, LinkDirection::kDownlink);
-
-        ++stats_.feasibility_tests;
-        const auto uplink_report = uplink_cache.check_with(
-            state_.link(spec.source, LinkDirection::kUplink), uplink_task);
-        stats_.demand_evaluations += uplink_report.demand_evaluations;
-        if (!uplink_report.feasible) {
-          reason = RejectReason::kUplinkInfeasible;
-          detail = link_rejection_detail("uplink of node", spec.source,
-                                         uplink_report);
-          return false;
-        }
-
-        ++stats_.feasibility_tests;
-        const auto downlink_report = downlink_cache.check_with(
-            state_.link(spec.destination, LinkDirection::kDownlink),
-            downlink_task);
-        stats_.demand_evaluations += downlink_report.demand_evaluations;
-        if (!downlink_report.feasible) {
-          reason = RejectReason::kDownlinkInfeasible;
-          detail = link_rejection_detail("downlink of node", spec.destination,
-                                         downlink_report);
-          return false;
-        }
-
-        state_.add_channel(RtChannel{id, spec, partition});
-        // A scanned accept's bound *is* the link's new busy period — hand it
-        // to the cache so the next trial's fixed point starts there.
-        auto committed_bp = [](const edf::FeasibilityReport& report) {
-          return report.used_utilization_fast_path
-                     ? std::nullopt
-                     : std::optional<Slot>(report.scanned_bound);
-        };
-        uplink_cache.commit(uplink_task, committed_bp(uplink_report));
-        downlink_cache.commit(downlink_task, committed_bp(downlink_report));
-        return true;
+          RejectReason& reason, std::string& why) {
+        return admission_internal::cached_candidate_test(
+            state_, cache(spec.source, LinkDirection::kUplink),
+            cache(spec.destination, LinkDirection::kDownlink), stats_, spec,
+            id, partition, reason, why);
       });
 }
 
@@ -312,6 +349,30 @@ constexpr Slot kMaxReserveHorizon = Slot{1} << 22;
 
 }  // namespace
 
+namespace admission_internal {
+
+void reserve_link_horizon(const edf::TaskSet& set, edf::LinkScanCache& cache,
+                          const std::vector<ChannelSpec>& batch_specs) {
+  // The link's hyperperiod caps any useful horizon: with U ≤ 1 the
+  // synchronous busy period never exceeds it. Computed once per link from
+  // the cache's running lcm plus the batch periods.
+  Slot cap = kMaxReserveHorizon;
+  std::optional<Slot> hp = cache.cached_hyperperiod();
+  for (const auto& spec : batch_specs) {
+    if (!hp) break;
+    hp = checked_lcm(*hp, spec.period);
+  }
+  if (hp && *hp < cap) {
+    cap = *hp;
+  }
+
+  if (const auto horizon = batch_horizon(set, batch_specs, cap)) {
+    cache.reserve_horizon(set, std::min(*horizon, cap));
+  }
+}
+
+}  // namespace admission_internal
+
 void AdmissionEngine::prepare_links(
     std::span<const ChannelRequest> requests) {
   // Sort the batch per link direction (egress downlinks and ingress
@@ -355,25 +416,8 @@ void AdmissionEngine::prepare_links(
     const NodeId node{static_cast<NodeId::rep_type>(key / 2)};
     const LinkDirection dir =
         key % 2 == 0 ? LinkDirection::kUplink : LinkDirection::kDownlink;
-    const edf::TaskSet& set = state_.link(node, dir);
-    auto& link_cache = cache(node, dir);
-
-    // The link's hyperperiod caps any useful horizon: with U ≤ 1 the
-    // synchronous busy period never exceeds it. Computed once per link from
-    // the cache's running lcm plus the batch periods.
-    Slot cap = kMaxReserveHorizon;
-    std::optional<Slot> hp = link_cache.cached_hyperperiod();
-    for (const auto& spec : group) {
-      if (!hp) break;
-      hp = checked_lcm(*hp, spec.period);
-    }
-    if (hp && *hp < cap) {
-      cap = *hp;
-    }
-
-    if (const auto horizon = batch_horizon(set, group, cap)) {
-      link_cache.reserve_horizon(set, std::min(*horizon, cap));
-    }
+    admission_internal::reserve_link_horizon(state_.link(node, dir),
+                                             cache(node, dir), group);
   }
 }
 

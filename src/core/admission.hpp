@@ -172,6 +172,11 @@ class AdmissionEngine {
   /// each touched link's scan cache once.
   void prepare_links(std::span<const ChannelRequest> requests);
 
+  /// The parallel engine wraps this one: it borrows the per-link caches for
+  /// its shard workers and replays accepted decisions through `state_` and
+  /// `ids_` so the sequential and sharded paths share one source of truth.
+  friend class ParallelAdmissionEngine;
+
   NetworkState state_;
   std::unique_ptr<DeadlinePartitioner> partitioner_;
   AdmissionConfig config_;

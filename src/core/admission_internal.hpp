@@ -1,0 +1,51 @@
+#pragma once
+
+/// @file admission_internal.hpp
+/// Admission internals shared between `AdmissionEngine` (the sequential
+/// batched pipeline) and `ParallelAdmissionEngine` (the link-sharded one).
+/// Both must reach bit-identical decisions and diagnostics to the reference
+/// `AdmissionController`, so the candidate trial itself and every rejection
+/// string live in exactly one place. Not part of the public API surface.
+
+#include <string>
+#include <vector>
+
+#include "core/admission.hpp"
+#include "core/channel.hpp"
+#include "core/network_state.hpp"
+#include "edf/feasibility.hpp"
+
+namespace rtether::core::admission_internal {
+
+/// "<spec> is invalid", plus the d < 2C explanation when that is the cause —
+/// exactly the string `AdmissionController::request` rejects with.
+[[nodiscard]] std::string invalid_spec_detail(const ChannelSpec& spec);
+
+/// "<side><node>: <report summary>" — the per-link rejection diagnostic.
+[[nodiscard]] std::string link_rejection_detail(
+    const char* side, NodeId node, const edf::FeasibilityReport& report);
+
+/// The cache-backed candidate trial: test the two pseudo-tasks against the
+/// source uplink and destination downlink via their `LinkScanCache`s, and on
+/// success commit the channel into `state` and both caches. On failure,
+/// fills `reason`/`detail` and leaves state and caches untouched (trials are
+/// const; the grid is re-memoized via `reserve_horizon` so repeated trials
+/// stay O(checkpoints)). `state` may be the engine's real network state or a
+/// worker's shard-local projection — the caches passed in must shadow the
+/// two affected link directions of that same state.
+bool cached_candidate_test(NetworkState& state,
+                           edf::LinkScanCache& uplink_cache,
+                           edf::LinkScanCache& downlink_cache,
+                           AdmissionStats& stats, const ChannelSpec& spec,
+                           ChannelId id, const DeadlinePartition& partition,
+                           RejectReason& reason, std::string& detail);
+
+/// Batch pre-pass for one link direction: sizes the cache's checkpoint grid
+/// once for all of `batch_specs` (busy-period fixed point of set ∪ batch,
+/// capped by the running-lcm hyperperiod), so per-request trials never
+/// extend it piecemeal. `set` is the link's current task set; a no-op when
+/// the aggregate diverges or overflows (lazy extension covers it).
+void reserve_link_horizon(const edf::TaskSet& set, edf::LinkScanCache& cache,
+                          const std::vector<ChannelSpec>& batch_specs);
+
+}  // namespace rtether::core::admission_internal

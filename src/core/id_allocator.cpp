@@ -3,12 +3,12 @@
 namespace rtether::core {
 
 std::optional<ChannelId> ChannelIdAllocator::allocate() {
-  if (live_count_ >= 65535) {
+  if (live_count_ >= kCapacity) {
     return std::nullopt;
   }
   std::uint32_t candidate = next_hint_;
   // At least one free slot exists; wrap at most once.
-  for (std::uint32_t scanned = 0; scanned < 65535; ++scanned) {
+  for (std::uint32_t scanned = 0; scanned < kCapacity; ++scanned) {
     if (candidate > 0xffff) {
       candidate = 1;
     }
@@ -20,7 +20,7 @@ std::optional<ChannelId> ChannelIdAllocator::allocate() {
     }
     ++candidate;
   }
-  return std::nullopt;  // unreachable: live_count_ < 65535
+  return std::nullopt;  // unreachable: live_count_ < kCapacity
 }
 
 bool ChannelIdAllocator::release(ChannelId id) {

@@ -20,6 +20,10 @@ class ChannelIdAllocator {
   /// The reserved invalid ID (0).
   static constexpr ChannelId kInvalid{0};
 
+  /// Maximum simultaneously live channels (all 16-bit IDs minus the
+  /// reserved 0). The parallel engine's ID-headroom guard keys off this.
+  static constexpr std::size_t kCapacity = 65535;
+
   /// Allocates the smallest free non-zero ID; nullopt when all 65535 IDs
   /// are live. Freed IDs are reused smallest-first, which keeps IDs dense —
   /// useful for table-indexed lookups at the switch.
@@ -34,7 +38,7 @@ class ChannelIdAllocator {
 
  private:
   /// live_[v] == true when ID v is allocated. Index 0 never allocated.
-  std::vector<bool> live_ = std::vector<bool>(65536, false);
+  std::vector<bool> live_ = std::vector<bool>(kCapacity + 1, false);
   std::size_t live_count_{0};
   /// Smallest ID that might be free; scan resumes here.
   std::uint32_t next_hint_{1};

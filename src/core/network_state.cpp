@@ -1,5 +1,7 @@
 #include "core/network_state.hpp"
 
+#include <utility>
+
 #include "common/assert.hpp"
 
 namespace rtether::core {
@@ -57,6 +59,11 @@ bool NetworkState::remove_channel(ChannelId id) {
                      "channel registry out of sync with link task sets");
   channels_.erase(it);
   return true;
+}
+
+void NetworkState::adopt_link(NodeId node, LinkDirection dir,
+                              edf::TaskSet tasks) {
+  link_mutable(node, dir) = std::move(tasks);
 }
 
 std::optional<RtChannel> NetworkState::find_channel(ChannelId id) const {

@@ -58,6 +58,16 @@ class NetworkState {
   /// Removes a channel and its pseudo-tasks; false if unknown.
   bool remove_channel(ChannelId id);
 
+  /// Installs a wholesale copy of one link direction's task set — the shard
+  /// projection used by the parallel admission engine. A worker's private
+  /// state mirrors only the links its shard owns, byte-for-byte: task order
+  /// and the accumulated floating-point utilization are preserved exactly,
+  /// so load-weighted partitioners (ADPS/UDPS) see the same numbers they
+  /// would on the full state. The channel registry is NOT updated; a
+  /// projected state answers link-level queries only (`link`, `link_load`,
+  /// `link_utilization`), which is all a `DeadlinePartitioner` reads.
+  void adopt_link(NodeId node, LinkDirection dir, edf::TaskSet tasks);
+
   [[nodiscard]] std::optional<RtChannel> find_channel(ChannelId id) const;
 
   [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }

@@ -1,0 +1,426 @@
+#include "core/parallel_admission.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "core/admission_internal.hpp"
+
+namespace rtether::core {
+
+namespace {
+
+/// Dense key for one link direction: node × 2 + direction. Matches the
+/// batch pre-pass convention in `AdmissionEngine::prepare_links`.
+std::size_t link_key(NodeId node, LinkDirection dir) {
+  return std::size_t{node.value()} * 2 +
+         (dir == LinkDirection::kUplink ? 0 : 1);
+}
+
+NodeId key_node(std::size_t key) {
+  return NodeId{static_cast<NodeId::rep_type>(key / 2)};
+}
+
+LinkDirection key_direction(std::size_t key) {
+  return key % 2 == 0 ? LinkDirection::kUplink : LinkDirection::kDownlink;
+}
+
+/// Union-find over link-direction keys with path halving and union by size.
+/// Each valid request is an edge {source uplink, destination downlink};
+/// the resulting components are the shards.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      parent_[i] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) {
+      return;
+    }
+    if (size_[a] < size_[b]) {
+      std::swap(a, b);
+    }
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+};
+
+/// How the pre-pass classified one request.
+enum class RequestKind : std::uint8_t {
+  kInvalid,  ///< fails ChannelSpec::valid(); rejected at merge
+  kUnknown,  ///< source or destination not in the network; rejected at merge
+  kSharded,  ///< decided by a shard worker
+};
+
+/// One request's verdict as computed by a shard worker. Workers write into
+/// disjoint, pre-sized slots — the only cross-thread hand-off is the
+/// fork-join of the pool itself.
+struct Decision {
+  bool accepted{false};
+  DeadlinePartition partition{};
+  RejectReason reason{RejectReason::kUplinkInfeasible};
+  std::string detail;
+};
+
+}  // namespace
+
+std::size_t ChurnResult::accepted() const {
+  return static_cast<std::size_t>(
+      std::count_if(admissions.begin(), admissions.end(),
+                    [](const auto& outcome) { return outcome.has_value(); }));
+}
+
+std::size_t ChurnResult::rejected() const {
+  return admissions.size() - accepted();
+}
+
+/// Everything one worker needs, owned exclusively for the batch: the shard's
+/// request indices (submission order), its links, a private projection of
+/// the network state covering exactly those links, the engine's per-link
+/// caches (borrowed — moved out and later moved back), and a placeholder
+/// channel ID per request drawn from the allocator's free pool so local
+/// trial commits can never collide with a live ID.
+struct ParallelAdmissionEngine::Shard {
+  std::vector<std::uint32_t> requests;
+  std::vector<std::size_t> links;
+  std::vector<ChannelId> placeholders;
+  std::vector<edf::LinkScanCache> caches;
+  /// Constructed by the worker itself (the projection copies are part of
+  /// the parallel phase, not the sequential prologue).
+  std::optional<NetworkState> local;
+  AdmissionStats stats;
+};
+
+ParallelAdmissionEngine::ParallelAdmissionEngine(
+    std::uint32_t node_count, std::unique_ptr<DeadlinePartitioner> partitioner,
+    ParallelAdmissionConfig config)
+    : engine_(node_count, std::move(partitioner), config.admission),
+      pool_(config.threads != 0
+                ? config.threads
+                : std::max(1u, std::thread::hardware_concurrency())),
+      min_parallel_batch_(config.min_parallel_batch) {}
+
+Expected<RtChannel, Rejection> ParallelAdmissionEngine::admit(
+    const ChannelSpec& spec) {
+  return engine_.admit(spec);
+}
+
+bool ParallelAdmissionEngine::release(ChannelId id) {
+  return engine_.release(id);
+}
+
+BatchResult ParallelAdmissionEngine::admit_batch(
+    std::span<const ChannelRequest> requests) {
+  // Non-checkpoint scans run the reference path; degenerate pools and small
+  // batches would pay more in shard setup than the analysis costs. All of
+  // these fall back to the sequential engine — decisions are identical on
+  // every path, only the wall clock differs.
+  if (engine_.config_.scan != edf::DemandScan::kCheckpoints ||
+      pool_.size() <= 1 || requests.size() < min_parallel_batch_) {
+    last_shard_count_ = requests.empty() ? 0 : 1;
+    return engine_.admit_batch(requests);
+  }
+  return admit_batch_sharded(requests);
+}
+
+BatchResult ParallelAdmissionEngine::admit_batch_sharded(
+    std::span<const ChannelRequest> requests) {
+  const std::uint32_t node_count = engine_.state().node_count();
+  const std::size_t key_space = std::size_t{node_count} * 2;
+
+  // Phase 1a — classify and build the link-conflict graph.
+  std::vector<RequestKind> kind(requests.size());
+  UnionFind components(key_space);
+  std::size_t shardable = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const ChannelSpec& spec = requests[i].spec;
+    if (!spec.valid()) {
+      kind[i] = RequestKind::kInvalid;
+    } else if (!engine_.state().node_exists(spec.source) ||
+               !engine_.state().node_exists(spec.destination)) {
+      kind[i] = RequestKind::kUnknown;
+    } else {
+      kind[i] = RequestKind::kSharded;
+      ++shardable;
+      components.unite(
+          static_cast<std::uint32_t>(
+              link_key(spec.source, LinkDirection::kUplink)),
+          static_cast<std::uint32_t>(
+              link_key(spec.destination, LinkDirection::kDownlink)));
+    }
+  }
+
+  // Channel-ID headroom: the sequential flow rejects with
+  // kChannelIdsExhausted exactly when the allocator runs dry mid-stream,
+  // which depends on global acceptance order — not reproducible shard-
+  // locally. With enough headroom the case cannot arise; without it, the
+  // whole batch takes the sequential path.
+  if (shardable == 0 ||
+      engine_.ids_.live_count() + shardable > ChannelIdAllocator::kCapacity) {
+    last_shard_count_ = 1;
+    return engine_.admit_batch(requests);
+  }
+
+  // Phase 1b — group requests into shards (one per connected component,
+  // submission order preserved by the ascending index walk).
+  std::vector<std::int32_t> shard_of_root(key_space, -1);
+  std::vector<Shard> shards;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (kind[i] != RequestKind::kSharded) {
+      continue;
+    }
+    const ChannelSpec& spec = requests[i].spec;
+    const std::uint32_t root = components.find(static_cast<std::uint32_t>(
+        link_key(spec.source, LinkDirection::kUplink)));
+    if (shard_of_root[root] < 0) {
+      shard_of_root[root] = static_cast<std::int32_t>(shards.size());
+      shards.emplace_back();
+    }
+    shards[static_cast<std::size_t>(shard_of_root[root])].requests.push_back(
+        static_cast<std::uint32_t>(i));
+  }
+
+  if (shards.size() == 1) {
+    // One giant component (e.g. uniform all-to-all traffic): sharding buys
+    // nothing, skip the projection overhead.
+    last_shard_count_ = 1;
+    return engine_.admit_batch(requests);
+  }
+
+  // Phase 1c — per-shard link membership. `slot_of_key` maps a link key to
+  // its index within *its* shard's cache array; keys are partitioned across
+  // shards, so one global table suffices (read-only while workers run).
+  std::vector<std::int32_t> slot_of_key(key_space, -1);
+  for (auto& shard : shards) {
+    for (const std::uint32_t i : shard.requests) {
+      const ChannelSpec& spec = requests[i].spec;
+      for (const std::size_t key :
+           {link_key(spec.source, LinkDirection::kUplink),
+            link_key(spec.destination, LinkDirection::kDownlink)}) {
+        if (slot_of_key[key] < 0) {
+          slot_of_key[key] = static_cast<std::int32_t>(shard.links.size());
+          shard.links.push_back(key);
+        }
+      }
+    }
+  }
+
+  // Phase 1d — placeholder IDs. Trial commits inside a worker install
+  // pseudo-tasks under a temporary channel ID; drawing those from the
+  // allocator's free pool (allocate-then-release keeps the allocator
+  // unchanged) guarantees no collision with live channels or other shards.
+  std::vector<ChannelId> free_ids;
+  free_ids.reserve(shardable);
+  for (std::size_t n = 0; n < shardable; ++n) {
+    const auto id = engine_.ids_.allocate();
+    RTETHER_ASSERT_MSG(id.has_value(), "headroom guard miscounted");
+    free_ids.push_back(*id);
+  }
+  for (const ChannelId id : free_ids) {
+    const bool was_live = engine_.ids_.release(id);
+    RTETHER_ASSERT(was_live);
+  }
+  {
+    std::size_t cursor = 0;
+    for (auto& shard : shards) {
+      shard.placeholders.assign(
+          free_ids.begin() + static_cast<std::ptrdiff_t>(cursor),
+          free_ids.begin() +
+              static_cast<std::ptrdiff_t>(cursor + shard.requests.size()));
+      cursor += shard.requests.size();
+    }
+  }
+
+  // Phase 1e — borrow the engine's caches (cheap vector-swap moves; must
+  // stay sequential because the engine owns them until here).
+  for (auto& shard : shards) {
+    shard.caches.resize(shard.links.size());
+    for (std::size_t slot = 0; slot < shard.links.size(); ++slot) {
+      const std::size_t key = shard.links[slot];
+      shard.caches[slot] =
+          std::move(engine_.cache(key_node(key), key_direction(key)));
+    }
+  }
+
+  // Phase 2 — decide every shard concurrently. Workers touch only their
+  // own shard, their disjoint decision slots, and read-only shared inputs
+  // (requests, slot_of_key, the engine's — frozen — network state, the
+  // stateless partitioner).
+  std::vector<Decision> decisions(requests.size());
+  const DeadlinePartitioner& partitioner = engine_.partitioner();
+  pool_.parallel_for_shards(shards.size(), [&](std::size_t si) {
+    Shard& shard = shards[si];
+
+    // Project the network state: wholesale copies of exactly this shard's
+    // links (task order and accumulated floating-point utilization
+    // preserved), so partitioners and diagnostics observe exactly the
+    // sequential numbers. Done here, not in the prologue — the copies are
+    // part of the parallel phase.
+    shard.local.emplace(engine_.state().node_count());
+    for (const std::size_t key : shard.links) {
+      const NodeId node = key_node(key);
+      const LinkDirection dir = key_direction(key);
+      shard.local->adopt_link(node, dir, engine_.state().link(node, dir));
+    }
+
+    // Per-link batch pre-pass, same as the sequential engine's
+    // prepare_links but scoped (and parallelized) per shard.
+    std::vector<std::vector<ChannelSpec>> groups(shard.links.size());
+    for (const std::uint32_t i : shard.requests) {
+      const ChannelSpec& spec = requests[i].spec;
+      groups[static_cast<std::size_t>(
+                 slot_of_key[link_key(spec.source, LinkDirection::kUplink)])]
+          .push_back(spec);
+      groups[static_cast<std::size_t>(
+                 slot_of_key[link_key(spec.destination,
+                                      LinkDirection::kDownlink)])]
+          .push_back(spec);
+    }
+    for (std::size_t slot = 0; slot < shard.links.size(); ++slot) {
+      const std::size_t key = shard.links[slot];
+      admission_internal::reserve_link_horizon(
+          shard.local->link(key_node(key), key_direction(key)),
+          shard.caches[slot], groups[slot]);
+    }
+
+    // The DPS-candidate loop, identical to `admission_flow`'s (validation
+    // and ID allocation already handled by the pre-pass and merge phases).
+    for (std::size_t k = 0; k < shard.requests.size(); ++k) {
+      const std::uint32_t i = shard.requests[k];
+      const ChannelSpec& spec = requests[i].spec;
+      Decision& out = decisions[i];
+
+      auto& uplink_cache = shard.caches[static_cast<std::size_t>(
+          slot_of_key[link_key(spec.source, LinkDirection::kUplink)])];
+      auto& downlink_cache = shard.caches[static_cast<std::size_t>(
+          slot_of_key[link_key(spec.destination,
+                               LinkDirection::kDownlink)])];
+
+      const auto candidates = partitioner.candidates(spec, *shard.local);
+      RTETHER_ASSERT_MSG(!candidates.empty(), "DPS returned no candidates");
+      RejectReason reason = RejectReason::kUplinkInfeasible;
+      std::string why;
+      for (const auto& partition : candidates) {
+        RTETHER_ASSERT_MSG(partition.satisfies(spec),
+                           "DPS candidate violates Eq 18.8/18.9");
+        if (admission_internal::cached_candidate_test(
+                *shard.local, uplink_cache, downlink_cache, shard.stats, spec,
+                shard.placeholders[k], partition, reason, why)) {
+          out.accepted = true;
+          out.partition = partition;
+          break;
+        }
+      }
+      if (!out.accepted) {
+        out.reason = reason;
+        out.detail = std::move(why);
+      }
+    }
+  });
+
+  // Phase 3 — merge in submission order. Real channel IDs are allocated
+  // here, smallest-free-first over the global accept sequence — exactly the
+  // IDs the sequential controller would have assigned. Rejections for
+  // invalid/unknown specs are materialized with the shared detail builders,
+  // so their strings cannot drift from the sequential path either.
+  BatchResult result;
+  result.outcomes.reserve(requests.size());
+  AdmissionStats& stats = engine_.stats_;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const ChannelSpec& spec = requests[i].spec;
+    ++stats.requested;
+    switch (kind[i]) {
+      case RequestKind::kInvalid:
+        ++stats.rejected;
+        result.outcomes.push_back(Unexpected(
+            Rejection{RejectReason::kInvalidSpec,
+                      admission_internal::invalid_spec_detail(spec)}));
+        break;
+      case RequestKind::kUnknown:
+        ++stats.rejected;
+        result.outcomes.push_back(Unexpected(
+            Rejection{RejectReason::kUnknownNode, spec.to_string()}));
+        break;
+      case RequestKind::kSharded: {
+        Decision& decision = decisions[i];
+        if (decision.accepted) {
+          const auto id = engine_.ids_.allocate();
+          RTETHER_ASSERT_MSG(id.has_value(),
+                             "headroom guard admitted too many channels");
+          const RtChannel channel{*id, spec, decision.partition};
+          engine_.state_.add_channel(channel);
+          ++stats.accepted;
+          result.outcomes.push_back(channel);
+        } else {
+          ++stats.rejected;
+          result.outcomes.push_back(Unexpected(
+              Rejection{decision.reason, std::move(decision.detail)}));
+        }
+        break;
+      }
+    }
+  }
+
+  // Return the borrowed caches. They tracked the shard-local task sets,
+  // which the merge just replayed (ID-agnostically) into the real state, so
+  // shadow and state are in sync again.
+  for (auto& shard : shards) {
+    for (std::size_t slot = 0; slot < shard.links.size(); ++slot) {
+      const std::size_t key = shard.links[slot];
+      engine_.cache(key_node(key), key_direction(key)) =
+          std::move(shard.caches[slot]);
+    }
+    stats.feasibility_tests += shard.stats.feasibility_tests;
+    stats.demand_evaluations += shard.stats.demand_evaluations;
+  }
+
+  last_shard_count_ = shards.size();
+  return result;
+}
+
+ChurnResult ParallelAdmissionEngine::process(
+    std::span<const ChannelOp> ops) {
+  ChurnResult result;
+  std::vector<ChannelRequest> pending;
+  auto flush = [&] {
+    if (pending.empty()) {
+      return;
+    }
+    BatchResult batch = admit_batch(pending);
+    for (auto& outcome : batch.outcomes) {
+      result.admissions.push_back(std::move(outcome));
+    }
+    pending.clear();
+  };
+  for (const ChannelOp& op : ops) {
+    if (op.kind == ChannelOp::Kind::kAdmit) {
+      pending.push_back(ChannelRequest{op.spec});
+    } else {
+      flush();
+      result.releases.push_back(release(op.id));
+    }
+  }
+  flush();
+  return result;
+}
+
+}  // namespace rtether::core

@@ -1,0 +1,156 @@
+#pragma once
+
+/// @file parallel_admission.hpp
+/// Multi-core admission control by egress-link sharding.
+///
+/// The paper's admission test is per-link and per-direction (Eqs 18.2–18.5):
+/// deciding a channel request reads and mutates exactly two "processors" —
+/// the source node's uplink and the destination node's downlink. Requests
+/// that touch disjoint links are therefore independent, and a switch serving
+/// hundreds of nodes can run their feasibility analyses on all cores at
+/// once.
+///
+/// `ParallelAdmissionEngine` makes that concrete while keeping the paper's
+/// semantics bit-exact. A batch is processed in three phases:
+///
+///   1. **Shard** (sequential, cheap): each valid request is an edge between
+///      its two link directions in the link-conflict graph; union-find over
+///      that graph groups links into connected components. All requests
+///      whose links fall in one component form one shard, kept in submission
+///      order. Cross-link ordering is thereby resolved *before* any
+///      concurrency exists: two requests that could ever observe each other
+///      share a component by construction.
+///   2. **Decide** (parallel): each shard worker gets a private projection
+///      of the network state (wholesale copies of exactly its links' task
+///      sets) and borrows the engine's per-link `LinkScanCache`s — links are
+///      partitioned across shards, so no lock is ever taken. Workers run
+///      the identical DPS-candidate loop and cached feasibility trial as
+///      the sequential engine (`admission_internal::cached_candidate_test`),
+///      using pre-reserved placeholder channel IDs, and record per-request
+///      decisions into disjoint slots.
+///   3. **Merge** (sequential, O(1) per request): walk the batch in
+///      submission order, allocate the real channel ID for each accept
+///      (smallest-free order — exactly what the sequential controller would
+///      have assigned), install the channel, and stitch outcomes together.
+///      The borrowed caches return home; they are ID-agnostic, so the
+///      placeholder/real-ID split is invisible to them.
+///
+/// The result is **decision-identical** to feeding the same stream through
+/// `AdmissionController::request` one call at a time: same accepts, same
+/// rejects, same channel IDs, same partitions, same rejection reasons and
+/// diagnostic strings. Streams whose conflict graph collapses into one
+/// component (all-to-all traffic) degrade gracefully to the single-threaded
+/// batched path — correctness never depends on shardability. Requirements:
+/// the partitioner's `candidates()` must be pure per-call and must read only
+/// the two links the spec touches (true for SDPS/ADPS/UDPS/Search).
+///
+/// Churn is first-class: `release()` tears a channel down between batches,
+/// and `process()` drives a mixed admit/release stream — runs of admissions
+/// execute through the sharded path, each release is a (cheap) barrier.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "common/thread_pool.hpp"
+#include "core/admission.hpp"
+
+namespace rtether::core {
+
+/// Tuning knobs for the parallel engine.
+struct ParallelAdmissionConfig {
+  /// Knobs shared with the sequential engines (demand-scan strategy).
+  AdmissionConfig admission{};
+  /// Worker threads. 0 = one per hardware thread (at least one).
+  unsigned threads{0};
+  /// Batches below this size skip sharding: per-shard setup (state
+  /// projection, cache hand-off) would dominate the analysis itself.
+  std::size_t min_parallel_batch{64};
+};
+
+/// One operation of a churn stream: long-running plants interleave channel
+/// teardown with new admissions (fail-over re-admission, tool changes,
+/// tenant migration), so the parallel path must digest both.
+struct ChannelOp {
+  enum class Kind : std::uint8_t { kAdmit, kRelease };
+
+  Kind kind{Kind::kAdmit};
+  ChannelSpec spec{};  ///< Used when kind == kAdmit.
+  ChannelId id{};      ///< Used when kind == kRelease.
+
+  [[nodiscard]] static ChannelOp admit(const ChannelSpec& spec) {
+    return ChannelOp{Kind::kAdmit, spec, ChannelId{}};
+  }
+  [[nodiscard]] static ChannelOp release(ChannelId id) {
+    return ChannelOp{Kind::kRelease, ChannelSpec{}, id};
+  }
+};
+
+/// Outcome of a churn stream: admission outcomes in admit-op order and
+/// release results in release-op order.
+struct ChurnResult {
+  std::vector<Expected<RtChannel, Rejection>> admissions;
+  std::vector<bool> releases;
+
+  [[nodiscard]] std::size_t accepted() const;
+  [[nodiscard]] std::size_t rejected() const;
+};
+
+class ParallelAdmissionEngine {
+ public:
+  ParallelAdmissionEngine(std::uint32_t node_count,
+                          std::unique_ptr<DeadlinePartitioner> partitioner,
+                          ParallelAdmissionConfig config = {});
+
+  /// Admits a batch across all workers. Results are 1:1 with `requests` in
+  /// submission order and identical to the sequential controller's.
+  BatchResult admit_batch(std::span<const ChannelRequest> requests);
+
+  /// Single-request admission (sequential fast path, shared state).
+  [[nodiscard]] Expected<RtChannel, Rejection> admit(const ChannelSpec& spec);
+
+  /// Releases an established channel (teardown); false if unknown. Safe
+  /// between batches; the affected link caches are rebuilt.
+  bool release(ChannelId id);
+
+  /// Drives a mixed admit/release stream. Consecutive admissions form runs
+  /// that go through the sharded batch path; each release is applied at its
+  /// exact stream position, so outcomes match a sequential replay op by op.
+  ChurnResult process(std::span<const ChannelOp> ops);
+
+  [[nodiscard]] const NetworkState& state() const { return engine_.state(); }
+  [[nodiscard]] const AdmissionStats& stats() const {
+    return engine_.stats();
+  }
+  [[nodiscard]] const DeadlinePartitioner& partitioner() const {
+    return engine_.partitioner();
+  }
+  [[nodiscard]] unsigned thread_count() const { return pool_.size(); }
+
+  /// Shards the most recent `admit_batch` split into (1 when it fell back
+  /// to the sequential path; 0 before any batch). Diagnostics and benches.
+  [[nodiscard]] std::size_t last_shard_count() const {
+    return last_shard_count_;
+  }
+
+ private:
+  struct Shard;
+
+  /// The sharded path. Classifies and shards the batch; falls back to the
+  /// sequential engine when the conflict graph collapses to one component
+  /// or channel-ID headroom could make decisions order-dependent.
+  BatchResult admit_batch_sharded(std::span<const ChannelRequest> requests);
+
+  /// The sequential engine owns every piece of persistent state (network
+  /// state, ID allocator, stats, per-link caches); the parallel layer
+  /// borrows it per batch and hands it back. Single-request admits and
+  /// sub-threshold batches go straight through it.
+  AdmissionEngine engine_;
+  ThreadPool pool_;
+  std::size_t min_parallel_batch_;
+  std::size_t last_shard_count_{0};
+};
+
+}  // namespace rtether::core

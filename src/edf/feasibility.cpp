@@ -210,25 +210,27 @@ std::optional<Slot> LinkScanCache::trial_busy_period(
   }
 }
 
-void LinkScanCache::extend(const TaskSet& set, Slot new_horizon) {
-  RTETHER_ASSERT(new_horizon > horizon_);
+void LinkScanCache::grid_beyond(const TaskSet& set, Slot limit,
+                                std::vector<Slot>& points,
+                                std::vector<Slot>& demands) const {
+  RTETHER_ASSERT(limit > horizon_);
   std::vector<Slot> fresh;
   for (const auto& task : set.tasks()) {
-    // First checkpoint of this task strictly beyond the old horizon.
+    // First checkpoint of this task strictly beyond the cached horizon.
     Slot t = task.deadline;
     if (t <= horizon_) {
       const Slot jumps = ceil_div(horizon_ + 1 - t, task.period);
       const auto offset = checked_mul(jumps, task.period);
-      if (!offset || *offset > new_horizon - t) {
+      if (!offset || *offset > limit - t) {
         continue;
       }
       t += *offset;
     }
-    for (; t <= new_horizon; t += task.period) {
+    for (; t <= limit; t += task.period) {
       if (t >= 1) {
         fresh.push_back(t);
       }
-      if (new_horizon - t < task.period) {
+      if (limit - t < task.period) {
         break;
       }
     }
@@ -236,9 +238,13 @@ void LinkScanCache::extend(const TaskSet& set, Slot new_horizon) {
   std::sort(fresh.begin(), fresh.end());
   fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
   for (const Slot t : fresh) {
-    points_.push_back(t);
-    demands_.push_back(demand(set, t));
+    points.push_back(t);
+    demands.push_back(demand(set, t));
   }
+}
+
+void LinkScanCache::extend(const TaskSet& set, Slot new_horizon) {
+  grid_beyond(set, new_horizon, points_, demands_);
   horizon_ = new_horizon;
 }
 
@@ -250,7 +256,7 @@ void LinkScanCache::reserve_horizon(const TaskSet& set, Slot horizon) {
 }
 
 FeasibilityReport LinkScanCache::check_with(const TaskSet& set,
-                                            const PseudoTask& extra) {
+                                            const PseudoTask& extra) const {
   RTETHER_ASSERT_MSG(set.size() == task_count_, "LinkScanCache out of sync");
   RTETHER_ASSERT_MSG(extra.valid(), "invalid pseudo-task");
 
@@ -275,22 +281,34 @@ FeasibilityReport LinkScanCache::check_with(const TaskSet& set,
   const auto bp = trial_busy_period(set, extra);
   RTETHER_ASSERT_MSG(bp.has_value(), "busy period diverged despite U <= 1");
   const Slot bound = *bp;
-  if (bound > horizon_) {
-    extend(set, bound);
-  }
   report.scanned_bound = bound;
 
-  // Merge-walk the cached grid with the candidate's own checkpoints. Visits
-  // exactly the deduplicated union `checkpoints(set ∪ {extra}, bound)` in
-  // ascending order; `base` tracks the cached set's demand, which between
-  // its own checkpoints is the value at the last one passed.
+  // A trial whose bound outruns the cached horizon is answered from stack
+  // scratch space: the shadowed set's checkpoints in (horizon_, bound] plus
+  // their demands, exactly what `extend` would have folded in — but the
+  // cache stays untouched (const trials are shareable; callers that expect
+  // more trials at this bound call `reserve_horizon` to memoize it).
+  std::vector<Slot> beyond_points;
+  std::vector<Slot> beyond_demands;
+  if (bound > horizon_) {
+    grid_beyond(set, bound, beyond_points, beyond_demands);
+  }
+
+  // Merge-walk the (possibly scratch-augmented) grid with the candidate's
+  // own checkpoints. Visits exactly the deduplicated union
+  // `checkpoints(set ∪ {extra}, bound)` in ascending order; `base` tracks
+  // the cached set's demand, which between its own checkpoints is the value
+  // at the last one passed. Every scratch instant is > horizon_ ≥ every
+  // cached instant, so "cached first, then scratch" preserves the order.
   TaskCheckpointWalker walker(extra, bound);
-  std::size_t i = 0;
+  std::size_t i = 0;  // cursor over points_ (≤ min(horizon_, bound))
+  std::size_t j = 0;  // cursor over beyond_points (> horizon_)
   Slot base = 0;
   report.feasible = true;
   for (;;) {
     const bool cached_live = i < points_.size() && points_[i] <= bound;
-    if (!cached_live && !walker.live()) {
+    const bool beyond_live = !cached_live && j < beyond_points.size();
+    if (!cached_live && !beyond_live && !walker.live()) {
       break;
     }
     Slot t;
@@ -301,6 +319,14 @@ FeasibilityReport LinkScanCache::check_with(const TaskSet& set,
         walker.advance();
       }
       ++i;
+    } else if (beyond_live &&
+               (!walker.live() || beyond_points[j] <= walker.value())) {
+      t = beyond_points[j];
+      base = beyond_demands[j];
+      if (walker.live() && walker.value() == t) {
+        walker.advance();
+      }
+      ++j;
     } else {
       t = walker.value();
       walker.advance();

@@ -108,6 +108,16 @@ struct FeasibilityReport {
 /// The cache shadows one link direction's TaskSet. Every `TaskSet::add`
 /// must be mirrored by `commit`; any other mutation (release of a channel)
 /// requires `reset`. `check_with` asserts the shadow is in sync.
+///
+/// `check_with` is const: a trial test — even a rejected one, even one whose
+/// busy period reaches past the cached horizon — leaves no residue in the
+/// cache. That makes a cache shareable between concurrent readers (the
+/// parallel admission engine trial-tests candidates from worker threads) as
+/// long as `commit`/`reset`/`reserve_horizon` are externally serialized
+/// against them. Callers that want the grid to keep pace with growing busy
+/// periods call `reserve_horizon` after a scanned trial (see
+/// `core::AdmissionEngine`); a trial past the horizon is still answered
+/// exactly, from stack scratch space, just without memoization.
 class LinkScanCache {
  public:
   /// Valid for an empty task set.
@@ -117,11 +127,12 @@ class LinkScanCache {
   /// or when adopting a pre-populated link). Keeps the current horizon.
   void reset(const TaskSet& set);
 
-  /// Trial-tests `set ∪ {extra}` without mutating anything. Identical
-  /// verdict and diagnostics to `check_feasibility` with kCheckpoints.
-  /// `set` must be the task set this cache shadows; `extra` must be valid.
+  /// Trial-tests `set ∪ {extra}` without mutating anything — the cache
+  /// included. Identical verdict and diagnostics to `check_feasibility`
+  /// with kCheckpoints. `set` must be the task set this cache shadows;
+  /// `extra` must be valid.
   [[nodiscard]] FeasibilityReport check_with(const TaskSet& set,
-                                             const PseudoTask& extra);
+                                             const PseudoTask& extra) const;
 
   /// Mirrors a `TaskSet::add(task)` on the shadowed set: folds the task's
   /// demand into every cached checkpoint and merges its own checkpoints in.
@@ -149,6 +160,14 @@ class LinkScanCache {
   [[nodiscard]] std::size_t task_count() const { return task_count_; }
 
  private:
+  /// Appends the shadowed set's checkpoints in (horizon_, limit] — ascending,
+  /// deduplicated — and their demands to `points`/`demands`. The generation
+  /// shared by `extend` (which folds them into the cache) and by a const
+  /// `check_with` whose trial bound outruns the cached horizon (which keeps
+  /// them on the stack).
+  void grid_beyond(const TaskSet& set, Slot limit, std::vector<Slot>& points,
+                   std::vector<Slot>& demands) const;
+
   /// Grows the grid to `new_horizon`, generating only the new instants.
   void extend(const TaskSet& set, Slot new_horizon);
 

@@ -34,9 +34,14 @@ class Simulator {
   /// queue drains early.
   void run_until(Tick until);
 
-  /// Runs until the queue is empty (bounded by `max_events` as a runaway
-  /// guard; asserts if exceeded).
-  void run_all(std::uint64_t max_events = 100'000'000);
+  /// Runs until the queue is empty, bounded by `max_events` as a runaway
+  /// guard. Returns true when the queue drained; false when the budget was
+  /// exhausted first (a self-rescheduling event loop that would otherwise
+  /// spin forever) — identical behaviour in every build type, so a Release
+  /// CI run stops with a failure instead of hanging or aborting the whole
+  /// process. On false, `pending()` events remain queued and the simulation
+  /// can be inspected or resumed.
+  [[nodiscard]] bool run_all(std::uint64_t max_events = 100'000'000);
 
   [[nodiscard]] bool empty() const { return queue_.empty(); }
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }

@@ -1,0 +1,143 @@
+#include "common/json_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace rtether {
+namespace {
+
+TEST(JsonWriter, EmptyObject) {
+  JsonWriter json;
+  json.begin_object().end_object();
+  EXPECT_TRUE(json.complete());
+  EXPECT_EQ(json.str(), "{}");
+}
+
+TEST(JsonWriter, EmptyArray) {
+  JsonWriter json;
+  json.begin_array().end_array();
+  EXPECT_EQ(json.str(), "[]");
+}
+
+TEST(JsonWriter, FlatObjectMembers) {
+  JsonWriter json;
+  json.begin_object()
+      .member("name", "bench")
+      .member("count", std::uint64_t{42})
+      .member("ratio", 0.5)
+      .member("ok", true)
+      .end_object();
+  EXPECT_EQ(json.str(),
+            "{\"name\":\"bench\",\"count\":42,\"ratio\":0.5,\"ok\":true}");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("rows").begin_array();
+  json.begin_object().member("n", 1).end_object();
+  json.begin_object().member("n", 2).end_object();
+  json.end_array();
+  json.member("total", 2);
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            "{\"rows\":[{\"n\":1},{\"n\":2}],\"total\":2}");
+}
+
+TEST(JsonWriter, ArrayOfScalars) {
+  JsonWriter json;
+  json.begin_array()
+      .value(std::uint64_t{1})
+      .value("two")
+      .value(3.5)
+      .value(false)
+      .null()
+      .end_array();
+  EXPECT_EQ(json.str(), "[1,\"two\",3.5,false,null]");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter json;
+  json.begin_object()
+      .member("quote", "say \"hi\"")
+      .member("back", "a\\b")
+      .member("ctrl", "line1\nline2\ttab")
+      .end_object();
+  EXPECT_EQ(json.str(),
+            "{\"quote\":\"say \\\"hi\\\"\",\"back\":\"a\\\\b\","
+            "\"ctrl\":\"line1\\nline2\\ttab\"}");
+}
+
+TEST(JsonWriter, EscapesLowControlCharacters) {
+  JsonWriter json;
+  json.begin_array().value(std::string_view("\x01\x1f", 2)).end_array();
+  EXPECT_EQ(json.str(), "[\"\\u0001\\u001f\"]");
+}
+
+TEST(JsonWriter, DoublesAreShortestRoundTrip) {
+  JsonWriter json;
+  json.begin_array()
+      .value(3.0)
+      .value(0.1)
+      .value(1e300)
+      .value(-2.5)
+      .end_array();
+  EXPECT_EQ(json.str(), "[3,0.1,1e+300,-2.5]");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.begin_array()
+      .value(std::numeric_limits<double>::infinity())
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .end_array();
+  EXPECT_EQ(json.str(), "[null,null]");
+}
+
+TEST(JsonWriter, SignedAndNegativeIntegers) {
+  JsonWriter json;
+  json.begin_array().value(std::int64_t{-7}).value(-1).end_array();
+  EXPECT_EQ(json.str(), "[-7,-1]");
+}
+
+TEST(JsonWriter, ScalarRoot) {
+  JsonWriter json;
+  json.value(std::uint64_t{9});
+  EXPECT_TRUE(json.complete());
+  EXPECT_EQ(json.str(), "9");
+}
+
+TEST(JsonWriter, NotCompleteUntilRootCloses) {
+  JsonWriter json;
+  json.begin_object().member("a", 1);
+  EXPECT_FALSE(json.complete());
+  json.end_object();
+  EXPECT_TRUE(json.complete());
+}
+
+TEST(JsonWriter, WriteFileRoundTrips) {
+  JsonWriter json;
+  json.begin_object().member("k", "v").end_object();
+  const std::string path =
+      testing::TempDir() + "rtether_json_writer_test.json";
+  ASSERT_TRUE(json.write_file(path));
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "{\"k\":\"v\"}\n");
+  std::remove(path.c_str());
+}
+
+TEST(JsonWriter, WriteFileFailsOnBadPath) {
+  JsonWriter json;
+  json.begin_object().end_object();
+  EXPECT_FALSE(json.write_file("/nonexistent-dir/x/y.json"));
+}
+
+}  // namespace
+}  // namespace rtether

@@ -163,6 +163,61 @@ TEST(AdmissionBatch, ReleaseRebuildsCachesAndStaysEquivalent) {
   }
 }
 
+TEST(AdmissionBatch, RandomizedReleaseChurnStaysEquivalent) {
+  // Long-running plants interleave teardown with admission: rounds of
+  // batched admits, each followed by a random subset of releases. After
+  // every round the engine must remain decision-identical to the reference
+  // controller — including re-admissions that land on IDs the releases
+  // freed (the allocator reuses smallest-first) and on links whose caches
+  // were rebuilt by `release`.
+  AdmissionController controller(5, make_partitioner("ADPS"));
+  AdmissionEngine engine(5, make_partitioner("ADPS"));
+  Rng rng(77);
+  std::vector<ChannelId> live;
+
+  for (std::uint64_t round = 0; round < 6; ++round) {
+    const auto requests = random_stream(100 + round, 120, 5);
+    const auto batch = engine.admit_batch(requests);
+    ASSERT_EQ(batch.outcomes.size(), requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const auto expected = controller.request(requests[i].spec);
+      const auto& actual = batch.outcomes[i];
+      ASSERT_EQ(expected.has_value(), actual.has_value())
+          << "round " << round << " request " << i;
+      if (expected.has_value()) {
+        EXPECT_EQ(expected->id, actual->id);
+        EXPECT_EQ(expected->partition, actual->partition);
+        live.push_back(expected->id);
+      } else {
+        EXPECT_EQ(expected.error().reason, actual.error().reason);
+        EXPECT_EQ(expected.error().detail, actual.error().detail);
+      }
+    }
+
+    // Tear down a random ~third of the live channels on both sides.
+    std::vector<ChannelId> keep;
+    for (const ChannelId id : live) {
+      if (rng.index(3) == 0) {
+        EXPECT_TRUE(controller.release(id));
+        EXPECT_TRUE(engine.release(id));
+      } else {
+        keep.push_back(id);
+      }
+    }
+    live = std::move(keep);
+
+    EXPECT_EQ(engine.state().channel_count(),
+              controller.state().channel_count());
+    EXPECT_EQ(engine.stats().released, controller.stats().released);
+  }
+
+  // Double release reports false on both paths.
+  if (!live.empty()) {
+    EXPECT_TRUE(engine.release(live.front()));
+    EXPECT_FALSE(engine.release(live.front()));
+  }
+}
+
 TEST(AdmissionBatch, NonCheckpointScanFallsBackAndMatches) {
   const auto requests = random_stream(41, 80, 3);
   AdmissionConfig config;

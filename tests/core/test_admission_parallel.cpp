@@ -1,0 +1,411 @@
+/// Decision-identity proof for `ParallelAdmissionEngine`: on randomized
+/// request streams — cell-local (many shards), uniform (one component →
+/// sequential fallback), and churn streams with interleaved release and
+/// re-admission — the sharded engine must produce *exactly* what the
+/// reference `AdmissionController` and the batched `AdmissionEngine`
+/// produce: the same accepts and rejects, the same channel IDs, the same
+/// deadline partitions, the same rejection reasons and diagnostic strings,
+/// and the same aggregate stats. The suite runs under ThreadSanitizer in CI,
+/// so it doubles as the data-race regression net for the thread pool and
+/// the shard workers.
+
+#include "core/parallel_admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/admission.hpp"
+#include "core/partitioner.hpp"
+
+namespace rtether::core {
+namespace {
+
+ChannelSpec spec(std::uint32_t src, std::uint32_t dst, Slot p, Slot c,
+                 Slot d) {
+  return ChannelSpec{NodeId{src}, NodeId{dst}, p, c, d};
+}
+
+ChannelSpec random_spec(Rng& rng, std::uint32_t src, std::uint32_t dst) {
+  static constexpr Slot kPeriods[] = {40, 60, 80, 100, 150, 200, 300};
+  const Slot period = kPeriods[rng.index(std::size(kPeriods))];
+  const Slot capacity = 1 + rng.index(4);
+  // Mostly valid constrained deadlines; ~1/16 structurally invalid.
+  Slot deadline;
+  if (rng.index(16) == 0) {
+    deadline = rng.index(2 * capacity);  // violates d ≥ 2C
+  } else {
+    deadline = 2 * capacity + rng.index(period - 2 * capacity + 1);
+  }
+  return spec(src, dst, period, capacity, deadline);
+}
+
+/// Uniform all-to-all traffic: the link-conflict graph almost surely
+/// collapses into one component, exercising the sequential fallback.
+std::vector<ChannelRequest> uniform_stream(std::uint64_t seed,
+                                           std::size_t count,
+                                           std::uint32_t nodes) {
+  Rng rng(seed);
+  std::vector<ChannelRequest> requests;
+  requests.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto src = static_cast<std::uint32_t>(rng.index(nodes));
+    auto dst = static_cast<std::uint32_t>(rng.index(nodes));
+    if (dst == src) {
+      dst = (dst + 1) % nodes;
+    }
+    requests.push_back(ChannelRequest{random_spec(rng, src, dst)});
+  }
+  return requests;
+}
+
+/// Cell-local traffic (the industrial topology: machine cells talk within
+/// themselves): source and destination share a cell of `cell_size` nodes,
+/// so the conflict graph has one component per cell and the batch shards.
+std::vector<ChannelRequest> celled_stream(std::uint64_t seed,
+                                          std::size_t count,
+                                          std::uint32_t nodes,
+                                          std::uint32_t cell_size) {
+  Rng rng(seed);
+  const std::uint32_t cells = nodes / cell_size;
+  std::vector<ChannelRequest> requests;
+  requests.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto cell = static_cast<std::uint32_t>(rng.index(cells));
+    const std::uint32_t base = cell * cell_size;
+    const auto src = base + static_cast<std::uint32_t>(rng.index(cell_size));
+    auto dst = base + static_cast<std::uint32_t>(rng.index(cell_size));
+    if (dst == src) {
+      dst = base + (dst - base + 1) % cell_size;
+    }
+    requests.push_back(ChannelRequest{random_spec(rng, src, dst)});
+  }
+  return requests;
+}
+
+ParallelAdmissionEngine make_parallel(std::uint32_t nodes,
+                                      const std::string& scheme,
+                                      unsigned threads,
+                                      std::size_t min_parallel_batch = 1) {
+  ParallelAdmissionConfig config;
+  config.threads = threads;
+  config.min_parallel_batch = min_parallel_batch;
+  return ParallelAdmissionEngine(nodes, make_partitioner(scheme), config);
+}
+
+/// Drives the same stream through all three paths and requires identical
+/// outcomes everywhere. Returns the parallel engine's shard count so tests
+/// can additionally assert the path taken.
+std::size_t expect_triple_identity(const std::vector<ChannelRequest>& requests,
+                                   std::uint32_t nodes,
+                                   const std::string& scheme,
+                                   unsigned threads) {
+  AdmissionController controller(nodes, make_partitioner(scheme));
+  AdmissionEngine engine(nodes, make_partitioner(scheme));
+  ParallelAdmissionEngine parallel = make_parallel(nodes, scheme, threads);
+
+  const auto batched = engine.admit_batch(requests);
+  const auto sharded = parallel.admit_batch(requests);
+  EXPECT_EQ(batched.outcomes.size(), requests.size());
+  EXPECT_EQ(sharded.outcomes.size(), requests.size());
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto expected = controller.request(requests[i].spec);
+    const auto& from_engine = batched.outcomes[i];
+    const auto& from_parallel = sharded.outcomes[i];
+    EXPECT_EQ(expected.has_value(), from_parallel.has_value())
+        << "request " << i << " (" << requests[i].spec.to_string()
+        << "): sequential and parallel disagree";
+    EXPECT_EQ(from_engine.has_value(), from_parallel.has_value())
+        << "request " << i << ": batched and parallel disagree";
+    if (!expected.has_value() || !from_parallel.has_value()) {
+      if (!expected.has_value() && !from_parallel.has_value()) {
+        EXPECT_EQ(expected.error().reason, from_parallel.error().reason)
+            << "request " << i;
+        EXPECT_EQ(expected.error().detail, from_parallel.error().detail)
+            << "request " << i;
+      }
+      continue;
+    }
+    EXPECT_EQ(expected->id, from_parallel->id) << "request " << i;
+    EXPECT_EQ(expected->partition, from_parallel->partition)
+        << "request " << i;
+    EXPECT_EQ(from_engine->id, from_parallel->id) << "request " << i;
+  }
+
+  EXPECT_EQ(parallel.state().channel_count(),
+            controller.state().channel_count());
+  EXPECT_EQ(parallel.stats().requested, controller.stats().requested);
+  EXPECT_EQ(parallel.stats().accepted, controller.stats().accepted);
+  EXPECT_EQ(parallel.stats().rejected, controller.stats().rejected);
+  // The two cached pipelines must also agree on the amount of analysis
+  // work — the shard workers run the identical trials.
+  EXPECT_EQ(parallel.stats().feasibility_tests,
+            engine.stats().feasibility_tests);
+  EXPECT_EQ(parallel.stats().demand_evaluations,
+            engine.stats().demand_evaluations);
+  return parallel.last_shard_count();
+}
+
+TEST(AdmissionParallel, CellLocalTrafficShardsAndMatches) {
+  const auto requests = celled_stream(11, 600, 16, 4);
+  const std::size_t shards = expect_triple_identity(requests, 16, "ADPS", 4);
+  EXPECT_GT(shards, 1u) << "cell-local traffic should produce many shards";
+}
+
+TEST(AdmissionParallel, SaturatedCellsMatch) {
+  // Few nodes per cell + many requests → links saturate; most of the
+  // stream exercises the rejection paths and their diagnostic strings.
+  const auto requests = celled_stream(12, 900, 12, 3);
+  const std::size_t shards = expect_triple_identity(requests, 12, "ADPS", 4);
+  EXPECT_GT(shards, 1u);
+}
+
+TEST(AdmissionParallel, SdpsMatches) {
+  const auto requests = celled_stream(13, 500, 16, 4);
+  expect_triple_identity(requests, 16, "SDPS", 3);
+}
+
+TEST(AdmissionParallel, SearchPartitionerMatches) {
+  // Search proposes many candidates per request — stresses repeated const
+  // trials and the placeholder reuse across candidates.
+  const auto requests = celled_stream(14, 160, 8, 4);
+  expect_triple_identity(requests, 8, "Search", 2);
+}
+
+TEST(AdmissionParallel, UniformTrafficFallsBackAndMatches) {
+  const auto requests = uniform_stream(15, 400, 8);
+  const std::size_t shards = expect_triple_identity(requests, 8, "ADPS", 4);
+  EXPECT_EQ(shards, 1u)
+      << "all-to-all traffic should collapse to one component";
+}
+
+TEST(AdmissionParallel, ManyThreadsFewShards) {
+  const auto requests = celled_stream(16, 300, 8, 4);
+  expect_triple_identity(requests, 8, "ADPS", 8);
+}
+
+TEST(AdmissionParallel, SingleWorkerThreadMatches) {
+  const auto requests = celled_stream(17, 300, 16, 4);
+  expect_triple_identity(requests, 16, "ADPS", 1);
+}
+
+TEST(AdmissionParallel, MatchesAcrossSeeds) {
+  for (std::uint64_t seed = 40; seed < 44; ++seed) {
+    expect_triple_identity(celled_stream(seed, 250, 20, 5), 20, "ADPS", 4);
+  }
+}
+
+TEST(AdmissionParallel, UdpsMatchesBatchedEngine) {
+  // UDPS weighs by floating-point utilization; the controller's tentative
+  // add/remove churn makes controller-vs-cached comparisons inexact by
+  // design (see AdmissionEngine's caveat), so compare the two cached
+  // pipelines, which must agree bit-for-bit.
+  const auto requests = celled_stream(18, 400, 16, 4);
+  AdmissionEngine engine(16, make_partitioner("UDPS"));
+  ParallelAdmissionEngine parallel = make_parallel(16, "UDPS", 4);
+  const auto batched = engine.admit_batch(requests);
+  const auto sharded = parallel.admit_batch(requests);
+  ASSERT_EQ(batched.outcomes.size(), sharded.outcomes.size());
+  for (std::size_t i = 0; i < batched.outcomes.size(); ++i) {
+    ASSERT_EQ(batched.outcomes[i].has_value(),
+              sharded.outcomes[i].has_value())
+        << "request " << i;
+    if (batched.outcomes[i].has_value()) {
+      EXPECT_EQ(batched.outcomes[i]->id, sharded.outcomes[i]->id);
+      EXPECT_EQ(batched.outcomes[i]->partition,
+                sharded.outcomes[i]->partition);
+    } else {
+      EXPECT_EQ(batched.outcomes[i].error().detail,
+                sharded.outcomes[i].error().detail);
+    }
+  }
+}
+
+TEST(AdmissionParallel, ReleaseThenReadmitStaysIdentical) {
+  const auto first = celled_stream(21, 400, 16, 4);
+  const auto second = celled_stream(22, 400, 16, 4);
+
+  AdmissionController controller(16, make_partitioner("ADPS"));
+  ParallelAdmissionEngine parallel = make_parallel(16, "ADPS", 4);
+
+  std::vector<ChannelId> admitted;
+  const auto batch1 = parallel.admit_batch(first);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    const auto expected = controller.request(first[i].spec);
+    ASSERT_EQ(expected.has_value(), batch1.outcomes[i].has_value());
+    if (expected.has_value()) {
+      admitted.push_back(expected->id);
+    }
+  }
+
+  // Tear down every other admitted channel on both sides; freed IDs must be
+  // re-assigned identically by the parallel merge phase.
+  for (std::size_t i = 0; i < admitted.size(); i += 2) {
+    EXPECT_TRUE(controller.release(admitted[i]));
+    EXPECT_TRUE(parallel.release(admitted[i]));
+  }
+  EXPECT_EQ(parallel.stats().released, controller.stats().released);
+
+  const auto batch2 = parallel.admit_batch(second);
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    const auto expected = controller.request(second[i].spec);
+    ASSERT_EQ(expected.has_value(), batch2.outcomes[i].has_value())
+        << "post-release request " << i;
+    if (expected.has_value()) {
+      EXPECT_EQ(expected->id, batch2.outcomes[i]->id) << "request " << i;
+      EXPECT_EQ(expected->partition, batch2.outcomes[i]->partition);
+    } else {
+      EXPECT_EQ(expected.error().detail, batch2.outcomes[i].error().detail);
+    }
+  }
+}
+
+TEST(AdmissionParallel, ChurnStreamMatchesSequentialReplay) {
+  // Build a mixed admit/release op stream. Release targets must be known up
+  // front, so a scout run learns which IDs the deterministic stream admits;
+  // identity between paths guarantees those IDs are valid for both replays.
+  const std::uint32_t nodes = 16;
+  const auto warmup = celled_stream(31, 300, nodes, 4);
+  std::vector<ChannelId> ids;
+  {
+    AdmissionController scout(nodes, make_partitioner("ADPS"));
+    for (const auto& request : warmup) {
+      if (const auto outcome = scout.request(request.spec)) {
+        ids.push_back(outcome->id);
+      }
+    }
+  }
+  ASSERT_GT(ids.size(), 20u);
+
+  Rng rng(32);
+  std::vector<ChannelOp> ops;
+  for (const auto& request : warmup) {
+    ops.push_back(ChannelOp::admit(request.spec));
+  }
+  const auto readmit = celled_stream(33, 300, nodes, 4);
+  std::size_t next_release = 0;
+  for (const auto& request : readmit) {
+    // ~1 release per 6 admissions, interleaved mid-stream.
+    if (next_release < ids.size() && rng.index(6) == 0) {
+      ops.push_back(ChannelOp::release(ids[next_release++]));
+    }
+    ops.push_back(ChannelOp::admit(request.spec));
+  }
+  ASSERT_GT(next_release, 5u);
+
+  AdmissionController controller(nodes, make_partitioner("ADPS"));
+  ParallelAdmissionEngine parallel = make_parallel(nodes, "ADPS", 4);
+  const ChurnResult churn = parallel.process(ops);
+
+  std::size_t admit_index = 0;
+  std::size_t release_index = 0;
+  for (const auto& op : ops) {
+    if (op.kind == ChannelOp::Kind::kAdmit) {
+      const auto expected = controller.request(op.spec);
+      ASSERT_LT(admit_index, churn.admissions.size());
+      const auto& actual = churn.admissions[admit_index++];
+      ASSERT_EQ(expected.has_value(), actual.has_value())
+          << "admit op " << admit_index - 1;
+      if (expected.has_value()) {
+        EXPECT_EQ(expected->id, actual->id);
+        EXPECT_EQ(expected->partition, actual->partition);
+      } else {
+        EXPECT_EQ(expected.error().reason, actual.error().reason);
+        EXPECT_EQ(expected.error().detail, actual.error().detail);
+      }
+    } else {
+      const bool expected = controller.release(op.id);
+      ASSERT_LT(release_index, churn.releases.size());
+      EXPECT_EQ(expected, churn.releases[release_index++]);
+    }
+  }
+  EXPECT_EQ(admit_index, churn.admissions.size());
+  EXPECT_EQ(release_index, churn.releases.size());
+  EXPECT_EQ(churn.accepted() + churn.rejected(), churn.admissions.size());
+
+  EXPECT_EQ(parallel.state().channel_count(),
+            controller.state().channel_count());
+  EXPECT_EQ(parallel.stats().accepted, controller.stats().accepted);
+  EXPECT_EQ(parallel.stats().rejected, controller.stats().rejected);
+  EXPECT_EQ(parallel.stats().released, controller.stats().released);
+}
+
+TEST(AdmissionParallel, SmallBatchTakesSequentialPath) {
+  ParallelAdmissionEngine parallel = make_parallel(8, "ADPS", 4,
+                                                   /*min_parallel_batch=*/64);
+  const auto requests = celled_stream(51, 20, 8, 4);
+  const auto batch = parallel.admit_batch(requests);
+  EXPECT_EQ(batch.outcomes.size(), requests.size());
+  EXPECT_EQ(parallel.last_shard_count(), 1u);
+}
+
+TEST(AdmissionParallel, NonCheckpointScanFallsBackAndMatches) {
+  ParallelAdmissionConfig config;
+  config.threads = 4;
+  config.min_parallel_batch = 1;
+  config.admission.scan = edf::DemandScan::kEverySlot;
+  AdmissionConfig seq_config;
+  seq_config.scan = edf::DemandScan::kEverySlot;
+  AdmissionController controller(8, make_partitioner("SDPS"), seq_config);
+  ParallelAdmissionEngine parallel(8, make_partitioner("SDPS"), config);
+  const auto requests = celled_stream(52, 80, 8, 4);
+  const auto batch = parallel.admit_batch(requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto expected = controller.request(requests[i].spec);
+    ASSERT_EQ(expected.has_value(), batch.outcomes[i].has_value());
+  }
+  EXPECT_EQ(parallel.last_shard_count(), 1u);
+}
+
+TEST(AdmissionParallel, EmptyBatch) {
+  ParallelAdmissionEngine parallel = make_parallel(4, "SDPS", 2);
+  const auto result = parallel.admit_batch({});
+  EXPECT_TRUE(result.outcomes.empty());
+  EXPECT_EQ(parallel.last_shard_count(), 0u);
+}
+
+TEST(AdmissionParallel, SingleAdmitSharesState) {
+  ParallelAdmissionEngine parallel = make_parallel(4, "SDPS", 2);
+  AdmissionController controller(4, make_partitioner("SDPS"));
+  const auto requests = celled_stream(53, 120, 4, 2);
+  for (const auto& request : requests) {
+    const auto expected = controller.request(request.spec);
+    const auto actual = parallel.admit(request.spec);
+    ASSERT_EQ(expected.has_value(), actual.has_value());
+    if (expected.has_value()) {
+      EXPECT_EQ(expected->id, actual->id);
+    }
+  }
+}
+
+TEST(AdmissionParallel, InvalidAndUnknownRequestsRejectIdentically) {
+  ParallelAdmissionEngine parallel = make_parallel(4, "SDPS", 2);
+  AdmissionController controller(4, make_partitioner("SDPS"));
+  std::vector<ChannelRequest> requests;
+  // A parallel-eligible core plus deliberately bad specs mixed in.
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    requests.push_back(ChannelRequest{spec(i % 2, (i % 2) ^ 1, 100, 2, 30)});
+    requests.push_back(ChannelRequest{spec(2 + i % 2, 3 - i % 2, 80, 2, 25)});
+  }
+  requests.push_back(ChannelRequest{spec(0, 1, 100, 3, 5)});    // d < 2C
+  requests.push_back(ChannelRequest{spec(0, 9, 100, 3, 40)});   // bad node
+  requests.push_back(ChannelRequest{spec(7, 1, 100, 3, 40)});   // bad node
+  requests.push_back(ChannelRequest{spec(0, 1, 0, 0, 0)});      // degenerate
+  const auto batch = parallel.admit_batch(requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto expected = controller.request(requests[i].spec);
+    ASSERT_EQ(expected.has_value(), batch.outcomes[i].has_value())
+        << "request " << i;
+    if (!expected.has_value()) {
+      EXPECT_EQ(expected.error().reason, batch.outcomes[i].error().reason);
+      EXPECT_EQ(expected.error().detail, batch.outcomes[i].error().detail);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtether::core

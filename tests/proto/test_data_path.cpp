@@ -30,7 +30,7 @@ TEST(DataPath, MessageDeliversCapacityFrames) {
       });
 
   stack.layer(NodeId{0}).send_message(channel->id);
-  stack.network().simulator().run_all();
+  EXPECT_TRUE(stack.network().simulator().run_all());
 
   // One message = C_i = 3 maximal frames.
   EXPECT_EQ(deliveries.size(), 3u);
@@ -52,7 +52,7 @@ TEST(DataPath, FramesCarryPaperDeadlineEncoding) {
 
   const Tick release = stack.network().now();
   stack.layer(NodeId{0}).send_message(channel->id);
-  stack.network().simulator().run_all();
+  EXPECT_TRUE(stack.network().simulator().run_all());
 
   ASSERT_EQ(received.size(), 3u);
   for (const auto& frame : received) {
@@ -74,7 +74,7 @@ TEST(DataPath, StatsTrackSentAndDelivered) {
   ASSERT_TRUE(channel.has_value());
   stack.layer(NodeId{0}).send_message(channel->id);
   stack.layer(NodeId{0}).send_message(channel->id);
-  stack.network().simulator().run_all();
+  EXPECT_TRUE(stack.network().simulator().run_all());
 
   const auto stats = stack.network().stats().channel(channel->id);
   ASSERT_TRUE(stats.has_value());
@@ -92,7 +92,7 @@ TEST(DataPath, UnknownChannelFramesIgnoredByReceiver) {
       [&](const RxChannel&, const sim::SimFrame&, Tick) { ++callbacks; });
   // Node 2 never established anything; nothing should reach its callback.
   stack.layer(NodeId{0}).send_message(channel->id);
-  stack.network().simulator().run_all();
+  EXPECT_TRUE(stack.network().simulator().run_all());
   EXPECT_EQ(callbacks, 0);
 }
 

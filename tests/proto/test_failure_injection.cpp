@@ -40,7 +40,7 @@ TEST(FailureInjection, UnansweredRequestTimesOutAfterRetries) {
                           done = true;
                           outcome = result;
                         });
-  network.simulator().run_all();
+  EXPECT_TRUE(network.simulator().run_all());
 
   ASSERT_TRUE(done);
   EXPECT_FALSE(outcome.accepted);
@@ -81,7 +81,7 @@ TEST(FailureInjection, DuplicateRequestAdmittedOnlyOnce) {
   };
   inject();
   inject();
-  stack.network().simulator().run_all();
+  EXPECT_TRUE(stack.network().simulator().run_all());
 
   EXPECT_EQ(stack.management().stats().requests_received, 2u);
   EXPECT_EQ(stack.management().stats().requests_admitted, 1u);
@@ -111,7 +111,7 @@ TEST(FailureInjection, DuplicateDestinationResponseIgnored) {
                                    std::move(writer).take(), 0,
                                    stack.network().now(), NodeId{1});
   stack.network().node(NodeId{1}).send_best_effort(std::move(frame));
-  stack.network().simulator().run_all();
+  EXPECT_TRUE(stack.network().simulator().run_all());
 
   EXPECT_EQ(stack.management().controller().state().channel_count(), 1u);
   EXPECT_EQ(stack.layer(NodeId{0}).tx_channels().size(), 1u);
@@ -132,7 +132,7 @@ TEST(FailureInjection, GarbageManagementFrameIgnored) {
                                    std::move(writer).take(), 0,
                                    stack.network().now(), NodeId{0});
   stack.network().node(NodeId{0}).send_best_effort(std::move(frame));
-  stack.network().simulator().run_all();
+  EXPECT_TRUE(stack.network().simulator().run_all());
 
   EXPECT_EQ(stack.management().controller().state().channel_count(), 0u);
   // The network keeps working afterwards.
@@ -161,7 +161,7 @@ TEST(FailureInjection, TruncatedRequestIgnored) {
                                    std::move(writer).take(), 0,
                                    stack.network().now(), NodeId{0});
   stack.network().node(NodeId{0}).send_best_effort(std::move(frame));
-  stack.network().simulator().run_all();
+  EXPECT_TRUE(stack.network().simulator().run_all());
   EXPECT_EQ(stack.management().stats().requests_admitted, 0u);
 }
 
@@ -181,7 +181,7 @@ TEST(FailureInjection, TimeoutThenLateCapacityStillConsistent) {
                             if (!outcome.accepted) ++timeouts;
                           });
   }
-  network.simulator().run_all();
+  EXPECT_TRUE(network.simulator().run_all());
   EXPECT_EQ(timeouts, 50);
   EXPECT_TRUE(layer.tx_channels().empty());
 }
@@ -201,7 +201,7 @@ TEST(FailureInjection, TeardownOfUnknownChannelHarmless) {
                                    std::move(writer).take(), 0,
                                    stack.network().now(), NodeId{0});
   stack.network().node(NodeId{0}).send_best_effort(std::move(frame));
-  stack.network().simulator().run_all();
+  EXPECT_TRUE(stack.network().simulator().run_all());
   EXPECT_EQ(stack.management().stats().teardowns, 0u);
 }
 

@@ -32,7 +32,7 @@ TEST(Teardown, DestinationIsNotified) {
   ASSERT_TRUE(channel.has_value());
   ASSERT_EQ(stack.layer(NodeId{1}).rx_channels().size(), 1u);
   stack.teardown(*channel);
-  stack.network().simulator().run_all();
+  EXPECT_TRUE(stack.network().simulator().run_all());
   EXPECT_TRUE(stack.layer(NodeId{1}).rx_channels().empty());
 }
 

@@ -20,7 +20,7 @@ TEST(BestEffortSource, GeneratesTraffic) {
   source.start();
   net.simulator().run_until(net.config().slots_to_ticks(500));
   source.stop();
-  net.simulator().run_all();
+  EXPECT_TRUE(net.simulator().run_all());
   EXPECT_GT(source.frames_generated(), 50u);
   EXPECT_EQ(net.stats().best_effort_sent(), source.frames_generated());
   EXPECT_GT(net.stats().best_effort_delivered(), 0u);
@@ -63,7 +63,7 @@ TEST(BestEffortSource, FixedDestinationHonored) {
   source.start();
   net.simulator().run_until(net.config().slots_to_ticks(200));
   source.stop();
-  net.simulator().run_all();
+  EXPECT_TRUE(net.simulator().run_all());
   EXPECT_GT(received_at_2, 0);
   EXPECT_EQ(received_elsewhere, 0);
 }
@@ -80,7 +80,7 @@ TEST(BestEffortSource, RandomDestinationNeverSelf) {
   source.start();
   net.simulator().run_until(net.config().slots_to_ticks(300));
   source.stop();
-  net.simulator().run_all();
+  EXPECT_TRUE(net.simulator().run_all());
   EXPECT_EQ(self_deliveries, 0);
   EXPECT_GT(source.frames_generated(), 0u);
 }
@@ -97,7 +97,7 @@ TEST(BestEffortSource, OnOffBurstsStillDeliver) {
   source.start();
   net.simulator().run_until(net.config().slots_to_ticks(2'000));
   source.stop();
-  net.simulator().run_all();
+  EXPECT_TRUE(net.simulator().run_all());
   EXPECT_GT(source.frames_generated(), 0u);
   // Off phases must depress the average throughput well below Poisson.
   EXPECT_LT(net.uplink_utilization(NodeId{0}), 0.4);
@@ -112,7 +112,7 @@ TEST(BestEffortEverywhere, AttachesPerNode) {
   EXPECT_EQ(sources.size(), 5u);
   net.simulator().run_until(net.config().slots_to_ticks(200));
   for (auto& s : sources) s->stop();
-  net.simulator().run_all();
+  EXPECT_TRUE(net.simulator().run_all());
   for (const auto& s : sources) {
     EXPECT_GT(s->frames_generated(), 0u);
   }

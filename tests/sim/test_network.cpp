@@ -61,7 +61,7 @@ TEST(SimNetwork, DeliversRtFrameEndToEnd) {
   auto frame = make_rt_frame(net, NodeId{0}, NodeId{1}, 100'000, 5);
   const auto id = frame.id;
   net.node(NodeId{0}).send_rt(100'000, std::move(frame));
-  net.simulator().run_all();
+  EXPECT_TRUE(net.simulator().run_all());
 
   ASSERT_EQ(received.size(), 1u);
   EXPECT_EQ(received[0], id);
@@ -77,7 +77,7 @@ TEST(SimNetwork, RecordsDeliveryStats) {
   net.stats().record_rt_sent(ChannelId(5));
   net.node(NodeId{0}).send_rt(
       100'000, make_rt_frame(net, NodeId{0}, NodeId{1}, 100'000, 5));
-  net.simulator().run_all();
+  EXPECT_TRUE(net.simulator().run_all());
 
   const auto stats = net.stats().channel(ChannelId(5));
   ASSERT_TRUE(stats.has_value());
@@ -94,7 +94,7 @@ TEST(SimNetwork, LateFrameCountsAsMiss) {
   // Absolute deadline 50 ticks from now, but the path takes 204.
   net.node(NodeId{0}).send_rt(
       50, make_rt_frame(net, NodeId{0}, NodeId{1}, 50, 5));
-  net.simulator().run_all();
+  EXPECT_TRUE(net.simulator().run_all());
   const auto stats = net.stats().channel(ChannelId(5));
   ASSERT_TRUE(stats.has_value());
   EXPECT_EQ(stats->deadline_misses, 1u);
@@ -122,7 +122,7 @@ TEST(SimNetwork, SwitchEdfReordersByAbsoluteDeadline) {
       900'000, make_rt_frame(net, NodeId{0}, NodeId{2}, 900'000, 1));
   net.node(NodeId{1}).send_rt(
       500, make_rt_frame(net, NodeId{1}, NodeId{2}, 500, 2));
-  net.simulator().run_all();
+  EXPECT_TRUE(net.simulator().run_all());
 
   ASSERT_EQ(order.size(), 3u);
   // Deterministic schedule: the first channel-1 frame wins the downlink
@@ -139,7 +139,7 @@ TEST(SimNetwork, UnknownRtDestinationDropped) {
       [&](const SimFrame& f, Tick) { received.push_back(f.id); });
   net.node(NodeId{0}).send_rt(
       100'000, make_rt_frame(net, NodeId{0}, NodeId{1}, 100'000, 5));
-  net.simulator().run_all();
+  EXPECT_TRUE(net.simulator().run_all());
   EXPECT_TRUE(received.empty());
   EXPECT_EQ(net.ethernet_switch().stats().rt_dropped_unknown_destination,
             1u);
@@ -155,7 +155,7 @@ TEST(SimNetwork, UnknownBestEffortFloods) {
   // Destination MAC never learned → flood to all ports except ingress.
   net.node(NodeId{0}).send_best_effort(
       make_be_frame(net, NodeId{0}, node_mac(NodeId{2})));
-  net.simulator().run_all();
+  EXPECT_TRUE(net.simulator().run_all());
   EXPECT_EQ(deliveries, 3);
   EXPECT_EQ(net.ethernet_switch().stats().flooded, 1u);
 }
@@ -170,11 +170,11 @@ TEST(SimNetwork, LearnedUnicastGoesToOnePort) {
   // Node 2 says something first so the switch learns its port.
   net.node(NodeId{2}).send_best_effort(
       make_be_frame(net, NodeId{2}, node_mac(NodeId{0})));
-  net.simulator().run_all();
+  EXPECT_TRUE(net.simulator().run_all());
   deliveries = 0;
   net.node(NodeId{0}).send_best_effort(
       make_be_frame(net, NodeId{0}, node_mac(NodeId{2})));
-  net.simulator().run_all();
+  EXPECT_TRUE(net.simulator().run_all());
   EXPECT_EQ(deliveries, 1);
 }
 
@@ -188,7 +188,7 @@ TEST(SimNetwork, BroadcastFloods) {
   }
   net.node(NodeId{0}).send_best_effort(
       make_be_frame(net, NodeId{0}, net::broadcast_mac()));
-  net.simulator().run_all();
+  EXPECT_TRUE(net.simulator().run_all());
   EXPECT_EQ(deliveries, 4);  // everyone but the sender
 }
 
@@ -210,7 +210,7 @@ TEST(SimNetwork, FcfsBaselineModeBypassesEdf) {
       900'000, make_rt_frame(net, NodeId{0}, NodeId{2}, 900'000, 1));
   net.node(NodeId{0}).send_rt(
       500, make_rt_frame(net, NodeId{0}, NodeId{2}, 500, 2));
-  net.simulator().run_all();
+  EXPECT_TRUE(net.simulator().run_all());
   ASSERT_EQ(order.size(), 3u);
   EXPECT_EQ(order[0], 1);
   EXPECT_EQ(order[1], 1);
@@ -224,7 +224,7 @@ TEST(SimNetwork, UtilizationAccounting) {
     net.node(NodeId{0}).send_rt(
         1'000'000, make_rt_frame(net, NodeId{0}, NodeId{1}, 1'000'000, 1));
   }
-  net.simulator().run_all();
+  EXPECT_TRUE(net.simulator().run_all());
   EXPECT_GT(net.uplink_utilization(NodeId{0}), 0.5);
   EXPECT_GT(net.downlink_utilization(NodeId{1}), 0.5);
   EXPECT_EQ(net.uplink_utilization(NodeId{1}), 0.0);

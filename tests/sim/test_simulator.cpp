@@ -19,7 +19,7 @@ TEST(Simulator, ExecutesInTimeOrder) {
   sim.schedule_at(30, [&] { order.push_back(3); });
   sim.schedule_at(10, [&] { order.push_back(1); });
   sim.schedule_at(20, [&] { order.push_back(2); });
-  sim.run_all();
+  EXPECT_TRUE(sim.run_all());
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
   EXPECT_EQ(sim.now(), 30u);
 }
@@ -30,7 +30,7 @@ TEST(Simulator, SameTickIsFifo) {
   for (int i = 0; i < 10; ++i) {
     sim.schedule_at(5, [&order, i] { order.push_back(i); });
   }
-  sim.run_all();
+  EXPECT_TRUE(sim.run_all());
   for (int i = 0; i < 10; ++i) {
     EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
   }
@@ -42,7 +42,7 @@ TEST(Simulator, ScheduleInIsRelative) {
   sim.schedule_at(100, [&] {
     sim.schedule_in(5, [&] { seen = sim.now(); });
   });
-  sim.run_all();
+  EXPECT_TRUE(sim.run_all());
   EXPECT_EQ(seen, 105u);
 }
 
@@ -55,7 +55,7 @@ TEST(Simulator, EventsCanScheduleMoreEvents) {
     }
   };
   sim.schedule_at(0, chain);
-  sim.run_all();
+  EXPECT_TRUE(sim.run_all());
   EXPECT_EQ(count, 5);
   EXPECT_EQ(sim.now(), 40u);
 }
@@ -89,7 +89,7 @@ TEST(Simulator, StepReturnsFalseWhenEmpty) {
 TEST(Simulator, SchedulingIntoThePastAsserts) {
   Simulator sim;
   sim.schedule_at(10, [] {});
-  sim.run_all();
+  EXPECT_TRUE(sim.run_all());
   EXPECT_DEATH(sim.schedule_at(5, [] {}), "past");
 }
 
@@ -98,15 +98,22 @@ TEST(Simulator, CountsExecutedEvents) {
   for (int i = 0; i < 7; ++i) {
     sim.schedule_at(static_cast<Tick>(i), [] {});
   }
-  sim.run_all();
+  EXPECT_TRUE(sim.run_all());
   EXPECT_EQ(sim.executed_events(), 7u);
 }
 
-TEST(Simulator, RunawayGuardAsserts) {
+TEST(Simulator, RunawayGuardReportsInsteadOfSpinning) {
   Simulator sim;
   std::function<void()> forever = [&] { sim.schedule_in(1, forever); };
   sim.schedule_at(0, forever);
-  EXPECT_DEATH(sim.run_all(1000), "runaway");
+  // A self-rescheduling loop exhausts the event budget; run_all must return
+  // false (in every build type) rather than spin or abort the process.
+  EXPECT_FALSE(sim.run_all(1000));
+  EXPECT_EQ(sim.executed_events(), 1000u);
+  EXPECT_GT(sim.pending(), 0u);
+  // The simulation is resumable after the report.
+  EXPECT_FALSE(sim.run_all(10));
+  EXPECT_EQ(sim.executed_events(), 1010u);
 }
 
 }  // namespace

@@ -42,7 +42,7 @@ class TransmitterTest : public ::testing::Test {
 
 TEST_F(TransmitterTest, TransmitsOneFrameInOneSlot) {
   tx_.enqueue_rt(1000, full_frame(1));
-  sim_.run_all();
+  EXPECT_TRUE(sim_.run_all());
   ASSERT_EQ(delivered_.size(), 1u);
   EXPECT_EQ(delivered_[0].first, 1u);
   EXPECT_EQ(delivered_[0].second, 100u);  // exactly ticks_per_slot
@@ -51,7 +51,7 @@ TEST_F(TransmitterTest, TransmitsOneFrameInOneSlot) {
 TEST_F(TransmitterTest, BackToBackFrames) {
   tx_.enqueue_rt(1000, full_frame(1));
   tx_.enqueue_rt(1000, full_frame(2));
-  sim_.run_all();
+  EXPECT_TRUE(sim_.run_all());
   ASSERT_EQ(delivered_.size(), 2u);
   EXPECT_EQ(delivered_[0].second, 100u);
   EXPECT_EQ(delivered_[1].second, 200u);
@@ -61,7 +61,7 @@ TEST_F(TransmitterTest, EdfOrderAcrossQueuedFrames) {
   tx_.enqueue_rt(300, full_frame(1));
   tx_.enqueue_rt(100, full_frame(2));
   tx_.enqueue_rt(200, full_frame(3));
-  sim_.run_all();
+  EXPECT_TRUE(sim_.run_all());
   // Frame 1 is already in flight (non-preemptive); then EDF order: 2, 3.
   ASSERT_EQ(delivered_.size(), 3u);
   EXPECT_EQ(delivered_[0].first, 1u);
@@ -75,7 +75,7 @@ TEST_F(TransmitterTest, RtHasStrictPriorityOverBestEffort) {
   tx_.enqueue_best_effort(full_frame(10));
   tx_.enqueue_best_effort(full_frame(11));
   tx_.enqueue_rt(500, full_frame(1));
-  sim_.run_all();
+  EXPECT_TRUE(sim_.run_all());
   ASSERT_EQ(delivered_.size(), 3u);
   EXPECT_EQ(delivered_[0].first, 10u);  // was already transmitting
   EXPECT_EQ(delivered_[1].first, 1u);   // RT preempts the *queue*, not wire
@@ -87,7 +87,7 @@ TEST_F(TransmitterTest, NonPreemptionBoundsRtBlockingToOneFrame) {
   tx_.enqueue_best_effort(full_frame(10));
   sim_.run_until(1);  // BE transmission starts at t=0
   tx_.enqueue_rt(99999, full_frame(1));
-  sim_.run_all();
+  EXPECT_TRUE(sim_.run_all());
   ASSERT_EQ(delivered_.size(), 2u);
   EXPECT_EQ(delivered_[1].first, 1u);
   // RT waited at most one slot: delivered by 2 slots total.
@@ -107,7 +107,7 @@ TEST_F(TransmitterTest, ShortFramesTakeProportionalTime) {
   EXPECT_GT(expected, 0u);
 
   tx_.enqueue_best_effort(std::move(tiny));
-  sim_.run_all();
+  EXPECT_TRUE(sim_.run_all());
   ASSERT_EQ(delivered_.size(), 1u);
   EXPECT_EQ(delivered_[0].second, expected);
 }
@@ -115,7 +115,7 @@ TEST_F(TransmitterTest, ShortFramesTakeProportionalTime) {
 TEST_F(TransmitterTest, StatsCountClassesAndBusyTime) {
   tx_.enqueue_rt(100, full_frame(1));
   tx_.enqueue_best_effort(full_frame(2));
-  sim_.run_all();
+  EXPECT_TRUE(sim_.run_all());
   const auto& stats = tx_.stats();
   EXPECT_EQ(stats.rt_frames_sent, 1u);
   EXPECT_EQ(stats.best_effort_frames_sent, 1u);
@@ -130,7 +130,7 @@ TEST_F(TransmitterTest, BacklogAccessors) {
   EXPECT_TRUE(tx_.busy());
   EXPECT_EQ(tx_.rt_backlog(), 1u);
   EXPECT_EQ(tx_.best_effort_backlog(), 1u);
-  sim_.run_all();
+  EXPECT_TRUE(sim_.run_all());
   EXPECT_FALSE(tx_.busy());
   EXPECT_EQ(tx_.rt_backlog(), 0u);
 }
@@ -154,7 +154,7 @@ TEST(TransmitterBounded, DropsCountVisible) {
   tx.enqueue_best_effort(make(1));  // in flight
   tx.enqueue_best_effort(make(2));  // queued
   tx.enqueue_best_effort(make(3));  // dropped
-  sim.run_all();
+  EXPECT_TRUE(sim.run_all());
   EXPECT_EQ(delivered.size(), 2u);
   EXPECT_EQ(tx.best_effort_dropped(), 1u);
 }
