@@ -1,0 +1,23 @@
+#pragma once
+
+/// Shared argv handling for the example programs: every example accepts an
+/// optional `[seed]` first argument and prints the seed in use, so a run
+/// can be replayed exactly (`example_master_slave 1234`) — the same
+/// convention the scenario fuzzer uses for failing campaigns.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rtether::examples {
+
+inline std::uint64_t seed_from_argv(int argc, char** argv,
+                                    std::uint64_t fallback) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : fallback;
+  std::printf("rng seed: %llu (pass a seed as argv[1] to replay)\n",
+              static_cast<unsigned long long>(seed));
+  return seed;
+}
+
+}  // namespace rtether::examples

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/partitioner.hpp"
+#include "example_seed.hpp"
 #include "proto/periodic_sender.hpp"
 #include "proto/stack.hpp"
 #include "sim/best_effort.hpp"
@@ -30,7 +31,8 @@ constexpr NodeId kSensors[] = {NodeId{4}, NodeId{5}, NodeId{6}, NodeId{7}};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::uint64_t seed = examples::seed_from_argv(argc, argv, 99);
   proto::Stack stack(sim::SimConfig{}, /*node_count=*/8,
                      std::make_unique<core::AsymmetricPartitioner>());
   auto& network = stack.network();
@@ -90,7 +92,7 @@ int main() {
   std::vector<std::unique_ptr<sim::BestEffortSource>> diag_sources;
   for (const auto sensor : kSensors) {
     diag_sources.push_back(std::make_unique<sim::BestEffortSource>(
-        network, sensor, diagnostics, 99));
+        network, sensor, diagnostics, seed ^ sensor.value()));
     diag_sources.back()->start();
   }
 

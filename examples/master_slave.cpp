@@ -14,6 +14,7 @@
 
 #include "analysis/link_report.hpp"
 #include "core/partitioner.hpp"
+#include "example_seed.hpp"
 #include "proto/periodic_sender.hpp"
 #include "proto/stack.hpp"
 #include "traffic/master_slave.hpp"
@@ -22,8 +23,9 @@ using namespace rtether;
 
 namespace {
 
-[[nodiscard]] bool run_scheme(const std::string& scheme) {
-  traffic::MasterSlaveWorkload workload({}, /*seed=*/42);
+[[nodiscard]] bool run_scheme(const std::string& scheme,
+                              std::uint64_t seed) {
+  traffic::MasterSlaveWorkload workload({}, seed);
   proto::Stack stack(sim::SimConfig{}, workload.node_count(),
                      core::make_partitioner(scheme));
 
@@ -85,10 +87,11 @@ namespace {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::puts("Master-slave industrial network (paper Fig 18.1/18.5 live):");
   std::puts("10 masters poll 50 slaves; channels {P=100, C=3, d=40}\n");
-  if (!run_scheme("SDPS") || !run_scheme("ADPS")) {
+  const std::uint64_t seed = examples::seed_from_argv(argc, argv, 42);
+  if (!run_scheme("SDPS", seed) || !run_scheme("ADPS", seed)) {
     return 1;
   }
   std::puts("\nADPS admits roughly twice the channels SDPS does — the");

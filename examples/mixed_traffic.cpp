@@ -10,13 +10,15 @@
 #include <memory>
 
 #include "core/partitioner.hpp"
+#include "example_seed.hpp"
 #include "proto/periodic_sender.hpp"
 #include "proto/stack.hpp"
 #include "sim/best_effort.hpp"
 
 using namespace rtether;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::uint64_t seed = examples::seed_from_argv(argc, argv, 5);
   proto::Stack stack(sim::SimConfig{}, /*node_count=*/6,
                      std::make_unique<core::AsymmetricPartitioner>());
   auto& network = stack.network();
@@ -41,7 +43,7 @@ int main() {
   profile.offered_load = 0.8;
   profile.arrivals = sim::BestEffortArrivals::kOnOff;
   auto background =
-      sim::attach_best_effort_everywhere(network, profile, /*seed=*/5);
+      sim::attach_best_effort_everywhere(network, profile, seed);
 
   network.simulator().run_until(network.now() +
                                 network.config().slots_to_ticks(5'000));

@@ -6,24 +6,38 @@
 ///   3. send periodic real-time messages and receive them at the peer
 ///   4. read back the measured delays against the guarantee of Eq 18.1.
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 
+#include "common/random.hpp"
 #include "core/partitioner.hpp"
+#include "example_seed.hpp"
 #include "proto/periodic_sender.hpp"
 #include "proto/stack.hpp"
 
 using namespace rtether;
 
-int main() {
+int main(int argc, char** argv) {
   // 1. A 3-node star network. ADPS is the paper's recommended DPS.
   proto::Stack stack(sim::SimConfig{}, /*node_count=*/3,
                      std::make_unique<core::AsymmetricPartitioner>());
 
-  // 2. Ask the switch for an RT channel from node 0 to node 1 delivering
-  //    up to 2 maximal frames every 50 slots, within a 20-slot deadline.
-  const auto channel = stack.establish(NodeId{0}, NodeId{1}, /*period=*/50,
-                                       /*capacity=*/2, /*deadline=*/20);
+  // 2. Ask the switch for an RT channel from node 0 to node 1. Without a
+  //    seed argument this is the classic contract — up to 2 maximal frames
+  //    every 50 slots within a 20-slot deadline; with one, the contract is
+  //    drawn from the seed so the example doubles as a replay driver.
+  Slot period = 50;
+  Slot capacity = 2;
+  Slot deadline = 20;
+  if (argc > 1) {
+    Rng rng(examples::seed_from_argv(argc, argv, 0));
+    period = 10 + rng.index(190);
+    capacity = 1 + rng.index(std::min<Slot>(4, period));
+    deadline = 2 * capacity + rng.index(period);
+  }
+  const auto channel =
+      stack.establish(NodeId{0}, NodeId{1}, period, capacity, deadline);
   if (!channel) {
     std::printf("channel rejected: %s\n", channel.error().c_str());
     return 1;

@@ -1,0 +1,96 @@
+#include "scenario/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+
+namespace rtether::scenario {
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  using Clock = std::chrono::steady_clock;
+  const auto started = Clock::now();
+  const auto deadline =
+      config.time_budget_seconds > 0.0
+          ? started + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(
+                              config.time_budget_seconds))
+          : Clock::time_point::max();
+
+  unsigned threads = config.threads;
+  if (threads == 0) {
+    threads = std::max(1U, std::thread::hardware_concurrency());
+  }
+  // A single worker thread buys nothing over inline execution (and inline
+  // keeps single-threaded campaigns trivially deterministic to debug).
+  ThreadPool pool(threads <= 1 ? 0U : threads);
+
+  CampaignResult result;
+  std::mutex mutex;
+  std::atomic<bool> out_of_time{false};
+
+  pool.parallel_for_shards(config.scenario_count, [&](std::size_t index) {
+    if (out_of_time.load(std::memory_order_relaxed)) return;
+    if (Clock::now() >= deadline) {
+      out_of_time.store(true, std::memory_order_relaxed);
+      return;
+    }
+    const std::uint64_t seed = config.base_seed + index;
+    const ScenarioSpec spec = generate_scenario(config.generator, seed);
+    const ScenarioResult run = run_scenario(spec, config.runner);
+
+    std::lock_guard<std::mutex> lock(mutex);
+    ++result.scenarios_run;
+    result.ops_total += spec.ops.size();
+    result.admitted_total += run.admitted;
+    result.frames_delivered_total += run.frames_delivered;
+    result.simulated_slots_total += run.simulated_slots;
+    if (!run.passed) {
+      ++result.failures;
+      // Keep the max_failures *lowest* seeds (sorted insert + trim), not
+      // the first to finish — the kept set must be identical across thread
+      // interleavings.
+      CampaignFailure failure;
+      failure.seed = seed;
+      failure.detail = run.violations.empty()
+                           ? "unknown failure"
+                           : run.violations.front().to_string();
+      auto& failing = result.failing;
+      const auto at = std::lower_bound(
+          failing.begin(), failing.end(), failure.seed,
+          [](const CampaignFailure& f, std::uint64_t s) { return f.seed < s; });
+      if (at != failing.end() || failing.size() < config.max_failures) {
+        failure.spec = spec;
+        failing.insert(at, std::move(failure));
+        if (failing.size() > config.max_failures) {
+          failing.pop_back();
+        }
+      }
+    }
+  });
+
+  result.time_budget_hit = out_of_time.load(std::memory_order_relaxed);
+  // Throughput metrics cover the campaign itself; shrinking failures is
+  // diagnostic work accounted separately, so a red campaign's
+  // scenarios/sec stays comparable with a green one's.
+  result.seconds =
+      std::chrono::duration<double>(Clock::now() - started).count();
+
+  if (config.shrink_failures) {
+    ShrinkOptions shrink_options;
+    shrink_options.runner = config.runner;
+    for (auto& failure : result.failing) {
+      failure.minimized =
+          shrink_scenario(failure.spec, shrink_options).minimized;
+    }
+  }
+  result.shrink_seconds =
+      std::chrono::duration<double>(Clock::now() - started).count() -
+      result.seconds;
+  return result;
+}
+
+}  // namespace rtether::scenario

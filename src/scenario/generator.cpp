@@ -1,0 +1,229 @@
+#include "scenario/generator.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/random.hpp"
+#include "traffic/distribution.hpp"
+#include "traffic/master_slave.hpp"
+#include "traffic/uniform.hpp"
+
+namespace rtether::scenario {
+
+namespace {
+
+/// Workload families the fuzzer draws from.
+enum class WorkloadStyle : std::uint8_t {
+  kUniform,      ///< symmetric peer-to-peer (the ablation control)
+  kMasterSlave,  ///< the paper's industrial pattern (bottleneck links)
+  kBursty,       ///< uniform RT + heavy bursty best-effort cross-traffic
+  kChurn,        ///< admit/release interleaving dominates
+};
+
+traffic::SlotDistribution random_period(Rng& rng) {
+  switch (rng.index(4)) {
+    case 0:
+      return traffic::SlotDistribution::choice({20, 40, 80});
+    case 1:
+      return traffic::SlotDistribution::choice({50, 100, 200});
+    case 2:
+      return traffic::SlotDistribution::fixed(
+          static_cast<Slot>(25 * (1 + rng.index(6))));
+    default:
+      return traffic::SlotDistribution::uniform(
+          10, static_cast<Slot>(60 + rng.index(140)));
+  }
+}
+
+traffic::SlotDistribution random_capacity(Rng& rng) {
+  return traffic::SlotDistribution::uniform(
+      1, static_cast<Slot>(1 + rng.index(4)));
+}
+
+traffic::SlotDistribution random_deadline(Rng& rng, Slot max_capacity,
+                                          Slot min_period) {
+  // Anchored at the structural floor 2C (Eq 18.8/18.9); the upper end
+  // sweeps from barely-admissible to comfortably loose relative to the
+  // period, exactly the band Fig 18.5 explores.
+  const Slot floor = 2 * max_capacity;
+  switch (rng.index(3)) {
+    case 0:  // tight: saturates the partitioner's room to maneuver
+      return traffic::SlotDistribution::uniform(floor,
+                                                floor + 2 + rng.index(8));
+    case 1:  // the paper's fixed mid-band deadline
+      return traffic::SlotDistribution::fixed(
+          std::max<Slot>(floor, 20 + 10 * rng.index(4)));
+    default:  // loose: up to one period
+      return traffic::SlotDistribution::uniform(
+          floor, std::max<Slot>(floor + 1, min_period));
+  }
+}
+
+/// A structurally broken spec for the rejection paths: zero capacity,
+/// capacity above period, or a deadline below the 2C store-and-forward
+/// floor — each rejected as kInvalidSpec by every engine.
+core::ChannelSpec invalid_spec(Rng& rng, std::uint32_t nodes) {
+  core::ChannelSpec spec;
+  spec.source = NodeId{static_cast<std::uint32_t>(rng.index(nodes))};
+  spec.destination = NodeId{static_cast<std::uint32_t>(rng.index(nodes))};
+  spec.period = 50;
+  switch (rng.index(3)) {
+    case 0:
+      spec.capacity = 0;
+      spec.deadline = 10;
+      break;
+    case 1:
+      spec.capacity = 60;  // > period
+      spec.deadline = 200;
+      break;
+    default:
+      spec.capacity = 4;
+      spec.deadline = 2 * 4 - 1;  // d < 2C
+      break;
+  }
+  return spec;
+}
+
+}  // namespace
+
+ScenarioSpec generate_scenario(const GeneratorConfig& config,
+                               std::uint64_t seed) {
+  RTETHER_ASSERT(config.min_nodes >= 2 && config.max_nodes >= config.min_nodes);
+  Rng rng(seed);
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.name = "fuzz-" + std::to_string(seed);
+
+  // --- Topology ----------------------------------------------------------
+  spec.topology.nodes = static_cast<std::uint32_t>(
+      config.min_nodes + rng.index(config.max_nodes - config.min_nodes + 1));
+  if (config.max_switches >= 2 &&
+      rng.bernoulli(config.multiswitch_probability)) {
+    spec.topology.kind = rng.bernoulli(0.5) ? TopologyKind::kSwitchLine
+                                            : TopologyKind::kSwitchTree;
+    spec.topology.switches = static_cast<std::uint32_t>(
+        2 + rng.index(config.max_switches - 1));
+    // Every switch needs at least one node for round-robin attachment to
+    // produce the advertised shape.
+    spec.topology.nodes =
+        std::max(spec.topology.nodes, spec.topology.switches);
+  } else {
+    spec.topology.kind = TopologyKind::kStar;
+    spec.topology.switches = 1;
+  }
+  const std::uint32_t nodes = spec.topology.nodes;
+
+  // --- Scheme ------------------------------------------------------------
+  if (spec.topology.kind == TopologyKind::kStar) {
+    // ADPS is the paper's recommendation — weight it; the others keep the
+    // alternative partitioners honest.
+    static const std::vector<std::string> kSchemes = {
+        "ADPS", "ADPS", "SDPS", "UDPS", "Search"};
+    spec.scheme = rng.pick(kSchemes);
+  } else {
+    // The multihop path implements the SDPS/ADPS k-hop generalizations.
+    spec.scheme = rng.bernoulli(0.5) ? "ADPS" : "SDPS";
+  }
+
+  // --- Workload ----------------------------------------------------------
+  const auto style = static_cast<WorkloadStyle>(rng.index(4));
+  const std::size_t op_count =
+      config.min_ops + rng.index(config.max_ops - config.min_ops + 1);
+
+  const auto period = random_period(rng);
+  const auto capacity = random_capacity(rng);
+  const auto deadline =
+      random_deadline(rng, capacity.max_value(), period.min_value());
+
+  // Churn probability: how often an op releases instead of admitting.
+  double release_probability = 0.15;
+  if (style == WorkloadStyle::kChurn) release_probability = 0.45;
+
+  // Spec streams come from the traffic models so the fuzzer exercises the
+  // same generators the paper experiments use.
+  traffic::UniformConfig uniform_config;
+  uniform_config.nodes = nodes;
+  uniform_config.period = period;
+  uniform_config.capacity = capacity;
+  uniform_config.deadline = deadline;
+  traffic::UniformWorkload uniform(uniform_config, rng.next_u64());
+
+  traffic::MasterSlaveConfig ms_config;
+  ms_config.masters =
+      static_cast<std::uint32_t>(1 + rng.index(std::max(1U, nodes / 4)));
+  ms_config.slaves = nodes - ms_config.masters;
+  ms_config.direction = static_cast<traffic::FlowDirection>(rng.index(3));
+  ms_config.period = period;
+  ms_config.capacity = capacity;
+  ms_config.deadline = deadline;
+  traffic::MasterSlaveWorkload master_slave(ms_config, rng.next_u64());
+
+  const bool use_master_slave =
+      style == WorkloadStyle::kMasterSlave && ms_config.slaves > 0;
+
+  // Indices (into spec.ops) of admit ops, used to aim releases; an entry is
+  // not removed on release, so double-teardown happens naturally.
+  std::vector<std::uint32_t> admits;
+  std::vector<std::uint32_t> released;
+  for (std::size_t i = 0; i < op_count; ++i) {
+    const bool release = !admits.empty() && rng.bernoulli(release_probability);
+    if (release) {
+      if (config.allow_negative_paths && rng.bernoulli(0.12)) {
+        // Bogus teardown: an ID no engine ever assigned, or ID 0.
+        spec.ops.push_back(ScenarioOp::release_raw(
+            rng.bernoulli(0.3) ? std::uint16_t{0}
+                               : static_cast<std::uint16_t>(
+                                     20'000 + rng.index(1'000))));
+      } else if (!released.empty() && config.allow_negative_paths &&
+                 rng.bernoulli(0.2)) {
+        // Double release: tear down a channel already torn down.
+        spec.ops.push_back(ScenarioOp::release_of(rng.pick(released)));
+      } else {
+        const std::uint32_t victim = rng.pick(admits);
+        spec.ops.push_back(ScenarioOp::release_of(victim));
+        released.push_back(victim);
+      }
+      continue;
+    }
+
+    core::ChannelSpec request;
+    if (config.allow_negative_paths && rng.bernoulli(0.06)) {
+      request = invalid_spec(rng, nodes);
+    } else if (config.allow_negative_paths && rng.bernoulli(0.04)) {
+      request = uniform.next();
+      request.destination = NodeId{nodes + static_cast<std::uint32_t>(
+                                               rng.index(3))};  // unknown
+    } else {
+      request = use_master_slave ? master_slave.next() : uniform.next();
+      if (request.source == request.destination) {
+        // Self-loops are legal analytically but pointless traffic; remap.
+        request.destination =
+            NodeId{(request.destination.value() + 1) % nodes};
+      }
+    }
+    admits.push_back(static_cast<std::uint32_t>(spec.ops.size()));
+    spec.ops.push_back(ScenarioOp::admit(request));
+  }
+
+  // --- Simulation phase --------------------------------------------------
+  spec.simulate = spec.topology.kind == TopologyKind::kStar;
+  spec.run_slots = 100 + rng.index(config.max_run_slots >= 100
+                                       ? config.max_run_slots - 99
+                                       : 1);
+  spec.ticks_per_slot = rng.bernoulli(0.25) ? 64 : 16;
+  spec.with_best_effort =
+      config.allow_best_effort &&
+      (style == WorkloadStyle::kBursty || rng.bernoulli(0.2));
+  if (spec.with_best_effort) {
+    spec.best_effort_load = 0.2 + 0.6 * rng.uniform_real();
+    spec.bursty_best_effort =
+        style == WorkloadStyle::kBursty || rng.bernoulli(0.3);
+  }
+
+  RTETHER_ASSERT_MSG(spec.well_formed(), "generator produced malformed spec");
+  return spec;
+}
+
+}  // namespace rtether::scenario

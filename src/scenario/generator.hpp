@@ -1,0 +1,44 @@
+#pragma once
+
+/// @file generator.hpp
+/// Seed → ScenarioSpec. One 64-bit seed deterministically expands into a
+/// topology (star or multi-switch line/tree), a DPS scheme, a channel
+/// workload (uniform peer-to-peer, master/slave in either or mixed
+/// direction, bursty best-effort coexistence, admit/release churn) and the
+/// simulation-phase parameters. The mapping is pure: the same seed and
+/// config always produce the identical spec, which is what makes a failing
+/// campaign seed a complete bug report.
+
+#include <cstdint>
+
+#include "scenario/spec.hpp"
+
+namespace rtether::scenario {
+
+/// Bounds on what the generator may produce. Defaults are sized so a
+/// scenario runs in ~1 ms through all four admission paths plus the
+/// simulator — small enough for 10k-scenario campaigns, large enough to
+/// reach saturated links, churned IDs and multi-hop routes.
+struct GeneratorConfig {
+  std::uint32_t min_nodes{3};
+  std::uint32_t max_nodes{12};
+  /// Multi-switch scenarios draw 2…max_switches switches.
+  std::uint32_t max_switches{4};
+  std::size_t min_ops{4};
+  std::size_t max_ops{36};
+  /// Probability a scenario is multi-switch (line/tree) rather than star.
+  double multiswitch_probability{0.25};
+  /// Generate deliberately malformed requests (invalid {P,C,d}, unknown
+  /// nodes) and bogus releases (unknown IDs, double teardown) so rejection
+  /// paths are fuzzed with the same weight as accept paths.
+  bool allow_negative_paths{true};
+  bool allow_best_effort{true};
+  /// Simulation run length is drawn from [100, max_run_slots].
+  Slot max_run_slots{400};
+};
+
+/// Expands `seed` into a scenario within `config`'s bounds.
+[[nodiscard]] ScenarioSpec generate_scenario(const GeneratorConfig& config,
+                                             std::uint64_t seed);
+
+}  // namespace rtether::scenario

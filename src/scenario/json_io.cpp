@@ -1,0 +1,386 @@
+#include "scenario/json_io.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/json_writer.hpp"
+
+namespace rtether::scenario {
+
+std::string to_json(const ScenarioSpec& spec) {
+  JsonWriter json;
+  json.begin_object();
+  json.member("schema", kScenarioSchema);
+  json.member("seed", spec.seed);
+  json.member("name", spec.name);
+  json.member("scheme", spec.scheme);
+
+  json.key("topology").begin_object();
+  json.member("kind", to_string(spec.topology.kind));
+  json.member("switches", static_cast<std::uint64_t>(spec.topology.switches));
+  json.member("nodes", static_cast<std::uint64_t>(spec.topology.nodes));
+  json.end_object();
+
+  json.key("sim").begin_object();
+  json.member("simulate", spec.simulate);
+  json.member("run_slots", spec.run_slots);
+  json.member("ticks_per_slot", spec.ticks_per_slot);
+  json.member("with_best_effort", spec.with_best_effort);
+  json.member("best_effort_load", spec.best_effort_load);
+  json.member("bursty_best_effort", spec.bursty_best_effort);
+  json.end_object();
+
+  json.key("ops").begin_array();
+  for (const auto& op : spec.ops) {
+    json.begin_object();
+    if (op.kind == ScenarioOp::Kind::kAdmit) {
+      json.member("op", "admit");
+      json.member("source", static_cast<std::uint64_t>(op.spec.source.value()));
+      json.member("destination",
+                  static_cast<std::uint64_t>(op.spec.destination.value()));
+      json.member("period", op.spec.period);
+      json.member("capacity", op.spec.capacity);
+      json.member("deadline", op.spec.deadline);
+    } else {
+      json.member("op", "release");
+      if (op.target != ScenarioOp::kNoTarget) {
+        json.member("target", static_cast<std::uint64_t>(op.target));
+      } else {
+        json.member("raw_id", static_cast<std::uint64_t>(op.raw_id));
+      }
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+namespace {
+
+/// Schema-scoped recursive-descent JSON reader. Tracks the cursor so errors
+/// name an offset; every parse_* either advances past a valid construct or
+/// fails the whole document.
+class Reader {
+ public:
+  explicit Reader(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool failed() const { return failed_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  bool fail(const std::string& why) {
+    if (!failed_) {
+      failed_ = true;
+      error_ = "offset " + std::to_string(pos_) + ": " + why;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  /// True (and consumes) when the next non-space char is `c`.
+  bool accept(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  /// Strings in this schema are plain (scheme names, kinds, file tags); the
+  /// mandatory escapes are decoded, anything exotic is rejected.
+  bool parse_string(std::string& out) {
+    if (!expect('"')) return false;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default:
+            return fail("unsupported escape in scenario string");
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) return fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool parse_u64(std::uint64_t& out) {
+    skip_ws();
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, out);
+    if (ec != std::errc{} || ptr == begin) {
+      return fail("expected unsigned integer");
+    }
+    pos_ += static_cast<std::size_t>(ptr - begin);
+    return true;
+  }
+
+  /// parse_u64 with an inclusive range check: value drift in a corpus
+  /// entry must fail as loudly as key drift (a truncated raw_id or node
+  /// count would silently test a different scenario).
+  bool parse_bounded(std::uint64_t max, std::uint64_t& out) {
+    if (!parse_u64(out)) return false;
+    if (out > max) {
+      return fail("integer " + std::to_string(out) + " exceeds field max " +
+                  std::to_string(max));
+    }
+    return true;
+  }
+
+  bool parse_double(double& out) {
+    skip_ws();
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, out);
+    if (ec != std::errc{} || ptr == begin) {
+      return fail("expected number");
+    }
+    pos_ += static_cast<std::size_t>(ptr - begin);
+    return true;
+  }
+
+  bool parse_bool(bool& out) {
+    skip_ws();
+    if (text_.substr(pos_).starts_with("true")) {
+      pos_ += 4;
+      out = true;
+      return true;
+    }
+    if (text_.substr(pos_).starts_with("false")) {
+      pos_ += 5;
+      out = false;
+      return true;
+    }
+    return fail("expected true/false");
+  }
+
+  /// Drives `member(key)` over an object's entries; `member` must consume
+  /// exactly the value and return false (after `fail`) on unknown keys.
+  template <typename Member>
+  bool parse_object(Member&& member) {
+    if (!expect('{')) return false;
+    if (accept('}')) return true;
+    do {
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!expect(':')) return false;
+      if (!member(key)) return false;
+    } while (accept(','));
+    return expect('}');
+  }
+
+  template <typename Element>
+  bool parse_array(Element&& element) {
+    if (!expect('[')) return false;
+    if (accept(']')) return true;
+    do {
+      if (!element()) return false;
+    } while (accept(','));
+    return expect(']');
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_{0};
+  bool failed_{false};
+  std::string error_;
+};
+
+bool parse_topology(Reader& reader, TopologySpec& topology) {
+  return reader.parse_object([&](const std::string& key) {
+    if (key == "kind") {
+      std::string kind;
+      if (!reader.parse_string(kind)) return false;
+      if (kind == "star") {
+        topology.kind = TopologyKind::kStar;
+      } else if (kind == "line") {
+        topology.kind = TopologyKind::kSwitchLine;
+      } else if (kind == "tree") {
+        topology.kind = TopologyKind::kSwitchTree;
+      } else {
+        return reader.fail("unknown topology kind '" + kind + "'");
+      }
+      return true;
+    }
+    std::uint64_t value = 0;
+    constexpr std::uint64_t kMax32 = 0xffffffffULL;
+    if (key == "switches") {
+      if (!reader.parse_bounded(kMax32, value)) return false;
+      topology.switches = static_cast<std::uint32_t>(value);
+      return true;
+    }
+    if (key == "nodes") {
+      if (!reader.parse_bounded(kMax32, value)) return false;
+      topology.nodes = static_cast<std::uint32_t>(value);
+      return true;
+    }
+    return reader.fail("unknown topology key '" + key + "'");
+  });
+}
+
+bool parse_sim(Reader& reader, ScenarioSpec& spec) {
+  return reader.parse_object([&](const std::string& key) {
+    if (key == "simulate") return reader.parse_bool(spec.simulate);
+    if (key == "run_slots") return reader.parse_u64(spec.run_slots);
+    if (key == "ticks_per_slot") return reader.parse_u64(spec.ticks_per_slot);
+    if (key == "with_best_effort") {
+      return reader.parse_bool(spec.with_best_effort);
+    }
+    if (key == "best_effort_load") {
+      return reader.parse_double(spec.best_effort_load);
+    }
+    if (key == "bursty_best_effort") {
+      return reader.parse_bool(spec.bursty_best_effort);
+    }
+    return reader.fail("unknown sim key '" + key + "'");
+  });
+}
+
+bool parse_op(Reader& reader, ScenarioOp& op) {
+  bool saw_kind = false;
+  const bool ok = reader.parse_object([&](const std::string& key) {
+    std::uint64_t value = 0;
+    constexpr std::uint64_t kMax32 = 0xffffffffULL;
+    if (key == "op") {
+      std::string kind;
+      if (!reader.parse_string(kind)) return false;
+      if (kind == "admit") {
+        op.kind = ScenarioOp::Kind::kAdmit;
+      } else if (kind == "release") {
+        op.kind = ScenarioOp::Kind::kRelease;
+      } else {
+        return reader.fail("unknown op '" + kind + "'");
+      }
+      saw_kind = true;
+      return true;
+    }
+    if (key == "source") {
+      if (!reader.parse_bounded(kMax32, value)) return false;
+      op.spec.source = NodeId{static_cast<std::uint32_t>(value)};
+      return true;
+    }
+    if (key == "destination") {
+      if (!reader.parse_bounded(kMax32, value)) return false;
+      op.spec.destination = NodeId{static_cast<std::uint32_t>(value)};
+      return true;
+    }
+    if (key == "period") return reader.parse_u64(op.spec.period);
+    if (key == "capacity") return reader.parse_u64(op.spec.capacity);
+    if (key == "deadline") return reader.parse_u64(op.spec.deadline);
+    if (key == "target") {
+      if (!reader.parse_bounded(kMax32, value)) return false;
+      op.target = static_cast<std::uint32_t>(value);
+      return true;
+    }
+    if (key == "raw_id") {
+      if (!reader.parse_bounded(0xffffULL, value)) return false;
+      op.raw_id = static_cast<std::uint16_t>(value);
+      return true;
+    }
+    return reader.fail("unknown op key '" + key + "'");
+  });
+  if (!ok) return false;
+  if (!saw_kind) return reader.fail("op without an \"op\" kind");
+  return true;
+}
+
+}  // namespace
+
+Expected<ScenarioSpec, std::string> from_json(std::string_view json) {
+  Reader reader(json);
+  ScenarioSpec spec;
+  std::string schema;
+  const bool ok = reader.parse_object([&](const std::string& key) {
+    if (key == "schema") return reader.parse_string(schema);
+    if (key == "seed") return reader.parse_u64(spec.seed);
+    if (key == "name") return reader.parse_string(spec.name);
+    if (key == "scheme") return reader.parse_string(spec.scheme);
+    if (key == "topology") return parse_topology(reader, spec.topology);
+    if (key == "sim") return parse_sim(reader, spec);
+    if (key == "ops") {
+      return reader.parse_array([&] {
+        ScenarioOp op;
+        if (!parse_op(reader, op)) return false;
+        spec.ops.push_back(op);
+        return true;
+      });
+    }
+    return reader.fail("unknown scenario key '" + key + "'");
+  });
+  if (!ok || reader.failed()) {
+    return Unexpected(reader.error());
+  }
+  if (!reader.at_end()) {
+    return Unexpected(std::string("trailing content after document"));
+  }
+  if (schema != kScenarioSchema) {
+    return Unexpected("unsupported schema '" + schema + "' (want '" +
+                      std::string(kScenarioSchema) + "')");
+  }
+  if (!spec.well_formed()) {
+    return Unexpected(std::string("scenario is not well-formed (release "
+                                  "targets must point back at admit ops)"));
+  }
+  return spec;
+}
+
+bool save_scenario(const ScenarioSpec& spec, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  const std::string document = to_json(spec);
+  out.write(document.data(),
+            static_cast<std::streamsize>(document.size()));
+  out.put('\n');
+  return static_cast<bool>(out);
+}
+
+Expected<ScenarioSpec, std::string> load_scenario(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Unexpected("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = from_json(buffer.str());
+  if (!parsed) {
+    return Unexpected(path + ": " + parsed.error());
+  }
+  return parsed;
+}
+
+}  // namespace rtether::scenario

@@ -1,0 +1,40 @@
+#pragma once
+
+/// @file json_io.hpp
+/// ScenarioSpec ⇄ JSON. Serialization uses `common::JsonWriter`; parsing is
+/// a small, schema-scoped recursive-descent reader (the library deliberately
+/// has no general JSON dependency). The format is the corpus format checked
+/// in under `tests/scenario/corpus/*.json` and documented in README.md
+/// ("Fuzzing & replaying scenarios"); `schema` is versioned so corpus
+/// entries stay replayable across spec evolution.
+
+#include <string>
+#include <string_view>
+
+#include "common/expected.hpp"
+#include "scenario/spec.hpp"
+
+namespace rtether::scenario {
+
+/// Current corpus schema tag.
+inline constexpr std::string_view kScenarioSchema = "rtether-scenario-v1";
+
+/// Serializes a spec to a strict-JSON document (no trailing newline).
+[[nodiscard]] std::string to_json(const ScenarioSpec& spec);
+
+/// Parses a document produced by `to_json` (or hand-written to the same
+/// schema). Unknown keys are rejected — a corpus entry that drifts from the
+/// schema should fail loudly, not silently lose a field. The error string
+/// carries an offset and a reason.
+[[nodiscard]] Expected<ScenarioSpec, std::string> from_json(
+    std::string_view json);
+
+/// Writes `to_json(spec)` (plus trailing newline) to `path`.
+[[nodiscard]] bool save_scenario(const ScenarioSpec& spec,
+                                 const std::string& path);
+
+/// Loads and parses a scenario file.
+[[nodiscard]] Expected<ScenarioSpec, std::string> load_scenario(
+    const std::string& path);
+
+}  // namespace rtether::scenario

@@ -1,0 +1,569 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/admission.hpp"
+#include "core/parallel_admission.hpp"
+#include "edf/feasibility.hpp"
+#include "proto/periodic_sender.hpp"
+#include "proto/stack.hpp"
+#include "sim/best_effort.hpp"
+
+namespace rtether::scenario {
+
+const char* to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kMalformedSpec:
+      return "malformed scenario spec";
+    case ViolationKind::kPartitionInvariant:
+      return "DPS candidate violates Eq 18.8/18.9";
+    case ViolationKind::kPathSplitInvariant:
+      return "k-hop split violates generalized Eq 18.8/18.9";
+    case ViolationKind::kEngineDisagreement:
+      return "admission paths disagree";
+    case ViolationKind::kReleaseDisagreement:
+      return "release results disagree";
+    case ViolationKind::kMultihopParity:
+      return "multihop/classic SDPS parity broken";
+    case ViolationKind::kStateInconsistent:
+      return "committed states out of sync";
+    case ViolationKind::kInfeasibleState:
+      return "committed link fails the EDF test";
+    case ViolationKind::kStackDivergence:
+      return "wire-protocol outcome diverges from analytic decision";
+    case ViolationKind::kDeadlineMiss:
+      return "deadline miss in simulation";
+    case ViolationKind::kFrameLoss:
+      return "RT frame lost in simulation";
+  }
+  return "?";
+}
+
+std::string Violation::to_string() const {
+  std::ostringstream out;
+  out << scenario::to_string(kind);
+  if (op_index != static_cast<std::size_t>(-1)) {
+    out << " at op " << op_index;
+  }
+  if (!detail.empty()) {
+    out << ": " << detail;
+  }
+  return out.str();
+}
+
+std::string ScenarioResult::summary() const {
+  std::ostringstream out;
+  out << (passed ? "PASS" : "FAIL") << " admitted=" << admitted
+      << " rejected=" << rejected << " released=" << released
+      << " frames=" << frames_delivered;
+  for (const auto& violation : violations) {
+    out << "\n  " << violation.to_string();
+  }
+  return out.str();
+}
+
+namespace {
+
+using core::AdmissionController;
+using core::AdmissionEngine;
+using core::ChannelRequest;
+using core::ChannelSpec;
+using core::Rejection;
+using core::RtChannel;
+
+using AdmitOutcome = Expected<RtChannel, Rejection>;
+
+[[nodiscard]] bool outcomes_equal(const AdmitOutcome& a,
+                                  const AdmitOutcome& b) {
+  if (a.has_value() != b.has_value()) return false;
+  if (a.has_value()) return *a == *b;
+  return a.error().reason == b.error().reason &&
+         a.error().detail == b.error().detail;
+}
+
+[[nodiscard]] std::string describe(const AdmitOutcome& outcome) {
+  if (outcome.has_value()) {
+    std::ostringstream out;
+    out << "accepted id=" << outcome->id.value()
+        << " d_iu=" << outcome->partition.uplink
+        << " d_id=" << outcome->partition.downlink;
+    return out.str();
+  }
+  return std::string("rejected (") + core::to_string(outcome.error().reason) +
+         "): " + outcome.error().detail;
+}
+
+/// Resolves which channel ID a release op tears down: the ID its target
+/// admit op was assigned, or the raw ID when the target never admitted.
+[[nodiscard]] ChannelId resolve_release(
+    const ScenarioOp& op,
+    const std::vector<std::optional<ChannelId>>& id_by_op) {
+  if (op.target != ScenarioOp::kNoTarget && id_by_op[op.target]) {
+    return *id_by_op[op.target];
+  }
+  return ChannelId{op.raw_id};
+}
+
+/// Live channels of a NetworkState, sorted by ID — the canonical form for
+/// cross-engine registry comparison.
+[[nodiscard]] std::vector<RtChannel> sorted_channels(
+    const core::NetworkState& state) {
+  auto channels = state.channels();
+  std::sort(channels.begin(), channels.end(),
+            [](const RtChannel& a, const RtChannel& b) { return a.id < b.id; });
+  return channels;
+}
+
+struct RunContext {
+  const ScenarioSpec& spec;
+  const RunnerOptions& options;
+  ScenarioResult result;
+
+  bool fail(ViolationKind kind, std::size_t op_index, std::string detail) {
+    result.violations.push_back({kind, op_index, std::move(detail)});
+    return false;
+  }
+};
+
+/// Phases A–D: the three star admission paths plus the candidate audit and
+/// end-of-stream consistency checks. Fills the per-op reference outcomes the
+/// later phases (multihop parity, wire replay) compare against.
+bool run_star_engines(RunContext& ctx,
+                      std::vector<std::optional<AdmitOutcome>>& ref_by_op,
+                      std::vector<std::optional<ChannelId>>& id_by_op,
+                      std::vector<std::optional<bool>>& release_by_op) {
+  const ScenarioSpec& spec = ctx.spec;
+  const std::uint32_t nodes = spec.topology.nodes;
+  auto make_dps = [&] { return ctx.options.partitioner_factory(spec.scheme); };
+
+  AdmissionController controller(nodes, make_dps());
+  const auto audit_dps = make_dps();
+
+  // --- Phase A: reference run with the Eq 18.8/18.9 candidate audit ------
+  for (std::size_t i = 0; i < spec.ops.size(); ++i) {
+    const auto& op = spec.ops[i];
+    if (op.kind == ScenarioOp::Kind::kRelease) {
+      const ChannelId id = resolve_release(op, id_by_op);
+      release_by_op[i] = controller.release(id);
+      if (*release_by_op[i]) ++ctx.result.released;
+      continue;
+    }
+    // The audit mirrors admission_flow's gate: candidates are only
+    // requested for valid specs between known nodes with ID headroom.
+    const auto& request = op.spec;
+    if (request.valid() && controller.state().node_exists(request.source) &&
+        controller.state().node_exists(request.destination) &&
+        controller.state().channel_count() <
+            core::ChannelIdAllocator::kCapacity) {
+      const auto candidates =
+          audit_dps->candidates(request, controller.state());
+      for (const auto& candidate : candidates) {
+        if (!candidate.satisfies(request)) {
+          std::ostringstream detail;
+          detail << spec.scheme << " proposed d_iu=" << candidate.uplink
+                 << " d_id=" << candidate.downlink << " for "
+                 << request.to_string();
+          return ctx.fail(ViolationKind::kPartitionInvariant, i, detail.str());
+        }
+      }
+    }
+    auto outcome = controller.request(request);
+    if (outcome.has_value()) {
+      ++ctx.result.admitted;
+      id_by_op[i] = outcome->id;
+    } else {
+      ++ctx.result.rejected;
+    }
+    ref_by_op[i] = std::move(outcome);
+  }
+
+  // --- Phase B: batched engine (admit runs through admit_batch) ----------
+  AdmissionEngine engine(nodes, make_dps());
+  {
+    std::size_t i = 0;
+    while (i < spec.ops.size()) {
+      if (spec.ops[i].kind == ScenarioOp::Kind::kRelease) {
+        const ChannelId id = resolve_release(spec.ops[i], id_by_op);
+        const bool ok = engine.release(id);
+        if (ok != *release_by_op[i]) {
+          return ctx.fail(ViolationKind::kReleaseDisagreement, i,
+                          "batched engine released=" +
+                              std::to_string(ok) + " vs controller=" +
+                              std::to_string(*release_by_op[i]));
+        }
+        ++i;
+        continue;
+      }
+      std::size_t run_end = i;
+      std::vector<ChannelRequest> batch;
+      while (run_end < spec.ops.size() &&
+             spec.ops[run_end].kind == ScenarioOp::Kind::kAdmit) {
+        batch.push_back(ChannelRequest{spec.ops[run_end].spec});
+        ++run_end;
+      }
+      const auto result = engine.admit_batch(batch);
+      for (std::size_t k = 0; k < batch.size(); ++k) {
+        const std::size_t op_index = i + k;
+        if (!outcomes_equal(result.outcomes[k], *ref_by_op[op_index])) {
+          return ctx.fail(ViolationKind::kEngineDisagreement, op_index,
+                          "batched engine: " + describe(result.outcomes[k]) +
+                              " vs controller: " +
+                              describe(*ref_by_op[op_index]));
+        }
+      }
+      i = run_end;
+    }
+  }
+
+  // --- Phase C: parallel engine (whole stream through process()) ---------
+  core::ParallelAdmissionConfig parallel_config;
+  parallel_config.threads = ctx.options.parallel_threads;
+  // Fuzz batches are small; lower the fallback threshold so the sharded
+  // path actually executes instead of degenerating to the batched engine.
+  parallel_config.min_parallel_batch = 2;
+  core::ParallelAdmissionEngine parallel(nodes, make_dps(), parallel_config);
+  {
+    std::vector<core::ChannelOp> ops;
+    ops.reserve(spec.ops.size());
+    for (std::size_t i = 0; i < spec.ops.size(); ++i) {
+      const auto& op = spec.ops[i];
+      if (op.kind == ScenarioOp::Kind::kAdmit) {
+        ops.push_back(core::ChannelOp::admit(op.spec));
+      } else {
+        ops.push_back(core::ChannelOp::release(resolve_release(op, id_by_op)));
+      }
+    }
+    const auto churn = parallel.process(ops);
+    std::size_t admit_cursor = 0;
+    std::size_t release_cursor = 0;
+    for (std::size_t i = 0; i < spec.ops.size(); ++i) {
+      if (spec.ops[i].kind == ScenarioOp::Kind::kAdmit) {
+        const auto& outcome = churn.admissions[admit_cursor++];
+        if (!outcomes_equal(outcome, *ref_by_op[i])) {
+          return ctx.fail(ViolationKind::kEngineDisagreement, i,
+                          "parallel engine: " + describe(outcome) +
+                              " vs controller: " + describe(*ref_by_op[i]));
+        }
+      } else {
+        const bool ok = churn.releases[release_cursor++];
+        if (ok != *release_by_op[i]) {
+          return ctx.fail(ViolationKind::kReleaseDisagreement, i,
+                          "parallel engine released=" + std::to_string(ok) +
+                              " vs controller=" +
+                              std::to_string(*release_by_op[i]));
+        }
+      }
+    }
+
+    // --- Phase D: end-of-stream registry + feasibility consistency -------
+    const auto reference = sorted_channels(controller.state());
+    for (const auto* other :
+         {&engine.state(), &parallel.state()}) {
+      if (sorted_channels(*other) != reference) {
+        return ctx.fail(ViolationKind::kStateInconsistent,
+                        static_cast<std::size_t>(-1),
+                        "live channel registries differ after the stream");
+      }
+    }
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+      for (const auto dir :
+           {core::LinkDirection::kUplink, core::LinkDirection::kDownlink}) {
+        if (!edf::is_feasible(controller.state().link(NodeId{n}, dir))) {
+          return ctx.fail(ViolationKind::kInfeasibleState,
+                          static_cast<std::size_t>(-1),
+                          std::string("link of node ") + std::to_string(n) +
+                              " (" + core::to_string(dir) +
+                              ") infeasible after churn");
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// Phase E: the multihop path over the scenario fabric, with the k-hop
+/// split audit and (when applicable) SDPS parity against the classic
+/// controller's decisions.
+bool run_multihop(RunContext& ctx,
+                  const std::vector<std::optional<AdmitOutcome>>& ref_by_op) {
+  const ScenarioSpec& spec = ctx.spec;
+  core::Topology topology = spec.topology.build();
+  core::PathAdmissionController multihop(
+      spec.topology.build(),
+      ctx.options.path_partitioner_factory(spec.scheme));
+  const auto audit_split = ctx.options.path_partitioner_factory(spec.scheme);
+
+  // The k-way largest-remainder apportionment matches the two-link floor
+  // split exactly on even deadlines under SDPS (see
+  // tests/property/test_multihop_properties.cpp) — there, decisions must
+  // be identical to the classic controller's.
+  bool parity = spec.topology.kind == TopologyKind::kStar &&
+                spec.scheme == "SDPS";
+  for (const auto& op : spec.ops) {
+    if (op.kind == ScenarioOp::Kind::kAdmit && op.spec.valid() &&
+        op.spec.deadline % 2 != 0) {
+      parity = false;
+      break;
+    }
+  }
+
+  std::vector<std::optional<ChannelId>> id_by_op(spec.ops.size());
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < spec.ops.size(); ++i) {
+    const auto& op = spec.ops[i];
+    if (op.kind == ScenarioOp::Kind::kRelease) {
+      if (multihop.release(resolve_release(op, id_by_op))) --live;
+      continue;
+    }
+    const auto& request = op.spec;
+    // Pre-request audit of the split, mirroring request()'s own gate.
+    const bool structurally_ok =
+        request.period > 0 && request.capacity > 0 &&
+        request.capacity <= request.period && request.deadline > 0 &&
+        topology.attachment(request.source).has_value() &&
+        topology.attachment(request.destination).has_value();
+    if (structurally_ok && live < core::ChannelIdAllocator::kCapacity) {
+      const auto route = topology.route(request.source, request.destination);
+      if (route &&
+          request.deadline >= request.capacity * route->size()) {
+        const auto budgets =
+            audit_split->split(request, *route, multihop.state());
+        Slot sum = 0;
+        bool hop_floor_ok = budgets.size() == route->size();
+        for (const Slot budget : budgets) {
+          hop_floor_ok = hop_floor_ok && budget >= request.capacity;
+          sum += budget;
+        }
+        if (!hop_floor_ok || sum != request.deadline) {
+          std::ostringstream detail;
+          detail << audit_split->name() << " split of " << request.to_string()
+                 << " over " << route->size() << " hops: sum=" << sum
+                 << " (want " << request.deadline << ")";
+          return ctx.fail(ViolationKind::kPathSplitInvariant, i, detail.str());
+        }
+      }
+    }
+    const auto outcome = multihop.request(request);
+    if (outcome.has_value()) {
+      id_by_op[i] = outcome->id;
+      ++live;
+      if (!outcome->partition_valid()) {
+        return ctx.fail(ViolationKind::kPathSplitInvariant, i,
+                        "admitted multihop channel fails partition_valid()");
+      }
+    }
+    if (parity && ref_by_op[i].has_value() &&
+        outcome.has_value() != ref_by_op[i]->has_value()) {
+      return ctx.fail(ViolationKind::kMultihopParity, i,
+                      "multihop " +
+                          std::string(outcome.has_value() ? "accepted"
+                                                          : "rejected") +
+                          " where classic controller did the opposite for " +
+                          request.to_string());
+    }
+  }
+
+  if (multihop.state().channel_count() != live) {
+    return ctx.fail(ViolationKind::kStateInconsistent,
+                    static_cast<std::size_t>(-1),
+                    "multihop registry count drifted from the op stream");
+  }
+  if (spec.topology.kind != TopologyKind::kStar) {
+    // Multi-switch scenarios have no star reference; report the multihop
+    // controller's own stats.
+    ctx.result.admitted = multihop.stats().accepted;
+    ctx.result.rejected = multihop.stats().rejected;
+    ctx.result.released = multihop.stats().released;
+  }
+
+  // Every directed link a live channel crosses must still be feasible.
+  std::unordered_set<core::LinkId> links;
+  for (std::size_t i = 0; i < spec.ops.size(); ++i) {
+    if (!id_by_op[i]) continue;
+    if (const auto channel = multihop.state().find_channel(*id_by_op[i])) {
+      for (const auto& link : channel->path) links.insert(link);
+    }
+  }
+  for (const auto& link : links) {
+    if (!edf::is_feasible(multihop.state().link(link))) {
+      return ctx.fail(ViolationKind::kInfeasibleState,
+                      static_cast<std::size_t>(-1),
+                      "multihop link " + link.to_string() +
+                          " infeasible after churn");
+    }
+  }
+  return true;
+}
+
+/// Phase F: wire-protocol replay plus the Eq 18.1 guarantee check in the
+/// slot-accurate simulator.
+bool run_simulation(RunContext& ctx,
+                    const std::vector<std::optional<AdmitOutcome>>& ref_by_op,
+                    const std::vector<std::optional<ChannelId>>& id_by_op,
+                    const std::vector<std::optional<bool>>& release_by_op) {
+  const ScenarioSpec& spec = ctx.spec;
+  sim::SimConfig sim_config;
+  sim_config.ticks_per_slot = spec.ticks_per_slot;
+  proto::Stack stack(sim_config, spec.topology.nodes,
+                     ctx.options.partitioner_factory(spec.scheme));
+  auto& network = stack.network();
+  network.set_miss_allowance(
+      sim_config.t_latency_ticks(spec.with_best_effort));
+
+  // Replay the op stream over the management protocol; the wire must reach
+  // the same decisions, IDs and uplink deadlines as the analytic engines.
+  std::unordered_map<std::uint16_t, proto::EstablishedChannel> live;
+  for (std::size_t i = 0; i < spec.ops.size(); ++i) {
+    const auto& op = spec.ops[i];
+    if (op.kind == ScenarioOp::Kind::kRelease) {
+      if (!release_by_op[i].has_value() || !*release_by_op[i]) continue;
+      const ChannelId id = resolve_release(op, id_by_op);
+      const auto it = live.find(id.value());
+      if (it == live.end()) {
+        return ctx.fail(ViolationKind::kStateInconsistent, i,
+                        "stack lost track of channel " +
+                            std::to_string(id.value()));
+      }
+      stack.teardown(it->second);
+      live.erase(it);
+      continue;
+    }
+    const auto& request = op.spec;
+    const auto established =
+        stack.establish(request.source, request.destination, request.period,
+                        request.capacity, request.deadline);
+    const auto& reference = *ref_by_op[i];
+    if (established.has_value() != reference.has_value()) {
+      return ctx.fail(
+          ViolationKind::kStackDivergence, i,
+          "wire " +
+              std::string(established.has_value()
+                              ? "accepted"
+                              : "rejected (" + established.error() + ")") +
+              " vs analytic " + describe(reference));
+    }
+    if (established.has_value()) {
+      if (established->id != reference->id ||
+          established->uplink_deadline != reference->partition.uplink) {
+        std::ostringstream detail;
+        detail << "wire id=" << established->id.value()
+               << " d_iu=" << established->uplink_deadline << " vs analytic "
+               << describe(reference);
+        return ctx.fail(ViolationKind::kStackDivergence, i, detail.str());
+      }
+      live.emplace(established->id.value(), *established);
+    }
+  }
+
+  // Synchronous periodic senders on every surviving channel (phase 0 — the
+  // worst-case aligned release pattern), optional best-effort background.
+  std::vector<const proto::EstablishedChannel*> channels;
+  channels.reserve(live.size());
+  for (const auto& [id, channel] : live) channels.push_back(&channel);
+  std::sort(channels.begin(), channels.end(),
+            [](const auto* a, const auto* b) { return a->id < b->id; });
+
+  Slot max_deadline = 0;
+  std::vector<std::unique_ptr<proto::PeriodicRtSender>> senders;
+  for (const auto* channel : channels) {
+    max_deadline = std::max(max_deadline, channel->deadline);
+    senders.push_back(std::make_unique<proto::PeriodicRtSender>(
+        stack.layer(channel->source), channel->id));
+    senders.back()->start();
+  }
+  std::vector<std::unique_ptr<sim::BestEffortSource>> background;
+  if (spec.with_best_effort) {
+    sim::BestEffortProfile profile;
+    profile.offered_load = spec.best_effort_load;
+    profile.arrivals = spec.bursty_best_effort
+                           ? sim::BestEffortArrivals::kOnOff
+                           : sim::BestEffortArrivals::kPoisson;
+    background = sim::attach_best_effort_everywhere(network, profile,
+                                                    spec.seed ^ 0xbeefULL);
+  }
+
+  const Tick stop_at =
+      network.now() + sim_config.slots_to_ticks(spec.run_slots);
+  network.simulator().run_until(stop_at);
+  for (auto& sender : senders) sender->stop();
+  for (auto& source : background) source->stop();
+  // Drain: anything released before the stop must land within its deadline
+  // plus the allowance; one extra period covers in-flight self-reschedules.
+  const Slot drain_slots = max_deadline + 64;
+  network.simulator().run_until(stop_at +
+                                sim_config.slots_to_ticks(drain_slots));
+  ctx.result.simulated_slots = spec.run_slots + drain_slots;
+
+  for (const auto* channel : channels) {
+    const auto stats = network.stats().channel(channel->id);
+    if (!stats) continue;  // period longer than the run; nothing released
+    ctx.result.frames_delivered += stats->frames_delivered;
+    if (stats->deadline_misses != 0) {
+      std::ostringstream detail;
+      detail << "channel " << channel->id.value() << " (d="
+             << channel->deadline << ") missed " << stats->deadline_misses
+             << " of " << stats->frames_sent << " frames; worst lateness "
+             << stats->worst_lateness_ticks << " ticks";
+      return ctx.fail(ViolationKind::kDeadlineMiss,
+                      static_cast<std::size_t>(-1), detail.str());
+    }
+    if (stats->frames_sent != stats->frames_delivered) {
+      std::ostringstream detail;
+      detail << "channel " << channel->id.value() << " sent "
+             << stats->frames_sent << " but delivered "
+             << stats->frames_delivered;
+      return ctx.fail(ViolationKind::kFrameLoss,
+                      static_cast<std::size_t>(-1), detail.str());
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec,
+                            const RunnerOptions& options) {
+  RunnerOptions resolved = options;
+  if (!resolved.partitioner_factory) {
+    resolved.partitioner_factory = [](const std::string& scheme) {
+      return core::make_partitioner(scheme);
+    };
+  }
+  if (!resolved.path_partitioner_factory) {
+    resolved.path_partitioner_factory = [](const std::string& scheme) {
+      return core::make_path_partitioner(scheme == "SDPS" ? "SDPS" : "ADPS");
+    };
+  }
+
+  RunContext ctx{spec, resolved, {}};
+  if (!spec.well_formed()) {
+    ctx.fail(ViolationKind::kMalformedSpec, static_cast<std::size_t>(-1),
+             "release targets must point back at admit ops");
+    return ctx.result;
+  }
+
+  std::vector<std::optional<AdmitOutcome>> ref_by_op(spec.ops.size());
+  std::vector<std::optional<ChannelId>> id_by_op(spec.ops.size());
+  std::vector<std::optional<bool>> release_by_op(spec.ops.size());
+
+  const bool star = spec.topology.kind == TopologyKind::kStar;
+  bool ok = true;
+  if (star) {
+    ok = run_star_engines(ctx, ref_by_op, id_by_op, release_by_op);
+  }
+  if (ok) {
+    ok = run_multihop(ctx, ref_by_op);
+  }
+  if (ok && star && spec.simulate && resolved.run_simulation) {
+    ok = run_simulation(ctx, ref_by_op, id_by_op, release_by_op);
+  }
+  ctx.result.passed = ok && ctx.result.violations.empty();
+  return ctx.result;
+}
+
+}  // namespace rtether::scenario

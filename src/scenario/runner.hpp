@@ -1,0 +1,110 @@
+#pragma once
+
+/// @file runner.hpp
+/// Executes one ScenarioSpec through every admission path the library
+/// offers and checks the two-sided conformance oracle:
+///
+///   1. **Agreement** — the sequential `AdmissionController`, the batched
+///      `AdmissionEngine` and the sharded `ParallelAdmissionEngine` must
+///      produce bit-identical outcomes on the same op stream: same
+///      accepts/rejects, same channel IDs, same deadline partitions, same
+///      rejection reasons *and diagnostic strings*. The multihop
+///      `PathAdmissionController` runs the same stream over the scenario's
+///      fabric and must uphold its own invariants (generalized Eqs
+///      18.8/18.9, per-hop feasibility, residue-free rejection); on star
+///      topologies under SDPS with even deadlines it must also match the
+///      classic controller decision-for-decision (the documented
+///      equivalence).
+///   2. **Guarantee** — for star scenarios the surviving channel set is
+///      established over the real management protocol (`proto::Stack`,
+///      which must agree with the analytic decisions, IDs and uplink
+///      deadlines — the wire is the fourth witness) and driven through the
+///      slot-accurate simulator, optionally against best-effort
+///      cross-traffic: every frame of every admitted channel must arrive
+///      within d_i + T_latency (Eq 18.1), with zero losses.
+///
+/// The runner additionally audits every DPS candidate against Eqs
+/// 18.8/18.9 *before* the engines see it. The engines enforce those
+/// equations with a hard assert (admission is a safety property); the audit
+/// turns "a broken partitioner aborts the process" into "a broken
+/// partitioner fails the scenario with a replayable seed", which is what
+/// lets the shrinker minimize such bugs — see the off-by-one demo in
+/// tests/scenario/test_scenario_shrinker.cpp.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/multihop.hpp"
+#include "core/partitioner.hpp"
+#include "scenario/spec.hpp"
+
+namespace rtether::scenario {
+
+enum class ViolationKind : std::uint8_t {
+  kMalformedSpec,         ///< spec failed ScenarioSpec::well_formed()
+  kPartitionInvariant,    ///< DPS candidate violates Eq 18.8/18.9
+  kPathSplitInvariant,    ///< k-hop split violates generalized Eq 18.8/18.9
+  kEngineDisagreement,    ///< engines diverge on outcome/ID/diagnostics
+  kReleaseDisagreement,   ///< engines diverge on a teardown result
+  kMultihopParity,        ///< multihop vs classic decision mismatch (SDPS)
+  kStateInconsistent,     ///< live-channel registries out of sync
+  kInfeasibleState,       ///< a committed link fails the EDF test
+  kStackDivergence,       ///< wire-protocol outcome != analytic outcome
+  kDeadlineMiss,          ///< simulation: frame late (Eq 18.1 violated)
+  kFrameLoss,             ///< simulation: RT frame sent but never delivered
+};
+
+[[nodiscard]] const char* to_string(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind;
+  /// Op index the violation surfaced at; SIZE_MAX for end-of-run checks.
+  std::size_t op_index{static_cast<std::size_t>(-1)};
+  std::string detail;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct ScenarioResult {
+  bool passed{false};
+  std::vector<Violation> violations;
+  // Bookkeeping for reports and the campaign's throughput metrics.
+  std::size_t admitted{0};
+  std::size_t rejected{0};
+  std::size_t released{0};
+  std::uint64_t frames_delivered{0};
+  /// Slots of simulated time this scenario executed (0 when sim skipped).
+  std::uint64_t simulated_slots{0};
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Dependency-injection points, used by the fault-demo tests to plant
+/// deliberately broken components and watch the oracle catch them.
+struct RunnerOptions {
+  /// Star-engine DPS factory; defaults to `core::make_partitioner`.
+  std::function<std::unique_ptr<core::DeadlinePartitioner>(
+      const std::string& scheme)>
+      partitioner_factory;
+  /// Multihop split factory; defaults to mapping SDPS→SDPS, else ADPS.
+  std::function<std::unique_ptr<core::PathPartitioner>(
+      const std::string& scheme)>
+      path_partitioner_factory;
+  /// Worker threads for the parallel engine (its decisions are
+  /// thread-count independent; 2 keeps the sharded path honest without
+  /// oversubscribing campaign workers).
+  unsigned parallel_threads{2};
+  /// Run the simulation phase of star scenarios (the campaign's pure
+  /// admission mode turns this off for breadth-first sweeps).
+  bool run_simulation{true};
+};
+
+/// Runs one scenario; stops at the first violation (a failing scenario is a
+/// bug report, not a survey).
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec,
+                                          const RunnerOptions& options = {});
+
+}  // namespace rtether::scenario

@@ -1,0 +1,223 @@
+#include "scenario/shrinker.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace rtether::scenario {
+
+namespace {
+
+/// Rebuilds `spec` keeping only ops with `keep[i]`. Release targets are
+/// remapped; releases whose target admit was dropped are dropped too (their
+/// meaning — "tear down that channel" — left with it).
+ScenarioSpec keep_ops(const ScenarioSpec& spec, const std::vector<bool>& keep) {
+  ScenarioSpec out = spec;
+  out.ops.clear();
+  std::vector<std::uint32_t> remap(spec.ops.size(),
+                                   ScenarioOp::kNoTarget);
+  for (std::size_t i = 0; i < spec.ops.size(); ++i) {
+    if (!keep[i]) continue;
+    const auto& op = spec.ops[i];
+    if (op.kind == ScenarioOp::Kind::kRelease &&
+        op.target != ScenarioOp::kNoTarget &&
+        remap[op.target] == ScenarioOp::kNoTarget) {
+      continue;  // its admit op is gone
+    }
+    ScenarioOp copy = op;
+    if (copy.kind == ScenarioOp::Kind::kRelease &&
+        copy.target != ScenarioOp::kNoTarget) {
+      copy.target = remap[copy.target];
+    }
+    remap[i] = static_cast<std::uint32_t>(out.ops.size());
+    out.ops.push_back(copy);
+  }
+  return out;
+}
+
+class Shrinker {
+ public:
+  Shrinker(const ScenarioSpec& failing, const ShrinkOptions& options)
+      : options_(options), best_(failing) {}
+
+  ShrinkOutcome run() {
+    const auto original = run_scenario(best_, options_.runner);
+    RTETHER_ASSERT_MSG(!original.passed,
+                       "shrink_scenario needs a failing scenario");
+    failure_ = original;
+
+    shrink_ops();
+    shrink_nodes();
+    shrink_quantities();
+    shrink_sim_knobs();
+    // A smaller op stream may have become reducible again after the
+    // quantity pass (e.g. a channel only needed for load is now inert).
+    shrink_ops();
+
+    best_.name = best_.name.empty() ? "minimized" : best_.name + "-min";
+    return ShrinkOutcome{best_, attempts_, failure_};
+  }
+
+ private:
+  /// Replays a candidate; adopts it as the new best when it still fails.
+  bool try_adopt(const ScenarioSpec& candidate) {
+    if (attempts_ >= options_.max_attempts) return false;
+    ++attempts_;
+    auto result = run_scenario(candidate, options_.runner);
+    if (result.passed) return false;
+    best_ = candidate;
+    failure_ = std::move(result);
+    return true;
+  }
+
+  /// ddmin-style: remove chunks of halving size, then single ops, until a
+  /// fixed point.
+  void shrink_ops() {
+    bool progress = true;
+    while (progress && attempts_ < options_.max_attempts) {
+      progress = false;
+      for (std::size_t chunk = std::max<std::size_t>(best_.ops.size() / 2, 1);
+           chunk >= 1; chunk /= 2) {
+        for (std::size_t start = 0; start < best_.ops.size();) {
+          std::vector<bool> keep(best_.ops.size(), true);
+          const std::size_t end =
+              std::min(start + chunk, best_.ops.size());
+          for (std::size_t i = start; i < end; ++i) keep[i] = false;
+          if (try_adopt(keep_ops(best_, keep))) {
+            progress = true;  // indices shifted; rescan from here
+          } else {
+            start = end;
+          }
+          if (attempts_ >= options_.max_attempts) return;
+        }
+        if (chunk == 1) break;
+      }
+    }
+  }
+
+  /// Densely renumbers the nodes the remaining ops actually reference
+  /// (preserving order) and drops the rest from the topology.
+  void shrink_nodes() {
+    const std::uint32_t old_nodes = best_.topology.nodes;
+    std::vector<bool> used(old_nodes, false);
+    for (const auto& op : best_.ops) {
+      if (op.kind != ScenarioOp::Kind::kAdmit) continue;
+      for (const NodeId node : {op.spec.source, op.spec.destination}) {
+        if (node.value() < old_nodes) {
+          used[node.value()] = true;
+        }
+      }
+    }
+    std::vector<std::uint32_t> remap(old_nodes, 0);
+    std::uint32_t next = 0;
+    for (std::uint32_t n = 0; n < old_nodes; ++n) {
+      if (used[n]) remap[n] = next++;
+    }
+    const std::uint32_t new_nodes = std::max(next, 1U);
+    if (new_nodes >= old_nodes) return;
+
+    ScenarioSpec candidate = best_;
+    candidate.topology.nodes = new_nodes;
+    candidate.topology.switches =
+        std::min(candidate.topology.switches, new_nodes);
+    for (auto& op : candidate.ops) {
+      if (op.kind != ScenarioOp::Kind::kAdmit) continue;
+      auto rename = [&](NodeId node) {
+        // Unknown-node references stay unknown relative to the new size.
+        if (node.value() >= old_nodes) return NodeId{new_nodes};
+        return NodeId{remap[node.value()]};
+      };
+      op.spec.source = rename(op.spec.source);
+      op.spec.destination = rename(op.spec.destination);
+    }
+    (void)try_adopt(candidate);
+  }
+
+  /// Per-channel quantity minimization: periods toward C, deadlines toward
+  /// the 2C floor, capacities toward 1 — halving steps, biggest first.
+  void shrink_quantities() {
+    bool progress = true;
+    while (progress && attempts_ < options_.max_attempts) {
+      progress = false;
+      for (std::size_t i = 0; i < best_.ops.size(); ++i) {
+        if (best_.ops[i].kind != ScenarioOp::Kind::kAdmit) continue;
+        progress |= shrink_field(
+            i, [](core::ChannelSpec& s) -> Slot& { return s.period; },
+            [](const core::ChannelSpec& s) { return s.capacity; });
+        progress |= shrink_field(
+            i, [](core::ChannelSpec& s) -> Slot& { return s.deadline; },
+            [](const core::ChannelSpec& s) { return 2 * s.capacity; });
+        progress |= shrink_field(
+            i, [](core::ChannelSpec& s) -> Slot& { return s.capacity; },
+            [](const core::ChannelSpec&) { return Slot{1}; });
+      }
+    }
+  }
+
+  /// Halves `field` toward `floor(spec)` while the failure persists; tries
+  /// the floor itself first (the biggest single step).
+  template <typename Field, typename Floor>
+  bool shrink_field(std::size_t op_index, Field field, Floor floor) {
+    bool progress = false;
+    for (;;) {
+      if (attempts_ >= options_.max_attempts) return progress;
+      ScenarioSpec candidate = best_;
+      auto& spec = candidate.ops[op_index].spec;
+      const Slot lo = floor(spec);
+      Slot& value = field(spec);
+      if (value <= lo) return progress;
+      const Slot halfway = lo + (value - lo) / 2;
+      // Try the floor first; fall back to halving toward it.
+      value = lo;
+      if (try_adopt(candidate)) {
+        progress = true;
+        continue;
+      }
+      if (halfway == lo) return progress;  // halving would replay the floor
+      ScenarioSpec half = best_;
+      field(half.ops[op_index].spec) = halfway;
+      if (try_adopt(half)) {
+        progress = true;
+        continue;
+      }
+      return progress;
+    }
+  }
+
+  /// Simulation knobs: a repro without best-effort noise, or without the
+  /// simulation phase at all, replays much faster.
+  void shrink_sim_knobs() {
+    if (best_.with_best_effort) {
+      ScenarioSpec candidate = best_;
+      candidate.with_best_effort = false;
+      candidate.best_effort_load = 0.0;
+      candidate.bursty_best_effort = false;
+      (void)try_adopt(candidate);
+    }
+    if (best_.simulate) {
+      ScenarioSpec candidate = best_;
+      candidate.simulate = false;
+      (void)try_adopt(candidate);
+    }
+    if (best_.simulate && best_.run_slots > 100) {
+      ScenarioSpec candidate = best_;
+      candidate.run_slots = 100;
+      (void)try_adopt(candidate);
+    }
+  }
+
+  const ShrinkOptions& options_;
+  ScenarioSpec best_;
+  ScenarioResult failure_;
+  std::size_t attempts_{0};
+};
+
+}  // namespace
+
+ShrinkOutcome shrink_scenario(const ScenarioSpec& failing,
+                              const ShrinkOptions& options) {
+  return Shrinker(failing, options).run();
+}
+
+}  // namespace rtether::scenario

@@ -1,0 +1,41 @@
+#pragma once
+
+/// @file shrinker.hpp
+/// Failing-scenario minimization. A fuzz failure with 36 ops over 12 nodes
+/// is a haystack; the shrinker greedily reduces it to the needle while the
+/// oracle keeps failing: first the op stream (ddmin-style chunk removal,
+/// then single ops), then the node set (dense remap of the nodes actually
+/// referenced), then the per-channel quantities (periods toward C, deadlines
+/// toward 2C, capacities toward 1) and finally the simulation knobs
+/// (best-effort off, shorter runs). The result is a minimized, replayable
+/// `ScenarioSpec` to check into the corpus next to the seed that found it.
+
+#include <cstddef>
+
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace rtether::scenario {
+
+struct ShrinkOptions {
+  RunnerOptions runner{};
+  /// Upper bound on oracle re-runs (each attempt replays a candidate).
+  std::size_t max_attempts{4000};
+};
+
+struct ShrinkOutcome {
+  /// Smallest spec found that still fails the oracle.
+  ScenarioSpec minimized;
+  /// Oracle replays spent.
+  std::size_t attempts{0};
+  /// The minimized spec's failure (kind + detail for the report).
+  ScenarioResult failure;
+};
+
+/// Minimizes `failing` (which must fail under `options.runner`; asserts
+/// otherwise — shrinking a passing scenario is a harness bug). Purely
+/// deterministic: same input, same minimized output.
+[[nodiscard]] ShrinkOutcome shrink_scenario(const ScenarioSpec& failing,
+                                            const ShrinkOptions& options = {});
+
+}  // namespace rtether::scenario

@@ -1,0 +1,100 @@
+#include "scenario/spec.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace rtether::scenario {
+
+const char* to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kStar:
+      return "star";
+    case TopologyKind::kSwitchLine:
+      return "line";
+    case TopologyKind::kSwitchTree:
+      return "tree";
+  }
+  return "?";
+}
+
+core::Topology TopologySpec::build() const {
+  const std::uint32_t switch_count =
+      kind == TopologyKind::kStar ? 1 : switches;
+  RTETHER_ASSERT_MSG(switch_count >= 1 && nodes >= 1,
+                     "scenario topology must have switches and nodes");
+  core::Topology topology(nodes, switch_count);
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    topology.attach_node(NodeId{n}, core::SwitchId{n % switch_count});
+  }
+  switch (kind) {
+    case TopologyKind::kStar:
+      break;
+    case TopologyKind::kSwitchLine:
+      for (std::uint32_t s = 0; s + 1 < switch_count; ++s) {
+        topology.connect_switches(core::SwitchId{s}, core::SwitchId{s + 1});
+      }
+      break;
+    case TopologyKind::kSwitchTree:
+      // Heap-shaped binary tree: switch s links to its parent (s-1)/2.
+      for (std::uint32_t s = 1; s < switch_count; ++s) {
+        topology.connect_switches(core::SwitchId{s},
+                                  core::SwitchId{(s - 1) / 2});
+      }
+      break;
+  }
+  return topology;
+}
+
+std::size_t ScenarioSpec::admit_count() const {
+  std::size_t count = 0;
+  for (const auto& op : ops) {
+    if (op.kind == ScenarioOp::Kind::kAdmit) ++count;
+  }
+  return count;
+}
+
+bool ScenarioSpec::well_formed() const {
+  if (topology.nodes == 0) return false;
+  if (topology.kind == TopologyKind::kStar ? false : topology.switches == 0) {
+    return false;
+  }
+  if (ticks_per_slot == 0) return false;
+  // A best-effort phase needs a sane offered load (the sim sources assert
+  // load > 0); rejecting here keeps a hand-edited corpus entry a test
+  // failure instead of a process abort.
+  if (with_best_effort &&
+      !(std::isfinite(best_effort_load) && best_effort_load > 0.0)) {
+    return false;
+  }
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const auto& op = ops[i];
+    if (op.kind != ScenarioOp::Kind::kRelease) continue;
+    if (op.target == ScenarioOp::kNoTarget) continue;
+    // A release may only point backwards, at an admit op.
+    if (op.target >= i) return false;
+    if (ops[op.target].kind != ScenarioOp::Kind::kAdmit) return false;
+  }
+  return true;
+}
+
+std::string ScenarioSpec::summary() const {
+  std::ostringstream out;
+  out << (name.empty() ? "scenario" : name) << " seed=" << seed << " "
+      << to_string(topology.kind) << "(nodes=" << topology.nodes
+      << ", switches="
+      << (topology.kind == TopologyKind::kStar ? 1U : topology.switches)
+      << ") scheme=" << scheme << " ops=" << ops.size()
+      << " admits=" << admit_count();
+  if (simulate && topology.kind == TopologyKind::kStar) {
+    out << " sim=" << run_slots << "slots";
+    if (with_best_effort) {
+      out << (bursty_best_effort ? "+bursty-be" : "+be") << "("
+          << best_effort_load << ")";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace rtether::scenario

@@ -21,7 +21,7 @@ void Transmitter::enqueue_rt(Tick deadline_key, SimFrame frame) {
   rt_queue_.push(deadline_key, std::move(frame));
   stats_.max_rt_queue_depth =
       std::max(stats_.max_rt_queue_depth, rt_queue_.size());
-  try_start();
+  schedule_start();
 }
 
 void Transmitter::enqueue_best_effort(SimFrame frame) {
@@ -29,7 +29,35 @@ void Transmitter::enqueue_best_effort(SimFrame frame) {
     stats_.max_best_effort_queue_depth = std::max(
         stats_.max_best_effort_queue_depth, best_effort_queue_.size());
   }
-  try_start();
+  schedule_start();
+}
+
+void Transmitter::schedule_start() {
+  // Defer the start-of-transmission decision to a same-tick arbitration
+  // event instead of grabbing the wire inline. Two frames released at the
+  // same tick used to be served in *event execution* order: the first
+  // enqueue found the link idle and started transmitting even when the
+  // second had the earlier EDF deadline — a full slot of priority-inversion
+  // blocking the per-link analysis (Eqs 18.2–18.5) does not account for,
+  // found by the scenario fuzzer as a real deadline miss (seed 37 of the
+  // default campaign, minimized to two zero-slack channels sharing an
+  // uplink). With the deferral, every release scheduled at tick T runs
+  // before the arbitration event created at T, so service starts — still at
+  // tick T — with the true EDF minimum of everything available.
+  if (busy_ || start_pending_) {
+    return;
+  }
+  // Nothing queued (a completion with both queues drained — the common
+  // case in sparse periodic traffic): don't burn an event; the next
+  // enqueue schedules its own arbitration.
+  if (rt_queue_.empty() && best_effort_queue_.empty()) {
+    return;
+  }
+  start_pending_ = true;
+  simulator_.schedule_in(0, [this] {
+    start_pending_ = false;
+    try_start();
+  });
 }
 
 void Transmitter::try_start() {
@@ -62,7 +90,7 @@ void Transmitter::try_start() {
         busy_ = false;
         const Tick completion = simulator_.now();
         deliver_(std::move(frame), completion);
-        try_start();
+        schedule_start();
       });
 }
 

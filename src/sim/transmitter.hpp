@@ -6,6 +6,11 @@
 /// priority over best-effort frames (a best-effort frame only starts when
 /// the RT queue is empty), but a frame in flight is never aborted — the
 /// one-frame blocking the paper folds into T_latency.
+///
+/// Start-of-transmission is decided by a same-tick arbitration event, not
+/// inline in `enqueue_*`: all frames enqueued at tick T compete before the
+/// wire is granted (still at T), so EDF order cannot be inverted by event
+/// execution order within a tick. See `Transmitter::schedule_start`.
 
 #include <cstdint>
 #include <functional>
@@ -56,6 +61,10 @@ class Transmitter {
   }
 
  private:
+  /// Schedules the same-tick arbitration event (no-op when transmitting or
+  /// already scheduled).
+  void schedule_start();
+
   /// Starts the next transmission if idle and work is queued.
   void try_start();
 
@@ -66,6 +75,8 @@ class Transmitter {
   EdfQueue rt_queue_;
   FcfsQueue best_effort_queue_;
   bool busy_{false};
+  /// An arbitration event is queued for the current tick.
+  bool start_pending_{false};
   TransmitterStats stats_;
 };
 

@@ -252,5 +252,48 @@ TEST(AdmissionBatch, BatchResultCounts) {
   EXPECT_EQ(engine.state().channel_count(), 2u);
 }
 
+TEST(AdmissionBatch, ReleaseOfNeverAdmittedIdIsRefusedWithoutResidue) {
+  // Negative teardown paths: IDs nobody holds (reserved 0, plausible but
+  // never assigned, out in the 16-bit weeds) must be refused, leave no
+  // trace in state or stats, and not perturb later admissions.
+  AdmissionEngine engine(4, make_partitioner("ADPS"));
+  const auto admitted = engine.admit(spec(0, 1, 100, 3, 40));
+  ASSERT_TRUE(admitted.has_value());
+
+  EXPECT_FALSE(engine.release(ChannelId{0}));
+  EXPECT_FALSE(engine.release(ChannelId{7}));       // never assigned
+  EXPECT_FALSE(engine.release(ChannelId{65535}));   // top of the ID space
+  EXPECT_EQ(engine.stats().released, 0u);
+  EXPECT_EQ(engine.state().channel_count(), 1u);
+
+  // The refused releases must not have touched the per-link caches: the
+  // next admission still matches a fresh reference controller that never
+  // saw them.
+  AdmissionController reference(4, make_partitioner("ADPS"));
+  (void)reference.request(spec(0, 1, 100, 3, 40));
+  const auto expected = reference.request(spec(1, 2, 100, 3, 40));
+  const auto actual = engine.admit(spec(1, 2, 100, 3, 40));
+  ASSERT_TRUE(expected.has_value() && actual.has_value());
+  EXPECT_EQ(*actual, *expected);
+}
+
+TEST(AdmissionBatch, DoubleReleaseIsRefusedAndFreedIdIsReassigned) {
+  AdmissionEngine engine(4, make_partitioner("SDPS"));
+  const auto first = engine.admit(spec(0, 1, 100, 3, 40));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(engine.release(first->id));
+  EXPECT_FALSE(engine.release(first->id));  // double teardown
+  EXPECT_EQ(engine.stats().released, 1u);
+  EXPECT_EQ(engine.state().channel_count(), 0u);
+
+  // Smallest-free reuse hands the same ID to the next accept; releasing it
+  // then tears down the new owner, once.
+  const auto second = engine.admit(spec(2, 3, 100, 3, 40));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->id, first->id);
+  EXPECT_TRUE(engine.release(second->id));
+  EXPECT_FALSE(engine.release(second->id));
+}
+
 }  // namespace
 }  // namespace rtether::core

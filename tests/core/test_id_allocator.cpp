@@ -82,5 +82,39 @@ TEST(ChannelIdAllocator, ExhaustionReturnsNullopt) {
   EXPECT_FALSE(alloc.allocate().has_value());
 }
 
+TEST(ChannelIdAllocator, ExhaustionChurnKeepsSmallestFirstAndRefusesExtras) {
+  // Negative paths under full occupancy: double release of a freed ID,
+  // release of the reserved 0, and re-exhaustion after scattered churn —
+  // the scan hint must not skip freed IDs below it.
+  ChannelIdAllocator alloc;
+  for (std::uint32_t i = 0; i < 65535; ++i) {
+    ASSERT_TRUE(alloc.allocate().has_value());
+  }
+  EXPECT_TRUE(alloc.release(ChannelId(60000)));
+  EXPECT_TRUE(alloc.release(ChannelId(5)));
+  EXPECT_TRUE(alloc.release(ChannelId(30000)));
+  EXPECT_FALSE(alloc.release(ChannelId(5)));  // double free while exhausted
+  EXPECT_FALSE(alloc.release(ChannelId(0)));  // reserved, never live
+  EXPECT_EQ(alloc.live_count(), 65532u);
+  // Freed IDs come back smallest-first, regardless of release order.
+  EXPECT_EQ(alloc.allocate(), ChannelId(5));
+  EXPECT_EQ(alloc.allocate(), ChannelId(30000));
+  EXPECT_EQ(alloc.allocate(), ChannelId(60000));
+  EXPECT_FALSE(alloc.allocate().has_value());
+  EXPECT_EQ(alloc.live_count(), 65535u);
+}
+
+TEST(ChannelIdAllocator, DoubleReleaseAfterReuseTargetsTheNewOwner) {
+  // Once a freed ID is re-allocated, releasing it again is a *valid*
+  // teardown of the new owner — only a third release is a double free.
+  ChannelIdAllocator alloc;
+  const auto id = alloc.allocate();
+  EXPECT_TRUE(alloc.release(*id));
+  EXPECT_EQ(alloc.allocate(), *id);  // reused
+  EXPECT_TRUE(alloc.release(*id));   // releases the reuser
+  EXPECT_FALSE(alloc.release(*id));  // now a double free
+  EXPECT_EQ(alloc.live_count(), 0u);
+}
+
 }  // namespace
 }  // namespace rtether::core

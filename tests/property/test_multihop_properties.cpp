@@ -7,6 +7,7 @@
 #include "common/random.hpp"
 #include "core/multihop.hpp"
 #include "edf/feasibility.hpp"
+#include "scenario/generator.hpp"
 
 namespace rtether::core {
 namespace {
@@ -101,6 +102,61 @@ TEST_P(MultihopProperties, AdmissionStateConsistentUnderChurn) {
     EXPECT_TRUE(controller.release(id));
   }
   EXPECT_EQ(controller.state().channel_count(), 0u);
+}
+
+TEST_P(MultihopProperties, GeneratedScenariosSatisfyPartitionInvariants) {
+  // The k-hop invariants of generalized Eqs 18.8/18.9 — Σd_j = d_i, every
+  // d_j ≥ C_i — over fabrics and workloads drawn from the scenario fuzzer
+  // (forced multi-switch), for both path partitioners, on the evolving
+  // admission state rather than an empty one.
+  scenario::GeneratorConfig config;
+  config.multiswitch_probability = 1.0;
+  for (int round = 0; round < 4; ++round) {
+    const auto spec = scenario::generate_scenario(
+        config, GetParam() * 7919 + static_cast<std::uint64_t>(round));
+    ASSERT_NE(spec.topology.kind, scenario::TopologyKind::kStar);
+    const Topology topology = spec.topology.build();
+    for (const char* scheme : {"SDPS", "ADPS"}) {
+      PathAdmissionController controller(spec.topology.build(),
+                                         make_path_partitioner(scheme));
+      const auto partitioner = make_path_partitioner(scheme);
+      for (const auto& op : spec.ops) {
+        if (op.kind != scenario::ScenarioOp::Kind::kAdmit) continue;
+        const auto& request = op.spec;
+        if (request.capacity == 0 || request.capacity > request.period ||
+            !topology.attachment(request.source) ||
+            !topology.attachment(request.destination)) {
+          continue;
+        }
+        const auto path =
+            topology.route(request.source, request.destination);
+        ASSERT_TRUE(path.has_value());
+        const std::size_t hops = path->size();
+        if (request.deadline < request.capacity * hops) {
+          // d_i ≥ k·C_i is a hard admission precondition.
+          const auto rejected = controller.request(request);
+          ASSERT_FALSE(rejected.has_value());
+          EXPECT_EQ(rejected.error().reason, RejectReason::kInvalidSpec);
+          continue;
+        }
+        const auto budgets =
+            partitioner->split(request, *path, controller.state());
+        ASSERT_EQ(budgets.size(), hops) << scheme;
+        Slot sum = 0;
+        for (const Slot budget : budgets) {
+          EXPECT_GE(budget, request.capacity) << scheme;  // Eq 18.9
+          sum += budget;
+        }
+        EXPECT_EQ(sum, request.deadline) << scheme;  // Eq 18.8
+        // Evolve the state so later splits see realistic link loads.
+        if (const auto admitted = controller.request(request)) {
+          EXPECT_TRUE(admitted->partition_valid());
+          EXPECT_GE(admitted->spec.deadline,
+                    admitted->spec.capacity * admitted->path.size());
+        }
+      }
+    }
+  }
 }
 
 TEST_P(MultihopProperties, SingleSwitchFabricEquivalentToClassic) {

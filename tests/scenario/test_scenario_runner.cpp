@@ -1,0 +1,160 @@
+// The conformance oracle itself: generated scenarios must run green on the
+// real library (any red here is a live bug, exactly what the campaign
+// hunts), hand-built edge streams must agree across all four admission
+// paths, and the campaign driver must be deterministic and parallel-safe.
+
+#include <gtest/gtest.h>
+
+#include "scenario/campaign.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/runner.hpp"
+
+namespace rtether::scenario {
+namespace {
+
+class RunnerSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RunnerSeeds,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST_P(RunnerSeeds, GeneratedScenarioPassesOracle) {
+  const auto spec = generate_scenario({}, GetParam());
+  const auto result = run_scenario(spec);
+  EXPECT_TRUE(result.passed) << spec.summary() << "\n" << result.summary();
+}
+
+TEST(ScenarioRunner, MalformedSpecIsReportedNotRun) {
+  ScenarioSpec spec;
+  spec.topology.nodes = 3;
+  spec.ops.push_back(ScenarioOp::release_of(7));  // forward target
+  spec.ops[0].target = 7;
+  const auto result = run_scenario(spec);
+  EXPECT_FALSE(result.passed);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].kind, ViolationKind::kMalformedSpec);
+}
+
+TEST(ScenarioRunner, ChurnWithBogusAndDoubleReleasesAgrees) {
+  // Hand-built negative-path stream: raw-ID teardowns (never assigned and
+  // ID 0), a double release, and a release of a rejected admit — every
+  // engine must refuse identically and the oracle must stay green.
+  ScenarioSpec spec;
+  spec.name = "negative-releases";
+  spec.topology.nodes = 4;
+  spec.scheme = "ADPS";
+  spec.simulate = true;
+  spec.run_slots = 120;
+  spec.ops.push_back(
+      ScenarioOp::admit({NodeId{0}, NodeId{1}, 50, 2, 20}));        // 0: ok
+  spec.ops.push_back(ScenarioOp::release_raw(999));                 // bogus
+  spec.ops.push_back(
+      ScenarioOp::admit({NodeId{1}, NodeId{2}, 50, 60, 200}));      // 2: C>P
+  spec.ops.push_back(ScenarioOp::release_of(2));  // of a rejected admit
+  spec.ops.push_back(ScenarioOp::release_of(0));  // ok
+  spec.ops.push_back(ScenarioOp::release_of(0));  // double
+  spec.ops.push_back(ScenarioOp::release_raw(0)); // reserved ID
+  spec.ops.push_back(
+      ScenarioOp::admit({NodeId{2}, NodeId{3}, 40, 1, 10}));        // 7: ok
+  ASSERT_TRUE(spec.well_formed());
+  const auto result = run_scenario(spec);
+  EXPECT_TRUE(result.passed) << result.summary();
+  EXPECT_EQ(result.admitted, 2u);
+  EXPECT_EQ(result.rejected, 1u);
+  EXPECT_EQ(result.released, 1u);
+}
+
+TEST(ScenarioRunner, ReleasedIdReuseIsTrackedThroughTheWire) {
+  // Release then re-admit: the freed ID is reused (smallest-free), and a
+  // later release of the *original* op's channel must tear down the reuser
+  // — identically in the engines and over the management protocol.
+  ScenarioSpec spec;
+  spec.name = "id-reuse";
+  spec.topology.nodes = 4;
+  spec.scheme = "SDPS";
+  spec.run_slots = 100;
+  spec.ops.push_back(
+      ScenarioOp::admit({NodeId{0}, NodeId{1}, 40, 1, 12}));  // 0 → id 1
+  spec.ops.push_back(ScenarioOp::release_of(0));              // id 1 freed
+  spec.ops.push_back(
+      ScenarioOp::admit({NodeId{2}, NodeId{3}, 40, 1, 12}));  // 2 → id 1
+  spec.ops.push_back(ScenarioOp::release_of(0));  // tears down the reuser
+  spec.ops.push_back(ScenarioOp::release_of(2));  // now gone: false
+  const auto result = run_scenario(spec);
+  EXPECT_TRUE(result.passed) << result.summary();
+  EXPECT_EQ(result.released, 2u);
+}
+
+TEST(ScenarioRunner, SimulationDeliversFramesForLiveChannels) {
+  ScenarioSpec spec;
+  spec.name = "delivery";
+  spec.topology.nodes = 3;
+  spec.scheme = "ADPS";
+  spec.run_slots = 200;
+  spec.ops.push_back(ScenarioOp::admit({NodeId{0}, NodeId{1}, 20, 1, 10}));
+  spec.ops.push_back(ScenarioOp::admit({NodeId{1}, NodeId{2}, 25, 2, 15}));
+  const auto result = run_scenario(spec);
+  EXPECT_TRUE(result.passed) << result.summary();
+  // ~10 messages on each channel made it through the simulated wire.
+  EXPECT_GT(result.frames_delivered, 20u);
+  EXPECT_GT(result.simulated_slots, spec.run_slots);
+}
+
+TEST(ScenarioRunner, MultiswitchScenarioRunsTheMultihopPath) {
+  ScenarioSpec spec;
+  spec.name = "line-fabric";
+  spec.topology.kind = TopologyKind::kSwitchLine;
+  spec.topology.switches = 3;
+  spec.topology.nodes = 6;
+  spec.scheme = "ADPS";
+  spec.simulate = false;
+  // Node 0 (switch 0) → node 5 (switch 2): a 4-hop path, d must be ≥ 4C.
+  spec.ops.push_back(ScenarioOp::admit({NodeId{0}, NodeId{5}, 60, 2, 16}));
+  spec.ops.push_back(
+      ScenarioOp::admit({NodeId{0}, NodeId{5}, 60, 2, 7}));  // d < 4C
+  spec.ops.push_back(ScenarioOp::admit({NodeId{1}, NodeId{4}, 50, 1, 20}));
+  spec.ops.push_back(ScenarioOp::release_of(0));
+  const auto result = run_scenario(spec);
+  EXPECT_TRUE(result.passed) << result.summary();
+  EXPECT_EQ(result.admitted, 2u);
+  EXPECT_EQ(result.rejected, 1u);
+  EXPECT_EQ(result.released, 1u);
+}
+
+TEST(ScenarioCampaign, DeterministicAcrossThreadCounts) {
+  CampaignConfig config;
+  config.scenario_count = 60;
+  config.base_seed = 500;
+  config.shrink_failures = false;
+
+  config.threads = 1;
+  const auto solo = run_campaign(config);
+  config.threads = 4;
+  const auto pooled = run_campaign(config);
+
+  EXPECT_EQ(solo.scenarios_run, 60u);
+  EXPECT_EQ(pooled.scenarios_run, 60u);
+  EXPECT_EQ(solo.failures, 0u) << "first failing seed: "
+                               << (solo.failing.empty()
+                                       ? 0
+                                       : solo.failing.front().seed);
+  EXPECT_EQ(pooled.failures, solo.failures);
+  EXPECT_EQ(pooled.ops_total, solo.ops_total);
+  EXPECT_EQ(pooled.admitted_total, solo.admitted_total);
+  EXPECT_EQ(pooled.frames_delivered_total, solo.frames_delivered_total);
+  EXPECT_EQ(pooled.simulated_slots_total, solo.simulated_slots_total);
+}
+
+TEST(ScenarioCampaign, TimeBudgetStopsLaunchingScenarios) {
+  CampaignConfig config;
+  config.scenario_count = 1'000'000;  // far more than the budget allows
+  config.threads = 1;
+  config.time_budget_seconds = 0.2;
+  config.shrink_failures = false;
+  const auto result = run_campaign(config);
+  EXPECT_TRUE(result.time_budget_hit);
+  EXPECT_LT(result.scenarios_run, config.scenario_count);
+  EXPECT_EQ(result.failures, 0u);
+}
+
+}  // namespace
+}  // namespace rtether::scenario

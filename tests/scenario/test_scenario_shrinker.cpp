@@ -1,0 +1,151 @@
+// The failing-scenario shrinker, demonstrated end to end on a planted bug:
+// a DPS with an off-by-one on Eq 18.9 (it hands the downlink C−1 slots once
+// the source uplink is loaded) must be *caught* by the runner's candidate
+// audit and *shrunk* to a ≤3-channel repro — the acceptance demo for the
+// whole fuzz→oracle→shrink pipeline.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/partitioner.hpp"
+#include "scenario/campaign.hpp"
+#include "scenario/shrinker.hpp"
+
+namespace rtether::scenario {
+namespace {
+
+/// ADPS with a planted load-dependent fault: once the requested channel's
+/// source uplink already carries ≥ 2 channels, the proposed partition gives
+/// the downlink C−1 slots — violating Eq 18.9 by exactly one. Needs three
+/// same-uplink channels to fire, so a minimal repro has exactly three.
+class OffByOnePartitioner final : public core::DeadlinePartitioner {
+ public:
+  [[nodiscard]] std::vector<core::DeadlinePartition> candidates(
+      const core::ChannelSpec& spec,
+      const core::NetworkState& state) const override {
+    if (state.link_load(spec.source, core::LinkDirection::kUplink) >= 2) {
+      return {{spec.deadline - (spec.capacity - 1), spec.capacity - 1}};
+    }
+    return correct_.candidates(spec, state);
+  }
+  [[nodiscard]] std::string name() const override { return "ADPS-broken"; }
+
+ private:
+  core::AsymmetricPartitioner correct_;
+};
+
+RunnerOptions broken_runner() {
+  RunnerOptions options;
+  options.partitioner_factory = [](const std::string&) {
+    return std::make_unique<OffByOnePartitioner>();
+  };
+  return options;
+}
+
+/// A noisy haystack: twelve channels from several sources (node 0's uplink
+/// crosses the load-2 threshold midway), plus churn.
+ScenarioSpec haystack() {
+  ScenarioSpec spec;
+  spec.name = "off-by-one-demo";
+  spec.topology.nodes = 8;
+  spec.scheme = "ADPS";
+  spec.run_slots = 200;
+  auto admit = [&](std::uint32_t src, std::uint32_t dst) {
+    spec.ops.push_back(
+        ScenarioOp::admit({NodeId{src}, NodeId{dst}, 100, 2, 40}));
+  };
+  admit(1, 2);
+  admit(3, 4);
+  admit(0, 1);  // uplink 0: load 1
+  admit(5, 6);
+  spec.ops.push_back(ScenarioOp::release_of(1));
+  admit(0, 2);  // uplink 0: load 2
+  admit(4, 7);
+  admit(0, 3);  // load ≥ 2 → the broken candidate fires here
+  admit(2, 5);
+  admit(0, 4);
+  admit(6, 1);
+  admit(0, 5);
+  return spec;
+}
+
+TEST(ScenarioShrinker, CatchesAndMinimizesOffByOnePartitioner) {
+  const ScenarioSpec spec = haystack();
+
+  // Sanity: the scenario is green on the real ADPS…
+  EXPECT_TRUE(run_scenario(spec).passed);
+
+  // …and red on the planted off-by-one, caught as a partition-invariant
+  // violation *before* any engine would assert on it.
+  const RunnerOptions options = broken_runner();
+  const auto failure = run_scenario(spec, options);
+  ASSERT_FALSE(failure.passed);
+  ASSERT_EQ(failure.violations.size(), 1u);
+  EXPECT_EQ(failure.violations[0].kind, ViolationKind::kPartitionInvariant);
+
+  // The shrinker must reduce the twelve-channel haystack to the minimal
+  // trigger: two channels loading the uplink plus the one that trips.
+  ShrinkOptions shrink_options;
+  shrink_options.runner = options;
+  const auto shrunk = shrink_scenario(spec, shrink_options);
+  EXPECT_FALSE(shrunk.failure.passed);
+  EXPECT_EQ(shrunk.failure.violations[0].kind,
+            ViolationKind::kPartitionInvariant);
+  EXPECT_LE(shrunk.minimized.admit_count(), 3u);
+  EXPECT_EQ(shrunk.minimized.ops.size(), shrunk.minimized.admit_count())
+      << "releases are noise here and must be gone";
+  EXPECT_TRUE(shrunk.minimized.well_formed());
+
+  // Quantities were minimized too (periods toward C, deadlines toward 2C).
+  for (const auto& op : shrunk.minimized.ops) {
+    EXPECT_LE(op.spec.period, 100u);
+    EXPECT_LE(op.spec.deadline, 40u);
+  }
+
+  // The minimized spec still reproduces under the planted bug and is green
+  // on the real partitioner — it isolates the fault, not the harness.
+  EXPECT_FALSE(run_scenario(shrunk.minimized, options).passed);
+  EXPECT_TRUE(run_scenario(shrunk.minimized).passed);
+}
+
+TEST(ScenarioShrinker, DeterministicMinimization) {
+  const ScenarioSpec spec = haystack();
+  ShrinkOptions shrink_options;
+  shrink_options.runner = broken_runner();
+  const auto first = shrink_scenario(spec, shrink_options);
+  const auto second = shrink_scenario(spec, shrink_options);
+  EXPECT_EQ(first.minimized, second.minimized);
+  EXPECT_EQ(first.attempts, second.attempts);
+}
+
+TEST(ScenarioCampaign, SurfacesAndShrinksPlantedFailures) {
+  // End-to-end: a campaign over generated scenarios with the planted bug
+  // must flag failing seeds deterministically and ship minimized repros.
+  CampaignConfig config;
+  config.scenario_count = 40;
+  config.base_seed = 900;
+  config.threads = 2;
+  config.runner = broken_runner();
+  config.max_failures = 4;
+
+  const auto result = run_campaign(config);
+  ASSERT_GT(result.failures, 0u)
+      << "40 generated scenarios never load one uplink with 3 channels?";
+  ASSERT_FALSE(result.failing.empty());
+  for (const auto& failure : result.failing) {
+    EXPECT_FALSE(run_scenario(failure.minimized, config.runner).passed)
+        << "minimized spec for seed " << failure.seed << " does not replay";
+    EXPECT_LE(failure.minimized.admit_count(), 3u);
+  }
+
+  const auto again = run_campaign(config);
+  ASSERT_EQ(again.failing.size(), result.failing.size());
+  for (std::size_t i = 0; i < again.failing.size(); ++i) {
+    EXPECT_EQ(again.failing[i].seed, result.failing[i].seed);
+    EXPECT_EQ(again.failing[i].minimized, result.failing[i].minimized);
+  }
+}
+
+}  // namespace
+}  // namespace rtether::scenario

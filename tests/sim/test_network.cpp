@@ -125,11 +125,12 @@ TEST(SimNetwork, SwitchEdfReordersByAbsoluteDeadline) {
   EXPECT_TRUE(net.simulator().run_all());
 
   ASSERT_EQ(order.size(), 3u);
-  // Deterministic schedule: the first channel-1 frame wins the downlink
-  // (non-preemptive, it arrived while the port was idle); once the port
-  // re-decides, EDF must pick channel 2 (deadline 500) over the queued
-  // second channel-1 frame (deadline 900000). FCFS would give 1,1,2.
-  EXPECT_EQ(order, (std::vector<std::uint16_t>{1, 2, 1}));
+  // The first channel-1 frame and the channel-2 frame reach the egress port
+  // at the same tick; the port's same-tick arbitration must grant the wire
+  // by EDF key, so channel 2 (deadline 500) beats both channel-1 frames
+  // (deadline 900000) regardless of event execution order within the tick.
+  // FCFS would give 1,1,2; the pre-arbitration transmitter gave 1,2,1.
+  EXPECT_EQ(order, (std::vector<std::uint16_t>{2, 1, 1}));
 }
 
 TEST(SimNetwork, UnknownRtDestinationDropped) {
