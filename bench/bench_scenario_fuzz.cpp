@@ -19,6 +19,9 @@
 ///   base_seed  first seed (default 1); scenario i replays seed base+i
 ///   --out-dir  where failing seeds/specs are written (default
 ///              scenario_failures)
+///   --profile  workload profile: "mixed" (default) or "churn" — the
+///              churn-heavy steady-state admit/release campaign the nightly
+///              job runs alongside the mixed one
 
 #include <cerrno>
 #include <cstdio>
@@ -63,10 +66,28 @@ int main(int argc, char** argv) {
 
   int positional = 0;
   bool ok = true;
+  std::string profile = "mixed";
   for (int i = 1; i < argc && ok; ++i) {
     if (std::strcmp(argv[i], "--out-dir") == 0) {
       ok = i + 1 < argc;
       if (ok) out_dir = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--profile") == 0) {
+      ok = i + 1 < argc;
+      if (ok) {
+        profile = argv[++i];
+        if (profile == "mixed") {
+          config.generator.profile = scenario::GeneratorProfile::kMixed;
+        } else if (profile == "churn") {
+          config.generator.profile = scenario::GeneratorProfile::kChurnHeavy;
+          // Longer op streams: steady-state churn needs room to reach and
+          // hold saturation, not just ramp up.
+          config.generator.max_ops = 96;
+        } else {
+          ok = false;
+        }
+      }
       continue;
     }
     std::uint64_t value = 0;
@@ -99,15 +120,16 @@ int main(int argc, char** argv) {
   if (!ok) {
     std::fprintf(stderr,
                  "usage: bench_scenario_fuzz [scenarios] [threads] [json] "
-                 "[seconds] [base_seed] [--out-dir DIR]\n");
+                 "[seconds] [base_seed] [--out-dir DIR] "
+                 "[--profile mixed|churn]\n");
     return 64;
   }
 
   std::printf(
       "scenario fuzz campaign: %zu scenarios, %u threads (0=hw), base seed "
-      "%llu%s\n",
+      "%llu, profile %s%s\n",
       config.scenario_count, config.threads,
-      static_cast<unsigned long long>(config.base_seed),
+      static_cast<unsigned long long>(config.base_seed), profile.c_str(),
       config.time_budget_seconds > 0.0 ? ", time-bounded" : "");
 
   const auto result = scenario::run_campaign(config);
@@ -144,6 +166,7 @@ int main(int argc, char** argv) {
   JsonWriter json;
   json.begin_object();
   json.member("bench", "scenario_fuzz");
+  json.member("profile", profile);
   json.member("campaign_size",
               static_cast<std::uint64_t>(config.scenario_count));
   json.member("scenarios_run",

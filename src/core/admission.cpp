@@ -123,6 +123,31 @@ bool cached_candidate_test(NetworkState& state,
   return true;
 }
 
+std::optional<RtChannel> release_channel(NetworkState& state,
+                                         ChannelIdAllocator& ids,
+                                         AdmissionStats& stats, ChannelId id) {
+  const auto channel = state.find_channel(id);
+  if (!channel) {
+    return std::nullopt;
+  }
+  const bool removed = state.remove_channel(id);
+  RTETHER_ASSERT_MSG(removed, "channel registry out of sync");
+  const bool was_live = ids.release(id);
+  RTETHER_ASSERT_MSG(was_live, "channel present in state but ID not live");
+  ++stats.released;
+  return channel;
+}
+
+void downdate_link_cache(edf::LinkScanCache& cache, const edf::TaskSet& set,
+                         const edf::PseudoTask& removed,
+                         ReleasePolicy policy) {
+  if (policy == ReleasePolicy::kDowndate) {
+    cache.downdate(set, removed);
+  } else {
+    cache.reset(set);
+  }
+}
+
 }  // namespace admission_internal
 
 namespace {
@@ -225,13 +250,8 @@ Expected<RtChannel, Rejection> AdmissionController::request(
 }
 
 bool AdmissionController::release(ChannelId id) {
-  if (!state_.remove_channel(id)) {
-    return false;
-  }
-  const bool was_live = ids_.release(id);
-  RTETHER_ASSERT_MSG(was_live, "channel present in state but ID not live");
-  ++stats_.released;
-  return true;
+  return admission_internal::release_channel(state_, ids_, stats_, id)
+      .has_value();
 }
 
 std::size_t BatchResult::accepted() const {
@@ -435,18 +455,26 @@ BatchResult AdmissionEngine::admit_batch(
 }
 
 bool AdmissionEngine::release(ChannelId id) {
-  const auto channel = state_.find_channel(id);
+  const auto channel =
+      admission_internal::release_channel(state_, ids_, stats_, id);
   if (!channel) {
     return false;
   }
-  state_.remove_channel(id);
-  const bool was_live = ids_.release(id);
-  RTETHER_ASSERT_MSG(was_live, "channel present in state but ID not live");
-  ++stats_.released;
-  cache(channel->spec.source, LinkDirection::kUplink)
-      .reset(state_.link(channel->spec.source, LinkDirection::kUplink));
-  cache(channel->spec.destination, LinkDirection::kDownlink)
-      .reset(state_.link(channel->spec.destination, LinkDirection::kDownlink));
+  if (config_.scan != edf::DemandScan::kCheckpoints) {
+    // Reference-path engines never populate the caches; nothing to shrink.
+    return true;
+  }
+  const ChannelSpec& spec = channel->spec;
+  admission_internal::downdate_link_cache(
+      cache(spec.source, LinkDirection::kUplink),
+      state_.link(spec.source, LinkDirection::kUplink),
+      {channel->id, spec.period, spec.capacity, channel->partition.uplink},
+      config_.release);
+  admission_internal::downdate_link_cache(
+      cache(spec.destination, LinkDirection::kDownlink),
+      state_.link(spec.destination, LinkDirection::kDownlink),
+      {channel->id, spec.period, spec.capacity, channel->partition.downlink},
+      config_.release);
   return true;
 }
 

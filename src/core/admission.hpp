@@ -39,10 +39,25 @@ struct Rejection {
   std::string detail;
 };
 
+/// How the cached admission paths maintain their per-link scan caches when
+/// a channel is released.
+enum class ReleasePolicy : std::uint8_t {
+  /// Subtract the released task's memoized contribution in O(points):
+  /// release is a first-class fast path and an identical re-admit stays a
+  /// pure merge-walk (the default).
+  kDowndate,
+  /// Release-as-invalidate baseline: cold `LinkScanCache::reset` per
+  /// affected link direction, O(tasks × points). Kept for the churn bench's
+  /// speedup gate and for A/B decision-identity tests.
+  kRebuild,
+};
+
 /// Tuning knobs for the admission controller.
 struct AdmissionConfig {
   /// Demand-scan strategy for constraint 2 (paper default: checkpoints).
   edf::DemandScan scan{edf::DemandScan::kCheckpoints};
+  /// Cache maintenance on channel release (cached paths only).
+  ReleasePolicy release{ReleasePolicy::kDowndate};
 };
 
 /// Running acceptance statistics.
@@ -147,8 +162,9 @@ class AdmissionEngine {
   /// Admits a batch. Results are 1:1 with `requests` in submission order.
   BatchResult admit_batch(std::span<const ChannelRequest> requests);
 
-  /// Releases an established channel (teardown); false if unknown. Rebuilds
-  /// the two affected link caches.
+  /// Releases an established channel (teardown); false if unknown.
+  /// O(affected links): the two link caches are downdated in place (or
+  /// cold-rebuilt under `ReleasePolicy::kRebuild`).
   bool release(ChannelId id);
 
   [[nodiscard]] const NetworkState& state() const { return state_; }

@@ -7,6 +7,7 @@
 /// `AdmissionController`, so the candidate trial itself and every rejection
 /// string live in exactly one place. Not part of the public API surface.
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -47,5 +48,25 @@ bool cached_candidate_test(NetworkState& state,
 /// the aggregate diverges or overflows (lazy extension covers it).
 void reserve_link_horizon(const edf::TaskSet& set, edf::LinkScanCache& cache,
                           const std::vector<ChannelSpec>& batch_specs);
+
+/// Registry/ID/stat bookkeeping shared by every release path: removes the
+/// channel from `state`, frees its ID and counts the release. Returns the
+/// removed channel, or nullopt when `id` is unknown (nothing mutated).
+/// Cache maintenance is the caller's job (the reference controller has no
+/// caches; the engines pair this with `downdate_link_cache` per affected
+/// link direction).
+[[nodiscard]] std::optional<RtChannel> release_channel(NetworkState& state,
+                                                       ChannelIdAllocator& ids,
+                                                       AdmissionStats& stats,
+                                                       ChannelId id);
+
+/// Cache maintenance for one link direction after `removed` left `set`
+/// (`set` is the post-removal task set): kDowndate subtracts the task's
+/// memoized contribution in O(points); kRebuild is the release-as-invalidate
+/// baseline (cold reset). Shared by the batched/parallel engines and the
+/// multihop controller so every release path shrinks its caches the same
+/// way.
+void downdate_link_cache(edf::LinkScanCache& cache, const edf::TaskSet& set,
+                         const edf::PseudoTask& removed, ReleasePolicy policy);
 
 }  // namespace rtether::core::admission_internal

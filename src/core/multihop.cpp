@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
 #include "common/assert.hpp"
+#include "common/math.hpp"
+#include "core/admission_internal.hpp"
 
 namespace rtether::core {
 
@@ -80,25 +83,43 @@ std::vector<Slot> PathPartitioner::apportion(
   if (surplus == 0) {
     return budgets;
   }
-  if (weight_sum <= 0.0) {
-    // Degenerate: spread evenly, leftovers to the front hops.
+  // Even spread, leftovers to the front hops: the degenerate-weights split
+  // and the fallback when double rounding breaks the weighted one.
+  auto even_spread = [&] {
+    std::vector<Slot> even(hops, capacity);
     const Slot each = surplus / hops;
     Slot leftover = surplus % hops;
-    for (auto& b : budgets) {
+    for (auto& b : even) {
       b += each + (leftover > 0 ? 1 : 0);
       if (leftover > 0) --leftover;
     }
-    return budgets;
+    return even;
+  };
+  if (weight_sum <= 0.0) {
+    return even_spread();
   }
 
+  // Beyond 2⁵³ the weighted shares are computed in ulp > 1 doubles: the
+  // cast below would be UB at exact ≥ 2⁶⁴ and the assigned sum could
+  // over-run the surplus and wrap the leftover loop into ~2⁶⁴ iterations.
+  // The even spread is deterministic, exact and still Eq 18.8/18.9 valid —
+  // unreachable for realistic deadlines.
+  constexpr double kSlotRange = 18446744073709551616.0;  // 2⁶⁴
   std::vector<double> remainders(hops);
   Slot assigned = 0;
   for (std::size_t i = 0; i < hops; ++i) {
     const double exact =
         static_cast<double>(surplus) * weights[i] / weight_sum;
+    if (!(exact < kSlotRange)) {
+      return even_spread();
+    }
     const Slot whole = static_cast<Slot>(exact);
+    const auto sum = checked_add(assigned, whole);
+    if (!sum || *sum > surplus) {
+      return even_spread();
+    }
     budgets[i] += whole;
-    assigned += whole;
+    assigned = *sum;
     remainders[i] = exact - static_cast<double>(whole);
   }
   // Distribute the remaining slots to the largest remainders (stable by
@@ -175,7 +196,10 @@ Expected<MultihopChannel, Rejection> PathAdmissionController::request(
     return reject(RejectReason::kUnknownNode,
                   spec.to_string() + " (no route)");
   }
-  if (spec.deadline < spec.capacity * path->size()) {
+  // k·C with checked arithmetic: a near-2⁶⁴ capacity must fail the gate,
+  // not wrap past it and trip the apportionment assert downstream.
+  const auto path_floor = checked_mul(spec.capacity, path->size());
+  if (!path_floor || spec.deadline < *path_floor) {
     return reject(RejectReason::kInvalidSpec,
                   spec.to_string() + " (d < k*C over a " +
                       std::to_string(path->size()) + "-hop path)");
@@ -194,6 +218,53 @@ Expected<MultihopChannel, Rejection> PathAdmissionController::request(
   RTETHER_ASSERT_MSG(channel.partition_valid(),
                      "path partitioner produced an invalid split");
 
+  auto hop_reject = [&](std::size_t hop, const edf::FeasibilityReport& report)
+      -> Expected<MultihopChannel, Rejection> {
+    ids_.release(*id);
+    const bool is_uplink = channel.path[hop].kind == LinkId::Kind::kUplink;
+    return reject(is_uplink ? RejectReason::kUplinkInfeasible
+                            : RejectReason::kDownlinkInfeasible,
+                  channel.path[hop].to_string() + ": " + report.summary());
+  };
+
+  if (config_.scan == edf::DemandScan::kCheckpoints) {
+    // Cached trials: hop h tests link_h ∪ {task_h} by a merge-walk against
+    // its scan cache — verdicts and diagnostics bit-identical to the
+    // from-scratch reference below, O(checkpoints) per hop instead of
+    // O(tasks · checkpoints). Nothing is installed until every hop passes,
+    // so rejection leaves no residue by construction.
+    std::vector<edf::FeasibilityReport> reports;
+    reports.reserve(channel.path.size());
+    for (std::size_t hop = 0; hop < channel.path.size(); ++hop) {
+      const edf::TaskSet& set = state_.link(channel.path[hop]);
+      edf::LinkScanCache& cache = caches_[channel.path[hop]];
+      const edf::PseudoTask task{*id, spec.period, spec.capacity,
+                                 channel.deadlines[hop]};
+      ++stats_.feasibility_tests;
+      const auto report = cache.check_with(set, task);
+      stats_.demand_evaluations += report.demand_evaluations;
+      if (report.scanned_bound > cache.horizon()) {
+        cache.reserve_horizon(set, report.scanned_bound);
+      }
+      if (!report.feasible) {
+        return hop_reject(hop, report);
+      }
+      reports.push_back(report);
+    }
+    state_.add_channel(channel);
+    for (std::size_t hop = 0; hop < channel.path.size(); ++hop) {
+      caches_[channel.path[hop]].commit(
+          {*id, spec.period, spec.capacity, channel.deadlines[hop]},
+          reports[hop].used_utilization_fast_path
+              ? std::nullopt
+              : std::optional<Slot>(reports[hop].scanned_bound));
+    }
+    ++stats_.accepted;
+    return channel;
+  }
+
+  // Reference path (non-checkpoint scans): tentatively install, test every
+  // hop from scratch, roll back on failure.
   state_.add_channel(channel);
   for (std::size_t hop = 0; hop < channel.path.size(); ++hop) {
     ++stats_.feasibility_tests;
@@ -202,12 +273,7 @@ Expected<MultihopChannel, Rejection> PathAdmissionController::request(
     stats_.demand_evaluations += report.demand_evaluations;
     if (!report.feasible) {
       state_.remove_channel(*id);
-      ids_.release(*id);
-      const bool is_uplink =
-          channel.path[hop].kind == LinkId::Kind::kUplink;
-      return reject(is_uplink ? RejectReason::kUplinkInfeasible
-                              : RejectReason::kDownlinkInfeasible,
-                    channel.path[hop].to_string() + ": " + report.summary());
+      return hop_reject(hop, report);
     }
   }
   ++stats_.accepted;
@@ -215,12 +281,26 @@ Expected<MultihopChannel, Rejection> PathAdmissionController::request(
 }
 
 bool PathAdmissionController::release(ChannelId id) {
-  if (!state_.remove_channel(id)) {
+  const auto channel = state_.find_channel(id);
+  if (!channel) {
     return false;
   }
+  const bool removed = state_.remove_channel(id);
+  RTETHER_ASSERT_MSG(removed, "channel registry out of sync");
   const bool was_live = ids_.release(id);
   RTETHER_ASSERT_MSG(was_live, "channel present but ID not live");
   ++stats_.released;
+  if (config_.scan == edf::DemandScan::kCheckpoints) {
+    // k-hop release fast path: every traversed link's cache sheds this
+    // channel's pseudo-task via the shared downdate helper.
+    for (std::size_t hop = 0; hop < channel->path.size(); ++hop) {
+      admission_internal::downdate_link_cache(
+          caches_[channel->path[hop]], state_.link(channel->path[hop]),
+          {id, channel->spec.period, channel->spec.capacity,
+           channel->deadlines[hop]},
+          config_.release);
+    }
+  }
   return true;
 }
 

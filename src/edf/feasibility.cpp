@@ -70,9 +70,14 @@ FeasibilityReport check_feasibility(const TaskSet& set, DemandScan scan) {
   Slot bound = *bp;
   if (scan == DemandScan::kExhaustive) {
     // Oracle bound: one full hyperperiod past the largest deadline covers
-    // every distinct demand pattern.
+    // every distinct demand pattern. A hyperperiod that overflows 64 bits
+    // — or fits but is too large to ever scan (near-64-bit lcm of coprime
+    // periods) — falls back to the busy-period bound, which is already a
+    // complete test (Eq 18.4); the extension is redundant belt-and-braces,
+    // so the fallback cannot change decisions, only the scanned range.
     if (const auto h = hyperperiod(set)) {
-      if (const auto sum = checked_add(*h, set.max_deadline())) {
+      if (const auto sum = checked_add(*h, set.max_deadline());
+          sum && *sum <= kExhaustiveOracleCap) {
         bound = std::max(bound, *sum);
       }
     }
@@ -167,9 +172,8 @@ void LinkScanCache::reset(const TaskSet& set) {
   }
   utilization_.reset(set);
   busy_period_ = busy_period(set);
-  // Clamp the horizon to the shrunk set's busy period: the retained grid
-  // only ever grew, and rebuilding demand at instants past the new busy
-  // period is O(tasks × points) wasted per release — future trials re-extend
+  // Clamp the horizon to the set's busy period: rebuilding demand at
+  // instants past it is O(tasks × points) wasted — future trials re-extend
   // lazily if they need more.
   horizon_ = std::min(horizon_, busy_period_.value_or(0));
   points_ = checkpoints(set, horizon_);
@@ -177,6 +181,17 @@ void LinkScanCache::reset(const TaskSet& set) {
   demands_.reserve(points_.size());
   for (const Slot t : points_) {
     demands_.push_back(demand(set, t));
+  }
+  // Owner counts: how many tasks contribute a checkpoint at each instant.
+  owners_.assign(points_.size(), 0);
+  for (const auto& task : set.tasks()) {
+    for (TaskCheckpointWalker walker(task, horizon_); walker.live();
+         walker.advance()) {
+      const auto it =
+          std::lower_bound(points_.begin(), points_.end(), walker.value());
+      RTETHER_ASSERT(it != points_.end() && *it == walker.value());
+      ++owners_[static_cast<std::size_t>(it - points_.begin())];
+    }
   }
 }
 
@@ -212,7 +227,8 @@ std::optional<Slot> LinkScanCache::trial_busy_period(
 
 void LinkScanCache::grid_beyond(const TaskSet& set, Slot limit,
                                 std::vector<Slot>& points,
-                                std::vector<Slot>& demands) const {
+                                std::vector<Slot>& demands,
+                                std::vector<std::uint32_t>* owners) const {
   RTETHER_ASSERT(limit > horizon_);
   std::vector<Slot> fresh;
   for (const auto& task : set.tasks()) {
@@ -236,15 +252,23 @@ void LinkScanCache::grid_beyond(const TaskSet& set, Slot limit,
     }
   }
   std::sort(fresh.begin(), fresh.end());
-  fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
-  for (const Slot t : fresh) {
-    points.push_back(t);
-    demands.push_back(demand(set, t));
+  // The pre-dedup multiplicity of an instant is its owner count.
+  for (std::size_t i = 0; i < fresh.size();) {
+    std::size_t j = i;
+    while (j < fresh.size() && fresh[j] == fresh[i]) {
+      ++j;
+    }
+    points.push_back(fresh[i]);
+    demands.push_back(demand(set, fresh[i]));
+    if (owners != nullptr) {
+      owners->push_back(static_cast<std::uint32_t>(j - i));
+    }
+    i = j;
   }
 }
 
 void LinkScanCache::extend(const TaskSet& set, Slot new_horizon) {
-  grid_beyond(set, new_horizon, points_, demands_);
+  grid_beyond(set, new_horizon, points_, demands_, &owners_);
   horizon_ = new_horizon;
 }
 
@@ -291,7 +315,7 @@ FeasibilityReport LinkScanCache::check_with(const TaskSet& set,
   std::vector<Slot> beyond_points;
   std::vector<Slot> beyond_demands;
   if (bound > horizon_) {
-    grid_beyond(set, bound, beyond_points, beyond_demands);
+    grid_beyond(set, bound, beyond_points, beyond_demands, nullptr);
   }
 
   // Merge-walk the (possibly scratch-augmented) grid with the candidate's
@@ -352,19 +376,24 @@ void LinkScanCache::commit(const PseudoTask& task,
   // in the task's own checkpoints with their full demand value.
   std::vector<Slot> new_points;
   std::vector<Slot> new_demands;
+  std::vector<std::uint32_t> new_owners;
   new_points.reserve(points_.size() + 8);
   new_demands.reserve(points_.size() + 8);
+  new_owners.reserve(points_.size() + 8);
   TaskCheckpointWalker walker(task, horizon_);
   std::size_t i = 0;
   Slot base = 0;  // demand of the *old* set at the last old instant passed
   while (i < points_.size() || walker.live()) {
     Slot t;
+    std::uint32_t owners = 1;  // the new task alone, unless merged below
     if (i < points_.size() &&
         (!walker.live() || points_[i] <= walker.value())) {
       t = points_[i];
       base = demands_[i];
+      owners = owners_[i];
       if (walker.live() && walker.value() == t) {
         walker.advance();
+        ++owners;
       }
       ++i;
     } else {
@@ -373,9 +402,11 @@ void LinkScanCache::commit(const PseudoTask& task,
     }
     new_points.push_back(t);
     new_demands.push_back(checked_demand_sum(base, task, t));
+    new_owners.push_back(owners);
   }
   points_ = std::move(new_points);
   demands_ = std::move(new_demands);
+  owners_ = std::move(new_owners);
 
   ++task_count_;
   if (task.deadline != task.period) {
@@ -387,6 +418,101 @@ void LinkScanCache::commit(const PseudoTask& task,
   utilization_.add(task);
   bucket_add(period_buckets_, task.period, task.capacity);
   busy_period_ = busy_period_after;
+}
+
+std::optional<Slot> LinkScanCache::bucket_busy_period(Slot backlog) const {
+  if (task_count_ == 0) {
+    return Slot{0};
+  }
+  // U > 1 diverges; refuse up front exactly like `busy_period`.
+  if (utilization_.exceeds_one()) {
+    return std::nullopt;
+  }
+  // Same least fixed point as `busy_period(set)`: the workload sum merely
+  // distributes over tasks sharing a period.
+  Slot length = backlog;
+  for (;;) {
+    Slot next = 0;
+    for (const auto& [period, capacity] : period_buckets_) {
+      const auto contribution =
+          checked_mul(ceil_div(length, period), capacity);
+      if (!contribution) return std::nullopt;
+      const auto sum = checked_add(next, *contribution);
+      if (!sum) return std::nullopt;
+      next = *sum;
+    }
+    if (next == length) return length;
+    length = next;
+  }
+}
+
+void LinkScanCache::downdate(const TaskSet& set, const PseudoTask& task) {
+  RTETHER_ASSERT_MSG(task.valid(), "invalid pseudo-task");
+  RTETHER_ASSERT_MSG(task_count_ > 0 && set.size() == task_count_ - 1,
+                     "LinkScanCache out of sync");
+
+  // One sweep: subtract the task's demand everywhere, decrement its owner
+  // counts along its own checkpoint sequence and compact away the instants
+  // only it owned. The surviving grid is exactly `checkpoints(set,
+  // horizon_)` with demands of the post-removal set — the horizon (and the
+  // memoization it carries) survives the release, so an identical re-admit
+  // is a pure merge-walk again.
+  TaskCheckpointWalker walker(task, horizon_);
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const Slot t = points_[i];
+    std::uint32_t owners = owners_[i];
+    if (walker.live() && walker.value() == t) {
+      walker.advance();
+      RTETHER_ASSERT_MSG(owners > 0, "owner underflow");
+      --owners;
+      if (owners == 0) {
+        continue;  // the released task's private instant
+      }
+    }
+    const Slot contribution = task_demand(task, t);
+    RTETHER_ASSERT_MSG(demands_[i] >= contribution, "demand underflow");
+    points_[out] = t;
+    demands_[out] = demands_[i] - contribution;
+    owners_[out] = owners;
+    ++out;
+  }
+  points_.resize(out);
+  demands_.resize(out);
+  owners_.resize(out);
+
+  --task_count_;
+  if (task.deadline != task.period) {
+    RTETHER_ASSERT_MSG(non_implicit_ > 0, "non-implicit underflow");
+    --non_implicit_;
+  }
+  const auto bucket = std::lower_bound(
+      period_buckets_.begin(), period_buckets_.end(), task.period,
+      [](const auto& b, Slot p) { return b.first < p; });
+  RTETHER_ASSERT_MSG(bucket != period_buckets_.end() &&
+                         bucket->first == task.period &&
+                         bucket->second >= task.capacity,
+                     "period bucket out of sync");
+  bucket->second -= task.capacity;
+  if (bucket->second == 0) {
+    period_buckets_.erase(bucket);
+  }
+
+  // Hyperperiod: a running lcm cannot be divided back down, but lcm is
+  // order-independent — re-deriving it over the distinct periods gives the
+  // identical value (and the identical overflow→nullopt verdict) a fresh
+  // running lcm over the post-removal set would, in O(distinct periods).
+  hyperperiod_ = Slot{1};
+  for (const auto& remaining : period_buckets_) {
+    if (!hyperperiod_) break;
+    hyperperiod_ = checked_lcm(*hyperperiod_, remaining.first);
+  }
+
+  // Exact utilization state is accumulation-order sensitive in its overflow
+  // fallback; rebuild it over the post-removal set (O(tasks)) so verdicts
+  // stay bit-identical to the reference accumulation.
+  utilization_.reset(set);
+  busy_period_ = bucket_busy_period(set.total_capacity());
 }
 
 std::string FeasibilityReport::summary() const {

@@ -34,10 +34,17 @@ enum class DemandScan {
   /// algorithm and the library default.
   kCheckpoints,
   /// Every integer slot t in [1, hyperperiod + max deadline]. Exhaustive
-  /// oracle for tests; falls back to the busy-period bound when the
-  /// hyperperiod overflows 64 bits.
+  /// oracle for tests; falls back to the (equally exact, Eq 18.4) busy-period
+  /// bound when the hyperperiod overflows 64 bits *or* exceeds the practical
+  /// scan budget `kExhaustiveOracleCap` — a near-64-bit hyperperiod must not
+  /// turn the oracle into an out-of-memory abort, and the fallback cannot
+  /// change decisions because the busy-period bound is already sufficient.
   kExhaustive,
 };
+
+/// Largest bound the kExhaustive oracle will scan beyond the busy period.
+/// Hyperperiod-sized extensions above this are skipped (see DemandScan).
+inline constexpr Slot kExhaustiveOracleCap = Slot{1} << 22;
 
 /// Why a task set was declared infeasible.
 enum class InfeasibleReason {
@@ -94,10 +101,15 @@ struct FeasibilityReport {
 ///      merge-walk: h(set ∪ {x}, t) = cached h(set, t) + h({x}, t), where
 ///      the cached value at any instant is a floor lookup. O(checkpoints)
 ///      per trial instead of O(n · checkpoints).
-///   2. The grid only ever *grows* as channels are admitted, so it is
-///      computed once per link (and extended incrementally) instead of once
-///      per request; likewise the link's hyperperiod is maintained as a
-///      running lcm.
+///   2. The grid is computed once per link and maintained *incrementally in
+///      both directions*: `commit` folds an admitted task in, `downdate`
+///      subtracts a released task back out (each instant carries an owner
+///      count — how many shadowed tasks have a checkpoint there — so the
+///      released task's private instants are dropped exactly). The link's
+///      hyperperiod is a running lcm while the set only grows and is
+///      re-derived from the per-period workload buckets on release (lcm is
+///      order-independent, so the rebuilt value matches a from-scratch
+///      running lcm bit for bit, including the overflow→nullopt verdict).
 ///
 /// Decisions are bit-identical to `check_feasibility(set ∪ {x},
 /// kCheckpoints)`: constraint 1 uses the same exact arithmetic (tasks
@@ -106,8 +118,10 @@ struct FeasibilityReport {
 /// checkpoint union in ascending order, reporting the same first violation.
 ///
 /// The cache shadows one link direction's TaskSet. Every `TaskSet::add`
-/// must be mirrored by `commit`; any other mutation (release of a channel)
-/// requires `reset`. `check_with` asserts the shadow is in sync.
+/// must be mirrored by `commit` and every `TaskSet::remove` by `downdate`
+/// (`reset` remains as the cold rebuild for adopting a pre-populated link —
+/// and as the release-as-invalidate baseline the churn bench gates
+/// against). `check_with` asserts the shadow is in sync.
 ///
 /// `check_with` is const: a trial test — even a rejected one, even one whose
 /// busy period reaches past the cached horizon — leaves no residue in the
@@ -123,8 +137,9 @@ class LinkScanCache {
   /// Valid for an empty task set.
   LinkScanCache() = default;
 
-  /// Rebuilds the cache from the link's current task set (after a teardown
-  /// or when adopting a pre-populated link). Keeps the current horizon.
+  /// Cold rebuild from the link's current task set (adopting a pre-populated
+  /// link, or the release-as-invalidate baseline policy). Clamps the horizon
+  /// to the set's busy period; releases on the hot path use `downdate`.
   void reset(const TaskSet& set);
 
   /// Trial-tests `set ∪ {extra}` without mutating anything — the cache
@@ -143,6 +158,16 @@ class LinkScanCache {
   void commit(const PseudoTask& task,
               std::optional<Slot> busy_period_after = std::nullopt);
 
+  /// Mirrors a `TaskSet::remove` on the shadowed set: subtracts the task's
+  /// demand from every cached instant, drops the instants only it owned,
+  /// and re-derives the hyperperiod / utilization / busy-period state from
+  /// the post-removal `set` — O(points + tasks) instead of the
+  /// O(tasks · points) cold rescan `reset` performs. The memoized grid (and
+  /// its horizon) survives the release, so an identical re-admit is a pure
+  /// merge-walk again. `set` must be the post-removal task set; `task` the
+  /// exact pseudo-task that was removed.
+  void downdate(const TaskSet& set, const PseudoTask& task);
+
   /// Pre-extends the checkpoint grid to `horizon` (batch pre-pass: pay the
   /// grid generation once per link up front). No-op when already covered.
   void reserve_horizon(const TaskSet& set, Slot horizon);
@@ -150,8 +175,9 @@ class LinkScanCache {
   /// Highest instant the cached grid covers.
   [[nodiscard]] Slot horizon() const { return horizon_; }
 
-  /// Running lcm of the shadowed set's periods; nullopt once it overflows
-  /// 64 bits. Maintained incrementally — never recomputed per request.
+  /// lcm of the shadowed set's periods; nullopt once it overflows 64 bits.
+  /// Maintained as a running lcm on commit and re-derived from the
+  /// per-period buckets on downdate — never recomputed per request.
   [[nodiscard]] std::optional<Slot> cached_hyperperiod() const {
     return hyperperiod_;
   }
@@ -162,11 +188,13 @@ class LinkScanCache {
  private:
   /// Appends the shadowed set's checkpoints in (horizon_, limit] — ascending,
   /// deduplicated — and their demands to `points`/`demands`. The generation
-  /// shared by `extend` (which folds them into the cache) and by a const
-  /// `check_with` whose trial bound outruns the cached horizon (which keeps
-  /// them on the stack).
+  /// shared by `extend` (which folds them into the cache, tracking owner
+  /// counts) and by a const `check_with` whose trial bound outruns the
+  /// cached horizon (which keeps them on the stack and passes a null
+  /// `owners`).
   void grid_beyond(const TaskSet& set, Slot limit, std::vector<Slot>& points,
-                   std::vector<Slot>& demands) const;
+                   std::vector<Slot>& demands,
+                   std::vector<std::uint32_t>* owners) const;
 
   /// Grows the grid to `new_horizon`, generating only the new instants.
   void extend(const TaskSet& set, Slot new_horizon);
@@ -179,11 +207,20 @@ class LinkScanCache {
   [[nodiscard]] std::optional<Slot> trial_busy_period(
       const TaskSet& set, const PseudoTask& extra) const;
 
+  /// Recomputes `busy_period_` for the shadowed (post-mutation) set from
+  /// the period buckets: the identical least fixed point `busy_period(set)`
+  /// finds, in O(distinct periods) per iteration step.
+  [[nodiscard]] std::optional<Slot> bucket_busy_period(Slot backlog) const;
+
   /// Checkpoint instants of the shadowed set in [1, horizon_], ascending,
   /// deduplicated — exactly `checkpoints(set, horizon_)`.
   std::vector<Slot> points_;
   /// demand(set, points_[k]) for each cached instant.
   std::vector<Slot> demands_;
+  /// How many shadowed tasks have a checkpoint at points_[k] (t ≡ d_j mod
+  /// P_j, t ≥ d_j). `downdate` drops an instant when its last owner leaves,
+  /// keeping the grid exactly `checkpoints(set, horizon_)` through churn.
+  std::vector<std::uint32_t> owners_;
   Slot horizon_{0};
   std::size_t task_count_{0};
   /// Tasks with deadline != period; 0 enables the Liu & Layland fast path.

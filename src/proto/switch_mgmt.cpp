@@ -147,24 +147,61 @@ void SwitchMgmt::handle_response(const net::ResponseFrame& response) {
     relayed.uplink_deadline =
         static_cast<std::uint32_t>(channel->partition.uplink);
   } else {
-    // Destination declined: roll the admission back (no residue).
+    // Destination declined: roll the admission back (no residue) and drop
+    // the request-dedup entry — same as teardown, a stale entry would make
+    // the switch silently ignore a new request that recycles the 8-bit
+    // connection-request ID.
     ++stats_.requests_rejected_by_destination;
     const bool released = controller_.release(response.rt_channel);
     RTETHER_ASSERT_MSG(released, "pending channel missing on rollback");
+    prune_seen_requests(response.rt_channel);
     relayed.uplink_deadline = 0;
   }
   send_to_node(pending.source, relayed.serialize());
+}
+
+void SwitchMgmt::prune_seen_requests(ChannelId channel) {
+  // Drop the request-dedup entries that produced `channel`: under heavy
+  // setup/teardown churn the 8-bit connection-request space recycles
+  // quickly, and a stale entry would both leak without bound and make the
+  // switch silently ignore a genuinely new request that reuses the ID.
+  for (auto it = seen_requests_.begin(); it != seen_requests_.end();) {
+    it = it->second == channel ? seen_requests_.erase(it) : std::next(it);
+  }
 }
 
 void SwitchMgmt::handle_teardown(const net::TeardownFrame& teardown,
                                  NodeId ingress) {
   const auto channel = controller_.state().find_channel(teardown.rt_channel);
   if (!channel) {
-    return;  // already gone (duplicate teardown)
+    // Already gone: a re-delivered teardown whose first ack may have been
+    // lost. Idempotent — controller state is untouched, the destination is
+    // not re-notified — but the initiator is re-acked so it can converge.
+    ++stats_.duplicate_teardowns_ignored;
+    net::TeardownFrame ack = teardown;
+    ack.is_ack = true;
+    send_to_node(ingress, ack.serialize());
+    return;
+  }
+  if (ingress != channel->spec.source) {
+    // Stray teardown: only the channel's source initiates teardown
+    // (NodeRtLayer tears down TX channels). A corrupted ID — or a late
+    // duplicate arriving after the ID was recycled to a different pair's
+    // channel — must not release someone else's live channel and desync
+    // the switch from the admission controller.
+    ++stats_.stray_teardowns_ignored;
+    return;
   }
   ++stats_.teardowns;
   const NodeId destination = channel->spec.destination;
-  controller_.release(teardown.rt_channel);
+  const bool released = controller_.release(teardown.rt_channel);
+  RTETHER_ASSERT_MSG(released, "live channel failed to release");
+
+  // The channel may still be awaiting the destination's setup verdict; drop
+  // the pending entry so a late ResponseFrame cannot trip the "approved
+  // channel missing from admission state" invariant or double-release.
+  awaiting_destination_.erase(teardown.rt_channel);
+  prune_seen_requests(teardown.rt_channel);
 
   // Notify the destination, acknowledge the initiator.
   net::TeardownFrame notify = teardown;

@@ -26,6 +26,12 @@ struct SwitchMgmtStats {
   std::uint64_t requests_rejected_by_destination{0};
   std::uint64_t duplicate_requests_ignored{0};
   std::uint64_t teardowns{0};
+  /// Teardowns for channels already gone (re-delivered frames); re-acked
+  /// so a lost ack cannot wedge the initiator, but otherwise no-ops.
+  std::uint64_t duplicate_teardowns_ignored{0};
+  /// Teardowns from a node that is not the channel's source (corrupted ID,
+  /// or a late duplicate whose ID was recycled to another pair): dropped.
+  std::uint64_t stray_teardowns_ignored{0};
 };
 
 class SwitchMgmt {
@@ -49,6 +55,12 @@ class SwitchMgmt {
   void handle_request(const net::RequestFrame& request, NodeId ingress);
   void handle_response(const net::ResponseFrame& response);
   void handle_teardown(const net::TeardownFrame& teardown, NodeId ingress);
+
+  /// Erases the (source, request-ID) dedup entries that map to `channel` —
+  /// called when the channel leaves the admission state (teardown or
+  /// destination decline) so a recycled 8-bit request ID is treated as the
+  /// new request it is, and the dedup table cannot grow without bound.
+  void prune_seen_requests(ChannelId channel);
 
   /// Sends a management payload out of the port toward `to`, sourced from
   /// the switch's own MAC (Fig 18.4: "Source MAC addr. = switch addr.").

@@ -128,7 +128,13 @@ ScenarioSpec generate_scenario(const GeneratorConfig& config,
   }
 
   // --- Workload ----------------------------------------------------------
-  const auto style = static_cast<WorkloadStyle>(rng.index(4));
+  // The style die is rolled for every profile so kMixed seeds keep their
+  // historical expansion; churn-heavy simply overrides the outcome.
+  auto style = static_cast<WorkloadStyle>(rng.index(4));
+  const bool churn_heavy = config.profile == GeneratorProfile::kChurnHeavy;
+  if (churn_heavy) {
+    style = WorkloadStyle::kChurn;
+  }
   const std::size_t op_count =
       config.min_ops + rng.index(config.max_ops - config.min_ops + 1);
 
@@ -140,6 +146,7 @@ ScenarioSpec generate_scenario(const GeneratorConfig& config,
   // Churn probability: how often an op releases instead of admitting.
   double release_probability = 0.15;
   if (style == WorkloadStyle::kChurn) release_probability = 0.45;
+  if (churn_heavy) release_probability = 0.5;
 
   // Spec streams come from the traffic models so the fuzzer exercises the
   // same generators the paper experiments use.
@@ -164,11 +171,16 @@ ScenarioSpec generate_scenario(const GeneratorConfig& config,
       style == WorkloadStyle::kMasterSlave && ms_config.slaves > 0;
 
   // Indices (into spec.ops) of admit ops, used to aim releases; an entry is
-  // not removed on release, so double-teardown happens naturally.
+  // not removed on release, so double-teardown happens naturally. The
+  // churn-heavy profile aims main-path releases at *live* admits only, so
+  // steady state holds the link load near saturation instead of draining.
   std::vector<std::uint32_t> admits;
+  std::vector<std::uint32_t> live_admits;
   std::vector<std::uint32_t> released;
   for (std::size_t i = 0; i < op_count; ++i) {
-    const bool release = !admits.empty() && rng.bernoulli(release_probability);
+    const auto& victims = churn_heavy ? live_admits : admits;
+    const bool release =
+        !victims.empty() && rng.bernoulli(release_probability);
     if (release) {
       if (config.allow_negative_paths && rng.bernoulli(0.12)) {
         // Bogus teardown: an ID no engine ever assigned, or ID 0.
@@ -181,9 +193,14 @@ ScenarioSpec generate_scenario(const GeneratorConfig& config,
         // Double release: tear down a channel already torn down.
         spec.ops.push_back(ScenarioOp::release_of(rng.pick(released)));
       } else {
-        const std::uint32_t victim = rng.pick(admits);
+        const std::uint32_t victim = rng.pick(victims);
         spec.ops.push_back(ScenarioOp::release_of(victim));
         released.push_back(victim);
+        const auto live = std::find(live_admits.begin(), live_admits.end(),
+                                    victim);
+        if (live != live_admits.end()) {
+          live_admits.erase(live);
+        }
       }
       continue;
     }
@@ -204,6 +221,7 @@ ScenarioSpec generate_scenario(const GeneratorConfig& config,
       }
     }
     admits.push_back(static_cast<std::uint32_t>(spec.ops.size()));
+    live_admits.push_back(static_cast<std::uint32_t>(spec.ops.size()));
     spec.ops.push_back(ScenarioOp::admit(request));
   }
 

@@ -15,11 +15,24 @@
 
 namespace rtether::scenario {
 
+/// Which workload family mix a campaign draws from.
+enum class GeneratorProfile : std::uint8_t {
+  /// Uniform draw over all styles (uniform / master-slave / bursty / churn).
+  kMixed,
+  /// Steady-state admit/release churn at high link load: every scenario
+  /// pins the churn style, releases fire as often as admits once channels
+  /// are live, and releases always target a *live* channel so the stream
+  /// stays at saturation instead of draining. Exercises the release
+  /// downdate path of every engine (negative paths stay enabled).
+  kChurnHeavy,
+};
+
 /// Bounds on what the generator may produce. Defaults are sized so a
 /// scenario runs in ~1 ms through all four admission paths plus the
 /// simulator — small enough for 10k-scenario campaigns, large enough to
 /// reach saturated links, churned IDs and multi-hop routes.
 struct GeneratorConfig {
+  GeneratorProfile profile{GeneratorProfile::kMixed};
   std::uint32_t min_nodes{3};
   std::uint32_t max_nodes{12};
   /// Multi-switch scenarios draw 2…max_switches switches.

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -143,6 +144,11 @@ class Reader {
     const char* begin = text_.data() + pos_;
     const char* end = text_.data() + text_.size();
     const auto [ptr, ec] = std::from_chars(begin, end, out);
+    if (ec == std::errc::result_out_of_range) {
+      // A corpus value past 2⁶⁴−1 must fail loudly, never wrap into a
+      // different (silently passing) scenario.
+      return fail("unsigned integer out of 64-bit range");
+    }
     if (ec != std::errc{} || ptr == begin) {
       return fail("expected unsigned integer");
     }
@@ -167,8 +173,17 @@ class Reader {
     const char* begin = text_.data() + pos_;
     const char* end = text_.data() + text_.size();
     const auto [ptr, ec] = std::from_chars(begin, end, out);
+    if (ec == std::errc::result_out_of_range) {
+      return fail("number out of double range");
+    }
     if (ec != std::errc{} || ptr == begin) {
       return fail("expected number");
+    }
+    // from_chars accepts the strtod spellings "inf"/"nan"; JSON has no
+    // non-finite numbers and no downstream consumer can do arithmetic on
+    // them — reject instead of propagating a poison value.
+    if (!std::isfinite(out)) {
+      return fail("non-finite number");
     }
     pos_ += static_cast<std::size_t>(ptr - begin);
     return true;
@@ -262,7 +277,11 @@ bool parse_sim(Reader& reader, ScenarioSpec& spec) {
       return reader.parse_bool(spec.with_best_effort);
     }
     if (key == "best_effort_load") {
-      return reader.parse_double(spec.best_effort_load);
+      if (!reader.parse_double(spec.best_effort_load)) return false;
+      if (spec.best_effort_load < 0.0 || spec.best_effort_load > 1.0e6) {
+        return reader.fail("best_effort_load out of range [0, 1e6]");
+      }
+      return true;
     }
     if (key == "bursty_best_effort") {
       return reader.parse_bool(spec.bursty_best_effort);

@@ -407,5 +407,72 @@ TEST(AdmissionParallel, InvalidAndUnknownRequestsRejectIdentically) {
   }
 }
 
+TEST(AdmissionParallel, ExhaustionAfterChurnLeaksNoIds) {
+  // Placeholder channel IDs are drawn from the allocator's free pool for
+  // every sharded batch; they must be returned on every exit path (rejected
+  // shards, sequential fallback, merge) or the allocator would drift from
+  // the channel registry and exhaust early under churn. Implicit deadlines
+  // (d == P) with tiny utilization keep every admit on the Liu & Layland
+  // fast path, so driving the full 16-bit ID space stays cheap.
+  const std::uint32_t nodes = 64;
+  ParallelAdmissionEngine parallel = make_parallel(nodes, "SDPS", 2, 2);
+  auto cheap_spec = [&](std::uint32_t i) {
+    const std::uint32_t cell = i % (nodes / 2);
+    return spec(cell * 2, cell * 2 + 1, 1'000'000'000, 1, 1'000'000'000);
+  };
+
+  // Churn rounds: sharded batches interleaved with releases; after every
+  // round the allocator's live count must equal the registry exactly.
+  std::vector<ChannelId> live;
+  std::uint32_t salt = 0;
+  for (int round = 0; round < 6; ++round) {
+    std::vector<ChannelRequest> batch;
+    for (std::uint32_t i = 0; i < 200; ++i) {
+      batch.push_back(ChannelRequest{cheap_spec(salt++)});
+    }
+    const auto result = parallel.admit_batch(batch);
+    for (const auto& outcome : result.outcomes) {
+      ASSERT_TRUE(outcome.has_value());
+      live.push_back(outcome->id);
+    }
+    for (int k = 0; k < 100 && !live.empty(); ++k) {
+      ASSERT_TRUE(parallel.release(live.back()));
+      live.pop_back();
+    }
+    ASSERT_EQ(parallel.state().channel_count(), live.size());
+  }
+
+  // Drive the allocator to genuine exhaustion: every remaining ID must
+  // still be allocatable (none leaked by the churn above) and the overflow
+  // request must reject with kChannelIdsExhausted, matching the registry.
+  while (live.size() < ChannelIdAllocator::kCapacity) {
+    const std::size_t want = std::min<std::size_t>(
+        4096, ChannelIdAllocator::kCapacity - live.size());
+    std::vector<ChannelRequest> batch;
+    for (std::size_t i = 0; i < want; ++i) {
+      batch.push_back(ChannelRequest{cheap_spec(salt++)});
+    }
+    const auto result = parallel.admit_batch(batch);
+    for (const auto& outcome : result.outcomes) {
+      ASSERT_TRUE(outcome.has_value()) << "ID leaked: allocator exhausted at "
+                                       << live.size() << " live channels";
+      live.push_back(outcome->id);
+    }
+  }
+  ASSERT_EQ(live.size(), ChannelIdAllocator::kCapacity);
+  const auto overflow = parallel.admit(cheap_spec(salt++));
+  ASSERT_FALSE(overflow.has_value());
+  EXPECT_EQ(overflow.error().reason, RejectReason::kChannelIdsExhausted);
+
+  // Full drain: every ID comes back.
+  for (const ChannelId id : live) {
+    ASSERT_TRUE(parallel.release(id));
+  }
+  EXPECT_EQ(parallel.state().channel_count(), 0u);
+  const auto after_drain = parallel.admit(cheap_spec(salt++));
+  ASSERT_TRUE(after_drain.has_value());
+  EXPECT_EQ(after_drain->id, ChannelId{1});  // smallest-free allocation again
+}
+
 }  // namespace
 }  // namespace rtether::core

@@ -39,6 +39,29 @@ TEST(Apportion, RemainderDistributedDeterministically) {
   EXPECT_EQ(std::accumulate(a.begin(), a.end(), Slot{0}), 41u);
 }
 
+TEST(Apportion, Near64BitDeadlineTerminatesAndStaysValid) {
+  // Beyond 2⁵³ the weighted shares lose integer precision (ulp > 1): the
+  // split must neither wrap its largest-remainder leftover into a ~2⁶⁴
+  // iteration loop nor overflow the double→Slot cast — it falls back to
+  // the exact even spread and still satisfies Eqs 18.8/18.9.
+  SymmetricPathPartitioner sdps;
+  PathNetworkState state(Topology::switch_line(3, 1));
+  const auto path = state.topology().route(NodeId{0}, NodeId{2});
+  ASSERT_TRUE(path.has_value());  // 4 hops
+  const Slot huge = 0xffffffffffffffffULL;
+  for (const Slot deadline : {huge, huge - 1, huge - 3}) {
+    const auto request = spec(0, 2, huge, 1, deadline);
+    const auto budgets = sdps.split(request, *path, state);
+    ASSERT_EQ(budgets.size(), path->size());
+    Slot sum = 0;
+    for (const Slot b : budgets) {
+      EXPECT_GE(b, request.capacity);
+      sum += b;
+    }
+    EXPECT_EQ(sum, deadline);
+  }
+}
+
 TEST(Apportion, MinimumDeadlineGivesCapacityEverywhere) {
   SymmetricPathPartitioner sdps;
   PathNetworkState state(Topology::switch_line(2, 1));

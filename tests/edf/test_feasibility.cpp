@@ -272,5 +272,209 @@ TEST(LinkScanCache, CachedHyperperiodIsRunningLcm) {
   EXPECT_EQ(*cache.cached_hyperperiod(), 120u);
 }
 
+/// Compares every observable of a trial report between two caches.
+void expect_identical_reports(const FeasibilityReport& a,
+                              const FeasibilityReport& b,
+                              const std::string& where) {
+  ASSERT_EQ(a.feasible, b.feasible) << where;
+  EXPECT_EQ(a.reason, b.reason) << where;
+  EXPECT_EQ(a.utilization, b.utilization) << where;
+  EXPECT_EQ(a.violation_time, b.violation_time) << where;
+  EXPECT_EQ(a.violation_demand, b.violation_demand) << where;
+  EXPECT_EQ(a.scanned_bound, b.scanned_bound) << where;
+  EXPECT_EQ(a.demand_evaluations, b.demand_evaluations) << where;
+  EXPECT_EQ(a.used_utilization_fast_path, b.used_utilization_fast_path)
+      << where;
+  EXPECT_EQ(a.summary(), b.summary()) << where;
+}
+
+/// The tentpole property of the release fast path: a cache maintained by an
+/// arbitrary interleaving of commits and downdates must answer every trial
+/// with exactly what a cold reset cache — and the from-scratch reference
+/// scan — would answer, including the diagnostic counters (any stale grid
+/// instant the downdate failed to drop would inflate demand_evaluations).
+TEST(LinkScanCache, DowndateMatchesResetAndReferenceUnderChurn) {
+  rtether::Rng rng(137);
+  static constexpr Slot kPeriods[] = {40, 60, 80, 100, 150, 200};
+  for (int trial = 0; trial < 20; ++trial) {
+    TaskSet set;
+    LinkScanCache cache;
+    std::vector<PseudoTask> live;
+    std::uint16_t next_id = 1;
+    for (int step = 0; step < 60; ++step) {
+      const bool remove = !live.empty() && rng.bernoulli(0.4);
+      if (remove) {
+        const std::size_t victim = rng.index(live.size());
+        const PseudoTask removed = live[victim];
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+        ASSERT_TRUE(set.remove(removed.channel));
+        cache.downdate(set, removed);
+      } else {
+        const Slot p = kPeriods[rng.index(std::size(kPeriods))];
+        const Slot c = 1 + rng.index(4);
+        const Slot d =
+            rng.index(6) == 0 ? p : std::min(p, 2 * c + rng.index(p));
+        const PseudoTask candidate{ChannelId(next_id++), p, c, d};
+        const auto report = cache.check_with(set, candidate);
+        if (report.scanned_bound > cache.horizon()) {
+          cache.reserve_horizon(set, report.scanned_bound);
+        }
+        if (!report.feasible) {
+          continue;
+        }
+        set.add(candidate);
+        cache.commit(candidate,
+                     report.used_utilization_fast_path
+                         ? std::nullopt
+                         : std::optional<Slot>(report.scanned_bound));
+        live.push_back(candidate);
+      }
+
+      // Probe the churned cache against a cold rebuild and the reference.
+      LinkScanCache cold;
+      cold.reset(set);
+      const Slot p = kPeriods[rng.index(std::size(kPeriods))];
+      const Slot c = 1 + rng.index(4);
+      const Slot d = std::min(p, 2 * c + rng.index(p));
+      const PseudoTask probe{ChannelId(9999), p, c, d};
+      const auto churned = cache.check_with(set, probe);
+      const auto fresh = cold.check_with(set, probe);
+      TaskSet grown = set;
+      grown.add(probe);
+      const auto reference = check_feasibility(grown, DemandScan::kCheckpoints);
+      const std::string where = "trial " + std::to_string(trial) + " step " +
+                                std::to_string(step);
+      expect_identical_reports(churned, fresh, where + " (vs cold reset)");
+      expect_identical_reports(churned, reference, where + " (vs reference)");
+      EXPECT_EQ(cache.task_count(), set.size()) << where;
+      EXPECT_EQ(cache.cached_hyperperiod().has_value(),
+                cold.cached_hyperperiod().has_value())
+          << where;
+      if (cache.cached_hyperperiod().has_value()) {
+        EXPECT_EQ(*cache.cached_hyperperiod(), *cold.cached_hyperperiod())
+            << where;
+      }
+    }
+  }
+}
+
+TEST(LinkScanCache, DowndateToEmptyRestoresPristineState) {
+  TaskSet set;
+  LinkScanCache cache;
+  const PseudoTask a{ChannelId(1), 100, 3, 40};
+  const PseudoTask b{ChannelId(2), 60, 2, 30};
+  for (const auto& t : {a, b}) {
+    const auto report = cache.check_with(set, t);
+    ASSERT_TRUE(report.feasible);
+    set.add(t);
+    cache.commit(t, report.scanned_bound);
+  }
+  ASSERT_TRUE(set.remove(b.channel));
+  cache.downdate(set, b);
+  ASSERT_TRUE(set.remove(a.channel));
+  cache.downdate(set, a);
+  EXPECT_EQ(cache.task_count(), 0u);
+  ASSERT_TRUE(cache.cached_hyperperiod().has_value());
+  EXPECT_EQ(*cache.cached_hyperperiod(), 1u);
+  const PseudoTask probe{ChannelId(3), 80, 4, 20};
+  const auto report = cache.check_with(set, probe);
+  TaskSet grown;
+  grown.add(probe);
+  expect_identical_reports(report,
+                           check_feasibility(grown, DemandScan::kCheckpoints),
+                           "empty after full churn");
+}
+
+TEST(LinkScanCache, ReleaseThenIdenticalReadmitKeepsGridWarm) {
+  // The downdate must retain the memoized horizon: releasing a channel and
+  // re-admitting the identical contract has to stay a pure merge-walk
+  // (accepted, and with the same report the original admit produced).
+  TaskSet set;
+  LinkScanCache cache;
+  const PseudoTask a{ChannelId(1), 100, 4, 60};
+  const PseudoTask b{ChannelId(2), 80, 3, 35};
+  for (const auto& t : {a, b}) {
+    const auto report = cache.check_with(set, t);
+    ASSERT_TRUE(report.feasible);
+    if (report.scanned_bound > cache.horizon()) {
+      cache.reserve_horizon(set, report.scanned_bound);
+    }
+    set.add(t);
+    cache.commit(t, report.scanned_bound);
+  }
+  const auto original = cache.check_with(set, PseudoTask{ChannelId(3),
+                                                         100, 4, 60});
+  const Slot horizon_before = cache.horizon();
+  ASSERT_TRUE(set.remove(a.channel));
+  cache.downdate(set, a);
+  EXPECT_EQ(cache.horizon(), horizon_before);  // memoization survives
+  const auto readmit = cache.check_with(set, a);
+  ASSERT_TRUE(readmit.feasible);
+  set.add(a);
+  cache.commit(a, readmit.scanned_bound);
+  const auto repeat = cache.check_with(set, PseudoTask{ChannelId(3),
+                                                       100, 4, 60});
+  expect_identical_reports(original, repeat, "probe after churn round-trip");
+}
+
+TEST(Feasibility, ExhaustiveOracleSurvivesNear64BitHyperperiod) {
+  // Two coprime near-2³¹/2³² periods: the hyperperiod is ≈ 9.2·10¹⁸ —
+  // fits in 64 bits, but materializing one slot per instant would be an
+  // out-of-memory abort. The oracle must fall back to the (exact)
+  // busy-period bound and agree with the other scans.
+  TaskSet set;
+  set.add(task(1, 2'147'483'647, 1, 10));   // M31 prime
+  set.add(task(2, 4'294'967'291, 1, 15));   // largest prime < 2³²
+  const auto exhaustive = check_feasibility(set, DemandScan::kExhaustive);
+  const auto checkpoints = check_feasibility(set, DemandScan::kCheckpoints);
+  const auto every_slot = check_feasibility(set, DemandScan::kEverySlot);
+  EXPECT_TRUE(exhaustive.feasible);
+  EXPECT_EQ(exhaustive.feasible, checkpoints.feasible);
+  EXPECT_EQ(exhaustive.feasible, every_slot.feasible);
+  EXPECT_LE(exhaustive.scanned_bound, kExhaustiveOracleCap);
+}
+
+TEST(Feasibility, ExhaustiveOracleStillExtendsSmallHyperperiods) {
+  TaskSet set;
+  set.add(task(1, 10, 2, 6));
+  set.add(task(2, 15, 3, 9));
+  const auto exhaustive = check_feasibility(set, DemandScan::kExhaustive);
+  const auto checkpoints = check_feasibility(set, DemandScan::kCheckpoints);
+  EXPECT_EQ(exhaustive.feasible, checkpoints.feasible);
+  // hyperperiod (30) + max deadline (9) is within the cap: the oracle
+  // really scanned past the busy-period bound.
+  EXPECT_EQ(exhaustive.scanned_bound, 39u);
+}
+
+TEST(LinkScanCache, DowndateWithOverflowedHyperperiodRecovers) {
+  // Running lcm overflows with both huge periods live; after releasing one
+  // the re-derived hyperperiod must match a fresh rebuild (value, not just
+  // presence).
+  TaskSet set;
+  LinkScanCache cache;
+  const PseudoTask a{ChannelId(1), 2'147'483'647, 1, 10};
+  const PseudoTask b{ChannelId(2), 4'294'967'291, 1, 15};
+  const PseudoTask c{ChannelId(3), 3'037'000'493, 1, 20};
+  for (const auto& t : {a, b, c}) {
+    const auto report = cache.check_with(set, t);
+    ASSERT_TRUE(report.feasible);
+    set.add(t);
+    cache.commit(t, report.used_utilization_fast_path
+                        ? std::nullopt
+                        : std::optional<Slot>(report.scanned_bound));
+  }
+  EXPECT_FALSE(cache.cached_hyperperiod().has_value());  // overflowed
+  ASSERT_TRUE(set.remove(c.channel));
+  cache.downdate(set, c);
+  LinkScanCache cold;
+  cold.reset(set);
+  EXPECT_EQ(cache.cached_hyperperiod().has_value(),
+            cold.cached_hyperperiod().has_value());
+  ASSERT_TRUE(set.remove(b.channel));
+  cache.downdate(set, b);
+  ASSERT_TRUE(cache.cached_hyperperiod().has_value());
+  EXPECT_EQ(*cache.cached_hyperperiod(), 2'147'483'647u);
+}
+
 }  // namespace
 }  // namespace rtether::edf

@@ -3,7 +3,10 @@
 #include <memory>
 
 #include "core/partitioner.hpp"
+#include "net/ethernet.hpp"
+#include "net/mgmt_frames.hpp"
 #include "proto/stack.hpp"
+#include "sim/addressing.hpp"
 
 namespace rtether::proto {
 namespace {
@@ -12,6 +15,30 @@ sim::SimConfig test_config() {
   return sim::SimConfig{.ticks_per_slot = 100,
                         .propagation_ticks = 1,
                         .switch_processing_ticks = 1};
+}
+
+/// Injects a raw management payload into the network as if `from` sent it
+/// to the switch (the transport duplicated/delayed frames take).
+void inject_mgmt(sim::SimNetwork& network, NodeId from,
+                 std::vector<std::uint8_t> payload) {
+  net::EthernetHeader ethernet;
+  ethernet.destination = sim::switch_mac();
+  ethernet.source = sim::node_mac(from);
+  ethernet.ether_type = net::EtherType::kRtManagement;
+  ByteWriter writer;
+  ethernet.serialize(writer);
+  writer.write_bytes(payload);
+  auto frame =
+      sim::SimFrame::make(network.next_frame_id(), std::move(writer).take(),
+                          0, network.now(), from);
+  network.node(from).send_best_effort(std::move(frame));
+}
+
+void inject_teardown(sim::SimNetwork& network, NodeId from, ChannelId id) {
+  net::TeardownFrame teardown;
+  teardown.rt_channel = id;
+  teardown.is_ack = false;
+  inject_mgmt(network, from, teardown.serialize());
 }
 
 TEST(Teardown, ReleasesSwitchState) {
@@ -61,6 +88,151 @@ TEST(Teardown, DuplicateTeardownIsHarmless) {
   const auto fresh = stack.establish(NodeId{2}, NodeId{3}, 100, 3, 40);
   EXPECT_TRUE(fresh.has_value());
   EXPECT_EQ(stack.management().stats().teardowns, 1u);
+}
+
+TEST(Teardown, RedeliveredTeardownIsIdempotentAndReAcked) {
+  Stack stack(test_config(), 4, std::make_unique<core::SymmetricPartitioner>());
+  const auto channel = stack.establish(NodeId{0}, NodeId{1}, 100, 3, 40);
+  ASSERT_TRUE(channel.has_value());
+  stack.teardown(*channel);
+  ASSERT_EQ(stack.management().stats().teardowns, 1u);
+
+  // The transport re-delivers the same TeardownFrame (its first ack may
+  // have been lost). The switch must not double-release, must not notify
+  // the destination again, and must re-ack so the initiator converges.
+  inject_teardown(stack.network(), NodeId{0}, channel->id);
+  inject_teardown(stack.network(), NodeId{0}, channel->id);
+  EXPECT_TRUE(stack.network().simulator().run_all());
+
+  EXPECT_EQ(stack.management().stats().teardowns, 1u);
+  EXPECT_EQ(stack.management().stats().duplicate_teardowns_ignored, 2u);
+  EXPECT_EQ(stack.management().controller().state().channel_count(), 0u);
+  EXPECT_EQ(stack.management().controller().stats().released, 1u);
+}
+
+TEST(Teardown, StrayTeardownFromNonSourceIsIgnored) {
+  Stack stack(test_config(), 4, std::make_unique<core::SymmetricPartitioner>());
+  const auto channel = stack.establish(NodeId{0}, NodeId{1}, 100, 3, 40);
+  ASSERT_TRUE(channel.has_value());
+
+  // A teardown for a live channel arriving from a node that is not its
+  // source — a corrupted ID, or a late duplicate whose ID was recycled to
+  // another pair's channel — must not release it.
+  inject_teardown(stack.network(), NodeId{2}, channel->id);
+  inject_teardown(stack.network(), NodeId{1}, channel->id);  // destination
+  EXPECT_TRUE(stack.network().simulator().run_all());
+
+  EXPECT_EQ(stack.management().stats().teardowns, 0u);
+  EXPECT_EQ(stack.management().stats().stray_teardowns_ignored, 2u);
+  EXPECT_EQ(stack.management().controller().state().channel_count(), 1u);
+  EXPECT_EQ(stack.layer(NodeId{1}).rx_channels().size(), 1u);
+}
+
+TEST(Teardown, TeardownWhileAwaitingDestinationVerdict) {
+  // Node 1 has no RT layer: the forwarded request falls into the void, so
+  // the admitted channel stays in the switch's awaiting-destination state.
+  sim::SimNetwork network(test_config(), 4);
+  SwitchMgmt management(network,
+                        std::make_unique<core::SymmetricPartitioner>());
+  RtLayerConfig layer_config;
+  layer_config.request_timeout_slots = 50;
+  layer_config.request_attempts = 1;
+  NodeRtLayer source(network, NodeId{0}, layer_config);
+
+  bool done = false;
+  source.request_channel(NodeId{1}, 100, 3, 40,
+                         [&](const SetupOutcome& outcome) {
+                           done = true;
+                           EXPECT_FALSE(outcome.accepted);
+                         });
+  EXPECT_TRUE(network.simulator().run_all());
+  ASSERT_EQ(management.controller().state().channel_count(), 1u);
+  const ChannelId assigned{1};  // smallest free ID
+
+  // Teardown for the half-established channel (the application gave up).
+  inject_teardown(network, NodeId{0}, assigned);
+  EXPECT_TRUE(network.simulator().run_all());
+  EXPECT_EQ(management.stats().teardowns, 1u);
+  EXPECT_EQ(management.controller().state().channel_count(), 0u);
+
+  // A late destination verdict for the torn-down channel must be ignored —
+  // it must neither resurrect the channel nor trip the switch's "approved
+  // channel missing from admission state" invariant.
+  net::ResponseFrame response;
+  response.connection_request = ConnectionRequestId(1);
+  response.rt_channel = assigned;
+  response.accepted = true;
+  inject_mgmt(network, NodeId{1}, response.serialize());
+  EXPECT_TRUE(network.simulator().run_all());
+  EXPECT_EQ(management.controller().state().channel_count(), 0u);
+  EXPECT_TRUE(done);
+}
+
+TEST(Teardown, RequestIdReuseAfterDestinationDeclineRunsAdmissionAgain) {
+  // Same dedup-staleness hazard as the teardown path, on the rollback
+  // path: a destination-declined channel leaves the admission state, so a
+  // recycled 8-bit connection-request ID must be a fresh request, not a
+  // silently-ignored "duplicate".
+  Stack stack(test_config(), 4, std::make_unique<core::SymmetricPartitioner>());
+  stack.layer(NodeId{1}).set_accept_policy(
+      [](const net::RequestFrame&) { return false; });
+
+  net::RequestFrame request;
+  request.connection_request = ConnectionRequestId(9);
+  request.rt_channel = ChannelId(0);
+  request.source_mac = sim::node_mac(NodeId{0});
+  request.destination_mac = sim::node_mac(NodeId{1});
+  request.source_ip = sim::node_ip(NodeId{0});
+  request.destination_ip = sim::node_ip(NodeId{1});
+  request.period = 100;
+  request.capacity = 3;
+  request.deadline = 40;
+
+  inject_mgmt(stack.network(), NodeId{0}, request.serialize());
+  EXPECT_TRUE(stack.network().simulator().run_all());
+  ASSERT_EQ(stack.management().stats().requests_rejected_by_destination, 1u);
+  ASSERT_EQ(stack.management().controller().state().channel_count(), 0u);
+
+  stack.layer(NodeId{1}).set_accept_policy(nullptr);
+  inject_mgmt(stack.network(), NodeId{0}, request.serialize());
+  EXPECT_TRUE(stack.network().simulator().run_all());
+  EXPECT_EQ(stack.management().stats().duplicate_requests_ignored, 0u);
+  EXPECT_EQ(stack.management().stats().requests_admitted, 2u);
+  EXPECT_EQ(stack.management().controller().state().channel_count(), 1u);
+}
+
+TEST(Teardown, RequestIdReuseAfterTeardownRunsAdmissionAgain) {
+  Stack stack(test_config(), 4, std::make_unique<core::SymmetricPartitioner>());
+
+  net::RequestFrame request;
+  request.connection_request = ConnectionRequestId(9);
+  request.rt_channel = ChannelId(0);
+  request.source_mac = sim::node_mac(NodeId{0});
+  request.destination_mac = sim::node_mac(NodeId{1});
+  request.source_ip = sim::node_ip(NodeId{0});
+  request.destination_ip = sim::node_ip(NodeId{1});
+  request.period = 100;
+  request.capacity = 3;
+  request.deadline = 40;
+
+  inject_mgmt(stack.network(), NodeId{0}, request.serialize());
+  EXPECT_TRUE(stack.network().simulator().run_all());
+  ASSERT_EQ(stack.management().stats().requests_admitted, 1u);
+  ASSERT_EQ(stack.management().controller().state().channel_count(), 1u);
+
+  // Tear the channel down, then reuse the same 8-bit connection-request ID
+  // for a genuinely new request (the ID space wraps after 255 setups — a
+  // steady churn workload recycles IDs constantly). The dedup table must
+  // not treat the new request as a retransmission of the old one.
+  inject_teardown(stack.network(), NodeId{0}, ChannelId{1});
+  EXPECT_TRUE(stack.network().simulator().run_all());
+  ASSERT_EQ(stack.management().controller().state().channel_count(), 0u);
+
+  inject_mgmt(stack.network(), NodeId{0}, request.serialize());
+  EXPECT_TRUE(stack.network().simulator().run_all());
+  EXPECT_EQ(stack.management().stats().requests_admitted, 2u);
+  EXPECT_EQ(stack.management().stats().duplicate_requests_ignored, 0u);
+  EXPECT_EQ(stack.management().controller().state().channel_count(), 1u);
 }
 
 }  // namespace

@@ -168,5 +168,82 @@ TEST(ScenarioJson, RejectsUnknownKeysAndBadSchemas) {
   EXPECT_FALSE(load_scenario("/nonexistent/scenario.json").has_value());
 }
 
+TEST(ScenarioGenerator, ChurnHeavyProfilePinsSteadyStateChurn) {
+  GeneratorConfig config;
+  config.profile = GeneratorProfile::kChurnHeavy;
+  config.max_ops = 96;
+  std::size_t total_releases = 0;
+  std::size_t total_ops = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const auto spec = generate_scenario(config, seed);
+    EXPECT_TRUE(spec.well_formed()) << spec.summary();
+    EXPECT_EQ(spec, generate_scenario(config, seed)) << "seed " << seed;
+    total_ops += spec.ops.size();
+    for (const auto& op : spec.ops) {
+      total_releases += op.kind == ScenarioOp::Kind::kRelease ? 1u : 0u;
+    }
+  }
+  // Steady-state churn: releases must dominate far beyond the mixed
+  // profile's ~15 % share (they fire with p=0.5 once channels are live).
+  EXPECT_GT(total_releases * 3, total_ops);
+}
+
+TEST(ScenarioJson, BoundarySpecsRoundTripExactly) {
+  // 64-bit boundary values in every Slot field must survive the round trip
+  // bit-exactly — a wrapped or truncated corpus entry silently tests a
+  // different scenario.
+  ScenarioSpec spec;
+  spec.seed = 0xffffffffffffffffULL;
+  spec.name = "boundary";
+  spec.topology.nodes = 4;
+  spec.run_slots = 0xffffffffffffffffULL;
+  spec.simulate = false;
+  core::ChannelSpec huge;
+  huge.source = NodeId{0};
+  huge.destination = NodeId{1};
+  huge.period = 0xffffffffffffffffULL;
+  huge.capacity = 0xfffffffffffffffeULL;
+  huge.deadline = 0xffffffffffffffffULL;
+  spec.ops.push_back(ScenarioOp::admit(huge));
+  spec.ops.push_back(ScenarioOp::release_raw(0xffff));
+  spec.ops.push_back(ScenarioOp::release_of(0));
+  const auto parsed = from_json(to_json(spec));
+  ASSERT_TRUE(parsed.has_value()) << parsed.error();
+  EXPECT_EQ(*parsed, spec);
+}
+
+TEST(ScenarioJson, RejectsOutOfRangeAndNonFiniteNumbers) {
+  auto doc_with = [](const std::string& period,
+                     const std::string& load) {
+    return std::string(
+               R"({"schema":"rtether-scenario-v1","seed":0,"name":"",)"
+               R"("scheme":"ADPS","topology":{"kind":"star","switches":1,)"
+               R"("nodes":3},"sim":{"simulate":false,"run_slots":100,)"
+               R"("ticks_per_slot":16,"with_best_effort":false,)"
+               R"("best_effort_load":)") +
+           load +
+           R"(,"bursty_best_effort":false},"ops":[{"op":"admit",)"
+           R"("source":0,"destination":1,"period":)" +
+           period + R"(,"capacity":1,"deadline":4}]})";
+  };
+
+  // In-range boundary parses…
+  EXPECT_TRUE(from_json(doc_with("18446744073709551615", "0")).has_value());
+  // …one past 2⁶⁴−1 must fail, not wrap to 0.
+  EXPECT_FALSE(from_json(doc_with("18446744073709551616", "0")).has_value());
+  EXPECT_FALSE(
+      from_json(doc_with("99999999999999999999999", "0")).has_value());
+  // Negative values are not unsigned integers.
+  EXPECT_FALSE(from_json(doc_with("-1", "0")).has_value());
+
+  // Non-finite and out-of-range doubles: from_chars accepts the strtod
+  // spellings, the schema must not.
+  EXPECT_FALSE(from_json(doc_with("50", "inf")).has_value());
+  EXPECT_FALSE(from_json(doc_with("50", "nan")).has_value());
+  EXPECT_FALSE(from_json(doc_with("50", "1e999")).has_value());
+  EXPECT_FALSE(from_json(doc_with("50", "-0.25")).has_value());
+  EXPECT_TRUE(from_json(doc_with("50", "0.75")).has_value());
+}
+
 }  // namespace
 }  // namespace rtether::scenario
