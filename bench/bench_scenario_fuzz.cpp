@@ -22,6 +22,13 @@
 ///   --profile  workload profile: "mixed" (default) or "churn" — the
 ///              churn-heavy steady-state admit/release campaign the nightly
 ///              job runs alongside the mixed one
+///   --min-slots-per-sec N
+///              sim-slot throughput gate: exit non-zero when a green
+///              campaign of ≥1000 scenarios sustained fewer than N
+///              simulated slots per second. The PR CI bench job passes
+///              250000 — half of what one thread of the typed event kernel
+///              sustains on the 10k mixed campaign (≈520k/s), so the gate
+///              keeps ≥2× headroom even on a 1-core runner. 0 disables.
 
 #include <cerrno>
 #include <cstdio>
@@ -67,10 +74,16 @@ int main(int argc, char** argv) {
   int positional = 0;
   bool ok = true;
   std::string profile = "mixed";
+  double min_slots_per_sec = 0.0;
   for (int i = 1; i < argc && ok; ++i) {
     if (std::strcmp(argv[i], "--out-dir") == 0) {
       ok = i + 1 < argc;
       if (ok) out_dir = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--min-slots-per-sec") == 0) {
+      ok = i + 1 < argc && parse_double_arg(argv[i + 1], min_slots_per_sec);
+      if (ok) ++i;
       continue;
     }
     if (std::strcmp(argv[i], "--profile") == 0) {
@@ -121,7 +134,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: bench_scenario_fuzz [scenarios] [threads] [json] "
                  "[seconds] [base_seed] [--out-dir DIR] "
-                 "[--profile mixed|churn]\n");
+                 "[--profile mixed|churn] [--min-slots-per-sec N]\n");
     return 64;
   }
 
@@ -182,6 +195,8 @@ int main(int argc, char** argv) {
   json.member("frames_delivered_total", result.frames_delivered_total);
   json.member("failures", static_cast<std::uint64_t>(result.failures));
   json.member("time_budget_hit", result.time_budget_hit);
+  json.member("sim_digest_xor", result.sim_digest_xor);
+  json.member("min_slots_per_sec_gate", min_slots_per_sec);
   json.key("failing_seeds").begin_array();
   for (const auto& failure : result.failing) {
     json.value(failure.seed);
@@ -194,5 +209,16 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %s\n", json_path.c_str());
 
-  return result.failures == 0 ? 0 : 1;
+  if (result.failures != 0) {
+    return 1;
+  }
+  // Throughput gate (campaigns below 1000 scenarios are too noisy to
+  // gate — pool spin-up and shrink time dominate).
+  if (min_slots_per_sec > 0.0 && result.scenarios_run >= 1000 &&
+      result.simulated_slots_per_second() < min_slots_per_sec) {
+    std::printf("FAIL: %.0f simulated slots/s below the %.0f gate\n",
+                result.simulated_slots_per_second(), min_slots_per_sec);
+    return 2;
+  }
+  return 0;
 }

@@ -1,0 +1,462 @@
+#pragma once
+
+/// @file legacy_sim_kernel.hpp
+/// Frozen copy of the seed simulation kernel (PRs 1–4): `std::function`
+/// actions heap-allocated per event, `SimFrame`s moved by value through
+/// type-erased closures and `priority_queue`s, callback-wired star
+/// topology. Kept **only** as the measured baseline for
+/// `bench_sim_kernel`'s ≥3× throughput gate — do not use in new code; the
+/// production kernel lives in src/sim/simulator.hpp.
+///
+/// The classes below are verbatim from the seed tree (modulo the `legacy`
+/// namespace and frame/config/stats types shared with the live tree, which
+/// are kernel-independent). `LegacyStarNetwork` replicates the seed
+/// `SimNetwork`/`SimSwitch` wiring — per-hop lambdas capturing frames by
+/// value — with the identical event pattern, so both kernels simulate the
+/// same workload with the same event counts and verdicts.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "net/ipv4.hpp"
+#include "sim/addressing.hpp"
+#include "sim/config.hpp"
+#include "sim/frame.hpp"
+#include "sim/stats.hpp"
+
+namespace rtether::sim::legacy {
+
+/// Seed `Ipv4Header::serialize`: a temporary growable buffer per header
+/// (one heap allocation per simulated frame, as the seed tree did it).
+inline void legacy_serialize_ipv4(const net::Ipv4Header& ip, ByteWriter& out) {
+  ByteWriter header(net::Ipv4Header::kWireSize);
+  header.write_u8(0x45);  // version 4, IHL 5
+  header.write_u8(ip.tos);
+  header.write_u16(ip.total_length);
+  header.write_u16(ip.identification);
+  header.write_u16(0);  // flags/fragment offset: never fragmented here
+  header.write_u8(ip.ttl);
+  header.write_u8(static_cast<std::uint8_t>(ip.protocol));
+  header.write_u16(0);  // checksum placeholder
+  header.write_u32(ip.source.value());
+  header.write_u32(ip.destination.value());
+
+  std::vector<std::uint8_t> bytes = std::move(header).take();
+  const std::uint16_t checksum = net::internet_checksum(bytes);
+  bytes[10] = static_cast<std::uint8_t>(checksum >> 8);
+  bytes[11] = static_cast<std::uint8_t>(checksum);
+  out.write_bytes(bytes);
+}
+
+/// Seed measurement layer: per-channel records behind a `std::map`.
+class LegacySimStats {
+ public:
+  void record_rt_sent(ChannelId channel) { ++channels_[channel].frames_sent; }
+
+  void record_rt_delivered(ChannelId channel, Tick created,
+                           Tick absolute_deadline, Tick delivered,
+                           Tick allowance) {
+    auto& stats = channels_[channel];
+    ++stats.frames_delivered;
+    stats.delay_ticks.add(static_cast<double>(delivered - created));
+    const auto lateness = static_cast<std::int64_t>(delivered) -
+                          static_cast<std::int64_t>(absolute_deadline);
+    stats.worst_lateness_ticks = std::max(stats.worst_lateness_ticks, lateness);
+    if (delivered > absolute_deadline + allowance) {
+      ++stats.deadline_misses;
+    }
+  }
+
+  void record_best_effort_sent() { ++best_effort_sent_; }
+  void record_best_effort_delivered(Tick created, Tick delivered) {
+    ++best_effort_delivered_;
+    best_effort_delay_.add(static_cast<double>(delivered - created));
+  }
+
+  [[nodiscard]] const std::map<ChannelId, ChannelDeliveryStats>& channels()
+      const {
+    return channels_;
+  }
+  [[nodiscard]] std::uint64_t total_rt_delivered() const {
+    std::uint64_t total = 0;
+    for (const auto& [id, stats] : channels_) total += stats.frames_delivered;
+    return total;
+  }
+  [[nodiscard]] std::uint64_t total_deadline_misses() const {
+    std::uint64_t total = 0;
+    for (const auto& [id, stats] : channels_) total += stats.deadline_misses;
+    return total;
+  }
+  [[nodiscard]] std::uint64_t best_effort_sent() const {
+    return best_effort_sent_;
+  }
+  [[nodiscard]] std::uint64_t best_effort_delivered() const {
+    return best_effort_delivered_;
+  }
+
+ private:
+  std::map<ChannelId, ChannelDeliveryStats> channels_;
+  std::uint64_t best_effort_sent_{0};
+  std::uint64_t best_effort_delivered_{0};
+  RunningStats best_effort_delay_;
+};
+
+/// Seed forwarding table: `std::unordered_map` keyed by MacAddress.
+class LegacyForwardingTable {
+ public:
+  void learn(const net::MacAddress& mac, NodeId node) { table_[mac] = node; }
+
+  [[nodiscard]] std::optional<NodeId> lookup(
+      const net::MacAddress& mac) const {
+    const auto it = table_.find(mac);
+    if (it == table_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<net::MacAddress, NodeId> table_;
+};
+
+/// Seed kernel: a clock and a time-ordered queue of type-erased closures.
+class LegacySimulator {
+ public:
+  using Action = std::function<void()>;
+
+  [[nodiscard]] Tick now() const { return now_; }
+
+  void schedule_at(Tick when, Action action) {
+    RTETHER_ASSERT_MSG(when >= now_, "cannot schedule into the past");
+    queue_.push(Event{when, next_sequence_++, std::move(action)});
+  }
+
+  void schedule_in(Tick delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  bool step() {
+    if (queue_.empty()) {
+      return false;
+    }
+    // priority_queue::top is const; the action is moved out via const_cast,
+    // which is safe because the element is popped before the action runs.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++executed_;
+    event.action();
+    return true;
+  }
+
+  void run_until(Tick until) {
+    while (!queue_.empty() && queue_.top().time <= until) {
+      step();
+    }
+    if (now_ < until) {
+      now_ = until;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    Tick time;
+    std::uint64_t sequence;  // tie-break: FIFO within a tick
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  Tick now_{0};
+  std::uint64_t next_sequence_{0};
+  std::uint64_t executed_{0};
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// Seed EDF queue: frames by value inside the heap entries.
+class LegacyEdfQueue {
+ public:
+  void push(Tick deadline_key, SimFrame frame) {
+    heap_.push(Entry{deadline_key, next_sequence_++, std::move(frame)});
+  }
+
+  std::optional<SimFrame> pop() {
+    if (heap_.empty()) {
+      return std::nullopt;
+    }
+    SimFrame frame = std::move(const_cast<Entry&>(heap_.top()).frame);
+    heap_.pop();
+    return frame;
+  }
+
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+
+ private:
+  struct Entry {
+    Tick deadline;
+    std::uint64_t sequence;
+    SimFrame frame;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_sequence_{0};
+};
+
+/// Seed FCFS queue: frames by value in a deque.
+class LegacyFcfsQueue {
+ public:
+  explicit LegacyFcfsQueue(std::size_t max_depth = 0)
+      : max_depth_(max_depth) {}
+
+  bool push(SimFrame frame) {
+    if (max_depth_ != 0 && queue_.size() >= max_depth_) {
+      ++dropped_;
+      return false;
+    }
+    queue_.push_back(std::move(frame));
+    return true;
+  }
+
+  std::optional<SimFrame> pop() {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    SimFrame frame = std::move(queue_.front());
+    queue_.pop_front();
+    return frame;
+  }
+
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::deque<SimFrame> queue_;
+  std::size_t max_depth_;
+  std::uint64_t dropped_{0};
+};
+
+/// Seed transmitter: dual queue + non-preemptive state machine, completion
+/// through a type-erased `DeliverFn` closure carrying the frame by value.
+class LegacyTransmitter {
+ public:
+  using DeliverFn = std::function<void(SimFrame frame, Tick completion)>;
+
+  LegacyTransmitter(LegacySimulator& simulator, const SimConfig& config,
+                    DeliverFn deliver, std::size_t best_effort_depth = 0)
+      : simulator_(simulator),
+        config_(config),
+        deliver_(std::move(deliver)),
+        best_effort_queue_(best_effort_depth) {
+    RTETHER_ASSERT(deliver_ != nullptr);
+  }
+
+  void enqueue_rt(Tick deadline_key, SimFrame frame) {
+    rt_queue_.push(deadline_key, std::move(frame));
+    schedule_start();
+  }
+
+  void enqueue_best_effort(SimFrame frame) {
+    best_effort_queue_.push(std::move(frame));
+    schedule_start();
+  }
+
+  [[nodiscard]] const TransmitterStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t best_effort_dropped() const {
+    return best_effort_queue_.dropped();
+  }
+
+ private:
+  void schedule_start() {
+    // Same-tick arbitration deferral — seed semantics (PR 3).
+    if (busy_ || start_pending_) {
+      return;
+    }
+    if (rt_queue_.empty() && best_effort_queue_.empty()) {
+      return;
+    }
+    start_pending_ = true;
+    simulator_.schedule_in(0, [this] {
+      start_pending_ = false;
+      try_start();
+    });
+  }
+
+  void try_start() {
+    if (busy_) {
+      return;  // non-preemptive: the in-flight frame finishes first
+    }
+    std::optional<SimFrame> frame = rt_queue_.pop();
+    const bool is_rt = frame.has_value();
+    if (!frame) {
+      frame = best_effort_queue_.pop();
+    }
+    if (!frame) {
+      return;
+    }
+
+    busy_ = true;
+    const Tick tx_ticks = config_.transmission_ticks(frame->wire_bytes());
+    stats_.busy_ticks += tx_ticks;
+    if (is_rt) {
+      ++stats_.rt_frames_sent;
+    } else {
+      ++stats_.best_effort_frames_sent;
+    }
+
+    // Move the frame into the completion event (heap-allocated closure).
+    simulator_.schedule_in(tx_ticks,
+                           [this, frame = std::move(*frame)]() mutable {
+                             busy_ = false;
+                             const Tick completion = simulator_.now();
+                             deliver_(std::move(frame), completion);
+                             schedule_start();
+                           });
+  }
+
+  LegacySimulator& simulator_;
+  const SimConfig& config_;
+  DeliverFn deliver_;
+  LegacyEdfQueue rt_queue_;
+  LegacyFcfsQueue best_effort_queue_;
+  bool busy_{false};
+  bool start_pending_{false};
+  TransmitterStats stats_;
+};
+
+/// Seed `SimNetwork`+`SimSwitch` wiring: star of N nodes, learning switch,
+/// per-hop propagation/processing closures, delivery-side measurement.
+/// Only the data path needed by the bench workload (RT + best-effort with
+/// primed forwarding; no management plane).
+class LegacyStarNetwork {
+ public:
+  LegacyStarNetwork(SimConfig config, std::uint32_t node_count,
+                    std::size_t best_effort_depth = 0)
+      : config_(config) {
+    miss_allowance_ = config_.t_latency_ticks(/*with_best_effort=*/true);
+    ports_.reserve(node_count);
+    uplinks_.reserve(node_count);
+    for (std::uint32_t n = 0; n < node_count; ++n) {
+      const NodeId node{n};
+      // Switch port toward `node`: propagation then measure + (no-op)
+      // receive, the seed SimNetwork delivery lambda.
+      ports_.push_back(std::make_unique<LegacyTransmitter>(
+          simulator_, config_,
+          [this, node](SimFrame frame, Tick /*completion*/) {
+            simulator_.schedule_in(
+                config_.propagation_ticks,
+                [this, frame = std::move(frame)]() {
+                  const Tick now = simulator_.now();
+                  if (frame.info.cls == FrameClass::kRealTime &&
+                      frame.info.rt_tag) {
+                    stats_.record_rt_delivered(
+                        frame.info.rt_tag->channel, frame.created_at,
+                        frame.info.rt_tag->absolute_deadline, now,
+                        miss_allowance_);
+                  } else if (frame.info.cls == FrameClass::kBestEffort) {
+                    stats_.record_best_effort_delivered(frame.created_at,
+                                                        now);
+                  }
+                });
+          },
+          best_effort_depth));
+      // Node uplink: propagation then switch ingress.
+      uplinks_.push_back(std::make_unique<LegacyTransmitter>(
+          simulator_, config_,
+          [this, node](SimFrame frame, Tick /*completion*/) {
+            simulator_.schedule_in(
+                config_.propagation_ticks,
+                [this, node, frame = std::move(frame)]() mutable {
+                  ingress(std::move(frame), node);
+                });
+          },
+          best_effort_depth));
+    }
+  }
+
+  [[nodiscard]] LegacySimulator& simulator() { return simulator_; }
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+  [[nodiscard]] Tick now() const { return simulator_.now(); }
+  [[nodiscard]] LegacySimStats& stats() { return stats_; }
+  [[nodiscard]] std::uint64_t next_frame_id() { return next_frame_id_++; }
+  [[nodiscard]] std::uint32_t node_count() const {
+    return static_cast<std::uint32_t>(uplinks_.size());
+  }
+
+  void prime_forwarding() {
+    for (std::uint32_t n = 0; n < node_count(); ++n) {
+      table_.learn(node_mac(NodeId{n}), NodeId{n});
+    }
+  }
+
+  void send_rt(NodeId from, Tick deadline_key, SimFrame frame) {
+    uplinks_[from.value()]->enqueue_rt(deadline_key, std::move(frame));
+  }
+
+  void send_best_effort(NodeId from, SimFrame frame) {
+    uplinks_[from.value()]->enqueue_best_effort(std::move(frame));
+  }
+
+  [[nodiscard]] const LegacyTransmitter& uplink(NodeId node) const {
+    return *uplinks_[node.value()];
+  }
+  [[nodiscard]] const LegacyTransmitter& port(NodeId node) const {
+    return *ports_[node.value()];
+  }
+
+ private:
+  void ingress(SimFrame frame, NodeId from) {
+    table_.learn(frame.info.source_mac, from);
+    simulator_.schedule_in(
+        config_.switch_processing_ticks,
+        [this, frame = std::move(frame), from]() mutable {
+          forward(std::move(frame), from);
+        });
+  }
+
+  void forward(SimFrame frame, NodeId from) {
+    (void)from;
+    const auto dst = table_.lookup(frame.info.destination_mac);
+    RTETHER_ASSERT_MSG(dst.has_value(),
+                       "bench workload uses primed forwarding only");
+    if (frame.info.cls == FrameClass::kRealTime) {
+      const Tick key = frame.info.rt_tag->absolute_deadline;
+      ports_[dst->value()]->enqueue_rt(key, std::move(frame));
+      return;
+    }
+    ports_[dst->value()]->enqueue_best_effort(std::move(frame));
+  }
+
+  SimConfig config_;
+  LegacySimulator simulator_;
+  LegacySimStats stats_;
+  std::vector<std::unique_ptr<LegacyTransmitter>> uplinks_;
+  std::vector<std::unique_ptr<LegacyTransmitter>> ports_;
+  LegacyForwardingTable table_;
+  std::uint64_t next_frame_id_{1};
+  Tick miss_allowance_{0};
+};
+
+}  // namespace rtether::sim::legacy

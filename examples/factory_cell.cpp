@@ -97,8 +97,11 @@ int main(int argc, char** argv) {
   }
 
   // --- Run, hot-swap a sensor, run on ------------------------------------
-  network.simulator().run_until(network.now() +
-                                network.config().slots_to_ticks(2'000));
+  if (!network.simulator().run_until(
+          network.now() + network.config().slots_to_ticks(2'000))) {
+    std::puts("simulation exceeded its event budget");
+    return 1;
+  }
 
   // Sensor 4 is replaced: tear its channel down, re-admit with a faster
   // period (10 slots) — dynamic reconfiguration per §18.2.2.
@@ -113,8 +116,11 @@ int main(int argc, char** argv) {
       stack.layer(kSensors[0]), replacement->id));
   senders.back()->start();
 
-  network.simulator().run_until(network.now() +
-                                network.config().slots_to_ticks(2'000));
+  if (!network.simulator().run_until(
+          network.now() + network.config().slots_to_ticks(2'000))) {
+    std::puts("simulation exceeded its event budget");
+    return 1;
+  }
   for (auto& sender : senders) sender->stop();
   for (auto& source : diag_sources) source->stop();
   if (!network.simulator().run_all()) {

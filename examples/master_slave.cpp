@@ -47,8 +47,11 @@ namespace {
     senders.back()->start();
   }
   auto& network = stack.network();
-  network.simulator().run_until(network.now() +
-                                network.config().slots_to_ticks(3'000));
+  if (!network.simulator().run_until(
+          network.now() + network.config().slots_to_ticks(3'000))) {
+    std::fprintf(stderr, "simulation exceeded its event budget\n");
+    return false;
+  }
   for (auto& sender : senders) sender->stop();
   if (!network.simulator().run_all()) {
     std::fprintf(stderr, "simulation exceeded its event budget\n");

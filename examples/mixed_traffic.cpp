@@ -45,8 +45,11 @@ int main(int argc, char** argv) {
   auto background =
       sim::attach_best_effort_everywhere(network, profile, seed);
 
-  network.simulator().run_until(network.now() +
-                                network.config().slots_to_ticks(5'000));
+  if (!network.simulator().run_until(
+          network.now() + network.config().slots_to_ticks(5'000))) {
+    std::fprintf(stderr, "simulation exceeded its event budget\n");
+    return 1;
+  }
   control_sender.stop();
   feedback_sender.stop();
   for (auto& source : background) source->stop();

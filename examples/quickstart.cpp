@@ -62,8 +62,11 @@ int main(int argc, char** argv) {
 
   // 4. Run 1000 slots of simulated time and inspect the stats.
   auto& network = stack.network();
-  network.simulator().run_until(network.now() +
-                                network.config().slots_to_ticks(1'000));
+  if (!network.simulator().run_until(
+          network.now() + network.config().slots_to_ticks(1'000))) {
+    std::fprintf(stderr, "simulation exceeded its event budget\n");
+    return 1;
+  }
   sender.stop();
   if (!network.simulator().run_all()) {
     std::fprintf(stderr, "simulation exceeded its event budget\n");

@@ -117,7 +117,9 @@ void print_validation_report(const std::string& title,
       static_cast<unsigned long long>(result.frames_delivered),
       static_cast<unsigned long long>(result.deadline_misses),
       result.worst_delay_ratio,
-      result.deadline_misses == 0 ? "HELD" : "VIOLATED");
+      result.sim_budget_exhausted
+          ? "UNVERIFIED (simulation event budget exhausted — partial run)"
+          : (result.deadline_misses == 0 ? "HELD" : "VIOLATED"));
 }
 
 }  // namespace rtether::analysis

@@ -53,15 +53,27 @@ ValidationResult run_guarantee_validation(const ValidationConfig& config) {
 
   const Tick stop_at =
       network.now() + config.sim.slots_to_ticks(config.run_slots);
-  network.simulator().run_until(stop_at);
+  // Runaway budget scaled with the horizon: the guard exists to catch
+  // same-tick spin loops, not to cap long legitimate runs (the saturated
+  // 64-node workload executes <1k events/slot; 20k/slot is far beyond any
+  // real schedule while still bounding a stuck loop).
+  const std::uint64_t event_budget =
+      sim::Simulator::kDefaultMaxEvents +
+      20'000 * static_cast<std::uint64_t>(config.run_slots);
+  bool sim_completed = network.simulator().run_until(stop_at, event_budget);
   for (auto& sender : senders) sender->stop();
   for (auto& source : background) source->stop();
-  // Drain in-flight frames so the last releases are measured too.
-  network.simulator().run_until(stop_at +
-                                config.sim.slots_to_ticks(1'000));
+  // Drain in-flight frames so the last releases are measured too — unless
+  // the measured run already tripped the runaway guard: the stuck loop
+  // would just burn a second full event budget before we report failure.
+  if (sim_completed) {
+    sim_completed = network.simulator().run_until(
+        stop_at + config.sim.slots_to_ticks(1'000), event_budget);
+  }
 
   // Phase 3: collect verdicts.
   ValidationResult result;
+  result.sim_budget_exhausted = !sim_completed;
   result.channels_requested = specs.size();
   result.channels_established = established.size();
   const double ticks_per_slot =

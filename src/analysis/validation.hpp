@@ -63,6 +63,10 @@ struct ValidationResult {
   std::uint64_t best_effort_sent{0};
   std::uint64_t best_effort_delivered{0};
   double best_effort_mean_delay_slots{0.0};
+  /// True when the kernel's runaway guard tripped before `run_slots`
+  /// elapsed — the verdicts above are then partial and must not be trusted
+  /// as a guarantee proof.
+  bool sim_budget_exhausted{false};
 };
 
 /// Runs the full pipeline: establishment over the wire → periodic senders →

@@ -22,6 +22,15 @@ class ByteWriter {
     buffer_.reserve(reserve_bytes);
   }
 
+  /// Takes over `reuse`'s storage, cleared but with capacity kept: the
+  /// simulator's frame-arena hot paths serialize into a pooled buffer and
+  /// move it back with `take()`, so a steady-state frame costs no
+  /// allocation.
+  explicit ByteWriter(std::vector<std::uint8_t>&& reuse)
+      : buffer_(std::move(reuse)) {
+    buffer_.clear();
+  }
+
   void write_u8(std::uint8_t v) { buffer_.push_back(v); }
 
   void write_u16(std::uint16_t v) {

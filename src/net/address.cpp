@@ -28,15 +28,6 @@ std::optional<unsigned> parse_hex_octet(std::string_view text) {
 
 }  // namespace
 
-MacAddress MacAddress::from_u48(std::uint64_t value) {
-  RTETHER_ASSERT_MSG((value >> 48) == 0, "MAC value exceeds 48 bits");
-  std::array<std::uint8_t, 6> octets{};
-  for (std::size_t i = 0; i < 6; ++i) {
-    octets[i] = static_cast<std::uint8_t>(value >> (40 - 8 * i));
-  }
-  return MacAddress(octets);
-}
-
 std::optional<MacAddress> MacAddress::parse(std::string_view text) {
   if (text.size() != 17) return std::nullopt;
   std::array<std::uint8_t, 6> octets{};
@@ -50,23 +41,11 @@ std::optional<MacAddress> MacAddress::parse(std::string_view text) {
   return MacAddress(octets);
 }
 
-std::uint64_t MacAddress::to_u48() const {
-  std::uint64_t value = 0;
-  for (const auto octet : octets_) {
-    value = value << 8 | octet;
-  }
-  return value;
-}
-
 std::string MacAddress::to_string() const {
   char buf[18];
   std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0],
                 octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
   return buf;
-}
-
-bool MacAddress::is_broadcast() const {
-  return to_u48() == 0xffff'ffff'ffffULL;
 }
 
 MacAddress broadcast_mac() { return MacAddress::from_u48(0xffff'ffff'ffffULL); }

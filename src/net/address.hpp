@@ -11,6 +11,8 @@
 #include <string>
 #include <string_view>
 
+#include "common/assert.hpp"
+
 namespace rtether::net {
 
 /// 48-bit IEEE MAC address.
@@ -22,7 +24,15 @@ class MacAddress {
       : octets_(octets) {}
 
   /// From the low 48 bits of an integer (high 16 bits must be zero).
-  static MacAddress from_u48(std::uint64_t value);
+  /// Inline: runs per simulated frame on the classification hot path.
+  static constexpr MacAddress from_u48(std::uint64_t value) {
+    RTETHER_ASSERT_MSG((value >> 48) == 0, "MAC value exceeds 48 bits");
+    std::array<std::uint8_t, 6> octets{};
+    for (std::size_t i = 0; i < 6; ++i) {
+      octets[i] = static_cast<std::uint8_t>(value >> (40 - 8 * i));
+    }
+    return MacAddress(octets);
+  }
 
   /// Parses "aa:bb:cc:dd:ee:ff" (case-insensitive); nullopt on syntax error.
   static std::optional<MacAddress> parse(std::string_view text);
@@ -32,13 +42,21 @@ class MacAddress {
   }
 
   /// The address as the low 48 bits of a u64.
-  [[nodiscard]] std::uint64_t to_u48() const;
+  [[nodiscard]] constexpr std::uint64_t to_u48() const {
+    std::uint64_t value = 0;
+    for (const auto octet : octets_) {
+      value = value << 8 | octet;
+    }
+    return value;
+  }
 
   /// "aa:bb:cc:dd:ee:ff" (lowercase).
   [[nodiscard]] std::string to_string() const;
 
   /// True for ff:ff:ff:ff:ff:ff.
-  [[nodiscard]] bool is_broadcast() const;
+  [[nodiscard]] constexpr bool is_broadcast() const {
+    return to_u48() == 0xffff'ffff'ffffULL;
+  }
 
   friend constexpr auto operator<=>(const MacAddress&,
                                     const MacAddress&) = default;

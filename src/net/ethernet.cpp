@@ -1,15 +1,24 @@
 #include "net/ethernet.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "common/units.hpp"
 
 namespace rtether::net {
 
 void EthernetHeader::serialize(ByteWriter& out) const {
-  out.write_u48(destination.to_u48());
-  out.write_u48(source.to_u48());
-  out.write_u16(static_cast<std::uint16_t>(ether_type));
+  // One ranged append instead of 14 byte-wise pushes: this runs once per
+  // simulated frame on the kernel's hot path.
+  std::array<std::uint8_t, kWireSize> bytes;
+  const auto& dst = destination.octets();
+  const auto& src = source.octets();
+  std::copy(dst.begin(), dst.end(), bytes.begin());
+  std::copy(src.begin(), src.end(), bytes.begin() + 6);
+  const auto type = static_cast<std::uint16_t>(ether_type);
+  bytes[12] = static_cast<std::uint8_t>(type >> 8);
+  bytes[13] = static_cast<std::uint8_t>(type);
+  out.write_bytes(bytes);
 }
 
 std::optional<EthernetHeader> EthernetHeader::parse(ByteReader& in) {

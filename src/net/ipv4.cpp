@@ -1,5 +1,7 @@
 #include "net/ipv4.hpp"
 
+#include <array>
+
 #include "common/assert.hpp"
 
 namespace rtether::net {
@@ -20,22 +22,44 @@ std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes) {
 }
 
 void Ipv4Header::serialize(ByteWriter& out) const {
-  ByteWriter header(kWireSize);
-  header.write_u8(0x45);  // version 4, IHL 5
-  header.write_u8(tos);
-  header.write_u16(total_length);
-  header.write_u16(identification);
-  header.write_u16(0);  // flags/fragment offset: never fragmented here
-  header.write_u8(ttl);
-  header.write_u8(static_cast<std::uint8_t>(protocol));
-  header.write_u16(0);  // checksum placeholder
-  header.write_u32(source.value());
-  header.write_u32(destination.value());
+  // Fixed-size stack buffer and an arithmetic checksum over the header
+  // words (no second byte pass): this runs once per simulated frame on
+  // the kernel's allocation-free hot path. Equivalent to
+  // internet_checksum() over the serialized bytes — the parse path
+  // verifies exactly that, and tests pin the round trip.
+  const std::uint32_t src = source.value();
+  const std::uint32_t dst = destination.value();
+  std::uint32_t sum = (std::uint32_t{0x45} << 8 | tos) + total_length +
+                      identification +
+                      (std::uint32_t{ttl} << 8 |
+                       static_cast<std::uint8_t>(protocol)) +
+                      (src >> 16) + (src & 0xffff) + (dst >> 16) +
+                      (dst & 0xffff);
+  while ((sum >> 16) != 0) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  const auto checksum = static_cast<std::uint16_t>(~sum & 0xffff);
 
-  std::vector<std::uint8_t> bytes = std::move(header).take();
-  const std::uint16_t checksum = internet_checksum(bytes);
+  std::array<std::uint8_t, kWireSize> bytes{};
+  bytes[0] = 0x45;  // version 4, IHL 5
+  bytes[1] = tos;
+  bytes[2] = static_cast<std::uint8_t>(total_length >> 8);
+  bytes[3] = static_cast<std::uint8_t>(total_length);
+  bytes[4] = static_cast<std::uint8_t>(identification >> 8);
+  bytes[5] = static_cast<std::uint8_t>(identification);
+  // bytes[6..7]: flags/fragment offset — never fragmented here.
+  bytes[8] = ttl;
+  bytes[9] = static_cast<std::uint8_t>(protocol);
   bytes[10] = static_cast<std::uint8_t>(checksum >> 8);
   bytes[11] = static_cast<std::uint8_t>(checksum);
+  bytes[12] = static_cast<std::uint8_t>(src >> 24);
+  bytes[13] = static_cast<std::uint8_t>(src >> 16);
+  bytes[14] = static_cast<std::uint8_t>(src >> 8);
+  bytes[15] = static_cast<std::uint8_t>(src);
+  bytes[16] = static_cast<std::uint8_t>(dst >> 24);
+  bytes[17] = static_cast<std::uint8_t>(dst >> 16);
+  bytes[18] = static_cast<std::uint8_t>(dst >> 8);
+  bytes[19] = static_cast<std::uint8_t>(dst);
   out.write_bytes(bytes);
 }
 

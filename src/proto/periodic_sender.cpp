@@ -18,18 +18,26 @@ void PeriodicRtSender::start() {
 void PeriodicRtSender::schedule_release(Slot delay_slots) {
   const TxChannel* tx = layer_.find_tx(channel_);
   if (tx == nullptr || !running_) return;
-  layer_.network().simulator().schedule_in(
-      layer_.network().config().slots_to_ticks(delay_slots), [this] {
-        if (!running_) return;
-        const TxChannel* channel = layer_.find_tx(channel_);
-        if (channel == nullptr) {
-          running_ = false;  // torn down while scheduled
-          return;
-        }
-        layer_.send_message(channel_);
-        ++messages_sent_;
-        schedule_release(channel->period);
-      });
+  // Allocation-free kernel timer — a release every period must not touch
+  // the heap (the sim-kernel bench asserts the steady state doesn't).
+  layer_.network().simulator().schedule_timer(
+      layer_.network().config().slots_to_ticks(delay_slots),
+      [](void* context, std::uint64_t /*arg*/, Tick /*now*/) {
+        static_cast<PeriodicRtSender*>(context)->on_release();
+      },
+      this);
+}
+
+void PeriodicRtSender::on_release() {
+  if (!running_) return;
+  const TxChannel* channel = layer_.find_tx(channel_);
+  if (channel == nullptr) {
+    running_ = false;  // torn down while scheduled
+    return;
+  }
+  layer_.send_message(channel_);
+  ++messages_sent_;
+  schedule_release(channel->period);
 }
 
 std::vector<std::unique_ptr<PeriodicRtSender>>

@@ -31,6 +31,8 @@ class PeriodicRtSender {
 
  private:
   void schedule_release(Slot delay_slots);
+  /// Fired by the kernel timer armed in `schedule_release`.
+  void on_release();
 
   NodeRtLayer& layer_;
   ChannelId channel_;

@@ -24,7 +24,10 @@ NodeRtLayer::NodeRtLayer(sim::SimNetwork& network, NodeId node,
     : network_(network), node_(node), config_(config) {
   RTETHER_ASSERT(config_.request_attempts >= 1);
   network_.node(node_).set_receiver(
-      [this](const sim::SimFrame& frame, Tick now) { on_receive(frame, now); });
+      [](void* context, const sim::SimFrame& frame, Tick now) {
+        static_cast<NodeRtLayer*>(context)->on_receive(frame, now);
+      },
+      this);
 }
 
 const TxChannel* NodeRtLayer::find_tx(ChannelId id) const {
@@ -72,23 +75,31 @@ void NodeRtLayer::transmit_request(std::uint8_t request_id) {
 void NodeRtLayer::arm_request_timer(std::uint8_t request_id) {
   const Tick timeout =
       network_.config().slots_to_ticks(config_.request_timeout_slots);
-  network_.simulator().schedule_in(timeout, [this, request_id] {
-    auto it = pending_.find(request_id);
-    if (it == pending_.end() || it->second.done) return;
-    if (it->second.attempts_left > 0) {
-      RTETHER_LOG(kDebug, "rt-layer",
-                  "node" << node_.value() << " retransmitting request "
-                         << static_cast<int>(request_id));
-      transmit_request(request_id);
-      return;
-    }
-    SetupOutcome outcome;
-    outcome.accepted = false;
-    outcome.detail = "timeout waiting for response";
-    auto callback = std::move(it->second.callback);
-    pending_.erase(it);
-    if (callback) callback(outcome);
-  });
+  network_.simulator().schedule_timer(
+      timeout,
+      [](void* context, std::uint64_t arg, Tick /*now*/) {
+        static_cast<NodeRtLayer*>(context)->on_request_timeout(
+            static_cast<std::uint8_t>(arg));
+      },
+      this, request_id);
+}
+
+void NodeRtLayer::on_request_timeout(std::uint8_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end() || it->second.done) return;
+  if (it->second.attempts_left > 0) {
+    RTETHER_LOG(kDebug, "rt-layer",
+                "node" << node_.value() << " retransmitting request "
+                       << static_cast<int>(request_id));
+    transmit_request(request_id);
+    return;
+  }
+  SetupOutcome outcome;
+  outcome.accepted = false;
+  outcome.detail = "timeout waiting for response";
+  auto callback = std::move(it->second.callback);
+  pending_.erase(it);
+  if (callback) callback(outcome);
 }
 
 void NodeRtLayer::send_mgmt_to_switch(std::vector<std::uint8_t> payload) {
@@ -135,8 +146,13 @@ void NodeRtLayer::send_message(ChannelId channel) {
     udp.source_port = kRtDataPort;
     udp.destination_port = kRtDataPort;
 
-    ByteWriter writer(net::EthernetHeader::kWireSize +
-                      net::Ipv4Header::kWireSize + net::UdpHeader::kWireSize);
+    // Hot path: serialize straight into a pooled arena slot (buffer
+    // capacity is recycled, so a steady-state release allocates nothing)
+    // and hand the uplink the frame *index*.
+    sim::FrameArena& arena = network_.arena();
+    const sim::FrameIndex index = arena.acquire();
+    sim::SimFrame& frame = arena.get(index);
+    ByteWriter writer(std::move(frame.bytes));
     ethernet.serialize(writer);
     const std::size_t header_bytes =
         net::EthernetHeader::kWireSize + net::Ipv4Header::kWireSize +
@@ -149,12 +165,10 @@ void NodeRtLayer::send_message(ChannelId channel) {
     udp.length =
         static_cast<std::uint16_t>(net::UdpHeader::kWireSize + pad);
     udp.serialize(writer);
-
-    sim::SimFrame frame =
-        sim::SimFrame::make(network_.next_frame_id(), std::move(writer).take(),
-                            pad, release, node_);
+    frame.bytes = std::move(writer).take();
+    frame.finalize(network_.next_frame_id(), pad, release, node_);
     network_.stats().record_rt_sent(channel);
-    network_.node(node_).send_rt(uplink_key, std::move(frame));
+    network_.node(node_).send_rt(uplink_key, index);
   }
   ++tx.messages_sent;
 }

@@ -131,6 +131,8 @@ class NodeRtLayer {
   void send_mgmt_to_switch(std::vector<std::uint8_t> payload);
   void transmit_request(std::uint8_t request_id);
   void arm_request_timer(std::uint8_t request_id);
+  /// Fired by the kernel timer armed in `arm_request_timer`.
+  void on_request_timeout(std::uint8_t request_id);
 
   sim::SimNetwork& network_;
   NodeId node_;

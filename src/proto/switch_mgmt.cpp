@@ -13,9 +13,10 @@ SwitchMgmt::SwitchMgmt(sim::SimNetwork& network,
     : network_(network),
       controller_(network.node_count(), std::move(partitioner), config) {
   network_.ethernet_switch().set_mgmt_handler(
-      [this](const sim::SimFrame& frame, NodeId ingress, Tick now) {
-        on_management(frame, ingress, now);
-      });
+      [](void* context, const sim::SimFrame& frame, NodeId ingress, Tick now) {
+        static_cast<SwitchMgmt*>(context)->on_management(frame, ingress, now);
+      },
+      this);
 }
 
 void SwitchMgmt::send_to_node(NodeId to, std::vector<std::uint8_t> payload) {

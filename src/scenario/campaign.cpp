@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <mutex>
 #include <thread>
@@ -48,6 +49,12 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     result.admitted_total += run.admitted;
     result.frames_delivered_total += run.frames_delivered;
     result.simulated_slots_total += run.simulated_slots;
+    // Rotate the fields so (events, hash) pairs cannot cancel across
+    // scenarios; XOR keeps the fold order-independent.
+    result.sim_digest_xor ^= run.sim_digest.link_stats_hash ^
+                             (run.sim_digest.executed_events * seed) ^
+                             std::rotl(run.sim_digest.rt_delivered, 17) ^
+                             std::rotl(run.sim_digest.best_effort_sent, 31);
     if (!run.passed) {
       ++result.failures;
       // Keep the max_failures *lowest* seeds (sorted insert + trim), not

@@ -56,6 +56,10 @@ struct CampaignResult {
   std::uint64_t admitted_total{0};
   std::uint64_t frames_delivered_total{0};
   std::uint64_t simulated_slots_total{0};
+  /// XOR of every scenario's SimDigest fields (order-independent, so it is
+  /// identical across thread counts and interleavings). Campaigns run with
+  /// the same seeds on two kernel builds must agree on this fingerprint.
+  std::uint64_t sim_digest_xor{0};
   /// Campaign wall-clock (generation + oracle runs only).
   double seconds{0.0};
   /// Additional wall-clock spent shrinking failures (0 on green runs).

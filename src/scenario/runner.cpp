@@ -1,6 +1,7 @@
 #include "scenario/runner.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <memory>
 #include <optional>
 #include <sstream>
@@ -40,6 +41,8 @@ const char* to_string(ViolationKind kind) {
       return "deadline miss in simulation";
     case ViolationKind::kFrameLoss:
       return "RT frame lost in simulation";
+    case ViolationKind::kSimBudgetExhausted:
+      return "simulation event budget exhausted (runaway guard)";
   }
   return "?";
 }
@@ -77,6 +80,74 @@ using core::Rejection;
 using core::RtChannel;
 
 using AdmitOutcome = Expected<RtChannel, Rejection>;
+
+/// FNV-1a accumulator for the SimDigest link-stats fingerprint.
+class Fnv1a {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xffu;
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  void mix_double(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_{0xcbf29ce484222325ULL};
+};
+
+void mix_transmitter(Fnv1a& fnv, const sim::Transmitter& tx) {
+  const auto& stats = tx.stats();
+  fnv.mix(stats.rt_frames_sent);
+  fnv.mix(stats.best_effort_frames_sent);
+  fnv.mix(stats.busy_ticks);
+  fnv.mix(stats.max_rt_queue_depth);
+  fnv.mix(stats.max_best_effort_queue_depth);
+  fnv.mix(tx.best_effort_dropped());
+}
+
+/// Fingerprints the finished simulation: every per-link counter, the switch
+/// aggregates and the per-channel delivery records. Field order is part of
+/// the golden contract — do not reorder.
+SimDigest compute_sim_digest(const sim::SimNetwork& network) {
+  SimDigest digest;
+  digest.executed_events = network.simulator().executed_events();
+  const sim::SimStats& stats = network.stats();
+  digest.rt_delivered = stats.total_rt_delivered();
+  digest.deadline_misses = stats.total_deadline_misses();
+  digest.best_effort_sent = stats.best_effort_sent();
+  digest.best_effort_delivered = stats.best_effort_delivered();
+
+  Fnv1a fnv;
+  for (std::uint32_t n = 0; n < network.node_count(); ++n) {
+    mix_transmitter(fnv, network.node(NodeId{n}).uplink());
+  }
+  const sim::SimSwitch& sw = network.ethernet_switch();
+  for (std::uint32_t n = 0; n < sw.port_count(); ++n) {
+    mix_transmitter(fnv, sw.port(NodeId{n}));
+  }
+  fnv.mix(sw.stats().rt_forwarded);
+  fnv.mix(sw.stats().best_effort_forwarded);
+  fnv.mix(sw.stats().management_received);
+  fnv.mix(sw.stats().flooded);
+  fnv.mix(sw.stats().rt_dropped_unknown_destination);
+  for (const auto& [id, channel] : stats.channels()) {
+    fnv.mix(id.value());
+    fnv.mix(channel.frames_sent);
+    fnv.mix(channel.frames_delivered);
+    fnv.mix(channel.deadline_misses);
+    fnv.mix(static_cast<std::uint64_t>(channel.worst_lateness_ticks));
+    fnv.mix(channel.delay_ticks.count());
+    fnv.mix_double(channel.delay_ticks.mean());
+    fnv.mix_double(channel.delay_ticks.min());
+    fnv.mix_double(channel.delay_ticks.max());
+  }
+  fnv.mix(stats.best_effort_delay_ticks().count());
+  fnv.mix_double(stats.best_effort_delay_ticks().mean());
+  digest.link_stats_hash = fnv.value();
+  return digest;
+}
 
 [[nodiscard]] bool outcomes_equal(const AdmitOutcome& a,
                                   const AdmitOutcome& b) {
@@ -489,15 +560,24 @@ bool run_simulation(RunContext& ctx,
 
   const Tick stop_at =
       network.now() + sim_config.slots_to_ticks(spec.run_slots);
-  network.simulator().run_until(stop_at);
+  if (!network.simulator().run_until(stop_at)) {
+    return ctx.fail(ViolationKind::kSimBudgetExhausted,
+                    static_cast<std::size_t>(-1),
+                    "runaway guard tripped during the measured run");
+  }
   for (auto& sender : senders) sender->stop();
   for (auto& source : background) source->stop();
   // Drain: anything released before the stop must land within its deadline
   // plus the allowance; one extra period covers in-flight self-reschedules.
   const Slot drain_slots = max_deadline + 64;
-  network.simulator().run_until(stop_at +
-                                sim_config.slots_to_ticks(drain_slots));
+  if (!network.simulator().run_until(
+          stop_at + sim_config.slots_to_ticks(drain_slots))) {
+    return ctx.fail(ViolationKind::kSimBudgetExhausted,
+                    static_cast<std::size_t>(-1),
+                    "runaway guard tripped during the drain");
+  }
   ctx.result.simulated_slots = spec.run_slots + drain_slots;
+  ctx.result.sim_digest = compute_sim_digest(network);
 
   for (const auto* channel : channels) {
     const auto stats = network.stats().channel(channel->id);

@@ -55,6 +55,7 @@ enum class ViolationKind : std::uint8_t {
   kStackDivergence,       ///< wire-protocol outcome != analytic outcome
   kDeadlineMiss,          ///< simulation: frame late (Eq 18.1 violated)
   kFrameLoss,             ///< simulation: RT frame sent but never delivered
+  kSimBudgetExhausted,    ///< simulation: kernel runaway guard tripped
 };
 
 [[nodiscard]] const char* to_string(ViolationKind kind);
@@ -68,6 +69,26 @@ struct Violation {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// Compact fingerprint of the simulation phase. The determinism suite and
+/// the golden-stat pins compare these field-for-field: a kernel refactor
+/// that shifts event ordering, per-link service order or miss accounting in
+/// any way shows up as a digest mismatch with a replayable spec. All fields
+/// are zero when the simulation phase did not run.
+struct SimDigest {
+  /// Events the kernel executed, including the post-stop drain.
+  std::uint64_t executed_events{0};
+  std::uint64_t rt_delivered{0};
+  std::uint64_t deadline_misses{0};
+  std::uint64_t best_effort_sent{0};
+  std::uint64_t best_effort_delivered{0};
+  /// FNV-1a over every per-link transmitter counter (node uplinks then
+  /// switch ports, in node order), the switch counters, and the per-channel
+  /// delivery records including delay statistics bit patterns.
+  std::uint64_t link_stats_hash{0};
+
+  friend bool operator==(const SimDigest&, const SimDigest&) = default;
+};
+
 struct ScenarioResult {
   bool passed{false};
   std::vector<Violation> violations;
@@ -78,6 +99,8 @@ struct ScenarioResult {
   std::uint64_t frames_delivered{0};
   /// Slots of simulated time this scenario executed (0 when sim skipped).
   std::uint64_t simulated_slots{0};
+  /// Simulation fingerprint (all-zero when the sim phase was skipped).
+  SimDigest sim_digest;
 
   [[nodiscard]] std::string summary() const;
 };

@@ -48,23 +48,25 @@ void BestEffortSource::schedule_next() {
     gap_ticks += off_ticks;
     on_phase_ = true;
   }
-  network_.simulator().schedule_in(
-      static_cast<Tick>(gap_ticks) + 1, [this] {
-        if (!running_) return;
-        emit_frame();
-        if (profile_.arrivals == BestEffortArrivals::kOnOff && on_phase_) {
-          // End the on phase with probability 1/(arrivals per on phase).
-          const double arrivals_per_on =
-              profile_.mean_on_slots *
-              static_cast<double>(network_.config().ticks_per_slot) /
-              mean_interarrival_ticks();
-          if (arrivals_per_on < 1.0 ||
-              rng_.bernoulli(1.0 / arrivals_per_on)) {
-            on_phase_ = false;
-          }
-        }
-        schedule_next();
-      });
+  network_.simulator().schedule_event(
+      network_.now() + static_cast<Tick>(gap_ticks) + 1,
+      EventType::kBestEffortArrival, this);
+}
+
+void BestEffortSource::on_arrival() {
+  if (!running_) return;
+  emit_frame();
+  if (profile_.arrivals == BestEffortArrivals::kOnOff && on_phase_) {
+    // End the on phase with probability 1/(arrivals per on phase).
+    const double arrivals_per_on =
+        profile_.mean_on_slots *
+        static_cast<double>(network_.config().ticks_per_slot) /
+        mean_interarrival_ticks();
+    if (arrivals_per_on < 1.0 || rng_.bernoulli(1.0 / arrivals_per_on)) {
+      on_phase_ = false;
+    }
+  }
+  schedule_next();
 }
 
 void BestEffortSource::emit_frame() {
@@ -97,17 +99,20 @@ void BestEffortSource::emit_frame() {
   ethernet.destination = node_mac(destination);
   ethernet.ether_type = net::EtherType::kIpv4;
 
-  ByteWriter writer(net::EthernetHeader::kWireSize +
-                    net::Ipv4Header::kWireSize);
+  // Serialize straight into a pooled arena slot: the recycled buffer keeps
+  // its capacity, so a steady-state arrival allocates nothing.
+  FrameArena& arena = network_.arena();
+  const FrameIndex index = arena.acquire();
+  SimFrame& frame = arena.get(index);
+  ByteWriter writer(std::move(frame.bytes));
   ethernet.serialize(writer);
   ip.serialize(writer);
-
-  SimFrame frame =
-      SimFrame::make(network_.next_frame_id(), std::move(writer).take(),
-                     payload_bytes, network_.now(), node_);
+  frame.bytes = std::move(writer).take();
+  frame.finalize(network_.next_frame_id(), payload_bytes, network_.now(),
+                 node_);
   ++frames_generated_;
   network_.stats().record_best_effort_sent();
-  network_.node(node_).send_best_effort(std::move(frame));
+  network_.node(node_).send_best_effort(index);
 }
 
 std::vector<std::unique_ptr<BestEffortSource>> attach_best_effort_everywhere(

@@ -50,6 +50,10 @@ class BestEffortSource {
   /// Stops generating after the currently scheduled arrival.
   void stop() { running_ = false; }
 
+  /// Kernel dispatch target (EventType::kBestEffortArrival): the next
+  /// arrival fires — emit a frame and self-reschedule.
+  void on_arrival();
+
   [[nodiscard]] std::uint64_t frames_generated() const {
     return frames_generated_;
   }

@@ -30,6 +30,11 @@ struct SimConfig {
   /// Transmission time for `wire_bytes` on a link, in ticks (rounded up;
   /// minimum 1 tick).
   [[nodiscard]] Tick transmission_ticks(std::uint64_t wire_bytes) const {
+    if (wire_bytes == kMaxFrameWireBytes) {
+      // Maximal frame = exactly one slot by definition; every RT data
+      // frame takes this branch (hot path: skips the 64-bit division).
+      return ticks_per_slot;
+    }
     const Tick ticks = (wire_bytes * ticks_per_slot + kMaxFrameWireBytes - 1) /
                        kMaxFrameWireBytes;
     return ticks > 0 ? ticks : 1;

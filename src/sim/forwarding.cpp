@@ -3,14 +3,43 @@
 namespace rtether::sim {
 
 void ForwardingTable::learn(const net::MacAddress& mac, NodeId node) {
-  table_[mac] = node;
+  if (2 * (used_ + 1) > table_.size()) {
+    rehash(table_.empty() ? 16 : 2 * table_.size());
+  }
+  const std::uint64_t key = mac.to_u48();
+  std::size_t index = start_index(key, table_.size());
+  while (table_[index].key != kEmptyKey && table_[index].key != key) {
+    index = (index + 1) & (table_.size() - 1);
+  }
+  if (table_[index].key == kEmptyKey) {
+    ++used_;
+  }
+  table_[index] = Slot{key, node};
 }
 
 std::optional<NodeId> ForwardingTable::lookup(
     const net::MacAddress& mac) const {
-  const auto it = table_.find(mac);
-  if (it == table_.end()) return std::nullopt;
-  return it->second;
+  if (table_.empty()) return std::nullopt;
+  const std::uint64_t key = mac.to_u48();
+  std::size_t index = start_index(key, table_.size());
+  while (table_[index].key != kEmptyKey) {
+    if (table_[index].key == key) return table_[index].node;
+    index = (index + 1) & (table_.size() - 1);
+  }
+  return std::nullopt;
+}
+
+void ForwardingTable::rehash(std::size_t capacity) {
+  std::vector<Slot> bigger(capacity);
+  for (const Slot& old : table_) {
+    if (old.key == kEmptyKey) continue;
+    std::size_t index = start_index(old.key, capacity);
+    while (bigger[index].key != kEmptyKey) {
+      index = (index + 1) & (capacity - 1);
+    }
+    bigger[index] = old;
+  }
+  table_ = std::move(bigger);
 }
 
 }  // namespace rtether::sim

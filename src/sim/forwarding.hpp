@@ -5,10 +5,15 @@
 /// network the table converges during channel establishment (every node's
 /// request/response traverses the switch before any RT data flows), so RT
 /// frames never need flooding.
+///
+/// Open-addressing table on the 48-bit address value: `lookup` runs once
+/// per forwarded frame and `learn` once per ingress on the kernel's
+/// allocation-free hot path, where `std::unordered_map`'s node allocations
+/// and bucket chases were measurable.
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "common/types.hpp"
 #include "net/address.hpp"
@@ -25,10 +30,28 @@ class ForwardingTable {
   [[nodiscard]] std::optional<NodeId> lookup(
       const net::MacAddress& mac) const;
 
-  [[nodiscard]] std::size_t size() const { return table_.size(); }
+  [[nodiscard]] std::size_t size() const { return used_; }
 
  private:
-  std::unordered_map<net::MacAddress, NodeId> table_;
+  /// 2^48..2^64-1 cannot be a 48-bit MAC: safe empty marker.
+  static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+  struct Slot {
+    std::uint64_t key{kEmptyKey};
+    NodeId node{};
+  };
+
+  [[nodiscard]] static std::size_t start_index(std::uint64_t key,
+                                               std::size_t capacity) {
+    return static_cast<std::size_t>((key * 0x9e37'79b9'7f4a'7c15ULL) >> 32) &
+           (capacity - 1);
+  }
+
+  void rehash(std::size_t capacity);
+
+  /// Linear probing, power-of-two capacity, ≤50% load.
+  std::vector<Slot> table_;
+  std::size_t used_{0};
 };
 
 }  // namespace rtether::sim

@@ -22,20 +22,32 @@ const char* to_string(FrameClass cls) {
 }
 
 std::optional<FrameInfo> classify_frame(std::span<const std::uint8_t> bytes) {
-  ByteReader reader(bytes);
-  const auto ethernet = net::EthernetHeader::parse(reader);
-  if (!ethernet) {
+  // Direct header decode: classification runs once per simulated frame on
+  // the kernel's hot path, so the Ethernet fields are read straight off
+  // the span (one bounds check) instead of through the generic
+  // field-by-field parser. The IPv4 stage keeps the full parser — it
+  // verifies the header checksum, the wire-fidelity property the
+  // simulated switch is meant to exercise.
+  if (bytes.size() < net::EthernetHeader::kWireSize) {
     return std::nullopt;
   }
+  std::uint64_t destination = 0;
+  std::uint64_t source = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    destination = destination << 8 | bytes[i];
+    source = source << 8 | bytes[6 + i];
+  }
   FrameInfo info;
-  info.source_mac = ethernet->source;
-  info.destination_mac = ethernet->destination;
+  info.destination_mac = net::MacAddress::from_u48(destination);
+  info.source_mac = net::MacAddress::from_u48(source);
+  const auto ether_type = static_cast<net::EtherType>(
+      static_cast<std::uint16_t>(bytes[12] << 8 | bytes[13]));
 
-  if (ethernet->ether_type == net::EtherType::kRtManagement) {
+  if (ether_type == net::EtherType::kRtManagement) {
     info.cls = FrameClass::kManagement;
     return info;
   }
-  if (ethernet->ether_type == net::EtherType::kIpv4) {
+  if (ether_type == net::EtherType::kIpv4) {
     ByteReader ip_reader(bytes.subspan(net::EthernetHeader::kWireSize));
     const auto ip = net::Ipv4Header::parse(ip_reader);
     if (ip && net::is_rt_frame(*ip)) {
@@ -60,15 +72,84 @@ SimFrame SimFrame::make(std::uint64_t frame_id,
                         std::uint64_t extra_payload_bytes, Tick created_at,
                         NodeId origin) {
   SimFrame frame;
-  frame.id = frame_id;
   frame.bytes = std::move(frame_bytes);
-  frame.extra_payload_bytes = extra_payload_bytes;
-  const auto info = classify_frame(frame.bytes);
-  RTETHER_ASSERT_MSG(info.has_value(), "frame bytes lack an Ethernet header");
-  frame.info = *info;
-  frame.created_at = created_at;
-  frame.origin = origin;
+  frame.finalize(frame_id, extra_payload_bytes, created_at, origin);
   return frame;
+}
+
+void SimFrame::finalize(std::uint64_t frame_id, std::uint64_t extra_payload,
+                        Tick created, NodeId origin_node) {
+  id = frame_id;
+  extra_payload_bytes = extra_payload;
+  const auto classified = classify_frame(bytes);
+  RTETHER_ASSERT_MSG(classified.has_value(),
+                     "frame bytes lack an Ethernet header");
+  info = *classified;
+  created_at = created;
+  origin = origin_node;
+}
+
+FrameIndex FrameArena::acquire() {
+  if (!free_.empty()) {
+    const FrameIndex index = free_.back();
+    free_.pop_back();
+    SimFrame& slot = slots_[index];
+    slot.id = 0;
+    slot.bytes.clear();  // keeps capacity — the allocation-free steady state
+    slot.extra_payload_bytes = 0;
+    slot.info = FrameInfo{};
+    slot.created_at = 0;
+    slot.origin = NodeId{};
+    return index;
+  }
+  const auto index = static_cast<FrameIndex>(slots_.size());
+  RTETHER_ASSERT_MSG(index != kNoFrame, "frame arena exhausted");
+  slots_.emplace_back();
+  // The freelist can hold at most every slot; keeping its capacity ahead
+  // of the slot count (growing geometrically, not per slot) keeps
+  // `release` allocation-free no matter how the pool drains later.
+  if (free_.capacity() < slots_.size()) {
+    free_.reserve(std::max(slots_.size(), 2 * free_.capacity()));
+  }
+  return index;
+}
+
+FrameIndex FrameArena::adopt(SimFrame&& frame) {
+  const FrameIndex index = acquire();
+  slots_[index] = std::move(frame);
+  return index;
+}
+
+FrameIndex FrameArena::clone(FrameIndex source) {
+  const FrameIndex index = acquire();
+  SimFrame& slot = slots_[index];
+  const SimFrame& from = slots_[source];
+  slot.id = from.id;
+  slot.bytes.assign(from.bytes.begin(), from.bytes.end());
+  slot.extra_payload_bytes = from.extra_payload_bytes;
+  slot.info = from.info;
+  slot.created_at = from.created_at;
+  slot.origin = from.origin;
+  return index;
+}
+
+void FrameArena::release(FrameIndex index) {
+  RTETHER_ASSERT(index < slots_.size());
+  free_.push_back(index);
+}
+
+void FrameArena::prewarm(std::size_t extra, std::size_t byte_capacity) {
+  std::vector<FrameIndex> scratch;
+  scratch.reserve(extra);
+  for (std::size_t i = 0; i < extra; ++i) {
+    scratch.push_back(acquire());
+  }
+  // Released last-acquired-first: the pre-sized buffers sit on top of the
+  // freelist stack and are handed out before any unsized slot.
+  for (const FrameIndex index : scratch) {
+    slots_[index].bytes.reserve(byte_capacity);
+    release(index);
+  }
 }
 
 }  // namespace rtether::sim

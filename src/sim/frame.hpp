@@ -8,6 +8,7 @@
 /// is accounted by size only.
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <span>
 #include <vector>
@@ -18,6 +19,14 @@
 #include "net/ethernet.hpp"
 
 namespace rtether::sim {
+
+/// Handle into the kernel's pooled `FrameArena`. Frames travel through
+/// queues and events by index — never by value — so a hop costs a 4-byte
+/// copy instead of a buffer move and the event records stay fixed-size.
+using FrameIndex = std::uint32_t;
+
+/// "No frame" sentinel (empty queue pop, frame-less events).
+inline constexpr FrameIndex kNoFrame = 0xffff'ffffU;
 
 /// Traffic class, decided from the wire bytes exactly as the paper's
 /// switch decides it (Fig 18.2's two output queues + management path).
@@ -70,6 +79,58 @@ struct SimFrame {
                        std::vector<std::uint8_t> bytes,
                        std::uint64_t extra_payload_bytes, Tick created_at,
                        NodeId origin);
+
+  /// In-place variant of `make` for arena slots whose `bytes` were already
+  /// serialized into the pooled buffer: classifies and fills the metadata
+  /// without touching the byte storage.
+  void finalize(std::uint64_t frame_id, std::uint64_t extra_payload,
+                Tick created, NodeId origin_node);
+};
+
+/// Pooled frame storage with a freelist. Producers acquire a slot, write
+/// the wire bytes into its recycled buffer and hand the *index* to the
+/// network; the final consumer (node delivery, a drop, a management
+/// handler) releases the slot. After warm-up the pool stops growing and the
+/// steady-state event loop performs no heap allocation: a released slot
+/// keeps its byte-buffer capacity for the next frame of the same shape.
+class FrameArena {
+ public:
+  /// Claims a slot (pooled when available). The slot's byte buffer is
+  /// empty but keeps its previous capacity; all metadata is reset.
+  [[nodiscard]] FrameIndex acquire();
+
+  /// Moves an externally built frame into a slot (cold paths and tests;
+  /// the moved-in buffer replaces the pooled one).
+  [[nodiscard]] FrameIndex adopt(SimFrame&& frame);
+
+  /// Claims a slot holding a copy of `source` (switch flooding).
+  [[nodiscard]] FrameIndex clone(FrameIndex source);
+
+  /// Returns the slot to the pool. The index must be live.
+  void release(FrameIndex index);
+
+  /// Pre-sizes the pool: creates `extra` pooled slots whose byte buffers
+  /// already hold `byte_capacity` of storage. A later backlog peak up to
+  /// `extra` frames beyond the current high-water mark then stays
+  /// allocation-free (benches assert this).
+  void prewarm(std::size_t extra, std::size_t byte_capacity);
+
+  [[nodiscard]] SimFrame& get(FrameIndex index) {
+    return slots_[index];
+  }
+  [[nodiscard]] const SimFrame& get(FrameIndex index) const {
+    return slots_[index];
+  }
+
+  /// Slots currently checked out (leak detection in tests/benches).
+  [[nodiscard]] std::size_t live() const { return slots_.size() - free_.size(); }
+  /// Total slots ever created (growth watermark for the zero-alloc bench).
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  /// Deque: stable references across growth, block-local frames.
+  std::deque<SimFrame> slots_;
+  std::vector<FrameIndex> free_;
 };
 
 }  // namespace rtether::sim

@@ -1,0 +1,57 @@
+#pragma once
+
+/// @file heap_util.hpp
+/// Hole-based binary min-heap primitives shared by the kernel's far-event
+/// heap and the EDF queues. Hole sifting moves one POD element per level
+/// instead of a swap's three; keeping the index arithmetic in exactly one
+/// place means a boundary fix cannot silently diverge between the heaps.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace rtether::sim {
+
+/// Appends `item` and sifts it up. `earlier(a, b)` is the strict priority
+/// order (true when `a` must pop before `b`).
+template <typename T, typename Earlier>
+void heap_push(std::vector<T>& heap, const T& item, Earlier earlier) {
+  heap.push_back(item);
+  std::size_t hole = heap.size() - 1;
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / 2;
+    if (!earlier(item, heap[parent])) break;
+    heap[hole] = heap[parent];
+    hole = parent;
+  }
+  heap[hole] = item;
+}
+
+/// Removes the minimum `heap[0]` — the caller copies it out first — by
+/// sifting the displaced tail element down into the hole.
+template <typename T, typename Earlier>
+void heap_pop(std::vector<T>& heap, Earlier earlier) {
+  RTETHER_ASSERT(!heap.empty());
+  const std::size_t size = heap.size() - 1;
+  if (size == 0) {
+    heap.pop_back();
+    return;
+  }
+  const T tail = heap[size];
+  heap.pop_back();
+  std::size_t hole = 0;
+  for (;;) {
+    const std::size_t left = 2 * hole + 1;
+    if (left >= size) break;
+    const std::size_t right = left + 1;
+    std::size_t best = left;
+    if (right < size && earlier(heap[right], heap[left])) best = right;
+    if (!earlier(heap[best], tail)) break;
+    heap[hole] = heap[best];
+    hole = best;
+  }
+  heap[hole] = tail;
+}
+
+}  // namespace rtether::sim

@@ -10,47 +10,41 @@ SimNetwork::SimNetwork(SimConfig config, std::uint32_t node_count,
   RTETHER_ASSERT_MSG(node_count >= 1, "network needs at least one node");
   miss_allowance_ = config_.t_latency_ticks(/*with_best_effort=*/true);
 
-  // Switch ports deliver to nodes after one propagation delay; delivery is
-  // also the measurement point for end-to-end statistics.
-  switch_ = std::make_unique<SimSwitch>(
-      simulator_, config_, node_count,
-      [this](NodeId port, SimFrame frame, Tick /*completion*/) {
-        simulator_.schedule_in(
-            config_.propagation_ticks,
-            [this, port, frame = std::move(frame)]() {
-              const Tick now = simulator_.now();
-              if (frame.info.cls == FrameClass::kRealTime &&
-                  frame.info.rt_tag) {
-                stats_.record_rt_delivered(
-                    frame.info.rt_tag->channel, frame.created_at,
-                    frame.info.rt_tag->absolute_deadline, now,
-                    miss_allowance_);
-              } else if (frame.info.cls == FrameClass::kBestEffort) {
-                stats_.record_best_effort_delivered(frame.created_at, now);
-              }
-              node(port).receive(frame, now);
-            });
-      },
-      best_effort_depth);
-
-  // Node uplinks deliver to the switch ingress after one propagation delay.
+  // Switch ports deliver to nodes through kNodeDeliver events (one
+  // propagation delay; delivery is also the measurement point); node
+  // uplinks deliver to the switch ingress through kSwitchIngress events.
+  // Both sinks dispatch directly off the transmitters — see
+  // Transmitter::complete.
+  switch_ = std::make_unique<SimSwitch>(simulator_, config_, node_count,
+                                        *this, best_effort_depth);
   nodes_.reserve(node_count);
   for (std::uint32_t n = 0; n < node_count; ++n) {
-    const NodeId id{n};
-    nodes_.push_back(std::make_unique<SimNode>(
-        simulator_, config_, id,
-        [this, id](SimFrame frame, Tick /*completion*/) {
-          simulator_.schedule_in(
-              config_.propagation_ticks,
-              [this, id, frame = std::move(frame)]() mutable {
-                switch_->ingress(std::move(frame), id);
-              });
-        },
-        best_effort_depth));
+    nodes_.push_back(std::make_unique<SimNode>(simulator_, config_, NodeId{n},
+                                               *this, best_effort_depth));
   }
 }
 
+void SimNetwork::deliver_to_node(FrameIndex frame, NodeId port) {
+  const Tick now = simulator_.now();
+  const SimFrame& delivered = simulator_.arena().get(frame);
+  if (delivered.info.cls == FrameClass::kRealTime && delivered.info.rt_tag) {
+    stats_.record_rt_delivered(delivered.info.rt_tag->channel,
+                               delivered.created_at,
+                               delivered.info.rt_tag->absolute_deadline, now,
+                               miss_allowance_);
+  } else if (delivered.info.cls == FrameClass::kBestEffort) {
+    stats_.record_best_effort_delivered(delivered.created_at, now);
+  }
+  node(port).receive(delivered, now);
+  simulator_.arena().release(frame);
+}
+
 SimNode& SimNetwork::node(NodeId id) {
+  RTETHER_ASSERT(id.value() < nodes_.size());
+  return *nodes_[id.value()];
+}
+
+const SimNode& SimNetwork::node(NodeId id) const {
   RTETHER_ASSERT(id.value() < nodes_.size());
   return *nodes_[id.value()];
 }

@@ -4,7 +4,9 @@
 /// The composed star network of Fig 18.1: N end-nodes, one full-duplex
 /// switched-Ethernet switch, and the wiring between them (uplink →
 /// propagation → switch ingress; switch port → propagation → node receive).
-/// Owns the simulation kernel and the measurement layer.
+/// Owns the simulation kernel and the measurement layer. The wiring is the
+/// kernel's typed event chain — transmitters schedule ingress/delivery
+/// events directly; there are no per-hop callbacks to allocate or invoke.
 
 #include <cstdint>
 #include <memory>
@@ -30,6 +32,8 @@ class SimNetwork {
   SimNetwork& operator=(const SimNetwork&) = delete;
 
   [[nodiscard]] Simulator& simulator() { return simulator_; }
+  [[nodiscard]] const Simulator& simulator() const { return simulator_; }
+  [[nodiscard]] FrameArena& arena() { return simulator_.arena(); }
   [[nodiscard]] const SimConfig& config() const { return config_; }
   [[nodiscard]] Tick now() const { return simulator_.now(); }
 
@@ -37,6 +41,7 @@ class SimNetwork {
     return static_cast<std::uint32_t>(nodes_.size());
   }
   [[nodiscard]] SimNode& node(NodeId id);
+  [[nodiscard]] const SimNode& node(NodeId id) const;
   [[nodiscard]] SimSwitch& ethernet_switch() { return *switch_; }
   [[nodiscard]] const SimSwitch& ethernet_switch() const { return *switch_; }
 
@@ -53,6 +58,11 @@ class SimNetwork {
 
   /// Convenience for tests that bypass channel establishment.
   void prime_forwarding() { switch_->prime_forwarding(node_count()); }
+
+  /// Kernel dispatch target (EventType::kNodeDeliver): a frame arrives at
+  /// `port`'s node — the measurement point for end-to-end statistics. The
+  /// frame slot is released after the node's receive hook returns.
+  void deliver_to_node(FrameIndex frame, NodeId port);
 
   /// Fraction of elapsed time node `id`'s uplink transmitter was busy.
   [[nodiscard]] double uplink_utilization(NodeId id) const;

@@ -3,16 +3,27 @@
 namespace rtether::sim {
 
 SimNode::SimNode(Simulator& simulator, const SimConfig& config, NodeId id,
-                 Transmitter::DeliverFn uplink_deliver,
-                 std::size_t best_effort_depth)
+                 SimNetwork& network, std::size_t best_effort_depth)
     : id_(id),
       config_(config),
       uplink_(simulator, config, "node-" + std::to_string(id.value()) + "-up",
-              std::move(uplink_deliver), best_effort_depth) {}
+              Transmitter::Sink::uplink(network, id), best_effort_depth) {}
+
+void SimNode::send_rt(Tick deadline_key, FrameIndex frame) {
+  if (!config_.edf_enabled) {
+    // Baseline mode: no RT layer — everything is first-come-first-serve.
+    uplink_.enqueue_best_effort(frame);
+    return;
+  }
+  uplink_.enqueue_rt(deadline_key, frame);
+}
+
+void SimNode::send_best_effort(FrameIndex frame) {
+  uplink_.enqueue_best_effort(frame);
+}
 
 void SimNode::send_rt(Tick deadline_key, SimFrame frame) {
   if (!config_.edf_enabled) {
-    // Baseline mode: no RT layer — everything is first-come-first-serve.
     uplink_.enqueue_best_effort(std::move(frame));
     return;
   }
@@ -23,10 +34,21 @@ void SimNode::send_best_effort(SimFrame frame) {
   uplink_.enqueue_best_effort(std::move(frame));
 }
 
-void SimNode::receive(const SimFrame& frame, Tick now) {
-  if (receiver_) {
-    receiver_(frame, now);
+void SimNode::set_receiver(
+    std::function<void(const SimFrame& frame, Tick now)> hook) {
+  receiver_closure_ = std::move(hook);
+  if (!receiver_closure_) {
+    // An empty hook clears the receiver (the pre-arena contract: receive
+    // is a no-op), rather than bridging to a bad_function_call.
+    set_receiver(nullptr, nullptr);
+    return;
   }
+  set_receiver(
+      [](void* context, const SimFrame& frame, Tick now) {
+        (*static_cast<std::function<void(const SimFrame&, Tick)>*>(context))(
+            frame, now);
+      },
+      &receiver_closure_);
 }
 
 }  // namespace rtether::sim

@@ -19,27 +19,44 @@ namespace rtether::sim {
 
 class SimNode {
  public:
-  /// Invoked when a frame is fully delivered to this node.
-  using ReceiveFn = std::function<void(const SimFrame& frame, Tick now)>;
+  /// Invoked when a frame is fully delivered to this node. Raw function
+  /// pointer + context: the hot path (the RT layer's receive dispatch) is
+  /// one direct indirect call, with no type erasure.
+  using ReceiveFn = void (*)(void* context, const SimFrame& frame, Tick now);
 
   SimNode(Simulator& simulator, const SimConfig& config, NodeId id,
-          Transmitter::DeliverFn uplink_deliver,
-          std::size_t best_effort_depth = 0);
+          SimNetwork& network, std::size_t best_effort_depth = 0);
 
   [[nodiscard]] NodeId id() const { return id_; }
 
   /// Queues an RT frame on the uplink under the node-local EDF key
   /// (release + d_iu in ticks, computed by the RT layer).
-  void send_rt(Tick deadline_key, SimFrame frame);
+  void send_rt(Tick deadline_key, FrameIndex frame);
 
   /// Queues a best-effort frame on the uplink.
+  void send_best_effort(FrameIndex frame);
+
+  /// Convenience overloads: adopt an externally built frame into the arena
+  /// (tests, cold management paths).
+  void send_rt(Tick deadline_key, SimFrame frame);
   void send_best_effort(SimFrame frame);
 
-  /// Registers the receive hook (RT layer or test observer).
-  void set_receiver(ReceiveFn receiver) { receiver_ = std::move(receiver); }
+  /// Registers the receive hook (the RT layer).
+  void set_receiver(ReceiveFn receiver, void* context) {
+    receiver_ = receiver;
+    receiver_context_ = context;
+  }
+
+  /// Test convenience: closure-based receive hook. The closure is stored
+  /// once in the node and bridged through the raw hook.
+  void set_receiver(std::function<void(const SimFrame& frame, Tick now)> hook);
 
   /// Called by the network when a downlink frame arrives.
-  void receive(const SimFrame& frame, Tick now);
+  void receive(const SimFrame& frame, Tick now) {
+    if (receiver_ != nullptr) {
+      receiver_(receiver_context_, frame, now);
+    }
+  }
 
   [[nodiscard]] Transmitter& uplink() { return uplink_; }
   [[nodiscard]] const Transmitter& uplink() const { return uplink_; }
@@ -48,7 +65,10 @@ class SimNode {
   NodeId id_;
   const SimConfig& config_;
   Transmitter uplink_;
-  ReceiveFn receiver_;
+  ReceiveFn receiver_{nullptr};
+  void* receiver_context_{nullptr};
+  /// Backing storage for the closure convenience form only.
+  std::function<void(const SimFrame&, Tick)> receiver_closure_;
 };
 
 }  // namespace rtether::sim

@@ -1,44 +1,64 @@
 #include "sim/queues.hpp"
 
+#include <utility>
+
+#include "sim/heap_util.hpp"
+
 namespace rtether::sim {
 
-void EdfQueue::push(Tick deadline_key, SimFrame frame) {
-  heap_.push(Entry{deadline_key, next_sequence_++, std::move(frame)});
+void EdfQueue::push(Tick deadline_key, FrameIndex frame) {
+  heap_push(heap_, Entry{deadline_key, next_sequence_++, frame},
+            &EdfQueue::earlier);
 }
 
-std::optional<SimFrame> EdfQueue::pop() {
+FrameIndex EdfQueue::pop() {
   if (heap_.empty()) {
-    return std::nullopt;
+    return kNoFrame;
   }
-  // top() is const; moving out is safe because we pop immediately.
-  SimFrame frame = std::move(const_cast<Entry&>(heap_.top()).frame);
-  heap_.pop();
+  const FrameIndex frame = heap_.front().frame;
+  heap_pop(heap_, &EdfQueue::earlier);
   return frame;
 }
 
-std::optional<Tick> EdfQueue::peek_deadline() const {
-  if (heap_.empty()) {
-    return std::nullopt;
-  }
-  return heap_.top().deadline;
-}
-
-bool FcfsQueue::push(SimFrame frame) {
-  if (max_depth_ != 0 && queue_.size() >= max_depth_) {
+bool FcfsQueue::push(FrameIndex frame) {
+  if (max_depth_ != 0 && size_ >= max_depth_) {
     ++dropped_;
     return false;
   }
-  queue_.push_back(std::move(frame));
+  if (size_ == ring_.size()) {
+    grow();
+  }
+  // Power-of-two capacity: wraparound is a mask, not a division.
+  ring_[(head_ + size_) & (ring_.size() - 1)] = frame;
+  ++size_;
   return true;
 }
 
-std::optional<SimFrame> FcfsQueue::pop() {
-  if (queue_.empty()) {
-    return std::nullopt;
+FrameIndex FcfsQueue::pop() {
+  if (size_ == 0) {
+    return kNoFrame;
   }
-  SimFrame frame = std::move(queue_.front());
-  queue_.pop_front();
+  const FrameIndex frame = ring_[head_];
+  head_ = (head_ + 1) & (ring_.size() - 1);
+  --size_;
   return frame;
+}
+
+void FcfsQueue::reserve(std::size_t capacity) {
+  while (ring_.size() < capacity) {
+    grow();
+  }
+}
+
+void FcfsQueue::grow() {
+  const std::size_t old_capacity = ring_.size();
+  const std::size_t new_capacity = old_capacity == 0 ? 16 : 2 * old_capacity;
+  std::vector<FrameIndex> bigger(new_capacity);
+  for (std::size_t i = 0; i < size_; ++i) {
+    bigger[i] = ring_[(head_ + i) & (old_capacity - 1)];
+  }
+  ring_ = std::move(bigger);
+  head_ = 0;
 }
 
 }  // namespace rtether::sim

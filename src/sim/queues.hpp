@@ -5,11 +5,14 @@
 /// (EDF) and a first-come-first-serve queue for everything else. One pair
 /// exists per transmitter — in every end-node for its uplink and in the
 /// switch for every output port.
+///
+/// Both queues hold `FrameIndex` handles into the kernel's frame arena, not
+/// frames by value: an entry is a small POD, a dequeue is a single move-out
+/// `pop()` (no peek-then-pop double heap walk, no `const_cast` copy-out),
+/// and the backing storage only ever grows — the steady-state event loop
+/// never touches the allocator.
 
 #include <cstdint>
-#include <deque>
-#include <optional>
-#include <queue>
 #include <vector>
 
 #include "common/types.hpp"
@@ -23,13 +26,14 @@ namespace rtether::sim {
 /// enqueue order, making the schedule deterministic.
 class EdfQueue {
  public:
-  void push(Tick deadline_key, SimFrame frame);
+  void push(Tick deadline_key, FrameIndex frame);
 
-  /// Removes and returns the earliest-deadline frame; nullopt when empty.
-  std::optional<SimFrame> pop();
+  /// Removes and returns the earliest-deadline frame in one heap walk;
+  /// `kNoFrame` when empty.
+  [[nodiscard]] FrameIndex pop();
 
-  /// Earliest deadline key without removing; nullopt when empty.
-  [[nodiscard]] std::optional<Tick> peek_deadline() const;
+  /// Pre-sizes the heap storage (allocation-free steady state).
+  void reserve(std::size_t entries) { heap_.reserve(entries); }
 
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
   [[nodiscard]] bool empty() const { return heap_.empty(); }
@@ -38,37 +42,51 @@ class EdfQueue {
   struct Entry {
     Tick deadline;
     std::uint64_t sequence;
-    SimFrame frame;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.deadline != b.deadline) return a.deadline > b.deadline;
-      return a.sequence > b.sequence;
-    }
+    FrameIndex frame;
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  [[nodiscard]] static bool earlier(const Entry& a, const Entry& b) {
+    if (a.deadline != b.deadline) return a.deadline < b.deadline;
+    return a.sequence < b.sequence;
+  }
+
+  /// Min-heap on (deadline, sequence); never shrinks.
+  std::vector<Entry> heap_;
   std::uint64_t next_sequence_{0};
 };
 
 /// First-come-first-serve queue for non-real-time frames, with an optional
 /// depth limit (a real switch has finite buffers; overflow drops the tail).
+/// Ring buffer: a `std::deque` would allocate and free blocks as the head
+/// chases the tail through memory, which the zero-allocation steady state
+/// forbids.
 class FcfsQueue {
  public:
   /// `max_depth` 0 means unbounded.
   explicit FcfsQueue(std::size_t max_depth = 0) : max_depth_(max_depth) {}
 
-  /// Enqueues; false (and drop) when the queue is full.
-  bool push(SimFrame frame);
+  /// Enqueues; false (and a counted drop) when the queue is full. The
+  /// caller keeps ownership of a dropped frame.
+  bool push(FrameIndex frame);
 
-  std::optional<SimFrame> pop();
+  /// Removes and returns the oldest frame; `kNoFrame` when empty.
+  [[nodiscard]] FrameIndex pop();
 
-  [[nodiscard]] std::size_t size() const { return queue_.size(); }
-  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  /// Pre-sizes the ring to at least `capacity` slots (rounded up to a
+  /// power of two; allocation-free steady state).
+  void reserve(std::size_t capacity);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
 
  private:
-  std::deque<SimFrame> queue_;
+  void grow();
+
+  /// Capacity is always zero or a power of two (wraparound by mask).
+  std::vector<FrameIndex> ring_;
+  std::size_t head_{0};  // index of the oldest element
+  std::size_t size_{0};
   std::size_t max_depth_;
   std::uint64_t dropped_{0};
 };

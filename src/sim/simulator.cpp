@@ -1,53 +1,280 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <utility>
+
 #include "common/assert.hpp"
+#include "sim/best_effort.hpp"
+#include "sim/heap_util.hpp"
+#include "sim/network.hpp"
+#include "sim/switch.hpp"
+#include "sim/transmitter.hpp"
 
 namespace rtether::sim {
 
-void Simulator::schedule_at(Tick when, Action action) {
-  RTETHER_ASSERT_MSG(when >= now_, "cannot schedule into the past");
-  queue_.push(Event{when, next_sequence_++, std::move(action)});
+void Simulator::push(const Event& event) {
+  RTETHER_ASSERT_MSG(event.time >= now_, "cannot schedule into the past");
+  // find_next only jumps the window to an event that is popped in the
+  // same breath, so user-visible states always satisfy this.
+  RTETHER_ASSERT(event.time >= window_start_);
+  if (event.time - window_start_ < kWindowTicks) {
+    const std::size_t index = event.time & kWindowMask;
+    std::vector<Event>& bucket = buckets_[index];
+    if (bucket.empty()) {
+      mark_occupied(index);
+    }
+    bucket.push_back(event);
+    ++near_count_;
+    if (event.time < cursor_) {
+      // The scan cursor had peeked past this (then-empty) tick — pull it
+      // back so the new event is found. Only possible for inserts from
+      // outside event execution; the peeked bucket was never partially
+      // consumed (bucket_pos_ is only non-zero at the executing tick).
+      cursor_ = event.time;
+      bucket_pos_ = 0;
+    }
+    return;
+  }
+  far_push(event);
 }
 
-void Simulator::schedule_in(Tick delay, Action action) {
-  schedule_at(now_ + delay, std::move(action));
+void Simulator::far_push(const Event& event) {
+  heap_push(far_heap_, event, &Simulator::earlier);
+}
+
+void Simulator::far_pop_into(Event& out) {
+  out = far_heap_.front();
+  heap_pop(far_heap_, &Simulator::earlier);
+}
+
+void Simulator::advance_window(Tick start) {
+  window_start_ = start;
+  // Migrate far events now inside the window. The heap pops in
+  // (time, sequence) order, so bucket appends stay sequence-sorted; any
+  // later near insert carries a higher sequence number still.
+  Event event;
+  while (!far_heap_.empty() &&
+         far_heap_.front().time - window_start_ < kWindowTicks) {
+    far_pop_into(event);
+    const std::size_t index = event.time & kWindowMask;
+    if (buckets_[index].empty()) {
+      mark_occupied(index);
+    }
+    buckets_[index].push_back(event);
+    ++near_count_;
+  }
+}
+
+std::size_t Simulator::next_occupied(std::size_t from) const {
+  // The single-u64 summary covers at most 64 words of 64 buckets; a
+  // bigger window needs a deeper bitmap, not a silent search miss.
+  constexpr std::size_t kWords = kWindowTicks / 64;
+  static_assert(kWords <= 64,
+                "occupied_summary_ is one u64: kWindowBits must stay <= 12");
+  const std::size_t word_index = from >> 6;
+  // Bits at or after `from` within its word.
+  const std::uint64_t first =
+      occupied_[word_index] & (~std::uint64_t{0} << (from & 63));
+  if (first != 0) {
+    return (word_index << 6) + static_cast<std::size_t>(
+                                   std::countr_zero(first));
+  }
+  // Later words, then wrap around (cyclic ring).
+  const std::uint64_t later =
+      word_index + 1 < kWords
+          ? occupied_summary_ & (~std::uint64_t{0} << (word_index + 1))
+          : 0;
+  const std::uint64_t summary = later != 0 ? later : occupied_summary_;
+  if (summary == 0) {
+    return kWindowTicks;
+  }
+  const auto w =
+      static_cast<std::size_t>(std::countr_zero(summary));
+  return (w << 6) +
+         static_cast<std::size_t>(std::countr_zero(occupied_[w]));
+}
+
+bool Simulator::find_next() {
+  for (;;) {
+    const std::size_t index = cursor_ & kWindowMask;
+    std::vector<Event>& bucket = buckets_[index];
+    if (bucket_pos_ < bucket.size()) {
+      return true;
+    }
+    if (bucket_pos_ != 0) {
+      // Tick fully drained; recycle the bucket (capacity kept).
+      bucket.clear();
+      bucket_pos_ = 0;
+      mark_empty(index);
+    }
+    if (near_count_ == 0) {
+      if (far_heap_.empty()) {
+        return false;
+      }
+      // Jump the window to the next far event; the caller pops it
+      // immediately, so the window never outruns `now_` observably.
+      const Tick next = far_heap_.front().time;
+      cursor_ = next;
+      advance_window(next);
+      continue;
+    }
+    // Skip empty ticks via the occupancy bitmap.
+    const std::size_t found = next_occupied((index + 1) & kWindowMask);
+    RTETHER_ASSERT_MSG(found < kWindowTicks,
+                       "near events pending but no occupied bucket");
+    cursor_ += ((found + kWindowTicks - index) & kWindowMask);
+  }
+}
+
+void Simulator::schedule_at(Tick when, Action action) {
+  std::uint32_t slot;
+  if (!free_closure_slots_.empty()) {
+    slot = free_closure_slots_.back();
+    free_closure_slots_.pop_back();
+    closure_slots_[slot] = std::move(action);
+  } else {
+    slot = static_cast<std::uint32_t>(closure_slots_.size());
+    closure_slots_.push_back(std::move(action));
+  }
+  Event event;
+  event.time = when;
+  event.sequence = next_sequence_++;
+  event.target = nullptr;
+  event.u.sim = {kNoFrame, 0};
+  event.arg = slot;
+  event.type = EventType::kClosure;
+  push(event);
+}
+
+void Simulator::reserve_events(std::size_t expected_pending) {
+  far_heap_.reserve(expected_pending);
+  // Guarantee headroom of 4× each bucket's observed high-water mark (the
+  // caller runs this after a representative warm-up) plus a uniform
+  // floor. The capacity-multiplying headroom applies once — a repeat call
+  // only honors the explicit request, so reservations cannot compound.
+  const std::size_t per_bucket =
+      std::max<std::size_t>(4, 2 * expected_pending / kWindowTicks);
+  const std::size_t headroom = bucket_headroom_applied_ ? 1 : 4;
+  bucket_headroom_applied_ = true;
+  for (auto& bucket : buckets_) {
+    bucket.reserve(std::max(per_bucket, headroom * bucket.capacity()));
+  }
+}
+
+void Simulator::dispatch(const Event& event) {
+  switch (event.type) {
+    case EventType::kArbitrate:
+      static_cast<Transmitter*>(event.target)->arbitrate();
+      return;
+    case EventType::kTxComplete:
+      static_cast<Transmitter*>(event.target)->complete(event.u.sim.frame);
+      return;
+    case EventType::kSwitchIngress:
+      static_cast<SimSwitch*>(event.target)
+          ->ingress(event.u.sim.frame, NodeId{event.u.sim.aux});
+      return;
+    case EventType::kSwitchForward:
+      static_cast<SimSwitch*>(event.target)
+          ->forward(event.u.sim.frame, NodeId{event.u.sim.aux});
+      return;
+    case EventType::kNodeDeliver:
+      static_cast<SimNetwork*>(event.target)
+          ->deliver_to_node(event.u.sim.frame, NodeId{event.u.sim.aux});
+      return;
+    case EventType::kBestEffortArrival:
+      static_cast<BestEffortSource*>(event.target)->on_arrival();
+      return;
+    case EventType::kTimer:
+      event.u.timer(event.target, event.arg, now_);
+      return;
+    case EventType::kClosure: {
+      const auto slot = static_cast<std::uint32_t>(event.arg);
+      // Move out and free the slot before running: the action may
+      // schedule further closures and reuse it.
+      Action action = std::move(closure_slots_[slot]);
+      closure_slots_[slot] = nullptr;
+      free_closure_slots_.push_back(slot);
+      action();
+      return;
+    }
+  }
+}
+
+void Simulator::pop_and_dispatch() {
+  // Copy out: dispatch may append to this very bucket (same-tick
+  // arbitration) and reallocate it.
+  const Event event = buckets_[cursor_ & kWindowMask][bucket_pos_++];
+  --near_count_;
+  now_ = event.time;
+  ++executed_;
+  dispatch(event);
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) {
+  if (!find_next()) {
     return false;
   }
-  // priority_queue::top is const; the action is moved out via const_cast,
-  // which is safe because the element is popped before the action runs.
-  Event event = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = event.time;
-  ++executed_;
-  event.action();
+  pop_and_dispatch();
   return true;
 }
 
-void Simulator::run_until(Tick until) {
-  while (!queue_.empty() && queue_.top().time <= until) {
-    step();
+bool Simulator::run_until(Tick until, std::uint64_t max_events) {
+  std::uint64_t executed = 0;
+  for (;;) {
+    const bool have_near = near_count_ > 0;
+    if (!have_near &&
+        (far_heap_.empty() || far_heap_.front().time > until)) {
+      // Nothing due by the horizon; decided without moving the window, so
+      // later external schedule_at calls land inside it.
+      break;
+    }
+    if (have_near) {
+      // Scan only — find_next cannot jump the window while near events
+      // exist, so breaking or reporting below leaves the queue
+      // schedulable (window_start_ ≤ now_).
+      if (!find_next()) break;
+      if (cursor_ > until) {
+        break;  // next event past the horizon (cursor_ == its tick)
+      }
+    }
+    if (executed == max_events) {
+      // Runaway guard: report instead of spinning forever on a same-tick
+      // self-rescheduling loop — callers decide how to fail. Checked
+      // before any window jump so the simulation stays resumable.
+      return false;
+    }
+    // A far-event window jump (the !have_near case) happens here, with
+    // the jumped-to event popped in the same breath.
+    if (!have_near && !find_next()) break;
+    pop_and_dispatch();
+    ++executed;
   }
   if (now_ < until) {
     now_ = until;
   }
+  return true;
 }
 
 bool Simulator::run_all(std::uint64_t max_events) {
   std::uint64_t executed = 0;
-  while (!queue_.empty()) {
+  for (;;) {
+    if (empty()) {
+      return true;
+    }
     if (executed == max_events) {
       // Runaway guard: report instead of aborting, in every build type —
-      // callers (and CI Release runs) decide how to fail.
+      // callers (and CI Release runs) decide how to fail. Checked before
+      // find_next so a far-event window jump cannot strand the clock
+      // behind the window on the false return.
       return false;
     }
-    step();
+    if (!find_next()) {
+      return true;
+    }
+    pop_and_dispatch();
     ++executed;
   }
-  return true;
 }
 
 }  // namespace rtether::sim

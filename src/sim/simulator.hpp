@@ -1,69 +1,259 @@
 #pragma once
 
 /// @file simulator.hpp
-/// Discrete-event simulation kernel: a clock and a time-ordered event queue.
-/// Events at the same tick execute in scheduling order (stable), which keeps
-/// runs bit-reproducible.
+/// Discrete-event simulation kernel: a clock, a pooled frame arena, and a
+/// time-ordered queue of fixed-size *typed* event records.
+///
+/// The closed set of simulation events (same-tick EDF arbitration,
+/// transmission completion, switch ingress/forward, node delivery,
+/// best-effort arrival) is dispatched by tag directly to the owning
+/// component — no `std::function`, no virtual call, no per-event heap
+/// allocation. Frames are referenced by `FrameIndex` into the arena, so an
+/// event is a 48-byte POD carried by value. Higher layers (the `proto`
+/// protocol timers) use `schedule_timer`, a raw function-pointer event that
+/// is equally allocation-free; arbitrary closures remain available via
+/// `schedule_at` for tests and cold setup paths, stored in a freelist of
+/// reusable slots.
+///
+/// The queue is a bucketed calendar: a ring of `kWindowTicks` FIFO buckets
+/// (one per tick of the near future) plus a binary min-heap for events
+/// beyond the window. Insert and pop are O(1) for near events — the common
+/// case; every in-flight transmission, propagation hop and arbitration
+/// lands within a few slots — and the far heap migrates into the ring in
+/// `(time, sequence)` order when the window advances, so the executed
+/// order is *exactly* the total order `(time, sequence)` of the original
+/// binary-heap kernel: bucket appends happen in monotonically increasing
+/// sequence order (migration first, near inserts after), making every
+/// bucket sequence-sorted by construction.
+///
+/// Events at the same tick therefore execute in scheduling order — the
+/// exact tie-break of the original kernel — which keeps runs
+/// bit-reproducible and preserves the same-tick arbitration semantics the
+/// scenario fuzzer pinned down (see transmitter.hpp).
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/types.hpp"
+#include "sim/frame.hpp"
 
 namespace rtether::sim {
+
+class Transmitter;
+class SimSwitch;
+class SimNetwork;
+class BestEffortSource;
+
+/// Tag of a typed event record. The first six are the simulation's own
+/// closed event set; the last two are the escape hatches for higher layers.
+enum class EventType : std::uint8_t {
+  /// Same-tick EDF arbitration on a Transmitter (PR-3 semantics: every
+  /// release at tick T runs before the wire is granted, still at T).
+  kArbitrate,
+  /// A Transmitter finished pushing `frame` onto the wire.
+  kTxComplete,
+  /// `frame` reaches the switch after the uplink propagation delay.
+  kSwitchIngress,
+  /// Store-and-forward processing of `frame` finished; classify + queue.
+  kSwitchForward,
+  /// `frame` reaches its destination node after the downlink propagation
+  /// delay (measurement point for the Eq 18.1 guarantee).
+  kNodeDeliver,
+  /// A BestEffortSource's next arrival fires.
+  kBestEffortArrival,
+  /// Raw function-pointer timer (protocol layers); allocation-free.
+  kTimer,
+  /// Heap-stored `std::function` closure (tests, cold setup paths).
+  kClosure,
+};
 
 class Simulator {
  public:
   using Action = std::function<void()>;
+  /// Allocation-free timer callback: `context` is the scheduling object,
+  /// `arg` an opaque payload (request IDs, ...), `now` the firing tick.
+  using TimerFn = void (*)(void* context, std::uint64_t arg, Tick now);
+
+  /// Runaway guard shared by `run_all` and `run_until`.
+  static constexpr std::uint64_t kDefaultMaxEvents = 100'000'000;
 
   /// Current simulation time.
   [[nodiscard]] Tick now() const { return now_; }
 
-  /// Schedules `action` at absolute time `when` (≥ now).
+  /// Pooled frame storage shared by every component on this kernel.
+  [[nodiscard]] FrameArena& arena() { return arena_; }
+  [[nodiscard]] const FrameArena& arena() const { return arena_; }
+
+  /// Schedules a typed simulation event at absolute time `when` (≥ now).
+  /// `target` must be the component matching `type`'s dispatch case.
+  void schedule_event(Tick when, EventType type, void* target,
+                      FrameIndex frame = kNoFrame, std::uint32_t aux = 0) {
+    Event event;
+    event.time = when;
+    event.sequence = next_sequence_++;
+    event.target = target;
+    event.u.sim = {frame, aux};
+    event.arg = 0;
+    event.type = type;
+    push(event);
+  }
+
+  /// Schedules an allocation-free function-pointer timer `delay` ticks out.
+  void schedule_timer(Tick delay, TimerFn fn, void* context,
+                      std::uint64_t arg = 0) {
+    Event event;
+    event.time = now_ + delay;
+    event.sequence = next_sequence_++;
+    event.target = context;
+    event.u.timer = fn;
+    event.arg = arg;
+    event.type = EventType::kTimer;
+    push(event);
+  }
+
+  /// Schedules `action` at absolute time `when` (≥ now). Cold path: the
+  /// closure lives in a reusable slot until it fires.
   void schedule_at(Tick when, Action action);
 
   /// Schedules `action` `delay` ticks from now.
-  void schedule_in(Tick delay, Action action);
+  void schedule_in(Tick delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
 
   /// Executes the next event; false when the queue is empty.
   bool step();
 
-  /// Runs events with time ≤ `until`; the clock ends at `until` even if the
-  /// queue drains early.
-  void run_until(Tick until);
+  /// Runs events with time ≤ `until`, bounded by `max_events` as a runaway
+  /// guard (a same-tick self-rescheduling loop would otherwise spin
+  /// forever below a fixed horizon). Returns true when every due event ran
+  /// — the clock then ends at `until` even if the queue drained early —
+  /// and false when the budget was exhausted first, leaving the remaining
+  /// events queued and the clock at the last executed event.
+  [[nodiscard]] bool run_until(Tick until,
+                               std::uint64_t max_events = kDefaultMaxEvents);
 
   /// Runs until the queue is empty, bounded by `max_events` as a runaway
   /// guard. Returns true when the queue drained; false when the budget was
-  /// exhausted first (a self-rescheduling event loop that would otherwise
-  /// spin forever) — identical behaviour in every build type, so a Release
-  /// CI run stops with a failure instead of hanging or aborting the whole
-  /// process. On false, `pending()` events remain queued and the simulation
-  /// can be inspected or resumed.
-  [[nodiscard]] bool run_all(std::uint64_t max_events = 100'000'000);
+  /// exhausted first — identical behaviour in every build type, so a
+  /// Release CI run stops with a failure instead of hanging. On false,
+  /// `pending()` events remain queued and the simulation can be inspected
+  /// or resumed.
+  [[nodiscard]] bool run_all(std::uint64_t max_events = kDefaultMaxEvents);
 
-  [[nodiscard]] bool empty() const { return queue_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] bool empty() const {
+    return near_count_ == 0 && far_heap_.empty();
+  }
+  [[nodiscard]] std::size_t pending() const {
+    return near_count_ + far_heap_.size();
+  }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
+  /// Closure slots currently allocated (growth watermark for the
+  /// zero-allocation bench; reused slots do not grow it).
+  [[nodiscard]] std::size_t closure_slots() const {
+    return closure_slots_.size();
+  }
+
+  /// Pre-sizes the event storage (benches that must not allocate after
+  /// warm-up; bucket growth would otherwise allocate mid-run).
+  /// `expected_pending` is the anticipated high-water mark of
+  /// simultaneously pending events.
+  void reserve_events(std::size_t expected_pending);
+
  private:
+  /// Calendar ring extent: events within `now + kWindowTicks` sit in
+  /// per-tick FIFO buckets; later ones wait in the far heap.
+  static constexpr std::size_t kWindowBits = 12;
+  static constexpr Tick kWindowTicks = Tick{1} << kWindowBits;
+  static constexpr Tick kWindowMask = kWindowTicks - 1;
+
+  /// Per-event payload of the typed cases; timers overlay their callback.
+  struct SimPayload {
+    FrameIndex frame;   // kNoFrame when the event carries no frame
+    std::uint32_t aux;  // event-specific small payload (port, node)
+  };
+
+  /// Fixed-size 48-byte POD event record, carried by value — a bucket
+  /// append or heap sift moves six words, never a closure.
   struct Event {
     Tick time;
     std::uint64_t sequence;  // tie-break: FIFO within a tick
-    Action action;
+    void* target;            // component / timer context
+    union {
+      SimPayload sim;  // typed simulation events
+      TimerFn timer;   // kTimer only
+    } u;
+    std::uint64_t arg;  // kTimer payload / kClosure slot index
+    EventType type;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.sequence > b.sequence;
+
+  void push(const Event& event);
+  /// Positions `cursor_` on the next pending event (migrating the far
+  /// heap when the window advances); false when no events remain. The
+  /// window only ever jumps to an event that the caller pops immediately,
+  /// so `window_start_ ≤ now_` holds whenever user code can schedule.
+  [[nodiscard]] bool find_next();
+  /// Executes the event `find_next` positioned on (shared pop protocol of
+  /// step/run_until/run_all).
+  void pop_and_dispatch();
+  void far_push(const Event& event);
+  void far_pop_into(Event& out);
+  /// Advances the window so it starts at `start`, migrating far events
+  /// that now fall inside it into their buckets (in (time, seq) order).
+  void advance_window(Tick start);
+  void dispatch(const Event& event);
+
+  void mark_occupied(std::size_t index) {
+    occupied_[index >> 6] |= std::uint64_t{1} << (index & 63);
+    occupied_summary_ |= std::uint64_t{1} << (index >> 6);
+  }
+  void mark_empty(std::size_t index) {
+    std::uint64_t& word = occupied_[index >> 6];
+    word &= ~(std::uint64_t{1} << (index & 63));
+    if (word == 0) {
+      occupied_summary_ &= ~(std::uint64_t{1} << (index >> 6));
     }
-  };
+  }
+  /// Next occupied bucket index at or after `from` (cyclic);
+  /// `kWindowTicks` when all buckets are empty.
+  [[nodiscard]] std::size_t next_occupied(std::size_t from) const;
+
+  [[nodiscard]] static bool earlier(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.sequence < b.sequence;
+  }
 
   Tick now_{0};
   std::uint64_t next_sequence_{0};
   std::uint64_t executed_{0};
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Calendar ring: bucket `t & kWindowMask` holds the events of tick `t`
+  /// for `t` in `[window_start_, window_start_ + kWindowTicks)`, each in
+  /// sequence order. Bucket vectors keep their capacity when cleared, so
+  /// the steady-state loop never touches the allocator.
+  std::vector<std::vector<Event>> buckets_{kWindowTicks};
+  /// Two-level occupancy bitmap over the ring (64 words of 64 buckets):
+  /// sparse schedules skip empty ticks in O(1) instead of scanning.
+  std::array<std::uint64_t, kWindowTicks / 64> occupied_{};
+  std::uint64_t occupied_summary_{0};
+  /// Events pending across all buckets.
+  std::size_t near_count_{0};
+  /// Tick currently being drained/scanned; never passes the next pending
+  /// event (inserts below it pull it back).
+  Tick cursor_{0};
+  /// Consumed prefix of the bucket at `cursor_`.
+  std::size_t bucket_pos_{0};
+  Tick window_start_{0};
+  /// reserve_events' 4× high-water headroom has been applied (once).
+  bool bucket_headroom_applied_{false};
+  /// Min-heap on (time, sequence) for events at or past
+  /// `window_start_ + kWindowTicks`.
+  std::vector<Event> far_heap_;
+  /// Freelist-backed closure storage for kClosure events.
+  std::vector<Action> closure_slots_;
+  std::vector<std::uint32_t> free_closure_slots_;
+  FrameArena arena_;
 };
 
 }  // namespace rtether::sim

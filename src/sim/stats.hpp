@@ -3,10 +3,17 @@
 /// @file stats.hpp
 /// Measurement layer: per-channel delivery statistics (the quantities the
 /// paper's guarantee Eq 18.1 bounds) plus best-effort service metrics.
+///
+/// The per-channel records live in a small open-addressing hash table —
+/// `record_rt_sent`/`record_rt_delivered` run once per simulated frame on
+/// the kernel's allocation-free hot path, where a `std::map` lookup (cold
+/// pointer chases, rebalancing inserts) was measurable. `channels()`
+/// materializes a sorted map for reports and digests.
 
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -29,9 +36,7 @@ struct ChannelDeliveryStats {
 
 class SimStats {
  public:
-  void record_rt_sent(ChannelId channel) {
-    ++channels_[channel].frames_sent;
-  }
+  void record_rt_sent(ChannelId channel) { ++slot(channel).frames_sent; }
 
   /// Records a delivered RT frame. `allowance` is the T_latency budget of
   /// Eq 18.1 in ticks; delivery after `absolute_deadline + allowance`
@@ -43,10 +48,8 @@ class SimStats {
   void record_best_effort_sent() { ++best_effort_sent_; }
   void record_best_effort_delivered(Tick created, Tick delivered);
 
-  [[nodiscard]] const std::map<ChannelId, ChannelDeliveryStats>& channels()
-      const {
-    return channels_;
-  }
+  /// Sorted snapshot of every channel's record (reports, digests; cold).
+  [[nodiscard]] std::map<ChannelId, ChannelDeliveryStats> channels() const;
 
   /// Stats for one channel; nullopt if it never sent.
   [[nodiscard]] std::optional<ChannelDeliveryStats> channel(
@@ -66,7 +69,27 @@ class SimStats {
   }
 
  private:
-  std::map<ChannelId, ChannelDeliveryStats> channels_;
+  struct TableSlot {
+    bool used{false};
+    ChannelId id{};
+    ChannelDeliveryStats stats;
+  };
+
+  /// Fibonacci-hashed start index for open addressing (capacity is a
+  /// power of two).
+  [[nodiscard]] static std::size_t start_index(ChannelId id,
+                                               std::size_t capacity) {
+    return (static_cast<std::size_t>(id.value()) * 0x9e3779b1U) &
+           (capacity - 1);
+  }
+
+  [[nodiscard]] ChannelDeliveryStats& slot(ChannelId id);
+  [[nodiscard]] const TableSlot* find(ChannelId id) const;
+  void rehash(std::size_t capacity);
+
+  /// Open-addressing table, linear probing, ≤50% load.
+  std::vector<TableSlot> table_;
+  std::size_t used_{0};
   std::uint64_t best_effort_sent_{0};
   std::uint64_t best_effort_delivered_{0};
   RunningStats best_effort_delay_;

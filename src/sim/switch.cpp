@@ -3,23 +3,20 @@
 #include "common/assert.hpp"
 #include "common/log.hpp"
 #include "sim/addressing.hpp"
+#include "sim/network.hpp"
 
 namespace rtether::sim {
 
 SimSwitch::SimSwitch(Simulator& simulator, const SimConfig& config,
-                     std::uint32_t node_count, PortDeliverFn deliver,
+                     std::uint32_t node_count, SimNetwork& network,
                      std::size_t best_effort_depth)
     : simulator_(simulator), config_(config) {
-  RTETHER_ASSERT(deliver != nullptr);
   ports_.reserve(node_count);
   for (std::uint32_t n = 0; n < node_count; ++n) {
     const NodeId node{n};
     ports_.push_back(std::make_unique<Transmitter>(
         simulator_, config_, "switch-port-" + std::to_string(n),
-        [deliver, node](SimFrame frame, Tick completion) {
-          deliver(node, std::move(frame), completion);
-        },
-        best_effort_depth));
+        Transmitter::Sink::port(network, node), best_effort_depth));
   }
 }
 
@@ -33,48 +30,54 @@ const Transmitter& SimSwitch::port(NodeId node) const {
   return *ports_[node.value()];
 }
 
-void SimSwitch::ingress(SimFrame frame, NodeId from) {
+void SimSwitch::ingress(FrameIndex frame, NodeId from) {
   // Source-address learning happens on reception, before processing.
-  table_.learn(frame.info.source_mac, from);
-  simulator_.schedule_in(
-      config_.switch_processing_ticks,
-      [this, frame = std::move(frame), from]() mutable {
-        forward(std::move(frame), from);
-      });
+  table_.learn(simulator_.arena().get(frame).info.source_mac, from);
+  simulator_.schedule_event(simulator_.now() + config_.switch_processing_ticks,
+                            EventType::kSwitchForward, this, frame,
+                            from.value());
 }
 
-void SimSwitch::forward(SimFrame frame, NodeId from) {
-  switch (frame.info.cls) {
+void SimSwitch::forward(FrameIndex frame, NodeId from) {
+  FrameArena& arena = simulator_.arena();
+  // The reference stays valid across this function: queueing moves indices,
+  // never frames, and nothing below acquires before the flood path's
+  // explicit clones.
+  const FrameInfo& info = arena.get(frame).info;
+  switch (info.cls) {
     case FrameClass::kManagement: {
-      if (frame.info.destination_mac == switch_mac()) {
+      if (info.destination_mac == switch_mac()) {
         ++stats_.management_received;
-        if (mgmt_handler_) {
-          mgmt_handler_(frame, from, simulator_.now());
+        if (mgmt_handler_ != nullptr) {
+          mgmt_handler_(mgmt_context_, arena.get(frame), from,
+                        simulator_.now());
         }
+        arena.release(frame);
         return;
       }
       // Management frame relayed between nodes: treat as best-effort below.
       [[fallthrough]];
     }
     case FrameClass::kBestEffort: {
-      const auto dst = table_.lookup(frame.info.destination_mac);
-      if (dst && !frame.info.destination_mac.is_broadcast()) {
+      const auto dst = table_.lookup(info.destination_mac);
+      if (dst && !info.destination_mac.is_broadcast()) {
         ++stats_.best_effort_forwarded;
-        port(*dst).enqueue_best_effort(std::move(frame));
+        port(*dst).enqueue_best_effort(frame);
         return;
       }
       // Unknown unicast or broadcast: flood to all ports except ingress.
       ++stats_.flooded;
       for (std::uint32_t n = 0; n < ports_.size(); ++n) {
         if (NodeId{n} == from) continue;
-        port(NodeId{n}).enqueue_best_effort(frame);
+        port(NodeId{n}).enqueue_best_effort(arena.clone(frame));
       }
+      arena.release(frame);
       return;
     }
     case FrameClass::kRealTime: {
-      RTETHER_ASSERT_MSG(frame.info.rt_tag.has_value(),
+      RTETHER_ASSERT_MSG(info.rt_tag.has_value(),
                          "RT classification without a decoded tag");
-      const auto dst = table_.lookup(frame.info.destination_mac);
+      const auto dst = table_.lookup(info.destination_mac);
       if (!dst) {
         // Cannot flood RT traffic without violating other ports'
         // guarantees; establishment always precedes data, so this signals
@@ -82,19 +85,20 @@ void SimSwitch::forward(SimFrame frame, NodeId from) {
         ++stats_.rt_dropped_unknown_destination;
         RTETHER_LOG(kWarn, "switch",
                     "dropping RT frame to unlearned MAC "
-                        << frame.info.destination_mac.to_string());
+                        << info.destination_mac.to_string());
+        arena.release(frame);
         return;
       }
       ++stats_.rt_forwarded;
       if (!config_.edf_enabled) {
         // Baseline mode: plain switched Ethernet, FCFS everywhere.
-        port(*dst).enqueue_best_effort(std::move(frame));
+        port(*dst).enqueue_best_effort(frame);
         return;
       }
       // EDF key: the absolute end-to-end deadline carried in the IP header
       // (release + d_i) — see DESIGN.md "Per-hop EDF keys".
-      const Tick key = frame.info.rt_tag->absolute_deadline;
-      port(*dst).enqueue_rt(key, std::move(frame));
+      const Tick key = info.rt_tag->absolute_deadline;
+      port(*dst).enqueue_rt(key, frame);
       return;
     }
   }

@@ -7,9 +7,13 @@
 /// EDF-queued under the absolute deadline decoded from the IP header, and
 /// management frames addressed to the switch are handed to the RT channel
 /// management software (the `proto` layer).
+///
+/// `ingress` and `forward` are kernel dispatch targets: the frame's journey
+/// uplink → propagation → ingress (learning) → processing → forward →
+/// port queue is a chain of typed events carrying a `FrameIndex`, with no
+/// callback indirection anywhere on the path.
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -21,6 +25,8 @@
 #include "sim/transmitter.hpp"
 
 namespace rtether::sim {
+
+class SimNetwork;
 
 /// Aggregate switch counters.
 struct SwitchStats {
@@ -36,28 +42,30 @@ struct SwitchStats {
 class SimSwitch {
  public:
   /// Invoked when a management frame addressed to the switch arrives;
-  /// `ingress` is the port it arrived on.
-  using MgmtHandler =
-      std::function<void(const SimFrame& frame, NodeId ingress, Tick now)>;
-
-  /// Invoked when a port finishes transmitting a frame toward its node;
-  /// the network layer adds propagation delay and delivers.
-  using PortDeliverFn =
-      std::function<void(NodeId port, SimFrame frame, Tick completion)>;
+  /// `ingress` is the port it arrived on. Raw function pointer + context
+  /// (the `proto::SwitchMgmt` layer registers itself once).
+  using MgmtHandler = void (*)(void* context, const SimFrame& frame,
+                               NodeId ingress, Tick now);
 
   /// `best_effort_depth` bounds each port's FCFS queue (0 = unbounded).
   SimSwitch(Simulator& simulator, const SimConfig& config,
-            std::uint32_t node_count, PortDeliverFn deliver,
+            std::uint32_t node_count, SimNetwork& network,
             std::size_t best_effort_depth = 0);
 
-  void set_mgmt_handler(MgmtHandler handler) {
-    mgmt_handler_ = std::move(handler);
+  void set_mgmt_handler(MgmtHandler handler, void* context) {
+    mgmt_handler_ = handler;
+    mgmt_context_ = context;
   }
 
-  /// A frame fully received from `from`'s uplink at the current tick.
-  /// Learning, classification and queueing happen after the configured
+  /// Kernel dispatch target (EventType::kSwitchIngress): a frame fully
+  /// received from `from`'s uplink. Learning happens immediately;
+  /// classification and queueing happen after the configured
   /// store-and-forward processing delay.
-  void ingress(SimFrame frame, NodeId from);
+  void ingress(FrameIndex frame, NodeId from);
+
+  /// Kernel dispatch target (EventType::kSwitchForward): classification +
+  /// queueing, after the processing delay.
+  void forward(FrameIndex frame, NodeId from);
 
   /// Sends a switch-originated frame (management responses) out of the port
   /// toward `to`. Management traffic rides the best-effort queue — channel
@@ -81,14 +89,12 @@ class SimSwitch {
   }
 
  private:
-  /// Classification + queueing, after the processing delay.
-  void forward(SimFrame frame, NodeId from);
-
   Simulator& simulator_;
   const SimConfig& config_;
   std::vector<std::unique_ptr<Transmitter>> ports_;
   ForwardingTable table_;
-  MgmtHandler mgmt_handler_;
+  MgmtHandler mgmt_handler_{nullptr};
+  void* mgmt_context_{nullptr};
   SwitchStats stats_;
 };
 

@@ -3,31 +3,62 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "sim/network.hpp"
+#include "sim/switch.hpp"
 
 namespace rtether::sim {
 
+Transmitter::Sink Transmitter::Sink::uplink(SimNetwork& network, NodeId node) {
+  Sink sink;
+  sink.kind = Kind::kUplinkToSwitch;
+  sink.peer = node;
+  sink.network = &network;
+  return sink;
+}
+
+Transmitter::Sink Transmitter::Sink::port(SimNetwork& network, NodeId node) {
+  Sink sink;
+  sink.kind = Kind::kPortToNode;
+  sink.peer = node;
+  sink.network = &network;
+  return sink;
+}
+
+Transmitter::Sink Transmitter::Sink::custom(CustomFn fn, void* context) {
+  Sink sink;
+  sink.kind = Kind::kCustom;
+  sink.fn = fn;
+  sink.context = context;
+  return sink;
+}
+
 Transmitter::Transmitter(Simulator& simulator, const SimConfig& config,
-                         std::string name, DeliverFn deliver,
+                         std::string name, Sink sink,
                          std::size_t best_effort_depth)
     : simulator_(simulator),
       config_(config),
       name_(std::move(name)),
-      deliver_(std::move(deliver)),
+      sink_(sink),
       best_effort_queue_(best_effort_depth) {
-  RTETHER_ASSERT(deliver_ != nullptr);
+  RTETHER_ASSERT(sink_.kind != Sink::Kind::kCustom || sink_.fn != nullptr);
+  RTETHER_ASSERT(sink_.kind == Sink::Kind::kCustom || sink_.network != nullptr);
 }
 
-void Transmitter::enqueue_rt(Tick deadline_key, SimFrame frame) {
-  rt_queue_.push(deadline_key, std::move(frame));
+void Transmitter::enqueue_rt(Tick deadline_key, FrameIndex frame) {
+  rt_queue_.push(deadline_key, frame);
   stats_.max_rt_queue_depth =
       std::max(stats_.max_rt_queue_depth, rt_queue_.size());
   schedule_start();
 }
 
-void Transmitter::enqueue_best_effort(SimFrame frame) {
-  if (best_effort_queue_.push(std::move(frame))) {
+void Transmitter::enqueue_best_effort(FrameIndex frame) {
+  if (best_effort_queue_.push(frame)) {
     stats_.max_best_effort_queue_depth = std::max(
         stats_.max_best_effort_queue_depth, best_effort_queue_.size());
+  } else {
+    // Bounded queue overflow: the frame is dropped here and its slot goes
+    // back to the pool.
+    simulator_.arena().release(frame);
   }
   schedule_start();
 }
@@ -54,28 +85,32 @@ void Transmitter::schedule_start() {
     return;
   }
   start_pending_ = true;
-  simulator_.schedule_in(0, [this] {
-    start_pending_ = false;
-    try_start();
-  });
+  simulator_.schedule_event(simulator_.now(), EventType::kArbitrate, this);
+}
+
+void Transmitter::arbitrate() {
+  start_pending_ = false;
+  try_start();
 }
 
 void Transmitter::try_start() {
   if (busy_) {
     return;  // non-preemptive: the in-flight frame finishes first
   }
-  // Strict priority: RT (EDF order) before best-effort (FCFS order).
-  std::optional<SimFrame> frame = rt_queue_.pop();
-  const bool is_rt = frame.has_value();
-  if (!frame) {
+  // Strict priority: RT (EDF order) before best-effort (FCFS order). Each
+  // queue is consulted with a single move-out pop.
+  FrameIndex frame = rt_queue_.pop();
+  const bool is_rt = frame != kNoFrame;
+  if (!is_rt) {
     frame = best_effort_queue_.pop();
   }
-  if (!frame) {
+  if (frame == kNoFrame) {
     return;
   }
 
   busy_ = true;
-  const Tick tx_ticks = config_.transmission_ticks(frame->wire_bytes());
+  const Tick tx_ticks =
+      config_.transmission_ticks(simulator_.arena().get(frame).wire_bytes());
   stats_.busy_ticks += tx_ticks;
   if (is_rt) {
     ++stats_.rt_frames_sent;
@@ -83,15 +118,36 @@ void Transmitter::try_start() {
     ++stats_.best_effort_frames_sent;
   }
 
-  // Move the frame into the completion event.
-  simulator_.schedule_in(
-      tx_ticks,
-      [this, frame = std::move(*frame)]() mutable {
-        busy_ = false;
-        const Tick completion = simulator_.now();
-        deliver_(std::move(frame), completion);
-        schedule_start();
-      });
+  // The frame rides the completion event by index; no copy, no closure.
+  simulator_.schedule_event(simulator_.now() + tx_ticks,
+                            EventType::kTxComplete, this, frame);
+}
+
+void Transmitter::complete(FrameIndex frame) {
+  busy_ = false;
+  const Tick completion = simulator_.now();
+  switch (sink_.kind) {
+    case Sink::Kind::kUplinkToSwitch:
+      // Store-and-forward hand-off: the frame reaches the switch after one
+      // propagation delay.
+      simulator_.schedule_event(completion + config_.propagation_ticks,
+                                EventType::kSwitchIngress,
+                                &sink_.network->ethernet_switch(), frame,
+                                sink_.peer.value());
+      break;
+    case Sink::Kind::kPortToNode:
+      // The frame reaches the destination node (and the measurement layer)
+      // after one propagation delay.
+      simulator_.schedule_event(completion + config_.propagation_ticks,
+                                EventType::kNodeDeliver, sink_.network, frame,
+                                sink_.peer.value());
+      break;
+    case Sink::Kind::kCustom:
+      sink_.fn(sink_.context, simulator_.arena().get(frame), completion);
+      simulator_.arena().release(frame);
+      break;
+  }
+  schedule_start();
 }
 
 }  // namespace rtether::sim

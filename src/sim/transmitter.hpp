@@ -11,9 +11,13 @@
 /// inline in `enqueue_*`: all frames enqueued at tick T compete before the
 /// wire is granted (still at T), so EDF order cannot be inverted by event
 /// execution order within a tick. See `Transmitter::schedule_start`.
+///
+/// Completed frames leave through a `Sink` — a tagged destination record
+/// dispatched directly (uplink → switch ingress event, switch port → node
+/// delivery event, or a raw function pointer for tests) instead of a
+/// type-erased `std::function` callback.
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
 #include "common/types.hpp"
@@ -22,6 +26,8 @@
 #include "sim/simulator.hpp"
 
 namespace rtether::sim {
+
+class SimNetwork;
 
 /// Counters exposed per transmitter.
 struct TransmitterStats {
@@ -34,20 +40,66 @@ struct TransmitterStats {
 
 class Transmitter {
  public:
-  /// Called when a frame has been fully transmitted (store-and-forward
-  /// hand-off point); `completion` is the tick transmission ended.
-  using DeliverFn = std::function<void(SimFrame frame, Tick completion)>;
+  /// Destination of fully transmitted frames (store-and-forward hand-off
+  /// point), dispatched by tag.
+  struct Sink {
+    /// Custom sink (tests/benches): invoked with the finished frame and
+    /// the completion tick; the frame slot is released after return.
+    using CustomFn = void (*)(void* context, const SimFrame& frame,
+                              Tick completion);
+
+    enum class Kind : std::uint8_t {
+      kUplinkToSwitch,  ///< node uplink: propagate to the switch ingress
+      kPortToNode,      ///< switch port: propagate to the node, measure
+      kCustom,          ///< raw callback (tests, standalone benches)
+    };
+
+    Kind kind{Kind::kCustom};
+    /// kUplinkToSwitch: the sending node; kPortToNode: the destination.
+    NodeId peer{};
+    SimNetwork* network{nullptr};
+    CustomFn fn{nullptr};
+    void* context{nullptr};
+
+    [[nodiscard]] static Sink uplink(SimNetwork& network, NodeId node);
+    [[nodiscard]] static Sink port(SimNetwork& network, NodeId node);
+    [[nodiscard]] static Sink custom(CustomFn fn, void* context);
+  };
 
   /// `best_effort_depth` bounds the FCFS queue (0 = unbounded).
   Transmitter(Simulator& simulator, const SimConfig& config, std::string name,
-              DeliverFn deliver, std::size_t best_effort_depth = 0);
+              Sink sink, std::size_t best_effort_depth = 0);
 
   /// Queues an RT frame under the given EDF key (ticks) and starts
   /// transmitting if idle.
-  void enqueue_rt(Tick deadline_key, SimFrame frame);
+  void enqueue_rt(Tick deadline_key, FrameIndex frame);
 
-  /// Queues a best-effort frame (dropped if the queue is full).
-  void enqueue_best_effort(SimFrame frame);
+  /// Queues a best-effort frame (dropped — and released — if the queue is
+  /// full).
+  void enqueue_best_effort(FrameIndex frame);
+
+  /// Convenience overloads (tests, cold management paths): the frame is
+  /// adopted into the kernel's arena first.
+  void enqueue_rt(Tick deadline_key, SimFrame frame) {
+    enqueue_rt(deadline_key, simulator_.arena().adopt(std::move(frame)));
+  }
+  void enqueue_best_effort(SimFrame frame) {
+    enqueue_best_effort(simulator_.arena().adopt(std::move(frame)));
+  }
+
+  /// Pre-sizes both queues past an expected backlog high-water mark
+  /// (benches that must not allocate after warm-up).
+  void reserve(std::size_t rt_entries, std::size_t best_effort_entries) {
+    rt_queue_.reserve(rt_entries);
+    best_effort_queue_.reserve(best_effort_entries);
+  }
+
+  /// Kernel dispatch target: same-tick arbitration (EventType::kArbitrate).
+  void arbitrate();
+
+  /// Kernel dispatch target: transmission of `frame` finished
+  /// (EventType::kTxComplete).
+  void complete(FrameIndex frame);
 
   [[nodiscard]] const TransmitterStats& stats() const { return stats_; }
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -71,7 +123,7 @@ class Transmitter {
   Simulator& simulator_;
   const SimConfig& config_;
   std::string name_;
-  DeliverFn deliver_;
+  Sink sink_;
   EdfQueue rt_queue_;
   FcfsQueue best_effort_queue_;
   bool busy_{false};

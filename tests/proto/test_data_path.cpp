@@ -110,8 +110,8 @@ TEST(PeriodicSender, SendsEveryPeriod) {
   PeriodicRtSender sender(stack.layer(NodeId{0}), channel->id);
   sender.start();
   const Tick start = stack.network().now();
-  stack.network().simulator().run_until(
-      start + stack.network().config().slots_to_ticks(999));
+  EXPECT_TRUE(stack.network().simulator().run_until(
+      start + stack.network().config().slots_to_ticks(999)));
   sender.stop();
 
   // Releases at +0, +100, …, +900 — ten messages in the first 999 slots.
@@ -129,8 +129,8 @@ TEST(PeriodicSender, PhaseDelaysFirstRelease) {
                           /*phase_slots=*/50);
   sender.start();
   const Tick start = stack.network().now();
-  stack.network().simulator().run_until(
-      start + stack.network().config().slots_to_ticks(149));
+  EXPECT_TRUE(stack.network().simulator().run_until(
+      start + stack.network().config().slots_to_ticks(149)));
   // Releases at +50 only (next would be +150).
   EXPECT_EQ(sender.messages_sent(), 1u);
 }
@@ -144,8 +144,8 @@ TEST(PeriodicSender, StartAllHelper) {
                                                 /*stagger_slots=*/10);
   EXPECT_EQ(senders.size(), 3u);
   const Tick start = stack.network().now();
-  stack.network().simulator().run_until(
-      start + stack.network().config().slots_to_ticks(95));
+  EXPECT_TRUE(stack.network().simulator().run_until(
+      start + stack.network().config().slots_to_ticks(95)));
   for (auto& s : senders) s->stop();
   // Phases 0, 10, 20 — all three released exactly once by slot 95.
   for (const auto& s : senders) {

@@ -103,8 +103,8 @@ TEST(Establishment, ManyConcurrentRequestsAllResolve) {
           if (outcome.accepted) ++accepted;
         });
   }
-  stack.network().simulator().run_until(
-      stack.network().config().slots_to_ticks(50'000));
+  EXPECT_TRUE(stack.network().simulator().run_until(
+      stack.network().config().slots_to_ticks(50'000)));
   EXPECT_EQ(resolved, 20);
   EXPECT_GT(accepted, 0);
   EXPECT_EQ(static_cast<std::size_t>(accepted),

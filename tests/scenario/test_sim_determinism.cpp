@@ -1,0 +1,129 @@
+// Determinism suite for the typed event kernel: identical seeds must give
+// bit-identical simulation outcomes — executed-event counts, per-link
+// stats, delivery records and miss/loss verdicts — across repeated runs
+// and across campaign thread counts; and three corpus entries are pinned
+// to golden SimDigests captured from the seed (`std::function`) kernel, so
+// a kernel refactor cannot silently shift sim semantics: any change to
+// event ordering, queue service order or measurement shows up here as a
+// digest mismatch with a replayable spec.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/campaign.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/json_io.hpp"
+#include "scenario/runner.hpp"
+
+namespace rtether::scenario {
+namespace {
+
+ScenarioSpec load_corpus(const std::string& name) {
+  const std::string path = std::string(RTETHER_SCENARIO_CORPUS_DIR) + "/" + name;
+  const auto spec = load_scenario(path);
+  EXPECT_TRUE(spec.has_value()) << "failed to load " << path;
+  return spec.value_or(ScenarioSpec{});
+}
+
+TEST(SimDeterminism, IdenticalSeedGivesIdenticalDigest) {
+  GeneratorConfig config;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const ScenarioSpec spec = generate_scenario(config, seed);
+    const ScenarioResult first = run_scenario(spec);
+    const ScenarioResult second = run_scenario(spec);
+    EXPECT_EQ(first.passed, second.passed) << "seed " << seed;
+    EXPECT_EQ(first.sim_digest, second.sim_digest) << "seed " << seed;
+    EXPECT_EQ(first.frames_delivered, second.frames_delivered)
+        << "seed " << seed;
+    EXPECT_EQ(first.simulated_slots, second.simulated_slots)
+        << "seed " << seed;
+  }
+}
+
+TEST(SimDeterminism, CampaignFingerprintIsThreadCountIndependent) {
+  // The per-scenario sims are single-threaded; the campaign fans scenarios
+  // across a pool. Every aggregate — including the XOR-folded SimDigest —
+  // must be identical no matter how many workers raced.
+  CampaignConfig config;
+  config.scenario_count = 48;
+  CampaignResult results[3];
+  const unsigned threads[3] = {1, 2, 4};
+  for (int i = 0; i < 3; ++i) {
+    config.threads = threads[i];
+    results[i] = run_campaign(config);
+  }
+  for (int i = 1; i < 3; ++i) {
+    EXPECT_EQ(results[i].failures, results[0].failures);
+    EXPECT_EQ(results[i].scenarios_run, results[0].scenarios_run);
+    EXPECT_EQ(results[i].ops_total, results[0].ops_total);
+    EXPECT_EQ(results[i].admitted_total, results[0].admitted_total);
+    EXPECT_EQ(results[i].frames_delivered_total,
+              results[0].frames_delivered_total);
+    EXPECT_EQ(results[i].simulated_slots_total,
+              results[0].simulated_slots_total);
+    EXPECT_EQ(results[i].sim_digest_xor, results[0].sim_digest_xor)
+        << "-j" << threads[i] << " diverged from -j1";
+  }
+}
+
+// Golden pins: SimDigests recorded under the seed kernel (PR 4 tree, the
+// std::function binary-heap simulator) for three corpus entries covering
+// RT-only, RT + best-effort cross-traffic, and admit/release churn. The
+// typed calendar-queue kernel must reproduce them bit-for-bit. If a future
+// change breaks these *intentionally* (a semantic fix with a fuzzer-found
+// counterexample, like PR 3's same-tick arbitration), re-record the values
+// and say why in the commit.
+
+struct GoldenDigest {
+  const char* file;
+  SimDigest digest;
+  std::uint64_t frames_delivered;
+  std::uint64_t simulated_slots;
+};
+
+const GoldenDigest kGolden[] = {
+    {"fuzz-2.json",
+     {15947, 28, 0, 1953, 1953, 0xf7624fb728856bb9ULL},
+     28,
+     346},
+    {"fuzz-5.json",
+     {2816, 299, 0, 0, 0, 0x1840ccaec65d6a18ULL},
+     299,
+     453},
+    {"churn-steady-state.json",
+     {1509, 73, 0, 0, 0, 0xb9ec6a610ad5c195ULL},
+     73,
+     389},
+};
+
+TEST(SimDeterminism, GoldenDigestsMatchSeedKernel) {
+  for (const GoldenDigest& golden : kGolden) {
+    const ScenarioSpec spec = load_corpus(golden.file);
+    const ScenarioResult result = run_scenario(spec);
+    EXPECT_TRUE(result.passed) << golden.file;
+    EXPECT_EQ(result.sim_digest.executed_events,
+              golden.digest.executed_events)
+        << golden.file;
+    EXPECT_EQ(result.sim_digest.rt_delivered, golden.digest.rt_delivered)
+        << golden.file;
+    EXPECT_EQ(result.sim_digest.deadline_misses,
+              golden.digest.deadline_misses)
+        << golden.file;
+    EXPECT_EQ(result.sim_digest.best_effort_sent,
+              golden.digest.best_effort_sent)
+        << golden.file;
+    EXPECT_EQ(result.sim_digest.best_effort_delivered,
+              golden.digest.best_effort_delivered)
+        << golden.file;
+    EXPECT_EQ(result.sim_digest.link_stats_hash,
+              golden.digest.link_stats_hash)
+        << golden.file << ": per-link stats diverged from the seed kernel";
+    EXPECT_EQ(result.frames_delivered, golden.frames_delivered)
+        << golden.file;
+    EXPECT_EQ(result.simulated_slots, golden.simulated_slots) << golden.file;
+  }
+}
+
+}  // namespace
+}  // namespace rtether::scenario

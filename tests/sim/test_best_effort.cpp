@@ -18,7 +18,7 @@ TEST(BestEffortSource, GeneratesTraffic) {
   profile.offered_load = 0.5;
   BestEffortSource source(net, NodeId{0}, profile, 42);
   source.start();
-  net.simulator().run_until(net.config().slots_to_ticks(500));
+  EXPECT_TRUE(net.simulator().run_until(net.config().slots_to_ticks(500)));
   source.stop();
   EXPECT_TRUE(net.simulator().run_all());
   EXPECT_GT(source.frames_generated(), 50u);
@@ -35,7 +35,7 @@ TEST(BestEffortSource, ApproximatesOfferedLoad) {
   BestEffortSource source(net, NodeId{0}, profile, 7);
   source.start();
   const Slot run_slots = 5'000;
-  net.simulator().run_until(net.config().slots_to_ticks(run_slots));
+  EXPECT_TRUE(net.simulator().run_until(net.config().slots_to_ticks(run_slots)));
   source.stop();
   // Uplink utilization should approximate the offered load (exponential
   // arrivals → generous tolerance).
@@ -61,7 +61,7 @@ TEST(BestEffortSource, FixedDestinationHonored) {
   profile.destination = NodeId{2};
   BestEffortSource source(net, NodeId{0}, profile, 9);
   source.start();
-  net.simulator().run_until(net.config().slots_to_ticks(200));
+  EXPECT_TRUE(net.simulator().run_until(net.config().slots_to_ticks(200)));
   source.stop();
   EXPECT_TRUE(net.simulator().run_all());
   EXPECT_GT(received_at_2, 0);
@@ -78,7 +78,7 @@ TEST(BestEffortSource, RandomDestinationNeverSelf) {
   profile.offered_load = 0.6;
   BestEffortSource source(net, NodeId{0}, profile, 11);
   source.start();
-  net.simulator().run_until(net.config().slots_to_ticks(300));
+  EXPECT_TRUE(net.simulator().run_until(net.config().slots_to_ticks(300)));
   source.stop();
   EXPECT_TRUE(net.simulator().run_all());
   EXPECT_EQ(self_deliveries, 0);
@@ -95,7 +95,7 @@ TEST(BestEffortSource, OnOffBurstsStillDeliver) {
   profile.mean_off_slots = 80.0;
   BestEffortSource source(net, NodeId{0}, profile, 13);
   source.start();
-  net.simulator().run_until(net.config().slots_to_ticks(2'000));
+  EXPECT_TRUE(net.simulator().run_until(net.config().slots_to_ticks(2'000)));
   source.stop();
   EXPECT_TRUE(net.simulator().run_all());
   EXPECT_GT(source.frames_generated(), 0u);
@@ -110,7 +110,7 @@ TEST(BestEffortEverywhere, AttachesPerNode) {
   profile.offered_load = 0.3;
   auto sources = attach_best_effort_everywhere(net, profile, 99);
   EXPECT_EQ(sources.size(), 5u);
-  net.simulator().run_until(net.config().slots_to_ticks(200));
+  EXPECT_TRUE(net.simulator().run_until(net.config().slots_to_ticks(200)));
   for (auto& s : sources) s->stop();
   EXPECT_TRUE(net.simulator().run_all());
   for (const auto& s : sources) {
@@ -126,7 +126,7 @@ TEST(BestEffortSource, DeterministicPerSeed) {
     profile.offered_load = 0.4;
     BestEffortSource source(net, NodeId{0}, profile, seed);
     source.start();
-    net.simulator().run_until(net.config().slots_to_ticks(500));
+    EXPECT_TRUE(net.simulator().run_until(net.config().slots_to_ticks(500)));
     source.stop();
     return source.frames_generated();
   };

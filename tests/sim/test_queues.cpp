@@ -5,70 +5,85 @@
 namespace rtether::sim {
 namespace {
 
-SimFrame frame_with_id(std::uint64_t id) {
-  // Queue tests only need identity; a minimal best-effort frame suffices.
-  std::vector<std::uint8_t> bytes(14, 0);
-  bytes[12] = 0x08;  // EtherType IPv4 (unparseable IP → best-effort)
-  return SimFrame::make(id, std::move(bytes), 0, 0, NodeId{0});
-}
+// The queues hold FrameIndex handles, not frames: identity is the index.
 
 TEST(EdfQueue, PopsEarliestDeadlineFirst) {
   EdfQueue q;
-  q.push(300, frame_with_id(1));
-  q.push(100, frame_with_id(2));
-  q.push(200, frame_with_id(3));
-  EXPECT_EQ(q.pop()->id, 2u);
-  EXPECT_EQ(q.pop()->id, 3u);
-  EXPECT_EQ(q.pop()->id, 1u);
-  EXPECT_FALSE(q.pop().has_value());
+  q.push(300, FrameIndex{1});
+  q.push(100, FrameIndex{2});
+  q.push(200, FrameIndex{3});
+  EXPECT_EQ(q.pop(), 2u);
+  EXPECT_EQ(q.pop(), 3u);
+  EXPECT_EQ(q.pop(), 1u);
+  EXPECT_EQ(q.pop(), kNoFrame);
 }
 
 TEST(EdfQueue, TiesBreakFifo) {
   EdfQueue q;
-  for (std::uint64_t i = 1; i <= 20; ++i) {
-    q.push(42, frame_with_id(i));
+  for (std::uint32_t i = 1; i <= 20; ++i) {
+    q.push(42, FrameIndex{i});
   }
-  for (std::uint64_t i = 1; i <= 20; ++i) {
-    EXPECT_EQ(q.pop()->id, i);
+  for (std::uint32_t i = 1; i <= 20; ++i) {
+    EXPECT_EQ(q.pop(), i);
   }
 }
 
-TEST(EdfQueue, PeekDoesNotRemove) {
+TEST(EdfQueue, SingleMoveOutPop) {
+  // The dequeue contract: one pop() call both selects and removes the EDF
+  // minimum (no peek-then-pop double heap walk).
   EdfQueue q;
-  EXPECT_FALSE(q.peek_deadline().has_value());
-  q.push(7, frame_with_id(1));
-  EXPECT_EQ(q.peek_deadline(), 7u);
+  q.push(7, FrameIndex{1});
   EXPECT_EQ(q.size(), 1u);
-  q.push(3, frame_with_id(2));
-  EXPECT_EQ(q.peek_deadline(), 3u);
+  q.push(3, FrameIndex{2});
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop(), 2u);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop(), 1u);
+  EXPECT_TRUE(q.empty());
 }
 
 TEST(EdfQueue, InterleavedPushPop) {
   EdfQueue q;
-  q.push(10, frame_with_id(1));
-  q.push(5, frame_with_id(2));
-  EXPECT_EQ(q.pop()->id, 2u);
-  q.push(1, frame_with_id(3));
-  EXPECT_EQ(q.pop()->id, 3u);
-  EXPECT_EQ(q.pop()->id, 1u);
+  q.push(10, FrameIndex{1});
+  q.push(5, FrameIndex{2});
+  EXPECT_EQ(q.pop(), 2u);
+  q.push(1, FrameIndex{3});
+  EXPECT_EQ(q.pop(), 3u);
+  EXPECT_EQ(q.pop(), 1u);
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EdfQueue, HeapOrderSurvivesChurn) {
+  // Randomized-ish mixed load on the manual heap: drain order must be
+  // (deadline, FIFO-within-deadline) regardless of interleaving.
+  EdfQueue q;
+  const Tick deadlines[] = {9, 2, 7, 2, 5, 9, 1, 7, 2, 5};
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    q.push(deadlines[i], FrameIndex{i});
+  }
+  // Expected: sort by (deadline, push order).
+  const FrameIndex expected[] = {6, 1, 3, 8, 4, 9, 2, 7, 0, 5};
+  for (const FrameIndex want : expected) {
+    EXPECT_EQ(q.pop(), want);
+  }
+  EXPECT_EQ(q.pop(), kNoFrame);
 }
 
 TEST(FcfsQueue, FifoOrder) {
   FcfsQueue q;
-  for (std::uint64_t i = 1; i <= 5; ++i) {
-    EXPECT_TRUE(q.push(frame_with_id(i)));
+  for (std::uint32_t i = 1; i <= 5; ++i) {
+    EXPECT_TRUE(q.push(FrameIndex{i}));
   }
-  for (std::uint64_t i = 1; i <= 5; ++i) {
-    EXPECT_EQ(q.pop()->id, i);
+  for (std::uint32_t i = 1; i <= 5; ++i) {
+    EXPECT_EQ(q.pop(), i);
   }
-  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_EQ(q.pop(), kNoFrame);
 }
 
 TEST(FcfsQueue, UnboundedByDefault) {
   FcfsQueue q;
-  for (std::uint64_t i = 0; i < 10'000; ++i) {
-    EXPECT_TRUE(q.push(frame_with_id(i)));
+  for (std::uint32_t i = 0; i < 10'000; ++i) {
+    EXPECT_TRUE(q.push(FrameIndex{i}));
   }
   EXPECT_EQ(q.size(), 10'000u);
   EXPECT_EQ(q.dropped(), 0u);
@@ -76,15 +91,36 @@ TEST(FcfsQueue, UnboundedByDefault) {
 
 TEST(FcfsQueue, BoundedDropsTail) {
   FcfsQueue q(3);
-  EXPECT_TRUE(q.push(frame_with_id(1)));
-  EXPECT_TRUE(q.push(frame_with_id(2)));
-  EXPECT_TRUE(q.push(frame_with_id(3)));
-  EXPECT_FALSE(q.push(frame_with_id(4)));
+  EXPECT_TRUE(q.push(FrameIndex{1}));
+  EXPECT_TRUE(q.push(FrameIndex{2}));
+  EXPECT_TRUE(q.push(FrameIndex{3}));
+  EXPECT_FALSE(q.push(FrameIndex{4}));
   EXPECT_EQ(q.dropped(), 1u);
   EXPECT_EQ(q.size(), 3u);
   // Head unaffected; popping frees a slot.
-  EXPECT_EQ(q.pop()->id, 1u);
-  EXPECT_TRUE(q.push(frame_with_id(5)));
+  EXPECT_EQ(q.pop(), 1u);
+  EXPECT_TRUE(q.push(FrameIndex{5}));
+}
+
+TEST(FcfsQueue, RingWrapKeepsFifoOrder) {
+  // Cycle the ring through many grow/wrap boundaries: order must hold and
+  // no element may be lost (the ring replaced std::deque to keep the
+  // steady state allocation-free).
+  FcfsQueue q;
+  std::uint32_t next_push = 0;
+  std::uint32_t next_pop = 0;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 7; ++i) {
+      EXPECT_TRUE(q.push(FrameIndex{next_push++}));
+    }
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(q.pop(), next_pop++);
+    }
+  }
+  while (next_pop < next_push) {
+    EXPECT_EQ(q.pop(), next_pop++);
+  }
+  EXPECT_TRUE(q.empty());
 }
 
 }  // namespace

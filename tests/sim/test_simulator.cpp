@@ -66,7 +66,7 @@ TEST(Simulator, RunUntilStopsAtBoundary) {
   sim.schedule_at(10, [&] { ++executed; });
   sim.schedule_at(20, [&] { ++executed; });
   sim.schedule_at(30, [&] { ++executed; });
-  sim.run_until(20);
+  EXPECT_TRUE(sim.run_until(20));
   EXPECT_EQ(executed, 2);
   EXPECT_EQ(sim.now(), 20u);
   EXPECT_EQ(sim.pending(), 1u);
@@ -74,7 +74,7 @@ TEST(Simulator, RunUntilStopsAtBoundary) {
 
 TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
   Simulator sim;
-  sim.run_until(500);
+  EXPECT_TRUE(sim.run_until(500));
   EXPECT_EQ(sim.now(), 500u);
 }
 
@@ -114,6 +114,172 @@ TEST(Simulator, RunawayGuardReportsInsteadOfSpinning) {
   // The simulation is resumable after the report.
   EXPECT_FALSE(sim.run_all(10));
   EXPECT_EQ(sim.executed_events(), 1010u);
+}
+
+TEST(Simulator, RunUntilHasTheSameRunawayGuard) {
+  Simulator sim;
+  // A same-tick self-rescheduling loop: the seed kernel's run_until would
+  // spin forever here because the clock never passes the horizon.
+  std::function<void()> same_tick = [&] { sim.schedule_in(0, same_tick); };
+  sim.schedule_at(5, same_tick);
+  EXPECT_FALSE(sim.run_until(10, 1000));
+  EXPECT_EQ(sim.executed_events(), 1000u);
+  EXPECT_EQ(sim.now(), 5u);  // stuck tick preserved for inspection
+  EXPECT_GT(sim.pending(), 0u);
+  // Resumable: the guard reports, it does not corrupt the queue.
+  EXPECT_FALSE(sim.run_until(10, 50));
+  EXPECT_EQ(sim.executed_events(), 1050u);
+}
+
+TEST(Simulator, RunUntilBudgetCountsOnlyDueEvents) {
+  Simulator sim;
+  int executed = 0;
+  sim.schedule_at(10, [&] { ++executed; });
+  sim.schedule_at(20, [&] { ++executed; });
+  sim.schedule_at(9'999, [&] { ++executed; });
+  // Budget larger than the due events: clean completion, pending future
+  // event untouched.
+  EXPECT_TRUE(sim.run_until(100, 2));
+  EXPECT_EQ(executed, 2);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_TRUE(sim.run_all());
+  EXPECT_EQ(executed, 3);
+}
+
+TEST(Simulator, TimersFireWithContextArgAndTime) {
+  // The allocation-free function-pointer timer the protocol layers use.
+  struct Capture {
+    std::vector<std::pair<std::uint64_t, Tick>> fired;
+  } capture;
+  Simulator sim;
+  sim.schedule_timer(
+      30,
+      [](void* context, std::uint64_t arg, Tick now) {
+        static_cast<Capture*>(context)->fired.emplace_back(arg, now);
+      },
+      &capture, 7);
+  sim.schedule_timer(
+      10,
+      [](void* context, std::uint64_t arg, Tick now) {
+        static_cast<Capture*>(context)->fired.emplace_back(arg, now);
+      },
+      &capture, 9);
+  EXPECT_TRUE(sim.run_all());
+  ASSERT_EQ(capture.fired.size(), 2u);
+  EXPECT_EQ(capture.fired[0], (std::pair<std::uint64_t, Tick>{9, 10}));
+  EXPECT_EQ(capture.fired[1], (std::pair<std::uint64_t, Tick>{7, 30}));
+}
+
+TEST(Simulator, FarEventsBeyondTheCalendarWindowStayOrdered) {
+  // Events far past the calendar window live in the far heap and migrate
+  // into buckets as the window advances; the executed order must remain
+  // the exact (time, sequence) total order regardless of distance.
+  Simulator sim;
+  std::vector<Tick> order;
+  const Tick times[] = {1'000'000, 5, 80'000, 5'000, 1'000'000, 40'000};
+  for (const Tick t : times) {
+    sim.schedule_at(t, [&order, &sim] { order.push_back(sim.now()); });
+  }
+  EXPECT_TRUE(sim.run_all());
+  EXPECT_EQ(order, (std::vector<Tick>{5, 5'000, 40'000, 80'000, 1'000'000,
+                                      1'000'000}));
+}
+
+TEST(Simulator, SameFarTickKeepsSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    sim.schedule_at(500'000, [&order, i] { order.push_back(i); });
+  }
+  EXPECT_TRUE(sim.run_all());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Simulator, InsertBelowThePeekedHorizonIsNotLost) {
+  // run_until(t) peeks past empty ticks; a later external insert below the
+  // peeked position must still execute (cursor pull-back).
+  Simulator sim;
+  std::vector<Tick> order;
+  sim.schedule_at(3'000, [&] { order.push_back(sim.now()); });
+  EXPECT_TRUE(sim.run_until(100));
+  EXPECT_EQ(sim.now(), 100u);
+  sim.schedule_at(200, [&] { order.push_back(sim.now()); });
+  sim.schedule_at(150, [&] { order.push_back(sim.now()); });
+  EXPECT_TRUE(sim.run_all());
+  EXPECT_EQ(order, (std::vector<Tick>{150, 200, 3'000}));
+}
+
+TEST(Simulator, BudgetExhaustionLeavesTheQueueSchedulable) {
+  // Regression: a budget-exhausted run with the next event far beyond the
+  // calendar window must not leave the window jumped ahead of the clock —
+  // scheduling near `now()` afterwards has to work and execute first.
+  Simulator sim;
+  std::vector<Tick> order;
+  sim.schedule_at(10, [&] { order.push_back(sim.now()); });
+  sim.schedule_at(10'000'000, [&] { order.push_back(sim.now()); });
+  // Budget of 1: executes tick 10, then reports with the far event still
+  // queued. The clock must stay at 10 and the window must not have moved.
+  EXPECT_FALSE(sim.run_until(20'000'000, 1));
+  EXPECT_EQ(sim.now(), 10u);
+  sim.schedule_in(1, [&] { order.push_back(sim.now()); });
+  EXPECT_TRUE(sim.run_all());
+  EXPECT_EQ(order, (std::vector<Tick>{10, 11, 10'000'000}));
+
+  // Same shape through run_all's guard.
+  Simulator sim2;
+  std::vector<Tick> order2;
+  sim2.schedule_at(5, [&] { order2.push_back(sim2.now()); });
+  sim2.schedule_at(9'000'000, [&] { order2.push_back(sim2.now()); });
+  EXPECT_FALSE(sim2.run_all(1));
+  EXPECT_EQ(sim2.now(), 5u);
+  sim2.schedule_in(2, [&] { order2.push_back(sim2.now()); });
+  EXPECT_TRUE(sim2.run_all());
+  EXPECT_EQ(order2, (std::vector<Tick>{5, 7, 9'000'000}));
+}
+
+TEST(Simulator, InsertAfterIdleFarJumpStillExecutes) {
+  // After run_until stops short of a far-away event, scheduling near the
+  // clock again must execute before that event (the window only jumps to
+  // events that are popped immediately).
+  Simulator sim;
+  std::vector<Tick> order;
+  sim.schedule_at(100'000, [&] { order.push_back(sim.now()); });
+  EXPECT_TRUE(sim.run_until(50));
+  sim.schedule_at(60, [&] { order.push_back(sim.now()); });
+  EXPECT_TRUE(sim.run_all());
+  EXPECT_EQ(order, (std::vector<Tick>{60, 100'000}));
+}
+
+TEST(Simulator, ClosureSlotsAreRecycled) {
+  // Closure storage is a freelist: steady self-rescheduling must not grow
+  // the slot pool.
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 1'000) sim.schedule_in(1, chain);
+  };
+  sim.schedule_at(0, chain);
+  EXPECT_TRUE(sim.run_all());
+  EXPECT_EQ(count, 1'000);
+  EXPECT_LE(sim.closure_slots(), 2u);
+}
+
+TEST(Simulator, ArenaRecyclesFrameSlots) {
+  Simulator sim;
+  FrameArena& arena = sim.arena();
+  const FrameIndex a = arena.acquire();
+  arena.get(a).bytes.assign(64, 0xab);
+  arena.release(a);
+  const FrameIndex b = arena.acquire();
+  // Pooled slot reused: same index, buffer cleared but capacity kept.
+  EXPECT_EQ(b, a);
+  EXPECT_TRUE(arena.get(b).bytes.empty());
+  EXPECT_GE(arena.get(b).bytes.capacity(), 64u);
+  EXPECT_EQ(arena.live(), 1u);
+  arena.release(b);
+  EXPECT_EQ(arena.live(), 0u);
 }
 
 }  // namespace

@@ -15,9 +15,13 @@ namespace {
 class TransmitterTest : public ::testing::Test {
  protected:
   TransmitterTest()
-      : tx_(sim_, config_, "tx", [this](SimFrame frame, Tick completion) {
-          delivered_.push_back({frame.id, completion});
-        }) {}
+      : tx_(sim_, config_, "tx",
+            Transmitter::Sink::custom(
+                [](void* context, const SimFrame& frame, Tick completion) {
+                  static_cast<TransmitterTest*>(context)->delivered_.push_back(
+                      {frame.id, completion});
+                },
+                this)) {}
 
   /// Full-size frame (exactly one slot of transmission time).
   SimFrame full_frame(std::uint64_t id) {
@@ -104,7 +108,7 @@ TEST_F(TransmitterTest, RtCannotAbortBestEffortFrameInFlight) {
   // Non-preemption unchanged: once a BE frame holds the wire, a later RT
   // arrival waits for it (the one-frame blocking folded into T_latency).
   tx_.enqueue_best_effort(full_frame(10));
-  sim_.run_until(0);  // arbitration grants the wire to the BE frame
+  EXPECT_TRUE(sim_.run_until(0));  // arbitration grants the wire to the BE frame
   tx_.enqueue_rt(500, full_frame(1));
   EXPECT_TRUE(sim_.run_all());
   ASSERT_EQ(delivered_.size(), 2u);
@@ -116,7 +120,7 @@ TEST_F(TransmitterTest, RtCannotAbortBestEffortFrameInFlight) {
 TEST_F(TransmitterTest, NonPreemptionBoundsRtBlockingToOneFrame) {
   // Worst case the paper folds into T_latency: one max-size BE frame.
   tx_.enqueue_best_effort(full_frame(10));
-  sim_.run_until(1);  // BE transmission starts at t=0
+  EXPECT_TRUE(sim_.run_until(1));  // BE transmission starts at t=0
   tx_.enqueue_rt(99999, full_frame(1));
   EXPECT_TRUE(sim_.run_all());
   ASSERT_EQ(delivered_.size(), 2u);
@@ -158,7 +162,7 @@ TEST_F(TransmitterTest, BacklogAccessors) {
   tx_.enqueue_rt(100, full_frame(1));
   tx_.enqueue_rt(200, full_frame(2));
   tx_.enqueue_best_effort(full_frame(3));
-  sim_.run_until(0);  // same-tick arbitration starts frame 1
+  EXPECT_TRUE(sim_.run_until(0));  // same-tick arbitration starts frame 1
   EXPECT_TRUE(tx_.busy());
   EXPECT_EQ(tx_.rt_backlog(), 1u);
   EXPECT_EQ(tx_.best_effort_backlog(), 1u);
@@ -172,7 +176,12 @@ TEST(TransmitterBounded, DropsCountVisible) {
   Simulator sim;
   std::vector<std::uint64_t> delivered;
   Transmitter tx(sim, config, "tx",
-                 [&](SimFrame frame, Tick) { delivered.push_back(frame.id); },
+                 Transmitter::Sink::custom(
+                     [](void* context, const SimFrame& frame, Tick) {
+                       static_cast<std::vector<std::uint64_t>*>(context)
+                           ->push_back(frame.id);
+                     },
+                     &delivered),
                  /*best_effort_depth=*/1);
   net::EthernetHeader ethernet;
   ethernet.source = node_mac(NodeId{0});
@@ -184,7 +193,7 @@ TEST(TransmitterBounded, DropsCountVisible) {
     return SimFrame::make(id, std::move(w).take(), 1500, sim.now(), NodeId{0});
   };
   tx.enqueue_best_effort(make(1));
-  sim.run_until(0);                 // arbitration puts frame 1 in flight
+  EXPECT_TRUE(sim.run_until(0));                 // arbitration puts frame 1 in flight
   tx.enqueue_best_effort(make(2));  // queued
   tx.enqueue_best_effort(make(3));  // dropped
   EXPECT_TRUE(sim.run_all());
