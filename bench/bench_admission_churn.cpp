@@ -15,10 +15,13 @@
 ///   * `AdmissionEngine` under `ReleasePolicy::kRebuild` (the
 ///     release-as-invalidate baseline),
 ///   * `AdmissionEngine` under `ReleasePolicy::kDowndate` (the default),
-///   * `ParallelAdmissionEngine::process` on the identical mixed op stream,
+///   * the sharded parallel engine and the resident admission service on
+///     the identical mixed op stream,
 ///
 /// verifies bit-exact decision/ID agreement everywhere, and gates the
 /// downdate-vs-rebuild speedup at ≥ 3× on the saturated 64-node scenario.
+/// Every path is driven through the unified `core::AdmissionBackend` front
+/// door, the same interface the scenario runner uses.
 ///
 /// Usage: bench_admission_churn [steady_ops] [json_path]
 
@@ -26,14 +29,16 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/json_writer.hpp"
 #include "common/random.hpp"
 #include "common/table.hpp"
 #include "core/admission.hpp"
-#include "core/parallel_admission.hpp"
+#include "core/admission_backend.hpp"
 #include "core/partitioner.hpp"
 
 using namespace rtether;
@@ -136,7 +141,7 @@ RunResult run_steady(const Workload& load, AdmitFn&& admit,
     const ChannelId id = live[victim];
     live[victim] = live.back();
     live.pop_back();
-    const bool released = release(id);
+    const bool released = release(id).has_value();
     if (!released) {
       std::fprintf(stderr, "BUG: live channel failed to release\n");
       std::exit(4);
@@ -157,12 +162,13 @@ RunResult best_of(const Workload& load, ReleasePolicy policy,
                   std::uint32_t nodes, const std::string& scheme) {
   RunResult best;
   for (int rep = 0; rep < kRepetitions; ++rep) {
-    AdmissionConfig config;
-    config.release = policy;
-    AdmissionEngine engine(nodes, make_partitioner(scheme), config);
+    BackendConfig config;
+    config.admission.release = policy;
+    auto backend = make_admission_backend("batched", nodes,
+                                          make_partitioner(scheme), config);
     auto result = run_steady(
-        load, [&](const ChannelSpec& spec) { return engine.admit(spec); },
-        [&](ChannelId id) { return engine.release(id); });
+        load, [&](const ChannelSpec& spec) { return backend->admit(spec); },
+        [&](ChannelId id) { return backend->release(id); });
     if (result.steady_seconds < best.steady_seconds) {
       best = std::move(result);
     }
@@ -215,6 +221,7 @@ int main(int argc, char** argv) {
   double gated_downdate_rate = 0.0;
   double gated_rebuild_rate = 0.0;
   double parallel_rate = 0.0;
+  double service_rate = 0.0;
   std::size_t gated_live = 0;
 
   for (const Scenario scenario :
@@ -231,12 +238,12 @@ int main(int argc, char** argv) {
                 scenario.scheme);
 
     // Reference controller: decisions/IDs must match both engine policies.
-    AdmissionController controller(scenario.nodes,
-                                   make_partitioner(scenario.scheme));
+    auto controller = make_admission_backend(
+        "controller", scenario.nodes, make_partitioner(scenario.scheme));
     const RunResult reference = run_steady(
         load,
-        [&](const ChannelSpec& spec) { return controller.request(spec); },
-        [&](ChannelId id) { return controller.release(id); });
+        [&](const ChannelSpec& spec) { return controller->admit(spec); },
+        [&](ChannelId id) { return controller->release(id); });
 
     const bool identical =
         same_trace(reference, rebuild) && same_trace(reference, downdate);
@@ -256,14 +263,8 @@ int main(int argc, char** argv) {
       gated_rebuild_rate = rebuild_rate;
       gated_live = downdate.live_after_warmup;
 
-      // The sharded engine digests the same stream as one mixed op
-      // sequence (every release is a barrier); decisions must agree too.
-      ParallelAdmissionConfig parallel_config;
-      parallel_config.threads = 2;
-      parallel_config.min_parallel_batch = 2;
-      ParallelAdmissionEngine parallel(scenario.nodes,
-                                       make_partitioner(scenario.scheme),
-                                       parallel_config);
+      // The sharded engine and the resident service digest the same stream
+      // as one mixed op sequence; decisions must agree too.
       // reference.ids holds the assigned IDs in accept order across
       // warmup + steady, which is all that's needed to resolve each
       // steady release's victim up front.
@@ -290,25 +291,37 @@ int main(int argc, char** argv) {
         }
         ++cursor;
       }
-      const auto parallel_start = std::chrono::steady_clock::now();
-      const ChurnResult churn = parallel.process(ops_stream);
-      const double parallel_seconds = seconds_since(parallel_start);
-      parallel_rate = ops / parallel_seconds;
-      std::vector<bool> parallel_decisions;
-      std::vector<std::uint16_t> parallel_ids;
-      for (const auto& outcome : churn.admissions) {
-        parallel_decisions.push_back(outcome.has_value());
-        if (outcome.has_value()) {
-          parallel_ids.push_back(outcome->id.value());
+      for (const char* kind : {"parallel", "service"}) {
+        BackendConfig concurrent_config;
+        concurrent_config.threads = 2;
+        concurrent_config.min_parallel_batch = 2;
+        auto backend = make_admission_backend(
+            kind, scenario.nodes, make_partitioner(scenario.scheme),
+            concurrent_config);
+        const auto concurrent_start = std::chrono::steady_clock::now();
+        const ChurnResult churn = backend->submit(ops_stream);
+        const double concurrent_seconds = seconds_since(concurrent_start);
+        std::vector<bool> backend_decisions;
+        std::vector<std::uint16_t> backend_ids;
+        for (const auto& outcome : churn.admissions) {
+          backend_decisions.push_back(outcome.has_value());
+          if (outcome.has_value()) {
+            backend_ids.push_back(outcome->id.value());
+          }
         }
-      }
-      const bool parallel_identical = parallel_decisions ==
-                                          reference.decisions &&
-                                      parallel_ids == reference.ids;
-      all_identical = all_identical && parallel_identical;
-      if (!parallel_identical) {
-        std::printf("PARALLEL DECISION MISMATCH at nodes=%u\n",
-                    scenario.nodes);
+        const bool backend_identical =
+            backend_decisions == reference.decisions &&
+            backend_ids == reference.ids;
+        all_identical = all_identical && backend_identical;
+        if (!backend_identical) {
+          std::printf("%s DECISION MISMATCH at nodes=%u\n", kind,
+                      scenario.nodes);
+        }
+        if (std::string_view(kind) == "parallel") {
+          parallel_rate = ops / concurrent_seconds;
+        } else {
+          service_rate = ops / concurrent_seconds;
+        }
       }
     }
 
@@ -339,6 +352,7 @@ int main(int argc, char** argv) {
     json.member("rebuild_ops_per_sec", gated_rebuild_rate);
     json.member("downdate_ops_per_sec", gated_downdate_rate);
     json.member("parallel_ops_per_sec", parallel_rate);
+    json.member("service_ops_per_sec", service_rate);
     json.member("speedup_downdate_vs_rebuild", gated_speedup);
     json.member("decisions_identical", all_identical);
     json.member("gate_threshold", 3.0);

@@ -17,11 +17,16 @@
 ///
 /// Every run also writes `BENCH_admission.json` (path overridable) so CI
 /// can archive the perf trajectory as a machine-readable artifact.
+///
+/// All three paths are driven through the unified `core::AdmissionBackend`
+/// front door ("controller" / "batched" / "parallel"), the same interface
+/// the scenario runner uses.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,7 +35,7 @@
 #include "common/random.hpp"
 #include "common/table.hpp"
 #include "core/admission.hpp"
-#include "core/parallel_admission.hpp"
+#include "core/admission_backend.hpp"
 #include "core/partitioner.hpp"
 
 using namespace rtether;
@@ -83,73 +88,37 @@ struct RunResult {
 /// Best-of-N wall time, the benchmarking standard for scheduler noise.
 constexpr int kRepetitions = 3;
 
-RunResult run_sequential(const std::vector<ChannelRequest>& requests,
-                         std::uint32_t nodes, const std::string& scheme) {
-  RunResult result;
-  result.seconds = 1e300;
-  for (int rep = 0; rep < kRepetitions; ++rep) {
-    AdmissionController controller(nodes, make_partitioner(scheme));
-    std::vector<bool> decisions;
-    decisions.reserve(requests.size());
-    std::size_t accepted = 0;
-    const auto start = std::chrono::steady_clock::now();
-    for (const auto& request : requests) {
-      const auto outcome = controller.request(request.spec);
-      decisions.push_back(outcome.has_value());
-      if (outcome.has_value()) {
-        ++accepted;
-      }
-    }
-    result.seconds = std::min(result.seconds, seconds_since(start));
-    result.decisions = std::move(decisions);
-    result.accepted = accepted;
+/// Replays the stream through any `AdmissionBackend` kind; best-of-N wall
+/// time of the backend's own `submit` path.
+RunResult run_backend(const std::string& kind,
+                      const std::vector<ChannelRequest>& requests,
+                      std::uint32_t nodes, const std::string& scheme,
+                      unsigned threads) {
+  std::vector<ChannelOp> ops;
+  ops.reserve(requests.size());
+  for (const auto& request : requests) {
+    ops.push_back(ChannelOp::admit(request.spec));
   }
-  return result;
-}
-
-RunResult run_batched(const std::vector<ChannelRequest>& requests,
-                      std::uint32_t nodes, const std::string& scheme) {
   RunResult result;
   result.seconds = 1e300;
   for (int rep = 0; rep < kRepetitions; ++rep) {
-    AdmissionEngine engine(nodes, make_partitioner(scheme));
+    BackendConfig config;
+    config.threads = threads;
+    auto backend =
+        make_admission_backend(kind, nodes, make_partitioner(scheme), config);
+    if (backend == nullptr) {
+      std::fprintf(stderr, "unknown backend kind: %s\n", kind.c_str());
+      std::exit(64);
+    }
     const auto start = std::chrono::steady_clock::now();
-    const auto batch = engine.admit_batch(requests);
+    const ChurnResult churn = backend->submit(ops);
     result.seconds = std::min(result.seconds, seconds_since(start));
     result.decisions.clear();
-    result.decisions.reserve(batch.outcomes.size());
-    for (const auto& outcome : batch.outcomes) {
+    result.decisions.reserve(churn.admissions.size());
+    for (const auto& outcome : churn.admissions) {
       result.decisions.push_back(outcome.has_value());
     }
-    result.accepted = batch.accepted();
-  }
-  return result;
-}
-
-struct ParallelRunResult {
-  RunResult run;
-  std::size_t shards{0};
-};
-
-ParallelRunResult run_parallel(const std::vector<ChannelRequest>& requests,
-                               std::uint32_t nodes, const std::string& scheme,
-                               unsigned threads) {
-  ParallelRunResult result;
-  result.run.seconds = 1e300;
-  for (int rep = 0; rep < kRepetitions; ++rep) {
-    ParallelAdmissionConfig config;
-    config.threads = threads;
-    ParallelAdmissionEngine engine(nodes, make_partitioner(scheme), config);
-    const auto start = std::chrono::steady_clock::now();
-    const auto batch = engine.admit_batch(requests);
-    result.run.seconds = std::min(result.run.seconds, seconds_since(start));
-    result.run.decisions.clear();
-    result.run.decisions.reserve(batch.outcomes.size());
-    for (const auto& outcome : batch.outcomes) {
-      result.run.decisions.push_back(outcome.has_value());
-    }
-    result.run.accepted = batch.accepted();
-    result.shards = engine.last_shard_count();
+    result.accepted = churn.accepted();
   }
   return result;
 }
@@ -214,31 +183,34 @@ int main(int argc, char** argv) {
     const auto requests =
         make_celled_stream(7, request_count, scenario.nodes,
                            scenario.cell_size);
-    const auto sequential =
-        run_sequential(requests, scenario.nodes, scenario.scheme);
-    const auto batched =
-        run_batched(requests, scenario.nodes, scenario.scheme);
-    const auto parallel =
-        run_parallel(requests, scenario.nodes, scenario.scheme, threads);
+    const auto sequential = run_backend("controller", requests,
+                                        scenario.nodes, scenario.scheme,
+                                        threads);
+    const auto batched = run_backend("batched", requests, scenario.nodes,
+                                     scenario.scheme, threads);
+    const auto parallel = run_backend("parallel", requests, scenario.nodes,
+                                      scenario.scheme, threads);
+    // Cell-local traffic puts one conflict component in every cell, so the
+    // shard count is the cell count by construction.
+    const std::size_t shards = scenario.nodes / scenario.cell_size;
 
-    const bool identical =
-        sequential.decisions == batched.decisions &&
-        sequential.decisions == parallel.run.decisions &&
-        sequential.accepted == parallel.run.accepted;
+    const bool identical = sequential.decisions == batched.decisions &&
+                           sequential.decisions == parallel.decisions &&
+                           sequential.accepted == parallel.accepted;
     all_identical = all_identical && identical;
 
     const double n = static_cast<double>(requests.size());
     const double seq_rate = n / sequential.seconds;
     const double batch_rate = n / batched.seconds;
-    const double par_rate = n / parallel.run.seconds;
+    const double par_rate = n / parallel.seconds;
     const double batched_speedup = sequential.seconds / batched.seconds;
-    const double parallel_speedup = batched.seconds / parallel.run.seconds;
+    const double parallel_speedup = batched.seconds / parallel.seconds;
     if (scenario.gated) {
       min_gated_speedup = std::min(min_gated_speedup, parallel_speedup);
     }
 
-    table.add(scenario.nodes, parallel.shards, parallel.run.accepted,
-              seq_rate, batch_rate, par_rate, parallel_speedup,
+    table.add(scenario.nodes, shards, parallel.accepted, seq_rate,
+              batch_rate, par_rate, parallel_speedup,
               scenario.gated ? "yes" : "no");
     if (!identical) {
       std::printf("DECISION MISMATCH at nodes=%u scheme=%s\n",
@@ -249,16 +221,15 @@ int main(int argc, char** argv) {
     json.member("nodes", static_cast<std::uint64_t>(scenario.nodes));
     json.member("cell_size", static_cast<std::uint64_t>(scenario.cell_size));
     json.member("scheme", scenario.scheme);
-    json.member("shards", static_cast<std::uint64_t>(parallel.shards));
-    json.member("accepted",
-                static_cast<std::uint64_t>(parallel.run.accepted));
+    json.member("shards", static_cast<std::uint64_t>(shards));
+    json.member("accepted", static_cast<std::uint64_t>(parallel.accepted));
     json.member("sequential_admits_per_sec", seq_rate);
     json.member("batched_admits_per_sec", batch_rate);
     json.member("parallel_admits_per_sec", par_rate);
     json.member("batched_speedup_vs_sequential", batched_speedup);
     json.member("parallel_speedup_vs_batched", parallel_speedup);
     json.member("parallel_speedup_vs_sequential",
-                sequential.seconds / parallel.run.seconds);
+                sequential.seconds / parallel.seconds);
     json.member("decisions_identical", identical);
     json.member("gated", scenario.gated);
     json.end_object();

@@ -8,17 +8,23 @@
 /// `AdmissionEngine::admit_batch` amortizes all three per link. This bench
 /// measures admits/sec on identical 10k-request streams, verifies the two
 /// paths reach identical accept/reject decisions, and reports the speedup.
+///
+/// Both paths are driven through the unified `core::AdmissionBackend`
+/// front door ("controller" vs "batched"), the same interface the scenario
+/// runner and the other bench mains use.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/random.hpp"
 #include "common/table.hpp"
 #include "core/admission.hpp"
+#include "core/admission_backend.hpp"
 #include "core/partitioner.hpp"
 
 using namespace rtether;
@@ -67,45 +73,34 @@ struct RunResult {
 /// benchmarking standard for shaking off scheduler noise.
 constexpr int kRepetitions = 3;
 
-RunResult run_sequential(const std::vector<ChannelRequest>& requests,
-                         std::uint32_t nodes, const std::string& scheme) {
-  RunResult result;
-  result.seconds = 1e300;
-  for (int rep = 0; rep < kRepetitions; ++rep) {
-    AdmissionController controller(nodes, make_partitioner(scheme));
-    std::vector<bool> decisions;
-    decisions.reserve(requests.size());
-    std::size_t accepted = 0;
-    const auto start = std::chrono::steady_clock::now();
-    for (const auto& request : requests) {
-      const auto outcome = controller.request(request.spec);
-      decisions.push_back(outcome.has_value());
-      if (outcome.has_value()) {
-        ++accepted;
-      }
-    }
-    result.seconds = std::min(result.seconds, seconds_since(start));
-    result.decisions = std::move(decisions);
-    result.accepted = accepted;
-  }
-  return result;
-}
-
-RunResult run_batched(const std::vector<ChannelRequest>& requests,
+/// Replays the stream through any `AdmissionBackend` kind; best-of-N wall
+/// time of the backend's own `submit` path.
+RunResult run_backend(const std::string& kind,
+                      const std::vector<ChannelRequest>& requests,
                       std::uint32_t nodes, const std::string& scheme) {
+  std::vector<ChannelOp> ops;
+  ops.reserve(requests.size());
+  for (const auto& request : requests) {
+    ops.push_back(ChannelOp::admit(request.spec));
+  }
   RunResult result;
   result.seconds = 1e300;
   for (int rep = 0; rep < kRepetitions; ++rep) {
-    AdmissionEngine engine(nodes, make_partitioner(scheme));
+    auto backend =
+        make_admission_backend(kind, nodes, make_partitioner(scheme));
+    if (backend == nullptr) {
+      std::fprintf(stderr, "unknown backend kind: %s\n", kind.c_str());
+      std::exit(64);
+    }
     const auto start = std::chrono::steady_clock::now();
-    const auto batch = engine.admit_batch(requests);
+    const ChurnResult churn = backend->submit(ops);
     result.seconds = std::min(result.seconds, seconds_since(start));
     result.decisions.clear();
-    result.decisions.reserve(batch.outcomes.size());
-    for (const auto& outcome : batch.outcomes) {
+    result.decisions.reserve(churn.admissions.size());
+    for (const auto& outcome : churn.admissions) {
       result.decisions.push_back(outcome.has_value());
     }
-    result.accepted = batch.accepted();
+    result.accepted = churn.accepted();
   }
   return result;
 }
@@ -145,8 +140,9 @@ int main(int argc, char** argv) {
         Scenario{64, "ADPS", false}, Scenario{256, "ADPS", false}}) {
     const auto requests = make_stream(7, request_count, scenario.nodes);
     const auto sequential =
-        run_sequential(requests, scenario.nodes, scenario.scheme);
-    const auto batched = run_batched(requests, scenario.nodes, scenario.scheme);
+        run_backend("controller", requests, scenario.nodes, scenario.scheme);
+    const auto batched =
+        run_backend("batched", requests, scenario.nodes, scenario.scheme);
 
     const bool identical = sequential.decisions == batched.decisions &&
                            sequential.accepted == batched.accepted;

@@ -118,7 +118,7 @@ void BM_AdmissionDecision(benchmark::State& state) {
   for (auto _ : state) {
     auto result = controller.request(probe);
     if (result) {
-      controller.release(result->id);
+      (void)controller.release(result->id);
     }
   }
 }

@@ -22,6 +22,11 @@
 ///   --profile  workload profile: "mixed" (default) or "churn" — the
 ///              churn-heavy steady-state admit/release campaign the nightly
 ///              job runs alongside the mixed one
+///   --backend KIND
+///              append an extra `core::AdmissionBackend` kind (e.g.
+///              "service") to the runner's conformance set — every
+///              scenario then also diffs that backend against the
+///              sequential controller; repeatable
 ///   --min-slots-per-sec N
 ///              sim-slot throughput gate: exit non-zero when a green
 ///              campaign of ≥1000 scenarios sustained fewer than N
@@ -38,6 +43,8 @@
 #include <string>
 
 #include "common/json_writer.hpp"
+#include "core/admission_backend.hpp"
+#include "core/partitioner.hpp"
 #include "scenario/campaign.hpp"
 #include "scenario/json_io.hpp"
 
@@ -84,6 +91,19 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--min-slots-per-sec") == 0) {
       ok = i + 1 < argc && parse_double_arg(argv[i + 1], min_slots_per_sec);
       if (ok) ++i;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--backend") == 0) {
+      ok = i + 1 < argc;
+      if (ok) {
+        const std::string kind = argv[++i];
+        // Validate up front: a typo'd kind must fail the invocation, not
+        // every scenario of a 10k campaign.
+        ok = core::make_admission_backend(kind, 2,
+                                          core::make_partitioner("SDPS")) !=
+             nullptr;
+        if (ok) config.runner.backends.push_back(kind);
+      }
       continue;
     }
     if (std::strcmp(argv[i], "--profile") == 0) {
@@ -134,7 +154,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: bench_scenario_fuzz [scenarios] [threads] [json] "
                  "[seconds] [base_seed] [--out-dir DIR] "
-                 "[--profile mixed|churn] [--min-slots-per-sec N]\n");
+                 "[--profile mixed|churn] [--backend KIND] "
+                 "[--min-slots-per-sec N]\n");
     return 64;
   }
 

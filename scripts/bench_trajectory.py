@@ -33,6 +33,12 @@ HEADLINES = {
         ("all_decisions_identical", "decisions identical", ""),
         ("gate_enforced", "gate enforced", ""),
     ],
+    "admission_service": [
+        ("min_gated_service_speedup", "service/batch (worst gated)", "x"),
+        ("min_inline_ratio", "inline/batch (worst)", "x"),
+        ("all_outcomes_identical", "outcomes identical", ""),
+        ("gate_enforced", "gate enforced", ""),
+    ],
     "admission_churn": [
         ("downdate_ops_per_sec", "downdate", " ops/s"),
         ("rebuild_ops_per_sec", "rebuild", " ops/s"),

@@ -21,8 +21,36 @@ const char* to_string(RejectReason reason) {
       return "downlink infeasible";
     case RejectReason::kChannelIdsExhausted:
       return "channel IDs exhausted";
+    case RejectReason::kUnknownChannel:
+      return "unknown channel";
   }
   return "?";
+}
+
+std::optional<RejectReason> reject_reason_from_string(std::string_view text) {
+  static constexpr RejectReason kAll[] = {
+      RejectReason::kInvalidSpec,         RejectReason::kUnknownNode,
+      RejectReason::kUplinkInfeasible,    RejectReason::kDownlinkInfeasible,
+      RejectReason::kChannelIdsExhausted, RejectReason::kUnknownChannel,
+  };
+  for (const RejectReason reason : kAll) {
+    if (text == to_string(reason)) {
+      return reason;
+    }
+  }
+  return std::nullopt;
+}
+
+AdmissionPath select_path(edf::DemandScan scan, unsigned thread_count,
+                          std::size_t work_items,
+                          std::size_t min_work_items) {
+  // One policy point for every sharding-capable component. The cached shard
+  // path exists only for the checkpoint scan (the caches *are* the shards'
+  // state); below two threads nothing can run concurrently; and a workload
+  // smaller than `min_work_items` cannot amortize classify/shard/merge.
+  const bool sharded = scan == edf::DemandScan::kCheckpoints &&
+                       thread_count >= 2 && work_items >= min_work_items;
+  return sharded ? AdmissionPath::kSharded : AdmissionPath::kSequential;
 }
 
 AdmissionController::AdmissionController(
@@ -148,6 +176,21 @@ void downdate_link_cache(edf::LinkScanCache& cache, const edf::TaskSet& set,
   }
 }
 
+std::string unknown_channel_detail(ChannelId id) {
+  std::string detail = "channel ";
+  detail += std::to_string(id.value());
+  detail += " is not live";
+  return detail;
+}
+
+ReleaseOutcome make_release_outcome(bool released, ChannelId id) {
+  if (released) {
+    return id;
+  }
+  return Unexpected(
+      Rejection{RejectReason::kUnknownChannel, unknown_channel_detail(id)});
+}
+
 }  // namespace admission_internal
 
 namespace {
@@ -249,9 +292,11 @@ Expected<RtChannel, Rejection> AdmissionController::request(
       });
 }
 
-bool AdmissionController::release(ChannelId id) {
-  return admission_internal::release_channel(state_, ids_, stats_, id)
-      .has_value();
+ReleaseOutcome AdmissionController::release(ChannelId id) {
+  return admission_internal::make_release_outcome(
+      admission_internal::release_channel(state_, ids_, stats_, id)
+          .has_value(),
+      id);
 }
 
 std::size_t BatchResult::accepted() const {
@@ -262,6 +307,16 @@ std::size_t BatchResult::accepted() const {
 
 std::size_t BatchResult::rejected() const {
   return outcomes.size() - accepted();
+}
+
+std::size_t ChurnResult::accepted() const {
+  return static_cast<std::size_t>(
+      std::count_if(admissions.begin(), admissions.end(),
+                    [](const auto& outcome) { return outcome.has_value(); }));
+}
+
+std::size_t ChurnResult::rejected() const {
+  return admissions.size() - accepted();
 }
 
 AdmissionEngine::AdmissionEngine(
@@ -454,15 +509,15 @@ BatchResult AdmissionEngine::admit_batch(
   return result;
 }
 
-bool AdmissionEngine::release(ChannelId id) {
+ReleaseOutcome AdmissionEngine::release(ChannelId id) {
   const auto channel =
       admission_internal::release_channel(state_, ids_, stats_, id);
   if (!channel) {
-    return false;
+    return admission_internal::make_release_outcome(false, id);
   }
   if (config_.scan != edf::DemandScan::kCheckpoints) {
     // Reference-path engines never populate the caches; nothing to shrink.
-    return true;
+    return id;
   }
   const ChannelSpec& spec = channel->spec;
   admission_internal::downdate_link_cache(
@@ -475,7 +530,7 @@ bool AdmissionEngine::release(ChannelId id) {
       state_.link(spec.destination, LinkDirection::kDownlink),
       {channel->id, spec.period, spec.capacity, channel->partition.downlink},
       config_.release);
-  return true;
+  return id;
 }
 
 }  // namespace rtether::core

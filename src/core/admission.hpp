@@ -9,8 +9,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/expected.hpp"
@@ -29,15 +31,33 @@ enum class RejectReason : std::uint8_t {
   kUplinkInfeasible,    ///< no candidate kept the source uplink feasible
   kDownlinkInfeasible,  ///< no candidate kept the destination downlink feasible
   kChannelIdsExhausted, ///< all 65535 16-bit IDs live
+  kUnknownChannel,      ///< teardown of an ID that is not live
 };
 
 [[nodiscard]] const char* to_string(RejectReason reason);
+
+/// Inverse of `to_string` (corpus/bench artifact round-trips); nullopt for
+/// strings that name no reason.
+[[nodiscard]] std::optional<RejectReason> reject_reason_from_string(
+    std::string_view text);
 
 /// Rejection verdict with the failing link's feasibility report.
 struct Rejection {
   RejectReason reason;
   std::string detail;
+
+  friend bool operator==(const Rejection&, const Rejection&) = default;
 };
+
+/// Outcome of one admission request: the committed channel, or a typed
+/// rejection with the failing constraint's diagnostic.
+using AdmitOutcome = Expected<RtChannel, Rejection>;
+
+/// Outcome of one teardown: the released ID, or a typed rejection
+/// (`kUnknownChannel` — the ID was not live). Replaces the bool returns the
+/// release paths used to share; `explicit operator bool` keeps
+/// boolean-context call sites (`if (x.release(id))`) compiling unchanged.
+using ReleaseOutcome = Expected<ChannelId, Rejection>;
 
 /// How the cached admission paths maintain their per-link scan caches when
 /// a channel is released.
@@ -84,11 +104,18 @@ class AdmissionController {
   /// affected link directions, and either commit the channel (assigning a
   /// network-unique ID) or reject with a reason. Never leaves tentative
   /// state behind.
-  [[nodiscard]] Expected<RtChannel, Rejection> request(
-      const ChannelSpec& spec);
+  [[nodiscard]] AdmitOutcome request(const ChannelSpec& spec);
 
-  /// Releases an established channel (teardown); false if unknown.
-  bool release(ChannelId id);
+  /// Releases an established channel (teardown). Fails typed
+  /// (`kUnknownChannel`) when the ID is not live.
+  ReleaseOutcome release(ChannelId id);
+
+  /// Pre-typed-outcome release shape; kept one release for callers still
+  /// migrating to `ReleaseOutcome` / the `AdmissionBackend` surface.
+  [[deprecated("use release(); it reports a typed ReleaseOutcome")]]
+  bool release_ok(ChannelId id) {
+    return release(id).has_value();
+  }
 
   [[nodiscard]] const NetworkState& state() const { return state_; }
   [[nodiscard]] const AdmissionStats& stats() const { return stats_; }
@@ -111,11 +138,66 @@ struct ChannelRequest {
 
 /// Outcome of a batch: one result per request, in submission order.
 struct BatchResult {
-  std::vector<Expected<RtChannel, Rejection>> outcomes;
+  std::vector<AdmitOutcome> outcomes;
 
   [[nodiscard]] std::size_t accepted() const;
   [[nodiscard]] std::size_t rejected() const;
 };
+
+/// One step of a mixed admit/release stream — the op vocabulary shared by
+/// `AdmissionBackend::submit`, `ParallelAdmissionEngine::process` and the
+/// `AdmissionService` ingest ring.
+struct ChannelOp {
+  enum class Kind : std::uint8_t { kAdmit, kRelease };
+
+  Kind kind{Kind::kAdmit};
+  /// kAdmit: the requested contract.
+  ChannelSpec spec{};
+  /// kRelease: the channel to tear down.
+  ChannelId id{};
+
+  [[nodiscard]] static ChannelOp admit(const ChannelSpec& spec) {
+    ChannelOp op;
+    op.kind = Kind::kAdmit;
+    op.spec = spec;
+    return op;
+  }
+  [[nodiscard]] static ChannelOp release(ChannelId id) {
+    ChannelOp op;
+    op.kind = Kind::kRelease;
+    op.id = id;
+    return op;
+  }
+};
+
+/// Outcome of a mixed op stream: admissions and releases in their
+/// respective submission orders.
+struct ChurnResult {
+  /// One entry per kAdmit op, in stream order.
+  std::vector<AdmitOutcome> admissions;
+  /// One entry per kRelease op, in stream order.
+  std::vector<ReleaseOutcome> releases;
+
+  [[nodiscard]] std::size_t accepted() const;
+  [[nodiscard]] std::size_t rejected() const;
+};
+
+/// Which execution structure an admission component should use for a given
+/// workload shape. One policy point shared by `ParallelAdmissionEngine`
+/// (per `admit_batch` call) and `AdmissionService` (at construction), so
+/// the fallback heuristics cannot drift between the two.
+enum class AdmissionPath : std::uint8_t {
+  kSequential,  ///< in-order single-threaded engine path
+  kSharded,     ///< conflict-component sharding across workers
+};
+
+/// `kSharded` iff the scan strategy supports the cached shard path
+/// (checkpoints), at least two threads can make progress, and the workload
+/// amortizes the sharding overhead (`work_items >= min_work_items`).
+[[nodiscard]] AdmissionPath select_path(edf::DemandScan scan,
+                                        unsigned thread_count,
+                                        std::size_t work_items,
+                                        std::size_t min_work_items);
 
 /// High-throughput admission pipeline.
 ///
@@ -157,15 +239,23 @@ class AdmissionEngine {
 
   /// Admits one request, reusing the incremental per-link state built up by
   /// previous admits and batches.
-  [[nodiscard]] Expected<RtChannel, Rejection> admit(const ChannelSpec& spec);
+  [[nodiscard]] AdmitOutcome admit(const ChannelSpec& spec);
 
   /// Admits a batch. Results are 1:1 with `requests` in submission order.
   BatchResult admit_batch(std::span<const ChannelRequest> requests);
 
-  /// Releases an established channel (teardown); false if unknown.
-  /// O(affected links): the two link caches are downdated in place (or
-  /// cold-rebuilt under `ReleasePolicy::kRebuild`).
-  bool release(ChannelId id);
+  /// Releases an established channel (teardown); typed `kUnknownChannel`
+  /// rejection if the ID is not live. O(affected links): the two link
+  /// caches are downdated in place (or cold-rebuilt under
+  /// `ReleasePolicy::kRebuild`).
+  ReleaseOutcome release(ChannelId id);
+
+  /// Pre-typed-outcome release shape; kept one release for callers still
+  /// migrating to `ReleaseOutcome` / the `AdmissionBackend` surface.
+  [[deprecated("use release(); it reports a typed ReleaseOutcome")]]
+  bool release_ok(ChannelId id) {
+    return release(id).has_value();
+  }
 
   [[nodiscard]] const NetworkState& state() const { return state_; }
   [[nodiscard]] const AdmissionStats& stats() const { return stats_; }

@@ -1,0 +1,92 @@
+#pragma once
+
+/// @file admission_backend.hpp
+/// One front door for every admission implementation. The repo grew four
+/// entry points with four shapes — `AdmissionController::request`,
+/// `AdmissionEngine::admit_batch`, `ParallelAdmissionEngine::process` and
+/// the resident `AdmissionService` — all contractually bit-identical.
+/// `AdmissionBackend` fronts them with a single vocabulary (`ChannelOp` in,
+/// typed `Expected` outcomes out), so the scenario runner, the benches and
+/// the examples drive any implementation through the same code path, and
+/// conformance campaigns can diff backends pairwise without bespoke glue.
+///
+/// Synchronous `submit`/`admit`/`release` work on every backend; the async
+/// `submit_async → Ticket` surface is native on the service and emulated
+/// (execute-then-complete) elsewhere, so callers can be written
+/// ticket-first and stay backend-agnostic.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/admission.hpp"
+#include "core/admission_service.hpp"
+#include "core/network_state.hpp"
+#include "core/partitioner.hpp"
+
+namespace rtether::core {
+
+/// Tuning knobs shared by every backend; each kind reads the subset that
+/// applies to it.
+struct BackendConfig {
+  AdmissionConfig admission{};
+  /// Worker threads for the parallel engine / shard workers for the
+  /// service. Ignored by the sequential kinds.
+  unsigned threads{2};
+  /// Minimum admit-run length before the parallel engine shards a batch.
+  std::size_t min_parallel_batch{64};
+  /// Ingest/reorder-buffer depth for the service kind.
+  std::size_t service_queue_capacity{4096};
+};
+
+class AdmissionBackend {
+ public:
+  virtual ~AdmissionBackend() = default;
+
+  /// Factory kind this backend was created as ("controller", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Drives a mixed admit/release stream to completion; outcomes are in
+  /// per-kind submission order and bit-identical across backends.
+  virtual ChurnResult submit(std::span<const ChannelOp> ops) = 0;
+
+  [[nodiscard]] virtual AdmitOutcome admit(const ChannelSpec& spec) = 0;
+  virtual ReleaseOutcome release(ChannelId id) = 0;
+
+  /// True when `submit_async` completes tickets concurrently rather than
+  /// inline.
+  [[nodiscard]] virtual bool supports_async() const { return false; }
+
+  /// Async submission. The default emulation executes the op synchronously
+  /// and returns a pre-completed ticket, so ticket-first callers run
+  /// unchanged on synchronous backends.
+  virtual Ticket submit_async(const ChannelOp& op);
+
+  /// Blocks until all previously submitted ops have completed. No-op on
+  /// synchronous backends.
+  virtual void drain() {}
+
+  /// Admitted-state snapshot / running stats; async backends drain first.
+  [[nodiscard]] virtual const NetworkState& state() = 0;
+  [[nodiscard]] virtual const AdmissionStats& stats() = 0;
+  [[nodiscard]] virtual const DeadlinePartitioner& partitioner() const = 0;
+};
+
+/// The factory kinds, in the order conformance campaigns run them.
+[[nodiscard]] std::span<const std::string_view> backend_kinds();
+
+/// Creates a backend:
+///   "controller" — the reference `AdmissionController`, one op at a time;
+///   "batched"    — `AdmissionEngine`, runs of admits via `admit_batch`;
+///   "parallel"   — `ParallelAdmissionEngine::process`;
+///   "service"    — resident `AdmissionService` (native async).
+/// Returns nullptr for an unknown kind.
+[[nodiscard]] std::unique_ptr<AdmissionBackend> make_admission_backend(
+    std::string_view kind, std::uint32_t node_count,
+    std::unique_ptr<DeadlinePartitioner> partitioner,
+    const BackendConfig& config = {});
+
+}  // namespace rtether::core

@@ -2,11 +2,16 @@
 
 /// @file admission_internal.hpp
 /// Admission internals shared between `AdmissionEngine` (the sequential
-/// batched pipeline) and `ParallelAdmissionEngine` (the link-sharded one).
-/// Both must reach bit-identical decisions and diagnostics to the reference
-/// `AdmissionController`, so the candidate trial itself and every rejection
-/// string live in exactly one place. Not part of the public API surface.
+/// batched pipeline), `ParallelAdmissionEngine` (the fork-join sharded one)
+/// and `AdmissionService` (the resident sharded one). All must reach
+/// bit-identical decisions and diagnostics to the reference
+/// `AdmissionController`, so the candidate trial itself, every rejection
+/// string and the link-conflict partitioning primitives live in exactly one
+/// place. Not part of the public API surface.
 
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
 #include <optional>
 #include <string>
 #include <vector>
@@ -68,5 +73,72 @@ void reserve_link_horizon(const edf::TaskSet& set, edf::LinkScanCache& cache,
 /// way.
 void downdate_link_cache(edf::LinkScanCache& cache, const edf::TaskSet& set,
                          const edf::PseudoTask& removed, ReleasePolicy policy);
+
+/// "channel <id> is not live" — the shared teardown-of-unknown-ID
+/// diagnostic; every release path must reject with exactly this string.
+[[nodiscard]] std::string unknown_channel_detail(ChannelId id);
+
+/// Folds a release verdict into the typed outcome every release path
+/// returns: the released ID on success, `kUnknownChannel` otherwise.
+[[nodiscard]] ReleaseOutcome make_release_outcome(bool released, ChannelId id);
+
+// ---------------------------------------------------------------------------
+// Link-conflict partitioning primitives, shared by the fork-join parallel
+// engine and the resident admission service. A channel occupies exactly two
+// link directions (source uplink, destination downlink); components of the
+// conflict graph over those keys can be admitted independently.
+
+/// Dense key for one link direction.
+[[nodiscard]] inline std::size_t link_key(NodeId node, LinkDirection dir) {
+  return std::size_t{node.value()} * 2 +
+         (dir == LinkDirection::kUplink ? 0 : 1);
+}
+
+[[nodiscard]] inline NodeId key_node(std::size_t key) {
+  return NodeId{static_cast<NodeId::rep_type>(key / 2)};
+}
+
+[[nodiscard]] inline LinkDirection key_direction(std::size_t key) {
+  return key % 2 == 0 ? LinkDirection::kUplink : LinkDirection::kDownlink;
+}
+
+/// Union-find over link-direction keys (path halving + union by size).
+class LinkUnionFind {
+ public:
+  explicit LinkUnionFind(std::size_t keys)
+      : parent_(keys), size_(keys, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  [[nodiscard]] std::uint32_t find(std::size_t key) {
+    auto k = static_cast<std::uint32_t>(key);
+    while (parent_[k] != k) {
+      parent_[k] = parent_[parent_[k]];  // path halving
+      k = parent_[k];
+    }
+    return k;
+  }
+
+  /// Unites the two components; returns the surviving root (the larger
+  /// component's — callers migrating per-component state move the smaller
+  /// side). No-op returning the common root when already united.
+  std::uint32_t unite(std::size_t a, std::size_t b) {
+    std::uint32_t ra = find(a);
+    std::uint32_t rb = find(b);
+    if (ra == rb) {
+      return ra;
+    }
+    if (size_[ra] < size_[rb]) {
+      std::swap(ra, rb);
+    }
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    return ra;
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+};
 
 }  // namespace rtether::core::admission_internal

@@ -1,0 +1,145 @@
+#pragma once
+
+/// @file admission_service.hpp
+/// Resident sharded admission service. Where `ParallelAdmissionEngine` forks
+/// and joins workers per batch, `AdmissionService` keeps one dispatcher
+/// thread and N shard workers alive for its whole lifetime: producers push
+/// admit/release ops into a lock-free MPSC ring and get back a `Ticket`
+/// that completes asynchronously. Link state is statically partitioned by
+/// conflict component (a channel occupies its source uplink and destination
+/// downlink; components of that conflict graph are independent), and a
+/// topology-crossing admit migrates the smaller component between workers
+/// on the fly — admits, releases and re-partitions interleave in flight.
+///
+/// The linearization point of every op is the dispatcher's dequeue from the
+/// ingest ring: decisions, assigned channel IDs, rejection diagnostics and
+/// final stats are bit-identical to replaying the ops in dequeue order
+/// through the sequential `AdmissionController`. The dispatcher runs a
+/// CPU-style out-of-order-execute / in-order-retire pipeline to keep that
+/// guarantee: workers decide feasibility against shard-local state under
+/// dispatcher-private placeholder IDs, and the dispatcher retires decisions
+/// in dequeue order, assigning the real (smallest-free) channel IDs.
+///
+/// Partitioner contract (same as the parallel engine): `candidates()` must
+/// be a pure function of the spec and the two touched link directions —
+/// true for SDPS/ADPS/UDPS/Search. One partitioner instance is shared by
+/// all workers concurrently.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "core/admission.hpp"
+#include "core/network_state.hpp"
+#include "core/partitioner.hpp"
+
+namespace rtether::core {
+
+namespace service_detail {
+struct TicketState;
+}  // namespace service_detail
+
+/// Tuning knobs for `AdmissionService`.
+struct AdmissionServiceConfig {
+  AdmissionConfig admission{};
+  /// Shard workers. 0 (or a non-checkpoint scan, which the shard path does
+  /// not cache) selects inline mode: no threads, ops complete synchronously
+  /// inside `submit_async` via an internal `AdmissionEngine`.
+  unsigned workers{0};
+  /// Ingest ring capacity (producers block when full).
+  std::size_t queue_capacity{4096};
+  /// Reorder-buffer depth: max ops in flight between dispatch and retire.
+  std::size_t rob_capacity{4096};
+  /// Per-worker op ring capacity (dispatcher blocks when full).
+  std::size_t worker_queue_capacity{1024};
+};
+
+/// Completion handle for one submitted op. Copyable (shared state); `wait`
+/// blocks until the service retires the op. Tickets remain valid after the
+/// service is destroyed (destruction drains all in-flight ops first).
+class Ticket {
+ public:
+  Ticket() = default;
+
+  /// False for default-constructed tickets only.
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool done() const;
+  /// Blocks until the op retires. No-op if already done.
+  void wait() const;
+
+  /// Position of the op in the service's linearization order (the
+  /// dispatcher's dequeue sequence). Valid once `done()`.
+  [[nodiscard]] std::uint64_t sequence() const;
+  [[nodiscard]] ChannelOp::Kind kind() const;
+  /// The admit verdict; requires `done()` and `kind() == kAdmit`.
+  [[nodiscard]] const AdmitOutcome& admit_outcome() const;
+  /// The release verdict; requires `done()` and `kind() == kRelease`.
+  [[nodiscard]] const ReleaseOutcome& release_outcome() const;
+
+  /// Pre-completed tickets, for synchronous backends fronting the async API.
+  [[nodiscard]] static Ticket completed(AdmitOutcome outcome);
+  [[nodiscard]] static Ticket completed(ReleaseOutcome outcome);
+
+ private:
+  friend class AdmissionService;
+  explicit Ticket(std::shared_ptr<service_detail::TicketState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<service_detail::TicketState> state_;
+};
+
+class AdmissionService {
+ public:
+  enum class Mode : std::uint8_t {
+    kInline,    ///< no threads; ops complete inside submit_async
+    kResident,  ///< dispatcher + shard workers, async completion
+  };
+
+  AdmissionService(std::uint32_t node_count,
+                   std::unique_ptr<DeadlinePartitioner> partitioner,
+                   AdmissionServiceConfig config = {});
+
+  /// Drains all in-flight ops, then stops and joins every thread. Every
+  /// ticket ever returned is completed by the time this returns.
+  ~AdmissionService();
+
+  AdmissionService(const AdmissionService&) = delete;
+  AdmissionService& operator=(const AdmissionService&) = delete;
+
+  /// Enqueues one op; thread-safe from any number of producers. Blocks only
+  /// when the ingest ring is full (backpressure). The returned ticket
+  /// completes when the op retires.
+  Ticket submit_async(const ChannelOp& op);
+
+  /// Submits a mixed op stream and waits for all of it; results are in
+  /// per-kind submission order, exactly like the other backends.
+  ChurnResult submit(std::span<const ChannelOp> ops);
+
+  /// Convenience synchronous wrappers over `submit_async` + `wait`.
+  [[nodiscard]] AdmitOutcome admit(const ChannelSpec& spec);
+  ReleaseOutcome release(ChannelId id);
+
+  /// Blocks until every op submitted *before this call* has retired.
+  /// Callers must quiesce their own producers first if they need a stable
+  /// point-in-time state.
+  void drain();
+
+  /// Authoritative admitted state / running stats. Both drain first, so
+  /// they reflect every op submitted before the call; concurrent producers
+  /// make the snapshot racy (quiesce first), hence non-const.
+  [[nodiscard]] const NetworkState& state();
+  [[nodiscard]] const AdmissionStats& stats();
+
+  [[nodiscard]] const DeadlinePartitioner& partitioner() const;
+  [[nodiscard]] Mode mode() const;
+  [[nodiscard]] unsigned worker_count() const;
+  /// Component migrations performed by topology-crossing admits.
+  [[nodiscard]] std::uint64_t migrations() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rtether::core

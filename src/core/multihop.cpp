@@ -280,10 +280,10 @@ Expected<MultihopChannel, Rejection> PathAdmissionController::request(
   return channel;
 }
 
-bool PathAdmissionController::release(ChannelId id) {
+ReleaseOutcome PathAdmissionController::release(ChannelId id) {
   const auto channel = state_.find_channel(id);
   if (!channel) {
-    return false;
+    return admission_internal::make_release_outcome(false, id);
   }
   const bool removed = state_.remove_channel(id);
   RTETHER_ASSERT_MSG(removed, "channel registry out of sync");
@@ -301,7 +301,7 @@ bool PathAdmissionController::release(ChannelId id) {
           config_.release);
     }
   }
-  return true;
+  return id;
 }
 
 }  // namespace rtether::core

@@ -131,9 +131,17 @@ class PathAdmissionController {
   [[nodiscard]] Expected<MultihopChannel, Rejection> request(
       const ChannelSpec& spec);
 
-  /// Releases an established channel; false if unknown. O(affected hops):
-  /// every traversed link's cache is downdated in place.
-  bool release(ChannelId id);
+  /// Releases an established channel; typed `kUnknownChannel` rejection if
+  /// the ID is not live. O(affected hops): every traversed link's cache is
+  /// downdated in place.
+  ReleaseOutcome release(ChannelId id);
+
+  /// Pre-typed-outcome release shape; kept one release for callers still
+  /// migrating to `ReleaseOutcome` / the `AdmissionBackend` surface.
+  [[deprecated("use release(); it reports a typed ReleaseOutcome")]]
+  bool release_ok(ChannelId id) {
+    return release(id).has_value();
+  }
 
   [[nodiscard]] const PathNetworkState& state() const { return state_; }
   [[nodiscard]] const AdmissionStats& stats() const { return stats_; }

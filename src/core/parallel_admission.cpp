@@ -10,59 +10,11 @@
 
 namespace rtether::core {
 
+using admission_internal::key_direction;
+using admission_internal::key_node;
+using admission_internal::link_key;
+
 namespace {
-
-/// Dense key for one link direction: node × 2 + direction. Matches the
-/// batch pre-pass convention in `AdmissionEngine::prepare_links`.
-std::size_t link_key(NodeId node, LinkDirection dir) {
-  return std::size_t{node.value()} * 2 +
-         (dir == LinkDirection::kUplink ? 0 : 1);
-}
-
-NodeId key_node(std::size_t key) {
-  return NodeId{static_cast<NodeId::rep_type>(key / 2)};
-}
-
-LinkDirection key_direction(std::size_t key) {
-  return key % 2 == 0 ? LinkDirection::kUplink : LinkDirection::kDownlink;
-}
-
-/// Union-find over link-direction keys with path halving and union by size.
-/// Each valid request is an edge {source uplink, destination downlink};
-/// the resulting components are the shards.
-class UnionFind {
- public:
-  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
-    for (std::size_t i = 0; i < n; ++i) {
-      parent_[i] = static_cast<std::uint32_t>(i);
-    }
-  }
-
-  std::uint32_t find(std::uint32_t x) {
-    while (parent_[x] != x) {
-      parent_[x] = parent_[parent_[x]];  // path halving
-      x = parent_[x];
-    }
-    return x;
-  }
-
-  void unite(std::uint32_t a, std::uint32_t b) {
-    a = find(a);
-    b = find(b);
-    if (a == b) {
-      return;
-    }
-    if (size_[a] < size_[b]) {
-      std::swap(a, b);
-    }
-    parent_[b] = a;
-    size_[a] += size_[b];
-  }
-
- private:
-  std::vector<std::uint32_t> parent_;
-  std::vector<std::uint32_t> size_;
-};
 
 /// How the pre-pass classified one request.
 enum class RequestKind : std::uint8_t {
@@ -82,16 +34,6 @@ struct Decision {
 };
 
 }  // namespace
-
-std::size_t ChurnResult::accepted() const {
-  return static_cast<std::size_t>(
-      std::count_if(admissions.begin(), admissions.end(),
-                    [](const auto& outcome) { return outcome.has_value(); }));
-}
-
-std::size_t ChurnResult::rejected() const {
-  return admissions.size() - accepted();
-}
 
 /// Everything one worker needs, owned exclusively for the batch: the shard's
 /// request indices (submission order), its links, a private projection of
@@ -119,23 +61,23 @@ ParallelAdmissionEngine::ParallelAdmissionEngine(
                 : std::max(1u, std::thread::hardware_concurrency())),
       min_parallel_batch_(config.min_parallel_batch) {}
 
-Expected<RtChannel, Rejection> ParallelAdmissionEngine::admit(
-    const ChannelSpec& spec) {
+AdmitOutcome ParallelAdmissionEngine::admit(const ChannelSpec& spec) {
   return engine_.admit(spec);
 }
 
-bool ParallelAdmissionEngine::release(ChannelId id) {
+ReleaseOutcome ParallelAdmissionEngine::release(ChannelId id) {
   return engine_.release(id);
 }
 
 BatchResult ParallelAdmissionEngine::admit_batch(
     std::span<const ChannelRequest> requests) {
-  // Non-checkpoint scans run the reference path; degenerate pools and small
-  // batches would pay more in shard setup than the analysis costs. All of
-  // these fall back to the sequential engine — decisions are identical on
-  // every path, only the wall clock differs.
-  if (engine_.config_.scan != edf::DemandScan::kCheckpoints ||
-      pool_.size() <= 1 || requests.size() < min_parallel_batch_) {
+  // `select_path` is the one policy point (shared with AdmissionService):
+  // non-checkpoint scans run the reference path, degenerate pools cannot run
+  // anything concurrently, and small batches would pay more in shard setup
+  // than the analysis costs. All of these fall back to the sequential
+  // engine — decisions are identical on every path, only wall clock differs.
+  if (select_path(engine_.config_.scan, pool_.size(), requests.size(),
+                  min_parallel_batch_) == AdmissionPath::kSequential) {
     last_shard_count_ = requests.empty() ? 0 : 1;
     return engine_.admit_batch(requests);
   }
@@ -149,7 +91,7 @@ BatchResult ParallelAdmissionEngine::admit_batch_sharded(
 
   // Phase 1a — classify and build the link-conflict graph.
   std::vector<RequestKind> kind(requests.size());
-  UnionFind components(key_space);
+  admission_internal::LinkUnionFind components(key_space);
   std::size_t shardable = 0;
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const ChannelSpec& spec = requests[i].spec;
@@ -161,11 +103,8 @@ BatchResult ParallelAdmissionEngine::admit_batch_sharded(
     } else {
       kind[i] = RequestKind::kSharded;
       ++shardable;
-      components.unite(
-          static_cast<std::uint32_t>(
-              link_key(spec.source, LinkDirection::kUplink)),
-          static_cast<std::uint32_t>(
-              link_key(spec.destination, LinkDirection::kDownlink)));
+      components.unite(link_key(spec.source, LinkDirection::kUplink),
+                       link_key(spec.destination, LinkDirection::kDownlink));
     }
   }
 
@@ -189,8 +128,8 @@ BatchResult ParallelAdmissionEngine::admit_batch_sharded(
       continue;
     }
     const ChannelSpec& spec = requests[i].spec;
-    const std::uint32_t root = components.find(static_cast<std::uint32_t>(
-        link_key(spec.source, LinkDirection::kUplink)));
+    const std::uint32_t root =
+        components.find(link_key(spec.source, LinkDirection::kUplink));
     if (shard_of_root[root] < 0) {
       shard_of_root[root] = static_cast<std::int32_t>(shards.size());
       shards.emplace_back();

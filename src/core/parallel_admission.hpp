@@ -70,33 +70,8 @@ struct ParallelAdmissionConfig {
   std::size_t min_parallel_batch{64};
 };
 
-/// One operation of a churn stream: long-running plants interleave channel
-/// teardown with new admissions (fail-over re-admission, tool changes,
-/// tenant migration), so the parallel path must digest both.
-struct ChannelOp {
-  enum class Kind : std::uint8_t { kAdmit, kRelease };
-
-  Kind kind{Kind::kAdmit};
-  ChannelSpec spec{};  ///< Used when kind == kAdmit.
-  ChannelId id{};      ///< Used when kind == kRelease.
-
-  [[nodiscard]] static ChannelOp admit(const ChannelSpec& spec) {
-    return ChannelOp{Kind::kAdmit, spec, ChannelId{}};
-  }
-  [[nodiscard]] static ChannelOp release(ChannelId id) {
-    return ChannelOp{Kind::kRelease, ChannelSpec{}, id};
-  }
-};
-
-/// Outcome of a churn stream: admission outcomes in admit-op order and
-/// release results in release-op order.
-struct ChurnResult {
-  std::vector<Expected<RtChannel, Rejection>> admissions;
-  std::vector<bool> releases;
-
-  [[nodiscard]] std::size_t accepted() const;
-  [[nodiscard]] std::size_t rejected() const;
-};
+// `ChannelOp` / `ChurnResult` — the mixed admit/release stream vocabulary —
+// live in admission.hpp now that every backend shares them.
 
 class ParallelAdmissionEngine {
  public:
@@ -109,11 +84,19 @@ class ParallelAdmissionEngine {
   BatchResult admit_batch(std::span<const ChannelRequest> requests);
 
   /// Single-request admission (sequential fast path, shared state).
-  [[nodiscard]] Expected<RtChannel, Rejection> admit(const ChannelSpec& spec);
+  [[nodiscard]] AdmitOutcome admit(const ChannelSpec& spec);
 
-  /// Releases an established channel (teardown); false if unknown. Safe
-  /// between batches; the affected link caches are rebuilt.
-  bool release(ChannelId id);
+  /// Releases an established channel (teardown); typed `kUnknownChannel`
+  /// rejection if the ID is not live. Safe between batches; the affected
+  /// link caches are downdated.
+  ReleaseOutcome release(ChannelId id);
+
+  /// Pre-typed-outcome release shape; kept one release for callers still
+  /// migrating to `ReleaseOutcome` / the `AdmissionBackend` surface.
+  [[deprecated("use release(); it reports a typed ReleaseOutcome")]]
+  bool release_ok(ChannelId id) {
+    return release(id).has_value();
+  }
 
   /// Drives a mixed admit/release stream. Consecutive admissions form runs
   /// that go through the sharded batch path; each release is applied at its

@@ -153,7 +153,7 @@ void SwitchMgmt::handle_response(const net::ResponseFrame& response) {
     // the switch silently ignore a new request that recycles the 8-bit
     // connection-request ID.
     ++stats_.requests_rejected_by_destination;
-    const bool released = controller_.release(response.rt_channel);
+    const bool released = controller_.release(response.rt_channel).has_value();
     RTETHER_ASSERT_MSG(released, "pending channel missing on rollback");
     prune_seen_requests(response.rt_channel);
     relayed.uplink_deadline = 0;
@@ -195,7 +195,7 @@ void SwitchMgmt::handle_teardown(const net::TeardownFrame& teardown,
   }
   ++stats_.teardowns;
   const NodeId destination = channel->spec.destination;
-  const bool released = controller_.release(teardown.rt_channel);
+  const bool released = controller_.release(teardown.rt_channel).has_value();
   RTETHER_ASSERT_MSG(released, "live channel failed to release");
 
   // The channel may still be awaiting the destination's setup verdict; drop

@@ -388,6 +388,76 @@ bool save_scenario(const ScenarioSpec& spec, const std::string& path) {
   return static_cast<bool>(out);
 }
 
+std::string to_json(const core::ReleaseOutcome& outcome) {
+  JsonWriter json;
+  json.begin_object();
+  if (outcome.has_value()) {
+    json.member("released", static_cast<std::uint64_t>(outcome->value()));
+  } else {
+    json.key("rejected").begin_object();
+    json.member("reason", core::to_string(outcome.error().reason));
+    json.member("detail", outcome.error().detail);
+    json.end_object();
+  }
+  json.end_object();
+  return json.str();
+}
+
+Expected<core::ReleaseOutcome, std::string> release_outcome_from_json(
+    std::string_view json) {
+  Reader reader(json);
+  bool saw_released = false;
+  std::uint64_t released_id = 0;
+  bool saw_rejected = false;
+  core::Rejection rejection;
+  const bool ok = reader.parse_object([&](const std::string& key) {
+    if (key == "released") {
+      saw_released = true;
+      return reader.parse_bounded(0xffffULL, released_id);
+    }
+    if (key == "rejected") {
+      saw_rejected = true;
+      bool saw_reason = false;
+      const bool inner = reader.parse_object([&](const std::string& inner_key) {
+        if (inner_key == "reason") {
+          std::string reason;
+          if (!reader.parse_string(reason)) return false;
+          const auto parsed = core::reject_reason_from_string(reason);
+          if (!parsed.has_value()) {
+            return reader.fail("unknown reject reason '" + reason + "'");
+          }
+          rejection.reason = *parsed;
+          saw_reason = true;
+          return true;
+        }
+        if (inner_key == "detail") {
+          return reader.parse_string(rejection.detail);
+        }
+        return reader.fail("unknown rejected key '" + inner_key + "'");
+      });
+      if (!inner) return false;
+      if (!saw_reason) return reader.fail("rejected without a reason");
+      return true;
+    }
+    return reader.fail("unknown release-outcome key '" + key + "'");
+  });
+  if (!ok || reader.failed()) {
+    return Unexpected(reader.error());
+  }
+  if (!reader.at_end()) {
+    return Unexpected(std::string("trailing content after document"));
+  }
+  if (saw_released == saw_rejected) {
+    return Unexpected(std::string(
+        "release outcome needs exactly one of \"released\"/\"rejected\""));
+  }
+  if (saw_released) {
+    return core::ReleaseOutcome(
+        ChannelId{static_cast<std::uint16_t>(released_id)});
+  }
+  return core::ReleaseOutcome(Unexpected(std::move(rejection)));
+}
+
 Expected<ScenarioSpec, std::string> load_scenario(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {

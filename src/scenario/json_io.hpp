@@ -12,6 +12,7 @@
 #include <string_view>
 
 #include "common/expected.hpp"
+#include "core/admission.hpp"
 #include "scenario/spec.hpp"
 
 namespace rtether::scenario {
@@ -36,5 +37,17 @@ inline constexpr std::string_view kScenarioSchema = "rtether-scenario-v1";
 /// Loads and parses a scenario file.
 [[nodiscard]] Expected<ScenarioSpec, std::string> load_scenario(
     const std::string& path);
+
+/// Typed release outcome ⇄ JSON, for campaign reports and replay fixtures:
+/// `{"released": <id>}` on success, else
+/// `{"rejected": {"reason": "<to_string(RejectReason)>", "detail": "..."}}`.
+/// The reason string round-trips through `core::reject_reason_from_string`,
+/// so a report written by one build stays machine-readable to the next.
+[[nodiscard]] std::string to_json(const core::ReleaseOutcome& outcome);
+
+/// Parses a document produced by `to_json(ReleaseOutcome)`. Unknown keys
+/// and unknown reason strings are errors, same policy as the corpus format.
+[[nodiscard]] Expected<core::ReleaseOutcome, std::string>
+release_outcome_from_json(std::string_view json);
 
 }  // namespace rtether::scenario

@@ -9,7 +9,7 @@
 #include <unordered_set>
 
 #include "core/admission.hpp"
-#include "core/parallel_admission.hpp"
+#include "core/admission_backend.hpp"
 #include "edf/feasibility.hpp"
 #include "proto/periodic_sender.hpp"
 #include "proto/stack.hpp"
@@ -73,10 +73,9 @@ std::string ScenarioResult::summary() const {
 namespace {
 
 using core::AdmissionController;
-using core::AdmissionEngine;
-using core::ChannelRequest;
 using core::ChannelSpec;
 using core::Rejection;
+using core::ReleaseOutcome;
 using core::RtChannel;
 
 using AdmitOutcome = Expected<RtChannel, Rejection>;
@@ -157,6 +156,13 @@ SimDigest compute_sim_digest(const sim::SimNetwork& network) {
          a.error().detail == b.error().detail;
 }
 
+[[nodiscard]] bool outcomes_equal(const ReleaseOutcome& a,
+                                  const ReleaseOutcome& b) {
+  if (a.has_value() != b.has_value()) return false;
+  if (a.has_value()) return *a == *b;
+  return a.error() == b.error();
+}
+
 [[nodiscard]] std::string describe(const AdmitOutcome& outcome) {
   if (outcome.has_value()) {
     std::ostringstream out;
@@ -164,6 +170,14 @@ SimDigest compute_sim_digest(const sim::SimNetwork& network) {
         << " d_iu=" << outcome->partition.uplink
         << " d_id=" << outcome->partition.downlink;
     return out.str();
+  }
+  return std::string("rejected (") + core::to_string(outcome.error().reason) +
+         "): " + outcome.error().detail;
+}
+
+[[nodiscard]] std::string describe(const ReleaseOutcome& outcome) {
+  if (outcome.has_value()) {
+    return "released id=" + std::to_string(outcome->value());
   }
   return std::string("rejected (") + core::to_string(outcome.error().reason) +
          "): " + outcome.error().detail;
@@ -201,13 +215,14 @@ struct RunContext {
   }
 };
 
-/// Phases A–D: the three star admission paths plus the candidate audit and
+/// Phases A–D: the reference controller run with the candidate audit, the
+/// configured `AdmissionBackend` kinds over the same stream, and the
 /// end-of-stream consistency checks. Fills the per-op reference outcomes the
 /// later phases (multihop parity, wire replay) compare against.
-bool run_star_engines(RunContext& ctx,
-                      std::vector<std::optional<AdmitOutcome>>& ref_by_op,
-                      std::vector<std::optional<ChannelId>>& id_by_op,
-                      std::vector<std::optional<bool>>& release_by_op) {
+bool run_star_engines(
+    RunContext& ctx, std::vector<std::optional<AdmitOutcome>>& ref_by_op,
+    std::vector<std::optional<ChannelId>>& id_by_op,
+    std::vector<std::optional<ReleaseOutcome>>& release_by_op) {
   const ScenarioSpec& spec = ctx.spec;
   const std::uint32_t nodes = spec.topology.nodes;
   auto make_dps = [&] { return ctx.options.partitioner_factory(spec.scheme); };
@@ -221,7 +236,7 @@ bool run_star_engines(RunContext& ctx,
     if (op.kind == ScenarioOp::Kind::kRelease) {
       const ChannelId id = resolve_release(op, id_by_op);
       release_by_op[i] = controller.release(id);
-      if (*release_by_op[i]) ++ctx.result.released;
+      if (release_by_op[i]->has_value()) ++ctx.result.released;
       continue;
     }
     // The audit mirrors admission_flow's gate: candidates are only
@@ -253,63 +268,35 @@ bool run_star_engines(RunContext& ctx,
     ref_by_op[i] = std::move(outcome);
   }
 
-  // --- Phase B: batched engine (admit runs through admit_batch) ----------
-  AdmissionEngine engine(nodes, make_dps());
-  {
-    std::size_t i = 0;
-    while (i < spec.ops.size()) {
-      if (spec.ops[i].kind == ScenarioOp::Kind::kRelease) {
-        const ChannelId id = resolve_release(spec.ops[i], id_by_op);
-        const bool ok = engine.release(id);
-        if (ok != *release_by_op[i]) {
-          return ctx.fail(ViolationKind::kReleaseDisagreement, i,
-                          "batched engine released=" +
-                              std::to_string(ok) + " vs controller=" +
-                              std::to_string(*release_by_op[i]));
-        }
-        ++i;
-        continue;
-      }
-      std::size_t run_end = i;
-      std::vector<ChannelRequest> batch;
-      while (run_end < spec.ops.size() &&
-             spec.ops[run_end].kind == ScenarioOp::Kind::kAdmit) {
-        batch.push_back(ChannelRequest{spec.ops[run_end].spec});
-        ++run_end;
-      }
-      const auto result = engine.admit_batch(batch);
-      for (std::size_t k = 0; k < batch.size(); ++k) {
-        const std::size_t op_index = i + k;
-        if (!outcomes_equal(result.outcomes[k], *ref_by_op[op_index])) {
-          return ctx.fail(ViolationKind::kEngineDisagreement, op_index,
-                          "batched engine: " + describe(result.outcomes[k]) +
-                              " vs controller: " +
-                              describe(*ref_by_op[op_index]));
-        }
-      }
-      i = run_end;
+  // --- Phases B/C: every configured backend over the unified front door --
+  // Each kind drives the identical op stream through
+  // `AdmissionBackend::submit` and must match the controller outcome for
+  // outcome — admissions *and* typed release verdicts.
+  std::vector<core::ChannelOp> ops;
+  ops.reserve(spec.ops.size());
+  for (std::size_t i = 0; i < spec.ops.size(); ++i) {
+    const auto& op = spec.ops[i];
+    if (op.kind == ScenarioOp::Kind::kAdmit) {
+      ops.push_back(core::ChannelOp::admit(op.spec));
+    } else {
+      ops.push_back(core::ChannelOp::release(resolve_release(op, id_by_op)));
     }
   }
-
-  // --- Phase C: parallel engine (whole stream through process()) ---------
-  core::ParallelAdmissionConfig parallel_config;
-  parallel_config.threads = ctx.options.parallel_threads;
-  // Fuzz batches are small; lower the fallback threshold so the sharded
-  // path actually executes instead of degenerating to the batched engine.
-  parallel_config.min_parallel_batch = 2;
-  core::ParallelAdmissionEngine parallel(nodes, make_dps(), parallel_config);
-  {
-    std::vector<core::ChannelOp> ops;
-    ops.reserve(spec.ops.size());
-    for (std::size_t i = 0; i < spec.ops.size(); ++i) {
-      const auto& op = spec.ops[i];
-      if (op.kind == ScenarioOp::Kind::kAdmit) {
-        ops.push_back(core::ChannelOp::admit(op.spec));
-      } else {
-        ops.push_back(core::ChannelOp::release(resolve_release(op, id_by_op)));
-      }
+  const auto reference_registry = sorted_channels(controller.state());
+  for (const std::string& kind : ctx.options.backends) {
+    core::BackendConfig backend_config;
+    backend_config.threads = ctx.options.parallel_threads;
+    // Fuzz batches are small; lower the fallback threshold so the sharded
+    // paths actually execute instead of degenerating to the batched engine.
+    backend_config.min_parallel_batch = 2;
+    auto backend =
+        core::make_admission_backend(kind, nodes, make_dps(), backend_config);
+    if (!backend) {
+      return ctx.fail(ViolationKind::kEngineDisagreement,
+                      static_cast<std::size_t>(-1),
+                      "unknown admission backend '" + kind + "'");
     }
-    const auto churn = parallel.process(ops);
+    const auto churn = backend->submit(ops);
     std::size_t admit_cursor = 0;
     std::size_t release_cursor = 0;
     for (std::size_t i = 0; i < spec.ops.size(); ++i) {
@@ -317,40 +304,38 @@ bool run_star_engines(RunContext& ctx,
         const auto& outcome = churn.admissions[admit_cursor++];
         if (!outcomes_equal(outcome, *ref_by_op[i])) {
           return ctx.fail(ViolationKind::kEngineDisagreement, i,
-                          "parallel engine: " + describe(outcome) +
+                          kind + " backend: " + describe(outcome) +
                               " vs controller: " + describe(*ref_by_op[i]));
         }
       } else {
-        const bool ok = churn.releases[release_cursor++];
-        if (ok != *release_by_op[i]) {
+        const auto& outcome = churn.releases[release_cursor++];
+        if (!outcomes_equal(outcome, *release_by_op[i])) {
           return ctx.fail(ViolationKind::kReleaseDisagreement, i,
-                          "parallel engine released=" + std::to_string(ok) +
-                              " vs controller=" +
-                              std::to_string(*release_by_op[i]));
+                          kind + " backend: " + describe(outcome) +
+                              " vs controller: " +
+                              describe(*release_by_op[i]));
         }
       }
     }
 
-    // --- Phase D: end-of-stream registry + feasibility consistency -------
-    const auto reference = sorted_channels(controller.state());
-    for (const auto* other :
-         {&engine.state(), &parallel.state()}) {
-      if (sorted_channels(*other) != reference) {
-        return ctx.fail(ViolationKind::kStateInconsistent,
-                        static_cast<std::size_t>(-1),
-                        "live channel registries differ after the stream");
-      }
+    // --- Phase D: end-of-stream registry consistency per backend ---------
+    if (sorted_channels(backend->state()) != reference_registry) {
+      return ctx.fail(ViolationKind::kStateInconsistent,
+                      static_cast<std::size_t>(-1),
+                      kind +
+                          " backend's live channel registry differs "
+                          "after the stream");
     }
-    for (std::uint32_t n = 0; n < nodes; ++n) {
-      for (const auto dir :
-           {core::LinkDirection::kUplink, core::LinkDirection::kDownlink}) {
-        if (!edf::is_feasible(controller.state().link(NodeId{n}, dir))) {
-          return ctx.fail(ViolationKind::kInfeasibleState,
-                          static_cast<std::size_t>(-1),
-                          std::string("link of node ") + std::to_string(n) +
-                              " (" + core::to_string(dir) +
-                              ") infeasible after churn");
-        }
+  }
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    for (const auto dir :
+         {core::LinkDirection::kUplink, core::LinkDirection::kDownlink}) {
+      if (!edf::is_feasible(controller.state().link(NodeId{n}, dir))) {
+        return ctx.fail(ViolationKind::kInfeasibleState,
+                        static_cast<std::size_t>(-1),
+                        std::string("link of node ") + std::to_string(n) +
+                            " (" + core::to_string(dir) +
+                            ") infeasible after churn");
       }
     }
   }
@@ -473,10 +458,10 @@ bool run_multihop(RunContext& ctx,
 
 /// Phase F: wire-protocol replay plus the Eq 18.1 guarantee check in the
 /// slot-accurate simulator.
-bool run_simulation(RunContext& ctx,
-                    const std::vector<std::optional<AdmitOutcome>>& ref_by_op,
-                    const std::vector<std::optional<ChannelId>>& id_by_op,
-                    const std::vector<std::optional<bool>>& release_by_op) {
+bool run_simulation(
+    RunContext& ctx, const std::vector<std::optional<AdmitOutcome>>& ref_by_op,
+    const std::vector<std::optional<ChannelId>>& id_by_op,
+    const std::vector<std::optional<ReleaseOutcome>>& release_by_op) {
   const ScenarioSpec& spec = ctx.spec;
   sim::SimConfig sim_config;
   sim_config.ticks_per_slot = spec.ticks_per_slot;
@@ -492,7 +477,9 @@ bool run_simulation(RunContext& ctx,
   for (std::size_t i = 0; i < spec.ops.size(); ++i) {
     const auto& op = spec.ops[i];
     if (op.kind == ScenarioOp::Kind::kRelease) {
-      if (!release_by_op[i].has_value() || !*release_by_op[i]) continue;
+      if (!release_by_op[i].has_value() || !release_by_op[i]->has_value()) {
+        continue;
+      }
       const ChannelId id = resolve_release(op, id_by_op);
       const auto it = live.find(id.value());
       if (it == live.end()) {
@@ -629,7 +616,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
 
   std::vector<std::optional<AdmitOutcome>> ref_by_op(spec.ops.size());
   std::vector<std::optional<ChannelId>> id_by_op(spec.ops.size());
-  std::vector<std::optional<bool>> release_by_op(spec.ops.size());
+  std::vector<std::optional<ReleaseOutcome>> release_by_op(spec.ops.size());
 
   const bool star = spec.topology.kind == TopologyKind::kStar;
   bool ok = true;

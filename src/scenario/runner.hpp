@@ -4,9 +4,10 @@
 /// Executes one ScenarioSpec through every admission path the library
 /// offers and checks the two-sided conformance oracle:
 ///
-///   1. **Agreement** — the sequential `AdmissionController`, the batched
-///      `AdmissionEngine` and the sharded `ParallelAdmissionEngine` must
-///      produce bit-identical outcomes on the same op stream: same
+///   1. **Agreement** — the sequential `AdmissionController` and every
+///      configured `core::AdmissionBackend` kind (batched engine, sharded
+///      parallel engine, resident admission service, ...) must produce
+///      bit-identical outcomes on the same op stream: same
 ///      accepts/rejects, same channel IDs, same deadline partitions, same
 ///      rejection reasons *and diagnostic strings*. The multihop
 ///      `PathAdmissionController` runs the same stream over the scenario's
@@ -116,10 +117,14 @@ struct RunnerOptions {
   std::function<std::unique_ptr<core::PathPartitioner>(
       const std::string& scheme)>
       path_partitioner_factory;
-  /// Worker threads for the parallel engine (its decisions are
-  /// thread-count independent; 2 keeps the sharded path honest without
+  /// Worker threads for the parallel/service backends (their decisions are
+  /// thread-count independent; 2 keeps the sharded paths honest without
   /// oversubscribing campaign workers).
   unsigned parallel_threads{2};
+  /// `core::AdmissionBackend` kinds checked against the reference
+  /// controller on star scenarios (see `core::make_admission_backend`).
+  /// The campaign's `--backend service` mode appends "service".
+  std::vector<std::string> backends{"batched", "parallel"};
   /// Run the simulation phase of star scenarios (the campaign's pure
   /// admission mode turns this off for breadth-first sweeps).
   bool run_simulation{true};

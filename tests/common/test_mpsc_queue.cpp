@@ -1,0 +1,163 @@
+#include "common/mpsc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace rtether {
+namespace {
+
+TEST(MpscQueue, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpscQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(MpscQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(MpscQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(MpscQueue<int>(1024).capacity(), 1024u);
+  EXPECT_EQ(MpscQueue<int>(1025).capacity(), 2048u);
+}
+
+TEST(MpscQueue, SingleThreadFifoAcrossManyWraps) {
+  MpscQueue<int> queue(4);  // tiny ring: every 4 ops wrap the positions
+  int out = 0;
+  for (int round = 0; round < 1000; ++round) {
+    ASSERT_TRUE(queue.try_push(2 * round));
+    ASSERT_TRUE(queue.try_push(2 * round + 1));
+    ASSERT_TRUE(queue.try_pop(out));
+    EXPECT_EQ(out, 2 * round);
+    ASSERT_TRUE(queue.try_pop(out));
+    EXPECT_EQ(out, 2 * round + 1);
+  }
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.try_pop(out));
+}
+
+TEST(MpscQueue, FullRingBackpressuresTryPush) {
+  MpscQueue<int> queue(4);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(queue.try_push(int{i}));
+  }
+  EXPECT_FALSE(queue.try_push(99));  // full: producer sees back-pressure
+  int out = 0;
+  ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(queue.try_push(99));  // one slot drained, one push fits
+  for (int expect : {1, 2, 3, 99}) {
+    ASSERT_TRUE(queue.try_pop(out));
+    EXPECT_EQ(out, expect);
+  }
+}
+
+TEST(MpscQueue, BlockingPushParksUntilConsumerDrains) {
+  MpscQueue<int> queue(2);
+  ASSERT_TRUE(queue.try_push(0));
+  ASSERT_TRUE(queue.try_push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    queue.push(2);  // ring is full: must park until a pop frees a slot
+    pushed.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load(std::memory_order_acquire));
+  int out = 0;
+  ASSERT_TRUE(queue.try_pop(out));
+  producer.join();
+  EXPECT_TRUE(pushed.load(std::memory_order_acquire));
+}
+
+TEST(MpscQueue, BlockingPopParksUntilProducerPublishes) {
+  MpscQueue<int> queue(8);
+  std::thread consumer([&] {
+    int out = 0;
+    queue.pop(out);
+    EXPECT_EQ(out, 42);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.push(42);
+  consumer.join();
+}
+
+TEST(MpscQueue, MultiProducerKeepsPerProducerFifo) {
+  constexpr std::uint64_t kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 20'000;
+  MpscQueue<std::uint64_t> queue(64);  // small ring: heavy contention + wraps
+  std::vector<std::thread> producers;
+  for (std::uint64_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        queue.push((p << 32) | i);
+      }
+    });
+  }
+  std::vector<std::uint64_t> next(kProducers, 0);
+  std::uint64_t drained = 0;
+  while (drained < kProducers * kPerProducer) {
+    std::uint64_t tagged = 0;
+    queue.pop(tagged);
+    const std::uint64_t producer = tagged >> 32;
+    const std::uint64_t seq = tagged & 0xffffffffU;
+    ASSERT_LT(producer, kProducers);
+    ASSERT_EQ(seq, next[producer]) << "producer " << producer
+                                   << " reordered against itself";
+    ++next[producer];
+    ++drained;
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(MpscQueue, ExternalConsumerWakeIsNotified) {
+  Eventcount wake;
+  MpscQueue<int> queue(8, &wake);
+  std::atomic<bool> woken{false};
+  std::thread consumer([&] {
+    // Park on the external eventcount, not the queue's own; a push must
+    // still wake us (the dispatcher's multi-source wait pattern).
+    while (queue.empty()) {
+      const auto ticket = wake.prepare_wait();
+      if (!queue.empty()) {
+        wake.cancel_wait();
+        break;
+      }
+      wake.wait(ticket);
+    }
+    int out = 0;
+    EXPECT_TRUE(queue.try_pop(out));
+    EXPECT_EQ(out, 7);
+    woken.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(queue.try_push(7));
+  consumer.join();
+  EXPECT_TRUE(woken.load(std::memory_order_acquire));
+}
+
+TEST(MpscQueue, DestructorReleasesUndrainedElements) {
+  auto tracer = std::make_shared<int>(5);
+  {
+    MpscQueue<std::shared_ptr<int>> queue(8);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(queue.try_push(std::shared_ptr<int>(tracer)));
+    }
+    EXPECT_EQ(tracer.use_count(), 6);
+  }
+  EXPECT_EQ(tracer.use_count(), 1);  // queue destroyed its 5 copies
+}
+
+TEST(MpscQueue, MoveOnlyElementsFlowThrough) {
+  MpscQueue<std::unique_ptr<int>> queue(4);
+  ASSERT_TRUE(queue.try_push(std::make_unique<int>(9)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(queue.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 9);
+}
+
+}  // namespace
+}  // namespace rtether

@@ -156,7 +156,7 @@ TEST(Admission, StatsAreAccurate) {
   EXPECT_EQ(stats.rejected, 2u);
   EXPECT_GT(stats.feasibility_tests, 0u);
   const auto id = controller.state().channels().front().id;
-  controller.release(id);
+  EXPECT_TRUE(controller.release(id));
   EXPECT_EQ(controller.stats().released, 1u);
 }
 

@@ -1,0 +1,218 @@
+/// Contract tests for the unified `AdmissionBackend` front door: every
+/// factory kind must produce bit-identical outcomes to the reference
+/// `AdmissionController` on the same op stream, the async surface must work
+/// ticket-first on synchronous and resident kinds alike, and unknown kinds
+/// must fail loudly (nullptr), not fall back silently.
+
+#include "core/admission_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/admission.hpp"
+#include "core/partitioner.hpp"
+
+namespace rtether::core {
+namespace {
+
+ChannelSpec spec(std::uint32_t src, std::uint32_t dst, Slot p, Slot c,
+                 Slot d) {
+  return ChannelSpec{NodeId{src}, NodeId{dst}, p, c, d};
+}
+
+ChannelSpec random_spec(Rng& rng, std::uint32_t nodes) {
+  static constexpr Slot kPeriods[] = {60, 80, 100, 150, 200, 300};
+  const auto src = static_cast<std::uint32_t>(rng.index(nodes));
+  auto dst = static_cast<std::uint32_t>(rng.index(nodes));
+  if (dst == src) {
+    dst = (dst + 1) % nodes;
+  }
+  const Slot period = kPeriods[rng.index(std::size(kPeriods))];
+  const Slot capacity = 1 + rng.index(3);
+  Slot deadline;
+  if (rng.index(16) == 0) {
+    deadline = rng.index(2 * capacity);  // violates d >= 2C
+  } else {
+    deadline = 2 * capacity + rng.index(period - 2 * capacity + 1);
+  }
+  return spec(src, dst, period, capacity, deadline);
+}
+
+/// Oracle-driven churn stream whose release targets are the IDs the
+/// sequential controller assigns — replayable through any backend.
+std::vector<ChannelOp> churn_stream(std::uint64_t seed, std::size_t count,
+                                    std::uint32_t nodes) {
+  Rng rng(seed);
+  AdmissionController oracle(nodes, make_partitioner("SDPS"));
+  std::vector<ChannelId> live;
+  std::vector<ChannelOp> ops;
+  ops.reserve(count);
+  while (ops.size() < count) {
+    if (!live.empty() && rng.index(3) == 0) {
+      const auto victim = rng.index(live.size());
+      const ChannelId id = live[victim];
+      live[victim] = live.back();
+      live.pop_back();
+      ops.push_back(ChannelOp::release(id));
+      EXPECT_TRUE(oracle.release(id));
+      continue;
+    }
+    const ChannelSpec request = random_spec(rng, nodes);
+    ops.push_back(ChannelOp::admit(request));
+    if (const auto outcome = oracle.request(request)) {
+      live.push_back(outcome->id);
+    }
+  }
+  return ops;
+}
+
+std::unique_ptr<AdmissionBackend> make(std::string_view kind,
+                                       std::uint32_t nodes) {
+  BackendConfig config;
+  config.threads = 2;
+  config.min_parallel_batch = 2;
+  return make_admission_backend(kind, nodes, make_partitioner("SDPS"),
+                                config);
+}
+
+TEST(AdmissionBackend, FactoryKnowsEveryAdvertisedKind) {
+  const auto kinds = backend_kinds();
+  ASSERT_EQ(kinds.size(), 4u);
+  for (const auto kind : kinds) {
+    auto backend = make(kind, 4);
+    ASSERT_NE(backend, nullptr) << kind;
+    EXPECT_EQ(backend->name(), kind);
+  }
+}
+
+TEST(AdmissionBackend, UnknownKindReturnsNull) {
+  EXPECT_EQ(make("turbo", 4), nullptr);
+  EXPECT_EQ(make("", 4), nullptr);
+}
+
+TEST(AdmissionBackend, EveryKindMatchesTheControllerOnChurn) {
+  const std::uint32_t nodes = 12;
+  const auto ops = churn_stream(0x5eed, 500, nodes);
+  AdmissionController oracle(nodes, make_partitioner("SDPS"));
+  ChurnResult want;
+  for (const ChannelOp& op : ops) {
+    if (op.kind == ChannelOp::Kind::kAdmit) {
+      want.admissions.push_back(oracle.request(op.spec));
+    } else {
+      want.releases.push_back(oracle.release(op.id));
+    }
+  }
+  const auto reference = oracle.state().channels();
+
+  for (const auto kind : backend_kinds()) {
+    auto backend = make(kind, nodes);
+    ASSERT_NE(backend, nullptr);
+    const ChurnResult got = backend->submit(ops);
+
+    ASSERT_EQ(got.admissions.size(), want.admissions.size()) << kind;
+    for (std::size_t i = 0; i < want.admissions.size(); ++i) {
+      const auto& a = got.admissions[i];
+      const auto& b = want.admissions[i];
+      ASSERT_EQ(a.has_value(), b.has_value()) << kind << " admit " << i;
+      if (b.has_value()) {
+        EXPECT_EQ(*a, *b) << kind << " admit " << i;
+      } else {
+        EXPECT_EQ(a.error(), b.error()) << kind << " admit " << i;
+      }
+    }
+    ASSERT_EQ(got.releases.size(), want.releases.size()) << kind;
+    for (std::size_t i = 0; i < want.releases.size(); ++i) {
+      const auto& a = got.releases[i];
+      const auto& b = want.releases[i];
+      ASSERT_EQ(a.has_value(), b.has_value()) << kind << " release " << i;
+      if (b.has_value()) {
+        EXPECT_EQ(*a, *b) << kind << " release " << i;
+      } else {
+        EXPECT_EQ(a.error(), b.error()) << kind << " release " << i;
+      }
+    }
+
+    const AdmissionStats& stats = backend->stats();
+    EXPECT_EQ(stats.requested, oracle.stats().requested) << kind;
+    EXPECT_EQ(stats.accepted, oracle.stats().accepted) << kind;
+    EXPECT_EQ(stats.rejected, oracle.stats().rejected) << kind;
+    EXPECT_EQ(stats.released, oracle.stats().released) << kind;
+    EXPECT_EQ(stats.feasibility_tests, oracle.stats().feasibility_tests)
+        << kind;
+    EXPECT_EQ(stats.demand_evaluations, oracle.stats().demand_evaluations)
+        << kind;
+
+    auto mine = backend->state().channels();
+    auto theirs = reference;
+    auto by_id = [](const RtChannel& a, const RtChannel& b) {
+      return a.id < b.id;
+    };
+    std::sort(mine.begin(), mine.end(), by_id);
+    std::sort(theirs.begin(), theirs.end(), by_id);
+    EXPECT_EQ(mine, theirs) << kind;
+  }
+}
+
+TEST(AdmissionBackend, TypedUnknownReleaseMatchesAcrossKinds) {
+  AdmissionController oracle(4, make_partitioner("SDPS"));
+  const ReleaseOutcome want = oracle.release(ChannelId{42});
+  ASSERT_FALSE(want.has_value());
+  for (const auto kind : backend_kinds()) {
+    auto backend = make(kind, 4);
+    const ReleaseOutcome got = backend->release(ChannelId{42});
+    ASSERT_FALSE(got.has_value()) << kind;
+    EXPECT_EQ(got.error(), want.error()) << kind;
+  }
+}
+
+TEST(AdmissionBackend, AsyncSurfaceWorksTicketFirstEverywhere) {
+  for (const auto kind : backend_kinds()) {
+    auto backend = make(kind, 4);
+    ASSERT_NE(backend, nullptr);
+    // The resident service completes tickets concurrently; every other
+    // kind emulates with pre-completed tickets.
+    EXPECT_EQ(backend->supports_async(), kind == "service") << kind;
+
+    Ticket admit =
+        backend->submit_async(ChannelOp::admit(spec(0, 1, 100, 2, 40)));
+    ASSERT_TRUE(admit.valid()) << kind;
+    admit.wait();
+    ASSERT_TRUE(admit.done()) << kind;
+    ASSERT_EQ(admit.kind(), ChannelOp::Kind::kAdmit) << kind;
+    ASSERT_TRUE(admit.admit_outcome().has_value()) << kind;
+    const ChannelId id = admit.admit_outcome()->id;
+
+    Ticket release = backend->submit_async(ChannelOp::release(id));
+    release.wait();
+    ASSERT_TRUE(release.done()) << kind;
+    ASSERT_EQ(release.kind(), ChannelOp::Kind::kRelease) << kind;
+    ASSERT_TRUE(release.release_outcome().has_value()) << kind;
+    EXPECT_EQ(*release.release_outcome(), id) << kind;
+
+    backend->drain();
+    EXPECT_EQ(backend->state().channel_count(), 0u) << kind;
+    EXPECT_EQ(backend->stats().released, 1u) << kind;
+  }
+}
+
+TEST(AdmissionBackend, SynchronousBackendsReturnPreCompletedTickets) {
+  auto backend = make("controller", 4);
+  const Ticket ticket =
+      backend->submit_async(ChannelOp::admit(spec(0, 1, 100, 2, 40)));
+  // Done without wait(): the default emulation executes inline.
+  EXPECT_TRUE(ticket.done());
+  EXPECT_TRUE(ticket.admit_outcome().has_value());
+}
+
+TEST(AdmissionBackend, DefaultTicketIsInvalid) {
+  const Ticket ticket;
+  EXPECT_FALSE(ticket.valid());
+}
+
+}  // namespace
+}  // namespace rtether::core

@@ -59,6 +59,18 @@ void expect_same_outcome(const Expected<RtChannel, Rejection>& expected,
   }
 }
 
+void expect_same_release(const ReleaseOutcome& expected,
+                         const ReleaseOutcome& actual,
+                         const std::string& where) {
+  ASSERT_EQ(expected.has_value(), actual.has_value()) << where;
+  if (expected.has_value()) {
+    EXPECT_EQ(*expected, *actual) << where;
+  } else {
+    EXPECT_EQ(expected.error().reason, actual.error().reason) << where;
+    EXPECT_EQ(expected.error().detail, actual.error().detail) << where;
+  }
+}
+
 /// Drives one randomized admit/release/re-admit stream through all four
 /// admission paths and asserts bit-exact agreement at every op.
 void expect_churn_equivalent(std::uint64_t seed, std::size_t op_count,
@@ -72,7 +84,7 @@ void expect_churn_equivalent(std::uint64_t seed, std::size_t op_count,
   AdmissionEngine rebuilding(nodes, make_partitioner(scheme), rebuild_config);
 
   std::vector<ChannelOp> ops;       // replayed through process() afterwards
-  std::vector<bool> release_results;
+  std::vector<ReleaseOutcome> release_results;
   std::vector<Expected<RtChannel, Rejection>> admit_results;
   std::vector<ChannelId> live;
   for (std::size_t i = 0; i < op_count; ++i) {
@@ -87,9 +99,11 @@ void expect_churn_equivalent(std::uint64_t seed, std::size_t op_count,
         id = live[victim];
         live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
       }
-      const bool expected = controller.release(id);
-      EXPECT_EQ(downdating.release(id), expected) << "op " << i;
-      EXPECT_EQ(rebuilding.release(id), expected) << "op " << i;
+      const ReleaseOutcome expected = controller.release(id);
+      expect_same_release(expected, downdating.release(id),
+                          "op " + std::to_string(i) + " (downdate engine)");
+      expect_same_release(expected, rebuilding.release(id),
+                          "op " + std::to_string(i) + " (rebuild engine)");
       ops.push_back(ChannelOp::release(id));
       release_results.push_back(expected);
       continue;
@@ -121,8 +135,8 @@ void expect_churn_equivalent(std::uint64_t seed, std::size_t op_count,
                         "admit " + std::to_string(k) + " (parallel)");
   }
   for (std::size_t k = 0; k < release_results.size(); ++k) {
-    EXPECT_EQ(churn.releases[k], release_results[k])
-        << "release " << k << " (parallel)";
+    expect_same_release(release_results[k], churn.releases[k],
+                        "release " + std::to_string(k) + " (parallel)");
   }
 
   // End-of-stream agreement: registries and stats.
@@ -183,7 +197,8 @@ TEST(AdmissionChurn, MultihopSdpsEvenDeadlineParityThroughChurn) {
       const std::size_t victim = rng.index(live.size());
       const ChannelId id = live[victim];
       live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
-      EXPECT_EQ(multihop.release(id), classic.release(id)) << "op " << i;
+      expect_same_release(classic.release(id), multihop.release(id),
+                          "op " + std::to_string(i) + " (multihop release)");
       continue;
     }
     ChannelSpec spec = random_spec(rng, nodes);

@@ -318,9 +318,16 @@ TEST(AdmissionParallel, ChurnStreamMatchesSequentialReplay) {
         EXPECT_EQ(expected.error().detail, actual.error().detail);
       }
     } else {
-      const bool expected = controller.release(op.id);
+      const ReleaseOutcome expected = controller.release(op.id);
       ASSERT_LT(release_index, churn.releases.size());
-      EXPECT_EQ(expected, churn.releases[release_index++]);
+      const ReleaseOutcome& actual = churn.releases[release_index++];
+      ASSERT_EQ(expected.has_value(), actual.has_value());
+      if (expected.has_value()) {
+        EXPECT_EQ(*expected, *actual);
+      } else {
+        EXPECT_EQ(expected.error().reason, actual.error().reason);
+        EXPECT_EQ(expected.error().detail, actual.error().detail);
+      }
     }
   }
   EXPECT_EQ(admit_index, churn.admissions.size());

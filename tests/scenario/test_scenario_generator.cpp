@@ -245,5 +245,50 @@ TEST(ScenarioJson, RejectsOutOfRangeAndNonFiniteNumbers) {
   EXPECT_TRUE(from_json(doc_with("50", "0.75")).has_value());
 }
 
+TEST(ReleaseOutcomeJson, RoundTripsSuccess) {
+  const core::ReleaseOutcome outcome{ChannelId{42}};
+  const auto parsed = release_outcome_from_json(to_json(outcome));
+  ASSERT_TRUE(parsed.has_value()) << parsed.error();
+  ASSERT_TRUE(parsed->has_value());
+  EXPECT_EQ(**parsed, ChannelId{42});
+}
+
+TEST(ReleaseOutcomeJson, RoundTripsEveryRejectReason) {
+  using core::RejectReason;
+  for (const auto reason :
+       {RejectReason::kInvalidSpec, RejectReason::kUnknownNode,
+        RejectReason::kUplinkInfeasible, RejectReason::kDownlinkInfeasible,
+        RejectReason::kChannelIdsExhausted, RejectReason::kUnknownChannel}) {
+    const core::ReleaseOutcome outcome{Unexpected(
+        core::Rejection{reason, "detail with \"quotes\"\nand newline"})};
+    const auto parsed = release_outcome_from_json(to_json(outcome));
+    ASSERT_TRUE(parsed.has_value())
+        << core::to_string(reason) << ": " << parsed.error();
+    ASSERT_FALSE(parsed->has_value());
+    EXPECT_EQ(parsed->error(), outcome.error()) << core::to_string(reason);
+  }
+}
+
+TEST(ReleaseOutcomeJson, RejectsMalformedDocuments) {
+  // Unknown keys, unknown reasons, both/neither arms — all loud failures.
+  EXPECT_FALSE(release_outcome_from_json(R"({"freed": 1})").has_value());
+  EXPECT_FALSE(release_outcome_from_json(
+                   R"({"rejected": {"reason": "cosmic rays"}})")
+                   .has_value());
+  EXPECT_FALSE(release_outcome_from_json(R"({})").has_value());
+  EXPECT_FALSE(release_outcome_from_json(
+                   R"({"released": 1, "rejected":)"
+                   R"( {"reason": "unknown channel"}})")
+                   .has_value());
+  EXPECT_FALSE(release_outcome_from_json(
+                   R"({"rejected": {"detail": "no reason"}})")
+                   .has_value());
+  // IDs are 16-bit; out-of-range must fail, not truncate.
+  EXPECT_FALSE(release_outcome_from_json(R"({"released": 65536})")
+                   .has_value());
+  EXPECT_FALSE(
+      release_outcome_from_json(R"({"released": 1} trailing)").has_value());
+}
+
 }  // namespace
 }  // namespace rtether::scenario
