@@ -1,0 +1,198 @@
+/// Fault-injection campaign driver + throughput bench.
+///
+/// Runs a fault-heavy scenario campaign (GeneratorProfile::kFaultHeavy —
+/// every scenario carries a deterministic fault plan) and gates on the
+/// survival contract: the campaign must come back green (zero violations of
+/// any kind, survival-contract and calculus-oracle ones included) AND every
+/// fault class must have been injected at least once, so a regression that
+/// silently stops exercising — say — switch reboots fails the job instead
+/// of passing vacuously. Reports scenario throughput and the
+/// calculus-oracle consultation count (BENCH_fault.json) so fault-campaign
+/// capacity joins the repo's perf trajectory.
+///
+/// Usage:
+///   bench_fault_campaign [scenarios] [threads] [json] [seconds] [base_seed]
+///       [--out-dir DIR]
+///
+///   scenarios  campaign size (default 10000)
+///   threads    worker threads, 0 = hardware (default 0)
+///   json       BENCH JSON path (default BENCH_fault.json)
+///   seconds    wall-clock budget, 0 = unbounded (default 0)
+///   base_seed  first seed (default 1); scenario i replays seed base+i
+///   --out-dir  where failing seeds/specs are written (default
+///              fault_failures)
+///
+/// Exit codes: 0 green, 1 failing scenarios, 2 a fault class was never
+/// injected, 3 JSON write failure, 64 usage error.
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "common/json_writer.hpp"
+#include "scenario/campaign.hpp"
+#include "scenario/json_io.hpp"
+#include "sim/fault.hpp"
+
+using namespace rtether;
+
+namespace {
+
+/// Strict numeric argv parsing: a typo'd count must fail the invocation,
+/// not silently become a 0-scenario campaign that exits green.
+bool parse_u64_arg(const char* text, std::uint64_t& out) {
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtoull(text, &end, 10);
+  return errno == 0 && end != text && *end == '\0';
+}
+
+bool parse_double_arg(const char* text, double& out) {
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtod(text, &end);
+  return errno == 0 && end != text && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  scenario::CampaignConfig config;
+  config.scenario_count = 10'000;
+  config.threads = 0;
+  config.generator.profile = scenario::GeneratorProfile::kFaultHeavy;
+  std::string json_path = "BENCH_fault.json";
+  std::string out_dir = "fault_failures";
+
+  int positional = 0;
+  bool ok = true;
+  for (int i = 1; i < argc && ok; ++i) {
+    if (std::strcmp(argv[i], "--out-dir") == 0) {
+      ok = i + 1 < argc;
+      if (ok) out_dir = argv[++i];
+      continue;
+    }
+    std::uint64_t value = 0;
+    switch (positional++) {
+      case 0:
+        ok = parse_u64_arg(argv[i], value);
+        config.scenario_count = static_cast<std::size_t>(value);
+        break;
+      case 1:
+        ok = parse_u64_arg(argv[i], value) && value <= 4096;
+        config.threads = static_cast<unsigned>(value);
+        break;
+      case 2:
+        json_path = argv[i];
+        break;
+      case 3:
+        ok = parse_double_arg(argv[i], config.time_budget_seconds);
+        break;
+      case 4:
+        ok = parse_u64_arg(argv[i], config.base_seed);
+        break;
+      default:
+        ok = false;
+        break;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "bad argument: %s\n", argv[i]);
+    }
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "usage: bench_fault_campaign [scenarios] [threads] [json] "
+                 "[seconds] [base_seed] [--out-dir DIR]\n");
+    return 64;
+  }
+
+  std::printf(
+      "fault campaign: %zu scenarios, %u threads (0=hw), base seed %llu%s\n",
+      config.scenario_count, config.threads,
+      static_cast<unsigned long long>(config.base_seed),
+      config.time_budget_seconds > 0.0 ? ", time-bounded" : "");
+
+  const auto result = scenario::run_campaign(config);
+
+  std::printf(
+      "ran %zu scenarios in %.2f s: %.0f scenarios/s, %llu oracle checks\n",
+      result.scenarios_run, result.seconds, result.scenarios_per_second(),
+      static_cast<unsigned long long>(result.oracle_checks_total));
+  std::uint64_t min_injections = result.fault_injections_total[0];
+  std::printf("  injections per class:");
+  for (std::size_t kind = 0; kind < sim::kFaultKindCount; ++kind) {
+    const std::uint64_t count = result.fault_injections_total[kind];
+    min_injections = std::min(min_injections, count);
+    std::printf(" %s=%llu", sim::to_string(static_cast<sim::FaultKind>(kind)),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("\n  failures=%zu%s\n", result.failures,
+              result.time_budget_hit ? " (time budget hit)" : "");
+
+  if (!result.failing.empty()) {
+    std::filesystem::create_directories(out_dir);
+    for (const auto& failure : result.failing) {
+      const std::string stem =
+          out_dir + "/seed-" + std::to_string(failure.seed);
+      if (!scenario::save_scenario(failure.spec, stem + ".json") ||
+          !scenario::save_scenario(failure.minimized, stem + ".min.json")) {
+        std::fprintf(stderr, "FAILED to write %s\n", stem.c_str());
+      }
+      std::printf("FAILING seed %llu: %s\n  spec: %s\n  min:  %s\n",
+                  static_cast<unsigned long long>(failure.seed),
+                  failure.detail.c_str(), (stem + ".json").c_str(),
+                  (stem + ".min.json").c_str());
+    }
+  }
+
+  JsonWriter json;
+  json.begin_object();
+  json.member("bench", "fault_campaign");
+  json.member("campaign_size",
+              static_cast<std::uint64_t>(config.scenario_count));
+  json.member("scenarios_run",
+              static_cast<std::uint64_t>(result.scenarios_run));
+  json.member("threads", static_cast<std::uint64_t>(config.threads));
+  json.member("base_seed", config.base_seed);
+  json.member("seconds", result.seconds);
+  json.member("shrink_seconds", result.shrink_seconds);
+  json.member("scenarios_per_sec", result.scenarios_per_second());
+  json.member("sim_slots_per_sec", result.simulated_slots_per_second());
+  json.member("oracle_checks", result.oracle_checks_total);
+  json.member("failures", static_cast<std::uint64_t>(result.failures));
+  json.member("min_injections_per_class", min_injections);
+  json.member("time_budget_hit", result.time_budget_hit);
+  json.member("sim_digest_xor", result.sim_digest_xor);
+  json.key("injections_per_class").begin_object();
+  for (std::size_t kind = 0; kind < sim::kFaultKindCount; ++kind) {
+    json.member(sim::to_string(static_cast<sim::FaultKind>(kind)),
+                result.fault_injections_total[kind]);
+  }
+  json.end_object();
+  json.key("failing_seeds").begin_array();
+  for (const auto& failure : result.failing) {
+    json.value(failure.seed);
+  }
+  json.end_array();
+  json.end_object();
+  if (!json.write_file(json_path)) {
+    std::fprintf(stderr, "FAILED to write %s\n", json_path.c_str());
+    return 3;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (result.failures != 0) {
+    return 1;
+  }
+  // Injection-coverage gate: campaigns of ≥1000 fault-heavy scenarios draw
+  // hundreds of events per class; zero means a class stopped firing.
+  if (result.scenarios_run >= 1000 && min_injections == 0) {
+    std::printf("FAIL: a fault class was never injected\n");
+    return 2;
+  }
+  return 0;
+}

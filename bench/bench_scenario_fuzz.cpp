@@ -19,9 +19,12 @@
 ///   base_seed  first seed (default 1); scenario i replays seed base+i
 ///   --out-dir  where failing seeds/specs are written (default
 ///              scenario_failures)
-///   --profile  workload profile: "mixed" (default) or "churn" — the
+///   --profile  workload profile: "mixed" (default), "churn" — the
 ///              churn-heavy steady-state admit/release campaign the nightly
-///              job runs alongside the mixed one
+///              job runs alongside the mixed one — or "faults", where every
+///              scenario carries a fault plan (link down, loss, corruption,
+///              switch reboot, node crash, management delay) and the runner
+///              enforces the survival contract
 ///   --backend KIND
 ///              append an extra `core::AdmissionBackend` kind (e.g.
 ///              "service") to the runner's conformance set — every
@@ -117,6 +120,8 @@ int main(int argc, char** argv) {
           // Longer op streams: steady-state churn needs room to reach and
           // hold saturation, not just ramp up.
           config.generator.max_ops = 96;
+        } else if (profile == "faults") {
+          config.generator.profile = scenario::GeneratorProfile::kFaultHeavy;
         } else {
           ok = false;
         }
@@ -154,7 +159,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: bench_scenario_fuzz [scenarios] [threads] [json] "
                  "[seconds] [base_seed] [--out-dir DIR] "
-                 "[--profile mixed|churn] [--backend KIND] "
+                 "[--profile mixed|churn|faults] [--backend KIND] "
                  "[--min-slots-per-sec N]\n");
     return 64;
   }
@@ -215,6 +220,7 @@ int main(int argc, char** argv) {
   json.member("admitted_total", result.admitted_total);
   json.member("frames_delivered_total", result.frames_delivered_total);
   json.member("failures", static_cast<std::uint64_t>(result.failures));
+  json.member("oracle_checks", result.oracle_checks_total);
   json.member("time_budget_hit", result.time_budget_hit);
   json.member("sim_digest_xor", result.sim_digest_xor);
   json.member("min_slots_per_sec_gate", min_slots_per_sec);

@@ -49,6 +49,12 @@ HEADLINES = {
         ("sim_slots_per_sec", "sim slots", "/s"),
         ("failures", "failures", ""),
     ],
+    "fault_campaign": [
+        ("scenarios_per_sec", "scenarios", "/s"),
+        ("oracle_checks", "oracle checks", ""),
+        ("failures", "failures", ""),
+        ("min_injections_per_class", "min injections/class", ""),
+    ],
     "sim_kernel": [
         ("typed_kernel_slots_per_sec", "typed kernel", " slots/s"),
         ("seed_kernel_slots_per_sec", "seed kernel", " slots/s"),

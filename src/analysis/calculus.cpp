@@ -1,0 +1,145 @@
+#include "analysis/calculus.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace rtether::analysis {
+
+namespace {
+
+/// Directional comparison slack. The envelopes are evaluated in doubles
+/// while the engine works in exact integers, so every verdict leaves a
+/// relative margin: the oracle only speaks when the inequality fails by
+/// more than plausible rounding. Periods can approach 2^64, hence the
+/// relative term.
+double margin(double lhs, double rhs) { return 1e-9 * (lhs + rhs) + 1e-6; }
+
+struct Flow {
+  double period;
+  double capacity;
+  double deadline;
+  double rate;
+};
+
+std::vector<Flow> to_flows(std::span<const edf::PseudoTask> tasks) {
+  std::vector<Flow> flows;
+  flows.reserve(tasks.size());
+  for (const edf::PseudoTask& task : tasks) {
+    const double period = static_cast<double>(task.period);
+    const double capacity = static_cast<double>(task.capacity);
+    flows.push_back(Flow{period, capacity, static_cast<double>(task.deadline),
+                         capacity / period});
+  }
+  return flows;
+}
+
+double total_rate(const std::vector<Flow>& flows) {
+  double rate = 0.0;
+  for (const Flow& flow : flows) rate += flow.rate;
+  return rate;
+}
+
+/// Lower demand envelope at instant t: Σ_{d_i ≤ t} max(C_i, r_i·(t − d_i)).
+double lower_envelope(const std::vector<Flow>& flows, double t) {
+  double demand = 0.0;
+  for (const Flow& flow : flows) {
+    if (flow.deadline > t) continue;
+    demand += std::max(flow.capacity, flow.rate * (t - flow.deadline));
+  }
+  return demand;
+}
+
+/// Upper demand envelope at instant t: Σ_{d_i ≤ t} (C_i + r_i·(t − d_i)).
+double upper_envelope(const std::vector<Flow>& flows, double t) {
+  double demand = 0.0;
+  for (const Flow& flow : flows) {
+    if (flow.deadline > t) continue;
+    demand += flow.capacity + flow.rate * (t - flow.deadline);
+  }
+  return demand;
+}
+
+std::string describe(const char* inequality, double lhs, double t) {
+  return std::string(inequality) + ": demand " + std::to_string(lhs) +
+         " vs budget " + std::to_string(t) + " at t=" + std::to_string(t);
+}
+
+}  // namespace
+
+CalculusVerdict CalculusOracle::check_accept(
+    std::span<const edf::PseudoTask> tasks) {
+  CalculusVerdict verdict;
+  const std::vector<Flow> flows = to_flows(tasks);
+
+  // Asymptotic slope: feasibility implies utilization Σ r ≤ 1; beyond the
+  // last kink the deficit lhs − t shrinks at rate Σ r − 1, so with this
+  // condition the kink instants below cover the whole half-line.
+  const double rate = total_rate(flows);
+  if (rate > 1.0 + margin(rate, 1.0)) {
+    verdict.consistent = false;
+    verdict.detail = "accepted set overloaded: total rate " +
+                     std::to_string(rate) + " > 1";
+    return verdict;
+  }
+
+  // Both kink families: d_j (a flow's C_j lands in the sum) and d_j + P_j
+  // (its max switches from the constant arm to the rate arm).
+  for (const Flow& kink : flows) {
+    for (const double t : {kink.deadline, kink.deadline + kink.period}) {
+      const double lhs = lower_envelope(flows, t);
+      if (lhs > t + margin(lhs, t)) {
+        verdict.consistent = false;
+        verdict.witness_instant = t;
+        verdict.detail =
+            describe("EDF accept violates calculus lower bound", lhs, t);
+        return verdict;
+      }
+    }
+  }
+  return verdict;
+}
+
+CalculusVerdict CalculusOracle::check_reject(
+    std::span<const edf::PseudoTask> tasks, const edf::PseudoTask& candidate) {
+  CalculusVerdict verdict;
+  std::vector<Flow> flows = to_flows(tasks);
+  flows.push_back(to_flows({&candidate, 1}).front());
+
+  // Sufficiency needs every comparison to hold with room to spare (the
+  // margins point the other way here): if any check is even close, the
+  // oracle stays silent and the engine's exact verdict stands.
+  const double rate = total_rate(flows);
+  if (rate + margin(rate, 1.0) > 1.0) return verdict;
+
+  // The upper envelope's only kinks are the deadlines (each term is linear
+  // from d_j on), and the rate condition bounds the tail slope.
+  for (const Flow& kink : flows) {
+    const double t = kink.deadline;
+    const double lhs = upper_envelope(flows, t);
+    if (lhs + margin(lhs, t) > t) return verdict;
+  }
+
+  verdict.consistent = false;
+  verdict.detail =
+      "EDF reject contradicts calculus upper bound: inflated demand fits, "
+      "candidate {P=" +
+      std::to_string(candidate.period) +
+      ", C=" + std::to_string(candidate.capacity) +
+      ", d=" + std::to_string(candidate.deadline) + "} is exactly feasible";
+  return verdict;
+}
+
+double CalculusOracle::fifo_delay_bound(std::span<const CalculusFlow> flows,
+                                        const ServiceCurve& service) {
+  double burst = 0.0;
+  double rate = 0.0;
+  for (const CalculusFlow& flow : flows) {
+    const ArrivalCurve arrival = flow.arrival();
+    burst += arrival.burst;
+    rate += arrival.rate;
+  }
+  if (rate > service.rate) return -1.0;
+  return service.latency + burst / service.rate;
+}
+
+}  // namespace rtether::analysis

@@ -1,0 +1,105 @@
+#pragma once
+
+/// @file calculus.hpp
+/// An independent network-calculus oracle cross-checking the EDF admission
+/// engine. The paper (§18.3) proves feasibility with processor-demand
+/// analysis; network calculus reaches the same questions from the other
+/// side of the literature — token-bucket arrival curves α(t) = b + r·t and
+/// rate-latency service curves β(t) = R·(t − T)⁺ — and the two theories
+/// bound each other:
+///
+///   * every pseudo-task {P, C, d}'s demand-bound function satisfies
+///     dbf(t) ≥ max(C, (C/P)·(t − d)) for t ≥ d (a token-bucket *lower*
+///     envelope), so EDF feasibility (∀t: Σ dbf ≤ t) implies the calculus
+///     inequality Σ_{d_i ≤ t} max(C_i, r_i·(t − d_i)) ≤ t.  An accepted
+///     channel set violating that inequality is a bug in the admission
+///     engine — a *necessary* condition, checked on every accept.
+///
+///   * dually dbf(t) ≤ C + (C/P)·(t − d) for t ≥ d (an *upper* envelope),
+///     so if even the inflated demand Σ (C_i + r_i·(t − d_i)) fits in t,
+///     exact EDF feasibility follows and a rejection is a bug — a
+///     *sufficient* condition, checked on every infeasibility rejection.
+///
+/// Both envelopes are piecewise-linear in t, so each check is exact when
+/// evaluated at the kink instants only (deadlines, plus d+P where the lower
+/// envelope's max switches arms) together with the asymptotic rate condition
+/// Σ r_i ≤ 1. Comparisons carry a directional floating-point margin so the
+/// oracle can only under-report, never false-fail the engine.
+///
+/// The classic FIFO token-bucket delay bound D = T + Σ b_i / R is exposed
+/// for unit-test pins and as the per-hop bound the README documents.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "edf/task.hpp"
+
+namespace rtether::analysis {
+
+/// Token-bucket arrival curve α(t) = burst + rate·t (frames, frames/slot).
+struct ArrivalCurve {
+  double burst{0.0};
+  double rate{0.0};
+};
+
+/// Rate-latency service curve β(t) = rate·max(0, t − latency).
+struct ServiceCurve {
+  double rate{1.0};
+  double latency{0.0};
+};
+
+/// One flow as the calculus sees it: the pseudo-task contract plus its
+/// token-bucket abstraction (burst = C, rate = C/P) and per-link deadline.
+struct CalculusFlow {
+  double period{0.0};
+  double capacity{0.0};
+  double deadline{0.0};
+
+  [[nodiscard]] ArrivalCurve arrival() const {
+    return ArrivalCurve{capacity, capacity / period};
+  }
+};
+
+/// Verdict of one oracle consultation.
+struct CalculusVerdict {
+  bool consistent{true};
+  /// The demand instant t (slots) where the inequality failed; 0 when
+  /// consistent.
+  double witness_instant{0.0};
+  /// Human-readable diagnosis for replayable failure reports.
+  std::string detail;
+};
+
+/// Independent cross-checker for per-link EDF admission decisions.
+///
+/// Stateless; all methods are pure functions of their arguments so the
+/// scenario runner can consult it concurrently from shard workers.
+class CalculusOracle {
+ public:
+  /// Necessary condition on an *accepted* task set: EDF feasibility implies
+  /// the lower-envelope inequality Σ_{d_i ≤ t} max(C_i, r_i·(t − d_i)) ≤ t
+  /// at every kink instant, plus Σ r_i ≤ 1. Returns inconsistent iff the
+  /// accepted set provably violates it — i.e. the engine accepted an
+  /// infeasible set.
+  [[nodiscard]] static CalculusVerdict check_accept(
+      std::span<const edf::PseudoTask> tasks);
+
+  /// Sufficient condition on a *rejected* candidate set (live tasks plus
+  /// the candidate the engine refused): if even the upper-envelope demand
+  /// Σ (C_i + r_i·(t − d_i)) fits within t at every deadline instant and
+  /// Σ r_i ≤ 1, exact EDF feasibility follows and the rejection was wrong.
+  /// Returns inconsistent iff the rejection is provably unjustified.
+  [[nodiscard]] static CalculusVerdict check_reject(
+      std::span<const edf::PseudoTask> tasks, const edf::PseudoTask& candidate);
+
+  /// Classic FIFO aggregate bound for token-bucket flows through one
+  /// rate-latency server: D = T + Σ b_i / R, valid when Σ r_i ≤ R.
+  /// Returns a negative value when the server is overloaded (no bound).
+  [[nodiscard]] static double fifo_delay_bound(
+      std::span<const CalculusFlow> flows, const ServiceCurve& service);
+};
+
+}  // namespace rtether::analysis

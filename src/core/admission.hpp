@@ -123,6 +123,17 @@ class AdmissionController {
     return *partitioner_;
   }
 
+  /// Forgets every live channel and returns the ID allocator to its
+  /// initial state — the admission half of a switch reboot (volatile
+  /// channel table lost; scheme and config survive in firmware). Running
+  /// stats keep counting across the reboot. A post-reboot re-admission
+  /// sequence is therefore bit-identical to the same sequence on a fresh
+  /// controller — the survival contract the scenario runner enforces.
+  void reset() {
+    state_ = NetworkState(state_.node_count());
+    ids_ = ChannelIdAllocator{};
+  }
+
  private:
   NetworkState state_;
   std::unique_ptr<DeadlinePartitioner> partitioner_;

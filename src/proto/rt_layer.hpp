@@ -111,6 +111,16 @@ class NodeRtLayer {
   }
   [[nodiscard]] const TxChannel* find_tx(ChannelId id) const;
 
+  /// Drops every TX/RX channel table entry without any teardown exchange —
+  /// the node-side half of a switch reboot (fault injection): the switch
+  /// lost its channel table, so the node's contracts are void and must be
+  /// re-established through the normal request path. In-flight requests
+  /// are untouched (the scenario runner quiesces before a reboot).
+  void reset_channels() {
+    tx_channels_.clear();
+    rx_channels_.clear();
+  }
+
  private:
   struct PendingRequest {
     net::RequestFrame frame;

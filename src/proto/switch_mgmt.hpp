@@ -50,6 +50,19 @@ class SwitchMgmt {
   }
   [[nodiscard]] const SwitchMgmtStats& stats() const { return stats_; }
 
+  /// Simulates a switch reboot (fault injection): the volatile channel
+  /// table, pending approvals, request dedup state and the learned MAC
+  /// forwarding table are all lost; the admission scheme and config
+  /// survive in firmware. Nodes must re-register their channels — the
+  /// scenario runner drives that re-establishment and checks it is
+  /// bit-identical to admitting on a fresh switch.
+  void reboot() {
+    awaiting_destination_.clear();
+    seen_requests_.clear();
+    controller_.reset();
+    network_.ethernet_switch().flush_forwarding();
+  }
+
  private:
   void on_management(const sim::SimFrame& frame, NodeId ingress, Tick now);
   void handle_request(const net::RequestFrame& request, NodeId ingress);

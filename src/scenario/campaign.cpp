@@ -49,6 +49,10 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     result.admitted_total += run.admitted;
     result.frames_delivered_total += run.frames_delivered;
     result.simulated_slots_total += run.simulated_slots;
+    for (std::size_t kind = 0; kind < run.fault_injections.size(); ++kind) {
+      result.fault_injections_total[kind] += run.fault_injections[kind];
+    }
+    result.oracle_checks_total += run.oracle_checks;
     // Rotate the fields so (events, hash) pairs cannot cancel across
     // scenarios; XOR keeps the fold order-independent.
     result.sim_digest_xor ^= run.sim_digest.link_stats_hash ^

@@ -8,6 +8,7 @@
 /// campaign smoke tests; scenario throughput is a first-class perf metric
 /// (BENCH_scenario_fuzz.json).
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -56,6 +57,12 @@ struct CampaignResult {
   std::uint64_t admitted_total{0};
   std::uint64_t frames_delivered_total{0};
   std::uint64_t simulated_slots_total{0};
+  /// Per-fault-class injection totals across every scenario (indexed by
+  /// sim::FaultKind). A fault-heavy campaign gates on each class being
+  /// nonzero — proof the whole fault universe was actually exercised.
+  std::array<std::uint64_t, sim::kFaultKindCount> fault_injections_total{};
+  /// Calculus-oracle consultations across every scenario.
+  std::uint64_t oracle_checks_total{0};
   /// XOR of every scenario's SimDigest fields (order-independent, so it is
   /// identical across thread counts and interleavings). Campaigns run with
   /// the same seeds on two kernel builds must agree on this fingerprint.

@@ -96,10 +96,16 @@ ScenarioSpec generate_scenario(const GeneratorConfig& config,
   spec.seed = seed;
   spec.name = "fuzz-" + std::to_string(seed);
 
+  // Fault plans are defined over the simulated star wire, so the
+  // fault-heavy profile never draws a multi-switch topology. (Its seed
+  // expansion is free to diverge from kMixed; the other profiles' streams
+  // must stay byte-identical across releases.)
+  const bool fault_heavy = config.profile == GeneratorProfile::kFaultHeavy;
+
   // --- Topology ----------------------------------------------------------
   spec.topology.nodes = static_cast<std::uint32_t>(
       config.min_nodes + rng.index(config.max_nodes - config.min_nodes + 1));
-  if (config.max_switches >= 2 &&
+  if (!fault_heavy && config.max_switches >= 2 &&
       rng.bernoulli(config.multiswitch_probability)) {
     spec.topology.kind = rng.bernoulli(0.5) ? TopologyKind::kSwitchLine
                                             : TopologyKind::kSwitchTree;
@@ -238,6 +244,54 @@ ScenarioSpec generate_scenario(const GeneratorConfig& config,
     spec.best_effort_load = 0.2 + 0.6 * rng.uniform_real();
     spec.bursty_best_effort =
         style == WorkloadStyle::kBursty || rng.bernoulli(0.3);
+  }
+
+  // --- Fault plan (fault-heavy profile only) -----------------------------
+  // Drawn last so the dice above keep their historical meaning; the run is
+  // stretched so every window has room to open, act and close.
+  if (fault_heavy) {
+    spec.run_slots = std::max<Slot>(spec.run_slots, 200);
+    const std::size_t fault_count = 1 + rng.index(3);
+    bool structural_used = false;
+    for (std::size_t f = 0; f < fault_count; ++f) {
+      sim::FaultEvent fault;
+      auto kind = static_cast<sim::FaultKind>(rng.index(sim::kFaultKindCount));
+      const bool structural = kind == sim::FaultKind::kSwitchReboot ||
+                              kind == sim::FaultKind::kNodeCrash;
+      if (structural && structural_used) {
+        // At most one structural fault per scenario (the runner segments
+        // the run around it exactly once).
+        kind = sim::FaultKind::kFrameLoss;
+      }
+      fault.kind = kind;
+      fault.node = NodeId{static_cast<std::uint32_t>(rng.index(nodes))};
+      fault.at_slot = 10 + rng.index(spec.run_slots / 2);
+      switch (kind) {
+        case sim::FaultKind::kLinkDown:
+          fault.duration_slots = 20 + rng.index(spec.run_slots / 3);
+          fault.downlink = rng.bernoulli(0.5);
+          break;
+        case sim::FaultKind::kFrameLoss:
+        case sim::FaultKind::kFrameCorrupt:
+          fault.duration_slots = 20 + rng.index(spec.run_slots / 3);
+          fault.downlink = rng.bernoulli(0.5);
+          fault.probability = 0.05 + 0.45 * rng.uniform_real();
+          break;
+        case sim::FaultKind::kSwitchReboot:
+        case sim::FaultKind::kNodeCrash:
+          structural_used = true;
+          break;
+        case sim::FaultKind::kMgmtDelay:
+          fault.at_slot = 0;  // whole-run; sorts first
+          fault.delay_ticks = 1 + rng.index(3 * spec.ticks_per_slot);
+          break;
+      }
+      spec.faults.push_back(fault);
+    }
+    std::stable_sort(spec.faults.begin(), spec.faults.end(),
+                     [](const sim::FaultEvent& a, const sim::FaultEvent& b) {
+                       return a.at_slot < b.at_slot;
+                     });
   }
 
   RTETHER_ASSERT_MSG(spec.well_formed(), "generator produced malformed spec");

@@ -25,6 +25,12 @@ enum class GeneratorProfile : std::uint8_t {
   /// stays at saturation instead of draining. Exercises the release
   /// downdate path of every engine (negative paths stay enabled).
   kChurnHeavy,
+  /// Every scenario carries a fault plan (1–3 events drawn across all six
+  /// classes, at most one structural reboot/crash) on a simulated star with
+  /// a run long enough for the windows to open and close. Exercises the
+  /// survival contract and the recovery paths; the calculus oracle still
+  /// audits every admission decision.
+  kFaultHeavy,
 };
 
 /// Bounds on what the generator may produce. Defaults are sized so a

@@ -34,6 +34,40 @@ std::string to_json(const ScenarioSpec& spec) {
   json.member("bursty_best_effort", spec.bursty_best_effort);
   json.end_object();
 
+  // Emitted only when present so every pre-fault corpus entry stays
+  // byte-identical under a save/load round-trip.
+  if (!spec.faults.empty()) {
+    json.key("faults").begin_array();
+    for (const auto& fault : spec.faults) {
+      json.begin_object();
+      json.member("kind", sim::to_string(fault.kind));
+      json.member("node", static_cast<std::uint64_t>(fault.node.value()));
+      switch (fault.kind) {
+        case sim::FaultKind::kLinkDown:
+          json.member("at_slot", fault.at_slot);
+          json.member("duration_slots", fault.duration_slots);
+          json.member("downlink", fault.downlink);
+          break;
+        case sim::FaultKind::kFrameLoss:
+        case sim::FaultKind::kFrameCorrupt:
+          json.member("at_slot", fault.at_slot);
+          json.member("duration_slots", fault.duration_slots);
+          json.member("downlink", fault.downlink);
+          json.member("probability", fault.probability);
+          break;
+        case sim::FaultKind::kSwitchReboot:
+        case sim::FaultKind::kNodeCrash:
+          json.member("at_slot", fault.at_slot);
+          break;
+        case sim::FaultKind::kMgmtDelay:
+          json.member("delay_ticks", fault.delay_ticks);
+          break;
+      }
+      json.end_object();
+    }
+    json.end_array();
+  }
+
   json.key("ops").begin_array();
   for (const auto& op : spec.ops) {
     json.begin_object();
@@ -338,6 +372,44 @@ bool parse_op(Reader& reader, ScenarioOp& op) {
   return true;
 }
 
+bool parse_fault(Reader& reader, sim::FaultEvent& fault) {
+  bool saw_kind = false;
+  const bool ok = reader.parse_object([&](const std::string& key) {
+    std::uint64_t value = 0;
+    if (key == "kind") {
+      std::string kind;
+      if (!reader.parse_string(kind)) return false;
+      const auto parsed = sim::fault_kind_from_string(kind);
+      if (!parsed.has_value()) {
+        return reader.fail("unknown fault kind '" + kind + "'");
+      }
+      fault.kind = *parsed;
+      saw_kind = true;
+      return true;
+    }
+    if (key == "node") {
+      if (!reader.parse_bounded(0xffffffffULL, value)) return false;
+      fault.node = NodeId{static_cast<std::uint32_t>(value)};
+      return true;
+    }
+    if (key == "at_slot") return reader.parse_u64(fault.at_slot);
+    if (key == "duration_slots") return reader.parse_u64(fault.duration_slots);
+    if (key == "downlink") return reader.parse_bool(fault.downlink);
+    if (key == "probability") {
+      if (!reader.parse_double(fault.probability)) return false;
+      if (fault.probability < 0.0 || fault.probability > 1.0) {
+        return reader.fail("fault probability out of range [0, 1]");
+      }
+      return true;
+    }
+    if (key == "delay_ticks") return reader.parse_u64(fault.delay_ticks);
+    return reader.fail("unknown fault key '" + key + "'");
+  });
+  if (!ok) return false;
+  if (!saw_kind) return reader.fail("fault without a \"kind\"");
+  return true;
+}
+
 }  // namespace
 
 Expected<ScenarioSpec, std::string> from_json(std::string_view json) {
@@ -351,6 +423,14 @@ Expected<ScenarioSpec, std::string> from_json(std::string_view json) {
     if (key == "scheme") return reader.parse_string(spec.scheme);
     if (key == "topology") return parse_topology(reader, spec.topology);
     if (key == "sim") return parse_sim(reader, spec);
+    if (key == "faults") {
+      return reader.parse_array([&] {
+        sim::FaultEvent fault;
+        if (!parse_fault(reader, fault)) return false;
+        spec.faults.push_back(fault);
+        return true;
+      });
+    }
     if (key == "ops") {
       return reader.parse_array([&] {
         ScenarioOp op;
@@ -372,8 +452,9 @@ Expected<ScenarioSpec, std::string> from_json(std::string_view json) {
                       std::string(kScenarioSchema) + "')");
   }
   if (!spec.well_formed()) {
-    return Unexpected(std::string("scenario is not well-formed (release "
-                                  "targets must point back at admit ops)"));
+    return Unexpected(std::string(
+        "scenario is not well-formed (release targets must point back at "
+        "admit ops; fault plans need a simulated star and sane windows)"));
   }
   return spec;
 }

@@ -8,12 +8,18 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/calculus.hpp"
+#include "common/bytes.hpp"
 #include "core/admission.hpp"
 #include "core/admission_backend.hpp"
 #include "edf/feasibility.hpp"
+#include "net/ethernet.hpp"
+#include "net/mgmt_frames.hpp"
 #include "proto/periodic_sender.hpp"
 #include "proto/stack.hpp"
+#include "sim/addressing.hpp"
 #include "sim/best_effort.hpp"
+#include "sim/fault.hpp"
 
 namespace rtether::scenario {
 
@@ -43,6 +49,14 @@ const char* to_string(ViolationKind kind) {
       return "RT frame lost in simulation";
     case ViolationKind::kSimBudgetExhausted:
       return "simulation event budget exhausted (runaway guard)";
+    case ViolationKind::kFaultContract:
+      return "fault survival contract broken";
+    case ViolationKind::kReadmissionDivergence:
+      return "post-reboot re-admission diverges from fresh admission";
+    case ViolationKind::kCalculusViolation:
+      return "EDF accept violates the network-calculus bound";
+    case ViolationKind::kCalculusDisagreement:
+      return "EDF reject contradicts the network-calculus bound";
   }
   return "?";
 }
@@ -242,12 +256,14 @@ bool run_star_engines(
     // The audit mirrors admission_flow's gate: candidates are only
     // requested for valid specs between known nodes with ID headroom.
     const auto& request = op.spec;
+    std::vector<core::DeadlinePartition> candidates;
+    bool audited = false;
     if (request.valid() && controller.state().node_exists(request.source) &&
         controller.state().node_exists(request.destination) &&
         controller.state().channel_count() <
             core::ChannelIdAllocator::kCapacity) {
-      const auto candidates =
-          audit_dps->candidates(request, controller.state());
+      candidates = audit_dps->candidates(request, controller.state());
+      audited = true;
       for (const auto& candidate : candidates) {
         if (!candidate.satisfies(request)) {
           std::ostringstream detail;
@@ -262,8 +278,60 @@ bool run_star_engines(
     if (outcome.has_value()) {
       ++ctx.result.admitted;
       id_by_op[i] = outcome->id;
+      // Independent cross-theory audit (necessary direction): the two link
+      // task sets the engine just committed must satisfy the
+      // network-calculus lower envelope — EDF feasibility implies it.
+      for (const auto& [node, dir] :
+           {std::pair{request.source, core::LinkDirection::kUplink},
+            std::pair{request.destination, core::LinkDirection::kDownlink}}) {
+        const auto verdict = analysis::CalculusOracle::check_accept(
+            controller.state().link(node, dir).tasks());
+        ++ctx.result.oracle_checks;
+        if (!verdict.consistent) {
+          return ctx.fail(ViolationKind::kCalculusViolation, i,
+                          std::string(core::to_string(dir)) + " of node " +
+                              std::to_string(node.value()) + ": " +
+                              verdict.detail);
+        }
+      }
     } else {
       ++ctx.result.rejected;
+      // Cross-theory audit (sufficient direction): an infeasibility
+      // rejection is wrong if some DPS candidate is calculus-provably
+      // feasible on *both* links (check_reject reports inconsistent
+      // exactly when the inflated upper envelope fits — which implies
+      // exact EDF feasibility).
+      const auto reason = outcome.error().reason;
+      if (audited && (reason == core::RejectReason::kUplinkInfeasible ||
+                      reason == core::RejectReason::kDownlinkInfeasible)) {
+        for (const auto& candidate : candidates) {
+          const edf::PseudoTask up{ChannelId{0}, request.period,
+                                   request.capacity, candidate.uplink};
+          const edf::PseudoTask down{ChannelId{0}, request.period,
+                                     request.capacity, candidate.downlink};
+          const auto uplink_verdict = analysis::CalculusOracle::check_reject(
+              controller.state()
+                  .link(request.source, core::LinkDirection::kUplink)
+                  .tasks(),
+              up);
+          const auto downlink_verdict = analysis::CalculusOracle::check_reject(
+              controller.state()
+                  .link(request.destination, core::LinkDirection::kDownlink)
+                  .tasks(),
+              down);
+          ctx.result.oracle_checks += 2;
+          if (!uplink_verdict.consistent && !downlink_verdict.consistent) {
+            std::ostringstream detail;
+            detail << "candidate d_iu=" << candidate.uplink
+                   << " d_id=" << candidate.downlink << " for "
+                   << request.to_string()
+                   << " rejected although both links pass the calculus "
+                      "sufficiency check";
+            return ctx.fail(ViolationKind::kCalculusDisagreement, i,
+                            detail.str());
+          }
+        }
+      }
     }
     ref_by_op[i] = std::move(outcome);
   }
@@ -518,8 +586,25 @@ bool run_simulation(
     }
   }
 
+  // The fault plan (if any) hooks every transmitter now, so windows are
+  // relative to the measured run's start — establishment above ran on a
+  // pristine wire and its conformance checks stay exact.
+  sim::FaultInjector injector(spec.seed);
+  const sim::FaultEvent* structural = nullptr;
+  for (const auto& fault : spec.faults) {
+    if (fault.kind == sim::FaultKind::kSwitchReboot ||
+        fault.kind == sim::FaultKind::kNodeCrash) {
+      structural = &fault;  // well_formed: at most one
+    }
+  }
+  if (!spec.faults.empty()) {
+    injector.install(network, spec.faults, network.now());
+  }
+
   // Synchronous periodic senders on every surviving channel (phase 0 — the
   // worst-case aligned release pattern), optional best-effort background.
+  // `live` doubles as the measured-channel roster for the end-of-run
+  // checks; a reboot appends its re-registered channels to it.
   std::vector<const proto::EstablishedChannel*> channels;
   channels.reserve(live.size());
   for (const auto& [id, channel] : live) channels.push_back(&channel);
@@ -527,6 +612,8 @@ bool run_simulation(
             [](const auto* a, const auto* b) { return a->id < b->id; });
 
   Slot max_deadline = 0;
+  // Senders are only ever stopped, never destroyed mid-run: a stopped
+  // sender may still have one armed kernel timer pointing at it.
   std::vector<std::unique_ptr<proto::PeriodicRtSender>> senders;
   for (const auto* channel : channels) {
     max_deadline = std::max(max_deadline, channel->deadline);
@@ -545,8 +632,155 @@ bool run_simulation(
                                                     spec.seed ^ 0xbeefULL);
   }
 
-  const Tick stop_at =
-      network.now() + sim_config.slots_to_ticks(spec.run_slots);
+  const Tick run_start = network.now();
+  Tick stop_at = run_start + sim_config.slots_to_ticks(spec.run_slots);
+  bool rebooted = false;
+
+  // Structural faults segment the measured run: run to the fault instant,
+  // execute the fault and its recovery protocol (which steps the simulator
+  // itself), then continue to the stop.
+  if (structural != nullptr) {
+    const Tick fault_at =
+        run_start + sim_config.slots_to_ticks(structural->at_slot);
+    if (!network.simulator().run_until(fault_at)) {
+      return ctx.fail(ViolationKind::kSimBudgetExhausted,
+                      static_cast<std::size_t>(-1),
+                      "runaway guard tripped before the structural fault");
+    }
+    if (structural->kind == sim::FaultKind::kSwitchReboot) {
+      // --- Switch reboot: tables lost, nodes must re-register. ----------
+      rebooted = true;
+      injector.record_structural(sim::FaultKind::kSwitchReboot);
+      for (auto& sender : senders) sender->stop();
+      stack.management().reboot();
+      for (std::uint32_t n = 0; n < spec.topology.nodes; ++n) {
+        stack.layer(NodeId{n}).reset_channels();
+      }
+      // Re-register the surviving set in ID order over the wire; the
+      // outcome must be bit-identical to admitting the same specs, in the
+      // same order, on a fresh controller (the reboot erased all state, so
+      // nothing else is acceptable).
+      core::AdmissionController fresh(
+          spec.topology.nodes, ctx.options.partitioner_factory(spec.scheme));
+      std::vector<proto::EstablishedChannel> survivors;
+      survivors.reserve(channels.size());
+      for (const auto* channel : channels) survivors.push_back(*channel);
+      std::vector<proto::EstablishedChannel> restarted;
+      restarted.reserve(survivors.size());
+      for (const auto& old : survivors) {
+        const auto re = stack.establish(old.source, old.destination,
+                                        old.period, old.capacity,
+                                        old.deadline);
+        ChannelSpec request;
+        request.source = old.source;
+        request.destination = old.destination;
+        request.period = old.period;
+        request.capacity = old.capacity;
+        request.deadline = old.deadline;
+        const auto expected = fresh.request(request);
+        if (re.has_value() != expected.has_value() ||
+            (re.has_value() &&
+             (re->id != expected->id ||
+              re->uplink_deadline != expected->partition.uplink))) {
+          std::ostringstream detail;
+          detail << "re-registration of old channel " << old.id.value()
+                 << " (" << request.to_string() << "): wire "
+                 << (re.has_value()
+                         ? "id=" + std::to_string(re->id.value()) +
+                               " d_iu=" + std::to_string(re->uplink_deadline)
+                         : "rejected (" + re.error() + ")")
+                 << " vs fresh controller " << describe(expected);
+          return ctx.fail(ViolationKind::kReadmissionDivergence,
+                          static_cast<std::size_t>(-1), detail.str());
+        }
+        if (re.has_value()) {
+          max_deadline = std::max(max_deadline, re->deadline);
+          live[re->id.value()] = *re;
+          restarted.push_back(*re);
+        }
+      }
+      // Restart the release pattern only once every survivor is back, at
+      // the next boundary of the *original* slot grid. The slotted EDF
+      // analysis assumes slot-aligned synchronous releases; each handshake
+      // above ends at an arbitrary tick, and starting senders there would
+      // offset the streams against each other by sub-slot amounts — at
+      // full utilization that is a *permanent* sub-slot lateness (found by
+      // the fault campaign as systematic 9-tick misses after a reboot).
+      const Tick ticks_per_slot = sim_config.slots_to_ticks(1);
+      const Tick off_grid = (network.now() - run_start) % ticks_per_slot;
+      if (off_grid != 0 &&
+          !network.simulator().run_until(network.now() +
+                                         (ticks_per_slot - off_grid))) {
+        return ctx.fail(ViolationKind::kSimBudgetExhausted,
+                        static_cast<std::size_t>(-1),
+                        "runaway guard tripped aligning the reboot restart");
+      }
+      for (const auto& channel : restarted) {
+        senders.push_back(std::make_unique<proto::PeriodicRtSender>(
+            stack.layer(channel.source), channel.id));
+        senders.back()->start();
+      }
+    } else {
+      // --- Node crash: its channels are torn down, then the wire absorbs
+      // a storm of stale/duplicate teardown frames from the dead node. ---
+      injector.record_structural(sim::FaultKind::kNodeCrash);
+      const NodeId crashed = structural->node;
+      for (auto& sender : senders) {
+        const auto it = live.find(sender->channel().value());
+        if (it != live.end() && it->second.source == crashed) sender->stop();
+      }
+      std::vector<proto::EstablishedChannel> victims;
+      const proto::EstablishedChannel* bystander = nullptr;
+      for (const auto* channel : channels) {
+        if (channel->source == crashed) {
+          victims.push_back(*channel);
+        } else if (bystander == nullptr) {
+          bystander = channel;
+        }
+      }
+      for (const auto& victim : victims) stack.teardown(victim);
+      // Raw management injection, bypassing the RT layer's bookkeeping —
+      // exactly what a half-dead node's retransmit buffer would emit.
+      auto inject_teardown = [&](NodeId from, ChannelId id) {
+        net::TeardownFrame teardown;
+        teardown.rt_channel = id;
+        teardown.is_ack = false;
+        net::EthernetHeader ethernet;
+        ethernet.destination = sim::switch_mac();
+        ethernet.source = sim::node_mac(from);
+        ethernet.ether_type = net::EtherType::kRtManagement;
+        const auto payload = teardown.serialize();
+        ByteWriter writer(net::EthernetHeader::kWireSize + payload.size());
+        ethernet.serialize(writer);
+        writer.write_bytes(payload);
+        sim::SimFrame frame = sim::SimFrame::make(network.next_frame_id(),
+                                                  std::move(writer).take(), 0,
+                                                  network.now(), from);
+        network.node(from).send_best_effort(std::move(frame));
+      };
+      // Duplicates: teardowns for channels already gone (must be re-acked
+      // and ignored). Stray: a teardown for a *live* bystander channel
+      // from the wrong node (must not tear it down — the bystander's
+      // clean-channel check below proves it survived).
+      for (const auto& victim : victims) {
+        inject_teardown(crashed, victim.id);
+      }
+      if (bystander != nullptr) {
+        inject_teardown(crashed, bystander->id);
+      }
+    }
+    // The recovery protocol steps the simulator itself, and its management
+    // handshakes queue at best-effort priority — behind whatever backlog
+    // the cross-traffic built up — so recovery can overrun the nominal
+    // stop by far. Running to a stop instant that is already in the past
+    // would end the run mid-flight (frames stranded in queues look like
+    // unbooked losses). Give the recovered network the full remainder of
+    // the measured run instead.
+    stop_at = std::max(
+        stop_at, network.now() + sim_config.slots_to_ticks(
+                                     spec.run_slots - structural->at_slot));
+  }
+
   if (!network.simulator().run_until(stop_at)) {
     return ctx.fail(ViolationKind::kSimBudgetExhausted,
                     static_cast<std::size_t>(-1),
@@ -563,25 +797,78 @@ bool run_simulation(
                     static_cast<std::size_t>(-1),
                     "runaway guard tripped during the drain");
   }
-  ctx.result.simulated_slots = spec.run_slots + drain_slots;
+  ctx.result.simulated_slots =
+      (stop_at - run_start) / sim_config.slots_to_ticks(1) + drain_slots;
   ctx.result.sim_digest = compute_sim_digest(network);
+  ctx.result.fault_injections = injector.injections();
+  // Which channels a fault may legitimately have touched. After a reboot
+  // every channel is in scope (and re-registration may have recycled IDs
+  // across different specs, so per-ID attribution is meaningless anyway).
+  const auto in_fault_scope = [&](const proto::EstablishedChannel& channel) {
+    if (rebooted) return true;
+    for (const auto& fault : spec.faults) {
+      switch (fault.kind) {
+        case sim::FaultKind::kLinkDown:
+        case sim::FaultKind::kFrameLoss:
+        case sim::FaultKind::kFrameCorrupt:
+          if (fault.downlink ? channel.destination == fault.node
+                             : channel.source == fault.node) {
+            return true;
+          }
+          break;
+        case sim::FaultKind::kNodeCrash:
+          if (channel.source == fault.node) return true;
+          break;
+        case sim::FaultKind::kSwitchReboot:
+        case sim::FaultKind::kMgmtDelay:
+          break;  // reboot handled above; mgmt delay touches no channel
+      }
+    }
+    return false;
+  };
 
-  for (const auto* channel : channels) {
-    const auto stats = network.stats().channel(channel->id);
+  // The survival contract. Deadline misses must be zero for *every*
+  // channel — the fault model only removes load (a dropped frame consumed
+  // its wire time first), so EDF's guarantee is untouched. Channels
+  // outside every fault's scope must be loss-free; channels in scope must
+  // account for every frame exactly: sent == delivered + dropped.
+  for (const auto& [idv, channel] : live) {
+    const auto stats = network.stats().channel(channel.id);
     if (!stats) continue;  // period longer than the run; nothing released
     ctx.result.frames_delivered += stats->frames_delivered;
     if (stats->deadline_misses != 0) {
       std::ostringstream detail;
-      detail << "channel " << channel->id.value() << " (d="
-             << channel->deadline << ") missed " << stats->deadline_misses
+      detail << "channel " << channel.id.value() << " (d="
+             << channel.deadline << ") missed " << stats->deadline_misses
              << " of " << stats->frames_sent << " frames; worst lateness "
              << stats->worst_lateness_ticks << " ticks";
       return ctx.fail(ViolationKind::kDeadlineMiss,
                       static_cast<std::size_t>(-1), detail.str());
     }
+    if (in_fault_scope(channel)) {
+      if (stats->frames_sent !=
+          stats->frames_delivered + stats->frames_dropped) {
+        std::ostringstream detail;
+        detail << "faulted channel " << channel.id.value() << " sent "
+               << stats->frames_sent << " but delivered "
+               << stats->frames_delivered << " + dropped "
+               << stats->frames_dropped << " does not add up";
+        return ctx.fail(ViolationKind::kFaultContract,
+                        static_cast<std::size_t>(-1), detail.str());
+      }
+      continue;
+    }
+    if (stats->frames_dropped != 0) {
+      std::ostringstream detail;
+      detail << "channel " << channel.id.value()
+             << " is outside every fault's scope but booked "
+             << stats->frames_dropped << " fault drops";
+      return ctx.fail(ViolationKind::kFaultContract,
+                      static_cast<std::size_t>(-1), detail.str());
+    }
     if (stats->frames_sent != stats->frames_delivered) {
       std::ostringstream detail;
-      detail << "channel " << channel->id.value() << " sent "
+      detail << "channel " << channel.id.value() << " sent "
              << stats->frames_sent << " but delivered "
              << stats->frames_delivered;
       return ctx.fail(ViolationKind::kFrameLoss,
@@ -610,7 +897,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
   RunContext ctx{spec, resolved, {}};
   if (!spec.well_formed()) {
     ctx.fail(ViolationKind::kMalformedSpec, static_cast<std::size_t>(-1),
-             "release targets must point back at admit ops");
+             "release targets must point back at admit ops and fault plans "
+             "need a simulated star with sane windows");
     return ctx.result;
   }
 

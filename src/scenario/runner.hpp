@@ -23,6 +23,23 @@
 ///      slot-accurate simulator, optionally against best-effort
 ///      cross-traffic: every frame of every admitted channel must arrive
 ///      within d_i + T_latency (Eq 18.1), with zero losses.
+///   3. **Survival** — scenarios with a fault plan (`spec.faults`) replay
+///      it against the simulated wire: windowed faults (link down, frame
+///      loss, CRC corruption, management delay) act through the
+///      transmitter fault hooks, structural faults (switch reboot, node
+///      crash) run their recovery protocol between simulation segments.
+///      The contract: deadline misses stay zero for *every* channel
+///      (faults only remove load from the EDF schedule), channels outside
+///      every fault's scope stay loss-free, faulted channels account for
+///      every frame exactly (sent == delivered + dropped), and post-reboot
+///      re-registration is bit-identical to admitting the same channels on
+///      a fresh controller.
+///   4. **Calculus cross-check** — every reference admission decision is
+///      audited by the independent `analysis::CalculusOracle`: an accept
+///      must satisfy the network-calculus necessary condition, and an
+///      infeasibility rejection must not contradict the calculus
+///      sufficient condition. Either way a violation is a replayable
+///      scenario failure, not a process abort.
 ///
 /// The runner additionally audits every DPS candidate against Eqs
 /// 18.8/18.9 *before* the engines see it. The engines enforce those
@@ -32,6 +49,7 @@
 /// lets the shrinker minimize such bugs — see the off-by-one demo in
 /// tests/scenario/test_scenario_shrinker.cpp.
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -41,6 +59,7 @@
 #include "core/multihop.hpp"
 #include "core/partitioner.hpp"
 #include "scenario/spec.hpp"
+#include "sim/fault.hpp"
 
 namespace rtether::scenario {
 
@@ -57,6 +76,10 @@ enum class ViolationKind : std::uint8_t {
   kDeadlineMiss,          ///< simulation: frame late (Eq 18.1 violated)
   kFrameLoss,             ///< simulation: RT frame sent but never delivered
   kSimBudgetExhausted,    ///< simulation: kernel runaway guard tripped
+  kFaultContract,         ///< fault survival contract broken (see below)
+  kReadmissionDivergence, ///< post-reboot re-admission != fresh admission
+  kCalculusViolation,     ///< EDF accept breaks the calculus lower bound
+  kCalculusDisagreement,  ///< EDF reject despite calculus-proven feasibility
 };
 
 [[nodiscard]] const char* to_string(ViolationKind kind);
@@ -102,6 +125,13 @@ struct ScenarioResult {
   std::uint64_t simulated_slots{0};
   /// Simulation fingerprint (all-zero when the sim phase was skipped).
   SimDigest sim_digest;
+  /// Per-fault-class injection counts (frames affected for windowed
+  /// classes, occurrences for structural ones); all zero without a fault
+  /// plan. Campaigns aggregate these to prove every class was exercised.
+  std::array<std::uint64_t, sim::kFaultKindCount> fault_injections{};
+  /// Calculus-oracle consultations this scenario triggered (necessary
+  /// checks on accepts, sufficiency checks on infeasibility rejections).
+  std::uint64_t oracle_checks{0};
 
   [[nodiscard]] std::string summary() const;
 };

@@ -48,6 +48,7 @@ class Shrinker {
     failure_ = original;
 
     shrink_ops();
+    shrink_faults();
     shrink_nodes();
     shrink_quantities();
     shrink_sim_knobs();
@@ -96,6 +97,40 @@ class Shrinker {
     }
   }
 
+  /// ddmin over the fault plan: remove chunks of halving size, then single
+  /// events. Removal-only by design — surviving events keep their relative
+  /// order and their at_slot anchors, so the tick-ordering invariant the
+  /// runner relies on (nondecreasing at_slot, faults firing where the
+  /// original run put them relative to the op stream) is preserved by
+  /// construction. Reordering or re-anchoring faults would shrink into a
+  /// *different* scenario, not a smaller replay of the same failure.
+  void shrink_faults() {
+    bool progress = true;
+    while (progress && attempts_ < options_.max_attempts) {
+      progress = false;
+      for (std::size_t chunk =
+               std::max<std::size_t>(best_.faults.size() / 2, 1);
+           chunk >= 1 && !best_.faults.empty(); chunk /= 2) {
+        for (std::size_t start = 0; start < best_.faults.size();) {
+          ScenarioSpec candidate = best_;
+          const std::size_t end =
+              std::min(start + chunk, candidate.faults.size());
+          candidate.faults.erase(
+              candidate.faults.begin() +
+                  static_cast<std::ptrdiff_t>(start),
+              candidate.faults.begin() + static_cast<std::ptrdiff_t>(end));
+          if (try_adopt(candidate)) {
+            progress = true;  // indices shifted; rescan from here
+          } else {
+            start = end;
+          }
+          if (attempts_ >= options_.max_attempts) return;
+        }
+        if (chunk == 1) break;
+      }
+    }
+  }
+
   /// Densely renumbers the nodes the remaining ops actually reference
   /// (preserving order) and drops the rest from the topology.
   void shrink_nodes() {
@@ -107,6 +142,13 @@ class Shrinker {
         if (node.value() < old_nodes) {
           used[node.value()] = true;
         }
+      }
+    }
+    // Fault events pin their node too — dropping or renumbering it out
+    // from under the plan would make the candidate malformed.
+    for (const auto& fault : best_.faults) {
+      if (fault.node.value() < old_nodes) {
+        used[fault.node.value()] = true;
       }
     }
     std::vector<std::uint32_t> remap(old_nodes, 0);
@@ -130,6 +172,11 @@ class Shrinker {
       };
       op.spec.source = rename(op.spec.source);
       op.spec.destination = rename(op.spec.destination);
+    }
+    for (auto& fault : candidate.faults) {
+      if (fault.node.value() < old_nodes) {
+        fault.node = NodeId{remap[fault.node.value()]};
+      }
     }
     (void)try_adopt(candidate);
   }
@@ -198,11 +245,20 @@ class Shrinker {
     if (best_.simulate) {
       ScenarioSpec candidate = best_;
       candidate.simulate = false;
+      // A fault plan lives on the simulated wire; keep the candidate
+      // well-formed rather than shrinking into a kMalformedSpec failure.
+      candidate.faults.clear();
       (void)try_adopt(candidate);
     }
     if (best_.simulate && best_.run_slots > 100) {
       ScenarioSpec candidate = best_;
       candidate.run_slots = 100;
+      // Drop fault events whose windows no longer fit the shorter run
+      // (removal-only: the survivors keep their order and anchors).
+      std::erase_if(candidate.faults, [&](const sim::FaultEvent& fault) {
+        return fault.kind != sim::FaultKind::kMgmtDelay &&
+               fault.at_slot >= candidate.run_slots;
+      });
       (void)try_adopt(candidate);
     }
   }

@@ -76,6 +76,45 @@ bool ScenarioSpec::well_formed() const {
     if (op.target >= i) return false;
     if (ops[op.target].kind != ScenarioOp::Kind::kAdmit) return false;
   }
+  // Fault plans only make sense on the simulated star wire, must respect
+  // the tick-ordering invariant the shrinker preserves, and carry at most
+  // one structural fault (the runner segments the run around it).
+  if (!faults.empty()) {
+    if (!simulate || topology.kind != TopologyKind::kStar) return false;
+    std::size_t structural = 0;
+    Slot previous_at = 0;
+    for (const auto& fault : faults) {
+      if (fault.at_slot < previous_at) return false;
+      previous_at = fault.at_slot;
+      if (fault.node.value() >= topology.nodes) return false;
+      switch (fault.kind) {
+        case sim::FaultKind::kLinkDown:
+          if (fault.at_slot >= run_slots || fault.duration_slots == 0) {
+            return false;
+          }
+          break;
+        case sim::FaultKind::kFrameLoss:
+        case sim::FaultKind::kFrameCorrupt:
+          if (fault.at_slot >= run_slots || fault.duration_slots == 0) {
+            return false;
+          }
+          if (!(std::isfinite(fault.probability) && fault.probability > 0.0 &&
+                fault.probability <= 1.0)) {
+            return false;
+          }
+          break;
+        case sim::FaultKind::kSwitchReboot:
+        case sim::FaultKind::kNodeCrash:
+          if (fault.at_slot == 0 || fault.at_slot >= run_slots) return false;
+          ++structural;
+          break;
+        case sim::FaultKind::kMgmtDelay:
+          if (fault.delay_ticks == 0) return false;
+          break;
+      }
+    }
+    if (structural > 1) return false;
+  }
   return true;
 }
 
@@ -92,6 +131,14 @@ std::string ScenarioSpec::summary() const {
     if (with_best_effort) {
       out << (bursty_best_effort ? "+bursty-be" : "+be") << "("
           << best_effort_load << ")";
+    }
+    if (!faults.empty()) {
+      out << " faults=[";
+      for (std::size_t i = 0; i < faults.size(); ++i) {
+        if (i != 0) out << ",";
+        out << sim::to_string(faults[i].kind) << "@" << faults[i].at_slot;
+      }
+      out << "]";
     }
   }
   return out.str();

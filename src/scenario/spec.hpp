@@ -22,6 +22,7 @@
 #include "common/types.hpp"
 #include "core/channel.hpp"
 #include "core/topology.hpp"
+#include "sim/fault.hpp"
 
 namespace rtether::scenario {
 
@@ -117,6 +118,11 @@ struct ScenarioSpec {
   double best_effort_load{0.0};
   /// Bursty (on/off) rather than Poisson best-effort arrivals.
   bool bursty_best_effort{false};
+  /// Deterministic fault plan, replayed during the simulation phase.
+  /// Ordered by `at_slot`; windows are relative to the measured run's
+  /// start. Requires a star topology with `simulate` — the survival
+  /// contract (runner.hpp) is defined over the simulated wire.
+  std::vector<sim::FaultEvent> faults;
 
   /// Number of admit ops in the stream.
   [[nodiscard]] std::size_t admit_count() const;

@@ -1,0 +1,162 @@
+#include "sim/fault.hpp"
+
+#include "common/assert.hpp"
+#include "sim/network.hpp"
+#include "sim/node.hpp"
+#include "sim/switch.hpp"
+#include "sim/transmitter.hpp"
+
+namespace rtether::sim {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown:
+      return "link-down";
+    case FaultKind::kFrameLoss:
+      return "frame-loss";
+    case FaultKind::kFrameCorrupt:
+      return "frame-corrupt";
+    case FaultKind::kSwitchReboot:
+      return "switch-reboot";
+    case FaultKind::kNodeCrash:
+      return "node-crash";
+    case FaultKind::kMgmtDelay:
+      return "mgmt-delay";
+  }
+  return "?";
+}
+
+std::optional<FaultKind> fault_kind_from_string(std::string_view text) {
+  for (std::size_t i = 0; i < kFaultKindCount; ++i) {
+    const auto kind = static_cast<FaultKind>(i);
+    if (text == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+/// Bridges the raw Transmitter::FaultFn hook to FaultInjector::decide
+/// (LinkContext is private; this struct is a friend).
+struct FaultHookBridge {
+  static Transmitter::FaultDecision hook(void* context, const SimFrame& frame,
+                                         Tick /*now*/) {
+    auto* link = static_cast<FaultInjector::LinkContext*>(context);
+    const FaultInjector::Decision decision =
+        link->injector->decide(*link, frame);
+    Transmitter::FaultDecision out;
+    out.drop = decision.drop;
+    out.corrupt = decision.corrupt;
+    out.extra_delay = decision.extra_delay;
+    return out;
+  }
+};
+
+void FaultInjector::install(SimNetwork& network,
+                            const std::vector<FaultEvent>& events,
+                            Tick run_start) {
+  RTETHER_ASSERT_MSG(links_.empty(), "FaultInjector::install runs once");
+  events_ = events;
+  active_.assign(events_.size(), false);
+
+  // One stable context per link: node uplinks first, then switch ports.
+  // The vector is sized up front — the raw hook keeps the address.
+  const std::uint32_t nodes = network.node_count();
+  links_.reserve(2 * static_cast<std::size_t>(nodes));
+  Simulator& simulator = network.simulator();
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    links_.push_back(LinkContext{this, NodeId{n}, /*downlink=*/false});
+    network.node(NodeId{n}).uplink().set_fault_hook(&FaultHookBridge::hook,
+                                                    &links_.back());
+  }
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    links_.push_back(LinkContext{this, NodeId{n}, /*downlink=*/true});
+    network.ethernet_switch()
+        .port(NodeId{n})
+        .set_fault_hook(&FaultHookBridge::hook, &links_.back());
+  }
+
+  for (std::uint32_t i = 0; i < events_.size(); ++i) {
+    const FaultEvent& event = events_[i];
+    switch (event.kind) {
+      case FaultKind::kLinkDown:
+      case FaultKind::kFrameLoss:
+      case FaultKind::kFrameCorrupt: {
+        const Tick open =
+            run_start + network.config().slots_to_ticks(event.at_slot);
+        const Tick close =
+            open + network.config().slots_to_ticks(event.duration_slots);
+        simulator.schedule_event(open, EventType::kFaultArm, this, kNoFrame,
+                                 i);
+        simulator.schedule_event(close, EventType::kFaultDisarm, this,
+                                 kNoFrame, i);
+        break;
+      }
+      case FaultKind::kMgmtDelay:
+        // Active for the whole scenario: the runner replays ops one at a
+        // time (a single management exchange in flight), so delaying and
+        // reordering management frames is provably outcome-neutral — the
+        // contract test for this class pins exactly that.
+        active_[i] = true;
+        break;
+      case FaultKind::kSwitchReboot:
+      case FaultKind::kNodeCrash:
+        // Structural: executed by the runner between run segments (their
+        // recovery protocol steps the simulator itself); counted via
+        // record_structural.
+        break;
+    }
+  }
+}
+
+FaultInjector::Decision FaultInjector::decide(const LinkContext& link,
+                                              const SimFrame& frame) {
+  Decision decision;
+  const bool management = frame.info.cls == FrameClass::kManagement;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (!active_[i]) continue;
+    const FaultEvent& event = events_[i];
+    if (event.node != link.node) continue;
+    if (management) {
+      // Management frames are never lost or corrupted — establishment and
+      // teardown must always terminate — only delayed (kMgmtDelay, both
+      // link directions of the faulted node).
+      if (event.kind == FaultKind::kMgmtDelay) {
+        const Tick extra = Tick{rng_.uniform(0, event.delay_ticks)};
+        if (extra > 0) {
+          ++injections_[index_of(FaultKind::kMgmtDelay)];
+        }
+        decision.extra_delay += extra;
+      }
+      continue;
+    }
+    // Data frames (RT and best-effort) on the faulted direction.
+    switch (event.kind) {
+      case FaultKind::kLinkDown:
+        if (event.downlink == link.downlink) {
+          ++injections_[index_of(FaultKind::kLinkDown)];
+          decision.drop = true;
+        }
+        break;
+      case FaultKind::kFrameLoss:
+        if (event.downlink == link.downlink &&
+            rng_.bernoulli(event.probability)) {
+          ++injections_[index_of(FaultKind::kFrameLoss)];
+          decision.drop = true;
+        }
+        break;
+      case FaultKind::kFrameCorrupt:
+        if (event.downlink == link.downlink &&
+            rng_.bernoulli(event.probability)) {
+          ++injections_[index_of(FaultKind::kFrameCorrupt)];
+          decision.corrupt = true;
+        }
+        break;
+      case FaultKind::kSwitchReboot:
+      case FaultKind::kNodeCrash:
+      case FaultKind::kMgmtDelay:
+        break;
+    }
+  }
+  return decision;
+}
+
+}  // namespace rtether::sim

@@ -1,0 +1,169 @@
+#pragma once
+
+/// @file fault.hpp
+/// Deterministic, seed-replayable fault injection for the simulated star
+/// network: the fault plan (`FaultEvent`) a scenario declares and the
+/// runtime (`FaultInjector`) that executes it against a `SimNetwork`.
+///
+/// Fault *decisions* (drop / corrupt / delay) are consulted by the
+/// transmitters at transmission-complete time through the raw
+/// function-pointer hook `Transmitter::FaultFn` — the fault-free hot path
+/// pays one null check and nothing else, so golden sim digests of
+/// fault-free scenarios are untouched. Windowed faults (link down, frame
+/// loss, CRC corruption, management delay) arm and disarm through typed
+/// kernel events (`EventType::kFaultArm` / `kFaultDisarm`); structural
+/// faults (switch reboot, node crash) are driven by the scenario runner
+/// between simulation segments, because their recovery protocol (channel
+/// re-registration, teardown storms) must itself step the simulator.
+///
+/// The model deliberately drops frames *after* they consumed their wire
+/// time (a real lost frame still occupied the link), so fault injection
+/// can only remove load from the schedule — deadline misses must stay
+/// zero for every channel, faulted or not. That is the heart of the
+/// survival contract the conformance runner enforces; see
+/// scenario/runner.cpp.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+
+namespace rtether::sim {
+
+class SimNetwork;
+struct SimFrame;
+
+/// The closed set of injectable fault classes.
+enum class FaultKind : std::uint8_t {
+  /// Link to/from `node` is down: every data frame completing transmission
+  /// on the faulted direction during the window is lost.
+  kLinkDown,
+  /// Bernoulli frame loss with `probability` per data frame on the link.
+  kFrameLoss,
+  /// Bernoulli CRC corruption with `probability`: the frame still travels,
+  /// but the receiving end (switch ingress or node NIC) discards it.
+  kFrameCorrupt,
+  /// The switch reboots at `at_slot`: channel table, MAC forwarding table
+  /// and pending management state are lost; nodes must re-register.
+  kSwitchReboot,
+  /// The application on `node` crashes at `at_slot`: its channels are torn
+  /// down, followed by a storm of stale/duplicate teardown frames.
+  kNodeCrash,
+  /// Management frames to/from `node` are delayed by a uniform random
+  /// extra [0, delay_ticks] ticks (and thereby reordered). Active for the
+  /// whole scenario.
+  kMgmtDelay,
+};
+
+/// Number of fault classes (per-class injection counters).
+inline constexpr std::size_t kFaultKindCount = 6;
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// Inverse of `to_string` (corpus round-trips); nullopt for strings that
+/// name no fault class.
+[[nodiscard]] std::optional<FaultKind> fault_kind_from_string(
+    std::string_view text);
+
+/// One declared fault in a scenario's plan. Plain data: generated,
+/// serialized, shrunk and replayed exactly like ops.
+struct FaultEvent {
+  FaultKind kind{FaultKind::kFrameLoss};
+  /// Window start, in slots relative to the start of the measured run
+  /// (after establishment). For kSwitchReboot/kNodeCrash: the instant the
+  /// structural fault fires. Ignored for kMgmtDelay (whole-run).
+  Slot at_slot{0};
+  /// Window length in slots (windowed kinds only).
+  Slot duration_slots{0};
+  /// Faulted node (link endpoint, crashed node, delayed node). Ignored for
+  /// kSwitchReboot.
+  NodeId node{};
+  /// Windowed link faults: true = the switch→node downlink, false = the
+  /// node→switch uplink.
+  bool downlink{false};
+  /// Per-frame Bernoulli probability (kFrameLoss, kFrameCorrupt).
+  double probability{0.0};
+  /// Maximum extra delay (kMgmtDelay), ticks.
+  Tick delay_ticks{0};
+
+  [[nodiscard]] bool operator==(const FaultEvent&) const = default;
+};
+
+/// Executes a scenario's windowed fault plan against a live network.
+///
+/// One injector serves the whole network: it installs itself as the fault
+/// hook on every node uplink and every switch port, arms/disarms windowed
+/// events via typed kernel events, and draws all randomness from one
+/// deterministic stream (seeded from the scenario seed) consumed in
+/// frame-completion order — replaying the same spec replays the same
+/// faults, frame for frame.
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) : rng_(seed ^ kSeedSalt) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Installs the fault hooks on every transmitter of `network` and
+  /// schedules arm/disarm kernel events for every *windowed* event in
+  /// `events` (structural kinds — reboot, crash — are the runner's job and
+  /// are skipped here). Windows are relative to `run_start`, the tick the
+  /// measured run begins. Must be called once, before the run.
+  void install(SimNetwork& network, const std::vector<FaultEvent>& events,
+               Tick run_start);
+
+  /// Kernel dispatch targets (EventType::kFaultArm / kFaultDisarm):
+  /// `index` is the position in the installed event list.
+  void arm(std::uint32_t index) { active_[index] = true; }
+  void disarm(std::uint32_t index) { active_[index] = false; }
+
+  /// Records a structural fault occurrence (reboot, crash) — the runner
+  /// executes those itself but counts them here so campaign stats cover
+  /// every class.
+  void record_structural(FaultKind kind) { ++injections_[index_of(kind)]; }
+
+  /// Frames affected (windowed kinds) / occurrences (structural kinds),
+  /// per fault class.
+  [[nodiscard]] const std::array<std::uint64_t, kFaultKindCount>& injections()
+      const {
+    return injections_;
+  }
+
+ private:
+  /// Hook context registered with one transmitter: which link this is.
+  struct LinkContext {
+    FaultInjector* injector{nullptr};
+    NodeId node{};
+    bool downlink{false};
+  };
+
+  [[nodiscard]] static std::size_t index_of(FaultKind kind) {
+    return static_cast<std::size_t>(kind);
+  }
+
+  /// The decision hook body (bridged through Transmitter::FaultFn).
+  struct Decision {
+    bool drop{false};
+    bool corrupt{false};
+    Tick extra_delay{0};
+  };
+  [[nodiscard]] Decision decide(const LinkContext& link, const SimFrame& frame);
+
+  static constexpr std::uint64_t kSeedSalt = 0xfa01'7de7'ec70'4711ULL;
+
+  std::vector<FaultEvent> events_;
+  std::vector<bool> active_;
+  /// One context per link (node uplinks first, then switch ports), stable
+  /// addresses for the raw hook registration.
+  std::vector<LinkContext> links_;
+  Rng rng_;
+  std::array<std::uint64_t, kFaultKindCount> injections_{};
+
+  friend struct FaultHookBridge;
+};
+
+}  // namespace rtether::sim

@@ -32,6 +32,14 @@ class ForwardingTable {
 
   [[nodiscard]] std::size_t size() const { return used_; }
 
+  /// Forgets every entry (switch reboot fault); capacity is kept.
+  void clear() {
+    for (Slot& slot : table_) {
+      slot = Slot{};
+    }
+    used_ = 0;
+  }
+
  private:
   /// 2^48..2^64-1 cannot be a 48-bit MAC: safe empty marker.
   static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};

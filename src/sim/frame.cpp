@@ -100,6 +100,7 @@ FrameIndex FrameArena::acquire() {
     slot.info = FrameInfo{};
     slot.created_at = 0;
     slot.origin = NodeId{};
+    slot.corrupted = false;
     return index;
   }
   const auto index = static_cast<FrameIndex>(slots_.size());
@@ -130,6 +131,7 @@ FrameIndex FrameArena::clone(FrameIndex source) {
   slot.info = from.info;
   slot.created_at = from.created_at;
   slot.origin = from.origin;
+  slot.corrupted = from.corrupted;
   return index;
 }
 

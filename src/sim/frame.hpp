@@ -69,6 +69,10 @@ struct SimFrame {
   Tick created_at{0};
   /// Sending end-node (provenance for stats; not trusted by the switch).
   NodeId origin;
+  /// CRC-corruption flag set by fault injection (sim/fault.hpp); the
+  /// receiving end (switch ingress, node NIC) discards a corrupted frame
+  /// exactly as a real CRC check would.
+  bool corrupted{false};
 
   /// Wire occupancy: headers + bulk payload + FCS/preamble/IFG, floored at
   /// the Ethernet minimum and capped at one maximal frame.

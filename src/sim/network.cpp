@@ -24,9 +24,24 @@ SimNetwork::SimNetwork(SimConfig config, std::uint32_t node_count,
   }
 }
 
+void SimNetwork::record_fault_drop(const SimFrame& frame) {
+  if (frame.info.cls == FrameClass::kRealTime && frame.info.rt_tag) {
+    stats_.record_rt_fault_drop(frame.info.rt_tag->channel);
+  } else if (frame.info.cls == FrameClass::kBestEffort) {
+    stats_.record_best_effort_fault_drop();
+  }
+}
+
 void SimNetwork::deliver_to_node(FrameIndex frame, NodeId port) {
   const Tick now = simulator_.now();
   const SimFrame& delivered = simulator_.arena().get(frame);
+  if (delivered.corrupted) {
+    // CRC check at the receiving NIC: the frame is discarded before any
+    // delivery record or receive hook.
+    record_fault_drop(delivered);
+    simulator_.arena().release(frame);
+    return;
+  }
   if (delivered.info.cls == FrameClass::kRealTime && delivered.info.rt_tag) {
     stats_.record_rt_delivered(delivered.info.rt_tag->channel,
                                delivered.created_at,

@@ -62,7 +62,14 @@ class SimNetwork {
   /// Kernel dispatch target (EventType::kNodeDeliver): a frame arrives at
   /// `port`'s node — the measurement point for end-to-end statistics. The
   /// frame slot is released after the node's receive hook returns.
+  /// Corrupted frames (fault injection) are discarded here, CRC-style,
+  /// before any delivery record or receive hook.
   void deliver_to_node(FrameIndex frame, NodeId port);
+
+  /// Books a fault-injected loss of `frame` against the right counter
+  /// (per-channel for RT data, aggregate for best-effort). Callers release
+  /// the frame slot themselves.
+  void record_fault_drop(const SimFrame& frame);
 
   /// Fraction of elapsed time node `id`'s uplink transmitter was busy.
   [[nodiscard]] double uplink_utilization(NodeId id) const;

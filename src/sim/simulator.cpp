@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "sim/best_effort.hpp"
+#include "sim/fault.hpp"
 #include "sim/heap_util.hpp"
 #include "sim/network.hpp"
 #include "sim/switch.hpp"
@@ -184,6 +185,12 @@ void Simulator::dispatch(const Event& event) {
       return;
     case EventType::kBestEffortArrival:
       static_cast<BestEffortSource*>(event.target)->on_arrival();
+      return;
+    case EventType::kFaultArm:
+      static_cast<FaultInjector*>(event.target)->arm(event.u.sim.aux);
+      return;
+    case EventType::kFaultDisarm:
+      static_cast<FaultInjector*>(event.target)->disarm(event.u.sim.aux);
       return;
     case EventType::kTimer:
       event.u.timer(event.target, event.arg, now_);

@@ -45,6 +45,7 @@ class Transmitter;
 class SimSwitch;
 class SimNetwork;
 class BestEffortSource;
+class FaultInjector;
 
 /// Tag of a typed event record. The first six are the simulation's own
 /// closed event set; the last two are the escape hatches for higher layers.
@@ -63,6 +64,10 @@ enum class EventType : std::uint8_t {
   kNodeDeliver,
   /// A BestEffortSource's next arrival fires.
   kBestEffortArrival,
+  /// A FaultInjector's windowed fault event (aux) opens its window.
+  kFaultArm,
+  /// A FaultInjector's windowed fault event (aux) closes its window.
+  kFaultDisarm,
   /// Raw function-pointer timer (protocol layers); allocation-free.
   kTimer,
   /// Heap-stored `std::function` closure (tests, cold setup paths).

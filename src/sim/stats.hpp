@@ -32,6 +32,12 @@ struct ChannelDeliveryStats {
   /// Worst observed (delivery − absolute deadline); negative = early.
   /// Lateness beyond the allowance is a miss.
   std::int64_t worst_lateness_ticks{std::numeric_limits<std::int64_t>::min()};
+  /// Frames lost to fault injection (link down/loss, CRC discard, reboot
+  /// table flush). The survival contract's per-channel accounting —
+  /// frames_sent == frames_delivered + frames_dropped — rests on this.
+  /// Always zero in fault-free runs; deliberately NOT part of the sim
+  /// digest (compute_sim_digest's field order is a golden contract).
+  std::uint64_t frames_dropped{0};
 };
 
 class SimStats {
@@ -47,6 +53,22 @@ class SimStats {
 
   void record_best_effort_sent() { ++best_effort_sent_; }
   void record_best_effort_delivered(Tick created, Tick delivered);
+
+  /// An RT frame of `channel` was lost to fault injection.
+  void record_rt_fault_drop(ChannelId channel) {
+    ++slot(channel).frames_dropped;
+    ++rt_fault_drops_;
+  }
+
+  /// A best-effort frame was lost to fault injection.
+  void record_best_effort_fault_drop() { ++best_effort_fault_drops_; }
+
+  [[nodiscard]] std::uint64_t rt_fault_drops() const {
+    return rt_fault_drops_;
+  }
+  [[nodiscard]] std::uint64_t best_effort_fault_drops() const {
+    return best_effort_fault_drops_;
+  }
 
   /// Sorted snapshot of every channel's record (reports, digests; cold).
   [[nodiscard]] std::map<ChannelId, ChannelDeliveryStats> channels() const;
@@ -92,6 +114,8 @@ class SimStats {
   std::size_t used_{0};
   std::uint64_t best_effort_sent_{0};
   std::uint64_t best_effort_delivered_{0};
+  std::uint64_t rt_fault_drops_{0};
+  std::uint64_t best_effort_fault_drops_{0};
   RunningStats best_effort_delay_;
 };
 

@@ -10,7 +10,7 @@ namespace rtether::sim {
 SimSwitch::SimSwitch(Simulator& simulator, const SimConfig& config,
                      std::uint32_t node_count, SimNetwork& network,
                      std::size_t best_effort_depth)
-    : simulator_(simulator), config_(config) {
+    : simulator_(simulator), config_(config), network_(network) {
   ports_.reserve(node_count);
   for (std::uint32_t n = 0; n < node_count; ++n) {
     const NodeId node{n};
@@ -31,6 +31,13 @@ const Transmitter& SimSwitch::port(NodeId node) const {
 }
 
 void SimSwitch::ingress(FrameIndex frame, NodeId from) {
+  if (simulator_.arena().get(frame).corrupted) {
+    // CRC check on reception: discarded before MAC learning (a real
+    // switch never learns from a CRC-bad frame).
+    network_.record_fault_drop(simulator_.arena().get(frame));
+    simulator_.arena().release(frame);
+    return;
+  }
   // Source-address learning happens on reception, before processing.
   table_.learn(simulator_.arena().get(frame).info.source_mac, from);
   simulator_.schedule_event(simulator_.now() + config_.switch_processing_ticks,
@@ -80,9 +87,13 @@ void SimSwitch::forward(FrameIndex frame, NodeId from) {
       const auto dst = table_.lookup(info.destination_mac);
       if (!dst) {
         // Cannot flood RT traffic without violating other ports'
-        // guarantees; establishment always precedes data, so this signals
-        // a misbehaving sender.
+        // guarantees. Fault-free, establishment always precedes data, so
+        // this signals a misbehaving sender; after a reboot table flush it
+        // is the expected fate of frames already past ingress, and the
+        // per-channel loss is booked so the survival contract's exact
+        // accounting holds.
         ++stats_.rt_dropped_unknown_destination;
+        network_.record_fault_drop(arena.get(frame));
         RTETHER_LOG(kWarn, "switch",
                     "dropping RT frame to unlearned MAC "
                         << info.destination_mac.to_string());

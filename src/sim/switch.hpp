@@ -84,6 +84,12 @@ class SimSwitch {
   /// layer; a live network learns instead).
   void prime_forwarding(std::uint32_t node_count);
 
+  /// Drops every learned MAC entry — the forwarding half of a switch
+  /// reboot (fault injection). Port queues and in-flight frames survive
+  /// (switch RAM persists across the modeled warm reboot); frames that
+  /// reach `forward` after the flush hit the unlearned-MAC drop path.
+  void flush_forwarding() { table_.clear(); }
+
   [[nodiscard]] std::uint32_t port_count() const {
     return static_cast<std::uint32_t>(ports_.size());
   }
@@ -91,6 +97,7 @@ class SimSwitch {
  private:
   Simulator& simulator_;
   const SimConfig& config_;
+  SimNetwork& network_;
   std::vector<std::unique_ptr<Transmitter>> ports_;
   ForwardingTable table_;
   MgmtHandler mgmt_handler_{nullptr};

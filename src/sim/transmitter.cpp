@@ -126,11 +126,31 @@ void Transmitter::try_start() {
 void Transmitter::complete(FrameIndex frame) {
   busy_ = false;
   const Tick completion = simulator_.now();
+  Tick propagation = config_.propagation_ticks;
+  if (fault_fn_ != nullptr) {
+    const FaultDecision fault =
+        fault_fn_(fault_context_, simulator_.arena().get(frame), completion);
+    if (fault.drop) {
+      // The frame consumed its wire time above; losing it here removes
+      // load downstream but never adds blocking — the survival contract's
+      // zero-miss guarantee rests on this.
+      if (sink_.kind != Sink::Kind::kCustom) {
+        sink_.network->record_fault_drop(simulator_.arena().get(frame));
+      }
+      simulator_.arena().release(frame);
+      schedule_start();
+      return;
+    }
+    if (fault.corrupt) {
+      simulator_.arena().get(frame).corrupted = true;
+    }
+    propagation += fault.extra_delay;
+  }
   switch (sink_.kind) {
     case Sink::Kind::kUplinkToSwitch:
       // Store-and-forward hand-off: the frame reaches the switch after one
       // propagation delay.
-      simulator_.schedule_event(completion + config_.propagation_ticks,
+      simulator_.schedule_event(completion + propagation,
                                 EventType::kSwitchIngress,
                                 &sink_.network->ethernet_switch(), frame,
                                 sink_.peer.value());
@@ -138,7 +158,7 @@ void Transmitter::complete(FrameIndex frame) {
     case Sink::Kind::kPortToNode:
       // The frame reaches the destination node (and the measurement layer)
       // after one propagation delay.
-      simulator_.schedule_event(completion + config_.propagation_ticks,
+      simulator_.schedule_event(completion + propagation,
                                 EventType::kNodeDeliver, sink_.network, frame,
                                 sink_.peer.value());
       break;

@@ -66,9 +66,34 @@ class Transmitter {
     [[nodiscard]] static Sink custom(CustomFn fn, void* context);
   };
 
+  /// Verdict of the fault hook for one completed transmission. `drop`
+  /// loses the frame after it consumed its wire time (a real lost frame
+  /// still occupied the link — fault injection only ever *removes* load);
+  /// `corrupt` marks the frame CRC-bad so the receiving end discards it;
+  /// `extra_delay` adds ticks to the propagation delay (management-frame
+  /// delay/reordering faults).
+  struct FaultDecision {
+    bool drop{false};
+    bool corrupt{false};
+    Tick extra_delay{0};
+  };
+
+  /// Fault-injection hook, consulted at transmission-complete time for
+  /// every frame when registered. Raw function pointer + context (same
+  /// idiom as Sink/ReceiveFn): the fault-free hot path pays one null
+  /// check.
+  using FaultFn = FaultDecision (*)(void* context, const SimFrame& frame,
+                                    Tick now);
+
   /// `best_effort_depth` bounds the FCFS queue (0 = unbounded).
   Transmitter(Simulator& simulator, const SimConfig& config, std::string name,
               Sink sink, std::size_t best_effort_depth = 0);
+
+  /// Registers the fault hook (scenario fault injection; see sim/fault.hpp).
+  void set_fault_hook(FaultFn fn, void* context) {
+    fault_fn_ = fn;
+    fault_context_ = context;
+  }
 
   /// Queues an RT frame under the given EDF key (ticks) and starts
   /// transmitting if idle.
@@ -129,6 +154,8 @@ class Transmitter {
   bool busy_{false};
   /// An arbitration event is queued for the current tick.
   bool start_pending_{false};
+  FaultFn fault_fn_{nullptr};
+  void* fault_context_{nullptr};
   TransmitterStats stats_;
 };
 

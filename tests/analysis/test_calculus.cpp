@@ -1,0 +1,211 @@
+/// @file test_calculus.cpp
+/// The network-calculus oracle (analysis/calculus.hpp) against hand-computed
+/// closed-form values and against the exact EDF feasibility test it
+/// cross-checks in production. The oracle is one-sided by design: it must
+/// only speak when the admission engine is provably wrong, so the property
+/// tests here pin the containments
+///
+///   exact-feasible  ⊆  lower-envelope-consistent   (check_accept silent)
+///   upper-envelope-fits  ⊆  exact-feasible         (check_reject speaks ⇒
+///                                                   the set really is
+///                                                   feasible)
+///
+/// over seeded random task sets, with the closed-form FIFO bound pinned to
+/// pencil-and-paper values.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/calculus.hpp"
+#include "common/random.hpp"
+#include "edf/feasibility.hpp"
+#include "edf/task.hpp"
+#include "edf/task_set.hpp"
+
+namespace rtether::analysis {
+namespace {
+
+edf::PseudoTask task(std::uint64_t id, Slot period, Slot capacity,
+                     Slot deadline) {
+  return edf::PseudoTask{ChannelId{static_cast<std::uint16_t>(id)}, period,
+                         capacity, deadline};
+}
+
+// ---------------------------------------------------------------------------
+// FIFO delay bound: D = T + Σ b_i / R, hand-computed.
+// ---------------------------------------------------------------------------
+
+TEST(FifoDelayBound, MatchesHandComputedValue) {
+  // Flows (P=10, C=2) and (P=5, C=1): bursts 2 + 1 = 3 frames, aggregate
+  // rate 2/10 + 1/5 = 0.4 ≤ R = 1.  D = T + Σb/R = 3 + 3/1 = 6 slots.
+  const std::vector<CalculusFlow> flows{{10.0, 2.0, 4.0}, {5.0, 1.0, 3.0}};
+  const ServiceCurve service{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(CalculusOracle::fifo_delay_bound(flows, service), 6.0);
+}
+
+TEST(FifoDelayBound, FasterServerShrinksTheBound) {
+  // Same arithmetic with R = 2: bursts 2 + 4 = 6, rates 0.5 + 0.5 = 1 ≤ 2.
+  // D = 1.5 + 6/2 = 4.5 slots.
+  const std::vector<CalculusFlow> flows{{4.0, 2.0, 2.0}, {8.0, 4.0, 6.0}};
+  const ServiceCurve service{2.0, 1.5};
+  EXPECT_DOUBLE_EQ(CalculusOracle::fifo_delay_bound(flows, service), 4.5);
+}
+
+TEST(FifoDelayBound, EmptyAggregateIsPureLatency) {
+  const ServiceCurve service{1.0, 7.0};
+  EXPECT_DOUBLE_EQ(CalculusOracle::fifo_delay_bound({}, service), 7.0);
+}
+
+TEST(FifoDelayBound, OverloadedServerHasNoBound) {
+  // Rates 2/2 + 2/4 = 1.5 > R = 1: the backlog grows without bound and the
+  // closed form does not apply — the oracle must say so, not extrapolate.
+  const std::vector<CalculusFlow> flows{{2.0, 2.0, 2.0}, {4.0, 2.0, 3.0}};
+  const ServiceCurve service{1.0, 0.0};
+  EXPECT_LT(CalculusOracle::fifo_delay_bound(flows, service), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// check_accept: necessary condition on accepted sets.
+// ---------------------------------------------------------------------------
+
+TEST(CheckAccept, FeasibleSetIsConsistent) {
+  // U = 2/10 + 3/10 = 0.5; generous deadlines. Exactly feasible, so the
+  // lower envelope must fit.
+  const std::vector<edf::PseudoTask> tasks{task(1, 10, 2, 5),
+                                           task(2, 10, 3, 8)};
+  ASSERT_TRUE(edf::is_feasible(edf::TaskSet{tasks}, edf::DemandScan::kExhaustive));
+  const CalculusVerdict verdict = CalculusOracle::check_accept(tasks);
+  EXPECT_TRUE(verdict.consistent) << verdict.detail;
+}
+
+TEST(CheckAccept, EmptySetIsConsistent) {
+  EXPECT_TRUE(CalculusOracle::check_accept({}).consistent);
+}
+
+TEST(CheckAccept, OverloadIsInconsistent) {
+  // Σ r = 1 + 1/2 = 1.5 > 1: no schedule exists; accepting this set is a
+  // bug the rate condition alone catches.
+  const std::vector<edf::PseudoTask> tasks{task(1, 2, 2, 2), task(2, 4, 2, 4)};
+  const CalculusVerdict verdict = CalculusOracle::check_accept(tasks);
+  EXPECT_FALSE(verdict.consistent);
+  EXPECT_NE(verdict.detail.find("overloaded"), std::string::npos)
+      << verdict.detail;
+}
+
+TEST(CheckAccept, KinkViolationWithoutOverloadIsInconsistent) {
+  // Two flows {P=10, C=4, d=4}: Σ r = 0.8 ≤ 1, but at the kink t = 4 the
+  // lower envelope is max(4,0) + max(4,0) = 8 > 4. Both messages demand
+  // their full capacity by slot 4 and the link only has 4 slots — infeasible
+  // regardless of rate, so an accept must be flagged with witness t = 4.
+  const std::vector<edf::PseudoTask> tasks{task(1, 10, 4, 4), task(2, 10, 4, 4)};
+  const CalculusVerdict verdict = CalculusOracle::check_accept(tasks);
+  ASSERT_FALSE(verdict.consistent);
+  EXPECT_DOUBLE_EQ(verdict.witness_instant, 4.0);
+}
+
+TEST(CheckAccept, FullUtilizationImplicitDeadlinesStayConsistent) {
+  // U = 1 exactly with d = P (Liu & Layland boundary): feasible, and the
+  // lower envelope max(C, r(t−d)) at t = d+P gives C = r·P, i.e. it sits
+  // exactly on the budget line. The FP margin must keep the oracle silent.
+  const std::vector<edf::PseudoTask> tasks{task(1, 4, 2, 4), task(2, 8, 4, 8)};
+  ASSERT_TRUE(edf::is_feasible(edf::TaskSet{tasks}, edf::DemandScan::kExhaustive));
+  const CalculusVerdict verdict = CalculusOracle::check_accept(tasks);
+  EXPECT_TRUE(verdict.consistent) << verdict.detail;
+}
+
+// ---------------------------------------------------------------------------
+// check_reject: sufficient condition on rejected candidates.
+// ---------------------------------------------------------------------------
+
+TEST(CheckReject, ComfortablyFeasibleCandidateFlagsTheRejection) {
+  // Lone candidate {P=100, C=1, d=50} against an empty link: upper envelope
+  // at t = 50 is 1 ≤ 50 and Σ r = 0.01. Even the inflated demand fits, so
+  // rejecting it would be provably wrong.
+  const CalculusVerdict verdict =
+      CalculusOracle::check_reject({}, task(1, 100, 1, 50));
+  EXPECT_FALSE(verdict.consistent);
+  EXPECT_NE(verdict.detail.find("reject"), std::string::npos) << verdict.detail;
+}
+
+TEST(CheckReject, OverloadingCandidateKeepsTheOracleSilent) {
+  // Live task at U = 0.5 plus a candidate at U = 0.75: Σ r > 1, so the
+  // rejection is justified and the sufficient check must not fire.
+  const std::vector<edf::PseudoTask> live{task(1, 4, 2, 4)};
+  const CalculusVerdict verdict =
+      CalculusOracle::check_reject(live, task(2, 4, 3, 4));
+  EXPECT_TRUE(verdict.consistent);
+}
+
+TEST(CheckReject, TightCandidateKeepsTheOracleSilent) {
+  // {P=10, C=4, d=4} twice is exactly infeasible (see the accept test); the
+  // upper envelope certainly does not fit, so the oracle stays silent about
+  // this correct rejection.
+  const std::vector<edf::PseudoTask> live{task(1, 10, 4, 4)};
+  const CalculusVerdict verdict =
+      CalculusOracle::check_reject(live, task(2, 10, 4, 4));
+  EXPECT_TRUE(verdict.consistent);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-checks against the exact EDF test — the production contract.
+// ---------------------------------------------------------------------------
+
+std::vector<edf::PseudoTask> random_task_set(Rng& rng) {
+  const std::size_t count = 1 + static_cast<std::size_t>(rng.index(5));
+  std::vector<edf::PseudoTask> tasks;
+  tasks.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Slot period = rng.uniform(1, 24);
+    const Slot capacity = rng.uniform(1, period);
+    const Slot deadline = rng.uniform(capacity, period);
+    tasks.push_back(task(i + 1, period, capacity, deadline));
+  }
+  return tasks;
+}
+
+TEST(CalculusCrossCheck, ExactFeasibilityImpliesAcceptConsistency) {
+  // The necessary direction, over many seeded sets: whenever the exhaustive
+  // EDF scan says feasible, check_accept must stay silent. (The converse is
+  // deliberately false — the lower envelope under-approximates demand.)
+  Rng rng(20260808);
+  std::size_t feasible_seen = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::vector<edf::PseudoTask> tasks = random_task_set(rng);
+    if (!edf::is_feasible(edf::TaskSet{tasks}, edf::DemandScan::kExhaustive)) {
+      continue;
+    }
+    ++feasible_seen;
+    const CalculusVerdict verdict = CalculusOracle::check_accept(tasks);
+    EXPECT_TRUE(verdict.consistent)
+        << "oracle flagged an exactly feasible set: " << verdict.detail;
+  }
+  // The generator must actually exercise the property.
+  EXPECT_GE(feasible_seen, 50u);
+}
+
+TEST(CalculusCrossCheck, RejectInconsistencyImpliesExactFeasibility) {
+  // The sufficient direction: whenever check_reject claims a rejection was
+  // wrong, the exhaustive EDF scan must agree the full set is feasible.
+  Rng rng(808202600);
+  std::size_t flagged = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::vector<edf::PseudoTask> tasks = random_task_set(rng);
+    const edf::PseudoTask candidate = tasks.back();
+    tasks.pop_back();
+    const CalculusVerdict verdict =
+        CalculusOracle::check_reject(tasks, candidate);
+    if (verdict.consistent) continue;
+    ++flagged;
+    tasks.push_back(candidate);
+    EXPECT_TRUE(
+        edf::is_feasible(edf::TaskSet{tasks}, edf::DemandScan::kExhaustive))
+        << "oracle called a justified rejection wrong: " << verdict.detail;
+  }
+  // The upper envelope is conservative but not mute: the sweep must find a
+  // healthy number of comfortably-feasible candidates to certify.
+  EXPECT_GE(flagged, 50u);
+}
+
+}  // namespace
+}  // namespace rtether::analysis

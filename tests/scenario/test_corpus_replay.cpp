@@ -15,6 +15,7 @@
 
 #include "scenario/json_io.hpp"
 #include "scenario/runner.hpp"
+#include "sim/fault.hpp"
 
 namespace rtether::scenario {
 namespace {
@@ -52,10 +53,20 @@ TEST_P(CorpusReplay, ReplaysGreen) {
 }
 
 TEST(CorpusReplay, CorpusIsPopulated) {
-  // The corpus must cover each topology family and carry the regression
-  // entry for the same-tick EDF arbitration fix the fuzzer forced.
+  // The corpus must cover each topology family, every fault class (the
+  // fault-<class>.json entries), and carry the regression entry for the
+  // same-tick EDF arbitration fix the fuzzer forced.
   const auto files = corpus_files();
-  EXPECT_GE(files.size(), 8u);
+  EXPECT_GE(files.size(), 20u);
+  for (std::size_t i = 0; i < sim::kFaultKindCount; ++i) {
+    const std::string tag =
+        std::string("fault-") + sim::to_string(static_cast<sim::FaultKind>(i));
+    bool covered = false;
+    for (const auto& file : files) {
+      covered |= file.find(tag) != std::string::npos;
+    }
+    EXPECT_TRUE(covered) << "corpus lost the " << tag << " entry";
+  }
   bool has_regression = false;
   for (const auto& file : files) {
     has_regression |= file.find("same-tick") != std::string::npos;

@@ -1,0 +1,361 @@
+/// @file test_fault_injection.cpp
+/// The fault universe end to end, one class at a time: every `FaultKind`
+/// is driven through the runner's survival contract (zero deadline misses,
+/// exact accounting, loss-free clean channels) with its per-class injection
+/// counter proven nonzero — the same proof the fault campaign gates on,
+/// here in deterministic per-class form. Plus the plumbing around the
+/// plan: JSON round-trips, generator well-formedness/determinism for the
+/// fault-heavy profile, and the shrinker's removal-only contract (shrunk
+/// fault plans are ordered subsequences of the original — reordering a
+/// fault relative to the ops it interrupts would shrink into a different
+/// scenario, not a smaller replay).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/partitioner.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/json_io.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/shrinker.hpp"
+#include "sim/fault.hpp"
+
+namespace rtether::scenario {
+namespace {
+
+std::size_t index_of(sim::FaultKind kind) {
+  return static_cast<std::size_t>(kind);
+}
+
+/// Star scenario with steady RT traffic: node 1 → 2 every 10 slots, node
+/// 3 → 0 every 20. Enough frames per 200-slot run for windowed faults to
+/// hit several of them.
+ScenarioSpec base_spec() {
+  ScenarioSpec spec;
+  spec.seed = 42;  // seeds the injector's Bernoulli/delay stream
+  spec.name = "fault-unit";
+  spec.topology.nodes = 4;
+  spec.scheme = "ADPS";
+  spec.run_slots = 200;
+  spec.ops.push_back(ScenarioOp::admit({NodeId{1}, NodeId{2}, 10, 1, 4}));
+  spec.ops.push_back(ScenarioOp::admit({NodeId{3}, NodeId{0}, 20, 2, 10}));
+  return spec;
+}
+
+sim::FaultEvent window_fault(sim::FaultKind kind, std::uint32_t node,
+                             bool downlink, Slot at, Slot duration,
+                             double probability) {
+  sim::FaultEvent fault;
+  fault.kind = kind;
+  fault.node = NodeId{node};
+  fault.downlink = downlink;
+  fault.at_slot = at;
+  fault.duration_slots = duration;
+  fault.probability = probability;
+  return fault;
+}
+
+/// Runs the spec, requiring the survival contract to hold and the given
+/// class to have actually fired.
+ScenarioResult run_surviving(const ScenarioSpec& spec, sim::FaultKind kind) {
+  const ScenarioResult result = run_scenario(spec);
+  EXPECT_TRUE(result.passed)
+      << (result.violations.empty() ? std::string("no violation recorded")
+                                    : result.violations[0].to_string());
+  EXPECT_GT(result.fault_injections[index_of(kind)], 0u)
+      << sim::to_string(kind) << " was declared but never injected";
+  EXPECT_GT(result.frames_delivered, 0u);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// One survival test per fault class.
+// ---------------------------------------------------------------------------
+
+TEST(FaultSurvival, LinkDownWindow) {
+  ScenarioSpec spec = base_spec();
+  spec.faults.push_back(window_fault(sim::FaultKind::kLinkDown, /*node=*/2,
+                                     /*downlink=*/true, 20, 40, 0.0));
+  ASSERT_TRUE(spec.well_formed());
+  const auto result = run_surviving(spec, sim::FaultKind::kLinkDown);
+  // ~4 releases of channel 1→2 fall inside the 40-slot outage.
+  EXPECT_GE(result.fault_injections[index_of(sim::FaultKind::kLinkDown)], 3u);
+}
+
+TEST(FaultSurvival, CertainFrameLossWindow) {
+  ScenarioSpec spec = base_spec();
+  spec.faults.push_back(window_fault(sim::FaultKind::kFrameLoss, /*node=*/1,
+                                     /*downlink=*/false, 30, 50, 1.0));
+  ASSERT_TRUE(spec.well_formed());
+  run_surviving(spec, sim::FaultKind::kFrameLoss);
+}
+
+TEST(FaultSurvival, CertainCorruptionWindow) {
+  ScenarioSpec spec = base_spec();
+  spec.faults.push_back(window_fault(sim::FaultKind::kFrameCorrupt, /*node=*/0,
+                                     /*downlink=*/true, 40, 60, 1.0));
+  ASSERT_TRUE(spec.well_formed());
+  run_surviving(spec, sim::FaultKind::kFrameCorrupt);
+}
+
+TEST(FaultSurvival, SwitchRebootReRegistersEveryChannel) {
+  ScenarioSpec spec = base_spec();
+  sim::FaultEvent reboot;
+  reboot.kind = sim::FaultKind::kSwitchReboot;
+  reboot.at_slot = 60;
+  spec.faults.push_back(reboot);
+  ASSERT_TRUE(spec.well_formed());
+  // `passed` covers the whole reboot contract: recovery re-registers the
+  // survivors over the wire protocol and the runner diffs that re-admission
+  // bit-for-bit against a fresh controller (kReadmissionDivergence).
+  const auto result = run_surviving(spec, sim::FaultKind::kSwitchReboot);
+  EXPECT_EQ(result.fault_injections[index_of(sim::FaultKind::kSwitchReboot)],
+            1u);
+}
+
+TEST(FaultSurvival, NodeCrashTeardownStorm) {
+  ScenarioSpec spec = base_spec();
+  sim::FaultEvent crash;
+  crash.kind = sim::FaultKind::kNodeCrash;
+  crash.node = NodeId{1};  // source of the 10-slot channel
+  crash.at_slot = 50;
+  spec.faults.push_back(crash);
+  ASSERT_TRUE(spec.well_formed());
+  const auto result = run_surviving(spec, sim::FaultKind::kNodeCrash);
+  EXPECT_EQ(result.fault_injections[index_of(sim::FaultKind::kNodeCrash)], 1u);
+}
+
+TEST(FaultSurvival, MgmtDelayReordersRecoveryHandshakes) {
+  // Management frames only cross the wire mid-run during structural
+  // recovery, so the delay class is exercised against a reboot's
+  // re-registration exchanges — delayed and reordered, yet the recovery
+  // must still converge to the bit-identical admission state.
+  ScenarioSpec spec = base_spec();
+  sim::FaultEvent delay;
+  delay.kind = sim::FaultKind::kMgmtDelay;
+  delay.node = NodeId{1};
+  delay.delay_ticks = 24;
+  spec.faults.push_back(delay);
+  sim::FaultEvent reboot;
+  reboot.kind = sim::FaultKind::kSwitchReboot;
+  reboot.at_slot = 60;
+  spec.faults.push_back(reboot);
+  ASSERT_TRUE(spec.well_formed());
+  run_surviving(spec, sim::FaultKind::kMgmtDelay);
+}
+
+TEST(FaultSurvival, CleanChannelStaysLossFreeThroughAnOutage) {
+  // The fault scopes node 2's downlink only; channel 3→0 is clean and the
+  // runner's contract check (clean channels lose nothing) must pass while
+  // the faulted channel takes real losses.
+  ScenarioSpec spec = base_spec();
+  spec.faults.push_back(window_fault(sim::FaultKind::kLinkDown, /*node=*/2,
+                                     /*downlink=*/true, 20, 100, 0.0));
+  ASSERT_TRUE(spec.well_formed());
+  const auto result = run_surviving(spec, sim::FaultKind::kLinkDown);
+  EXPECT_EQ(result.sim_digest.deadline_misses, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Plumbing: strings, JSON, generator.
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlumbing, KindStringsRoundTrip) {
+  for (std::size_t i = 0; i < sim::kFaultKindCount; ++i) {
+    const auto kind = static_cast<sim::FaultKind>(i);
+    const auto parsed = sim::fault_kind_from_string(sim::to_string(kind));
+    ASSERT_TRUE(parsed.has_value()) << sim::to_string(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(sim::fault_kind_from_string("flux-capacitor").has_value());
+  EXPECT_FALSE(sim::fault_kind_from_string("").has_value());
+}
+
+TEST(FaultPlumbing, JsonRoundTripsEveryClass) {
+  ScenarioSpec spec = base_spec();
+  sim::FaultEvent mgmt;
+  mgmt.kind = sim::FaultKind::kMgmtDelay;
+  mgmt.node = NodeId{3};
+  mgmt.delay_ticks = 17;
+  spec.faults.push_back(mgmt);
+  spec.faults.push_back(window_fault(sim::FaultKind::kFrameLoss, 1, false, 10,
+                                     30, 0.25));
+  spec.faults.push_back(window_fault(sim::FaultKind::kFrameCorrupt, 2, true,
+                                     25, 40, 0.5));
+  spec.faults.push_back(window_fault(sim::FaultKind::kLinkDown, 0, true, 60,
+                                     20, 0.0));
+  sim::FaultEvent reboot;
+  reboot.kind = sim::FaultKind::kSwitchReboot;
+  reboot.at_slot = 90;
+  spec.faults.push_back(reboot);
+  ASSERT_TRUE(spec.well_formed());
+
+  const std::string json = to_json(spec);
+  const auto parsed = from_json(json);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error();
+  EXPECT_EQ(*parsed, spec);
+  // Byte-stable: re-serializing the parse reproduces the document, so
+  // corpus entries do not churn under load/save cycles.
+  EXPECT_EQ(to_json(*parsed), json);
+}
+
+TEST(FaultPlumbing, FaultHeavyGeneratorIsWellFormedAndFaulted) {
+  GeneratorConfig config;
+  config.profile = GeneratorProfile::kFaultHeavy;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const ScenarioSpec spec = generate_scenario(config, seed);
+    ASSERT_TRUE(spec.well_formed()) << "seed " << seed;
+    EXPECT_FALSE(spec.faults.empty()) << "seed " << seed;
+    EXPECT_EQ(spec.topology.kind, TopologyKind::kStar) << "seed " << seed;
+    EXPECT_TRUE(spec.simulate) << "seed " << seed;
+    EXPECT_GE(spec.run_slots, 200u) << "seed " << seed;
+  }
+}
+
+TEST(FaultPlumbing, FaultHeavyGeneratorIsDeterministic) {
+  GeneratorConfig config;
+  config.profile = GeneratorProfile::kFaultHeavy;
+  for (std::uint64_t seed : {7ULL, 1234ULL, 998877ULL}) {
+    const ScenarioSpec first = generate_scenario(config, seed);
+    const ScenarioSpec second = generate_scenario(config, seed);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(to_json(first), to_json(second));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shrinker: fault plans shrink by removal only.
+// ---------------------------------------------------------------------------
+
+/// Equality modulo node identity: the shrinker's node pass densely renumbers
+/// the surviving nodes, which may rename a fault's endpoint — legitimate.
+/// What must never change is everything that anchors the event in time and
+/// semantics.
+bool same_ignoring_node(const sim::FaultEvent& a, const sim::FaultEvent& b) {
+  return a.kind == b.kind && a.at_slot == b.at_slot &&
+         a.duration_slots == b.duration_slots && a.downlink == b.downlink &&
+         a.probability == b.probability && a.delay_ticks == b.delay_ticks;
+}
+
+bool is_ordered_subsequence(const std::vector<sim::FaultEvent>& shrunk,
+                            const std::vector<sim::FaultEvent>& original) {
+  std::size_t cursor = 0;
+  for (const auto& fault : shrunk) {
+    while (cursor < original.size() &&
+           !same_ignoring_node(original[cursor], fault)) {
+      ++cursor;
+    }
+    if (cursor == original.size()) return false;
+    ++cursor;
+  }
+  return true;
+}
+
+TEST(FaultShrinker, IsolatesAFaultDependentFailureByRemovalOnly) {
+  // A fault plan whose *last* event is malformed (window opens past the end
+  // of the run): the scenario fails as kMalformedSpec, and that failure
+  // depends on exactly one fault event. Removal-only ddmin must strip the
+  // valid events around it and keep the culprit — without ever reordering
+  // or re-anchoring anything (a candidate that moved the bad event earlier
+  // would change which ops its window interrupts).
+  ScenarioSpec spec = base_spec();
+  sim::FaultEvent mgmt;
+  mgmt.kind = sim::FaultKind::kMgmtDelay;
+  mgmt.node = NodeId{3};
+  mgmt.delay_ticks = 8;
+  spec.faults.push_back(mgmt);
+  spec.faults.push_back(window_fault(sim::FaultKind::kFrameLoss, 1, false, 10,
+                                     30, 0.5));
+  spec.faults.push_back(window_fault(sim::FaultKind::kFrameCorrupt, 2, true,
+                                     40, 40, 0.25));
+  spec.faults.push_back(window_fault(sim::FaultKind::kLinkDown, 0, true, 80,
+                                     20, 0.0));
+  const sim::FaultEvent culprit = window_fault(
+      sim::FaultKind::kFrameLoss, 2, true, /*at=*/250, /*duration=*/10, 1.0);
+  spec.faults.push_back(culprit);  // at_slot 250 ≥ run_slots 200
+  ASSERT_FALSE(spec.well_formed());
+
+  const auto failure = run_scenario(spec);
+  ASSERT_FALSE(failure.passed);
+  ASSERT_EQ(failure.violations[0].kind, ViolationKind::kMalformedSpec);
+
+  const auto shrunk = shrink_scenario(spec);
+  EXPECT_EQ(shrunk.failure.violations[0].kind, ViolationKind::kMalformedSpec);
+  ASSERT_EQ(shrunk.minimized.faults.size(), 1u);
+  EXPECT_TRUE(same_ignoring_node(shrunk.minimized.faults[0], culprit));
+  EXPECT_TRUE(is_ordered_subsequence(shrunk.minimized.faults, spec.faults));
+  EXPECT_TRUE(shrunk.minimized.ops.empty())
+      << "the op stream is noise for a malformed-plan failure";
+}
+
+/// The off-by-one DPS from test_scenario_shrinker.cpp, reused to plant an
+/// ops-side failure underneath a fault plan.
+class OffByOnePartitioner final : public core::DeadlinePartitioner {
+ public:
+  [[nodiscard]] std::vector<core::DeadlinePartition> candidates(
+      const core::ChannelSpec& spec,
+      const core::NetworkState& state) const override {
+    if (state.link_load(spec.source, core::LinkDirection::kUplink) >= 2) {
+      return {{spec.deadline - (spec.capacity - 1), spec.capacity - 1}};
+    }
+    return correct_.candidates(spec, state);
+  }
+  [[nodiscard]] std::string name() const override { return "ADPS-broken"; }
+
+ private:
+  core::AsymmetricPartitioner correct_;
+};
+
+TEST(FaultShrinker, FaultPlanNeverReordersWhileOpsShrink) {
+  // Failure planted on the ops side (load-dependent partition bug), fault
+  // plan along for the ride: whatever the shrinker keeps of the plan must
+  // be an ordered subsequence of the original — and the minimized spec
+  // must stay well-formed through every dimension pass.
+  ScenarioSpec spec = base_spec();
+  spec.topology.nodes = 6;
+  auto admit = [&](std::uint32_t src, std::uint32_t dst) {
+    spec.ops.push_back(
+        ScenarioOp::admit({NodeId{src}, NodeId{dst}, 100, 2, 40}));
+  };
+  admit(0, 4);
+  admit(0, 5);
+  admit(0, 2);  // third channel on uplink 0 → the broken candidate fires
+  sim::FaultEvent mgmt;
+  mgmt.kind = sim::FaultKind::kMgmtDelay;
+  mgmt.node = NodeId{2};
+  mgmt.delay_ticks = 8;
+  spec.faults.push_back(mgmt);
+  spec.faults.push_back(window_fault(sim::FaultKind::kFrameLoss, 2, true, 10,
+                                     30, 0.5));
+  spec.faults.push_back(window_fault(sim::FaultKind::kLinkDown, 4, true, 50,
+                                     20, 0.0));
+  ASSERT_TRUE(spec.well_formed());
+
+  ShrinkOptions options;
+  options.runner.partitioner_factory = [](const std::string&) {
+    return std::make_unique<OffByOnePartitioner>();
+  };
+  ASSERT_FALSE(run_scenario(spec, options.runner).passed);
+
+  const auto shrunk = shrink_scenario(spec, options);
+  EXPECT_FALSE(shrunk.failure.passed);
+  EXPECT_TRUE(shrunk.minimized.well_formed());
+  EXPECT_TRUE(is_ordered_subsequence(shrunk.minimized.faults, spec.faults));
+  Slot previous = 0;
+  for (const auto& fault : shrunk.minimized.faults) {
+    EXPECT_GE(fault.at_slot, previous);
+    previous = fault.at_slot;
+  }
+  // The minimized spec replays under the planted bug and is green without
+  // it — fault plan included.
+  EXPECT_FALSE(run_scenario(shrunk.minimized, options.runner).passed);
+  EXPECT_TRUE(run_scenario(shrunk.minimized).passed);
+}
+
+}  // namespace
+}  // namespace rtether::scenario
