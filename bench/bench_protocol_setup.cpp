@@ -54,8 +54,8 @@ int main() {
       if (next_report < report_at.size() &&
           established == report_at[next_report]) {
         table.add(established, rtt_window.mean(),
-                  stack.management().controller().stats().feasibility_tests,
-                  stack.management().controller().stats().demand_evaluations);
+                  stack.management().admission().stats().feasibility_tests,
+                  stack.management().admission().stats().demand_evaluations);
         rtt_window = RunningStats{};
         ++next_report;
       }

@@ -25,6 +25,10 @@
 ///              scenario carries a fault plan (link down, loss, corruption,
 ///              switch reboot, node crash, management delay) and the runner
 ///              enforces the survival contract
+///   --scheme   pin the admission scheme for every seed; "tt" (the only
+///              accepted value) runs the time-triggered gate-schedule
+///              campaign — star topology, zero-miss/zero-jitter oracle,
+///              windowed-fault garnish
 ///   --backend KIND
 ///              append an extra `core::AdmissionBackend` kind (e.g.
 ///              "service") to the runner's conformance set — every
@@ -109,6 +113,23 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (std::strcmp(argv[i], "--scheme") == 0) {
+      // Pin the admission scheme instead of drawing it per seed. Only the
+      // time-triggered gate-schedule backend needs this (the EDF schemes
+      // are covered by the profile draw); "tt" selects the star-only
+      // TT generator profile with windowed-fault garnish.
+      ok = i + 1 < argc;
+      if (ok) {
+        const std::string scheme = argv[++i];
+        ok = scheme == "tt" || scheme == "TT";
+        if (ok) {
+          config.generator.profile =
+              scenario::GeneratorProfile::kTimeTriggered;
+          profile = "tt";
+        }
+      }
+      continue;
+    }
     if (std::strcmp(argv[i], "--profile") == 0) {
       ok = i + 1 < argc;
       if (ok) {
@@ -159,8 +180,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: bench_scenario_fuzz [scenarios] [threads] [json] "
                  "[seconds] [base_seed] [--out-dir DIR] "
-                 "[--profile mixed|churn|faults] [--backend KIND] "
-                 "[--min-slots-per-sec N]\n");
+                 "[--profile mixed|churn|faults] [--scheme tt] "
+                 "[--backend KIND] [--min-slots-per-sec N]\n");
     return 64;
   }
 

@@ -82,7 +82,7 @@ namespace {
   // Commissioning-tool view: which links are closest to their limits?
   if (scheme == "ADPS") {
     const std::string report = analysis::render_network_report(
-        stack.management().controller().state(), /*max_rows=*/6);
+        stack.management().admission().state(), /*max_rows=*/6);
     std::fwrite(report.data(), 1, report.size(), stdout);
   }
   return true;

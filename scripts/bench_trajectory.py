@@ -55,6 +55,14 @@ HEADLINES = {
         ("failures", "failures", ""),
         ("min_injections_per_class", "min injections/class", ""),
     ],
+    "ablation_tt": [
+        ("tt_acceptance_ratio", "TT acceptance", ""),
+        ("edf_acceptance_ratio", "EDF acceptance", ""),
+        ("tt_worst_jitter_ticks", "TT worst jitter", " ticks"),
+        ("edf_worst_jitter_ticks", "EDF worst jitter", " ticks"),
+        ("tt_be_delivered_per_kslot", "TT BE", "/kslot"),
+        ("failures", "failures", ""),
+    ],
     "sim_kernel": [
         ("typed_kernel_slots_per_sec", "typed kernel", " slots/s"),
         ("seed_kernel_slots_per_sec", "seed kernel", " slots/s"),

@@ -274,6 +274,21 @@ class AdmissionEngine {
     return *partitioner_;
   }
 
+  /// Forgets every live channel, returns the ID allocator to its initial
+  /// state and cold-resets the per-link scan caches — the engine-shaped
+  /// mirror of `AdmissionController::reset` (same reboot semantics: stats
+  /// keep counting, post-reset decisions match a fresh engine).
+  void reset() {
+    state_ = NetworkState(state_.node_count());
+    ids_ = ChannelIdAllocator{};
+    for (auto& cache : uplink_caches_) {
+      cache = edf::LinkScanCache{};
+    }
+    for (auto& cache : downlink_caches_) {
+      cache = edf::LinkScanCache{};
+    }
+  }
+
  private:
   [[nodiscard]] Expected<RtChannel, Rejection> admit_one(
       const ChannelSpec& spec);

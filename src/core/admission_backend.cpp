@@ -3,6 +3,7 @@
 #include <array>
 #include <utility>
 
+#include "core/gate_schedule.hpp"
 #include "core/parallel_admission.hpp"
 
 namespace rtether::core {
@@ -52,6 +53,7 @@ class ControllerBackend final : public AdmissionBackend {
   [[nodiscard]] const DeadlinePartitioner& partitioner() const override {
     return controller_.partitioner();
   }
+  void reset() override { controller_.reset(); }
 
  private:
   AdmissionController controller_;
@@ -106,6 +108,7 @@ class BatchedBackend final : public AdmissionBackend {
   [[nodiscard]] const DeadlinePartitioner& partitioner() const override {
     return engine_.partitioner();
   }
+  void reset() override { engine_.reset(); }
 
  private:
   AdmissionEngine engine_;
@@ -138,6 +141,7 @@ class ParallelBackend final : public AdmissionBackend {
   [[nodiscard]] const DeadlinePartitioner& partitioner() const override {
     return engine_.partitioner();
   }
+  void reset() override { engine_.reset(); }
 
  private:
   ParallelAdmissionEngine engine_;
@@ -181,9 +185,67 @@ class ServiceBackend final : public AdmissionBackend {
   [[nodiscard]] const DeadlinePartitioner& partitioner() const override {
     return service_.partitioner();
   }
+  void reset() override {
+    // The resident workers own shard state, so an in-place table wipe is
+    // not available; releasing every live channel reaches the same empty
+    // state and the same smallest-free ID allocator.
+    service_.drain();
+    for (const RtChannel& channel : service_.state().channels()) {
+      (void)service_.release(channel.id);
+    }
+  }
 
  private:
   AdmissionService service_;
+};
+
+/// The rival time-triggered scheme behind the same front door: gate-window
+/// synthesis is the admission test. Decisions intentionally differ from
+/// the EDF kinds — this backend is the *subject* of differential
+/// conformance, not a member of the bit-identical set.
+class TtBackend final : public AdmissionBackend {
+ public:
+  TtBackend(std::uint32_t node_count,
+            std::unique_ptr<DeadlinePartitioner> partitioner,
+            const BackendConfig& config)
+      : admission_(node_count, std::move(partitioner), config.admission) {}
+
+  [[nodiscard]] std::string name() const override { return "tt"; }
+
+  ChurnResult submit(std::span<const ChannelOp> ops) override {
+    ChurnResult result;
+    for (const ChannelOp& op : ops) {
+      if (op.kind == ChannelOp::Kind::kAdmit) {
+        result.admissions.push_back(admission_.admit(op.spec));
+      } else {
+        result.releases.push_back(admission_.release(op.id));
+      }
+    }
+    return result;
+  }
+
+  [[nodiscard]] AdmitOutcome admit(const ChannelSpec& spec) override {
+    return admission_.admit(spec);
+  }
+  ReleaseOutcome release(ChannelId id) override {
+    return admission_.release(id);
+  }
+  [[nodiscard]] const NetworkState& state() override {
+    return admission_.state();
+  }
+  [[nodiscard]] const AdmissionStats& stats() override {
+    return admission_.stats();
+  }
+  [[nodiscard]] const DeadlinePartitioner& partitioner() const override {
+    return admission_.partitioner();
+  }
+  void reset() override { admission_.reset(); }
+  [[nodiscard]] const GateScheduleAdmission* gate_schedule() const override {
+    return &admission_;
+  }
+
+ private:
+  GateScheduleAdmission admission_;
 };
 
 constexpr std::array<std::string_view, 4> kBackendKinds = {
@@ -212,6 +274,10 @@ std::unique_ptr<AdmissionBackend> make_admission_backend(
   if (kind == "service") {
     return std::make_unique<ServiceBackend>(node_count, std::move(partitioner),
                                             config);
+  }
+  if (kind == "tt") {
+    return std::make_unique<TtBackend>(node_count, std::move(partitioner),
+                                       config);
   }
   return nullptr;
 }

@@ -29,6 +29,8 @@
 
 namespace rtether::core {
 
+class GateScheduleAdmission;
+
 /// Tuning knobs shared by every backend; each kind reads the subset that
 /// applies to it.
 struct BackendConfig {
@@ -73,16 +75,39 @@ class AdmissionBackend {
   [[nodiscard]] virtual const NetworkState& state() = 0;
   [[nodiscard]] virtual const AdmissionStats& stats() = 0;
   [[nodiscard]] virtual const DeadlinePartitioner& partitioner() const = 0;
+
+  /// Forgets every live channel and returns the ID allocator to its
+  /// initial state — the admission half of a switch reboot (volatile
+  /// channel table lost; scheme and config survive in firmware).
+  /// Post-reset decisions are bit-identical to a freshly constructed
+  /// backend of the same kind. Running stats keep counting, except on the
+  /// resident service, which resets by releasing every live channel (its
+  /// `released` counter advances accordingly).
+  virtual void reset() = 0;
+
+  /// The gate-schedule synthesizer when this backend is the "tt" kind —
+  /// lets the simulator install the admitted gate tables. nullptr on the
+  /// EDF kinds.
+  [[nodiscard]] virtual const GateScheduleAdmission* gate_schedule() const {
+    return nullptr;
+  }
 };
 
-/// The factory kinds, in the order conformance campaigns run them.
+/// The EDF factory kinds, in the order conformance campaigns run them. All
+/// four are contractually bit-identical to the reference controller; the
+/// rival "tt" scheme is a factory kind too, but deliberately not listed
+/// here — its decisions differ by design.
 [[nodiscard]] std::span<const std::string_view> backend_kinds();
 
 /// Creates a backend:
 ///   "controller" — the reference `AdmissionController`, one op at a time;
 ///   "batched"    — `AdmissionEngine`, runs of admits via `admit_batch`;
 ///   "parallel"   — `ParallelAdmissionEngine::process`;
-///   "service"    — resident `AdmissionService` (native async).
+///   "service"    — resident `AdmissionService` (native async);
+///   "tt"         — `GateScheduleAdmission`, the time-triggered rival
+///                  scheme (gate-window synthesis instead of EDF demand
+///                  bounds; decisions intentionally differ from the four
+///                  EDF kinds).
 /// Returns nullptr for an unknown kind.
 [[nodiscard]] std::unique_ptr<AdmissionBackend> make_admission_backend(
     std::string_view kind, std::uint32_t node_count,

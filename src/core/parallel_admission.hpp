@@ -112,6 +112,10 @@ class ParallelAdmissionEngine {
   }
   [[nodiscard]] unsigned thread_count() const { return pool_.size(); }
 
+  /// Reboot-reset. Safe between batches: every piece of persistent state
+  /// lives in the sequential engine (shard workers only borrow it).
+  void reset() { engine_.reset(); }
+
   /// Shards the most recent `admit_batch` split into (1 when it fell back
   /// to the sequential path; 0 before any batch). Diagnostics and benches.
   [[nodiscard]] std::size_t last_shard_count() const {

@@ -7,7 +7,16 @@ namespace rtether::proto {
 Stack::Stack(sim::SimConfig config, std::uint32_t node_count,
              std::unique_ptr<core::DeadlinePartitioner> partitioner,
              core::AdmissionConfig admission, std::size_t best_effort_depth,
-             RtLayerConfig layer_config) {
+             RtLayerConfig layer_config)
+    : Stack(config, node_count,
+            core::make_admission_backend("controller", node_count,
+                                         std::move(partitioner),
+                                         core::BackendConfig{admission}),
+            best_effort_depth, layer_config) {}
+
+Stack::Stack(sim::SimConfig config, std::uint32_t node_count,
+             std::unique_ptr<core::AdmissionBackend> backend,
+             std::size_t best_effort_depth, RtLayerConfig layer_config) {
   network_ = std::make_unique<sim::SimNetwork>(config, node_count,
                                                best_effort_depth);
   layers_.reserve(node_count);
@@ -15,8 +24,7 @@ Stack::Stack(sim::SimConfig config, std::uint32_t node_count,
     layers_.push_back(std::make_unique<NodeRtLayer>(*network_, NodeId{n},
                                                     layer_config));
   }
-  mgmt_ = std::make_unique<SwitchMgmt>(*network_, std::move(partitioner),
-                                       admission);
+  mgmt_ = std::make_unique<SwitchMgmt>(*network_, std::move(backend));
 }
 
 NodeRtLayer& Stack::layer(NodeId node) {
@@ -60,7 +68,7 @@ void Stack::teardown(const EstablishedChannel& channel) {
   layer(channel.source).teardown_channel(channel.id);
   // Run until the switch has processed the teardown.
   while (network_->simulator().step()) {
-    if (!mgmt_->controller().state().find_channel(channel.id).has_value()) {
+    if (!mgmt_->admission().state().find_channel(channel.id).has_value()) {
       break;
     }
   }

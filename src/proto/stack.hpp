@@ -36,10 +36,18 @@ struct EstablishedChannel {
 class Stack {
  public:
   /// Builds the network, one RT layer per node, and the switch management
-  /// configured with `partitioner`.
+  /// configured with `partitioner` (reference controller admission).
   Stack(sim::SimConfig config, std::uint32_t node_count,
         std::unique_ptr<core::DeadlinePartitioner> partitioner,
         core::AdmissionConfig admission = {},
+        std::size_t best_effort_depth = 0, RtLayerConfig layer_config = {});
+
+  /// Same, with the switch's admission implementation chosen by the caller
+  /// — any `AdmissionBackend` kind, including the time-triggered "tt"
+  /// scheme (whose gate tables the caller can then install into the
+  /// network's transmitters).
+  Stack(sim::SimConfig config, std::uint32_t node_count,
+        std::unique_ptr<core::AdmissionBackend> backend,
         std::size_t best_effort_depth = 0, RtLayerConfig layer_config = {});
 
   [[nodiscard]] sim::SimNetwork& network() { return *network_; }

@@ -10,8 +10,16 @@ namespace rtether::proto {
 SwitchMgmt::SwitchMgmt(sim::SimNetwork& network,
                        std::unique_ptr<core::DeadlinePartitioner> partitioner,
                        core::AdmissionConfig config)
-    : network_(network),
-      controller_(network.node_count(), std::move(partitioner), config) {
+    : SwitchMgmt(network,
+                 core::make_admission_backend(
+                     "controller", network.node_count(), std::move(partitioner),
+                     core::BackendConfig{config})) {}
+
+SwitchMgmt::SwitchMgmt(sim::SimNetwork& network,
+                       std::unique_ptr<core::AdmissionBackend> backend)
+    : network_(network), backend_(std::move(backend)) {
+  RTETHER_ASSERT_MSG(backend_ != nullptr,
+                     "switch management needs an admission backend");
   network_.ethernet_switch().set_mgmt_handler(
       [](void* context, const sim::SimFrame& frame, NodeId ingress, Tick now) {
         static_cast<SwitchMgmt*>(context)->on_management(frame, ingress, now);
@@ -102,7 +110,7 @@ void SwitchMgmt::handle_request(const net::RequestFrame& request,
   spec.capacity = request.capacity;
   spec.deadline = request.deadline;
 
-  const auto verdict = controller_.request(spec);
+  const auto verdict = backend_->admit(spec);
   if (!verdict) {
     // Infeasible: respond to the source directly; the request is NOT
     // forwarded to the destination (paper §18.2.2).
@@ -142,7 +150,7 @@ void SwitchMgmt::handle_response(const net::ResponseFrame& response) {
   net::ResponseFrame relayed = response;
   relayed.connection_request = pending.request;
   if (response.accepted) {
-    const auto channel = controller_.state().find_channel(response.rt_channel);
+    const auto channel = backend_->state().find_channel(response.rt_channel);
     RTETHER_ASSERT_MSG(channel.has_value(),
                        "approved channel missing from admission state");
     relayed.uplink_deadline =
@@ -153,7 +161,7 @@ void SwitchMgmt::handle_response(const net::ResponseFrame& response) {
     // the switch silently ignore a new request that recycles the 8-bit
     // connection-request ID.
     ++stats_.requests_rejected_by_destination;
-    const bool released = controller_.release(response.rt_channel).has_value();
+    const bool released = backend_->release(response.rt_channel).has_value();
     RTETHER_ASSERT_MSG(released, "pending channel missing on rollback");
     prune_seen_requests(response.rt_channel);
     relayed.uplink_deadline = 0;
@@ -173,7 +181,7 @@ void SwitchMgmt::prune_seen_requests(ChannelId channel) {
 
 void SwitchMgmt::handle_teardown(const net::TeardownFrame& teardown,
                                  NodeId ingress) {
-  const auto channel = controller_.state().find_channel(teardown.rt_channel);
+  const auto channel = backend_->state().find_channel(teardown.rt_channel);
   if (!channel) {
     // Already gone: a re-delivered teardown whose first ack may have been
     // lost. Idempotent — controller state is untouched, the destination is
@@ -195,7 +203,7 @@ void SwitchMgmt::handle_teardown(const net::TeardownFrame& teardown,
   }
   ++stats_.teardowns;
   const NodeId destination = channel->spec.destination;
-  const bool released = controller_.release(teardown.rt_channel).has_value();
+  const bool released = backend_->release(teardown.rt_channel).has_value();
   RTETHER_ASSERT_MSG(released, "live channel failed to release");
 
   // The channel may still be awaiting the destination's setup verdict; drop

@@ -13,6 +13,7 @@
 
 #include "common/types.hpp"
 #include "core/admission.hpp"
+#include "core/admission_backend.hpp"
 #include "net/mgmt_frames.hpp"
 #include "sim/network.hpp"
 
@@ -36,18 +37,23 @@ struct SwitchMgmtStats {
 
 class SwitchMgmt {
  public:
-  /// Installs itself as the switch's management handler.
+  /// Installs itself as the switch's management handler, running admission
+  /// on the reference controller backend.
   SwitchMgmt(sim::SimNetwork& network,
              std::unique_ptr<core::DeadlinePartitioner> partitioner,
              core::AdmissionConfig config = {});
 
+  /// Same, with the admission implementation chosen by the caller — any
+  /// `AdmissionBackend` kind, including the time-triggered "tt" scheme.
+  SwitchMgmt(sim::SimNetwork& network,
+             std::unique_ptr<core::AdmissionBackend> backend);
+
   SwitchMgmt(const SwitchMgmt&) = delete;
   SwitchMgmt& operator=(const SwitchMgmt&) = delete;
 
-  [[nodiscard]] core::AdmissionController& controller() { return controller_; }
-  [[nodiscard]] const core::AdmissionController& controller() const {
-    return controller_;
-  }
+  /// The admission implementation behind the management plane (state,
+  /// stats, partitioner — and `gate_schedule()` on the "tt" kind).
+  [[nodiscard]] core::AdmissionBackend& admission() { return *backend_; }
   [[nodiscard]] const SwitchMgmtStats& stats() const { return stats_; }
 
   /// Simulates a switch reboot (fault injection): the volatile channel
@@ -59,7 +65,7 @@ class SwitchMgmt {
   void reboot() {
     awaiting_destination_.clear();
     seen_requests_.clear();
-    controller_.reset();
+    backend_->reset();
     network_.ethernet_switch().flush_forwarding();
   }
 
@@ -85,7 +91,7 @@ class SwitchMgmt {
   };
 
   sim::SimNetwork& network_;
-  core::AdmissionController controller_;
+  std::unique_ptr<core::AdmissionBackend> backend_;
   /// Channels admitted but awaiting the destination's verdict.
   std::map<ChannelId, PendingApproval> awaiting_destination_;
   /// Dedup: (source node, request id) → assigned channel, for retransmits.

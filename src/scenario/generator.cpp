@@ -101,11 +101,15 @@ ScenarioSpec generate_scenario(const GeneratorConfig& config,
   // expansion is free to diverge from kMixed; the other profiles' streams
   // must stay byte-identical across releases.)
   const bool fault_heavy = config.profile == GeneratorProfile::kFaultHeavy;
+  // The TT profile is star-bound too: gate synthesis has no multihop
+  // generalization. Like fault-heavy, its seed expansion may diverge.
+  const bool time_triggered =
+      config.profile == GeneratorProfile::kTimeTriggered;
 
   // --- Topology ----------------------------------------------------------
   spec.topology.nodes = static_cast<std::uint32_t>(
       config.min_nodes + rng.index(config.max_nodes - config.min_nodes + 1));
-  if (!fault_heavy && config.max_switches >= 2 &&
+  if (!fault_heavy && !time_triggered && config.max_switches >= 2 &&
       rng.bernoulli(config.multiswitch_probability)) {
     spec.topology.kind = rng.bernoulli(0.5) ? TopologyKind::kSwitchLine
                                             : TopologyKind::kSwitchTree;
@@ -122,7 +126,9 @@ ScenarioSpec generate_scenario(const GeneratorConfig& config,
   const std::uint32_t nodes = spec.topology.nodes;
 
   // --- Scheme ------------------------------------------------------------
-  if (spec.topology.kind == TopologyKind::kStar) {
+  if (time_triggered) {
+    spec.scheme = "TT";
+  } else if (spec.topology.kind == TopologyKind::kStar) {
     // ADPS is the paper's recommendation — weight it; the others keep the
     // alternative partitioners honest.
     static const std::vector<std::string> kSchemes = {
@@ -292,6 +298,25 @@ ScenarioSpec generate_scenario(const GeneratorConfig& config,
                      [](const sim::FaultEvent& a, const sim::FaultEvent& b) {
                        return a.at_slot < b.at_slot;
                      });
+  }
+
+  // --- TT fault garnish (time-triggered profile only) --------------------
+  // A third of TT scenarios carry a windowed fault so the campaign also
+  // exercises the fault-scoped relaxation of the zero-jitter contract
+  // (dropped frames perturb position bookkeeping; misses stay forbidden).
+  // Structural reboot/crash faults are excluded: the runner rejects them
+  // for TT as malformed.
+  if (time_triggered && rng.bernoulli(1.0 / 3.0)) {
+    spec.run_slots = std::max<Slot>(spec.run_slots, 200);
+    sim::FaultEvent fault;
+    fault.kind = rng.bernoulli(0.5) ? sim::FaultKind::kFrameLoss
+                                    : sim::FaultKind::kFrameCorrupt;
+    fault.node = NodeId{static_cast<std::uint32_t>(rng.index(nodes))};
+    fault.at_slot = 10 + rng.index(spec.run_slots / 2);
+    fault.duration_slots = 20 + rng.index(spec.run_slots / 3);
+    fault.downlink = rng.bernoulli(0.5);
+    fault.probability = 0.05 + 0.45 * rng.uniform_real();
+    spec.faults.push_back(fault);
   }
 
   RTETHER_ASSERT_MSG(spec.well_formed(), "generator produced malformed spec");

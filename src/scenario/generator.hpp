@@ -31,6 +31,12 @@ enum class GeneratorProfile : std::uint8_t {
   /// survival contract and the recovery paths; the calculus oracle still
   /// audits every admission decision.
   kFaultHeavy,
+  /// Every scenario pins `scheme = "TT"`: admission is offline gate-table
+  /// synthesis and the simulation runs the slot-accurate time-triggered
+  /// wire under the zero-miss / zero-jitter contract. Star topology only
+  /// (there is no multihop gate synthesis) and windowed faults only (the
+  /// reboot recovery protocol is an EDF-scheme behavior).
+  kTimeTriggered,
 };
 
 /// Bounds on what the generator may produce. Defaults are sized so a

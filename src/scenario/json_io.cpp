@@ -451,6 +451,13 @@ Expected<ScenarioSpec, std::string> from_json(std::string_view json) {
     return Unexpected("unsupported schema '" + schema + "' (want '" +
                       std::string(kScenarioSchema) + "')");
   }
+  if (!known_scheme(spec.scheme)) {
+    // Strict: an unknown scheme used to parse fine and then silently run
+    // as ADPS in the multihop path — a corpus typo would test the wrong
+    // scheme forever. Make it a parse error instead.
+    return Unexpected("unknown scheme '" + spec.scheme +
+                      "' (want SDPS, ADPS, UDPS, Search or TT)");
+  }
   if (!spec.well_formed()) {
     return Unexpected(std::string(
         "scenario is not well-formed (release targets must point back at "

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <memory>
+#include <numeric>
 #include <optional>
 #include <sstream>
 #include <unordered_map>
@@ -12,6 +13,7 @@
 #include "common/bytes.hpp"
 #include "core/admission.hpp"
 #include "core/admission_backend.hpp"
+#include "core/gate_schedule.hpp"
 #include "edf/feasibility.hpp"
 #include "net/ethernet.hpp"
 #include "net/mgmt_frames.hpp"
@@ -57,6 +59,10 @@ const char* to_string(ViolationKind kind) {
       return "EDF accept violates the network-calculus bound";
     case ViolationKind::kCalculusDisagreement:
       return "EDF reject contradicts the network-calculus bound";
+    case ViolationKind::kGateConflict:
+      return "TT gate placement conflicts or breaks its bounds";
+    case ViolationKind::kJitterViolation:
+      return "TT delivery jitter nonzero";
   }
   return "?";
 }
@@ -524,24 +530,17 @@ bool run_multihop(RunContext& ctx,
   return true;
 }
 
-/// Phase F: wire-protocol replay plus the Eq 18.1 guarantee check in the
-/// slot-accurate simulator.
-bool run_simulation(
-    RunContext& ctx, const std::vector<std::optional<AdmitOutcome>>& ref_by_op,
+/// Replays the op stream over the management protocol; the wire must reach
+/// the same decisions, IDs and uplink deadlines as the analytic reference
+/// (`ref_by_op`). Fills `live` with the surviving established channels.
+/// Shared by the EDF and TT simulation phases — the wire is scheme-blind.
+bool replay_wire(
+    RunContext& ctx, proto::Stack& stack,
+    const std::vector<std::optional<AdmitOutcome>>& ref_by_op,
     const std::vector<std::optional<ChannelId>>& id_by_op,
-    const std::vector<std::optional<ReleaseOutcome>>& release_by_op) {
+    const std::vector<std::optional<ReleaseOutcome>>& release_by_op,
+    std::unordered_map<std::uint16_t, proto::EstablishedChannel>& live) {
   const ScenarioSpec& spec = ctx.spec;
-  sim::SimConfig sim_config;
-  sim_config.ticks_per_slot = spec.ticks_per_slot;
-  proto::Stack stack(sim_config, spec.topology.nodes,
-                     ctx.options.partitioner_factory(spec.scheme));
-  auto& network = stack.network();
-  network.set_miss_allowance(
-      sim_config.t_latency_ticks(spec.with_best_effort));
-
-  // Replay the op stream over the management protocol; the wire must reach
-  // the same decisions, IDs and uplink deadlines as the analytic engines.
-  std::unordered_map<std::uint16_t, proto::EstablishedChannel> live;
   for (std::size_t i = 0; i < spec.ops.size(); ++i) {
     const auto& op = spec.ops[i];
     if (op.kind == ScenarioOp::Kind::kRelease) {
@@ -584,6 +583,59 @@ bool run_simulation(
       }
       live.emplace(established->id.value(), *established);
     }
+  }
+  return true;
+}
+
+/// Worst per-position delivery-delay spread (ticks) across the live
+/// channels: frame position j of a period is compared only against position
+/// j of other periods — the measure the TT audit enforces at 0, computed
+/// the same way for the EDF schemes so the ablation bench compares like
+/// with like. Returns 0 when delay recording was off.
+std::uint64_t worst_position_jitter(
+    const sim::SimStats& stats,
+    const std::unordered_map<std::uint16_t, proto::EstablishedChannel>&
+        live) {
+  std::uint64_t worst = 0;
+  for (const auto& [idv, channel] : live) {
+    const auto channel_stats = stats.channel(channel.id);
+    if (!channel_stats) continue;
+    const auto& delays = channel_stats->delivery_delays;
+    const std::size_t capacity = channel.capacity;
+    for (std::size_t p = 0; p < capacity && p < delays.size(); ++p) {
+      Tick low = delays[p];
+      Tick high = delays[p];
+      for (std::size_t i = p; i < delays.size(); i += capacity) {
+        low = std::min(low, delays[i]);
+        high = std::max(high, delays[i]);
+      }
+      worst = std::max<std::uint64_t>(worst, high - low);
+    }
+  }
+  return worst;
+}
+
+/// Phase F: wire-protocol replay plus the Eq 18.1 guarantee check in the
+/// slot-accurate simulator.
+bool run_simulation(
+    RunContext& ctx, const std::vector<std::optional<AdmitOutcome>>& ref_by_op,
+    const std::vector<std::optional<ChannelId>>& id_by_op,
+    const std::vector<std::optional<ReleaseOutcome>>& release_by_op) {
+  const ScenarioSpec& spec = ctx.spec;
+  sim::SimConfig sim_config;
+  sim_config.ticks_per_slot = spec.ticks_per_slot;
+  proto::Stack stack(sim_config, spec.topology.nodes,
+                     ctx.options.partitioner_factory(spec.scheme));
+  auto& network = stack.network();
+  network.set_miss_allowance(
+      sim_config.t_latency_ticks(spec.with_best_effort));
+  if (ctx.options.record_jitter) {
+    network.stats().set_record_delays(true);
+  }
+
+  std::unordered_map<std::uint16_t, proto::EstablishedChannel> live;
+  if (!replay_wire(ctx, stack, ref_by_op, id_by_op, release_by_op, live)) {
+    return false;
   }
 
   // The fault plan (if any) hooks every transmitter now, so windows are
@@ -801,6 +853,10 @@ bool run_simulation(
       (stop_at - run_start) / sim_config.slots_to_ticks(1) + drain_slots;
   ctx.result.sim_digest = compute_sim_digest(network);
   ctx.result.fault_injections = injector.injections();
+  if (ctx.options.record_jitter) {
+    ctx.result.worst_jitter_ticks = worst_position_jitter(network.stats(),
+                                                          live);
+  }
   // Which channels a fault may legitimately have touched. After a reboot
   // every channel is in scope (and re-registration may have recycled IDs
   // across different specs, so per-ID attribution is meaningless anyway).
@@ -878,6 +934,408 @@ bool run_simulation(
   return true;
 }
 
+// --- Time-triggered (TT) scheme phases -----------------------------------
+
+/// The fixed inert partitioner TT components carry: gate synthesis has no
+/// deadline split to choose, the instance only feeds the `partitioner()`
+/// accessor and reports.
+std::unique_ptr<core::DeadlinePartitioner> tt_placeholder_dps() {
+  return core::make_partitioner("SDPS");
+}
+
+/// Checks one link's gate table for reservation conflicts: two offset
+/// streams {o + kP} and {o' + mP'} collide iff o ≡ o' (mod gcd(P, P')).
+/// Returns the first conflict found, or an empty string.
+std::string find_gate_conflict(const core::GateTable& table) {
+  for (std::size_t a = 0; a < table.size(); ++a) {
+    const auto& first = table[a];
+    for (std::size_t b = a + 1; b < table.size(); ++b) {
+      const auto& second = table[b];
+      const Slot residue = std::gcd(first.period, second.period);
+      for (const Slot oa : first.offsets) {
+        for (const Slot ob : second.offsets) {
+          if (oa % residue == ob % residue) {
+            std::ostringstream detail;
+            detail << "channels " << first.id.value() << " (P="
+                   << first.period << ", offset " << oa << ") and "
+                   << second.id.value() << " (P=" << second.period
+                   << ", offset " << ob << ") collide mod gcd=" << residue;
+            return detail.str();
+          }
+        }
+      }
+    }
+  }
+  return {};
+}
+
+/// Audits one admitted channel's placement against the gate-schedule
+/// contract: C offsets per link, strictly increasing, store-and-forward
+/// ordering v_i ≥ u_i + 1, and delivery inside min(d, P). Returns the
+/// first violation found, or an empty string.
+std::string audit_placement(const ChannelSpec& request,
+                            const core::GatePlacement& placement) {
+  const Slot horizon = std::min(request.deadline, request.period);
+  std::ostringstream detail;
+  if (placement.uplink.size() != request.capacity ||
+      placement.downlink.size() != request.capacity) {
+    detail << "placement has " << placement.uplink.size() << "/"
+           << placement.downlink.size() << " offsets for capacity "
+           << request.capacity;
+    return detail.str();
+  }
+  for (std::size_t i = 0; i < placement.uplink.size(); ++i) {
+    const Slot uplink = placement.uplink[i];
+    const Slot downlink = placement.downlink[i];
+    if (i > 0 && (uplink <= placement.uplink[i - 1] ||
+                  downlink <= placement.downlink[i - 1])) {
+      detail << "offsets of frame " << i << " not strictly increasing";
+      return detail.str();
+    }
+    if (downlink < uplink + 1) {
+      detail << "frame " << i << " leaves the switch (v=" << downlink
+             << ") before it fully arrived (u=" << uplink << ")";
+      return detail.str();
+    }
+    if (downlink + 1 > horizon) {
+      detail << "frame " << i << " delivers at slot " << downlink + 1
+             << " past min(d, P)=" << horizon;
+      return detail.str();
+    }
+  }
+  return {};
+}
+
+/// Phases A–D for the TT scheme: the reference `GateScheduleAdmission` run
+/// with the per-accept placement audit, the "tt" backend over the unified
+/// front door (bit-identical outcomes), and the end-of-stream registry and
+/// pairwise conflict-freedom checks.
+bool run_star_tt(
+    RunContext& ctx, std::vector<std::optional<AdmitOutcome>>& ref_by_op,
+    std::vector<std::optional<ChannelId>>& id_by_op,
+    std::vector<std::optional<ReleaseOutcome>>& release_by_op) {
+  const ScenarioSpec& spec = ctx.spec;
+  const std::uint32_t nodes = spec.topology.nodes;
+  core::GateScheduleAdmission reference(nodes, tt_placeholder_dps());
+
+  // --- Phase A: reference run with the placement audit -------------------
+  for (std::size_t i = 0; i < spec.ops.size(); ++i) {
+    const auto& op = spec.ops[i];
+    if (op.kind == ScenarioOp::Kind::kRelease) {
+      release_by_op[i] = reference.release(resolve_release(op, id_by_op));
+      if (release_by_op[i]->has_value()) ++ctx.result.released;
+      continue;
+    }
+    const auto& request = op.spec;
+    auto outcome = reference.admit(request);
+    if (outcome.has_value()) {
+      ++ctx.result.admitted;
+      id_by_op[i] = outcome->id;
+      if (!outcome->partition.satisfies(request)) {
+        std::ostringstream detail;
+        detail << "TT derived d_iu=" << outcome->partition.uplink
+               << " d_id=" << outcome->partition.downlink << " for "
+               << request.to_string();
+        return ctx.fail(ViolationKind::kPartitionInvariant, i, detail.str());
+      }
+      const auto placement = reference.placement(outcome->id);
+      if (!placement) {
+        return ctx.fail(ViolationKind::kGateConflict, i,
+                        "admitted channel " +
+                            std::to_string(outcome->id.value()) +
+                            " has no recorded placement");
+      }
+      if (auto broken = audit_placement(request, *placement);
+          !broken.empty()) {
+        return ctx.fail(ViolationKind::kGateConflict, i,
+                        request.to_string() + ": " + broken);
+      }
+    } else {
+      ++ctx.result.rejected;
+    }
+    ref_by_op[i] = std::move(outcome);
+  }
+
+  // --- Phases B/C: the "tt" backend over the unified front door ----------
+  std::vector<core::ChannelOp> ops;
+  ops.reserve(spec.ops.size());
+  for (std::size_t i = 0; i < spec.ops.size(); ++i) {
+    const auto& op = spec.ops[i];
+    if (op.kind == ScenarioOp::Kind::kAdmit) {
+      ops.push_back(core::ChannelOp::admit(op.spec));
+    } else {
+      ops.push_back(core::ChannelOp::release(resolve_release(op, id_by_op)));
+    }
+  }
+  auto backend = core::make_admission_backend("tt", nodes,
+                                              tt_placeholder_dps(), {});
+  const auto churn = backend->submit(ops);
+  std::size_t admit_cursor = 0;
+  std::size_t release_cursor = 0;
+  for (std::size_t i = 0; i < spec.ops.size(); ++i) {
+    if (spec.ops[i].kind == ScenarioOp::Kind::kAdmit) {
+      const auto& outcome = churn.admissions[admit_cursor++];
+      if (!outcomes_equal(outcome, *ref_by_op[i])) {
+        return ctx.fail(ViolationKind::kEngineDisagreement, i,
+                        "tt backend: " + describe(outcome) +
+                            " vs reference: " + describe(*ref_by_op[i]));
+      }
+    } else {
+      const auto& outcome = churn.releases[release_cursor++];
+      if (!outcomes_equal(outcome, *release_by_op[i])) {
+        return ctx.fail(ViolationKind::kReleaseDisagreement, i,
+                        "tt backend: " + describe(outcome) +
+                            " vs reference: " + describe(*release_by_op[i]));
+      }
+    }
+  }
+
+  // --- Phase D: registry consistency and conflict-free gate tables -------
+  if (sorted_channels(backend->state()) !=
+      sorted_channels(reference.state())) {
+    return ctx.fail(ViolationKind::kStateInconsistent,
+                    static_cast<std::size_t>(-1),
+                    "tt backend's live channel registry differs after the "
+                    "stream");
+  }
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    for (const auto dir :
+         {core::LinkDirection::kUplink, core::LinkDirection::kDownlink}) {
+      if (auto broken =
+              find_gate_conflict(reference.gate_table(NodeId{n}, dir));
+          !broken.empty()) {
+        return ctx.fail(ViolationKind::kGateConflict,
+                        static_cast<std::size_t>(-1),
+                        std::string(core::to_string(dir)) + " of node " +
+                            std::to_string(n) + ": " + broken);
+      }
+    }
+  }
+  return true;
+}
+
+/// Phase F for the TT scheme: wire-protocol replay against the
+/// gate-schedule reference, then the scheme's own guarantee in the
+/// slot-accurate simulator — the admitted gate tables are installed into
+/// every transmitter, all senders release in phase at a common slot-aligned
+/// epoch, and the run must show zero misses, zero losses outside fault
+/// scope, *and zero delivery jitter*: each frame position's delivery delay
+/// is identical in every period, by construction of the slot table.
+bool run_simulation_tt(
+    RunContext& ctx, const std::vector<std::optional<AdmitOutcome>>& ref_by_op,
+    const std::vector<std::optional<ChannelId>>& id_by_op,
+    const std::vector<std::optional<ReleaseOutcome>>& release_by_op) {
+  const ScenarioSpec& spec = ctx.spec;
+  sim::SimConfig sim_config;
+  sim_config.ticks_per_slot = spec.ticks_per_slot;
+  proto::Stack stack(sim_config, spec.topology.nodes,
+                     core::make_admission_backend("tt", spec.topology.nodes,
+                                                  tt_placeholder_dps(), {}));
+  auto& network = stack.network();
+  network.set_miss_allowance(
+      sim_config.t_latency_ticks(spec.with_best_effort));
+  network.stats().set_record_delays(true);
+
+  std::unordered_map<std::uint16_t, proto::EstablishedChannel> live;
+  if (!replay_wire(ctx, stack, ref_by_op, id_by_op, release_by_op, live)) {
+    return false;
+  }
+
+  // Windowed fault plan; structural faults were rejected as malformed for
+  // TT (the reboot recovery protocol is an EDF-scheme behavior).
+  sim::FaultInjector injector(spec.seed);
+  if (!spec.faults.empty()) {
+    injector.install(network, spec.faults, network.now());
+  }
+
+  std::vector<const proto::EstablishedChannel*> channels;
+  channels.reserve(live.size());
+  for (const auto& [id, channel] : live) channels.push_back(&channel);
+  std::sort(channels.begin(), channels.end(),
+            [](const auto* a, const auto* b) { return a->id < b->id; });
+
+  // Common epoch t0: the next slot boundary after establishment. Every
+  // gate stream anchors its offsets at t0 and every sender releases phase 0
+  // exactly at t0, so the conflict-free residues of admission become
+  // conflict-free absolute window instants on the wire — and per-position
+  // delivery delays are period-invariant (the zero-jitter contract). The
+  // collision analysis is epoch-invariant, so any common t0 works.
+  const Tick ticks_per_slot = sim_config.slots_to_ticks(1);
+  Tick epoch = network.now();
+  if (epoch % ticks_per_slot != 0) {
+    epoch += ticks_per_slot - epoch % ticks_per_slot;
+  }
+
+  const core::GateScheduleAdmission* gates =
+      stack.management().admission().gate_schedule();
+  RTETHER_ASSERT_MSG(gates != nullptr,
+                     "the tt backend must expose its gate schedule");
+  // Downlink gates shift by the store-and-forward pipeline delay: frame j
+  // finishes its uplink window at u_j + 1 slots and is queued on the
+  // egress port propagation + processing ticks later — with v_j ≥ u_j + 1
+  // that is never after the shifted downlink window opens.
+  const Tick downlink_shift =
+      sim_config.propagation_ticks + sim_config.switch_processing_ticks;
+  std::vector<sim::Transmitter::GateWindow> windows;
+  for (std::uint32_t n = 0; n < spec.topology.nodes; ++n) {
+    for (const auto dir :
+         {core::LinkDirection::kUplink, core::LinkDirection::kDownlink}) {
+      const core::GateTable& table = gates->gate_table(NodeId{n}, dir);
+      if (table.empty()) continue;
+      const Tick shift =
+          dir == core::LinkDirection::kUplink ? Tick{0} : downlink_shift;
+      windows.clear();
+      for (const auto& reservation : table) {
+        for (const Slot offset : reservation.offsets) {
+          sim::Transmitter::GateWindow window;
+          window.channel = reservation.id;
+          window.period_ticks = sim_config.slots_to_ticks(reservation.period);
+          window.first_open =
+              epoch + sim_config.slots_to_ticks(offset) + shift;
+          windows.push_back(window);
+        }
+      }
+      sim::Transmitter& transmitter =
+          dir == core::LinkDirection::kUplink
+              ? network.node(NodeId{n}).uplink()
+              : network.ethernet_switch().port(NodeId{n});
+      transmitter.install_gate_schedule(windows);
+    }
+  }
+
+  Slot max_deadline = 0;
+  std::vector<std::unique_ptr<proto::PeriodicRtSender>> senders;
+  for (const auto* channel : channels) {
+    max_deadline = std::max(max_deadline, channel->deadline);
+    senders.push_back(std::make_unique<proto::PeriodicRtSender>(
+        stack.layer(channel->source), channel->id));
+  }
+  std::vector<std::unique_ptr<sim::BestEffortSource>> background;
+  if (spec.with_best_effort) {
+    sim::BestEffortProfile profile;
+    profile.offered_load = spec.best_effort_load;
+    profile.arrivals = spec.bursty_best_effort
+                           ? sim::BestEffortArrivals::kOnOff
+                           : sim::BestEffortArrivals::kPoisson;
+    background = sim::attach_best_effort_everywhere(network, profile,
+                                                    spec.seed ^ 0xbeefULL);
+  }
+
+  // Park the wire at the epoch, then start the synchronized release
+  // pattern the slot table was synthesized for.
+  if (!network.simulator().run_until(epoch)) {
+    return ctx.fail(ViolationKind::kSimBudgetExhausted,
+                    static_cast<std::size_t>(-1),
+                    "runaway guard tripped reaching the TT epoch");
+  }
+  for (auto& sender : senders) sender->start();
+
+  const Tick stop_at = epoch + sim_config.slots_to_ticks(spec.run_slots);
+  if (!network.simulator().run_until(stop_at)) {
+    return ctx.fail(ViolationKind::kSimBudgetExhausted,
+                    static_cast<std::size_t>(-1),
+                    "runaway guard tripped during the measured run");
+  }
+  for (auto& sender : senders) sender->stop();
+  for (auto& source : background) source->stop();
+  const Slot drain_slots = max_deadline + 64;
+  if (!network.simulator().run_until(
+          stop_at + sim_config.slots_to_ticks(drain_slots))) {
+    return ctx.fail(ViolationKind::kSimBudgetExhausted,
+                    static_cast<std::size_t>(-1),
+                    "runaway guard tripped during the drain");
+  }
+  ctx.result.simulated_slots = spec.run_slots + drain_slots;
+  ctx.result.sim_digest = compute_sim_digest(network);
+  ctx.result.fault_injections = injector.injections();
+  ctx.result.worst_jitter_ticks =
+      worst_position_jitter(network.stats(), live);
+
+  // Which channels a windowed fault may legitimately have touched (a drop
+  // perturbs the frame-position bookkeeping, so they are also exempt from
+  // the jitter check — but never from the zero-miss contract).
+  const auto in_fault_scope = [&](const proto::EstablishedChannel& channel) {
+    for (const auto& fault : spec.faults) {
+      switch (fault.kind) {
+        case sim::FaultKind::kLinkDown:
+        case sim::FaultKind::kFrameLoss:
+        case sim::FaultKind::kFrameCorrupt:
+          if (fault.downlink ? channel.destination == fault.node
+                             : channel.source == fault.node) {
+            return true;
+          }
+          break;
+        case sim::FaultKind::kSwitchReboot:
+        case sim::FaultKind::kNodeCrash:
+        case sim::FaultKind::kMgmtDelay:
+          break;  // structural rejected for TT; mgmt delay touches none
+      }
+    }
+    return false;
+  };
+
+  for (const auto& [idv, channel] : live) {
+    const auto stats = network.stats().channel(channel.id);
+    if (!stats) continue;  // period longer than the run; nothing released
+    ctx.result.frames_delivered += stats->frames_delivered;
+    if (stats->deadline_misses != 0) {
+      std::ostringstream detail;
+      detail << "TT channel " << channel.id.value() << " (d="
+             << channel.deadline << ") missed " << stats->deadline_misses
+             << " of " << stats->frames_sent << " frames; worst lateness "
+             << stats->worst_lateness_ticks << " ticks";
+      return ctx.fail(ViolationKind::kDeadlineMiss,
+                      static_cast<std::size_t>(-1), detail.str());
+    }
+    if (in_fault_scope(channel)) {
+      if (stats->frames_sent !=
+          stats->frames_delivered + stats->frames_dropped) {
+        std::ostringstream detail;
+        detail << "faulted TT channel " << channel.id.value() << " sent "
+               << stats->frames_sent << " but delivered "
+               << stats->frames_delivered << " + dropped "
+               << stats->frames_dropped << " does not add up";
+        return ctx.fail(ViolationKind::kFaultContract,
+                        static_cast<std::size_t>(-1), detail.str());
+      }
+      continue;
+    }
+    if (stats->frames_dropped != 0) {
+      std::ostringstream detail;
+      detail << "TT channel " << channel.id.value()
+             << " is outside every fault's scope but booked "
+             << stats->frames_dropped << " fault drops";
+      return ctx.fail(ViolationKind::kFaultContract,
+                      static_cast<std::size_t>(-1), detail.str());
+    }
+    if (stats->frames_sent != stats->frames_delivered) {
+      std::ostringstream detail;
+      detail << "TT channel " << channel.id.value() << " sent "
+             << stats->frames_sent << " but delivered "
+             << stats->frames_delivered;
+      return ctx.fail(ViolationKind::kFrameLoss,
+                      static_cast<std::size_t>(-1), detail.str());
+    }
+    // The zero-jitter contract: frame position j of every period leaves at
+    // offsets (u_j, v_j) of that period, so its delivery delay is the same
+    // constant in every period — delays repeat with the message capacity.
+    const auto& delays = stats->delivery_delays;
+    const std::size_t capacity = channel.capacity;
+    for (std::size_t i = capacity; i < delays.size(); ++i) {
+      if (delays[i] != delays[i - capacity]) {
+        std::ostringstream detail;
+        detail << "TT channel " << channel.id.value() << " frame " << i
+               << " (position " << i % capacity << ") delivered after "
+               << delays[i] << " ticks vs " << delays[i - capacity]
+               << " one period earlier";
+        return ctx.fail(ViolationKind::kJitterViolation,
+                        static_cast<std::size_t>(-1), detail.str());
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 ScenarioResult run_scenario(const ScenarioSpec& spec,
@@ -895,11 +1353,37 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
   }
 
   RunContext ctx{spec, resolved, {}};
+  if (!known_scheme(spec.scheme)) {
+    // Strict: an unknown scheme must be a replayable failure, not a silent
+    // fallback to some default DPS (the multihop factory used to map
+    // anything unrecognized to ADPS).
+    ctx.fail(ViolationKind::kMalformedSpec, static_cast<std::size_t>(-1),
+             "unknown scheme '" + spec.scheme +
+                 "' (want SDPS, ADPS, UDPS, Search or TT)");
+    return ctx.result;
+  }
   if (!spec.well_formed()) {
     ctx.fail(ViolationKind::kMalformedSpec, static_cast<std::size_t>(-1),
              "release targets must point back at admit ops and fault plans "
              "need a simulated star with sane windows");
     return ctx.result;
+  }
+  const bool tt = spec.scheme == "TT";
+  if (tt && spec.topology.kind != TopologyKind::kStar) {
+    ctx.fail(ViolationKind::kMalformedSpec, static_cast<std::size_t>(-1),
+             "the TT scheme runs on the star fabric only");
+    return ctx.result;
+  }
+  if (tt) {
+    for (const auto& fault : spec.faults) {
+      if (fault.kind == sim::FaultKind::kSwitchReboot ||
+          fault.kind == sim::FaultKind::kNodeCrash) {
+        ctx.fail(ViolationKind::kMalformedSpec, static_cast<std::size_t>(-1),
+                 "TT fault plans must be windowed — the structural recovery "
+                 "protocol is defined for the EDF schemes");
+        return ctx.result;
+      }
+    }
   }
 
   std::vector<std::optional<AdmitOutcome>> ref_by_op(spec.ops.size());
@@ -908,6 +1392,16 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
 
   const bool star = spec.topology.kind == TopologyKind::kStar;
   bool ok = true;
+  if (tt) {
+    // The TT scheme swaps the EDF engine battery (phases A–E) for its own
+    // A–D; there is no multihop generalization of the gate synthesis.
+    ok = run_star_tt(ctx, ref_by_op, id_by_op, release_by_op);
+    if (ok && spec.simulate && resolved.run_simulation) {
+      ok = run_simulation_tt(ctx, ref_by_op, id_by_op, release_by_op);
+    }
+    ctx.result.passed = ok && ctx.result.violations.empty();
+    return ctx.result;
+  }
   if (star) {
     ok = run_star_engines(ctx, ref_by_op, id_by_op, release_by_op);
   }

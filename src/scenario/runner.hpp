@@ -34,6 +34,16 @@
 ///      every frame exactly (sent == delivered + dropped), and post-reboot
 ///      re-registration is bit-identical to admitting the same channels on
 ///      a fresh controller.
+///   TT scenarios (`spec.scheme == "TT"`) swap the EDF engine battery for
+///   the time-triggered one: the reference `core::GateScheduleAdmission`
+///   runs the op stream with a per-accept placement audit (offsets in
+///   bounds, store-and-forward ordering, pairwise gcd-residue
+///   conflict-freedom), the "tt" `AdmissionBackend` must match it
+///   bit-identically, and the simulation phase installs the admitted gate
+///   tables into every transmitter and checks the scheme's own contract:
+///   zero misses *and zero delivery jitter* — every frame position's
+///   delivery delay is identical in every period.
+///
 ///   4. **Calculus cross-check** — every reference admission decision is
 ///      audited by the independent `analysis::CalculusOracle`: an accept
 ///      must satisfy the network-calculus necessary condition, and an
@@ -80,6 +90,8 @@ enum class ViolationKind : std::uint8_t {
   kReadmissionDivergence, ///< post-reboot re-admission != fresh admission
   kCalculusViolation,     ///< EDF accept breaks the calculus lower bound
   kCalculusDisagreement,  ///< EDF reject despite calculus-proven feasibility
+  kGateConflict,          ///< TT gate placement conflicts or breaks bounds
+  kJitterViolation,       ///< TT delivery jitter nonzero (zero by design)
 };
 
 [[nodiscard]] const char* to_string(ViolationKind kind);
@@ -125,6 +137,13 @@ struct ScenarioResult {
   std::uint64_t simulated_slots{0};
   /// Simulation fingerprint (all-zero when the sim phase was skipped).
   SimDigest sim_digest;
+  /// Worst per-position delivery-delay spread (ticks) across the surviving
+  /// channels: frame position j of a period is compared only against
+  /// position j of other periods, the same measure the TT zero-jitter
+  /// audit enforces at 0. Recorded for TT runs always, for EDF runs only
+  /// under `RunnerOptions::record_jitter` (the ablation bench's metric);
+  /// 0 otherwise.
+  std::uint64_t worst_jitter_ticks{0};
   /// Per-fault-class injection counts (frames affected for windowed
   /// classes, occurrences for structural ones); all zero without a fault
   /// plan. Campaigns aggregate these to prove every class was exercised.
@@ -158,6 +177,11 @@ struct RunnerOptions {
   /// Run the simulation phase of star scenarios (the campaign's pure
   /// admission mode turns this off for breadth-first sweeps).
   bool run_simulation{true};
+  /// Record per-delivery delays in the EDF simulation phase and report
+  /// `ScenarioResult::worst_jitter_ticks`. Off by default — the vector
+  /// grows one entry per delivered frame, a cost campaigns must not pay.
+  /// TT runs record regardless (their jitter audit needs the delays).
+  bool record_jitter{false};
 };
 
 /// Runs one scenario; stops at the first violation (a failing scenario is a

@@ -19,6 +19,11 @@ const char* to_string(TopologyKind kind) {
   return "?";
 }
 
+bool known_scheme(std::string_view scheme) {
+  return scheme == "SDPS" || scheme == "ADPS" || scheme == "UDPS" ||
+         scheme == "Search" || scheme == "TT";
+}
+
 core::Topology TopologySpec::build() const {
   const std::uint32_t switch_count =
       kind == TopologyKind::kStar ? 1 : switches;

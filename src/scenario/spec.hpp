@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.hpp"
@@ -34,6 +35,13 @@ enum class TopologyKind : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(TopologyKind kind);
+
+/// True when `scheme` names a scheme the runner can execute: one of the
+/// four DPS names ("SDPS", "ADPS", "UDPS", "Search") or the time-triggered
+/// gate-schedule scheme ("TT"). Anything else is a malformed spec — the
+/// JSON loader and the runner both reject it instead of silently falling
+/// back to a default scheme.
+[[nodiscard]] bool known_scheme(std::string_view scheme);
 
 struct TopologySpec {
   TopologyKind kind{TopologyKind::kStar};
@@ -100,8 +108,11 @@ struct ScenarioSpec {
   std::string name;
 
   TopologySpec topology{};
-  /// DPS scheme: "SDPS", "ADPS", "UDPS" or "Search" for the star engines;
-  /// the multihop path maps it to its SDPS/ADPS k-hop generalization.
+  /// Admission scheme. The EDF schemes "SDPS", "ADPS", "UDPS" and "Search"
+  /// run the star engines (the multihop path maps them to their SDPS/ADPS
+  /// k-hop generalization); "TT" runs the time-triggered gate-schedule
+  /// backend instead (star only, zero-jitter contract). Must satisfy
+  /// `known_scheme`.
   std::string scheme{"ADPS"};
   std::vector<ScenarioOp> ops;
 

@@ -72,6 +72,13 @@ class FcfsQueue {
   /// Removes and returns the oldest frame; `kNoFrame` when empty.
   [[nodiscard]] FrameIndex pop();
 
+  /// The oldest frame without removing it; `kNoFrame` when empty. Gated
+  /// transmitters must size a frame against the remaining window before
+  /// committing to the dequeue.
+  [[nodiscard]] FrameIndex peek() const {
+    return size_ == 0 ? kNoFrame : ring_[head_];
+  }
+
   /// Pre-sizes the ring to at least `capacity` slots (rounded up to a
   /// power of two; allocation-free steady state).
   void reserve(std::size_t capacity);

@@ -192,6 +192,12 @@ void Simulator::dispatch(const Event& event) {
     case EventType::kFaultDisarm:
       static_cast<FaultInjector*>(event.target)->disarm(event.u.sim.aux);
       return;
+    case EventType::kGateOpen:
+      static_cast<Transmitter*>(event.target)->gate_open(event.u.sim.aux);
+      return;
+    case EventType::kGateClose:
+      static_cast<Transmitter*>(event.target)->gate_close(event.u.sim.aux);
+      return;
     case EventType::kTimer:
       event.u.timer(event.target, event.arg, now_);
       return;

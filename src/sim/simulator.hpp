@@ -47,8 +47,9 @@ class SimNetwork;
 class BestEffortSource;
 class FaultInjector;
 
-/// Tag of a typed event record. The first six are the simulation's own
-/// closed event set; the last two are the escape hatches for higher layers.
+/// Tag of a typed event record. All but the last two are the simulation's
+/// own closed event set; kTimer/kClosure are the escape hatches for higher
+/// layers.
 enum class EventType : std::uint8_t {
   /// Same-tick EDF arbitration on a Transmitter (PR-3 semantics: every
   /// release at tick T runs before the wire is granted, still at T).
@@ -68,6 +69,11 @@ enum class EventType : std::uint8_t {
   kFaultArm,
   /// A FaultInjector's windowed fault event (aux) closes its window.
   kFaultDisarm,
+  /// A gated Transmitter's gate entry (aux) opens its transmission window
+  /// (time-triggered scheme; see Transmitter::install_gate_schedule).
+  kGateOpen,
+  /// A gated Transmitter's gate entry (aux) closes its window.
+  kGateClose,
   /// Raw function-pointer timer (protocol layers); allocation-free.
   kTimer,
   /// Heap-stored `std::function` closure (tests, cold setup paths).

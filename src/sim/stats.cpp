@@ -50,6 +50,9 @@ void SimStats::record_rt_delivered(ChannelId channel, Tick created,
   auto& stats = slot(channel);
   ++stats.frames_delivered;
   stats.delay_ticks.add(static_cast<double>(delivered - created));
+  if (record_delays_) {
+    stats.delivery_delays.push_back(delivered - created);
+  }
   const auto lateness = static_cast<std::int64_t>(delivered) -
                         static_cast<std::int64_t>(absolute_deadline);
   stats.worst_lateness_ticks =

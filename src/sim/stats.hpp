@@ -38,11 +38,22 @@ struct ChannelDeliveryStats {
   /// Always zero in fault-free runs; deliberately NOT part of the sim
   /// digest (compute_sim_digest's field order is a golden contract).
   std::uint64_t frames_dropped{0};
+  /// Every delivery's end-to-end delay in arrival order, recorded only
+  /// when `SimStats::set_record_delays(true)` — the time-triggered
+  /// conformance check proves zero jitter from the exact sequence, which
+  /// `delay_ticks`'s running moments cannot. Like `frames_dropped`,
+  /// deliberately NOT part of the sim digest.
+  std::vector<Tick> delivery_delays;
 };
 
 class SimStats {
  public:
   void record_rt_sent(ChannelId channel) { ++slot(channel).frames_sent; }
+
+  /// Opt into per-delivery delay recording (`delivery_delays`). Off by
+  /// default: the vector grows one entry per delivered frame, which the
+  /// allocation-conscious benches must not pay.
+  void set_record_delays(bool on) { record_delays_ = on; }
 
   /// Records a delivered RT frame. `allowance` is the T_latency budget of
   /// Eq 18.1 in ticks; delivery after `absolute_deadline + allowance`
@@ -116,6 +127,7 @@ class SimStats {
   std::uint64_t best_effort_delivered_{0};
   std::uint64_t rt_fault_drops_{0};
   std::uint64_t best_effort_fault_drops_{0};
+  bool record_delays_{false};
   RunningStats best_effort_delay_;
 };
 

@@ -45,6 +45,26 @@ Transmitter::Transmitter(Simulator& simulator, const SimConfig& config,
 }
 
 void Transmitter::enqueue_rt(Tick deadline_key, FrameIndex frame) {
+  if (gated_) {
+    // Time-triggered mode: the EDF key is ignored — the slot table decided
+    // the order offline. Route the frame to its channel's window FIFO.
+    const SimFrame& held = simulator_.arena().get(frame);
+    RTETHER_ASSERT_MSG(held.info.rt_tag.has_value(),
+                       "gated RT enqueue without a decoded tag");
+    const ChannelId channel = held.info.rt_tag->channel;
+    for (GateEntry& entry : gate_entries_) {
+      if (entry.channel == channel) {
+        // Unbounded: never drops.
+        (void)gate_queues_[entry.queue_index].push(frame);
+        ++gated_rt_backlog_;
+        stats_.max_rt_queue_depth =
+            std::max(stats_.max_rt_queue_depth, gated_rt_backlog_);
+        schedule_start();
+        return;
+      }
+    }
+    RTETHER_ASSERT_MSG(false, "gated RT frame for a channel with no window");
+  }
   rt_queue_.push(deadline_key, frame);
   stats_.max_rt_queue_depth =
       std::max(stats_.max_rt_queue_depth, rt_queue_.size());
@@ -81,7 +101,8 @@ void Transmitter::schedule_start() {
   // Nothing queued (a completion with both queues drained — the common
   // case in sparse periodic traffic): don't burn an event; the next
   // enqueue schedules its own arbitration.
-  if (rt_queue_.empty() && best_effort_queue_.empty()) {
+  if (rt_queue_.empty() && best_effort_queue_.empty() &&
+      gated_rt_backlog_ == 0) {
     return;
   }
   start_pending_ = true;
@@ -96,6 +117,10 @@ void Transmitter::arbitrate() {
 void Transmitter::try_start() {
   if (busy_) {
     return;  // non-preemptive: the in-flight frame finishes first
+  }
+  if (gated_) {
+    try_start_gated();
+    return;
   }
   // Strict priority: RT (EDF order) before best-effort (FCFS order). Each
   // queue is consulted with a single move-out pop.
@@ -121,6 +146,130 @@ void Transmitter::try_start() {
   // The frame rides the completion event by index; no copy, no closure.
   simulator_.schedule_event(simulator_.now() + tx_ticks,
                             EventType::kTxComplete, this, frame);
+}
+
+void Transmitter::try_start_gated() {
+  const Tick now = simulator_.now();
+  FrameIndex frame = kNoFrame;
+  bool is_rt = false;
+  Tick tx_ticks = 0;
+  if (open_entry_ != kNoGate && now < open_until_) {
+    FcfsQueue& queue = gate_queues_[gate_entries_[open_entry_].queue_index];
+    const FrameIndex head = queue.peek();
+    if (head != kNoFrame) {
+      const Tick tx = config_.transmission_ticks(
+          simulator_.arena().get(head).wire_bytes());
+      // Start only if the transmission completes inside the window. A
+      // frame released mid-window waits for the channel's next window —
+      // the TT contract is per-window, not work-conserving, and that is
+      // exactly what makes the delivery instants jitter-free.
+      if (now + tx <= open_until_) {
+        frame = queue.pop();
+        --gated_rt_backlog_;
+        is_rt = true;
+        tx_ticks = tx;
+      }
+    }
+  }
+  if (frame == kNoFrame) {
+    // Best-effort fills the unreserved gaps: it may start only when the
+    // whole transmission lands before every entry's next window (and
+    // outside the currently open one). Retried at each gate_close.
+    const FrameIndex head = best_effort_queue_.peek();
+    if (head != kNoFrame) {
+      const Tick tx = config_.transmission_ticks(
+          simulator_.arena().get(head).wire_bytes());
+      if (gate_clear(now, tx)) {
+        frame = best_effort_queue_.pop();
+        tx_ticks = tx;
+      }
+    }
+  }
+  if (frame == kNoFrame) {
+    return;
+  }
+  busy_ = true;
+  stats_.busy_ticks += tx_ticks;
+  if (is_rt) {
+    ++stats_.rt_frames_sent;
+  } else {
+    ++stats_.best_effort_frames_sent;
+  }
+  simulator_.schedule_event(now + tx_ticks, EventType::kTxComplete, this,
+                            frame);
+}
+
+bool Transmitter::gate_clear(Tick now, Tick tx_ticks) const {
+  if (open_entry_ != kNoGate && now < open_until_) {
+    return false;  // inside a reserved window
+  }
+  const Tick end = now + tx_ticks;
+  for (const GateEntry& entry : gate_entries_) {
+    if (entry.next_open < end) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Transmitter::install_gate_schedule(std::span<const GateWindow> windows) {
+  gated_ = true;
+  const Tick now = simulator_.now();
+  for (const GateWindow& window : windows) {
+    RTETHER_ASSERT_MSG(window.period_ticks > 0,
+                       "a gate window stream needs a period");
+    GateEntry entry;
+    entry.channel = window.channel;
+    entry.period_ticks = window.period_ticks;
+    entry.next_open = window.first_open;
+    // A capacity-C channel installs C window streams; they all drain one
+    // shared per-channel FIFO so a frame held at offset u_j can leave at
+    // whichever of the channel's windows opens next.
+    entry.queue_index = kNoGate;
+    for (const GateEntry& existing : gate_entries_) {
+      if (existing.channel == window.channel) {
+        entry.queue_index = existing.queue_index;
+        break;
+      }
+    }
+    if (entry.queue_index == kNoGate) {
+      entry.queue_index = static_cast<std::uint32_t>(gate_queues_.size());
+      gate_queues_.emplace_back();
+    }
+    if (entry.next_open < now) {
+      // The establishment protocol consumed simulation time; jump the
+      // epoch-anchored stream to its first occurrence at or after now.
+      const Tick behind = now - entry.next_open;
+      entry.next_open += (behind + entry.period_ticks - 1) /
+                         entry.period_ticks * entry.period_ticks;
+    }
+    const auto index = static_cast<std::uint32_t>(gate_entries_.size());
+    gate_entries_.push_back(std::move(entry));
+    simulator_.schedule_event(gate_entries_.back().next_open,
+                              EventType::kGateOpen, this, kNoFrame, index);
+  }
+}
+
+void Transmitter::gate_open(std::uint32_t entry_index) {
+  GateEntry& entry = gate_entries_[entry_index];
+  open_entry_ = entry_index;
+  open_until_ = simulator_.now() + config_.ticks_per_slot;
+  simulator_.schedule_event(open_until_, EventType::kGateClose, this, kNoFrame,
+                            entry_index);
+  entry.next_open += entry.period_ticks;
+  simulator_.schedule_event(entry.next_open, EventType::kGateOpen, this,
+                            kNoFrame, entry_index);
+  schedule_start();
+}
+
+void Transmitter::gate_close(std::uint32_t entry_index) {
+  // Adjacent windows: the successor's gate_open (scheduled a full period
+  // ago, hence with an earlier sequence number) runs before this close at
+  // the same tick — only the entry still holding the door may clear it.
+  if (open_entry_ == entry_index) {
+    open_entry_ = kNoGate;
+  }
+  schedule_start();
 }
 
 void Transmitter::complete(FrameIndex frame) {

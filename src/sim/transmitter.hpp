@@ -16,9 +16,20 @@
 /// dispatched directly (uplink → switch ingress event, switch port → node
 /// delivery event, or a raw function pointer for tests) instead of a
 /// type-erased `std::function` callback.
+///
+/// **Gated (time-triggered) mode.** `install_gate_schedule` turns the
+/// transmitter into a TAS-style gated link: each admitted channel owns a
+/// periodic one-slot window, RT frames are held in per-channel FIFO queues
+/// until their window opens, and best-effort frames may only start when the
+/// whole transmission fits before the next reserved window. Gate open/close
+/// are typed kernel events (`kGateOpen`/`kGateClose`), so a gated run stays
+/// on the allocation-free dispatch path. EDF keys are ignored in this mode —
+/// the slot table decided the order offline.
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 #include "sim/config.hpp"
@@ -85,6 +96,20 @@ class Transmitter {
   using FaultFn = FaultDecision (*)(void* context, const SimFrame& frame,
                                     Tick now);
 
+  /// One reserved window stream of the time-triggered schedule: the gate
+  /// for `channel` opens for exactly one slot at `first_open`,
+  /// `first_open + period_ticks`, `first_open + 2·period_ticks`, ... —
+  /// the gate-schedule admission guarantees the occurrences of distinct
+  /// entries on one link never overlap.
+  struct GateWindow {
+    ChannelId channel{};
+    Tick period_ticks{0};
+    /// Absolute tick of the first window start (epoch-anchored offset);
+    /// advanced internally to the first occurrence at or after `now` when
+    /// the establishment protocol already consumed simulation time.
+    Tick first_open{0};
+  };
+
   /// `best_effort_depth` bounds the FCFS queue (0 = unbounded).
   Transmitter(Simulator& simulator, const SimConfig& config, std::string name,
               Sink sink, std::size_t best_effort_depth = 0);
@@ -119,6 +144,17 @@ class Transmitter {
     best_effort_queue_.reserve(best_effort_entries);
   }
 
+  /// Switches the transmitter into gated (time-triggered) mode and arms
+  /// the given window streams. May be called more than once; each call
+  /// appends entries. From here on RT frames are routed to their channel's
+  /// FIFO (by the decoded `rt_tag`) and only leave inside that channel's
+  /// windows; best-effort fills the unreserved gaps. The self-rescheduling
+  /// gate events run forever — drive a gated simulation with `run_until`,
+  /// not `run_all`.
+  void install_gate_schedule(std::span<const GateWindow> windows);
+
+  [[nodiscard]] bool gated() const { return gated_; }
+
   /// Kernel dispatch target: same-tick arbitration (EventType::kArbitrate).
   void arbitrate();
 
@@ -126,10 +162,20 @@ class Transmitter {
   /// (EventType::kTxComplete).
   void complete(FrameIndex frame);
 
+  /// Kernel dispatch target: gate entry `entry_index`'s window opens
+  /// (EventType::kGateOpen).
+  void gate_open(std::uint32_t entry_index);
+
+  /// Kernel dispatch target: gate entry `entry_index`'s window closes
+  /// (EventType::kGateClose).
+  void gate_close(std::uint32_t entry_index);
+
   [[nodiscard]] const TransmitterStats& stats() const { return stats_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] bool busy() const { return busy_; }
-  [[nodiscard]] std::size_t rt_backlog() const { return rt_queue_.size(); }
+  [[nodiscard]] std::size_t rt_backlog() const {
+    return gated_ ? gated_rt_backlog_ : rt_queue_.size();
+  }
   [[nodiscard]] std::size_t best_effort_backlog() const {
     return best_effort_queue_.size();
   }
@@ -138,12 +184,36 @@ class Transmitter {
   }
 
  private:
+  /// One armed window stream. A capacity-C channel owns C entries (one per
+  /// in-period offset) that all drain the same per-channel FIFO, indexed by
+  /// `queue_index` into `gate_queues_`.
+  struct GateEntry {
+    ChannelId channel{};
+    Tick period_ticks{0};
+    /// Absolute tick of the next (not yet opened) window start.
+    Tick next_open{0};
+    /// The channel's shared FIFO in `gate_queues_`.
+    std::uint32_t queue_index{0};
+  };
+
+  /// No window currently holds the door.
+  static constexpr std::uint32_t kNoGate = 0xffffffffU;
+
   /// Schedules the same-tick arbitration event (no-op when transmitting or
   /// already scheduled).
   void schedule_start();
 
   /// Starts the next transmission if idle and work is queued.
   void try_start();
+
+  /// Gated-mode start decision: the open window's RT head if it fits the
+  /// remaining window, else a best-effort frame if it fits the gap before
+  /// every entry's next window.
+  void try_start_gated();
+
+  /// True when a transmission of `tx_ticks` starting at `now` overlaps no
+  /// reserved window occurrence.
+  [[nodiscard]] bool gate_clear(Tick now, Tick tx_ticks) const;
 
   Simulator& simulator_;
   const SimConfig& config_;
@@ -154,6 +224,18 @@ class Transmitter {
   bool busy_{false};
   /// An arbitration event is queued for the current tick.
   bool start_pending_{false};
+  /// Time-triggered mode (install_gate_schedule was called).
+  bool gated_{false};
+  std::vector<GateEntry> gate_entries_;
+  /// One FIFO per distinct gated channel (entries share by `queue_index`).
+  std::vector<FcfsQueue> gate_queues_;
+  /// Entry whose window is currently open (kNoGate between windows). One
+  /// latch suffices: admitted windows on a link never overlap.
+  std::uint32_t open_entry_{kNoGate};
+  /// End tick of the currently open window.
+  Tick open_until_{0};
+  /// Frames held across every gate entry's FIFO.
+  std::size_t gated_rt_backlog_{0};
   FaultFn fault_fn_{nullptr};
   void* fault_context_{nullptr};
   TransmitterStats stats_;

@@ -27,7 +27,7 @@ TEST(Establishment, AcceptedChannelOverTheWire) {
   EXPECT_EQ(stack.layer(NodeId{1}).rx_channels().count(result->id), 1u);
   // The switch committed the channel.
   EXPECT_TRUE(stack.management()
-                  .controller()
+                  .admission()
                   .state()
                   .find_channel(result->id)
                   .has_value());
@@ -62,7 +62,7 @@ TEST(Establishment, SwitchRejectsInfeasibleWithoutForwarding) {
   EXPECT_EQ(stack.management().stats().requests_rejected_infeasible, 1u);
   // The rejected request never reached node 2's RT layer.
   EXPECT_TRUE(stack.layer(NodeId{2}).rx_channels().empty());
-  EXPECT_EQ(stack.management().controller().state().channel_count(), 6u);
+  EXPECT_EQ(stack.management().admission().state().channel_count(), 6u);
 }
 
 TEST(Establishment, DestinationCanDecline) {
@@ -72,7 +72,7 @@ TEST(Establishment, DestinationCanDecline) {
   const auto rejected = stack.establish(NodeId{0}, NodeId{1}, 100, 3, 40);
   ASSERT_FALSE(rejected.has_value());
   // The switch must roll the tentative admission back (no residue).
-  EXPECT_EQ(stack.management().controller().state().channel_count(), 0u);
+  EXPECT_EQ(stack.management().admission().state().channel_count(), 0u);
   EXPECT_EQ(stack.management().stats().requests_rejected_by_destination, 1u);
   EXPECT_TRUE(stack.layer(NodeId{0}).tx_channels().empty());
 
@@ -108,7 +108,7 @@ TEST(Establishment, ManyConcurrentRequestsAllResolve) {
   EXPECT_EQ(resolved, 20);
   EXPECT_GT(accepted, 0);
   EXPECT_EQ(static_cast<std::size_t>(accepted),
-            stack.management().controller().state().channel_count());
+            stack.management().admission().state().channel_count());
 }
 
 TEST(Establishment, DistinctChannelIdsAcrossSources) {
@@ -130,7 +130,7 @@ TEST(Establishment, InvalidSpecRejectedBySwitch) {
   // d < 2C: the switch's admission control refuses (kInvalidSpec path).
   const auto result = stack.establish(NodeId{0}, NodeId{1}, 100, 3, 5);
   EXPECT_FALSE(result.has_value());
-  EXPECT_EQ(stack.management().controller().state().channel_count(), 0u);
+  EXPECT_EQ(stack.management().admission().state().channel_count(), 0u);
 }
 
 }  // namespace

@@ -86,7 +86,7 @@ TEST(FailureInjection, DuplicateRequestAdmittedOnlyOnce) {
   EXPECT_EQ(stack.management().stats().requests_received, 2u);
   EXPECT_EQ(stack.management().stats().requests_admitted, 1u);
   EXPECT_EQ(stack.management().stats().duplicate_requests_ignored, 1u);
-  EXPECT_EQ(stack.management().controller().state().channel_count(), 1u);
+  EXPECT_EQ(stack.management().admission().state().channel_count(), 1u);
 }
 
 TEST(FailureInjection, DuplicateDestinationResponseIgnored) {
@@ -113,7 +113,7 @@ TEST(FailureInjection, DuplicateDestinationResponseIgnored) {
   stack.network().node(NodeId{1}).send_best_effort(std::move(frame));
   EXPECT_TRUE(stack.network().simulator().run_all());
 
-  EXPECT_EQ(stack.management().controller().state().channel_count(), 1u);
+  EXPECT_EQ(stack.management().admission().state().channel_count(), 1u);
   EXPECT_EQ(stack.layer(NodeId{0}).tx_channels().size(), 1u);
 }
 
@@ -134,7 +134,7 @@ TEST(FailureInjection, GarbageManagementFrameIgnored) {
   stack.network().node(NodeId{0}).send_best_effort(std::move(frame));
   EXPECT_TRUE(stack.network().simulator().run_all());
 
-  EXPECT_EQ(stack.management().controller().state().channel_count(), 0u);
+  EXPECT_EQ(stack.management().admission().state().channel_count(), 0u);
   // The network keeps working afterwards.
   EXPECT_TRUE(stack.establish(NodeId{0}, NodeId{1}, 100, 3, 40).has_value());
 }

@@ -45,10 +45,10 @@ TEST(Teardown, ReleasesSwitchState) {
   Stack stack(test_config(), 4, std::make_unique<core::SymmetricPartitioner>());
   const auto channel = stack.establish(NodeId{0}, NodeId{1}, 100, 3, 40);
   ASSERT_TRUE(channel.has_value());
-  ASSERT_EQ(stack.management().controller().state().channel_count(), 1u);
+  ASSERT_EQ(stack.management().admission().state().channel_count(), 1u);
 
   stack.teardown(*channel);
-  EXPECT_EQ(stack.management().controller().state().channel_count(), 0u);
+  EXPECT_EQ(stack.management().admission().state().channel_count(), 0u);
   EXPECT_EQ(stack.management().stats().teardowns, 1u);
   EXPECT_TRUE(stack.layer(NodeId{0}).tx_channels().empty());
 }
@@ -106,8 +106,8 @@ TEST(Teardown, RedeliveredTeardownIsIdempotentAndReAcked) {
 
   EXPECT_EQ(stack.management().stats().teardowns, 1u);
   EXPECT_EQ(stack.management().stats().duplicate_teardowns_ignored, 2u);
-  EXPECT_EQ(stack.management().controller().state().channel_count(), 0u);
-  EXPECT_EQ(stack.management().controller().stats().released, 1u);
+  EXPECT_EQ(stack.management().admission().state().channel_count(), 0u);
+  EXPECT_EQ(stack.management().admission().stats().released, 1u);
 }
 
 TEST(Teardown, StrayTeardownFromNonSourceIsIgnored) {
@@ -124,7 +124,7 @@ TEST(Teardown, StrayTeardownFromNonSourceIsIgnored) {
 
   EXPECT_EQ(stack.management().stats().teardowns, 0u);
   EXPECT_EQ(stack.management().stats().stray_teardowns_ignored, 2u);
-  EXPECT_EQ(stack.management().controller().state().channel_count(), 1u);
+  EXPECT_EQ(stack.management().admission().state().channel_count(), 1u);
   EXPECT_EQ(stack.layer(NodeId{1}).rx_channels().size(), 1u);
 }
 
@@ -146,14 +146,14 @@ TEST(Teardown, TeardownWhileAwaitingDestinationVerdict) {
                            EXPECT_FALSE(outcome.accepted);
                          });
   EXPECT_TRUE(network.simulator().run_all());
-  ASSERT_EQ(management.controller().state().channel_count(), 1u);
+  ASSERT_EQ(management.admission().state().channel_count(), 1u);
   const ChannelId assigned{1};  // smallest free ID
 
   // Teardown for the half-established channel (the application gave up).
   inject_teardown(network, NodeId{0}, assigned);
   EXPECT_TRUE(network.simulator().run_all());
   EXPECT_EQ(management.stats().teardowns, 1u);
-  EXPECT_EQ(management.controller().state().channel_count(), 0u);
+  EXPECT_EQ(management.admission().state().channel_count(), 0u);
 
   // A late destination verdict for the torn-down channel must be ignored —
   // it must neither resurrect the channel nor trip the switch's "approved
@@ -164,7 +164,7 @@ TEST(Teardown, TeardownWhileAwaitingDestinationVerdict) {
   response.accepted = true;
   inject_mgmt(network, NodeId{1}, response.serialize());
   EXPECT_TRUE(network.simulator().run_all());
-  EXPECT_EQ(management.controller().state().channel_count(), 0u);
+  EXPECT_EQ(management.admission().state().channel_count(), 0u);
   EXPECT_TRUE(done);
 }
 
@@ -191,14 +191,14 @@ TEST(Teardown, RequestIdReuseAfterDestinationDeclineRunsAdmissionAgain) {
   inject_mgmt(stack.network(), NodeId{0}, request.serialize());
   EXPECT_TRUE(stack.network().simulator().run_all());
   ASSERT_EQ(stack.management().stats().requests_rejected_by_destination, 1u);
-  ASSERT_EQ(stack.management().controller().state().channel_count(), 0u);
+  ASSERT_EQ(stack.management().admission().state().channel_count(), 0u);
 
   stack.layer(NodeId{1}).set_accept_policy(nullptr);
   inject_mgmt(stack.network(), NodeId{0}, request.serialize());
   EXPECT_TRUE(stack.network().simulator().run_all());
   EXPECT_EQ(stack.management().stats().duplicate_requests_ignored, 0u);
   EXPECT_EQ(stack.management().stats().requests_admitted, 2u);
-  EXPECT_EQ(stack.management().controller().state().channel_count(), 1u);
+  EXPECT_EQ(stack.management().admission().state().channel_count(), 1u);
 }
 
 TEST(Teardown, RequestIdReuseAfterTeardownRunsAdmissionAgain) {
@@ -218,7 +218,7 @@ TEST(Teardown, RequestIdReuseAfterTeardownRunsAdmissionAgain) {
   inject_mgmt(stack.network(), NodeId{0}, request.serialize());
   EXPECT_TRUE(stack.network().simulator().run_all());
   ASSERT_EQ(stack.management().stats().requests_admitted, 1u);
-  ASSERT_EQ(stack.management().controller().state().channel_count(), 1u);
+  ASSERT_EQ(stack.management().admission().state().channel_count(), 1u);
 
   // Tear the channel down, then reuse the same 8-bit connection-request ID
   // for a genuinely new request (the ID space wraps after 255 setups — a
@@ -226,13 +226,13 @@ TEST(Teardown, RequestIdReuseAfterTeardownRunsAdmissionAgain) {
   // not treat the new request as a retransmission of the old one.
   inject_teardown(stack.network(), NodeId{0}, ChannelId{1});
   EXPECT_TRUE(stack.network().simulator().run_all());
-  ASSERT_EQ(stack.management().controller().state().channel_count(), 0u);
+  ASSERT_EQ(stack.management().admission().state().channel_count(), 0u);
 
   inject_mgmt(stack.network(), NodeId{0}, request.serialize());
   EXPECT_TRUE(stack.network().simulator().run_all());
   EXPECT_EQ(stack.management().stats().requests_admitted, 2u);
   EXPECT_EQ(stack.management().stats().duplicate_requests_ignored, 0u);
-  EXPECT_EQ(stack.management().controller().state().channel_count(), 1u);
+  EXPECT_EQ(stack.management().admission().state().channel_count(), 1u);
 }
 
 }  // namespace

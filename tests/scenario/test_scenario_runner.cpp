@@ -7,6 +7,7 @@
 
 #include "scenario/campaign.hpp"
 #include "scenario/generator.hpp"
+#include "scenario/json_io.hpp"
 #include "scenario/runner.hpp"
 
 namespace rtether::scenario {
@@ -32,6 +33,42 @@ TEST(ScenarioRunner, MalformedSpecIsReportedNotRun) {
   EXPECT_FALSE(result.passed);
   ASSERT_EQ(result.violations.size(), 1u);
   EXPECT_EQ(result.violations[0].kind, ViolationKind::kMalformedSpec);
+}
+
+TEST(ScenarioRunner, UnknownSchemeIsAStrictParseError) {
+  // Regression for a latent bug: the multihop factory used to map any
+  // unrecognized scheme string to ADPS, so a typo'd corpus entry silently
+  // tested the wrong partitioner. The parser now rejects the document.
+  const std::string document =
+      R"({"schema":"rtether-scenario-v1","seed":1,"name":"typo",)"
+      R"("scheme":"ADSP","topology":{"kind":"star","switches":1,"nodes":3},)"
+      R"("ops":[]})";
+  const auto parsed = from_json(document);
+  ASSERT_FALSE(parsed.has_value());
+  EXPECT_NE(parsed.error().find("unknown scheme"), std::string::npos)
+      << parsed.error();
+
+  // The same document with a known scheme parses fine — the scheme check
+  // is what failed, not the rest of the document.
+  std::string fixed = document;
+  fixed.replace(fixed.find("ADSP"), 4, "ADPS");
+  EXPECT_TRUE(from_json(fixed).has_value());
+}
+
+TEST(ScenarioRunner, UnknownSchemeFailsTheRunnerToo) {
+  // A spec built in code (bypassing the parser) must fail the same way:
+  // a replayable kMalformedSpec violation, not a silent DPS fallback.
+  ScenarioSpec spec;
+  spec.topology.nodes = 3;
+  spec.scheme = "TT3000";
+  spec.ops.push_back(ScenarioOp::admit({NodeId{0}, NodeId{1}, 50, 2, 20}));
+  const auto result = run_scenario(spec);
+  EXPECT_FALSE(result.passed);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].kind, ViolationKind::kMalformedSpec);
+  EXPECT_NE(result.violations[0].detail.find("unknown scheme"),
+            std::string::npos)
+      << result.violations[0].detail;
 }
 
 TEST(ScenarioRunner, ChurnWithBogusAndDoubleReleasesAgrees) {

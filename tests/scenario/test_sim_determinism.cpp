@@ -1,8 +1,9 @@
 // Determinism suite for the typed event kernel: identical seeds must give
 // bit-identical simulation outcomes — executed-event counts, per-link
 // stats, delivery records and miss/loss verdicts — across repeated runs
-// and across campaign thread counts; and three corpus entries are pinned
-// to golden SimDigests captured from the seed (`std::function`) kernel, so
+// and across campaign thread counts; and five corpus entries (three EDF,
+// two time-triggered) are pinned to golden SimDigests, the EDF three
+// captured from the seed (`std::function`) kernel, so
 // a kernel refactor cannot silently shift sim semantics: any change to
 // event ordering, queue service order or measurement shows up here as a
 // digest mismatch with a replayable spec.
@@ -38,6 +39,31 @@ TEST(SimDeterminism, IdenticalSeedGivesIdenticalDigest) {
         << "seed " << seed;
     EXPECT_EQ(first.simulated_slots, second.simulated_slots)
         << "seed " << seed;
+  }
+}
+
+TEST(SimDeterminism, TtCampaignFingerprintIsThreadCountIndependent) {
+  // Same contract for the time-triggered profile: gate-event scheduling,
+  // epoch anchoring and the zero-jitter audit must not read anything
+  // thread-dependent. (Seeds here overlap the EDF campaign's on purpose —
+  // the TT profile expands them into a different scenario stream.)
+  CampaignConfig config;
+  config.scenario_count = 48;
+  config.generator.profile = GeneratorProfile::kTimeTriggered;
+  CampaignResult results[3];
+  const unsigned threads[3] = {1, 2, 4};
+  for (int i = 0; i < 3; ++i) {
+    config.threads = threads[i];
+    results[i] = run_campaign(config);
+  }
+  EXPECT_EQ(results[0].failures, 0U);
+  for (int i = 1; i < 3; ++i) {
+    EXPECT_EQ(results[i].failures, results[0].failures);
+    EXPECT_EQ(results[i].admitted_total, results[0].admitted_total);
+    EXPECT_EQ(results[i].frames_delivered_total,
+              results[0].frames_delivered_total);
+    EXPECT_EQ(results[i].sim_digest_xor, results[0].sim_digest_xor)
+        << "TT -j" << threads[i] << " diverged from -j1";
   }
 }
 
@@ -95,6 +121,18 @@ const GoldenDigest kGolden[] = {
      {1509, 73, 0, 0, 0, 0xb9ec6a610ad5c195ULL},
      73,
      389},
+    // Time-triggered entries, recorded at the introduction of the TT
+    // backend: the gate-schedule slot table makes the wire fully static, so
+    // these digests pin gate-event ordering, the epoch anchoring and the
+    // non-work-conserving transmitter on top of the kernel semantics.
+    {"tt-churn.json",
+     {2712, 199, 0, 0, 0, 0xcdf96b7e05c6d898ULL},
+     199,
+     340},
+    {"tt-best-effort.json",
+     {6450, 84, 0, 653, 653, 0xaacfbd8646a2df27ULL},
+     84,
+     296},
 };
 
 TEST(SimDeterminism, GoldenDigestsMatchSeedKernel) {

@@ -1,0 +1,182 @@
+// Differential EDF-vs-TT conformance over the checked-in corpus: every
+// entry replays under *both* scheduling families and the accept/reject
+// outcome of each is pinned as a golden expectation. The pins are the
+// contract of the comparison itself — a change to either admission test
+// that silently shifts which workloads it accepts shows up here as a named
+// corpus entry flipping column, with a replayable spec attached.
+//
+// The two engineered differential directions:
+//
+//   * tt-jitter-critical.json — TT accepts what EDF cannot. Two 3-frame
+//     producers (P=8, C=3) converge on one consumer. Every EDF deadline
+//     split must grant the *whole* message one downlink budget d_id ≤ d−C,
+//     and the downlink demand bound h(t) = 6 > t fails for every t ≤ 5, so
+//     ADPS (and every DPS) rejects the second channel. The gate synthesis
+//     couples per *frame* — each downlink slot only needs to follow its own
+//     uplink slot — so the two messages interleave as windows {1,2,3} and
+//     {4,5,6} and both are accepted.
+//
+//   * tt-full-utilization-reject.json — EDF accepts what TT cannot. A
+//     saturating P == C channel leaves the gate synthesis no horizon
+//     (min(d,P) < C+1 slack is structurally impossible: the last uplink
+//     window would collide with its own next period), while the EDF bound
+//     admits 100% utilization on an otherwise idle link.
+//
+// Elsewhere the corpus shows TT uniformly no more permissive than the
+// spec's own EDF scheme (offsets must pack into min(d,P) and survive
+// gcd-residue conflicts), which is the expected texture: the pins document
+// it rather than assume it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "scenario/json_io.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace rtether::scenario {
+namespace {
+
+struct SchemeCounts {
+  std::size_t admitted;
+  std::size_t rejected;
+};
+
+struct DifferentialPin {
+  const char* file;
+  /// False when the TT replay must be rejected as kMalformedSpec — the
+  /// entry is multi-switch (no multihop gate synthesis) or its fault plan
+  /// carries a structural reboot/crash (an EDF-scheme recovery protocol).
+  bool tt_admissible;
+  /// Outcome of the scheme="TT" replay (meaningful when tt_admissible).
+  SchemeCounts tt;
+  /// Outcome of the EDF replay: the file's own checked-in scheme, or ADPS
+  /// for the tt-*.json entries (the paper's recommended DPS).
+  SchemeCounts edf;
+};
+
+// clang-format off
+const DifferentialPin kPins[] = {
+    {"churn-steady-state.json",        true,  {40, 4},  {40, 4}},
+    {"fault-frame-corrupt.json",       true,  {2, 0},   {2, 0}},
+    {"fault-frame-loss.json",          true,  {2, 0},   {2, 0}},
+    {"fault-link-down.json",           true,  {2, 0},   {2, 0}},
+    {"fault-mgmt-delay.json",          false, {},       {2, 0}},
+    {"fault-node-crash.json",          false, {},       {2, 0}},
+    {"fault-switch-reboot.json",       false, {},       {2, 0}},
+    {"fuzz-11.json",                   false, {},       {10, 6}},
+    {"fuzz-16.json",                   false, {},       {22, 5}},
+    {"fuzz-2.json",                    true,  {5, 1},   {5, 1}},
+    {"fuzz-23.json",                   true,  {24, 3},  {24, 3}},
+    {"fuzz-3.json",                    true,  {11, 8},  {15, 4}},
+    {"fuzz-31.json",                   true,  {12, 6},  {15, 3}},
+    {"fuzz-4.json",                    true,  {14, 5},  {14, 5}},
+    {"fuzz-43.json",                   true,  {3, 0},   {3, 0}},
+    {"fuzz-5.json",                    true,  {4, 23},  {26, 1}},
+    {"fuzz-50.json",                   true,  {11, 19}, {17, 13}},
+    {"negative-releases.json",         true,  {3, 1},   {3, 1}},
+    {"overflow-periods.json",          true,  {4, 3},   {7, 0}},
+    {"regression-same-tick-edf.json",  true,  {1, 1},   {2, 0}},
+    {"tt-best-effort.json",            true,  {3, 0},   {3, 0}},
+    {"tt-churn.json",                  true,  {7, 0},   {7, 0}},
+    {"tt-fault-frame-loss.json",       true,  {2, 0},   {2, 0}},
+    {"tt-full-utilization-reject.json", true, {1, 1},   {2, 0}},
+    {"tt-jitter-critical.json",        true,  {3, 0},   {2, 1}},
+};
+// clang-format on
+
+ScenarioSpec load_corpus(const std::string& name) {
+  const std::string path =
+      std::string(RTETHER_SCENARIO_CORPUS_DIR) + "/" + name;
+  const auto spec = load_scenario(path);
+  EXPECT_TRUE(spec.has_value()) << "failed to load " << path;
+  return spec.value_or(ScenarioSpec{});
+}
+
+TEST(TtDifferential, EveryCorpusEntryIsPinned) {
+  // Adding a corpus entry without pinning both scheme columns would leave
+  // the differential contract silently incomplete.
+  std::set<std::string> pinned;
+  for (const auto& pin : kPins) pinned.insert(pin.file);
+  std::set<std::string> present;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(RTETHER_SCENARIO_CORPUS_DIR)) {
+    if (entry.path().extension() == ".json") {
+      present.insert(entry.path().filename().string());
+    }
+  }
+  EXPECT_EQ(present, pinned);
+}
+
+TEST(TtDifferential, TtReplayMatchesGolden) {
+  for (const auto& pin : kPins) {
+    ScenarioSpec spec = load_corpus(pin.file);
+    spec.scheme = "TT";
+    const ScenarioResult result = run_scenario(spec);
+    if (!pin.tt_admissible) {
+      EXPECT_FALSE(result.passed) << pin.file;
+      ASSERT_FALSE(result.violations.empty()) << pin.file;
+      EXPECT_EQ(result.violations[0].kind, ViolationKind::kMalformedSpec)
+          << pin.file << ": " << result.violations[0].detail;
+      continue;
+    }
+    EXPECT_TRUE(result.passed)
+        << pin.file << "\n"
+        << result.summary();
+    EXPECT_EQ(result.admitted, pin.tt.admitted) << pin.file;
+    EXPECT_EQ(result.rejected, pin.tt.rejected) << pin.file;
+  }
+}
+
+TEST(TtDifferential, EdfReplayMatchesGolden) {
+  for (const auto& pin : kPins) {
+    ScenarioSpec spec = load_corpus(pin.file);
+    if (spec.scheme == "TT") spec.scheme = "ADPS";
+    const ScenarioResult result = run_scenario(spec);
+    EXPECT_TRUE(result.passed)
+        << pin.file << "\n"
+        << result.summary();
+    EXPECT_EQ(result.admitted, pin.edf.admitted) << pin.file;
+    EXPECT_EQ(result.rejected, pin.edf.rejected) << pin.file;
+  }
+}
+
+TEST(TtDifferential, BothDifferentialDirectionsAreWitnessed) {
+  // The comparison is only meaningful if the corpus demonstrates a strict
+  // win for each family — re-assert the two engineered entries directly so
+  // a future corpus edit cannot erode either direction unnoticed.
+  {
+    ScenarioSpec tt = load_corpus("tt-jitter-critical.json");
+    ASSERT_EQ(tt.scheme, "TT");
+    ScenarioSpec edf = tt;
+    edf.scheme = "ADPS";
+    const auto tt_result = run_scenario(tt);
+    const auto edf_result = run_scenario(edf);
+    EXPECT_TRUE(tt_result.passed);
+    EXPECT_TRUE(edf_result.passed);
+    EXPECT_GT(tt_result.admitted, edf_result.admitted)
+        << "per-frame gate coupling should beat the whole-message d_id "
+           "budget on the shared downlink";
+  }
+  {
+    ScenarioSpec tt = load_corpus("tt-full-utilization-reject.json");
+    ASSERT_EQ(tt.scheme, "TT");
+    ScenarioSpec edf = tt;
+    edf.scheme = "ADPS";
+    const auto tt_result = run_scenario(tt);
+    const auto edf_result = run_scenario(edf);
+    EXPECT_TRUE(tt_result.passed);
+    EXPECT_TRUE(edf_result.passed);
+    EXPECT_LT(tt_result.admitted, edf_result.admitted)
+        << "a saturating P == C channel leaves the gate synthesis no "
+           "horizon but passes the EDF utilization bound";
+  }
+}
+
+}  // namespace
+}  // namespace rtether::scenario
