@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""clang-tidy wrapper with a committed suppression baseline.
+
+Runs clang-tidy (configuration from the repo's `.clang-tidy`) over every
+first-party translation unit in `compile_commands.json`, fingerprints each
+finding as `<relpath>::<check>`, and compares the per-fingerprint counts
+against `scripts/clang_tidy_baseline.json`:
+
+  * a fingerprint whose count exceeds the baseline is a REGRESSION -> exit 1
+  * a baseline entry that no longer fires is reported as stale (fix by
+    rerunning with --update-baseline, which also proves the fix stuck)
+
+The baseline is intentionally empty when the tree is clean; it exists so a
+genuinely unfixable upstream false positive can be parked with a reviewable
+diff instead of a silent NOLINT.
+
+Requires a build directory configured with CMAKE_EXPORT_COMPILE_COMMANDS
+(on by default in this repo's CMakeLists). The binary is located via
+$CLANG_TIDY, then `clang-tidy`, then versioned names; `--allow-missing`
+turns "no binary" into a skip (exit 0) for GCC-only development boxes —
+CI does not pass it, so the gate still binds where clang is installed.
+
+Exit status: 0 clean/skip, 1 regressions, 2 environment/usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import re
+import shutil
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+CANDIDATE_BINARIES = ["clang-tidy"] + [
+    f"clang-tidy-{v}" for v in range(21, 12, -1)
+]
+
+# First-party code only; third-party sources pulled in by FetchContent land
+# under the build directory and are filtered out with everything else.
+SOURCE_PREFIXES = ("src/", "tests/", "bench/", "examples/")
+
+_FINDING = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): (?P<msg>.*?) \[(?P<check>[^\]]+)\]$"
+)
+
+
+def find_binary(explicit: str | None) -> str | None:
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    env = os.environ.get("CLANG_TIDY")
+    if env:
+        return env if shutil.which(env) else None
+    for name in CANDIDATE_BINARIES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def collect_sources(build_dir: Path, root: Path) -> list[str]:
+    db = build_dir / "compile_commands.json"
+    if not db.is_file():
+        print(f"run_clang_tidy: {db} not found; configure the build first "
+              "(cmake -B build -S .)", file=sys.stderr)
+        return []
+    sources = set()
+    for entry in json.loads(db.read_text(encoding="utf-8")):
+        path = Path(entry["file"])
+        if not path.is_absolute():
+            path = Path(entry["directory"]) / path
+        try:
+            rel = path.resolve().relative_to(root).as_posix()
+        except ValueError:
+            continue
+        if rel.startswith(SOURCE_PREFIXES) and not rel.startswith(
+            "tests/static/seeded/"
+        ):
+            sources.add(rel)
+    return sorted(sources)
+
+
+def tidy_one(args):
+    binary, build_dir, root, rel = args
+    proc = subprocess.run(
+        [binary, "-p", str(build_dir), "--quiet", rel],
+        cwd=root,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    findings = []
+    for line in proc.stdout.splitlines():
+        m = _FINDING.match(line)
+        if not m:
+            continue
+        try:
+            fpath = Path(m.group("file")).resolve().relative_to(root)
+        except ValueError:
+            continue  # header outside the repo (stdlib, gtest)
+        findings.append(
+            {
+                "fingerprint": f"{fpath.as_posix()}::{m.group('check')}",
+                "file": fpath.as_posix(),
+                "line": int(m.group("line")),
+                "check": m.group("check"),
+                "message": m.group("msg"),
+            }
+        )
+    return rel, findings
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="binary to use (default: $CLANG_TIDY, PATH)")
+    parser.add_argument("--baseline",
+                        default="scripts/clang_tidy_baseline.json")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from this run's findings")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="exit 0 when no clang-tidy binary exists")
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, multiprocessing.cpu_count() - 1))
+    parser.add_argument("--json", default=None, metavar="OUT",
+                        help="write the raw findings as JSON")
+    args = parser.parse_args(argv)
+
+    root = Path(__file__).resolve().parent.parent
+    build_dir = (root / args.build_dir).resolve() \
+        if not Path(args.build_dir).is_absolute() else Path(args.build_dir)
+
+    binary = find_binary(args.clang_tidy)
+    if binary is None:
+        msg = "run_clang_tidy: no clang-tidy binary found (set $CLANG_TIDY)"
+        if args.allow_missing:
+            print(msg + "; skipping (--allow-missing)")
+            return 0
+        print(msg, file=sys.stderr)
+        return 2
+
+    sources = collect_sources(build_dir, root)
+    if not sources:
+        return 2
+    print(f"run_clang_tidy: {binary}, {len(sources)} translation unit(s), "
+          f"{args.jobs} job(s)")
+
+    work = [(binary, build_dir, root, rel) for rel in sources]
+    findings = []
+    if args.jobs > 1:
+        with multiprocessing.Pool(args.jobs) as pool:
+            for rel, found in pool.imap_unordered(tidy_one, work):
+                findings.extend(found)
+    else:
+        for item in work:
+            findings.extend(tidy_one(item)[1])
+
+    # Dedup: the same header finding surfaces once per including TU.
+    unique = {}
+    for f in findings:
+        unique[(f["fingerprint"], f["line"], f["message"])] = f
+    findings = sorted(unique.values(),
+                      key=lambda f: (f["file"], f["line"], f["check"]))
+    counts = Counter(f["fingerprint"] for f in findings)
+
+    baseline_path = root / args.baseline
+    if args.update_baseline:
+        payload = {
+            "comment": "Per-fingerprint clang-tidy suppression counts; "
+                       "regenerate with scripts/run_clang_tidy.py "
+                       "--update-baseline and justify additions in review.",
+            "suppressions": dict(sorted(counts.items())),
+        }
+        baseline_path.write_text(json.dumps(payload, indent=2) + "\n",
+                                 encoding="utf-8")
+        print(f"run_clang_tidy: baseline rewritten "
+              f"({len(counts)} fingerprint(s))")
+        return 0
+
+    baseline = {}
+    if baseline_path.is_file():
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8")).get(
+            "suppressions", {})
+
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps({"version": 1, "findings": findings}, indent=2) + "\n",
+            encoding="utf-8")
+
+    regressions = []
+    for f in findings:
+        fp = f["fingerprint"]
+        if counts[fp] > baseline.get(fp, 0):
+            regressions.append(f)
+    stale = [fp for fp in baseline if counts.get(fp, 0) < baseline[fp]]
+
+    for f in regressions:
+        print(f"{f['file']}:{f['line']}: [{f['check']}] {f['message']}")
+    for fp in stale:
+        print(f"run_clang_tidy: stale baseline entry (no longer fires): {fp}")
+    print(f"run_clang_tidy: {len(findings)} finding(s), "
+          f"{len(regressions)} regression(s) vs baseline, "
+          f"{len(stale)} stale suppression(s)")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -7,6 +7,11 @@ namespace rtether {
 
 namespace {
 
+// Atomic protocol, not a mutex capability: the level is a monotonic-ish
+// tuning knob read on every log call site; relaxed ordering suffices
+// because no other state is published through it (each log line is
+// self-contained and fprintf(stderr) is atomic per call). Kept mutex-free
+// so logging never introduces a lock-order edge into annotated code.
 std::atomic<LogLevel> g_level{LogLevel::kOff};
 
 const char* level_name(LogLevel level) {

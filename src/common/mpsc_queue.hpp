@@ -20,6 +20,14 @@
 /// sequence release-store; the consumer's acquire-load of the sequence
 /// therefore happens-before its read of the element, and symmetrically for
 /// slot reuse. TSan-clean by construction, not by suppression.
+///
+/// Lock-freedom is a hard invariant, statically enforced: this header must
+/// never name a mutex type (`scripts/lint_invariants.py`, rule
+/// `lock-free-path`, gates CI on it). The fields below follow atomic
+/// publish protocols rather than `GUARDED_BY` capabilities — `sequence` is
+/// the per-cell publication flag, `enqueue_pos_` is the multi-producer
+/// claim counter, and `dequeue_pos_` is plain because exactly one consumer
+/// thread may touch the pop side (the API contract above).
 
 #include <atomic>
 #include <cstddef>

@@ -1,0 +1,122 @@
+#pragma once
+
+/// @file sync.hpp
+/// Capability-annotated synchronization primitives. `std::mutex` carries no
+/// thread-safety attributes, so Clang's `-Wthread-safety` analysis cannot
+/// see it being locked; these zero-cost wrappers make every lock acquisition
+/// and every `GUARDED_BY` field statically checkable. All mutex-based code
+/// in the tree uses them (the invariant linter rejects raw `std::mutex` in
+/// the lock-free files, and the negative-compile suite in `tests/static/`
+/// proves violations fail the build under Clang).
+///
+/// `ThreadRole` extends the same machinery to single-owner state in
+/// multi-threaded components: a role is a capability with no runtime lock at
+/// all. The thread that owns the state holds the role for its lifetime
+/// (`ThreadRoleGuard`), functions touching the state are `REQUIRES(role)`,
+/// and the analysis proves no other code path can reach it — e.g. the
+/// admission service's dispatcher-private retire state.
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace rtether {
+
+/// `std::mutex` as a Clang capability. Same cost, same semantics; the
+/// annotations are compile-time only.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { impl_.lock(); }
+  void unlock() RELEASE() { impl_.unlock(); }
+  [[nodiscard]] bool try_lock() TRY_ACQUIRE(true) { return impl_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex impl_;
+};
+
+/// RAII lock over `Mutex`; the annotated replacement for std::lock_guard /
+/// std::unique_lock (which the analysis cannot see through).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable paired with `Mutex`. No predicate overload on
+/// purpose: a lambda predicate would be analyzed as a separate function and
+/// would need its own annotations, so waiters write the standard
+///
+///   MutexLock lock(mutex_);
+///   while (!condition_over_guarded_fields()) { cv_.wait(mutex_); }
+///
+/// loop, which keeps every guarded-field access inside the annotated
+/// function body.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex`, sleeps, and re-acquires it before
+  /// returning (spurious wakeups possible — always wait in a loop).
+  void wait(Mutex& mutex) REQUIRES(mutex) {
+    // Adopt the already-held native mutex for the wait, then release the
+    // unique_lock wrapper so ownership stays with the caller's MutexLock.
+    std::unique_lock<std::mutex> native(mutex.impl_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// A capability with no runtime lock: ownership of a set of fields by one
+/// logical thread. Acquire/release are no-ops at runtime; the value is that
+/// `GUARDED_BY(role)` fields become unreachable — at compile time — from
+/// any function not marked `REQUIRES(role)`.
+class CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  // The analysis must not see a role being "locked" recursively when the
+  // owning loop calls helpers, hence the analysis opt-out on the no-ops.
+  void acquire() ACQUIRE() NO_THREAD_SAFETY_ANALYSIS {}
+  void release() RELEASE() NO_THREAD_SAFETY_ANALYSIS {}
+};
+
+/// Scoped role ownership for a thread's main loop.
+class SCOPED_CAPABILITY ThreadRoleGuard {
+ public:
+  explicit ThreadRoleGuard(ThreadRole& role) ACQUIRE(role) : role_(role) {
+    role_.acquire();
+  }
+  ~ThreadRoleGuard() RELEASE() { role_.release(); }
+
+  ThreadRoleGuard(const ThreadRoleGuard&) = delete;
+  ThreadRoleGuard& operator=(const ThreadRoleGuard&) = delete;
+
+ private:
+  ThreadRole& role_;
+};
+
+}  // namespace rtether

@@ -1,0 +1,85 @@
+#pragma once
+
+/// @file thread_annotations.hpp
+/// Clang thread-safety annotation macros. Under Clang every macro expands to
+/// the corresponding `__attribute__` and `-Wthread-safety` turns the
+/// annotations into a *static* race detector: every path through every TU is
+/// checked at compile time, complementing TSan, which only sees the
+/// interleavings the tests happen to produce. Under other compilers the
+/// macros expand to nothing, so annotated code builds everywhere.
+///
+/// Conventions used across the tree (see README "Static analysis"):
+///
+///   * Lock with `rtether::Mutex`/`rtether::MutexLock` (common/sync.hpp),
+///     never raw `std::mutex` — the standard mutex carries no capability
+///     attributes, so the analysis cannot see it being locked.
+///   * Every field protected by a mutex is marked `GUARDED_BY(mutex_)`.
+///   * Single-thread-owned state in multi-threaded components is guarded by
+///     a `ThreadRole` capability (e.g. the admission service's dispatcher):
+///     functions that may only run on the owning thread are marked
+///     `REQUIRES(role)` and the thread's main loop holds the role for its
+///     lifetime via `ThreadRoleGuard`.
+///   * `NO_THREAD_SAFETY_ANALYSIS` is a documented escape hatch, not a
+///     default: each use states the out-of-band synchronization (e.g. a
+///     drain barrier) that makes the access safe.
+
+#if defined(__clang__) && !defined(SWIG)
+#define RTETHER_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define RTETHER_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a capability (lockable) type.
+#define CAPABILITY(x) RTETHER_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SCOPED_CAPABILITY RTETHER_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a field may only be accessed while holding `x`.
+#define GUARDED_BY(x) RTETHER_THREAD_ANNOTATION(guarded_by(x))
+
+/// Declares that the data pointed to by this field is protected by `x`.
+#define PT_GUARDED_BY(x) RTETHER_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold the listed capabilities (exclusively) on entry.
+#define REQUIRES(...) \
+  RTETHER_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the listed capabilities (at least shared) on entry.
+#define REQUIRES_SHARED(...) \
+  RTETHER_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities and does not release them.
+#define ACQUIRE(...) RTETHER_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities in shared mode.
+#define ACQUIRE_SHARED(...) \
+  RTETHER_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (held on entry).
+#define RELEASE(...) RTETHER_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities held in shared mode.
+#define RELEASE_SHARED(...) \
+  RTETHER_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts to acquire the capability; first argument is the return
+/// value that signals success.
+#define TRY_ACQUIRE(...) \
+  RTETHER_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock prevention).
+#define EXCLUDES(...) RTETHER_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at runtime) that the calling thread holds the capability; the
+/// analysis assumes it afterwards.
+#define ASSERT_CAPABILITY(x) RTETHER_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) RTETHER_THREAD_ANNOTATION(lock_returned(x))
+
+/// Turns the analysis off for one function. Every use must carry a comment
+/// naming the out-of-band synchronization that justifies it.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  RTETHER_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(unsigned thread_count) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_available_.notify_all();
@@ -29,9 +29,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) {
+        work_available_.wait(mutex_);
+      }
       if (stopping_) {
         return;
       }
@@ -41,7 +42,7 @@ void ThreadPool::worker_loop() {
     }
     job();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --running_;
       if (running_ == 0 && queue_.empty()) {
         idle_.notify_all();
@@ -54,15 +55,17 @@ void ThreadPool::submit(std::function<void()> job) {
   RTETHER_ASSERT_MSG(!workers_.empty(),
                      "submit on a zero-thread pool would never run");
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(job));
   }
   work_available_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+  MutexLock lock(mutex_);
+  while (!queue_.empty() || running_ != 0) {
+    idle_.wait(mutex_);
+  }
 }
 
 void ThreadPool::parallel_for_shards(
@@ -84,8 +87,8 @@ void ThreadPool::parallel_for_shards(
   struct ForkJoin {
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> completed{0};
-    std::mutex mutex;
-    std::condition_variable done;
+    Mutex mutex;
+    CondVar done;
   };
   auto state = std::make_shared<ForkJoin>();
 
@@ -109,17 +112,17 @@ void ThreadPool::parallel_for_shards(
         if (finished == shard_count) {
           // Lock before notifying so the caller cannot miss the signal
           // between its predicate check and its wait.
-          std::lock_guard<std::mutex> lock(state->mutex);
+          MutexLock lock(state->mutex);
           state->done.notify_all();
         }
       }
     });
   }
 
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->done.wait(lock, [&] {
-    return state->completed.load(std::memory_order_acquire) == shard_count;
-  });
+  MutexLock lock(state->mutex);
+  while (state->completed.load(std::memory_order_acquire) != shard_count) {
+    state->done.wait(state->mutex);
+  }
 }
 
 }  // namespace rtether

@@ -8,15 +8,19 @@
 /// out shard indices and blocks the caller until every shard completed —
 /// `parallel_for_shards`. Nothing here is clever on purpose: mutex + two
 /// condition variables, no lock-free structures, so the behaviour under
-/// ThreadSanitizer is exactly the behaviour in production.
+/// ThreadSanitizer is exactly the behaviour in production — and the mutex
+/// protocol is Clang thread-safety annotated, so `-Wthread-safety` proves
+/// every queue access is under `mutex_` on every path, not just the
+/// interleavings the tests exercise.
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace rtether {
 
@@ -41,10 +45,10 @@ class ThreadPool {
 
   /// Enqueues one job. Jobs must not throw (the library is assert-based;
   /// a throwing job would terminate). Requires size() > 0.
-  void submit(std::function<void()> job);
+  void submit(std::function<void()> job) EXCLUDES(mutex_);
 
   /// Blocks until the queue is empty and no worker is mid-job.
-  void wait_idle();
+  void wait_idle() EXCLUDES(mutex_);
 
   /// Runs `shard(i)` for every i in [0, shard_count), distributing indices
   /// to the workers dynamically (an atomic claim counter, so unevenly sized
@@ -52,18 +56,19 @@ class ThreadPool {
   /// calling thread does not execute shards itself unless the pool is empty
   /// (size() == 0), in which case everything runs inline, in order.
   void parallel_for_shards(std::size_t shard_count,
-                           const std::function<void(std::size_t)>& shard);
+                           const std::function<void(std::size_t)>& shard)
+      EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t running_{0};
-  bool stopping_{false};
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar idle_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  std::size_t running_ GUARDED_BY(mutex_){0};
+  bool stopping_ GUARDED_BY(mutex_){false};
 };
 
 }  // namespace rtether

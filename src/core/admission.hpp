@@ -108,7 +108,7 @@ class AdmissionController {
 
   /// Releases an established channel (teardown). Fails typed
   /// (`kUnknownChannel`) when the ID is not live.
-  ReleaseOutcome release(ChannelId id);
+  [[nodiscard]] ReleaseOutcome release(ChannelId id);
 
   /// Pre-typed-outcome release shape; kept one release for callers still
   /// migrating to `ReleaseOutcome` / the `AdmissionBackend` surface.
@@ -253,13 +253,13 @@ class AdmissionEngine {
   [[nodiscard]] AdmitOutcome admit(const ChannelSpec& spec);
 
   /// Admits a batch. Results are 1:1 with `requests` in submission order.
-  BatchResult admit_batch(std::span<const ChannelRequest> requests);
+  [[nodiscard]] BatchResult admit_batch(std::span<const ChannelRequest> requests);
 
   /// Releases an established channel (teardown); typed `kUnknownChannel`
   /// rejection if the ID is not live. O(affected links): the two link
   /// caches are downdated in place (or cold-rebuilt under
   /// `ReleasePolicy::kRebuild`).
-  ReleaseOutcome release(ChannelId id);
+  [[nodiscard]] ReleaseOutcome release(ChannelId id);
 
   /// Pre-typed-outcome release shape; kept one release for callers still
   /// migrating to `ReleaseOutcome` / the `AdmissionBackend` surface.

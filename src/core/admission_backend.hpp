@@ -53,10 +53,10 @@ class AdmissionBackend {
 
   /// Drives a mixed admit/release stream to completion; outcomes are in
   /// per-kind submission order and bit-identical across backends.
-  virtual ChurnResult submit(std::span<const ChannelOp> ops) = 0;
+  [[nodiscard]] virtual ChurnResult submit(std::span<const ChannelOp> ops) = 0;
 
   [[nodiscard]] virtual AdmitOutcome admit(const ChannelSpec& spec) = 0;
-  virtual ReleaseOutcome release(ChannelId id) = 0;
+  [[nodiscard]] virtual ReleaseOutcome release(ChannelId id) = 0;
 
   /// True when `submit_async` completes tickets concurrently rather than
   /// inline.
@@ -65,7 +65,7 @@ class AdmissionBackend {
   /// Async submission. The default emulation executes the op synchronously
   /// and returns a pre-completed ticket, so ticket-first callers run
   /// unchanged on synchronous backends.
-  virtual Ticket submit_async(const ChannelOp& op);
+  [[nodiscard]] virtual Ticket submit_async(const ChannelOp& op);
 
   /// Blocks until all previously submitted ops have completed. No-op on
   /// synchronous backends.

@@ -11,6 +11,8 @@
 
 #include "common/assert.hpp"
 #include "common/mpsc_queue.hpp"
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/admission_internal.hpp"
 #include "core/id_allocator.hpp"
 #include "edf/feasibility.hpp"
@@ -191,20 +193,32 @@ struct AdmissionService::Impl {
   std::atomic<std::uint64_t> migration_count{0};
 
   // -- dispatcher-owned state (no locks: one thread) -----------------------
+  // `dispatcher_role` is a zero-cost capability (common/sync.hpp): the
+  // dispatcher thread holds it for its lifetime, every function touching
+  // the fields below is REQUIRES(dispatcher_role), and Clang
+  // `-Wthread-safety` statically proves no worker or producer code path can
+  // reach them. `rob` itself is deliberately *not* guarded — slot payloads
+  // are handed to workers under the per-slot `decided` release/acquire
+  // protocol documented on RobSlot.
+  ThreadRole dispatcher_role;
   std::vector<RobSlot> rob;
-  std::uint64_t next_seq{0};
-  std::uint64_t retired{0};
-  std::uint64_t inflight_admits{0};
-  NetworkState state;   // authoritative mirror, updated in retire order
-  AdmissionStats stats;
-  ChannelIdAllocator ids;              // real IDs, assigned in retire order
-  ChannelIdAllocator placeholder_ids;  // worker-visible provisional IDs
-  admission_internal::LinkUnionFind components;
-  std::vector<std::int32_t> owner_of_root;
-  std::vector<std::vector<std::uint32_t>> keys_of_root;
-  std::vector<char> key_seen;
-  unsigned next_owner_rr{0};
-  std::unordered_map<ChannelId, LiveRec> live;
+  std::uint64_t next_seq GUARDED_BY(dispatcher_role){0};
+  std::uint64_t retired GUARDED_BY(dispatcher_role){0};
+  std::uint64_t inflight_admits GUARDED_BY(dispatcher_role){0};
+  /// Authoritative mirror, updated in retire order.
+  NetworkState state GUARDED_BY(dispatcher_role);
+  AdmissionStats stats GUARDED_BY(dispatcher_role);
+  /// Real IDs, assigned in retire order.
+  ChannelIdAllocator ids GUARDED_BY(dispatcher_role);
+  /// Worker-visible provisional IDs.
+  ChannelIdAllocator placeholder_ids GUARDED_BY(dispatcher_role);
+  admission_internal::LinkUnionFind components GUARDED_BY(dispatcher_role);
+  std::vector<std::int32_t> owner_of_root GUARDED_BY(dispatcher_role);
+  std::vector<std::vector<std::uint32_t>> keys_of_root
+      GUARDED_BY(dispatcher_role);
+  std::vector<char> key_seen GUARDED_BY(dispatcher_role);
+  unsigned next_owner_rr GUARDED_BY(dispatcher_role){0};
+  std::unordered_map<ChannelId, LiveRec> live GUARDED_BY(dispatcher_role);
 
   Impl(std::uint32_t nodes, std::unique_ptr<DeadlinePartitioner> part,
        AdmissionServiceConfig cfg, Mode service_mode)
@@ -249,15 +263,17 @@ struct AdmissionService::Impl {
 
   // ------------------------------------------------------------------ ROB
 
-  [[nodiscard]] std::uint64_t in_flight() const { return next_seq - retired; }
+  [[nodiscard]] std::uint64_t in_flight() const REQUIRES(dispatcher_role) {
+    return next_seq - retired;
+  }
 
-  [[nodiscard]] bool head_decided() {
+  [[nodiscard]] bool head_decided() REQUIRES(dispatcher_role) {
     return in_flight() > 0 &&
            rob[retired % rob.size()].decided.load(std::memory_order_acquire);
   }
 
   RobSlot& claim_slot(std::shared_ptr<TicketState> ticket,
-                      RobSlot::Kind kind) {
+                      RobSlot::Kind kind) REQUIRES(dispatcher_role) {
     RTETHER_ASSERT(in_flight() < rob.size());
     const std::uint64_t seq = next_seq++;
     RobSlot& slot = rob[seq % rob.size()];
@@ -267,7 +283,7 @@ struct AdmissionService::Impl {
     return slot;
   }
 
-  void retire_slot(RobSlot& slot) {
+  void retire_slot(RobSlot& slot) REQUIRES(dispatcher_role) {
     TicketState& ticket = *slot.ticket;
     switch (slot.kind) {
       case RobSlot::Kind::kImmediate:
@@ -324,7 +340,7 @@ struct AdmissionService::Impl {
     slot.decided.store(false, std::memory_order_relaxed);
   }
 
-  bool retire_ready() {
+  bool retire_ready() REQUIRES(dispatcher_role) {
     bool any = false;
     while (head_decided()) {
       retire_slot(rob[retired % rob.size()]);
@@ -342,7 +358,7 @@ struct AdmissionService::Impl {
   /// `cond` holds. Used for ROB-full backpressure and the two hazards
   /// (release of a maybe-in-flight ID, ID-space headroom).
   template <typename Cond>
-  void stall_until(Cond&& cond) {
+  void stall_until(Cond&& cond) REQUIRES(dispatcher_role) {
     while (!cond()) {
       if (retire_ready()) {
         continue;
@@ -358,7 +374,7 @@ struct AdmissionService::Impl {
 
   // ------------------------------------------------------------- routing
 
-  [[nodiscard]] unsigned owner_of(std::uint32_t root) {
+  [[nodiscard]] unsigned owner_of(std::uint32_t root) REQUIRES(dispatcher_role) {
     std::int32_t owner = owner_of_root[root];
     if (owner < 0) {
       owner = static_cast<std::int32_t>(next_owner_rr++ % workers.size());
@@ -367,7 +383,7 @@ struct AdmissionService::Impl {
     return static_cast<unsigned>(owner);
   }
 
-  void touch_key(std::size_t key) {
+  void touch_key(std::size_t key) REQUIRES(dispatcher_role) {
     if (key_seen[key] == 0) {
       key_seen[key] = 1;
       // A never-touched key is still its own singleton root.
@@ -382,7 +398,8 @@ struct AdmissionService::Impl {
   /// migrates to the surviving side's owner: an export is enqueued to the
   /// old owner and an import to the new one, in dispatch order, before the
   /// admit itself.
-  [[nodiscard]] unsigned route_admit(const ChannelSpec& spec) {
+  [[nodiscard]] unsigned route_admit(const ChannelSpec& spec)
+      REQUIRES(dispatcher_role) {
     const std::size_t up_key = link_key(spec.source, LinkDirection::kUplink);
     const std::size_t down_key =
         link_key(spec.destination, LinkDirection::kDownlink);
@@ -425,7 +442,8 @@ struct AdmissionService::Impl {
   // ------------------------------------------------------------ dispatch
 
   void dispatch_admit(const ChannelSpec& spec,
-                      std::shared_ptr<TicketState> ticket) {
+                      std::shared_ptr<TicketState> ticket)
+      REQUIRES(dispatcher_role) {
     // Validation order mirrors admission_flow: spec, nodes, ID headroom.
     if (!spec.valid()) {
       RobSlot& slot = claim_slot(std::move(ticket), RobSlot::Kind::kImmediate);
@@ -469,7 +487,8 @@ struct AdmissionService::Impl {
         WorkerMsg{WorkerMsg::Kind::kAdmit, slot_index, nullptr});
   }
 
-  void dispatch_release(ChannelId id, std::shared_ptr<TicketState> ticket) {
+  void dispatch_release(ChannelId id, std::shared_ptr<TicketState> ticket)
+      REQUIRES(dispatcher_role) {
     auto it = live.find(id);
     if (it == live.end() && inflight_admits > 0) {
       // The ID may belong to an admit still executing; in the sequential
@@ -502,6 +521,8 @@ struct AdmissionService::Impl {
   }
 
   void dispatcher_loop() {
+    // The dispatcher thread owns the retire-order state for its lifetime.
+    ThreadRoleGuard role(dispatcher_role);
     for (;;) {
       bool progressed = retire_ready();
       IngestOp in;
@@ -856,7 +877,12 @@ ReleaseOutcome AdmissionService::release(ChannelId id) {
 
 void AdmissionService::drain() { impl_->drain(); }
 
-const NetworkState& AdmissionService::state() {
+// Analysis opt-out: these snapshots read dispatcher-owned state from the
+// caller's thread. `drain()` is the out-of-band synchronization — it blocks
+// until every previously submitted op has retired, and the header requires
+// callers to quiesce their producers first, so the dispatcher is parked
+// (not mutating) while the reference is used.
+const NetworkState& AdmissionService::state() NO_THREAD_SAFETY_ANALYSIS {
   if (impl_->mode == Mode::kInline) {
     return impl_->inline_engine->state();
   }
@@ -864,7 +890,7 @@ const NetworkState& AdmissionService::state() {
   return impl_->state;
 }
 
-const AdmissionStats& AdmissionService::stats() {
+const AdmissionStats& AdmissionService::stats() NO_THREAD_SAFETY_ANALYSIS {
   if (impl_->mode == Mode::kInline) {
     return impl_->inline_engine->stats();
   }

@@ -58,7 +58,10 @@ struct AdmissionServiceConfig {
 /// Completion handle for one submitted op. Copyable (shared state); `wait`
 /// blocks until the service retires the op. Tickets remain valid after the
 /// service is destroyed (destruction drains all in-flight ops first).
-class Ticket {
+/// The class itself is `[[nodiscard]]`: a dropped ticket is a completion
+/// that can never be observed, so discarding `submit_async`'s return is
+/// almost certainly a bug (cast to void to fire-and-forget deliberately).
+class [[nodiscard]] Ticket {
  public:
   Ticket() = default;
 
@@ -110,15 +113,15 @@ class AdmissionService {
   /// Enqueues one op; thread-safe from any number of producers. Blocks only
   /// when the ingest ring is full (backpressure). The returned ticket
   /// completes when the op retires.
-  Ticket submit_async(const ChannelOp& op);
+  [[nodiscard]] Ticket submit_async(const ChannelOp& op);
 
   /// Submits a mixed op stream and waits for all of it; results are in
   /// per-kind submission order, exactly like the other backends.
-  ChurnResult submit(std::span<const ChannelOp> ops);
+  [[nodiscard]] ChurnResult submit(std::span<const ChannelOp> ops);
 
   /// Convenience synchronous wrappers over `submit_async` + `wait`.
   [[nodiscard]] AdmitOutcome admit(const ChannelSpec& spec);
-  ReleaseOutcome release(ChannelId id);
+  [[nodiscard]] ReleaseOutcome release(ChannelId id);
 
   /// Blocks until every op submitted *before this call* has retired.
   /// Callers must quiesce their own producers first if they need a stable

@@ -86,7 +86,7 @@ class GateScheduleAdmission {
 
   /// Frees the channel's windows on both links incrementally (O(affected
   /// reservations)); typed `kUnknownChannel` when the ID is not live.
-  ReleaseOutcome release(ChannelId id);
+  [[nodiscard]] ReleaseOutcome release(ChannelId id);
 
   [[nodiscard]] const NetworkState& state() const { return state_; }
   [[nodiscard]] const AdmissionStats& stats() const { return stats_; }

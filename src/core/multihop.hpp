@@ -134,7 +134,7 @@ class PathAdmissionController {
   /// Releases an established channel; typed `kUnknownChannel` rejection if
   /// the ID is not live. O(affected hops): every traversed link's cache is
   /// downdated in place.
-  ReleaseOutcome release(ChannelId id);
+  [[nodiscard]] ReleaseOutcome release(ChannelId id);
 
   /// Pre-typed-outcome release shape; kept one release for callers still
   /// migrating to `ReleaseOutcome` / the `AdmissionBackend` surface.

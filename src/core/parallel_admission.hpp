@@ -23,7 +23,10 @@
 ///   2. **Decide** (parallel): each shard worker gets a private projection
 ///      of the network state (wholesale copies of exactly its links' task
 ///      sets) and borrows the engine's per-link `LinkScanCache`s — links are
-///      partitioned across shards, so no lock is ever taken. Workers run
+///      partitioned across shards, so no lock is ever taken — a hard
+///      invariant, statically enforced: `parallel_admission.cpp` must never
+///      name a mutex type (`scripts/lint_invariants.py`, rule
+///      `lock-free-path`, gates CI on it). Workers run
 ///      the identical DPS-candidate loop and cached feasibility trial as
 ///      the sequential engine (`admission_internal::cached_candidate_test`),
 ///      using pre-reserved placeholder channel IDs, and record per-request
@@ -81,7 +84,7 @@ class ParallelAdmissionEngine {
 
   /// Admits a batch across all workers. Results are 1:1 with `requests` in
   /// submission order and identical to the sequential controller's.
-  BatchResult admit_batch(std::span<const ChannelRequest> requests);
+  [[nodiscard]] BatchResult admit_batch(std::span<const ChannelRequest> requests);
 
   /// Single-request admission (sequential fast path, shared state).
   [[nodiscard]] AdmitOutcome admit(const ChannelSpec& spec);
@@ -89,7 +92,7 @@ class ParallelAdmissionEngine {
   /// Releases an established channel (teardown); typed `kUnknownChannel`
   /// rejection if the ID is not live. Safe between batches; the affected
   /// link caches are downdated.
-  ReleaseOutcome release(ChannelId id);
+  [[nodiscard]] ReleaseOutcome release(ChannelId id);
 
   /// Pre-typed-outcome release shape; kept one release for callers still
   /// migrating to `ReleaseOutcome` / the `AdmissionBackend` surface.
@@ -101,7 +104,7 @@ class ParallelAdmissionEngine {
   /// Drives a mixed admit/release stream. Consecutive admissions form runs
   /// that go through the sharded batch path; each release is applied at its
   /// exact stream position, so outcomes match a sequential replay op by op.
-  ChurnResult process(std::span<const ChannelOp> ops);
+  [[nodiscard]] ChurnResult process(std::span<const ChannelOp> ops);
 
   [[nodiscard]] const NetworkState& state() const { return engine_.state(); }
   [[nodiscard]] const AdmissionStats& stats() const {

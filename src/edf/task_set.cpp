@@ -6,7 +6,7 @@
 
 namespace rtether::edf {
 
-TaskSet::TaskSet(std::vector<PseudoTask> tasks) {
+TaskSet::TaskSet(std::span<const PseudoTask> tasks) {
   for (const auto& task : tasks) {
     add(task);
   }

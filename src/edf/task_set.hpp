@@ -18,8 +18,9 @@ class TaskSet {
  public:
   TaskSet() = default;
 
-  /// Builds from a task list (tests, benches).
-  explicit TaskSet(std::vector<PseudoTask> tasks);
+  /// Builds from a task list (tests, benches). Reads the span only; the
+  /// tasks are re-sorted into the set's own storage via `add`.
+  explicit TaskSet(std::span<const PseudoTask> tasks);
 
   /// Adds a task. Asserts the task is `valid()` and its channel is not
   /// already present (one channel contributes at most one task per link

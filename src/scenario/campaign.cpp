@@ -4,12 +4,25 @@
 #include <atomic>
 #include <bit>
 #include <chrono>
-#include <mutex>
 #include <thread>
 
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 
 namespace rtether::scenario {
+
+namespace {
+
+/// Cross-worker result accumulation. `GUARDED_BY` makes the folding
+/// protocol machine-checked: under Clang `-Wthread-safety` a worker cannot
+/// touch the shared result without holding the mutex on every path.
+struct Accumulator {
+  Mutex mutex;
+  CampaignResult result GUARDED_BY(mutex);
+};
+
+}  // namespace
 
 CampaignResult run_campaign(const CampaignConfig& config) {
   using Clock = std::chrono::steady_clock;
@@ -29,8 +42,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   // keeps single-threaded campaigns trivially deterministic to debug).
   ThreadPool pool(threads <= 1 ? 0U : threads);
 
-  CampaignResult result;
-  std::mutex mutex;
+  Accumulator acc;
   std::atomic<bool> out_of_time{false};
 
   pool.parallel_for_shards(config.scenario_count, [&](std::size_t index) {
@@ -43,7 +55,8 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     const ScenarioSpec spec = generate_scenario(config.generator, seed);
     const ScenarioResult run = run_scenario(spec, config.runner);
 
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(acc.mutex);
+    CampaignResult& result = acc.result;
     ++result.scenarios_run;
     result.ops_total += spec.ops.size();
     result.admitted_total += run.admitted;
@@ -82,6 +95,15 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       }
     }
   });
+
+  // The fork-join above is the synchronization point: every worker is done,
+  // so move the accumulated result out under the lock and drop the lock for
+  // the single-threaded epilogue.
+  CampaignResult result;
+  {
+    MutexLock lock(acc.mutex);
+    result = std::move(acc.result);
+  }
 
   result.time_budget_hit = out_of_time.load(std::memory_order_relaxed);
   // Throughput metrics cover the campaign itself; shrinking failures is

@@ -82,6 +82,9 @@ enum class EventType : std::uint8_t {
 
 class Simulator {
  public:
+  // Closures are a cold setup/test convenience (EventKind::kClosure); the
+  // hot path uses typed events and the pointer-based TimerFn below.
+  // LINT-WAIVE(hot-path-type-erasure): deliberate cold-path type erasure.
   using Action = std::function<void()>;
   /// Allocation-free timer callback: `context` is the scheduling object,
   /// `arg` an opaque payload (request IDs, ...), `now` the firing tick.

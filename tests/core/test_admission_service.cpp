@@ -449,7 +449,11 @@ TEST(AdmissionService, DeprecatedReleaseOkWrappersStillWork) {
   ASSERT_TRUE(outcome.has_value());
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  // This test exists to keep the deprecated wrappers behaving until
+  // their removal release.
+  // LINT-WAIVE(deprecated-release): coverage of the deprecated shim itself.
   EXPECT_FALSE(controller.release_ok(ChannelId{999}));
+  // LINT-WAIVE(deprecated-release): same compatibility coverage as above.
   EXPECT_TRUE(controller.release_ok(outcome->id));
 #pragma GCC diagnostic pop
 }

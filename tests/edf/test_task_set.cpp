@@ -102,7 +102,9 @@ TEST(TaskSet, DeadlineExtremes) {
 }
 
 TEST(TaskSet, ConstructFromVector) {
-  const TaskSet set({task(1, 100, 3, 40), task(2, 200, 6, 80)});
+  const std::vector<PseudoTask> tasks{task(1, 100, 3, 40),
+                                      task(2, 200, 6, 80)};
+  const TaskSet set(tasks);
   EXPECT_EQ(set.size(), 2u);
   EXPECT_DOUBLE_EQ(set.utilization(), 3.0 / 100 + 6.0 / 200);
 }

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""ctest helper: asserts the invariant linter's --json report is
+machine-readable and structurally complete (static.lint_json_report)."""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def main() -> int:
+    root = Path(sys.argv[1]).resolve()
+    out = Path(tempfile.mkdtemp(prefix="rtether_lint_")) / "report.json"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(root / "scripts" / "lint_invariants.py"),
+            "--file",
+            str(root / "tests" / "static" / "seeded" / "hotpath_new.cpp"),
+            "--profile",
+            "hot-path",
+            "--json",
+            str(out),
+        ],
+        stdout=subprocess.DEVNULL,
+    )
+    if proc.returncode != 1:
+        print(f"expected exit 1 on the seeded file, got {proc.returncode}")
+        return 1
+    data = json.loads(out.read_text(encoding="utf-8"))
+    if data.get("version") != 1:
+        print(f"bad report version: {data.get('version')}")
+        return 1
+    findings = data.get("findings", [])
+    required = {"rule", "file", "line", "message", "snippet"}
+    if not findings or not all(required <= set(f) for f in findings):
+        print(f"malformed findings: {findings}")
+        return 1
+    if not any(f["rule"] == "hot-path-alloc" for f in findings):
+        print("hot-path-alloc did not fire on the seeded allocation")
+        return 1
+    print(f"json report ok: {len(findings)} finding(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

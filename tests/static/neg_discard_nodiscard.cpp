@@ -1,0 +1,22 @@
+// Negative-compile case: a discarded [[nodiscard]] Expected result must
+// fail the build. Compiled twice by tests/static/CMakeLists.txt:
+//   * without defines      -> control twin, must COMPILE (proves the file
+//                             has no unrelated errors masking the test)
+//   * with -DSTATIC_NEG    -> must FAIL (-Werror=unused-result)
+#include "core/admission.hpp"
+
+// Declaration only (external linkage, so no -Wunused-function):
+// -fsyntax-only never links, so no definition is needed and the case
+// exercises the real public API's attribute.
+rtether::core::AdmissionController& controller();
+
+int discard_case() {
+  using rtether::ChannelId;
+#if defined(STATIC_NEG)
+  controller().release(ChannelId{1});  // dropped typed ReleaseOutcome
+  return 0;
+#else
+  const auto outcome = controller().release(ChannelId{1});
+  return outcome.has_value() ? 0 : 1;
+#endif
+}

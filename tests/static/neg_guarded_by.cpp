@@ -1,0 +1,31 @@
+// Negative-compile case (Clang only): touching a GUARDED_BY field without
+// holding its mutex must fail under -Wthread-safety -Werror.
+//   * without defines      -> control twin, locks correctly, must COMPILE
+//   * with -DSTATIC_NEG    -> unguarded write, must FAIL
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() EXCLUDES(mutex_) {
+#if defined(STATIC_NEG)
+    ++value_;  // writing guarded field without mutex_ held
+#else
+    rtether::MutexLock lock(mutex_);
+    ++value_;
+#endif
+  }
+
+ private:
+  rtether::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_){0};
+};
+
+}  // namespace
+
+void touch_counter() {
+  Counter counter;
+  counter.increment();
+}

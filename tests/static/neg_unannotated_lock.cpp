@@ -1,0 +1,32 @@
+// Negative-compile case (Clang only): acquiring a capability without a
+// matching release (an unannotated/imbalanced lock acquisition) must fail
+// under -Wthread-safety -Werror ("mutex is still held at the end of
+// function").
+//   * without defines      -> control twin, balanced lock/unlock, COMPILES
+//   * with -DSTATIC_NEG    -> lock leaks out of the function, must FAIL
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Registry {
+ public:
+  void update() EXCLUDES(mutex_) {
+    mutex_.lock();
+    ++generation_;
+#if !defined(STATIC_NEG)
+    mutex_.unlock();
+#endif
+  }
+
+ private:
+  rtether::Mutex mutex_;
+  int generation_ GUARDED_BY(mutex_){0};
+};
+
+}  // namespace
+
+void touch_registry() {
+  Registry registry;
+  registry.update();
+}

@@ -1,0 +1,14 @@
+// Seeded lint violation: scripts/lint_invariants.py --profile
+// deprecated-release must flag the call below (rule deprecated-release).
+// WILL_FAIL ctest case static.lint_seeded_deprecated.
+namespace seeded {
+
+struct FakeController {
+  bool release_ok(int id);
+};
+
+bool seeded_deprecated_violation(FakeController& controller) {
+  return controller.release_ok(1);
+}
+
+}  // namespace seeded

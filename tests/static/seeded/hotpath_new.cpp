@@ -1,0 +1,13 @@
+// Seeded lint violation: scripts/lint_invariants.py --profile hot-path must
+// report the explicit allocation below. Registered as a WILL_FAIL ctest
+// case (static.lint_seeded_hotpath); excluded from whole-tree lint runs via
+// the tests/static/seeded/ carve-out in the linter itself.
+#include <cstdint>
+
+std::uint64_t* seeded_hotpath_violation() {
+  return new std::uint64_t{42};
+}
+
+void seeded_hotpath_cleanup(std::uint64_t* p) {
+  delete p;
+}

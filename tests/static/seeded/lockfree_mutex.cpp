@@ -1,0 +1,10 @@
+// Seeded lint violation: scripts/lint_invariants.py --profile lock-free
+// must report the mutex below (rule lock-free-path). WILL_FAIL ctest case
+// static.lint_seeded_lockfree.
+#include <mutex>
+
+std::mutex g_seeded_mutex;
+
+void seeded_lockfree_violation() {
+  std::lock_guard<std::mutex> lock(g_seeded_mutex);
+}

@@ -1,0 +1,12 @@
+// Seeded lint violation: scripts/lint_invariants.py --profile nodiscard
+// must flag the declaration below (rule nodiscard-expected). WILL_FAIL
+// ctest case static.lint_seeded_nodiscard.
+#pragma once
+
+#include "common/expected.hpp"
+
+namespace rtether::seeded {
+
+Expected<int, int> parse_flag(int raw);
+
+}  // namespace rtether::seeded
