@@ -69,6 +69,17 @@ HEADLINES = {
         ("speedup", "typed/seed", "x"),
         ("steady_state_allocations", "steady-state allocs", ""),
     ],
+    "sim_parallel": [
+        ("sequential_slots_per_sec", "sequential", " slots/s"),
+        ("threads1_slots_per_sec", "1 thread", " slots/s"),
+        ("threads2_slots_per_sec", "2 threads", " slots/s"),
+        ("threads4_slots_per_sec", "4 threads", " slots/s"),
+        ("partition_count", "partitions", ""),
+        ("cut_link_share", "cut-link share", ""),
+        ("paired_1thread_ratio", "paired 1-thread", "x"),
+        ("speedup_4threads", "4-thread speedup", "x"),
+        ("digests_identical", "digests identical", ""),
+    ],
 }
 
 

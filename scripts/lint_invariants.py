@@ -8,8 +8,9 @@ Token-level static checks for invariants the compiler cannot express:
   hot-path-type-erasure  no `std::function` in the hot path
   hot-path-virtual       no virtual dispatch in the hot path
   lock-free-path         no mutex/condvar types in lock-free files
-                         (`MpscQueue`, the admission-service dispatcher, the
-                         shard-worker feasibility path)
+                         (`MpscQueue`, the SPSC cut-link channel, the
+                         admission-service dispatcher, the shard-worker
+                         feasibility path)
   deprecated-release     no new call sites of the `[[deprecated]]`
                          bool-returning `release_ok` wrappers
   nodiscard-expected     every `Expected`-returning public API declaration in
@@ -50,9 +51,15 @@ from pathlib import Path
 # --------------------------------------------------------------------------
 
 # The typed simulator kernel: event loop, transmitter, per-port queues and
-# the FrameArena-backed frame type. Amortized std::vector growth
+# the FrameArena-backed frame type, plus the partitioned fabric and its
+# parallel round driver (per-round code runs once per event/frame, so the
+# same no-alloc/no-type-erasure rules apply). Amortized std::vector growth
 # (reserve/push_back in setup) is allowed; explicit allocation is not.
 HOT_PATH_FILES = [
+    "src/sim/fabric.hpp",
+    "src/sim/fabric.cpp",
+    "src/sim/parallel.hpp",
+    "src/sim/parallel.cpp",
     "src/sim/simulator.hpp",
     "src/sim/simulator.cpp",
     "src/sim/transmitter.hpp",
@@ -67,6 +74,7 @@ HOT_PATH_FILES = [
 # buffer, and the shard-worker feasibility path.
 LOCK_FREE_FILES = [
     "src/common/mpsc_queue.hpp",
+    "src/common/spsc_channel.hpp",
     "src/core/admission_service.cpp",
     "src/core/parallel_admission.cpp",
 ]

@@ -21,11 +21,22 @@ namespace rtether::core {
 
 namespace service_detail {
 
+/// Two-party callback handoff phases: the installer (`on_complete`) and the
+/// completer (the retiring thread) each `exchange` the phase, and exactly
+/// one of them observes the other's value — that side runs the callback.
+inline constexpr std::uint8_t kCallbackNone = 0;
+inline constexpr std::uint8_t kCallbackInstalled = 1;
+inline constexpr std::uint8_t kCallbackCompleted = 2;
+
 /// Shared completion state behind a `Ticket`. The retiring dispatcher (or
 /// the inline path) fills the outcome, then release-stores `done`; readers
-/// acquire-load `done` before touching anything else.
+/// acquire-load `done` before touching anything else. `callback` is written
+/// by the installer before its phase exchange (release) and read only after
+/// an acquire exchange observes `kCallbackInstalled`.
 struct TicketState {
   std::atomic<bool> done{false};
+  std::atomic<std::uint8_t> callback_phase{kCallbackNone};
+  std::function<void()> callback;
   std::uint64_t sequence{0};
   ChannelOp::Kind kind{ChannelOp::Kind::kAdmit};
   // Expected has no default constructor, hence optional.
@@ -45,12 +56,20 @@ namespace {
 void complete(TicketState& ticket) {
   ticket.done.store(true, std::memory_order_release);
   ticket.done.notify_all();
+  // Completer side of the callback handoff (see TicketState).
+  const std::uint8_t prev = ticket.callback_phase.exchange(
+      service_detail::kCallbackCompleted, std::memory_order_acq_rel);
+  if (prev == service_detail::kCallbackInstalled) {
+    ticket.callback();
+  }
 }
 
 std::shared_ptr<TicketState> completed_state(ChannelOp::Kind kind) {
   auto state = std::make_shared<TicketState>();
   state->kind = kind;
   state->done.store(true, std::memory_order_relaxed);
+  state->callback_phase.store(service_detail::kCallbackCompleted,
+                              std::memory_order_relaxed);
   return state;
 }
 
@@ -65,6 +84,20 @@ void Ticket::wait() const {
   RTETHER_ASSERT(state_ != nullptr);
   while (!state_->done.load(std::memory_order_acquire)) {
     state_->done.wait(false, std::memory_order_acquire);
+  }
+}
+
+void Ticket::on_complete(std::function<void()> fn) const {
+  RTETHER_ASSERT(state_ != nullptr);
+  RTETHER_ASSERT_MSG(fn != nullptr, "null completion callback");
+  state_->callback = std::move(fn);
+  // Installer side of the callback handoff (see TicketState).
+  const std::uint8_t prev = state_->callback_phase.exchange(
+      service_detail::kCallbackInstalled, std::memory_order_acq_rel);
+  RTETHER_ASSERT_MSG(prev != service_detail::kCallbackInstalled,
+                     "one completion callback per op");
+  if (prev == service_detail::kCallbackCompleted) {
+    state_->callback();
   }
 }
 
@@ -526,6 +559,11 @@ struct AdmissionService::Impl {
     for (;;) {
       bool progressed = retire_ready();
       IngestOp in;
+      // Batch-aware dispatch: route the whole ingest burst first, then let
+      // one retire pass below complete every decided op — shard verdicts
+      // that land while later ops are being routed retire together on this
+      // wakeup instead of op-at-a-time (stalls inside dispatch_* still
+      // retire opportunistically while they wait).
       while (in_flight() < rob.size() && ingest->try_pop(in)) {
         // This dequeue is the op's linearization point.
         if (in.op.kind == ChannelOp::Kind::kAdmit) {
@@ -533,9 +571,9 @@ struct AdmissionService::Impl {
         } else {
           dispatch_release(in.op.id, std::move(in.ticket));
         }
-        retire_ready();
         progressed = true;
       }
+      progressed |= retire_ready();
       if (in_flight() >= rob.size()) {
         stall_until([this] { return in_flight() < rob.size(); });
         continue;
@@ -762,7 +800,7 @@ struct AdmissionService::Impl {
       } else {
         ticket_state->release.emplace(inline_engine->release(op.id));
       }
-      ticket_state->done.store(true, std::memory_order_release);
+      complete(*ticket_state);
       return Ticket(std::move(ticket_state));
     }
     submitted.fetch_add(1, std::memory_order_seq_cst);

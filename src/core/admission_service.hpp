@@ -27,6 +27,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 
@@ -70,6 +71,13 @@ class [[nodiscard]] Ticket {
   [[nodiscard]] bool done() const;
   /// Blocks until the op retires. No-op if already done.
   void wait() const;
+
+  /// Registers `fn` to run exactly once when the op completes, after the
+  /// outcome is readable. If the op already retired, `fn` runs inline
+  /// before this returns; otherwise it runs on the service's retiring
+  /// thread — keep it short, non-blocking, and do not call back into the
+  /// service from it. One callback per op (ticket copies share it).
+  void on_complete(std::function<void()> fn) const;
 
   /// Position of the op in the service's linearization order (the
   /// dispatcher's dequeue sequence). Valid once `done()`.

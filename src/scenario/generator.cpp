@@ -105,11 +105,23 @@ ScenarioSpec generate_scenario(const GeneratorConfig& config,
   // generalization. Like fault-heavy, its seed expansion may diverge.
   const bool time_triggered =
       config.profile == GeneratorProfile::kTimeTriggered;
+  // The fabric profile always draws a simulated multi-switch topology;
+  // its seed expansion diverges like the other special profiles'.
+  const bool fabric = config.profile == GeneratorProfile::kFabric;
 
   // --- Topology ----------------------------------------------------------
   spec.topology.nodes = static_cast<std::uint32_t>(
       config.min_nodes + rng.index(config.max_nodes - config.min_nodes + 1));
-  if (!fault_heavy && !time_triggered && config.max_switches >= 2 &&
+  if (fabric) {
+    RTETHER_ASSERT_MSG(config.max_switches >= 2,
+                       "the fabric profile needs at least two switches");
+    spec.topology.kind = rng.bernoulli(0.5) ? TopologyKind::kSwitchLine
+                                            : TopologyKind::kSwitchTree;
+    spec.topology.switches = static_cast<std::uint32_t>(
+        2 + rng.index(config.max_switches - 1));
+    spec.topology.nodes =
+        std::max(spec.topology.nodes, spec.topology.switches);
+  } else if (!fault_heavy && !time_triggered && config.max_switches >= 2 &&
       rng.bernoulli(config.multiswitch_probability)) {
     spec.topology.kind = rng.bernoulli(0.5) ? TopologyKind::kSwitchLine
                                             : TopologyKind::kSwitchTree;
@@ -151,9 +163,18 @@ ScenarioSpec generate_scenario(const GeneratorConfig& config,
       config.min_ops + rng.index(config.max_ops - config.min_ops + 1);
 
   const auto period = random_period(rng);
-  const auto capacity = random_capacity(rng);
+  const auto capacity = fabric ? traffic::SlotDistribution::uniform(1, 2)
+                               : random_capacity(rng);
+  // Fabric routes span up to switches+1 hops and every hop needs a
+  // capacity-sized budget, so the deadline floor scales with the fabric
+  // diameter (star scenarios keep the historical 2C anchor).
+  const Slot fabric_floor =
+      2 * capacity.max_value() * (spec.topology.switches + 1);
   const auto deadline =
-      random_deadline(rng, capacity.max_value(), period.min_value());
+      fabric ? traffic::SlotDistribution::uniform(
+                   fabric_floor,
+                   fabric_floor + 20 + static_cast<Slot>(rng.index(40)))
+             : random_deadline(rng, capacity.max_value(), period.min_value());
 
   // Churn probability: how often an op releases instead of admitting.
   double release_probability = 0.15;
@@ -231,6 +252,16 @@ ScenarioSpec generate_scenario(const GeneratorConfig& config,
         request.destination =
             NodeId{(request.destination.value() + 1) % nodes};
       }
+      if (fabric && rng.bernoulli(0.6)) {
+        // Bias the pair cross-switch (round-robin attachment: node n sits
+        // at switch n % switches) so trunks carry real traffic.
+        std::uint32_t destination = request.destination.value();
+        while (destination % spec.topology.switches ==
+               request.source.value() % spec.topology.switches) {
+          destination = (destination + 1) % nodes;
+        }
+        request.destination = NodeId{destination};
+      }
     }
     admits.push_back(static_cast<std::uint32_t>(spec.ops.size()));
     live_admits.push_back(static_cast<std::uint32_t>(spec.ops.size()));
@@ -238,7 +269,11 @@ ScenarioSpec generate_scenario(const GeneratorConfig& config,
   }
 
   // --- Simulation phase --------------------------------------------------
-  spec.simulate = spec.topology.kind == TopologyKind::kStar;
+  // Star scenarios simulate through the wire stack; fabric-profile
+  // scenarios through the partitioned parallel kernel. Incidentally
+  // multi-switch kMixed scenarios stay analytic (their historical
+  // expansion predates the fabric simulation).
+  spec.simulate = spec.topology.kind == TopologyKind::kStar || fabric;
   spec.run_slots = 100 + rng.index(config.max_run_slots >= 100
                                        ? config.max_run_slots - 99
                                        : 1);
@@ -316,6 +351,28 @@ ScenarioSpec generate_scenario(const GeneratorConfig& config,
     fault.duration_slots = 20 + rng.index(spec.run_slots / 3);
     fault.downlink = rng.bernoulli(0.5);
     fault.probability = 0.05 + 0.45 * rng.uniform_real();
+    spec.faults.push_back(fault);
+  }
+
+  // --- Fabric fault garnish (fabric profile only) ------------------------
+  // A third of fabric scenarios carry one windowed fault on a node link,
+  // exercising the fabric's fault hooks and the survival contract
+  // (structural kinds stay star-only: the fabric has no establishment
+  // protocol to recover through).
+  if (fabric && rng.bernoulli(1.0 / 3.0)) {
+    spec.run_slots = std::max<Slot>(spec.run_slots, 200);
+    sim::FaultEvent fault;
+    const auto die = rng.index(3);
+    fault.kind = die == 0   ? sim::FaultKind::kLinkDown
+                 : die == 1 ? sim::FaultKind::kFrameLoss
+                            : sim::FaultKind::kFrameCorrupt;
+    fault.node = NodeId{static_cast<std::uint32_t>(rng.index(nodes))};
+    fault.at_slot = 10 + rng.index(spec.run_slots / 2);
+    fault.duration_slots = 20 + rng.index(spec.run_slots / 3);
+    fault.downlink = rng.bernoulli(0.5);
+    if (fault.kind != sim::FaultKind::kLinkDown) {
+      fault.probability = 0.05 + 0.45 * rng.uniform_real();
+    }
     spec.faults.push_back(fault);
   }
 

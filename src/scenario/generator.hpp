@@ -37,6 +37,15 @@ enum class GeneratorProfile : std::uint8_t {
   /// (there is no multihop gate synthesis) and windowed faults only (the
   /// reboot recovery protocol is an EDF-scheme behavior).
   kTimeTriggered,
+  /// Every scenario is a simulated multi-switch fabric (line/tree with
+  /// trunk links) driven through the partitioned parallel kernel: channel
+  /// pairs are biased cross-switch so trunks carry real traffic, deadlines
+  /// are drawn loose enough for multi-hop routes to admit, and a third of
+  /// the scenarios carry a windowed fault garnish. Scales to 1k–10k-node
+  /// fabrics via `min_nodes`/`max_nodes`/`max_switches`. Like the other
+  /// special profiles its seed expansion diverges from kMixed; the
+  /// existing profiles' streams stay byte-identical.
+  kFabric,
 };
 
 /// Bounds on what the generator may produce. Defaults are sized so a

@@ -21,7 +21,9 @@
 #include "proto/stack.hpp"
 #include "sim/addressing.hpp"
 #include "sim/best_effort.hpp"
+#include "sim/fabric.hpp"
 #include "sim/fault.hpp"
+#include "sim/parallel.hpp"
 
 namespace rtether::scenario {
 
@@ -420,7 +422,8 @@ bool run_star_engines(
 /// split audit and (when applicable) SDPS parity against the classic
 /// controller's decisions.
 bool run_multihop(RunContext& ctx,
-                  const std::vector<std::optional<AdmitOutcome>>& ref_by_op) {
+                  const std::vector<std::optional<AdmitOutcome>>& ref_by_op,
+                  std::vector<core::MultihopChannel>* live_channels = nullptr) {
   const ScenarioSpec& spec = ctx.spec;
   core::Topology topology = spec.topology.build();
   core::PathAdmissionController multihop(
@@ -525,6 +528,172 @@ bool run_multihop(RunContext& ctx,
                       static_cast<std::size_t>(-1),
                       "multihop link " + link.to_string() +
                           " infeasible after churn");
+    }
+  }
+  if (live_channels != nullptr) {
+    // Surviving channel set for the fabric simulation phase, in admission
+    // (op) order — the FabricNetwork's construction order. A released op's
+    // ID may have been recycled by a later admit, in which case both ops
+    // resolve to the same live channel: keep the first occurrence.
+    std::unordered_set<std::uint16_t> seen;
+    for (std::size_t i = 0; i < spec.ops.size(); ++i) {
+      if (!id_by_op[i]) continue;
+      if (const auto channel = multihop.state().find_channel(*id_by_op[i])) {
+        if (seen.insert(channel->id.value()).second) {
+          live_channels->push_back(*channel);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// Fingerprints a finished fabric simulation, mirroring
+/// `compute_sim_digest`'s structure: per-partition transmitter counters in
+/// the canonical order, per-partition per-channel delivery records
+/// (including delay-statistics bit patterns), best-effort delay aggregates,
+/// and the cut-link record counts. Field order is part of the golden
+/// contract — do not reorder. Every input is a deterministic function of
+/// the spec (the barrier-round schedule is fixed), so this digest is
+/// bit-identical across driver thread counts.
+SimDigest compute_fabric_digest(const sim::FabricNetwork& fabric) {
+  SimDigest digest;
+  digest.executed_events = fabric.executed_events();
+  Fnv1a fnv;
+  for (std::size_t p = 0; p < fabric.partition_count(); ++p) {
+    const sim::SimStats& stats = fabric.partition_stats(p);
+    digest.rt_delivered += stats.total_rt_delivered();
+    digest.deadline_misses += stats.total_deadline_misses();
+    digest.best_effort_sent += stats.best_effort_sent();
+    digest.best_effort_delivered += stats.best_effort_delivered();
+    for (const sim::Transmitter* tx : fabric.transmitters(p)) {
+      mix_transmitter(fnv, *tx);
+    }
+    for (const auto& [id, channel] : stats.channels()) {
+      fnv.mix(id.value());
+      fnv.mix(channel.frames_sent);
+      fnv.mix(channel.frames_delivered);
+      fnv.mix(channel.deadline_misses);
+      fnv.mix(static_cast<std::uint64_t>(channel.worst_lateness_ticks));
+      fnv.mix(channel.delay_ticks.count());
+      fnv.mix_double(channel.delay_ticks.mean());
+      fnv.mix_double(channel.delay_ticks.min());
+      fnv.mix_double(channel.delay_ticks.max());
+    }
+    fnv.mix(stats.best_effort_delay_ticks().count());
+    fnv.mix_double(stats.best_effort_delay_ticks().mean());
+  }
+  for (const auto& trunk : fabric.trunk_traffic()) {
+    fnv.mix(trunk.from);
+    fnv.mix(trunk.to);
+    fnv.mix(trunk.records);
+  }
+  digest.link_stats_hash = fnv.value();
+  return digest;
+}
+
+/// Phase F: the fabric simulation of multi-switch scenarios. The admitted
+/// multihop channel set runs through the partitioned kernel
+/// (sim/fabric.hpp) under the conservative barrier-round driver
+/// (sim/parallel.hpp, `RunnerOptions::fabric_threads` workers), and the
+/// same guarantee/survival contracts as the star phase are enforced:
+/// zero deadline misses against the path-generalized Eq 18.1 allowance,
+/// loss-free channels outside every fault's scope, exact frame accounting
+/// (sent == delivered + dropped) inside it.
+bool run_simulation_fabric(RunContext& ctx,
+                           const std::vector<core::MultihopChannel>& channels) {
+  const ScenarioSpec& spec = ctx.spec;
+  sim::SimConfig sim_config;
+  sim_config.ticks_per_slot = spec.ticks_per_slot;
+  // One slot of trunk propagation: plausible for long inter-switch
+  // cabling, and it widens the conservative lookahead to a full slot of
+  // event work per synchronization round (see sim/config.hpp).
+  sim_config.trunk_propagation_ticks = spec.ticks_per_slot;
+
+  sim::FabricOptions fabric_options;
+  fabric_options.seed = spec.seed;
+  fabric_options.traffic_stop = sim_config.slots_to_ticks(spec.run_slots);
+  fabric_options.with_best_effort = spec.with_best_effort;
+  fabric_options.best_effort_load = spec.best_effort_load;
+  fabric_options.bursty_best_effort = spec.bursty_best_effort;
+  fabric_options.faults = spec.faults;
+
+  sim::FabricNetwork fabric(sim_config, spec.topology.build(), channels,
+                            fabric_options);
+  sim::ParallelSimulator driver(fabric, ctx.options.fabric_threads);
+
+  Slot max_deadline = 0;
+  for (const auto& channel : channels) {
+    max_deadline = std::max(max_deadline, channel.spec.deadline);
+  }
+  // Drain: anything released before the stop must land within its
+  // deadline plus the allowance; the extra slots cover in-flight
+  // self-reschedules and the multi-hop pipeline.
+  const Slot drain_slots = max_deadline + 64;
+  if (!driver.run_until(fabric_options.traffic_stop +
+                        sim_config.slots_to_ticks(drain_slots))) {
+    return ctx.fail(ViolationKind::kSimBudgetExhausted,
+                    static_cast<std::size_t>(-1),
+                    "a fabric partition tripped the runaway guard");
+  }
+  ctx.result.simulated_slots = spec.run_slots + drain_slots;
+  ctx.result.sim_digest = compute_fabric_digest(fabric);
+  ctx.result.fabric_partitions = fabric.partition_count();
+  ctx.result.cut_link_records = fabric.cut_link_records();
+  ctx.result.fault_injections = fabric.fault_injections();
+
+  // Which channels a fault may legitimately have touched (the fabric only
+  // supports windowed kinds, so scope is per node link, as on the star).
+  const auto in_fault_scope = [&](const core::MultihopChannel& channel) {
+    for (const auto& fault : spec.faults) {
+      if (fault.downlink ? channel.spec.destination == fault.node
+                         : channel.spec.source == fault.node) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  const auto counts = fabric.channel_counts();
+  for (const auto& channel : channels) {
+    const auto it = counts.find(channel.id.value());
+    if (it == counts.end()) continue;  // nothing released during the run
+    const sim::FabricChannelCounts& count = it->second;
+    ctx.result.frames_delivered += count.delivered;
+    if (count.misses != 0) {
+      std::ostringstream detail;
+      detail << "fabric channel " << channel.id.value() << " (d="
+             << channel.spec.deadline << ", " << channel.path.size()
+             << " hops) missed " << count.misses << " of " << count.sent
+             << " frames";
+      return ctx.fail(ViolationKind::kDeadlineMiss,
+                      static_cast<std::size_t>(-1), detail.str());
+    }
+    if (in_fault_scope(channel)) {
+      if (count.sent != count.delivered + count.dropped) {
+        std::ostringstream detail;
+        detail << "faulted fabric channel " << channel.id.value() << " sent "
+               << count.sent << " but delivered " << count.delivered
+               << " + dropped " << count.dropped << " does not add up";
+        return ctx.fail(ViolationKind::kFaultContract,
+                        static_cast<std::size_t>(-1), detail.str());
+      }
+      continue;
+    }
+    if (count.dropped != 0) {
+      std::ostringstream detail;
+      detail << "fabric channel " << channel.id.value()
+             << " is outside every fault's scope but booked " << count.dropped
+             << " fault drops";
+      return ctx.fail(ViolationKind::kFaultContract,
+                      static_cast<std::size_t>(-1), detail.str());
+    }
+    if (count.sent != count.delivered) {
+      std::ostringstream detail;
+      detail << "fabric channel " << channel.id.value() << " sent "
+             << count.sent << " but delivered " << count.delivered;
+      return ctx.fail(ViolationKind::kFrameLoss, static_cast<std::size_t>(-1),
+                      detail.str());
     }
   }
   return true;
@@ -1365,7 +1534,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
   if (!spec.well_formed()) {
     ctx.fail(ViolationKind::kMalformedSpec, static_cast<std::size_t>(-1),
              "release targets must point back at admit ops and fault plans "
-             "need a simulated star with sane windows");
+             "need a simulated wire with sane windows (structural faults: "
+             "star only)");
     return ctx.result;
   }
   const bool tt = spec.scheme == "TT";
@@ -1405,11 +1575,15 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
   if (star) {
     ok = run_star_engines(ctx, ref_by_op, id_by_op, release_by_op);
   }
+  std::vector<core::MultihopChannel> fabric_channels;
   if (ok) {
-    ok = run_multihop(ctx, ref_by_op);
+    ok = run_multihop(ctx, ref_by_op, star ? nullptr : &fabric_channels);
   }
   if (ok && star && spec.simulate && resolved.run_simulation) {
     ok = run_simulation(ctx, ref_by_op, id_by_op, release_by_op);
+  }
+  if (ok && !star && spec.simulate && resolved.run_simulation) {
+    ok = run_simulation_fabric(ctx, fabric_channels);
   }
   ctx.result.passed = ok && ctx.result.violations.empty();
   return ctx.result;

@@ -148,6 +148,11 @@ struct ScenarioResult {
   /// classes, occurrences for structural ones); all zero without a fault
   /// plan. Campaigns aggregate these to prove every class was exercised.
   std::array<std::uint64_t, sim::kFaultKindCount> fault_injections{};
+  /// Partitions of the fabric simulation phase (multi-switch scenarios
+  /// with `simulate`; 0 otherwise) and the records that crossed its
+  /// cut links — the bench's partitioning/communication metrics.
+  std::size_t fabric_partitions{0};
+  std::uint64_t cut_link_records{0};
   /// Calculus-oracle consultations this scenario triggered (necessary
   /// checks on accepts, sufficiency checks on infeasibility rejections).
   std::uint64_t oracle_checks{0};
@@ -170,6 +175,11 @@ struct RunnerOptions {
   /// thread-count independent; 2 keeps the sharded paths honest without
   /// oversubscribing campaign workers).
   unsigned parallel_threads{2};
+  /// Worker threads for the fabric simulation phase of multi-switch
+  /// scenarios (sim/parallel.hpp). 0 runs the same barrier rounds inline
+  /// on the caller — the sequential baseline; any value produces the
+  /// bit-identical SimDigest (the determinism suite pins this).
+  unsigned fabric_threads{0};
   /// `core::AdmissionBackend` kinds checked against the reference
   /// controller on star scenarios (see `core::make_admission_backend`).
   /// The campaign's `--backend service` mode appends "service".

@@ -81,11 +81,16 @@ bool ScenarioSpec::well_formed() const {
     if (op.target >= i) return false;
     if (ops[op.target].kind != ScenarioOp::Kind::kAdmit) return false;
   }
-  // Fault plans only make sense on the simulated star wire, must respect
-  // the tick-ordering invariant the shrinker preserves, and carry at most
-  // one structural fault (the runner segments the run around it).
+  // Fault plans only make sense on a simulated wire, must respect the
+  // tick-ordering invariant the shrinker preserves, and carry at most one
+  // structural fault (the runner segments the run around it). Windowed
+  // kinds (link-down, frame-loss, frame-corrupt) are defined on any
+  // simulated topology; structural and management kinds act through the
+  // star's establishment protocol, which multi-switch fabrics do not
+  // model.
   if (!faults.empty()) {
-    if (!simulate || topology.kind != TopologyKind::kStar) return false;
+    if (!simulate) return false;
+    const bool star = topology.kind == TopologyKind::kStar;
     std::size_t structural = 0;
     Slot previous_at = 0;
     for (const auto& fault : faults) {
@@ -110,10 +115,12 @@ bool ScenarioSpec::well_formed() const {
           break;
         case sim::FaultKind::kSwitchReboot:
         case sim::FaultKind::kNodeCrash:
+          if (!star) return false;
           if (fault.at_slot == 0 || fault.at_slot >= run_slots) return false;
           ++structural;
           break;
         case sim::FaultKind::kMgmtDelay:
+          if (!star) return false;
           if (fault.delay_ticks == 0) return false;
           break;
       }

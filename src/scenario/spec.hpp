@@ -131,8 +131,10 @@ struct ScenarioSpec {
   bool bursty_best_effort{false};
   /// Deterministic fault plan, replayed during the simulation phase.
   /// Ordered by `at_slot`; windows are relative to the measured run's
-  /// start. Requires a star topology with `simulate` — the survival
-  /// contract (runner.hpp) is defined over the simulated wire.
+  /// start. Requires `simulate` — the survival contract (runner.hpp) is
+  /// defined over the simulated wire. Windowed kinds run on any topology;
+  /// structural and management kinds require the star (they act through
+  /// its establishment protocol).
   std::vector<sim::FaultEvent> faults;
 
   /// Number of admit ops in the stream.

@@ -21,6 +21,15 @@ struct SimConfig {
   /// Switch store-and-forward processing latency per frame, ticks.
   Tick switch_processing_ticks{1};
 
+  /// One-way propagation + PHY delay per inter-switch trunk, ticks (multi-
+  /// switch fabrics only; the star never reads it). Trunks run longer
+  /// cabling than node drops, and in the parallel simulator this delay is
+  /// the conservative lookahead between partitions — the fabric runner
+  /// sets it to one slot, which is both physically plausible (~50 µs of
+  /// fiber at 100 Mbit/s slot granularity) and wide enough that a
+  /// synchronization round spans a full slot of event work.
+  Tick trunk_propagation_ticks{1};
+
   /// When false, the RT layer's EDF queues are bypassed and *all* traffic —
   /// including RT-tagged frames — takes the FCFS path at every hop. This is
   /// the motivational baseline: plain switched Ethernet without the paper's

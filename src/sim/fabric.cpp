@@ -1,0 +1,646 @@
+#include "sim/fabric.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/bytes.hpp"
+#include "common/units.hpp"
+#include "net/ipv4.hpp"
+#include "sim/addressing.hpp"
+
+namespace rtether::sim {
+
+namespace {
+
+/// UDP port of RT data frames (same value the star's RT layer uses).
+constexpr std::uint16_t kRtDataPort = 5004;
+
+/// Best-effort payload range / on-off phase means, mirroring the star's
+/// BestEffortProfile defaults — the fabric keeps one fixed shape.
+constexpr std::uint32_t kBeMinPayload = 46;
+constexpr std::uint32_t kBeMaxPayload = 1460;
+constexpr double kBeMeanOnSlots = 50.0;
+constexpr double kBeMeanOffSlots = 200.0;
+
+/// Salt separating the fabric fault stream from every other consumer of
+/// the scenario seed.
+constexpr std::uint64_t kFaultSalt = 0xfab0'5eed'fa01'7711ULL;
+
+/// Stateless per-frame Bernoulli draw: hash of (frame id, window salt) to
+/// a unit double. Replay-stable by construction — no stream to keep in
+/// sync across partitions or thread counts.
+[[nodiscard]] double fault_chance(std::uint64_t frame_id, std::uint64_t salt) {
+  SplitMix64 mix(frame_id ^ salt);
+  return static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+}
+
+[[nodiscard]] std::size_t kind_index(FaultKind kind) {
+  return static_cast<std::size_t>(kind);
+}
+
+}  // namespace
+
+FabricNetwork::FabricNetwork(const SimConfig& config,
+                             const core::Topology& topology,
+                             std::span<const core::MultihopChannel> channels,
+                             FabricOptions options)
+    : config_(config),
+      options_(std::move(options)),
+      lookahead_(config.trunk_propagation_ticks +
+                 config.switch_processing_ticks) {
+  RTETHER_ASSERT_MSG(topology.switch_count() >= 1, "empty fabric");
+  build_partitions(topology);
+  build_channels(channels);
+  build_best_effort();
+  build_faults();
+}
+
+void FabricNetwork::build_partitions(const core::Topology& topology) {
+  const std::uint32_t switch_count = topology.switch_count();
+  const std::uint32_t node_count = topology.node_count();
+  for (std::uint32_t p = 0; p < switch_count; ++p) {
+    partitions_.emplace_back();
+    partitions_.back().net = this;
+    partitions_.back().index = p;
+  }
+  node_partition_.resize(node_count, 0);
+  node_uplink_.resize(node_count, nullptr);
+  node_downlink_.resize(node_count, nullptr);
+  for (std::uint32_t n = 0; n < node_count; ++n) {
+    const auto attachment = topology.attachment(NodeId{n});
+    RTETHER_ASSERT_MSG(attachment.has_value(), "unattached fabric node");
+    node_partition_[n] = attachment->value();
+    partitions_[attachment->value()].nodes.push_back(n);
+  }
+  // Directed cut links, (from, to) ascending: neighbours() is sorted.
+  for (std::uint32_t p = 0; p < switch_count; ++p) {
+    for (const std::uint32_t q : topology.neighbours(core::SwitchId{p})) {
+      const auto edge = static_cast<std::uint32_t>(edges_.size());
+      edges_.emplace_back();
+      edges_.back().from = p;
+      edges_.back().to = q;
+      partitions_[p].out_edges.push_back(edge);
+    }
+  }
+  for (std::uint32_t e = 0; e < edges_.size(); ++e) {
+    partitions_[edges_[e].to].in_edges.push_back(e);
+  }
+  // Transmitters in the canonical (digest) order: node uplinks, node
+  // downlinks, out-trunks.
+  for (std::uint32_t p = 0; p < switch_count; ++p) {
+    Partition& part = partitions_[p];
+    for (const std::uint32_t n : part.nodes) {
+      part.ports.push_back(
+          {this, p, HopPort::Role::kUplink, n, 0, nullptr, {}});
+      HopPort& up = part.ports.back();
+      part.txs.emplace_back(
+          part.sim, config_, "up" + std::to_string(n),
+          Transmitter::Sink::fabric(&FabricNetwork::on_handoff,
+                                    &FabricNetwork::on_fault_drop, &up));
+      up.tx = &part.txs.back();
+      node_uplink_[n] = &up;
+    }
+    for (const std::uint32_t n : part.nodes) {
+      part.ports.push_back(
+          {this, p, HopPort::Role::kDownlink, n, 0, nullptr, {}});
+      HopPort& down = part.ports.back();
+      part.txs.emplace_back(
+          part.sim, config_, "down" + std::to_string(n),
+          Transmitter::Sink::fabric(&FabricNetwork::on_handoff,
+                                    &FabricNetwork::on_fault_drop, &down));
+      down.tx = &part.txs.back();
+      node_downlink_[n] = &down;
+    }
+    for (const std::uint32_t e : part.out_edges) {
+      part.ports.push_back({this, p, HopPort::Role::kTrunk, 0, e, nullptr, {}});
+      HopPort& trunk = part.ports.back();
+      part.txs.emplace_back(
+          part.sim, config_,
+          "trunk" + std::to_string(p) + "->" + std::to_string(edges_[e].to),
+          Transmitter::Sink::fabric(&FabricNetwork::on_handoff,
+                                    &FabricNetwork::on_fault_drop, &trunk));
+      trunk.tx = &part.txs.back();
+    }
+  }
+}
+
+void FabricNetwork::build_channels(
+    std::span<const core::MultihopChannel> channels) {
+  // Trunk-port lookup for route installation: (from << 32 | to) → port.
+  std::unordered_map<std::uint64_t, HopPort*> trunk_port;
+  for (Partition& part : partitions_) {
+    for (HopPort& port : part.ports) {
+      if (port.role == HopPort::Role::kTrunk) {
+        const CutEdge& edge = edges_[port.edge];
+        trunk_port[(std::uint64_t{edge.from} << 32) | edge.to] = &port;
+      }
+    }
+  }
+  for (const core::MultihopChannel& channel : channels) {
+    RTETHER_ASSERT_MSG(channel.path.size() >= 2, "fabric path too short");
+    RTETHER_ASSERT_MSG(channel.path.size() == channel.deadlines.size(),
+                       "path/deadline arity mismatch");
+    const std::uint16_t id = channel.id.value();
+    const auto hops = static_cast<Tick>(channel.path.size());
+    const Tick trunks = hops - 2;
+    const Tick blocking =
+        options_.with_best_effort ? hops * config_.ticks_per_slot : 0;
+    // Eq 18.1's T_latency generalized to the path: every propagation and
+    // store-and-forward latency the per-link EDF analysis does not count.
+    allowance_[id] = 2 * config_.propagation_ticks +
+                     trunks * config_.trunk_propagation_ticks +
+                     (trunks + 1) * config_.switch_processing_ticks + blocking;
+    // Install the per-switch next-hop route: after the frame is processed
+    // at the switch upstream of path[j], it enters path[j]'s transmitter.
+    for (std::size_t j = 1; j < channel.path.size(); ++j) {
+      const core::LinkId& link = channel.path[j];
+      if (link.kind == core::LinkId::Kind::kTrunk) {
+        HopPort* port = trunk_port.at((std::uint64_t{link.a} << 32) | link.b);
+        partitions_[link.a].next_hop[id] = port;
+      } else {
+        RTETHER_ASSERT(link.kind == core::LinkId::Kind::kDownlink);
+        partitions_[node_partition_[link.a]].next_hop[id] =
+            node_downlink_[link.a];
+      }
+    }
+    const std::uint32_t source = channel.spec.source.value();
+    senders_.emplace_back();
+    Sender& sender = senders_.back();
+    sender.net = this;
+    sender.partition = node_partition_[source];
+    sender.channel = id;
+    sender.source = source;
+    sender.destination = channel.spec.destination.value();
+    sender.capacity = channel.spec.capacity;
+    sender.period_ticks = config_.slots_to_ticks(channel.spec.period);
+    sender.deadline_ticks = config_.slots_to_ticks(channel.spec.deadline);
+    sender.uplink_key_ticks = config_.slots_to_ticks(channel.deadlines[0]);
+    sender.uplink = node_uplink_[source];
+    // Every channel releases from tick 0 (worst-case aligned phases).
+    partitions_[sender.partition].sim.schedule_timer(
+        0, &FabricNetwork::on_sender_release, &sender);
+  }
+}
+
+void FabricNetwork::build_best_effort() {
+  if (!options_.with_best_effort || options_.best_effort_load <= 0.0) return;
+  const std::uint64_t base_seed = options_.seed ^ 0xbeefULL;
+  for (std::uint32_t n = 0; n < node_partition_.size(); ++n) {
+    Partition& part = partitions_[node_partition_[n]];
+    if (part.nodes.size() <= 1) continue;  // no same-switch peer to address
+    be_sources_.emplace_back();
+    BeSource& source = be_sources_.back();
+    source.net = this;
+    source.partition = part.index;
+    source.node = n;
+    // Same per-node stream split as the star's BestEffortSource.
+    source.rng = Rng(base_seed ^ (0x9e37'79b9'7f4a'7c15ULL * (n + 1)));
+    source.bursty = options_.bursty_best_effort;
+    source.load = options_.best_effort_load;
+    schedule_be_arrival(source);
+  }
+}
+
+void FabricNetwork::build_faults() {
+  std::uint64_t index = 0;
+  for (const FaultEvent& event : options_.faults) {
+    ++index;
+    if (event.kind != FaultKind::kLinkDown &&
+        event.kind != FaultKind::kFrameLoss &&
+        event.kind != FaultKind::kFrameCorrupt) {
+      continue;  // structural / management kinds: star-only semantics
+    }
+    if (event.node.value() >= node_partition_.size()) continue;
+    HopPort* port = event.downlink ? node_downlink_[event.node.value()]
+                                   : node_uplink_[event.node.value()];
+    FaultWindow window;
+    window.kind = event.kind;
+    window.from = config_.slots_to_ticks(event.at_slot);
+    window.to = window.from + config_.slots_to_ticks(event.duration_slots);
+    window.probability = event.probability;
+    window.salt =
+        options_.seed ^ kFaultSalt ^ (index * 0x9e37'79b9'7f4a'7c15ULL);
+    port->windows.push_back(window);
+  }
+  // The fault-free path stays hook-free (one null check, nothing else).
+  for (Partition& part : partitions_) {
+    for (HopPort& port : part.ports) {
+      if (!port.windows.empty()) {
+        port.tx->set_fault_hook(&FabricNetwork::on_fault, &port);
+      }
+    }
+  }
+}
+
+Transmitter::FaultDecision FabricNetwork::on_fault(void* context,
+                                                   const SimFrame& frame,
+                                                   Tick now) {
+  auto* port = static_cast<HopPort*>(context);
+  Partition& part = port->net->partitions_[port->partition];
+  Transmitter::FaultDecision decision;
+  for (const FaultWindow& window : port->windows) {
+    if (now < window.from || now >= window.to) continue;
+    switch (window.kind) {
+      case FaultKind::kLinkDown:
+        decision.drop = true;
+        ++part.injections[kind_index(window.kind)];
+        break;
+      case FaultKind::kFrameLoss:
+        if (fault_chance(frame.id, window.salt) < window.probability) {
+          decision.drop = true;
+          ++part.injections[kind_index(window.kind)];
+        }
+        break;
+      case FaultKind::kFrameCorrupt:
+        if (fault_chance(frame.id, window.salt) < window.probability) {
+          decision.corrupt = true;
+          ++part.injections[kind_index(window.kind)];
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return decision;
+}
+
+void FabricNetwork::on_fault_drop(void* context, const SimFrame& frame) {
+  auto* port = static_cast<HopPort*>(context);
+  Partition& part = port->net->partitions_[port->partition];
+  if (frame.info.rt_tag.has_value()) {
+    part.stats.record_rt_fault_drop(frame.info.rt_tag->channel);
+  } else {
+    part.stats.record_best_effort_fault_drop();
+  }
+}
+
+void FabricNetwork::on_handoff(void* context, FrameIndex frame,
+                               Tick completion) {
+  auto* port = static_cast<HopPort*>(context);
+  FabricNetwork& net = *port->net;
+  Partition& part = net.partitions_[port->partition];
+  switch (port->role) {
+    case HopPort::Role::kUplink:
+      // Arrives — store-and-forward processed — at the local switch.
+      part.sim.schedule_timer(
+          net.config_.propagation_ticks + net.config_.switch_processing_ticks,
+          &FabricNetwork::on_switch_arrival, &part, frame);
+      break;
+    case HopPort::Role::kTrunk:
+      // Crosses the cut: the record's tick already includes the full
+      // lookahead, so it is only executable in a later round.
+      net.push_record(part, net.edges_[port->edge], completion + net.lookahead_,
+                      frame);
+      break;
+    case HopPort::Role::kDownlink:
+      part.sim.schedule_timer(net.config_.propagation_ticks,
+                              &FabricNetwork::on_deliver, port, frame);
+      break;
+  }
+}
+
+void FabricNetwork::on_switch_arrival(void* context, std::uint64_t arg,
+                                      Tick now) {
+  (void)now;
+  auto* part = static_cast<Partition*>(context);
+  part->net->arrive_at_switch(*part, static_cast<FrameIndex>(arg));
+}
+
+void FabricNetwork::arrive_at_switch(Partition& part, FrameIndex frame) {
+  SimFrame& held = part.sim.arena().get(frame);
+  if (held.corrupted) {
+    // CRC check at switch ingress: discard, book the loss.
+    if (held.info.rt_tag.has_value()) {
+      part.stats.record_rt_fault_drop(held.info.rt_tag->channel);
+    } else {
+      part.stats.record_best_effort_fault_drop();
+    }
+    part.sim.arena().release(frame);
+    return;
+  }
+  if (held.info.rt_tag.has_value()) {
+    const auto it = part.next_hop.find(held.info.rt_tag->channel.value());
+    RTETHER_ASSERT_MSG(it != part.next_hop.end(),
+                       "RT frame arrived at a switch off its route");
+    it->second->tx->enqueue_rt(held.info.rt_tag->absolute_deadline, frame);
+    return;
+  }
+  // Best-effort: same-switch delivery by destination MAC.
+  const auto destination = mac_to_node(held.info.destination_mac);
+  RTETHER_ASSERT_MSG(destination.has_value(),
+                     "fabric best-effort frame with a foreign MAC");
+  HopPort* down = node_downlink_[destination->value()];
+  RTETHER_ASSERT_MSG(down->partition == part.index,
+                     "fabric best-effort frame crossed a trunk");
+  down->tx->enqueue_best_effort(frame);
+}
+
+void FabricNetwork::on_deliver(void* context, std::uint64_t arg, Tick now) {
+  auto* port = static_cast<HopPort*>(context);
+  Partition& part = port->net->partitions_[port->partition];
+  const auto frame = static_cast<FrameIndex>(arg);
+  SimFrame& held = part.sim.arena().get(frame);
+  if (held.corrupted) {
+    // CRC check at the node NIC: discard, book the loss.
+    if (held.info.rt_tag.has_value()) {
+      part.stats.record_rt_fault_drop(held.info.rt_tag->channel);
+    } else {
+      part.stats.record_best_effort_fault_drop();
+    }
+  } else if (held.info.rt_tag.has_value()) {
+    const net::RtFrameTag& tag = *held.info.rt_tag;
+    part.stats.record_rt_delivered(tag.channel, held.created_at,
+                                   tag.absolute_deadline, now,
+                                   port->net->allowance(tag.channel.value()));
+  } else {
+    part.stats.record_best_effort_delivered(held.created_at, now);
+  }
+  part.sim.arena().release(frame);
+}
+
+void FabricNetwork::on_sender_release(void* context, std::uint64_t arg,
+                                      Tick now) {
+  (void)arg;
+  auto* sender = static_cast<Sender*>(context);
+  FabricNetwork& net = *sender->net;
+  if (now >= net.options_.traffic_stop) return;  // run over: stop releasing
+  net.emit_message(*sender, now);
+  net.partitions_[sender->partition].sim.schedule_timer(
+      sender->period_ticks, &FabricNetwork::on_sender_release, sender);
+}
+
+void FabricNetwork::emit_message(Sender& sender, Tick release) {
+  Partition& part = partitions_[sender.partition];
+  for (Slot i = 0; i < sender.capacity; ++i) {
+    // Identical wire bytes to the star RT layer's send_message: real
+    // headers, §18.2.2 deadline tag, payload padded to a maximal frame.
+    net::Ipv4Header ip;
+    ip.protocol = net::IpProtocol::kUdp;
+    net::encode_rt_tag(
+        {release + sender.deadline_ticks, ChannelId{sender.channel}}, ip);
+
+    net::EthernetHeader ethernet;
+    ethernet.source = node_mac(NodeId{sender.source});
+    ethernet.destination = node_mac(NodeId{sender.destination});
+    ethernet.ether_type = net::EtherType::kIpv4;
+
+    net::UdpHeader udp;
+    udp.source_port = kRtDataPort;
+    udp.destination_port = kRtDataPort;
+
+    FrameArena& arena = part.sim.arena();
+    const FrameIndex index = arena.acquire();
+    SimFrame& frame = arena.get(index);
+    ByteWriter writer(std::move(frame.bytes));
+    ethernet.serialize(writer);
+    const std::size_t header_bytes = net::EthernetHeader::kWireSize +
+                                     net::Ipv4Header::kWireSize +
+                                     net::UdpHeader::kWireSize;
+    const std::uint64_t pad = kMaxFrameWireBytes - (header_bytes + 4 + 8 + 12);
+    ip.total_length = static_cast<std::uint16_t>(net::Ipv4Header::kWireSize +
+                                                 net::UdpHeader::kWireSize +
+                                                 pad);
+    ip.serialize(writer);
+    udp.length = static_cast<std::uint16_t>(net::UdpHeader::kWireSize + pad);
+    udp.serialize(writer);
+    frame.bytes = std::move(writer).take();
+    frame.finalize((std::uint64_t{sender.partition + 1} << 40) |
+                       part.next_frame_id++,
+                   pad, release, NodeId{sender.source});
+    part.stats.record_rt_sent(ChannelId{sender.channel});
+    sender.uplink->tx->enqueue_rt(release + sender.uplink_key_ticks, index);
+  }
+}
+
+double FabricNetwork::be_mean_interarrival_ticks(const BeSource& source) const {
+  const double mean_payload = (static_cast<double>(kBeMinPayload) +
+                               static_cast<double>(kBeMaxPayload)) /
+                              2.0;
+  const double mean_wire = mean_payload + net::EthernetHeader::kWireSize +
+                           net::Ipv4Header::kWireSize + 4 + 8 + 12;
+  const double mean_tx_ticks =
+      mean_wire * static_cast<double>(config_.ticks_per_slot) /
+      static_cast<double>(kMaxFrameWireBytes);
+  return mean_tx_ticks / source.load;
+}
+
+void FabricNetwork::schedule_be_arrival(BeSource& source) {
+  double gap_ticks = source.rng.exponential(be_mean_interarrival_ticks(source));
+  if (source.bursty && !source.on_phase) {
+    gap_ticks += source.rng.exponential(
+        kBeMeanOffSlots * static_cast<double>(config_.ticks_per_slot));
+    source.on_phase = true;
+  }
+  partitions_[source.partition].sim.schedule_timer(
+      static_cast<Tick>(gap_ticks) + 1,
+      &FabricNetwork::on_best_effort_arrival, &source);
+}
+
+void FabricNetwork::on_best_effort_arrival(void* context, std::uint64_t arg,
+                                           Tick now) {
+  (void)arg;
+  auto* source = static_cast<BeSource*>(context);
+  FabricNetwork& net = *source->net;
+  if (now >= net.options_.traffic_stop) return;  // run over: go quiet
+  net.emit_best_effort(*source, now);
+  if (source->bursty && source->on_phase) {
+    const double arrivals_per_on =
+        kBeMeanOnSlots * static_cast<double>(net.config_.ticks_per_slot) /
+        net.be_mean_interarrival_ticks(*source);
+    if (arrivals_per_on < 1.0 || source->rng.bernoulli(1.0 / arrivals_per_on)) {
+      source->on_phase = false;
+    }
+  }
+  net.schedule_be_arrival(*source);
+}
+
+void FabricNetwork::emit_best_effort(BeSource& source, Tick now) {
+  Partition& part = partitions_[source.partition];
+  // Uniform among same-switch peers (self excluded). `nodes` is sorted, so
+  // the skip-self mapping is by local rank.
+  std::size_t rank = 0;
+  while (part.nodes[rank] != source.node) ++rank;
+  auto pick = static_cast<std::size_t>(source.rng.index(part.nodes.size() - 1));
+  if (pick >= rank) ++pick;
+  const std::uint32_t destination = part.nodes[pick];
+
+  const auto payload_bytes = static_cast<std::uint32_t>(
+      source.rng.uniform(kBeMinPayload, kBeMaxPayload));
+
+  net::Ipv4Header ip;
+  ip.tos = 0;
+  ip.protocol = net::IpProtocol::kTcp;
+  ip.source = node_ip(NodeId{source.node});
+  ip.destination = node_ip(NodeId{destination});
+  ip.total_length = static_cast<std::uint16_t>(net::Ipv4Header::kWireSize +
+                                               payload_bytes);
+
+  net::EthernetHeader ethernet;
+  ethernet.source = node_mac(NodeId{source.node});
+  ethernet.destination = node_mac(NodeId{destination});
+  ethernet.ether_type = net::EtherType::kIpv4;
+
+  FrameArena& arena = part.sim.arena();
+  const FrameIndex index = arena.acquire();
+  SimFrame& frame = arena.get(index);
+  ByteWriter writer(std::move(frame.bytes));
+  ethernet.serialize(writer);
+  ip.serialize(writer);
+  frame.bytes = std::move(writer).take();
+  frame.finalize((std::uint64_t{source.partition + 1} << 40) |
+                     part.next_frame_id++,
+                 payload_bytes, now, NodeId{source.node});
+  part.stats.record_best_effort_sent();
+  node_uplink_[source.node]->tx->enqueue_best_effort(index);
+}
+
+void FabricNetwork::push_record(Partition& part, CutEdge& edge, Tick arrival,
+                                FrameIndex frame) {
+  const SimFrame& held = part.sim.arena().get(frame);
+  FabricRecord record;
+  record.tick = arrival;
+  record.sequence = edge.next_sequence++;
+  record.image.id = held.id;
+  record.image.extra_payload_bytes = held.extra_payload_bytes;
+  record.image.created_at = held.created_at;
+  record.image.origin = held.origin.value();
+  RTETHER_ASSERT_MSG(held.bytes.size() <= FrameImage::kMaxBytes,
+                     "oversized frame on a trunk (only RT headers cross)");
+  record.image.byte_count = static_cast<std::uint16_t>(held.bytes.size());
+  record.image.corrupted = held.corrupted;
+  std::memcpy(record.image.bytes, held.bytes.data(), held.bytes.size());
+  part.sim.arena().release(frame);
+  ++edge.records;
+  if (edge.spill_pos < edge.spill.size() || !edge.ring.try_push(record)) {
+    // Ring full (or already spilling — order must be preserved): overflow
+    // to the producer-side spill, flushed at round end.
+    edge.spill.push_back(record);
+  }
+}
+
+void FabricNetwork::drain_inputs(Partition& part, Tick target) {
+  for (const std::uint32_t e : part.in_edges) {
+    CutEdge& edge = edges_[e];
+    FabricRecord record;
+    while (edge.ring.try_peek(record) && record.tick <= target) {
+      edge.ring.pop();
+      RTETHER_ASSERT_MSG(record.sequence == edge.drained_sequence,
+                         "cut-link records out of order");
+      ++edge.drained_sequence;
+      inject(part, record);
+    }
+  }
+}
+
+void FabricNetwork::inject(Partition& part, const FabricRecord& record) {
+  const FrameIndex index = part.sim.arena().acquire();
+  SimFrame& frame = part.sim.arena().get(index);
+  frame.bytes.assign(record.image.bytes,
+                     record.image.bytes + record.image.byte_count);
+  frame.finalize(record.image.id, record.image.extra_payload_bytes,
+                 record.image.created_at, NodeId{record.image.origin});
+  frame.corrupted = record.image.corrupted;
+  RTETHER_ASSERT(record.tick > part.sim.now());
+  part.sim.schedule_timer(record.tick - part.sim.now(),
+                          &FabricNetwork::on_switch_arrival, &part, index);
+}
+
+void FabricNetwork::flush_spill(Partition& part) {
+  for (const std::uint32_t e : part.out_edges) {
+    CutEdge& edge = edges_[e];
+    while (edge.spill_pos < edge.spill.size() &&
+           edge.ring.try_push(edge.spill[edge.spill_pos])) {
+      ++edge.spill_pos;
+    }
+    if (edge.spill_pos == edge.spill.size()) {
+      edge.spill.clear();
+      edge.spill_pos = 0;
+    } else {
+      // A record not visible before the next barrier would break the
+      // conservative completeness guarantee — fail the run instead.
+      failed_.store(true, std::memory_order_release);
+    }
+  }
+}
+
+bool FabricNetwork::run_round(std::size_t p, Tick target,
+                              std::uint64_t max_events) {
+  Partition& part = partitions_[p];
+  drain_inputs(part, target);
+  const bool ok = part.sim.run_until(target, max_events);
+  flush_spill(part);
+  if (!ok) failed_.store(true, std::memory_order_release);
+  return ok;
+}
+
+std::uint64_t FabricNetwork::executed_events() const {
+  std::uint64_t total = 0;
+  for (const Partition& part : partitions_) total += part.sim.executed_events();
+  return total;
+}
+
+const SimStats& FabricNetwork::partition_stats(std::size_t p) const {
+  return partitions_[p].stats;
+}
+
+const Simulator& FabricNetwork::kernel(std::size_t p) const {
+  return partitions_[p].sim;
+}
+
+std::vector<const Transmitter*> FabricNetwork::transmitters(
+    std::size_t p) const {
+  std::vector<const Transmitter*> result;
+  result.reserve(partitions_[p].ports.size());
+  for (const HopPort& port : partitions_[p].ports) result.push_back(port.tx);
+  return result;
+}
+
+std::map<std::uint16_t, FabricChannelCounts> FabricNetwork::channel_counts()
+    const {
+  std::map<std::uint16_t, FabricChannelCounts> merged;
+  for (const Partition& part : partitions_) {
+    for (const auto& [id, stats] : part.stats.channels()) {
+      FabricChannelCounts& counts = merged[id.value()];
+      counts.sent += stats.frames_sent;
+      counts.delivered += stats.frames_delivered;
+      counts.misses += stats.deadline_misses;
+      counts.dropped += stats.frames_dropped;
+    }
+  }
+  return merged;
+}
+
+Tick FabricNetwork::allowance(std::uint16_t channel_id) const {
+  const auto it = allowance_.find(channel_id);
+  RTETHER_ASSERT_MSG(it != allowance_.end(), "allowance of unknown channel");
+  return it->second;
+}
+
+std::vector<TrunkTraffic> FabricNetwork::trunk_traffic() const {
+  std::vector<TrunkTraffic> result;
+  result.reserve(edges_.size());
+  for (const CutEdge& edge : edges_) {
+    result.push_back({edge.from, edge.to, edge.records});
+  }
+  return result;
+}
+
+std::uint64_t FabricNetwork::cut_link_records() const {
+  std::uint64_t total = 0;
+  for (const CutEdge& edge : edges_) total += edge.records;
+  return total;
+}
+
+std::array<std::uint64_t, kFaultKindCount> FabricNetwork::fault_injections()
+    const {
+  std::array<std::uint64_t, kFaultKindCount> merged{};
+  for (const Partition& part : partitions_) {
+    for (std::size_t i = 0; i < kFaultKindCount; ++i) {
+      merged[i] += part.injections[i];
+    }
+  }
+  return merged;
+}
+
+}  // namespace rtether::sim

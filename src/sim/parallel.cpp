@@ -1,0 +1,126 @@
+#include "sim/parallel.hpp"
+
+#include <cstddef>
+
+#include "common/assert.hpp"
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace rtether::sim {
+
+namespace {
+
+/// Lockstep round barrier for one run's persistent workers. The last worker
+/// to arrive decides — inside the critical section, while every other
+/// worker is parked — whether the run continues, and the decision is
+/// returned to all workers of that generation. Deciding anywhere else would
+/// race: a worker that read the failure flag before a slower peer set it
+/// would leave the loop while the peer parks at the barrier forever.
+class RoundBarrier {
+ public:
+  RoundBarrier(const FabricNetwork& fabric, std::size_t parties)
+      : fabric_(fabric), parties_(parties) {}
+
+  /// One fork/join point. `last_round` is a pure function of the fixed
+  /// round schedule, so every worker passes the same value. Returns true
+  /// when the run stops after this round.
+  [[nodiscard]] bool arrive(bool last_round) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    ++rounds_seen_;
+    if (rounds_seen_ == parties_) {
+      rounds_seen_ = 0;
+      ++rounds_;
+      // All round work happened-before this point (every worker holds the
+      // mutex on arrival), so the failure flag read here is complete.
+      stop_ = last_round || fabric_.failed();
+      ++generation_;
+      cv_.notify_all();
+      return stop_;
+    }
+    const std::uint64_t generation = generation_;
+    while (generation_ == generation) {
+      cv_.wait(mutex_);
+    }
+    return stop_;
+  }
+
+  /// Completed rounds. Call after the workers joined (`wait_idle`).
+  [[nodiscard]] std::uint64_t rounds() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return rounds_;
+  }
+
+ private:
+  const FabricNetwork& fabric_;
+  const std::size_t parties_;
+  Mutex mutex_;
+  CondVar cv_;
+  std::size_t rounds_seen_ GUARDED_BY(mutex_){0};
+  std::uint64_t generation_ GUARDED_BY(mutex_){0};
+  std::uint64_t rounds_ GUARDED_BY(mutex_){0};
+  bool stop_ GUARDED_BY(mutex_){false};
+};
+
+}  // namespace
+
+bool ParallelSimulator::run_until(Tick until,
+                                  std::uint64_t max_events_per_partition) {
+  const Tick lookahead = fabric_.lookahead();
+  RTETHER_ASSERT_MSG(lookahead > 0, "fabric lookahead must be positive");
+  const std::size_t partitions = fabric_.partition_count();
+  if (until <= now_) return !fabric_.failed();
+
+  const auto round_budget = [this,
+                             max_events_per_partition](std::size_t p) {
+    // Budget is per partition-kernel and cumulative across rounds.
+    const std::uint64_t executed = fabric_.kernel(p).executed_events();
+    return executed < max_events_per_partition
+               ? max_events_per_partition - executed
+               : 0;
+  };
+
+  const std::size_t workers = pool_.size();
+  if (workers == 0) {
+    // Sequential baseline: the identical round schedule, inline.
+    while (now_ < until) {
+      const Tick target = std::min(until, now_ + lookahead);
+      for (std::size_t p = 0; p < partitions; ++p) {
+        (void)fabric_.run_round(p, target, round_budget(p));
+      }
+      ++rounds_;
+      now_ = target;
+      if (fabric_.failed()) break;
+    }
+    now_ = until;
+    return !fabric_.failed();
+  }
+
+  // Parallel mode: one persistent job per worker for the whole run —
+  // workers loop over rounds with a barrier between them, so the per-round
+  // cost is one mutex/condvar cycle per worker, not a pool submission.
+  // Partition ownership is static (p ≡ w mod workers): partition p's
+  // kernel, stats and cut-edge cursors are touched by exactly one thread
+  // between any two barriers.
+  RoundBarrier barrier(fabric_, workers);
+  const Tick start = now_;
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool_.submit([this, &barrier, &round_budget, w, workers, partitions,
+                  lookahead, until, start] {
+      Tick now = start;
+      for (;;) {
+        const Tick target = std::min(until, now + lookahead);
+        for (std::size_t p = w; p < partitions; p += workers) {
+          (void)fabric_.run_round(p, target, round_budget(p));
+        }
+        now = target;
+        if (barrier.arrive(target >= until)) break;
+      }
+    });
+  }
+  pool_.wait_idle();
+  rounds_ += barrier.rounds();
+  now_ = until;
+  return !fabric_.failed();
+}
+
+}  // namespace rtether::sim

@@ -32,6 +32,16 @@ Transmitter::Sink Transmitter::Sink::custom(CustomFn fn, void* context) {
   return sink;
 }
 
+Transmitter::Sink Transmitter::Sink::fabric(HandoffFn handoff, DropFn drop,
+                                            void* context) {
+  Sink sink;
+  sink.kind = Kind::kFabricHandoff;
+  sink.handoff = handoff;
+  sink.drop = drop;
+  sink.context = context;
+  return sink;
+}
+
 Transmitter::Transmitter(Simulator& simulator, const SimConfig& config,
                          std::string name, Sink sink,
                          std::size_t best_effort_depth)
@@ -41,7 +51,11 @@ Transmitter::Transmitter(Simulator& simulator, const SimConfig& config,
       sink_(sink),
       best_effort_queue_(best_effort_depth) {
   RTETHER_ASSERT(sink_.kind != Sink::Kind::kCustom || sink_.fn != nullptr);
-  RTETHER_ASSERT(sink_.kind == Sink::Kind::kCustom || sink_.network != nullptr);
+  RTETHER_ASSERT(sink_.kind != Sink::Kind::kFabricHandoff ||
+                 (sink_.handoff != nullptr && sink_.drop != nullptr));
+  RTETHER_ASSERT(sink_.kind == Sink::Kind::kCustom ||
+                 sink_.kind == Sink::Kind::kFabricHandoff ||
+                 sink_.network != nullptr);
 }
 
 void Transmitter::enqueue_rt(Tick deadline_key, FrameIndex frame) {
@@ -283,7 +297,9 @@ void Transmitter::complete(FrameIndex frame) {
       // The frame consumed its wire time above; losing it here removes
       // load downstream but never adds blocking — the survival contract's
       // zero-miss guarantee rests on this.
-      if (sink_.kind != Sink::Kind::kCustom) {
+      if (sink_.kind == Sink::Kind::kFabricHandoff) {
+        sink_.drop(sink_.context, simulator_.arena().get(frame));
+      } else if (sink_.kind != Sink::Kind::kCustom) {
         sink_.network->record_fault_drop(simulator_.arena().get(frame));
       }
       simulator_.arena().release(frame);
@@ -314,6 +330,10 @@ void Transmitter::complete(FrameIndex frame) {
     case Sink::Kind::kCustom:
       sink_.fn(sink_.context, simulator_.arena().get(frame), completion);
       simulator_.arena().release(frame);
+      break;
+    case Sink::Kind::kFabricHandoff:
+      // Ownership transfers: the fabric re-enqueues or releases the slot.
+      sink_.handoff(sink_.context, frame, completion);
       break;
   }
   schedule_start();

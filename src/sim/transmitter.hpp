@@ -58,11 +58,23 @@ class Transmitter {
     /// the completion tick; the frame slot is released after return.
     using CustomFn = void (*)(void* context, const SimFrame& frame,
                               Tick completion);
+    /// Fabric sink (multi-switch partitions, sim/fabric.hpp): like
+    /// kCustom, but *ownership of the frame slot transfers* to the
+    /// callback — the transmitter does not release it after return (the
+    /// fabric either re-enqueues the frame at the next hop or releases it
+    /// itself after imaging it into a cut-link record).
+    using HandoffFn = void (*)(void* context, FrameIndex frame,
+                               Tick completion);
+    /// Books a fault-injected drop on a fabric sink (consulted before the
+    /// slot is released; fabric transmitters have no SimNetwork to record
+    /// the loss into).
+    using DropFn = void (*)(void* context, const SimFrame& frame);
 
     enum class Kind : std::uint8_t {
       kUplinkToSwitch,  ///< node uplink: propagate to the switch ingress
       kPortToNode,      ///< switch port: propagate to the node, measure
       kCustom,          ///< raw callback (tests, standalone benches)
+      kFabricHandoff,   ///< fabric partition hand-off (ownership transfers)
     };
 
     Kind kind{Kind::kCustom};
@@ -70,11 +82,15 @@ class Transmitter {
     NodeId peer{};
     SimNetwork* network{nullptr};
     CustomFn fn{nullptr};
+    HandoffFn handoff{nullptr};
+    DropFn drop{nullptr};
     void* context{nullptr};
 
     [[nodiscard]] static Sink uplink(SimNetwork& network, NodeId node);
     [[nodiscard]] static Sink port(SimNetwork& network, NodeId node);
     [[nodiscard]] static Sink custom(CustomFn fn, void* context);
+    [[nodiscard]] static Sink fabric(HandoffFn handoff, DropFn drop,
+                                     void* context);
   };
 
   /// Verdict of the fault hook for one completed transmission. `drop`

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <string>
 #include <thread>
@@ -440,6 +441,132 @@ TEST(AdmissionService, MultiProducerStormMatchesSequentialOracle) {
   EXPECT_EQ(got.released, want.released);
   EXPECT_EQ(got.feasibility_tests, want.feasibility_tests);
   EXPECT_EQ(got.demand_evaluations, want.demand_evaluations);
+}
+
+TEST(AdmissionService, CompletionCallbackRunsInlineWhenAlreadyDone) {
+  // Inline mode: ops complete inside submit_async, so an on_complete
+  // registered afterwards must fire before it returns.
+  AdmissionService service(4, make_partitioner("SDPS"),
+                           config_with_workers(0));
+  Ticket ticket = service.submit_async(ChannelOp::admit(spec(0, 1, 100, 2, 40)));
+  ASSERT_TRUE(ticket.done());
+  bool fired = false;
+  ticket.on_complete([&] { fired = true; });
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(ticket.admit_outcome().has_value());
+}
+
+TEST(AdmissionService, CompletionCallbackSeesTheOutcome) {
+  // Resident mode: the callback runs on the retiring thread after the
+  // outcome is published, so it can read the verdict directly.
+  AdmissionService service(4, make_partitioner("SDPS"),
+                           config_with_workers(2));
+  std::atomic<bool> fired{false};
+  std::atomic<bool> accepted{false};
+  Ticket ticket = service.submit_async(ChannelOp::admit(spec(0, 1, 100, 2, 40)));
+  ticket.on_complete([&] {
+    accepted.store(ticket.admit_outcome().has_value(),
+                   std::memory_order_relaxed);
+    fired.store(true, std::memory_order_release);
+  });
+  service.drain();
+  ticket.wait();
+  EXPECT_TRUE(fired.load(std::memory_order_acquire));
+  EXPECT_TRUE(accepted.load(std::memory_order_relaxed));
+}
+
+TEST(AdmissionService, CallbackStormFiresOnceAndStaysBitIdentical) {
+  // The storm re-run with completion callbacks instead of waits: every op
+  // must fire its callback exactly once (whichever side of the handoff
+  // wins), and the outcomes read back afterwards must still replay
+  // bit-identically through the sequential oracle in ticket-sequence order.
+  constexpr unsigned kProducers = 4;
+  constexpr std::uint32_t kCellsPerProducer = 2;
+  constexpr std::size_t kOpsPerProducer = 200;
+  const std::uint32_t cells = kProducers * kCellsPerProducer;
+  AdmissionService service(cells * kCellSize, make_partitioner("SDPS"),
+                           config_with_workers(3));
+
+  struct Submission {
+    ChannelOp op;
+    Ticket ticket;
+  };
+  std::vector<std::vector<Submission>> per_producer(kProducers);
+  std::vector<std::atomic<int>> fire_counts(kProducers * kOpsPerProducer);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (unsigned p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(0x2000 + p);
+      auto& log = per_producer[p];
+      log.reserve(kOpsPerProducer);
+      std::vector<ChannelId> own_live;
+      for (std::size_t i = 0; i < kOpsPerProducer; ++i) {
+        std::atomic<int>& fires = fire_counts[p * kOpsPerProducer + i];
+        ChannelOp op = ChannelOp::admit(cell_spec(
+            rng, p * kCellsPerProducer +
+                     static_cast<std::uint32_t>(rng.index(kCellsPerProducer)),
+            cells));
+        if (!own_live.empty() && rng.index(3) == 0) {
+          const auto victim = rng.index(own_live.size());
+          const ChannelId id = own_live[victim];
+          own_live[victim] = own_live.back();
+          own_live.pop_back();
+          op = ChannelOp::release(id);
+        }
+        Ticket ticket = service.submit_async(op);
+        if (rng.index(2) == 0) {
+          // Install before completion (usually): the retiring thread wins
+          // the handoff and runs the callback.
+          ticket.on_complete(
+              [&fires] { fires.fetch_add(1, std::memory_order_relaxed); });
+        } else {
+          // Install after completion: the installer runs it inline.
+          ticket.wait();
+          ticket.on_complete(
+              [&fires] { fires.fetch_add(1, std::memory_order_relaxed); });
+        }
+        if (op.kind == ChannelOp::Kind::kAdmit && rng.index(4) != 0) {
+          ticket.wait();
+          if (ticket.admit_outcome().has_value()) {
+            own_live.push_back(ticket.admit_outcome()->id);
+          }
+        }
+        log.push_back({op, std::move(ticket)});
+      }
+    });
+  }
+  for (auto& thread : producers) {
+    thread.join();
+  }
+  service.drain();
+
+  std::vector<const Submission*> in_order;
+  for (const auto& log : per_producer) {
+    for (const auto& submission : log) {
+      EXPECT_TRUE(submission.ticket.done());
+      in_order.push_back(&submission);
+    }
+  }
+  for (const auto& fires : fire_counts) {
+    EXPECT_EQ(fires.load(std::memory_order_relaxed), 1);
+  }
+  std::sort(in_order.begin(), in_order.end(),
+            [](const Submission* a, const Submission* b) {
+              return a->ticket.sequence() < b->ticket.sequence();
+            });
+  AdmissionController oracle(cells * kCellSize, make_partitioner("SDPS"));
+  for (std::size_t i = 0; i < in_order.size(); ++i) {
+    const Submission& submission = *in_order[i];
+    const std::string where = "seq " + std::to_string(i);
+    if (submission.op.kind == ChannelOp::Kind::kAdmit) {
+      expect_same_admit(submission.ticket.admit_outcome(),
+                        oracle.request(submission.op.spec), where);
+    } else {
+      expect_same_release(submission.ticket.release_outcome(),
+                          oracle.release(submission.op.id), where);
+    }
+  }
 }
 
 TEST(AdmissionService, DeprecatedReleaseOkWrappersStillWork) {

@@ -133,6 +133,25 @@ const GoldenDigest kGolden[] = {
      {6450, 84, 0, 653, 653, 0xaacfbd8646a2df27ULL},
      84,
      296},
+    // Fabric entries, recorded at the introduction of the partitioned
+    // parallel kernel: multi-switch line/tree topologies whose simulation
+    // phase runs the barrier-round PDES driver. These pin the fabric's
+    // event ordering, per-hop EDF service, cut-link record injection and
+    // the fault hooks — under every fabric thread count (the digest is
+    // thread-count independent by construction; the determinism tests
+    // above enforce that separately).
+    {"fabric-tree.json",
+     {2644, 282, 0, 0, 0, 0xd881cef282055bb9ULL},
+     282,
+     436},
+    {"fabric-line-best-effort-fault.json",
+     {1711, 103, 0, 61, 61, 0xfeb81846e26d0fd3ULL},
+     103,
+     320},
+    {"fabric-tree-fault.json",
+     {1915, 187, 0, 0, 0, 0x3b039c24a2e48432ULL},
+     187,
+     327},
 };
 
 TEST(SimDeterminism, GoldenDigestsMatchSeedKernel) {
@@ -161,6 +180,126 @@ TEST(SimDeterminism, GoldenDigestsMatchSeedKernel) {
         << golden.file;
     EXPECT_EQ(result.simulated_slots, golden.simulated_slots) << golden.file;
   }
+}
+
+// --- Fabric (partitioned parallel kernel) determinism --------------------
+// The PDES contract: the partitioned kernel's digest is a pure function of
+// the spec — the fabric thread count (including 0, the inline sequential
+// baseline) must never show through. Conservative barrier rounds make this
+// true by construction; these tests pin it empirically.
+
+TEST(SimDeterminism, FabricDigestIsFabricThreadCountIndependent) {
+  GeneratorConfig config;
+  config.profile = GeneratorProfile::kFabric;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const ScenarioSpec spec = generate_scenario(config, seed);
+    RunnerOptions options;
+    options.fabric_threads = 0;  // sequential baseline
+    const ScenarioResult baseline = run_scenario(spec, options);
+    EXPECT_TRUE(baseline.passed)
+        << "seed " << seed << ": "
+        << (baseline.violations.empty()
+                ? std::string("?")
+                : baseline.violations.front().to_string());
+    EXPECT_GE(baseline.fabric_partitions, 2U) << "seed " << seed;
+    for (unsigned threads : {1U, 2U, 4U}) {
+      options.fabric_threads = threads;
+      const ScenarioResult result = run_scenario(spec, options);
+      EXPECT_EQ(result.passed, baseline.passed)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(result.sim_digest, baseline.sim_digest)
+          << "seed " << seed << ": fabric_threads=" << threads
+          << " diverged from the sequential baseline";
+      EXPECT_EQ(result.frames_delivered, baseline.frames_delivered)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(result.cut_link_records, baseline.cut_link_records)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(SimDeterminism, FabricCampaignFingerprintIsThreadCountIndependent) {
+  // Two axes at once: campaign workers (scenarios raced across a pool) and
+  // fabric worker threads inside each scenario's simulation. The XOR-folded
+  // fingerprint must not move on either axis.
+  CampaignConfig config;
+  config.scenario_count = 24;
+  config.generator.profile = GeneratorProfile::kFabric;
+  struct Case {
+    unsigned campaign_threads;
+    unsigned fabric_threads;
+  };
+  const Case cases[] = {{1, 0}, {2, 2}, {4, 4}};
+  CampaignResult results[3];
+  for (int i = 0; i < 3; ++i) {
+    config.threads = cases[i].campaign_threads;
+    config.runner.fabric_threads = cases[i].fabric_threads;
+    results[i] = run_campaign(config);
+  }
+  EXPECT_EQ(results[0].failures, 0U)
+      << (results[0].failing.empty()
+              ? std::string("?")
+              : results[0].failing.front().detail);
+  for (int i = 1; i < 3; ++i) {
+    EXPECT_EQ(results[i].failures, results[0].failures);
+    EXPECT_EQ(results[i].admitted_total, results[0].admitted_total);
+    EXPECT_EQ(results[i].frames_delivered_total,
+              results[0].frames_delivered_total);
+    EXPECT_EQ(results[i].sim_digest_xor, results[0].sim_digest_xor)
+        << "fabric campaign -j" << cases[i].campaign_threads
+        << " fabric_threads=" << cases[i].fabric_threads
+        << " diverged from the sequential baseline";
+  }
+}
+
+TEST(SimDeterminism, FabricCorpusDigestsAreThreadCountIndependent) {
+  // The checked-in fabric corpus entries replay to the identical digest
+  // under every fabric thread count — the corpus-anchored version of the
+  // generated-seed test above, so the property is pinned on specs that can
+  // never drift with the generator.
+  const char* files[] = {"fabric-tree.json",
+                         "fabric-line-best-effort-fault.json",
+                         "fabric-tree-fault.json"};
+  for (const char* file : files) {
+    const ScenarioSpec spec = load_corpus(file);
+    RunnerOptions options;
+    options.fabric_threads = 0;
+    const ScenarioResult baseline = run_scenario(spec, options);
+    EXPECT_TRUE(baseline.passed) << file;
+    for (unsigned threads : {1U, 2U, 4U}) {
+      options.fabric_threads = threads;
+      const ScenarioResult result = run_scenario(spec, options);
+      EXPECT_EQ(result.sim_digest, baseline.sim_digest)
+          << file << ": fabric_threads=" << threads << " diverged";
+      EXPECT_EQ(result.frames_delivered, baseline.frames_delivered) << file;
+      EXPECT_EQ(result.fault_injections, baseline.fault_injections) << file;
+    }
+  }
+}
+
+TEST(SimDeterminism, ThousandNodeFabricRunsCleanly) {
+  // The ISSUE's scale gate: a >=1k-node fabric runs end-to-end through the
+  // conformance runner with zero deadline misses, on the parallel driver.
+  GeneratorConfig config;
+  config.profile = GeneratorProfile::kFabric;
+  config.min_nodes = 1000;
+  config.max_nodes = 1200;
+  config.max_switches = 8;
+  config.min_ops = 48;
+  config.max_ops = 72;
+  config.max_run_slots = 150;
+  const ScenarioSpec spec = generate_scenario(config, 7);
+  ASSERT_GE(spec.topology.nodes, 1000U);
+  RunnerOptions options;
+  options.fabric_threads = 4;
+  const ScenarioResult result = run_scenario(spec, options);
+  EXPECT_TRUE(result.passed)
+      << (result.violations.empty()
+              ? std::string("?")
+              : result.violations.front().to_string());
+  EXPECT_EQ(result.sim_digest.deadline_misses, 0U);
+  EXPECT_GE(result.fabric_partitions, 2U);
+  EXPECT_GT(result.frames_delivered, 0U);
 }
 
 }  // namespace

@@ -63,6 +63,9 @@ struct DifferentialPin {
 // clang-format off
 const DifferentialPin kPins[] = {
     {"churn-steady-state.json",        true,  {40, 4},  {40, 4}},
+    {"fabric-line-best-effort-fault.json", false, {},   {26, 5}},
+    {"fabric-tree-fault.json",         false, {},       {21, 0}},
+    {"fabric-tree.json",               false, {},       {22, 3}},
     {"fault-frame-corrupt.json",       true,  {2, 0},   {2, 0}},
     {"fault-frame-loss.json",          true,  {2, 0},   {2, 0}},
     {"fault-link-down.json",           true,  {2, 0},   {2, 0}},
